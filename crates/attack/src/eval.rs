@@ -1,0 +1,139 @@
+//! Re-identification rate evaluation (§5.4.1).
+//!
+//! `rate = |Q_id| / |Q|` where a query counts as re-identified only when
+//! the attack recovers **both** the original query and the requesting
+//! user.
+
+use crate::profile::ProfileSet;
+use crate::simattack::SimAttack;
+use xsearch_query_log::record::QueryRecord;
+
+/// Per-query outcome (for detailed analyses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// Correct user and correct original sub-query.
+    Reidentified,
+    /// The attack returned a pair, but the wrong one.
+    Misidentified,
+    /// No unique maximum — the attack abstained.
+    Unsuccessful,
+}
+
+/// Runs the attack over `test` queries protected by `protect`, returning
+/// the re-identification rate.
+///
+/// `protect` maps a test record to the sub-queries the engine observes
+/// (`k + 1` for obfuscating systems, 1 otherwise) — the glue to any
+/// `PrivateSearchSystem`.
+pub fn reidentification_rate<P>(
+    profiles: &ProfileSet,
+    attack: &SimAttack,
+    test: &[QueryRecord],
+    mut protect: P,
+) -> f64
+where
+    P: FnMut(&QueryRecord) -> Vec<String>,
+{
+    if test.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for record in test {
+        if outcome_for(profiles, attack, record, protect(record)) == AttackOutcome::Reidentified {
+            hits += 1;
+        }
+    }
+    hits as f64 / test.len() as f64
+}
+
+/// Classifies one attacked query.
+#[must_use]
+pub fn outcome_for(
+    profiles: &ProfileSet,
+    attack: &SimAttack,
+    record: &QueryRecord,
+    subqueries: Vec<String>,
+) -> AttackOutcome {
+    match attack.attack(profiles, &subqueries) {
+        Some(id) => {
+            if id.user == record.user && subqueries[id.subquery_index] == record.query {
+                AttackOutcome::Reidentified
+            } else {
+                AttackOutcome::Misidentified
+            }
+        }
+        None => AttackOutcome::Unsuccessful,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsearch_query_log::record::UserId;
+
+    fn profiles() -> ProfileSet {
+        ProfileSet::build(&[
+            QueryRecord::new(UserId(1), "cheap flights paris", 0),
+            QueryRecord::new(UserId(1), "paris hotel", 1),
+            QueryRecord::new(UserId(2), "diabetes symptoms", 0),
+        ])
+    }
+
+    #[test]
+    fn unprotected_repeats_are_reidentified() {
+        let test = vec![
+            QueryRecord::new(UserId(1), "cheap flights paris", 10),
+            QueryRecord::new(UserId(2), "diabetes symptoms", 11),
+        ];
+        let rate = reidentification_rate(&profiles(), &SimAttack::default(), &test, |r| {
+            vec![r.query.clone()]
+        });
+        assert_eq!(rate, 1.0);
+    }
+
+    #[test]
+    fn off_profile_queries_are_safe() {
+        let test = vec![QueryRecord::new(UserId(1), "zzz unknown topic", 10)];
+        let rate = reidentification_rate(&profiles(), &SimAttack::default(), &test, |r| {
+            vec![r.query.clone()]
+        });
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn perfect_decoy_blocks_reidentification() {
+        // Symmetric single-query profiles: the fake is another user's
+        // *exact* past query, so both pairs score identically and there
+        // is no unique maximum.
+        let symmetric = ProfileSet::build(&[
+            QueryRecord::new(UserId(1), "cheap flights paris", 0),
+            QueryRecord::new(UserId(2), "diabetes symptoms", 0),
+        ]);
+        let test = vec![QueryRecord::new(UserId(1), "cheap flights paris", 10)];
+        let rate = reidentification_rate(&symmetric, &SimAttack::default(), &test, |r| {
+            vec![r.query.clone(), "diabetes symptoms".to_owned()]
+        });
+        assert_eq!(rate, 0.0, "tie between original and decoy must abstain");
+    }
+
+    #[test]
+    fn misidentification_counts_as_failure() {
+        // The original is only *similar* to user 1's profile (cos < 1)
+        // while the decoy is user 2's exact query (score 0.5·1.0): the
+        // attack picks the decoy → misidentified, not re-identified.
+        let record = QueryRecord::new(UserId(1), "flights", 10);
+        let outcome = outcome_for(
+            &profiles(),
+            &SimAttack::default(),
+            &record,
+            vec!["flights".to_owned(), "diabetes symptoms".to_owned()],
+        );
+        assert_eq!(outcome, AttackOutcome::Misidentified);
+    }
+
+    #[test]
+    fn empty_test_set_rate_is_zero() {
+        let rate = reidentification_rate(&profiles(), &SimAttack::default(), &[], |_| vec![]);
+        assert_eq!(rate, 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! SimAttack (Petit et al., JISA 2016): the state-of-the-art
+//! re-identification attack the paper evaluates against (§5.3.1).
+//!
+//! The adversary — the honest-but-curious search engine — holds a
+//! *profile* per user built from past (training) queries. For each
+//! protected query it observes a set of candidate sub-queries; it scores
+//! every (sub-query, user) pair with a similarity metric (cosine over
+//! normalized terms, exponentially smoothed over the ranked per-query
+//! similarities, smoothing factor 0.5) and declares a re-identification
+//! when a *unique* pair attains the maximum — recovering both the
+//! original query and its author.
+//!
+//! # Example
+//!
+//! ```
+//! use xsearch_attack::profile::ProfileSet;
+//! use xsearch_attack::simattack::SimAttack;
+//! use xsearch_query_log::record::{QueryRecord, UserId};
+//!
+//! let train = vec![
+//!     QueryRecord::new(UserId(1), "cheap flights paris", 0),
+//!     QueryRecord::new(UserId(1), "paris hotel", 1),
+//!     QueryRecord::new(UserId(2), "diabetes symptoms", 0),
+//! ];
+//! let profiles = ProfileSet::build(&train);
+//! let attack = SimAttack::new(0.5);
+//! let hit = attack.attack_single(&profiles, "flights to paris").unwrap();
+//! assert_eq!(hit, UserId(1));
+//! ```
+
+pub mod eval;
+pub mod profile;
+pub mod simattack;
+
+pub use eval::{reidentification_rate, AttackOutcome};
+pub use profile::ProfileSet;
+pub use simattack::SimAttack;

@@ -1,0 +1,186 @@
+//! Adversary profiles: per-user collections of normalized training
+//! queries, indexed for fast similarity search.
+//!
+//! SimAttack evaluates cosine similarity between a candidate query and
+//! *every* query of *every* profile; an inverted index over terms makes
+//! that sparse (queries sharing no term have cosine 0 and, under
+//! ascending-rank exponential smoothing, contribute nothing).
+
+use std::collections::HashMap;
+use xsearch_query_log::record::{QueryRecord, UserId};
+use xsearch_text::tokenize::normalized_terms;
+
+/// One profile query's normalized representation.
+#[derive(Debug, Clone)]
+struct ProfileQuery {
+    /// (term, tf) pairs, deduplicated.
+    terms: Vec<(String, f64)>,
+    /// Euclidean norm of the tf vector.
+    norm: f64,
+}
+
+/// The adversary's knowledge: indexed training queries per user.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSet {
+    users: Vec<UserId>,
+    user_index: HashMap<UserId, u32>,
+    /// Flattened profile queries: (user_idx, query data).
+    queries: Vec<(u32, ProfileQuery)>,
+    /// term → indices into `queries` having that term.
+    postings: HashMap<String, Vec<u32>>,
+}
+
+/// Normalizes one query into (term, tf) pairs plus the vector norm.
+fn normalize(query: &str) -> Option<ProfileQuery> {
+    let terms = normalized_terms(query);
+    if terms.is_empty() {
+        return None;
+    }
+    let mut counts: HashMap<String, f64> = HashMap::new();
+    for t in terms {
+        *counts.entry(t).or_insert(0.0) += 1.0;
+    }
+    let norm = counts.values().map(|w| w * w).sum::<f64>().sqrt();
+    let mut terms: Vec<(String, f64)> = counts.into_iter().collect();
+    terms.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    Some(ProfileQuery { terms, norm })
+}
+
+impl ProfileSet {
+    /// Builds profiles from training records.
+    #[must_use]
+    pub fn build(train: &[QueryRecord]) -> Self {
+        let mut set = ProfileSet::default();
+        for record in train {
+            let Some(pq) = normalize(&record.query) else { continue };
+            let user_idx = match set.user_index.get(&record.user) {
+                Some(&i) => i,
+                None => {
+                    let i = set.users.len() as u32;
+                    set.users.push(record.user);
+                    set.user_index.insert(record.user, i);
+                    i
+                }
+            };
+            let query_idx = set.queries.len() as u32;
+            for (term, _) in &pq.terms {
+                set.postings.entry(term.clone()).or_default().push(query_idx);
+            }
+            set.queries.push((user_idx, pq));
+        }
+        set
+    }
+
+    /// Number of profiled users.
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Total indexed training queries.
+    #[must_use]
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The profiled users, in first-seen order.
+    #[must_use]
+    pub fn users(&self) -> &[UserId] {
+        &self.users
+    }
+
+    /// Computes, for every user with at least one non-zero cosine against
+    /// `query`, the list of non-zero per-query cosines. Users absent from
+    /// the result have all-zero similarities.
+    #[must_use]
+    pub fn nonzero_cosines(&self, query: &str) -> HashMap<UserId, Vec<f64>> {
+        let Some(q) = normalize(query) else { return HashMap::new() };
+        // Accumulate dot products over the postings of the query's terms.
+        let mut dots: HashMap<u32, f64> = HashMap::new();
+        for (term, qw) in &q.terms {
+            if let Some(posting) = self.postings.get(term) {
+                for &query_idx in posting {
+                    let (_, pq) = &self.queries[query_idx as usize];
+                    let pw = pq
+                        .terms
+                        .binary_search_by(|(t, _)| t.as_str().cmp(term))
+                        .map(|pos| pq.terms[pos].1)
+                        .unwrap_or(0.0);
+                    *dots.entry(query_idx).or_insert(0.0) += qw * pw;
+                }
+            }
+        }
+        let mut out: HashMap<UserId, Vec<f64>> = HashMap::new();
+        for (query_idx, dot) in dots {
+            let (user_idx, pq) = &self.queries[query_idx as usize];
+            let denom = q.norm * pq.norm;
+            if denom > 0.0 && dot > 0.0 {
+                out.entry(self.users[*user_idx as usize]).or_default().push(dot / denom);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles() -> ProfileSet {
+        ProfileSet::build(&[
+            QueryRecord::new(UserId(1), "cheap flights paris", 0),
+            QueryRecord::new(UserId(1), "paris hotel booking", 1),
+            QueryRecord::new(UserId(2), "diabetes symptoms treatment", 0),
+            QueryRecord::new(UserId(2), "blood pressure medicine", 1),
+        ])
+    }
+
+    #[test]
+    fn build_counts_users_and_queries() {
+        let p = profiles();
+        assert_eq!(p.user_count(), 2);
+        assert_eq!(p.query_count(), 4);
+    }
+
+    #[test]
+    fn identical_query_has_cosine_one() {
+        let p = profiles();
+        let sims = p.nonzero_cosines("cheap flights paris");
+        let u1 = &sims[&UserId(1)];
+        assert!(u1.iter().any(|&s| (s - 1.0).abs() < 1e-9), "{u1:?}");
+    }
+
+    #[test]
+    fn unrelated_query_matches_nobody() {
+        let p = profiles();
+        assert!(p.nonzero_cosines("quantum chromodynamics").is_empty());
+    }
+
+    #[test]
+    fn stemming_bridges_inflections() {
+        let p = profiles();
+        let sims = p.nonzero_cosines("flight to paris");
+        assert!(sims.contains_key(&UserId(1)), "flight↔flights via stemming");
+        assert!(!sims.contains_key(&UserId(2)));
+    }
+
+    #[test]
+    fn stopword_only_queries_are_ignored() {
+        let p = ProfileSet::build(&[QueryRecord::new(UserId(1), "the of and", 0)]);
+        assert_eq!(p.query_count(), 0);
+        assert!(p.nonzero_cosines("the").is_empty());
+    }
+
+    #[test]
+    fn repeated_terms_weighted_by_tf() {
+        let p = ProfileSet::build(&[
+            QueryRecord::new(UserId(1), "paris paris paris", 0),
+            QueryRecord::new(UserId(2), "paris hotel", 0),
+        ]);
+        let sims = p.nonzero_cosines("paris");
+        // User 1's vector is parallel to the query (cos = 1);
+        // user 2's is at 45° (cos ≈ 0.707).
+        assert!((sims[&UserId(1)][0] - 1.0).abs() < 1e-9);
+        assert!((sims[&UserId(2)][0] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+    }
+}

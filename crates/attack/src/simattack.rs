@@ -1,0 +1,220 @@
+//! The SimAttack similarity metric and re-identification procedure.
+
+use crate::profile::ProfileSet;
+use xsearch_query_log::record::UserId;
+
+/// The attack, parameterized by its exponential smoothing factor
+/// (the paper sets 0.5 empirically).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimAttack {
+    alpha: f64,
+}
+
+/// A candidate re-identification: which sub-query is the original and who
+/// sent it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Identification {
+    /// The re-identified user.
+    pub user: UserId,
+    /// Index of the sub-query believed to be the original.
+    pub subquery_index: usize,
+    /// The winning similarity score.
+    pub similarity: f64,
+}
+
+impl SimAttack {
+    /// Creates the attack with smoothing factor `alpha` ∈ (0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range `alpha`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
+        SimAttack { alpha }
+    }
+
+    /// `sim(q, P_u)`: exponential smoothing of the cosine similarities
+    /// between `q` and every query of the profile, ranked ascending —
+    /// so the highest similarities dominate while repeated near-matches
+    /// reinforce each other.
+    ///
+    /// Zero similarities (profile queries sharing no term with `q`) leave
+    /// the smoothed value unchanged, so only non-zero cosines need
+    /// evaluating.
+    #[must_use]
+    pub fn smooth(&self, mut nonzero_sims: Vec<f64>) -> f64 {
+        nonzero_sims.sort_unstable_by(|a, b| a.partial_cmp(b).expect("cosines are finite"));
+        let mut s = 0.0;
+        for sim in nonzero_sims {
+            s = self.alpha * sim + (1.0 - self.alpha) * s;
+        }
+        s
+    }
+
+    /// Scores `query` against every profile, returning per-user smoothed
+    /// similarities (users with all-zero cosines omitted: their score is
+    /// 0).
+    #[must_use]
+    pub fn scores(&self, profiles: &ProfileSet, query: &str) -> Vec<(UserId, f64)> {
+        profiles
+            .nonzero_cosines(query)
+            .into_iter()
+            .map(|(user, sims)| (user, self.smooth(sims)))
+            .collect()
+    }
+
+    /// Attacks an exposure of candidate sub-queries: computes the
+    /// similarity of every (sub-query, user) pair and re-identifies iff a
+    /// unique pair attains the maximum (§5.3.1: "If only one couple of
+    /// query and user have the highest similarities, SimAttack returns
+    /// this couple ... Otherwise, the attack is unsuccessful").
+    #[must_use]
+    pub fn attack(&self, profiles: &ProfileSet, subqueries: &[String]) -> Option<Identification> {
+        let mut best: Option<Identification> = None;
+        let mut tied = false;
+        for (idx, subquery) in subqueries.iter().enumerate() {
+            for (user, score) in self.scores(profiles, subquery) {
+                match &best {
+                    Some(b) if (score - b.similarity).abs() < 1e-12 => {
+                        // A distinct pair matching the maximum → ambiguity.
+                        if b.user != user || b.subquery_index != idx {
+                            tied = true;
+                        }
+                    }
+                    Some(b) if score > b.similarity => {
+                        best = Some(Identification { user, subquery_index: idx, similarity: score });
+                        tied = false;
+                    }
+                    Some(_) => {}
+                    None => {
+                        best = Some(Identification { user, subquery_index: idx, similarity: score });
+                        tied = false;
+                    }
+                }
+            }
+        }
+        match (best, tied) {
+            (Some(b), false) if b.similarity > 0.0 => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Convenience for unlinkability-only systems (one candidate query):
+    /// returns the re-identified user.
+    #[must_use]
+    pub fn attack_single(&self, profiles: &ProfileSet, query: &str) -> Option<UserId> {
+        self.attack(profiles, std::slice::from_ref(&query.to_owned())).map(|id| id.user)
+    }
+}
+
+impl Default for SimAttack {
+    /// The paper's empirically chosen smoothing factor 0.5.
+    fn default() -> Self {
+        SimAttack::new(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use xsearch_query_log::record::QueryRecord;
+
+    fn profiles() -> ProfileSet {
+        ProfileSet::build(&[
+            QueryRecord::new(UserId(1), "cheap flights paris", 0),
+            QueryRecord::new(UserId(1), "paris hotel", 1),
+            QueryRecord::new(UserId(1), "eiffel tower tickets", 2),
+            QueryRecord::new(UserId(2), "diabetes symptoms", 0),
+            QueryRecord::new(UserId(2), "blood sugar diet", 1),
+            QueryRecord::new(UserId(3), "nfl scores", 0),
+            QueryRecord::new(UserId(3), "football playoffs schedule", 1),
+        ])
+    }
+
+    #[test]
+    fn repeated_query_is_reidentified() {
+        let attack = SimAttack::default();
+        assert_eq!(attack.attack_single(&profiles(), "cheap flights paris"), Some(UserId(1)));
+        assert_eq!(attack.attack_single(&profiles(), "diabetes symptoms"), Some(UserId(2)));
+    }
+
+    #[test]
+    fn unknown_topic_is_not_reidentified() {
+        let attack = SimAttack::default();
+        assert_eq!(attack.attack_single(&profiles(), "gardening mulch roses"), None);
+    }
+
+    #[test]
+    fn obfuscated_exposure_recovers_user_and_query() {
+        let attack = SimAttack::default();
+        let subqueries = vec![
+            "nfl scores".to_owned(),          // user 3's real past query (the fake)
+            "paris hotel deals".to_owned(),   // the original, close to user 1
+        ];
+        // Both sub-queries match someone, but exact repetition scores 1.0:
+        // the fake (an exact past query) wins — which is precisely why
+        // X-Search's real-past-query fakes confuse the attack.
+        let id = attack.attack(&profiles(), &subqueries).unwrap();
+        assert_eq!(id.user, UserId(3));
+        assert_eq!(id.subquery_index, 0);
+    }
+
+    #[test]
+    fn smoothing_rewards_repeated_evidence() {
+        let attack = SimAttack::default();
+        // Two sims of 0.8 smooth higher than one of 0.8.
+        let one = attack.smooth(vec![0.8]);
+        let two = attack.smooth(vec![0.8, 0.8]);
+        assert!(two > one);
+        assert!((one - 0.4).abs() < 1e-12); // 0.5 * 0.8
+        assert!((two - 0.6).abs() < 1e-12); // 0.5*0.8 + 0.5*0.4
+    }
+
+    #[test]
+    fn smoothing_ranks_ascending() {
+        let attack = SimAttack::default();
+        // Ascending processing: the largest similarity gets full alpha
+        // weight last, so [0.2, 0.9] must beat [0.9, 0.2] given unsorted
+        // input order is irrelevant.
+        assert_eq!(attack.smooth(vec![0.2, 0.9]), attack.smooth(vec![0.9, 0.2]));
+        let s = attack.smooth(vec![0.2, 0.9]);
+        assert!((s - (0.5 * 0.9 + 0.5 * 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_set_identifies_nobody() {
+        let attack = SimAttack::default();
+        let empty = ProfileSet::build(&[]);
+        assert_eq!(attack.attack_single(&empty, "anything"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn invalid_alpha_panics() {
+        let _ = SimAttack::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn smoothed_value_bounded_by_max(sims in proptest::collection::vec(0.0f64..1.0, 0..20)) {
+            let attack = SimAttack::default();
+            let max = sims.iter().copied().fold(0.0, f64::max);
+            let s = attack.smooth(sims);
+            prop_assert!(s <= max + 1e-12);
+            prop_assert!(s >= 0.0);
+        }
+
+        #[test]
+        fn adding_evidence_never_hurts(base in proptest::collection::vec(0.01f64..1.0, 1..10), extra in 0.01f64..1.0) {
+            // Appending a similarity ≥ all existing ones increases the score.
+            let attack = SimAttack::default();
+            let mut bigger = base.clone();
+            let max = base.iter().copied().fold(0.0, f64::max);
+            prop_assume!(extra >= max);
+            bigger.push(extra);
+            prop_assert!(attack.smooth(bigger) >= attack.smooth(base) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! The Direct baseline: queries go straight to the engine (§5.2's
+//! unprotected lower bound).
+
+use crate::system::{Exposure, PrivateSearchSystem};
+use xsearch_query_log::record::UserId;
+
+/// No protection at all: identity and query are both exposed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Direct;
+
+impl Direct {
+    /// Creates the baseline.
+    #[must_use]
+    pub fn new() -> Self {
+        Direct
+    }
+}
+
+impl PrivateSearchSystem for Direct {
+    fn name(&self) -> &str {
+        "Direct"
+    }
+
+    fn protect(&mut self, user: UserId, query: &str) -> Exposure {
+        Exposure::single(query, Some(user))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposes_identity_and_query() {
+        let mut d = Direct::new();
+        let e = d.protect(UserId(7), "my secret query");
+        assert_eq!(e.identity, Some(UserId(7)));
+        assert_eq!(e.subqueries, vec!["my secret query"]);
+    }
+}

@@ -1,0 +1,89 @@
+//! GooPIR (Domingo-Ferrer et al.): k dictionary-sourced fake queries
+//! OR-ed with the real one (§2.1.2).
+//!
+//! Fakes are built from a flat dictionary of keywords, matched in word
+//! count to the real query — plausible-looking but, like TMN's, drawn
+//! from a distribution real users do not produce.
+
+use crate::system::{Exposure, PrivateSearchSystem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xsearch_query_log::record::UserId;
+use xsearch_query_log::topics::TOPICS;
+
+/// The GooPIR client.
+#[derive(Debug)]
+pub struct GooPir {
+    rng: StdRng,
+    k: usize,
+    dictionary: Vec<&'static str>,
+}
+
+impl GooPir {
+    /// Creates a GooPIR client that adds `k` fakes per query.
+    #[must_use]
+    pub fn new(k: usize, seed: u64) -> Self {
+        // The dictionary: the union of all topic vocabularies, flattened —
+        // GooPIR draws uniformly from a keyword dictionary.
+        let dictionary: Vec<&'static str> =
+            TOPICS.iter().flat_map(|t| t.terms.iter().copied()).collect();
+        GooPir { rng: StdRng::seed_from_u64(seed), k, dictionary }
+    }
+
+    /// One dictionary fake with `words` keywords.
+    fn fake_with_len(&mut self, words: usize) -> String {
+        let picked: Vec<&str> = (0..words.max(1))
+            .map(|_| self.dictionary[self.rng.gen_range(0..self.dictionary.len())])
+            .collect();
+        picked.join(" ")
+    }
+}
+
+impl PrivateSearchSystem for GooPir {
+    fn name(&self) -> &str {
+        "GooPIR"
+    }
+
+    /// GooPIR runs client-side: identity stays exposed; the query is
+    /// hidden among k same-length dictionary fakes.
+    fn protect(&mut self, user: UserId, query: &str) -> Exposure {
+        let len = query.split_whitespace().count();
+        let mut subqueries: Vec<String> = (0..self.k).map(|_| self.fake_with_len(len)).collect();
+        subqueries.insert(self.rng.gen_range(0..=subqueries.len()), query.to_owned());
+        Exposure { subqueries, identity: Some(user) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adds_exactly_k_fakes() {
+        let mut g = GooPir::new(3, 1);
+        let e = g.protect(UserId(1), "paris hotel");
+        assert_eq!(e.subqueries.len(), 4);
+        assert_eq!(e.subqueries.iter().filter(|q| *q == "paris hotel").count(), 1);
+    }
+
+    #[test]
+    fn fakes_match_query_word_count() {
+        let mut g = GooPir::new(5, 2);
+        let e = g.protect(UserId(1), "three word query");
+        for q in &e.subqueries {
+            assert_eq!(q.split_whitespace().count(), 3, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn identity_stays_exposed() {
+        let mut g = GooPir::new(1, 3);
+        assert_eq!(g.protect(UserId(9), "q").identity, Some(UserId(9)));
+    }
+
+    #[test]
+    fn k_zero_is_just_the_query() {
+        let mut g = GooPir::new(0, 4);
+        assert_eq!(g.protect(UserId(1), "alone").subqueries, vec!["alone"]);
+    }
+}

@@ -1,0 +1,27 @@
+//! The comparison systems of the paper's evaluation.
+//!
+//! X-Search is compared against (§5.2):
+//!
+//! * [`direct`] — no protection: the engine sees identity and query;
+//! * [`tor`] — unlinkability only: a 3-hop onion-routing circuit with
+//!   per-hop layered AEAD over fixed-size cells;
+//! * [`peas`] — unlinkability + indistinguishability via two
+//!   *non-colluding* proxies (a receiver that sees identity but only
+//!   ciphertext, and an issuer that sees the query but no identity) with
+//!   fake queries generated from a term co-occurrence matrix;
+//! * [`tmn`] — TrackMeNot: periodic RSS-sourced fake queries (Fig 1);
+//! * [`goopir`] — GooPIR: dictionary-sourced fakes OR-ed with the query.
+//!
+//! [`system`] defines the common `PrivateSearchSystem` abstraction the
+//! privacy experiments drive: every system turns `(user, query)` into the
+//! *exposure* an honest-but-curious engine observes.
+
+pub mod direct;
+pub mod goopir;
+pub mod peas;
+pub mod system;
+pub mod tmn;
+pub mod tor;
+pub mod xsearch_system;
+
+pub use system::{Exposure, PrivateSearchSystem};

@@ -1,0 +1,205 @@
+//! PEAS fake-query generation: random walks over the co-occurrence
+//! matrix.
+
+use super::cooccurrence::CooccurrenceMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates fake queries from a trained co-occurrence matrix.
+#[derive(Debug)]
+pub struct PeasFakeGenerator {
+    matrix: CooccurrenceMatrix,
+    // Cached cumulative frequency table for seed-term sampling.
+    terms: Vec<String>,
+    cumulative: Vec<u64>,
+    rng: StdRng,
+}
+
+impl PeasFakeGenerator {
+    /// Wraps a matrix with a deterministic RNG.
+    #[must_use]
+    pub fn new(matrix: CooccurrenceMatrix, seed: u64) -> Self {
+        let mut terms = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut acc = 0;
+        for (t, c) in matrix.terms() {
+            acc += c;
+            terms.push(t.to_owned());
+            cumulative.push(acc);
+        }
+        PeasFakeGenerator { matrix, terms, cumulative, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The trained matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &CooccurrenceMatrix {
+        &self.matrix
+    }
+
+    /// Generates `k` fake queries.
+    pub fn generate(&mut self, k: usize) -> Vec<String> {
+        (0..k).map(|_| self.one_fake()).collect()
+    }
+
+    /// One fake query: a frequency-weighted seed term followed by a
+    /// co-occurrence walk, with length drawn from the observed query
+    /// length distribution.
+    ///
+    /// Walks that happen to reproduce an issued query verbatim are
+    /// resampled: at AOL scale the space of term combinations is so much
+    /// larger than the set of issued queries that random recombination
+    /// never lands on one, and Fig 1's property ("almost all fake queries
+    /// ... never appear in the AOL") is exactly that. The retry keeps the
+    /// property in the small synthetic world (DESIGN.md).
+    pub fn one_fake(&mut self) -> String {
+        for _attempt in 0..6 {
+            let words = self.walk();
+            if words.is_empty() {
+                return String::from("empty corpus");
+            }
+            if !self.matrix.is_observed_combination(&words) {
+                return words.join(" ");
+            }
+            // Try to de-collide by extending the walk with one more term.
+            if let Some(extended) = self.extend(&words) {
+                if !self.matrix.is_observed_combination(&extended) {
+                    return extended.join(" ");
+                }
+            }
+        }
+        // Pathologically dense corpus: emit the last walk regardless.
+        let words = self.walk();
+        words.join(" ")
+    }
+
+    fn walk(&mut self) -> Vec<String> {
+        let Some(seed_term) = self.sample_seed() else {
+            return Vec::new();
+        };
+        let target_len = self.sample_length();
+        let mut words = vec![seed_term];
+        while words.len() < target_len {
+            match self.next_term(&words) {
+                Some(t) => words.push(t),
+                None => break,
+            }
+        }
+        words
+    }
+
+    fn extend(&mut self, words: &[String]) -> Option<Vec<String>> {
+        let mut extended = words.to_vec();
+        let next = self.next_term(&extended)?;
+        extended.push(next);
+        Some(extended)
+    }
+
+    /// Samples the next walk term from the co-occurrence neighbors of the
+    /// current last term, weighted by count, avoiding repeats.
+    fn next_term(&mut self, words: &[String]) -> Option<String> {
+        let current = words.last()?;
+        let neighbors = self.matrix.neighbors(current);
+        let candidates: Vec<(&str, u64)> = neighbors
+            .into_iter()
+            .filter(|(t, _)| !words.iter().any(|w| w == t))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let total: u64 = candidates.iter().map(|(_, c)| c).sum();
+        let mut pick = self.rng.gen_range(0..total);
+        for (t, c) in &candidates {
+            if pick < *c {
+                return Some((*t).to_owned());
+            }
+            pick -= c;
+        }
+        Some(candidates.last().expect("non-empty").0.to_owned())
+    }
+
+    fn sample_seed(&mut self) -> Option<String> {
+        let total = *self.cumulative.last()?;
+        let pick = self.rng.gen_range(0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= pick);
+        Some(self.terms[idx.min(self.terms.len() - 1)].clone())
+    }
+
+    fn sample_length(&mut self) -> usize {
+        let counts = self.matrix.length_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 2;
+        }
+        let mut pick = self.rng.gen_range(0..total);
+        for (len, &c) in counts.iter().enumerate() {
+            if pick < c {
+                return len.max(1);
+            }
+            pick -= c;
+        }
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsearch_query_log::synthetic::{generate as gen_log, SyntheticConfig};
+
+    fn trained() -> PeasFakeGenerator {
+        let log = gen_log(&SyntheticConfig { num_users: 40, ..Default::default() });
+        let queries: Vec<String> = log.into_iter().map(|r| r.query).collect();
+        PeasFakeGenerator::new(CooccurrenceMatrix::build(&queries), 7)
+    }
+
+    #[test]
+    fn fakes_are_nonempty_and_plausible_length() {
+        let mut g = trained();
+        for fake in g.generate(100) {
+            let words = fake.split_whitespace().count();
+            assert!((1..=7).contains(&words), "{fake:?}");
+        }
+    }
+
+    #[test]
+    fn fakes_use_training_vocabulary() {
+        let mut g = trained();
+        let fakes = g.generate(50);
+        for fake in &fakes {
+            for word in fake.split_whitespace() {
+                assert!(g.matrix().frequency(word) > 0, "{word:?} not in corpus");
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_terms_cooccur_in_training() {
+        let mut g = trained();
+        for fake in g.generate(50) {
+            let words: Vec<&str> = fake.split_whitespace().collect();
+            for pair in words.windows(2) {
+                assert!(
+                    g.matrix().cooccurrence(pair[0], pair[1]) > 0,
+                    "{} and {} never co-occurred",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let log = gen_log(&SyntheticConfig { num_users: 20, ..Default::default() });
+        let queries: Vec<String> = log.into_iter().map(|r| r.query).collect();
+        let mut a = PeasFakeGenerator::new(CooccurrenceMatrix::build(&queries), 3);
+        let mut b = PeasFakeGenerator::new(CooccurrenceMatrix::build(&queries), 3);
+        assert_eq!(a.generate(10), b.generate(10));
+    }
+
+    #[test]
+    fn empty_corpus_degrades_gracefully() {
+        let mut g = PeasFakeGenerator::new(CooccurrenceMatrix::build(&[]), 1);
+        assert_eq!(g.one_fake(), "empty corpus");
+    }
+}

@@ -1,0 +1,97 @@
+//! PEAS (Petit et al., Trustcom 2015): the closest competitor (§5.2).
+//!
+//! PEAS combines unlinkability and indistinguishability under a *weaker*
+//! adversary model than X-Search: two proxies assumed not to collude —
+//! a **receiver** that sees who is asking but only ciphertext, and an
+//! **issuer** that decrypts the query, hides it among `k` fake queries
+//! generated from a term **co-occurrence matrix**, and talks to the
+//! engine. If receiver and issuer collude, the user is fully exposed;
+//! X-Search's enclave removes that assumption.
+//!
+//! The cryptographic path substitutes PEAS's RSA-hybrid wrapping with the
+//! X25519 ECIES hybrid from `xsearch-crypto` (DESIGN.md): the cost
+//! structure — one asymmetric operation per request at the issuer — is
+//! what Fig 5 measures.
+
+pub mod client;
+pub mod cooccurrence;
+pub mod fakegen;
+pub mod issuer;
+pub mod receiver;
+
+pub use client::PeasClient;
+pub use cooccurrence::CooccurrenceMatrix;
+pub use fakegen::PeasFakeGenerator;
+pub use issuer::PeasIssuer;
+pub use receiver::PeasReceiver;
+
+use crate::system::{Exposure, PrivateSearchSystem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xsearch_query_log::record::UserId;
+
+/// PEAS as the privacy experiments see it: identity hidden by the
+/// receiver, query hidden among k co-occurrence fakes by the issuer.
+#[derive(Debug)]
+pub struct PeasSystem {
+    fakegen: PeasFakeGenerator,
+    k: usize,
+    rng: StdRng,
+}
+
+impl PeasSystem {
+    /// Builds the system with a co-occurrence matrix trained on
+    /// `past_queries` (the issuer's view of historical traffic).
+    #[must_use]
+    pub fn new(past_queries: &[String], k: usize, seed: u64) -> Self {
+        PeasSystem {
+            fakegen: PeasFakeGenerator::new(CooccurrenceMatrix::build(past_queries), seed),
+            k,
+            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9),
+        }
+    }
+}
+
+impl PrivateSearchSystem for PeasSystem {
+    fn name(&self) -> &str {
+        "PEAS"
+    }
+
+    fn protect(&mut self, _user: UserId, query: &str) -> Exposure {
+        let mut subqueries = self.fakegen.generate(self.k);
+        let position = self.rng.gen_range(0..=subqueries.len());
+        subqueries.insert(position, query.to_owned());
+        Exposure { subqueries, identity: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn training() -> Vec<String> {
+        vec![
+            "cheap flights paris".into(),
+            "paris hotel deals".into(),
+            "flights to london".into(),
+            "diabetes symptoms treatment".into(),
+            "nfl football scores".into(),
+        ]
+    }
+
+    #[test]
+    fn exposure_hides_identity_and_adds_k_fakes() {
+        let mut peas = PeasSystem::new(&training(), 3, 1);
+        let e = peas.protect(UserId(5), "my real query");
+        assert_eq!(e.identity, None);
+        assert_eq!(e.subqueries.len(), 4);
+        assert_eq!(e.subqueries.iter().filter(|q| *q == "my real query").count(), 1);
+    }
+
+    #[test]
+    fn k_zero_degenerates_to_unlinkability_only() {
+        let mut peas = PeasSystem::new(&training(), 0, 2);
+        let e = peas.protect(UserId(5), "q");
+        assert_eq!(e.subqueries, vec!["q"]);
+    }
+}

@@ -1,0 +1,73 @@
+//! The PEAS receiver proxy: sees the client's identity, never the query.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use xsearch_query_log::record::UserId;
+
+/// The receiver strips network identity and assigns opaque exchange ids;
+/// everything it relays is ciphertext addressed to the issuer.
+#[derive(Debug, Default)]
+pub struct PeasReceiver {
+    next_exchange: AtomicU64,
+    relayed: AtomicU64,
+}
+
+/// What the receiver observed for one exchange — used by tests to check
+/// the non-collusion split of knowledge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceiverView {
+    /// The requesting user's identity (the receiver *does* see this).
+    pub user: UserId,
+    /// Opaque exchange id replacing the identity toward the issuer.
+    pub exchange_id: u64,
+    /// The (still encrypted) payload length — all the receiver learns
+    /// about the query.
+    pub ciphertext_len: usize,
+}
+
+impl PeasReceiver {
+    /// Creates a receiver.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Relays one encrypted request: replaces the identity with an
+    /// exchange id and forwards the ciphertext untouched.
+    pub fn relay(&self, user: UserId, ciphertext: &[u8]) -> (ReceiverView, Vec<u8>) {
+        let exchange_id = self.next_exchange.fetch_add(1, Ordering::Relaxed);
+        self.relayed.fetch_add(1, Ordering::Relaxed);
+        (
+            ReceiverView { user, exchange_id, ciphertext_len: ciphertext.len() },
+            ciphertext.to_vec(),
+        )
+    }
+
+    /// Messages relayed so far.
+    #[must_use]
+    pub fn relayed(&self) -> u64 {
+        self.relayed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_preserves_ciphertext_and_hides_only_identity() {
+        let r = PeasReceiver::new();
+        let (view, forwarded) = r.relay(UserId(3), b"opaque bytes");
+        assert_eq!(forwarded, b"opaque bytes");
+        assert_eq!(view.user, UserId(3));
+        assert_eq!(view.ciphertext_len, 12);
+    }
+
+    #[test]
+    fn exchange_ids_are_unique() {
+        let r = PeasReceiver::new();
+        let (v1, _) = r.relay(UserId(1), b"a");
+        let (v2, _) = r.relay(UserId(1), b"b");
+        assert_ne!(v1.exchange_id, v2.exchange_id);
+        assert_eq!(r.relayed(), 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! The common abstraction the privacy experiments drive.
+
+use xsearch_query_log::record::UserId;
+
+/// What the honest-but-curious search engine observes for one protected
+/// query — the adversary's input for re-identification (§3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exposure {
+    /// The candidate queries the engine sees. One entry for unlinkability
+    /// systems (the query itself), `k + 1` for obfuscating systems.
+    pub subqueries: Vec<String>,
+    /// `Some(user)` when the system leaks the requester's identity
+    /// (Direct); `None` when a proxy hides it.
+    pub identity: Option<UserId>,
+}
+
+impl Exposure {
+    /// An exposure consisting of a single plain query.
+    #[must_use]
+    pub fn single(query: &str, identity: Option<UserId>) -> Self {
+        Exposure { subqueries: vec![query.to_owned()], identity }
+    }
+}
+
+/// A private web search mechanism, as the privacy evaluation sees it.
+///
+/// Implementations are stateful: X-Search's history fills with the
+/// queries it protects, PEAS's co-occurrence matrix reflects its training
+/// corpus, and so on.
+pub trait PrivateSearchSystem {
+    /// Display name ("X-Search", "PEAS", "Tor", "Direct").
+    fn name(&self) -> &str;
+
+    /// Protects one query, returning what the engine observes.
+    fn protect(&mut self, user: UserId, query: &str) -> Exposure;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_exposure_shape() {
+        let e = Exposure::single("q", Some(UserId(1)));
+        assert_eq!(e.subqueries, vec!["q"]);
+        assert_eq!(e.identity, Some(UserId(1)));
+    }
+}

@@ -1,0 +1,120 @@
+//! TrackMeNot: periodic fake queries sourced from RSS feeds
+//! (Howe & Nissenbaum; §2.1.2 of the paper).
+//!
+//! The property Fig 1 demonstrates — and this model reproduces — is that
+//! RSS-derived fakes come from a *different distribution* than real user
+//! queries: news-headline phrases, longer, with vocabulary users rarely
+//! search. SimAttack exploits exactly that gap.
+
+use crate::system::{Exposure, PrivateSearchSystem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xsearch_query_log::record::UserId;
+use xsearch_query_log::topics::TOPICS;
+
+/// Headline-flavoured connective vocabulary that user queries rarely
+/// contain but RSS titles constantly do.
+static HEADLINE_WORDS: &[&str] = &[
+    "announces", "amid", "reportedly", "officials", "lawmakers", "unveils", "sparks",
+    "criticism", "surge", "decline", "probe", "wake", "despite", "continues", "latest",
+    "update", "exclusive", "analysis", "opinion", "watchdog", "regulators", "spokesman",
+];
+
+/// A simulated RSS-feed fake-query source.
+#[derive(Debug)]
+pub struct TrackMeNot {
+    rng: StdRng,
+    /// Ratio of fake queries to real ones (TMN sends fakes on a timer,
+    /// independent of real traffic; 1.0 means one fake per real query).
+    fakes_per_query: f64,
+}
+
+impl TrackMeNot {
+    /// Creates the generator with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TrackMeNot { rng: StdRng::seed_from_u64(seed), fakes_per_query: 1.0 }
+    }
+
+    /// One RSS-headline-style fake query.
+    pub fn fake_query(&mut self) -> String {
+        let topic = &TOPICS[self.rng.gen_range(0..TOPICS.len())];
+        let n_topic = self.rng.gen_range(2..=3);
+        let n_headline = self.rng.gen_range(1..=2);
+        let mut words: Vec<&str> = Vec::with_capacity(n_topic + n_headline);
+        for _ in 0..n_topic {
+            words.push(topic.terms[self.rng.gen_range(0..topic.terms.len())]);
+        }
+        for _ in 0..n_headline {
+            words.push(HEADLINE_WORDS[self.rng.gen_range(0..HEADLINE_WORDS.len())]);
+        }
+        // Shuffle the composition so headline words are not positional.
+        for i in (1..words.len()).rev() {
+            words.swap(i, self.rng.gen_range(0..=i));
+        }
+        words.join(" ")
+    }
+
+    /// A batch of `n` fakes (Fig 1 samples these).
+    pub fn fake_queries(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.fake_query()).collect()
+    }
+}
+
+impl PrivateSearchSystem for TrackMeNot {
+    fn name(&self) -> &str {
+        "TrackMeNot"
+    }
+
+    /// TMN does not hide the identity (the browser talks to the engine
+    /// directly); it interleaves fake queries with real traffic.
+    fn protect(&mut self, user: UserId, query: &str) -> Exposure {
+        let mut subqueries = vec![query.to_owned()];
+        let fakes = self.fakes_per_query;
+        let n = fakes as usize + usize::from(self.rng.gen_bool(fakes.fract()));
+        for _ in 0..n {
+            subqueries.push(self.fake_query());
+        }
+        Exposure { subqueries, identity: Some(user) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fakes_are_diverse() {
+        let mut tmn = TrackMeNot::new(1);
+        let fakes: HashSet<String> = tmn.fake_queries(200).into_iter().collect();
+        assert!(fakes.len() > 150, "only {} distinct fakes", fakes.len());
+    }
+
+    #[test]
+    fn fakes_use_headline_vocabulary() {
+        let mut tmn = TrackMeNot::new(2);
+        let with_headline = tmn
+            .fake_queries(100)
+            .iter()
+            .filter(|q| q.split(' ').any(|w| HEADLINE_WORDS.contains(&w)))
+            .count();
+        assert_eq!(with_headline, 100, "every fake carries headline words");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TrackMeNot::new(3).fake_queries(10);
+        let b = TrackMeNot::new(3).fake_queries(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn protect_keeps_identity_and_adds_fakes() {
+        let mut tmn = TrackMeNot::new(4);
+        let e = tmn.protect(UserId(1), "real query");
+        assert_eq!(e.identity, Some(UserId(1)));
+        assert!(e.subqueries.contains(&"real query".to_owned()));
+        assert!(e.subqueries.len() >= 2);
+    }
+}

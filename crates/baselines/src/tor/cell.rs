@@ -1,0 +1,106 @@
+//! Fixed-size cells.
+//!
+//! Tor carries all traffic in fixed 512-byte cells so message sizes leak
+//! nothing. A message is framed as a 4-byte length followed by payload,
+//! split across as many cells as needed, zero-padded.
+
+/// The classic Tor cell size.
+pub const CELL_LEN: usize = 512;
+
+/// Splits a message into padded cells.
+#[must_use]
+pub fn to_cells(payload: &[u8]) -> Vec<[u8; CELL_LEN]> {
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(payload);
+    framed
+        .chunks(CELL_LEN)
+        .map(|chunk| {
+            let mut cell = [0u8; CELL_LEN];
+            cell[..chunk.len()].copy_from_slice(chunk);
+            cell
+        })
+        .collect()
+}
+
+/// Reassembles a message from cells; `None` when the framing is invalid.
+#[must_use]
+pub fn from_cells(cells: &[[u8; CELL_LEN]]) -> Option<Vec<u8>> {
+    let first = cells.first()?;
+    let len = u32::from_le_bytes(first[..4].try_into().expect("4 bytes")) as usize;
+    let available = cells.len() * CELL_LEN - 4;
+    if len > available {
+        return None;
+    }
+    let mut out = Vec::with_capacity(len);
+    out.extend_from_slice(&first[4..CELL_LEN.min(4 + len)]);
+    for cell in &cells[1..] {
+        if out.len() >= len {
+            break;
+        }
+        let take = (len - out.len()).min(CELL_LEN);
+        out.extend_from_slice(&cell[..take]);
+    }
+    if out.len() == len {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Number of cells a message of `len` bytes occupies.
+#[must_use]
+pub fn cell_count(len: usize) -> usize {
+    (len + 4).div_ceil(CELL_LEN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_message_fits_one_cell() {
+        let cells = to_cells(b"hello");
+        assert_eq!(cells.len(), 1);
+        assert_eq!(from_cells(&cells).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn empty_message_roundtrips() {
+        let cells = to_cells(b"");
+        assert_eq!(cells.len(), 1);
+        assert_eq!(from_cells(&cells).unwrap(), b"");
+    }
+
+    #[test]
+    fn exact_boundary_roundtrips() {
+        let payload = vec![7u8; CELL_LEN - 4];
+        let cells = to_cells(&payload);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(from_cells(&cells).unwrap(), payload);
+        let payload = vec![7u8; CELL_LEN - 3];
+        assert_eq!(to_cells(&payload).len(), 2);
+    }
+
+    #[test]
+    fn oversized_length_field_rejected() {
+        let mut cell = [0u8; CELL_LEN];
+        cell[..4].copy_from_slice(&(10_000u32).to_le_bytes());
+        assert_eq!(from_cells(&[cell]), None);
+    }
+
+    #[test]
+    fn no_cells_is_none() {
+        assert_eq!(from_cells(&[]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_payload(payload in proptest::collection::vec(any::<u8>(), 0..3000)) {
+            let cells = to_cells(&payload);
+            prop_assert_eq!(cells.len(), cell_count(payload.len()));
+            prop_assert_eq!(from_cells(&cells).unwrap(), payload);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Tor-style onion routing (§2.1.1): the unlinkability-only baseline.
+//!
+//! Three relays (guard, middle, exit); the client derives one symmetric
+//! key per hop via X25519 and wraps each message in three AEAD layers
+//! carried in fixed 512-byte cells. Forward traffic is peeled one layer
+//! per relay; responses are wrapped one layer per relay and peeled by the
+//! client. No relay sees both the client identity and the plaintext, and
+//! the exit sees the plaintext query but not the client — which is why
+//! re-identification attacks on query *content* (Fig 3, k = 0) still
+//! succeed.
+
+pub mod cell;
+pub mod circuit;
+pub mod network;
+pub mod relay;
+
+pub use circuit::ClientCircuit;
+pub use network::TorNetwork;
+pub use relay::Relay;
+
+use crate::system::{Exposure, PrivateSearchSystem};
+use xsearch_query_log::record::UserId;
+
+/// Tor as the privacy experiments see it: identity hidden, query exposed
+/// at the exit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TorSystem;
+
+impl TorSystem {
+    /// Creates the baseline view.
+    #[must_use]
+    pub fn new() -> Self {
+        TorSystem
+    }
+}
+
+impl PrivateSearchSystem for TorSystem {
+    fn name(&self) -> &str {
+        "Tor"
+    }
+
+    fn protect(&mut self, _user: UserId, query: &str) -> Exposure {
+        Exposure::single(query, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hides_identity_but_not_query() {
+        let mut t = TorSystem::new();
+        let e = t.protect(UserId(3), "revealing query");
+        assert_eq!(e.identity, None);
+        assert_eq!(e.subqueries, vec!["revealing query"]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Primitive throughput: what bounds the proxy hot path (ablation for
+//! the Fig 5 discussion).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xsearch_crypto::aead::ChaCha20Poly1305;
+use xsearch_crypto::hybrid;
+use xsearch_crypto::sha256::Sha256;
+use xsearch_crypto::x25519::StaticSecret;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+
+    let aead = ChaCha20Poly1305::new(&[7u8; 32]);
+    for size in [64usize, 1024, 8192] {
+        let payload = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("aead_seal_{size}B"), |b| {
+            b.iter(|| aead.seal(&[0u8; 12], b"aad", std::hint::black_box(&payload)))
+        });
+    }
+    let sealed = aead.seal(&[0u8; 12], b"aad", &vec![0xabu8; 1024]);
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("aead_open_1024B", |b| {
+        b.iter(|| aead.open(&[0u8; 12], b"aad", std::hint::black_box(&sealed)).unwrap())
+    });
+
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("sha256_1KiB", |b| {
+        let data = vec![1u8; 1024];
+        b.iter(|| Sha256::digest(std::hint::black_box(&data)))
+    });
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let alice = StaticSecret::random(&mut rng);
+    let bob = StaticSecret::random(&mut rng);
+    let bob_pub = bob.public_key();
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("x25519_diffie_hellman", |b| {
+        b.iter(|| alice.diffie_hellman(std::hint::black_box(&bob_pub)).unwrap())
+    });
+
+    // The PEAS per-request asymmetric cost: one ECIES seal + open.
+    group.bench_function("hybrid_seal_open_64B", |b| {
+        let msg = [5u8; 64];
+        b.iter(|| {
+            let ct = hybrid::seal(&mut rng, &bob_pub, &msg);
+            hybrid::open(&bob, &ct).unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation for the paper's §5.3.3 bottleneck claim: the modeled
+//! ecall/ocall transition overhead vs payload size, and what one full
+//! request costs at the boundary.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xsearch_sgx_sim::enclave::EnclaveBuilder;
+
+fn bench_boundary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enclave_boundary");
+    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+
+    let mut enclave = EnclaveBuilder::new("bench").with_code(b"bench enclave").build(0u64);
+
+    for size in [0usize, 1024, 16 * 1024] {
+        let payload = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size.max(1) as u64));
+        group.bench_function(format!("ecall_echo_{size}B"), |b| {
+            b.iter(|| {
+                enclave
+                    .ecall_bytes("echo", std::hint::black_box(&payload), |_, input, _| {
+                        input.to_vec()
+                    })
+                    .unwrap()
+            })
+        });
+    }
+
+    // The paper's request shape: one ecall wrapping four ocalls.
+    group.bench_function("request_shape_1ecall_4ocalls", |b| {
+        b.iter(|| {
+            enclave
+                .ecall_bytes("request", b"query", |_, _, port| {
+                    port.ocall(b"sock_connect", |_| b"sock".to_vec());
+                    port.ocall(b"send", |_| Vec::new());
+                    let r = port.ocall(b"recv", |_| vec![0u8; 2048]);
+                    port.ocall(b"close", |_| Vec::new());
+                    r
+                })
+                .unwrap()
+        })
+    });
+
+    group.finish();
+
+    // Report the modeled (accounted) overhead alongside the measured
+    // wall time, since the simulator charges but does not sleep it.
+    let stats = enclave.boundary();
+    eprintln!(
+        "note: modeled SGX overhead accounted so far: {:?} across {} ecalls / {} ocalls",
+        stats.modeled_overhead(),
+        stats.ecalls(),
+        stats.ocalls()
+    );
+}
+
+criterion_group!(benches, bench_boundary);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: Algorithm 2 cost vs result-set size and k.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xsearch_core::filter::filter_results;
+use xsearch_engine::corpus::CorpusConfig;
+use xsearch_engine::engine::SearchEngine;
+
+fn bench_filtering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filtering");
+    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+
+    let engine = SearchEngine::build(&CorpusConfig { docs_per_topic: 100, ..Default::default() });
+    let original = "flights hotel vacation cruise";
+    let fake_pool = [
+        "diabetes symptoms treatment".to_owned(),
+        "nfl playoffs schedule scores".to_owned(),
+        "mortgage refinance rates".to_owned(),
+        "chicken casserole recipe dinner".to_owned(),
+        "guitar lyrics song album".to_owned(),
+        "puppy breeder kennel adoption".to_owned(),
+        "senate election headlines".to_owned(),
+    ];
+
+    for n_results in [20usize, 80] {
+        let results = engine.search_merged(
+            &[original.to_owned(), fake_pool[0].clone(), fake_pool[1].clone()],
+            n_results / 2,
+        );
+        for k in [1usize, 3, 7] {
+            let fakes: Vec<String> = fake_pool[..k].to_vec();
+            group.bench_function(format!("k{k}_results{n_results}"), |b| {
+                b.iter(|| {
+                    filter_results(
+                        std::hint::black_box(original),
+                        &fakes,
+                        std::hint::black_box(&results),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filtering);
+criterion_main!(benches);

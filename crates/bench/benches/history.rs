@@ -1,0 +1,36 @@
+//! Ablation: history-table operations under the sliding window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xsearch_core::history::QueryHistory;
+use xsearch_query_log::synthetic::unique_queries;
+use xsearch_sgx_sim::epc::EpcGauge;
+
+fn bench_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history");
+    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+
+    // Push into a full window (every push evicts).
+    let full = QueryHistory::new(100_000, EpcGauge::new());
+    for q in unique_queries(100_000, 5) {
+        full.push(&q);
+    }
+    group.bench_function("push_evicting_100k_window", |b| {
+        b.iter(|| full.push(std::hint::black_box("a fresh query to store")))
+    });
+
+    let mut rng = StdRng::seed_from_u64(6);
+    group.bench_function("sample7_from_100k", |b| {
+        b.iter(|| full.sample_many(7, &mut rng))
+    });
+
+    group.bench_function("memory_accounting_read", |b| {
+        b.iter(|| std::hint::black_box(full.epc().used()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_history);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation: Algorithm 1 cost vs k and history size (the obfuscation
+//! itself is nearly free — supporting DESIGN.md's "transitions dominate"
+//! claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xsearch_core::history::QueryHistory;
+use xsearch_core::obfuscate::obfuscate;
+use xsearch_query_log::synthetic::unique_queries;
+use xsearch_sgx_sim::epc::EpcGauge;
+
+fn bench_obfuscation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obfuscation");
+    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+
+    for history_size in [1_000usize, 100_000] {
+        let history = QueryHistory::new(history_size + 10_000, EpcGauge::new());
+        for q in unique_queries(history_size, 3) {
+            history.push(&q);
+        }
+        for k in [1usize, 3, 7] {
+            let mut rng = StdRng::seed_from_u64(4);
+            group.bench_function(format!("k{k}_history{history_size}"), |b| {
+                b.iter(|| {
+                    obfuscate(
+                        std::hint::black_box("cheap flights paris"),
+                        &history,
+                        k,
+                        &mut rng,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obfuscation);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Micro-scale Fig 5: the per-request CPU cost of each system's full
+//! protocol path (no engine, no modeled WAN) — the ordering that drives
+//! the throughput figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+use xsearch_baselines::peas::{
+    CooccurrenceMatrix, PeasClient, PeasFakeGenerator, PeasIssuer, PeasReceiver,
+};
+use xsearch_baselines::tor::network::TorNetwork;
+use xsearch_core::broker::Broker;
+use xsearch_core::config::XSearchConfig;
+use xsearch_core::proxy::XSearchProxy;
+use xsearch_engine::corpus::CorpusConfig;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_query_log::record::UserId;
+use xsearch_query_log::synthetic::{generate, SyntheticConfig};
+use xsearch_sgx_sim::attestation::AttestationService;
+
+fn bench_systems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("systems_per_request");
+    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+
+    let warm: Vec<String> = generate(&SyntheticConfig { num_users: 30, ..Default::default() })
+        .into_iter()
+        .map(|r| r.query)
+        .collect();
+
+    // X-Search: echo-mode request through the attested tunnel.
+    let ias = AttestationService::from_seed(1);
+    let engine =
+        Arc::new(SearchEngine::build(&CorpusConfig { docs_per_topic: 5, ..Default::default() }));
+    let proxy = XSearchProxy::launch(
+        XSearchConfig { k: 3, ..Default::default() },
+        engine,
+        &ias,
+    );
+    proxy.seed_history(warm.iter().take(2_000).map(String::as_str));
+    let mut broker = Broker::attach(&proxy, &ias, proxy.expected_measurement(), 2).unwrap();
+    group.bench_function("xsearch_k3_echo", |b| {
+        b.iter(|| broker.search_echo(&proxy, "cheap flights paris").unwrap())
+    });
+
+    // PEAS: full two-proxy crypto path, echo engine.
+    let mut issuer =
+        PeasIssuer::new(PeasFakeGenerator::new(CooccurrenceMatrix::build(&warm), 3), 3);
+    issuer.set_k(3);
+    let receiver = PeasReceiver::new();
+    let mut client = PeasClient::new(UserId(1), issuer.public_key(), 4);
+    group.bench_function("peas_k3_echo", |b| {
+        b.iter(|| {
+            client
+                .search(&receiver, &issuer, "cheap flights paris", |_, _| Vec::new())
+                .unwrap()
+        })
+    });
+
+    // Tor: 3-hop onion round trip (no relay service time: pure crypto).
+    let mut rng = StdRng::seed_from_u64(5);
+    let network = TorNetwork::new(6, Duration::ZERO, &mut rng);
+    let mut circuit = network.build_circuit(&mut rng);
+    group.bench_function("tor_3hop_roundtrip_crypto", |b| {
+        b.iter(|| {
+            network
+                .round_trip(&mut circuit, b"cheap flights paris", |req| req.to_vec())
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_systems);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! **Figure 5**: latency vs offered throughput for the X-Search proxy,
+//! PEAS and Tor (log-log in the paper).
+//!
+//! Paper claims to reproduce in shape: X-Search sustains ~25,000 req/s
+//! with sub-second latency; PEAS collapses around 1,000 req/s; Tor
+//! handles on the order of 100 req/s — order-of-magnitude gaps between
+//! the three systems.
+//!
+//! Method (§6.3): a wrk2-style open-loop generator drives each system at
+//! increasing rates *without hitting the web search engine* ("to better
+//! understand the saturation point of the proxy"): X-Search and PEAS run
+//! in echo mode (full crypto + obfuscation + filtering, no engine);
+//! Tor performs full 3-hop onion round trips with a modeled per-relay
+//! service time (see DESIGN.md on the relay-capacity substitution).
+//!
+//! Run: `cargo run -p xsearch-bench --release --bin fig5_throughput_latency`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xsearch_baselines::peas::{CooccurrenceMatrix, PeasClient, PeasFakeGenerator, PeasIssuer, PeasReceiver};
+use xsearch_baselines::tor::network::TorNetwork;
+use xsearch_bench::{Dataset, EXPERIMENT_SEED};
+use xsearch_core::broker::Broker;
+use xsearch_core::config::XSearchConfig;
+use xsearch_core::proxy::XSearchProxy;
+use xsearch_engine::corpus::CorpusConfig;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_metrics::series::Table;
+use xsearch_query_log::record::UserId;
+use xsearch_sgx_sim::attestation::AttestationService;
+use xsearch_workload::runner::sweep_rates;
+
+const K: usize = 3;
+const SESSIONS: usize = 32;
+const THREADS: usize = 2;
+const POINT_DURATION: Duration = Duration::from_millis(1_500);
+/// Modeled CPU service per relay per message: the capacity term standing
+/// in for shared, bandwidth-limited Tor relays.
+const TOR_RELAY_SERVICE: Duration = Duration::from_millis(2);
+
+/// The SGX boundary cost paid in wall time per request: the paper's
+/// request path crosses the boundary 10 times (1 ecall + 4 ocalls, two
+/// crossings each) at ≈2.7 µs per crossing on Skylake. The simulator
+/// *accounts* this cost; here the proxy must also *pay* it so the
+/// saturation point reflects enclave hardware, not just raw crypto.
+const SGX_TRANSITION_PAY: Duration = Duration::from_micros(27);
+
+const QUERY: &str = "cheap flights paris";
+
+fn round_robin<T>(pool: &[Mutex<T>], counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::Relaxed) % pool.len()
+}
+
+fn xsearch_reports(warm: &[String]) -> Vec<xsearch_workload::RunReport> {
+    let ias = AttestationService::from_seed(EXPERIMENT_SEED);
+    // Tiny corpus: the engine is out of the measured path (echo mode).
+    let engine = Arc::new(SearchEngine::build(&CorpusConfig { docs_per_topic: 5, ..Default::default() }));
+    let proxy = XSearchProxy::launch(
+        XSearchConfig { k: K, history_capacity: 1_000_000, ..Default::default() },
+        engine,
+        &ias,
+    );
+    proxy.seed_history(warm.iter().take(10_000).map(String::as_str));
+    let brokers: Vec<Mutex<Broker>> = (0..SESSIONS)
+        .map(|i| {
+            Mutex::new(
+                Broker::attach(&proxy, &ias, proxy.expected_measurement(), i as u64).unwrap(),
+            )
+        })
+        .collect();
+    let counter = AtomicUsize::new(0);
+    let rates = [
+        1_000.0, 2_500.0, 5_000.0, 10_000.0, 17_500.0, 25_000.0, 40_000.0, 60_000.0, 90_000.0,
+    ];
+    sweep_rates(&rates, POINT_DURATION, THREADS, &|| {
+        let idx = round_robin(&brokers, &counter);
+        let ok = brokers[idx].lock().search_echo(&proxy, QUERY).is_ok();
+        xsearch_net_sim::station::busy_wait(SGX_TRANSITION_PAY);
+        ok
+    })
+}
+
+fn peas_reports(warm: &[String]) -> Vec<xsearch_workload::RunReport> {
+    let matrix = CooccurrenceMatrix::build(warm);
+    let mut issuer = PeasIssuer::new(PeasFakeGenerator::new(matrix, EXPERIMENT_SEED), EXPERIMENT_SEED);
+    issuer.set_k(K);
+    let issuer = Arc::new(issuer);
+    let receiver = Arc::new(PeasReceiver::new());
+    let clients: Vec<Mutex<PeasClient>> = (0..SESSIONS)
+        .map(|i| Mutex::new(PeasClient::new(UserId(i as u32), issuer.public_key(), i as u64)))
+        .collect();
+    let counter = AtomicUsize::new(0);
+    let rates = [100.0, 250.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0];
+    sweep_rates(&rates, POINT_DURATION, THREADS, &|| {
+        let idx = round_robin(&clients, &counter);
+        clients[idx]
+            .lock()
+            .search(&receiver, &issuer, QUERY, |_, _| Vec::new())
+            .is_ok()
+    })
+}
+
+fn tor_reports() -> Vec<xsearch_workload::RunReport> {
+    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
+    let network = Arc::new(TorNetwork::new(12, TOR_RELAY_SERVICE, &mut rng));
+    let circuits: Vec<Mutex<_>> =
+        (0..SESSIONS).map(|_| Mutex::new(network.build_circuit(&mut rng))).collect();
+    let counter = AtomicUsize::new(0);
+    let rates = [25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1_600.0];
+    sweep_rates(&rates, POINT_DURATION, THREADS, &|| {
+        let idx = round_robin(&circuits, &counter);
+        let mut circuit = circuits[idx].lock();
+        network
+            .round_trip(&mut circuit, QUERY.as_bytes(), |req| req.to_vec())
+            .is_ok()
+    })
+}
+
+fn emit(table: &mut Table, system: f64, reports: &[xsearch_workload::RunReport]) {
+    for r in reports {
+        table.row(&[
+            system,
+            r.offered_rate,
+            r.achieved_rate(),
+            r.median_latency_ms(),
+            r.p99_latency_ms(),
+            r.error_rate(),
+            f64::from(u8::from(r.kept_up())),
+        ]);
+    }
+}
+
+fn main() {
+    let dataset = Dataset::with_users(60);
+    let warm = dataset.train_queries();
+
+    let mut table = Table::new(
+        "fig5: latency vs offered throughput (system: 0=xsearch 1=peas 2=tor)",
+        &["system", "offered_rps", "achieved_rps", "median_ms", "p99_ms", "error_rate", "kept_up"],
+    );
+    table.note(&format!(
+        "open loop, {THREADS} generator threads, {SESSIONS} sessions, {:?} per point, k={K}",
+        POINT_DURATION
+    ));
+    table.note("paper shape: xsearch ~25k req/s, peas ~1k, tor ~100 (orders of magnitude apart)");
+
+    eprintln!("running x-search sweep...");
+    let xs = xsearch_reports(&warm);
+    emit(&mut table, 0.0, &xs);
+    eprintln!("running peas sweep...");
+    let peas = peas_reports(&warm);
+    emit(&mut table, 1.0, &peas);
+    eprintln!("running tor sweep...");
+    let tor = tor_reports();
+    emit(&mut table, 2.0, &tor);
+    table.print();
+
+    let capacity = |reports: &[xsearch_workload::RunReport]| {
+        reports
+            .iter()
+            .filter(|r| r.kept_up())
+            .map(|r| r.achieved_rate())
+            .fold(0.0, f64::max)
+    };
+    println!();
+    println!("# summary (max sustained rate, req/s)");
+    println!(
+        "xsearch={:.0} peas={:.0} tor={:.0}",
+        capacity(&xs),
+        capacity(&peas),
+        capacity(&tor)
+    );
+}

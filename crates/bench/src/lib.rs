@@ -1,0 +1,95 @@
+//! Shared setup for the experiment harnesses.
+//!
+//! Every `fig*` binary uses the same dataset methodology as the paper's
+//! §5.1: a query log (synthetic, AOL-calibrated — see DESIGN.md), the 100
+//! most active users, and a ⅔/⅓ train/test split per user. Centralizing
+//! the setup keeps the figures comparable with each other.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use xsearch_engine::corpus::CorpusConfig;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_query_log::record::QueryRecord;
+use xsearch_query_log::split::{top_active_users, train_test_split, TrainTestSplit};
+use xsearch_query_log::synthetic::{generate, SyntheticConfig};
+
+/// The shared RNG seed: every harness is reproducible end to end.
+pub const EXPERIMENT_SEED: u64 = 2017;
+
+/// Number of most-active users the paper evaluates (§5.1).
+pub const TOP_USERS: usize = 100;
+
+/// The standard experiment dataset: log, split, training-query list.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The full synthetic log.
+    pub log: Vec<QueryRecord>,
+    /// Train/test partition of the 100 most active users.
+    pub split: TrainTestSplit,
+}
+
+impl Dataset {
+    /// Generates the standard dataset (≈200 users, top-100 selected).
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::with_users(220)
+    }
+
+    /// Smaller variant for quick runs.
+    #[must_use]
+    pub fn with_users(num_users: usize) -> Self {
+        let log = generate(&SyntheticConfig {
+            num_users,
+            seed: EXPERIMENT_SEED,
+            ..Default::default()
+        });
+        let top = top_active_users(&log, TOP_USERS.min(num_users));
+        let split = train_test_split(&log, &top, 2.0 / 3.0);
+        Dataset { log, split }
+    }
+
+    /// The training queries (adversary knowledge / proxy history warm-up).
+    #[must_use]
+    pub fn train_queries(&self) -> Vec<String> {
+        self.split.train.iter().map(|r| r.query.clone()).collect()
+    }
+
+    /// A deterministic sample of `n` test records.
+    #[must_use]
+    pub fn sample_test(&self, n: usize, salt: u64) -> Vec<QueryRecord> {
+        let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED ^ salt);
+        let mut test = self.split.test.clone();
+        test.shuffle(&mut rng);
+        test.truncate(n);
+        test
+    }
+}
+
+/// The standard simulated engine (40 topics × 250 documents).
+#[must_use]
+pub fn standard_engine() -> SearchEngine {
+    SearchEngine::build(&CorpusConfig { docs_per_topic: 250, seed: EXPERIMENT_SEED, ..Default::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_dataset_has_top_users_split() {
+        let d = Dataset::with_users(30);
+        assert!(!d.split.train.is_empty());
+        assert!(!d.split.test.is_empty());
+        let users: std::collections::HashSet<_> =
+            d.split.test.iter().map(|r| r.user).collect();
+        assert!(users.len() <= TOP_USERS);
+    }
+
+    #[test]
+    fn sample_test_is_deterministic() {
+        let d = Dataset::with_users(30);
+        assert_eq!(d.sample_test(10, 1), d.sample_test(10, 1));
+        assert_ne!(d.sample_test(10, 1), d.sample_test(10, 2));
+    }
+}

@@ -1,0 +1,197 @@
+//! The client-side broker.
+//!
+//! §4.2: "this broker runs within the client's domain, such as a local
+//! daemon process executing alongside the client's Web browser. The
+//! broker is in charge of the SGX attestation step." It pins the expected
+//! enclave measurement, verifies the proxy's quote with the attestation
+//! service, checks that the quote binds exactly the channel keys in use,
+//! and only then tunnels queries.
+
+use crate::error::XSearchError;
+use crate::proxy::XSearchProxy;
+use crate::session::{channel_binding, SecureChannel, Side};
+use crate::wire::{decode_results, WireResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xsearch_crypto::x25519::{PublicKey, StaticSecret};
+use xsearch_sgx_sim::attestation::AttestationService;
+use xsearch_sgx_sim::measurement::Measurement;
+
+/// An attested client session with one proxy.
+pub struct Broker {
+    client_pub: PublicKey,
+    channel: SecureChannel,
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker").field("client_pub", &self.client_pub).finish()
+    }
+}
+
+impl Broker {
+    /// Attests `proxy` and establishes the encrypted tunnel.
+    ///
+    /// `expected` is the pinned measurement of the canonical X-Search
+    /// enclave code; a proxy running anything else is rejected before any
+    /// query bytes leave the client.
+    ///
+    /// # Errors
+    ///
+    /// [`XSearchError::Sgx`] when the quote fails verification or the
+    /// measurement mismatches; [`XSearchError::Protocol`] when the quote
+    /// does not bind the session's channel keys.
+    pub fn attach(
+        proxy: &XSearchProxy,
+        ias: &AttestationService,
+        expected: Measurement,
+        seed: u64,
+    ) -> Result<Broker, XSearchError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = StaticSecret::random(&mut rng);
+        let client_pub = secret.public_key();
+
+        let resp = proxy.handshake(client_pub)?;
+        ias.verify_expecting(&resp.quote, expected)?;
+        let binding = channel_binding(&resp.enclave_pub, &client_pub);
+        if resp.quote.report_data != binding {
+            return Err(XSearchError::Protocol(
+                "quote does not bind the negotiated channel keys".into(),
+            ));
+        }
+
+        let shared = secret.diffie_hellman(&resp.enclave_pub)?;
+        let channel = SecureChannel::establish(Side::Client, &shared, &client_pub, &resp.enclave_pub);
+        Ok(Broker { client_pub, channel })
+    }
+
+    /// Sends one query through the tunnel and returns the filtered
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Tunnel crypto failures and protocol violations; see
+    /// [`XSearchError`].
+    pub fn search(
+        &mut self,
+        proxy: &XSearchProxy,
+        query: &str,
+    ) -> Result<Vec<WireResult>, XSearchError> {
+        let ciphertext = self.channel.seal(b"query", query.as_bytes());
+        let response = proxy.request(self.client_pub.as_bytes(), &ciphertext)?;
+        let plaintext = self.channel.open(b"results", &response)?;
+        decode_results(&plaintext)
+    }
+
+    /// Like [`Broker::search`] but against the proxy's echo mode
+    /// (no engine round trip) — used by the throughput experiments.
+    ///
+    /// # Errors
+    ///
+    /// See [`Broker::search`].
+    pub fn search_echo(
+        &mut self,
+        proxy: &XSearchProxy,
+        query: &str,
+    ) -> Result<Vec<WireResult>, XSearchError> {
+        let ciphertext = self.channel.seal(b"query", query.as_bytes());
+        let response = proxy.request_echo(self.client_pub.as_bytes(), &ciphertext)?;
+        let plaintext = self.channel.open(b"results", &response)?;
+        decode_results(&plaintext)
+    }
+
+    /// The broker's channel public key (the proxy-side session id).
+    #[must_use]
+    pub fn client_pub(&self) -> PublicKey {
+        self.client_pub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::XSearchConfig;
+    use std::sync::Arc;
+    use xsearch_engine::corpus::CorpusConfig;
+    use xsearch_engine::engine::SearchEngine;
+    use xsearch_query_log::topics::TOPICS;
+
+    fn setup(k: usize) -> (XSearchProxy, AttestationService) {
+        let ias = AttestationService::from_seed(5);
+        let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+            docs_per_topic: 40,
+            ..Default::default()
+        }));
+        let proxy = XSearchProxy::launch(
+            XSearchConfig { k, history_capacity: 10_000, ..Default::default() },
+            engine,
+            &ias,
+        );
+        (proxy, ias)
+    }
+
+    #[test]
+    fn attested_search_returns_relevant_results() {
+        let (proxy, ias) = setup(2);
+        proxy.seed_history(["stomach pain doctor", "mortgage rates", "nfl schedule"]);
+        let mut broker = Broker::attach(&proxy, &ias, proxy.expected_measurement(), 1).unwrap();
+        let travel = TOPICS.iter().position(|t| t.name == "travel").unwrap();
+        let query = format!("{} {}", TOPICS[travel].terms[0], TOPICS[travel].terms[1]);
+        let results = broker.search(&proxy, &query).unwrap();
+        assert!(!results.is_empty());
+        // Results must relate to the original query, not only to fakes.
+        let engine = proxy.engine();
+        let direct: std::collections::HashSet<String> =
+            engine.search(&query, 20).into_iter().map(|r| r.title).collect();
+        let overlap = results.iter().filter(|r| direct.contains(&r.title)).count();
+        assert!(overlap > 0, "filtered results should overlap the direct results");
+    }
+
+    #[test]
+    fn attach_rejects_wrong_measurement() {
+        let (proxy, ias) = setup(1);
+        let mut wrong = proxy.expected_measurement();
+        wrong.0[0] ^= 1;
+        let err = Broker::attach(&proxy, &ias, wrong, 1).unwrap_err();
+        assert_eq!(err, XSearchError::Sgx(xsearch_sgx_sim::SgxError::MeasurementMismatch));
+    }
+
+    #[test]
+    fn attach_rejects_foreign_attestation_service() {
+        let (proxy, _) = setup(1);
+        let other_ias = AttestationService::from_seed(999);
+        let err = Broker::attach(&proxy, &other_ias, proxy.expected_measurement(), 1).unwrap_err();
+        assert_eq!(err, XSearchError::Sgx(xsearch_sgx_sim::SgxError::QuoteRejected));
+    }
+
+    #[test]
+    fn consecutive_searches_share_the_session() {
+        let (proxy, ias) = setup(1);
+        proxy.seed_history(["warmup query"]);
+        let mut broker = Broker::attach(&proxy, &ias, proxy.expected_measurement(), 2).unwrap();
+        for q in ["flights paris", "hotel rome", "cruise caribbean"] {
+            let _ = broker.search(&proxy, q).unwrap();
+        }
+    }
+
+    #[test]
+    fn echo_mode_returns_empty_results() {
+        let (proxy, ias) = setup(3);
+        proxy.seed_history(["a", "b", "c", "d"]);
+        let mut broker = Broker::attach(&proxy, &ias, proxy.expected_measurement(), 3).unwrap();
+        let results = broker.search_echo(&proxy, "anything").unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn untrusted_host_sees_only_obfuscated_queries() {
+        // The engine-side fetch receives sub-queries; with a warm history
+        // and k=3 the original is hidden among three real past queries.
+        let (proxy, ias) = setup(3);
+        proxy.seed_history(["decoy one", "decoy two", "decoy three", "decoy four"]);
+        let mut broker = Broker::attach(&proxy, &ias, proxy.expected_measurement(), 4).unwrap();
+        let _ = broker.search(&proxy, "sensitive medical query").unwrap();
+        // Four requests crossed the boundary: connect/send/recv/close.
+        assert_eq!(proxy.boundary().ocalls(), 4);
+    }
+}

@@ -1,0 +1,38 @@
+//! X-Search configuration.
+
+/// Configuration for an X-Search proxy node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XSearchConfig {
+    /// Number of fake queries OR-ed with each original query
+    /// (the paper evaluates k ∈ 0..=7; accuracy is still >80% at k = 2).
+    pub k: usize,
+    /// Sliding-window capacity `x` of the past-query table. The paper
+    /// shows ~1M queries fit the usable EPC; the default keeps a
+    /// substantial window while staying well inside it.
+    pub history_capacity: usize,
+    /// Results requested from the engine per (sub-)query; the paper's
+    /// accuracy experiments consider the first 20 results.
+    pub results_per_query: usize,
+    /// RNG seed for the enclave's sampling (obfuscation positions and
+    /// fake-query choice). Reproducible runs use a fixed seed.
+    pub seed: u64,
+}
+
+impl Default for XSearchConfig {
+    fn default() -> Self {
+        XSearchConfig { k: 3, history_capacity: 1_000_000, results_per_query: 20, seed: 0x5eed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_scale() {
+        let c = XSearchConfig::default();
+        assert!(c.k <= 7);
+        assert_eq!(c.history_capacity, 1_000_000);
+        assert_eq!(c.results_per_query, 20);
+    }
+}

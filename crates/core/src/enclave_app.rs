@@ -1,0 +1,300 @@
+//! The in-enclave application: what runs behind the paper's ecall
+//! interface (§5.3.3: ecalls `init`, `request`; ocalls `sock_connect`,
+//! `send`, `recv`, `close`).
+//!
+//! Everything in [`EnclaveState`] lives in EPC-protected memory: the
+//! enclave's channel identity key, the per-client session keys, and the
+//! table of past queries. Untrusted code only ever sees ciphertext and
+//! the obfuscated queries that are, by construction, safe to reveal.
+
+use crate::config::XSearchConfig;
+use crate::filter::filter_results;
+use crate::history::QueryHistory;
+use crate::obfuscate::{obfuscate, ObfuscatedQuery};
+use crate::redirect::strip_all;
+use crate::session::{channel_binding, SecureChannel, Side};
+use crate::wire::encode_results;
+use crate::error::XSearchError;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use xsearch_crypto::x25519::{PublicKey, StaticSecret};
+use xsearch_engine::engine::SearchResult;
+use xsearch_sgx_sim::boundary::OcallPort;
+use xsearch_sgx_sim::cost::CostModel;
+use xsearch_sgx_sim::epc::EpcGauge;
+
+/// The canonical enclave code region. Its bytes stand in for the measured
+/// binary: brokers expect the measurement of exactly this "code", so a
+/// modified proxy produces a different measurement and fails attestation.
+pub const ENCLAVE_CODE_V1: &[u8] =
+    b"xsearch-enclave-app v1: channel=x25519+hkdf+chacha20poly1305; \
+      obfuscation=algorithm1(history-sampling); filtering=algorithm2(nbCommonWords); \
+      ocalls=sock_connect,send,recv,close";
+
+/// Protected application state.
+pub struct EnclaveState {
+    identity: StaticSecret,
+    identity_pub: PublicKey,
+    history: QueryHistory,
+    config: XSearchConfig,
+    rng: Mutex<StdRng>,
+    // Per-session locks so concurrent clients do not serialize on one
+    // global mutex (the proxy "uses multiple threads", §4.1).
+    sessions: Mutex<HashMap<[u8; 32], Arc<Mutex<SecureChannel>>>>,
+}
+
+impl std::fmt::Debug for EnclaveState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnclaveState")
+            .field("history_len", &self.history.len())
+            .field("k", &self.config.k)
+            .finish()
+    }
+}
+
+impl EnclaveState {
+    /// The `init` ecall: generates the channel identity and sizes the
+    /// history table against the enclave's EPC gauge.
+    #[must_use]
+    pub fn init(config: XSearchConfig, epc: &Arc<EpcGauge>, _cost: &CostModel) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let identity = StaticSecret::random(&mut rng);
+        let identity_pub = identity.public_key();
+        EnclaveState {
+            identity,
+            identity_pub,
+            history: QueryHistory::new(config.history_capacity, epc.clone()),
+            config,
+            rng: Mutex::new(rng),
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The enclave's channel public key (bound into attestation quotes).
+    #[must_use]
+    pub fn identity_pub(&self) -> PublicKey {
+        self.identity_pub
+    }
+
+    /// The past-query table (exposed for memory experiments).
+    #[must_use]
+    pub fn history(&self) -> &QueryHistory {
+        &self.history
+    }
+
+    /// Establishes a session for `client_pub`: DH + per-direction keys.
+    /// Returns the binding hash the quote must carry.
+    ///
+    /// # Errors
+    ///
+    /// [`XSearchError::Crypto`] when the client key is a low-order point.
+    pub fn open_session(&self, client_pub: PublicKey) -> Result<[u8; 32], XSearchError> {
+        let shared = self.identity.diffie_hellman(&client_pub)?;
+        let channel =
+            SecureChannel::establish(Side::Server, &shared, &client_pub, &self.identity_pub);
+        self.sessions
+            .lock()
+            .insert(*client_pub.as_bytes(), Arc::new(Mutex::new(channel)));
+        Ok(channel_binding(&self.identity_pub, &client_pub))
+    }
+
+    /// Seeds the history directly (warm-up for experiments; in production
+    /// the history fills with real traffic).
+    pub fn seed_history(&self, query: &str) {
+        self.history.push(query);
+    }
+
+    /// The `request` ecall: decrypts one query from the session of
+    /// `client_pub`, obfuscates it, fetches results through the ocall
+    /// interface, filters them, and returns the encrypted response.
+    ///
+    /// `fetch` is the untrusted engine transport invoked between the
+    /// `send` and `recv` ocalls: it receives the sub-queries and the
+    /// per-sub-query result count.
+    ///
+    /// # Errors
+    ///
+    /// [`XSearchError::UnknownSession`] for an unestablished client,
+    /// [`XSearchError::Crypto`] for tampered ciphertext,
+    /// [`XSearchError::Protocol`] for a non-UTF-8 query.
+    pub fn request<F>(
+        &self,
+        client_pub: &[u8; 32],
+        ciphertext: &[u8],
+        port: &OcallPort,
+        fetch: F,
+    ) -> Result<Vec<u8>, XSearchError>
+    where
+        F: FnOnce(&[String], usize) -> Vec<SearchResult>,
+    {
+        // Decrypt inside the enclave; only this session is locked.
+        let session = self
+            .sessions
+            .lock()
+            .get(client_pub)
+            .cloned()
+            .ok_or(XSearchError::UnknownSession)?;
+        let mut channel = session.lock();
+        let plaintext = channel.open(b"query", ciphertext)?;
+        let query = String::from_utf8(plaintext)
+            .map_err(|_| XSearchError::Protocol("query is not utf-8".into()))?;
+
+        // Obfuscate (Algorithm 1) and store the query in the history.
+        let obfuscated = {
+            let mut rng = self.rng.lock();
+            obfuscate(&query, &self.history, self.config.k, &mut *rng)
+        };
+
+        // Fetch results via the paper's four-ocall sequence. The payload
+        // crossing the boundary is the obfuscated query — exactly what an
+        // untrusted observer is allowed to see.
+        let results = self.fetch_via_ocalls(&obfuscated, port, fetch);
+
+        // Filter (Algorithm 2) and strip analytics redirections.
+        let fakes: Vec<String> = obfuscated.fakes().iter().map(|s| (*s).to_owned()).collect();
+        let mut kept = filter_results(&query, &fakes, &results);
+        strip_all(&mut kept);
+
+        // Encrypt the response for the broker.
+        Ok(channel.seal(b"results", &encode_results(&kept)))
+    }
+
+    fn fetch_via_ocalls<F>(
+        &self,
+        obfuscated: &ObfuscatedQuery,
+        port: &OcallPort,
+        fetch: F,
+    ) -> Vec<SearchResult>
+    where
+        F: FnOnce(&[String], usize) -> Vec<SearchResult>,
+    {
+        // sock_connect(host, port)
+        port.ocall(b"sock_connect:engine:80", |_| b"sock:0".to_vec());
+        // send(sock, buff, len) — the obfuscated query leaves the enclave.
+        let wire_query = obfuscated.to_or_string();
+        port.ocall(wire_query.as_bytes(), |_| Vec::new());
+        // recv(sock, buff, len) — results come back (untrusted fetch runs
+        // here).
+        let mut results: Option<Vec<SearchResult>> = None;
+        let k_each = self.config.results_per_query;
+        let subqueries = obfuscated.subqueries.clone();
+        port.ocall(b"recv", |_| {
+            let r = fetch(&subqueries, k_each);
+            let bytes = encode_results(&r);
+            results = Some(r);
+            bytes
+        });
+        // close(sock)
+        port.ocall(b"close:sock:0", |_| Vec::new());
+        results.unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsearch_sgx_sim::boundary::BoundaryStats;
+    use xsearch_sgx_sim::epc::EpcGauge;
+
+    fn state(k: usize) -> EnclaveState {
+        let epc = EpcGauge::with_limit(1 << 30);
+        EnclaveState::init(
+            XSearchConfig { k, history_capacity: 100, ..Default::default() },
+            &epc,
+            &CostModel::default(),
+        )
+    }
+
+    fn port() -> OcallPort {
+        OcallPort::new(BoundaryStats::new(), CostModel::default())
+    }
+
+    fn client_channel(state: &EnclaveState, seed: u64) -> ([u8; 32], SecureChannel) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = StaticSecret::random(&mut rng);
+        let client_pub = secret.public_key();
+        state.open_session(client_pub).unwrap();
+        let shared = secret.diffie_hellman(&state.identity_pub()).unwrap();
+        let channel =
+            SecureChannel::establish(Side::Client, &shared, &client_pub, &state.identity_pub());
+        (*client_pub.as_bytes(), channel)
+    }
+
+    #[test]
+    fn request_roundtrips_through_the_enclave() {
+        let state = state(2);
+        for q in ["warm one", "warm two", "warm three"] {
+            state.seed_history(q);
+        }
+        let (client_id, mut channel) = client_channel(&state, 1);
+        let ct = channel.seal(b"query", b"cheap flights");
+        let port = port();
+        let resp_ct = state
+            .request(&client_id, &ct, &port, |subqueries, _k| {
+                assert_eq!(subqueries.len(), 3, "k=2 → 3 sub-queries");
+                Vec::new()
+            })
+            .unwrap();
+        let resp = channel.open(b"results", &resp_ct).unwrap();
+        assert!(resp.is_empty(), "no results from empty engine");
+    }
+
+    #[test]
+    fn unknown_session_is_rejected() {
+        let state = state(1);
+        let port = port();
+        let err = state.request(&[9u8; 32], b"junk", &port, |_, _| Vec::new());
+        assert_eq!(err.unwrap_err(), XSearchError::UnknownSession);
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_rejected() {
+        let state = state(1);
+        let (client_id, mut channel) = client_channel(&state, 2);
+        let mut ct = channel.seal(b"query", b"secret");
+        ct[0] ^= 1;
+        let port = port();
+        let err = state.request(&client_id, &ct, &port, |_, _| Vec::new());
+        assert!(matches!(err.unwrap_err(), XSearchError::Crypto(_)));
+    }
+
+    #[test]
+    fn request_performs_four_ocalls() {
+        let state = state(0);
+        let (client_id, mut channel) = client_channel(&state, 3);
+        let stats = BoundaryStats::new();
+        let port = OcallPort::new(stats.clone(), CostModel::default());
+        let ct = channel.seal(b"query", b"q");
+        state.request(&client_id, &ct, &port, |_, _| Vec::new()).unwrap();
+        assert_eq!(stats.ocalls(), 4, "sock_connect, send, recv, close");
+    }
+
+    #[test]
+    fn query_lands_in_history() {
+        let state = state(1);
+        let (client_id, mut channel) = client_channel(&state, 4);
+        assert_eq!(state.history().len(), 0);
+        let ct = channel.seal(b"query", b"first query");
+        let port = port();
+        state.request(&client_id, &ct, &port, |_, _| Vec::new()).unwrap();
+        assert_eq!(state.history().len(), 1);
+    }
+
+    #[test]
+    fn two_clients_have_independent_sessions() {
+        let state = state(0);
+        let (id_a, mut ch_a) = client_channel(&state, 5);
+        let (id_b, mut ch_b) = client_channel(&state, 6);
+        let port = port();
+        let ct_a = ch_a.seal(b"query", b"from a");
+        let ct_b = ch_b.seal(b"query", b"from b");
+        assert!(state.request(&id_a, &ct_a, &port, |_, _| Vec::new()).is_ok());
+        assert!(state.request(&id_b, &ct_b, &port, |_, _| Vec::new()).is_ok());
+        // Cross-session ciphertext fails.
+        let ct_cross = ch_a.seal(b"query", b"cross");
+        assert!(state.request(&id_b, &ct_cross, &port, |_, _| Vec::new()).is_err());
+    }
+}

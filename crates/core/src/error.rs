@@ -1,0 +1,76 @@
+//! X-Search error type.
+
+use std::error::Error;
+use std::fmt;
+use xsearch_crypto::CryptoError;
+use xsearch_sgx_sim::SgxError;
+
+/// Errors surfaced by the X-Search client/proxy stack.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum XSearchError {
+    /// A cryptographic operation failed (bad tag, weak key, ...).
+    Crypto(CryptoError),
+    /// The enclave/attestation layer failed.
+    Sgx(SgxError),
+    /// A peer sent a structurally invalid protocol message.
+    Protocol(String),
+    /// The session does not exist or expired at the proxy.
+    UnknownSession,
+}
+
+impl fmt::Display for XSearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XSearchError::Crypto(e) => write!(f, "crypto failure: {e}"),
+            XSearchError::Sgx(e) => write!(f, "enclave failure: {e}"),
+            XSearchError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            XSearchError::UnknownSession => write!(f, "unknown session"),
+        }
+    }
+}
+
+impl Error for XSearchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            XSearchError::Crypto(e) => Some(e),
+            XSearchError::Sgx(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for XSearchError {
+    fn from(e: CryptoError) -> Self {
+        XSearchError::Crypto(e)
+    }
+}
+
+impl From<SgxError> for XSearchError {
+    fn from(e: SgxError) -> Self {
+        XSearchError::Sgx(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = XSearchError::Protocol("bad hello".into());
+        assert!(e.to_string().contains("bad hello"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = XSearchError::Crypto(CryptoError::AuthenticationFailed);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XSearchError>();
+    }
+}

@@ -1,0 +1,138 @@
+//! Algorithm 2: results filtering.
+//!
+//! The engine's response to an obfuscated query mixes results for the
+//! original query with results for the fakes. For each result the enclave
+//! scores every sub-query by word overlap with the result's title and
+//! description (`nbCommonWords`) and forwards the result iff the
+//! *original* query attains the maximum score (ties included — the
+//! algorithm's condition is `score[Qu] = max`, so a draw goes to the
+//! user).
+
+use xsearch_engine::engine::SearchResult;
+use xsearch_text::similarity::nb_common_words;
+
+/// Scores one (query, result) pair per Algorithm 2 lines 5–6.
+#[must_use]
+pub fn result_score(query: &str, result: &SearchResult) -> usize {
+    nb_common_words(query, &result.title) + nb_common_words(query, &result.description)
+}
+
+/// Runs Algorithm 2: keeps the results whose best-matching sub-query is
+/// the original one.
+#[must_use]
+pub fn filter_results(
+    original: &str,
+    fakes: &[String],
+    results: &[SearchResult],
+) -> Vec<SearchResult> {
+    results
+        .iter()
+        .filter(|r| {
+            let own = result_score(original, r);
+            let best_fake = fakes.iter().map(|f| result_score(f, r)).max().unwrap_or(0);
+            own >= best_fake
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use xsearch_engine::document::DocId;
+
+    fn result(id: u32, title: &str, desc: &str) -> SearchResult {
+        SearchResult {
+            doc: DocId(id),
+            url: format!("http://example.com/{id}"),
+            title: title.to_owned(),
+            description: desc.to_owned(),
+            score: 1.0,
+        }
+    }
+
+    #[test]
+    fn keeps_results_matching_original() {
+        let results = vec![
+            result(0, "cheap flights to paris", "book paris flights today"),
+            result(1, "diabetes symptoms guide", "common diabetes symptoms explained"),
+        ];
+        let kept = filter_results(
+            "cheap paris flights",
+            &["diabetes symptoms".to_owned()],
+            &results,
+        );
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].doc, DocId(0));
+    }
+
+    #[test]
+    fn drops_results_matching_fakes_better() {
+        let results = vec![result(0, "diabetes symptoms", "diabetes care")];
+        let kept = filter_results("paris flights", &["diabetes symptoms".to_owned()], &results);
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn ties_go_to_the_user() {
+        // Result overlaps both queries equally (scores tie) → forwarded.
+        let results = vec![result(0, "travel guide", "general travel advice")];
+        let kept = filter_results("travel paris", &["travel rome".to_owned()], &results);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn no_fakes_keeps_everything() {
+        let results = vec![
+            result(0, "anything", "at all"),
+            result(1, "even this", "unrelated"),
+        ];
+        let kept = filter_results("some query", &[], &results);
+        assert_eq!(kept.len(), 2, "k=0 means no filtering is possible");
+    }
+
+    #[test]
+    fn empty_results_stay_empty() {
+        assert!(filter_results("q", &["f".to_owned()], &[]).is_empty());
+    }
+
+    #[test]
+    fn score_counts_title_and_description_separately() {
+        let r = result(0, "paris hotel", "paris hotel booking");
+        // "paris" and "hotel" appear in both fields: 2 + 2.
+        assert_eq!(result_score("paris hotel", &r), 4);
+    }
+
+    #[test]
+    fn scoring_is_word_level_not_substring() {
+        let r = result(0, "parisian nights", "parisian cafe");
+        assert_eq!(result_score("paris", &r), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn filtered_is_subset(
+            original in "[a-z]{2,8} [a-z]{2,8}",
+            fake in "[a-z]{2,8} [a-z]{2,8}",
+            titles in proptest::collection::vec("[a-z]{2,8}( [a-z]{2,8}){0,3}", 0..10),
+        ) {
+            let results: Vec<SearchResult> = titles
+                .iter()
+                .enumerate()
+                .map(|(i, t)| result(i as u32, t, ""))
+                .collect();
+            let kept = filter_results(&original, std::slice::from_ref(&fake), &results);
+            prop_assert!(kept.len() <= results.len());
+            // Everything kept satisfies the score rule.
+            for r in &kept {
+                prop_assert!(result_score(&original, r) >= result_score(&fake, r));
+            }
+            // Everything dropped violates it.
+            let kept_ids: std::collections::HashSet<_> = kept.iter().map(|r| r.doc).collect();
+            for r in results.iter().filter(|r| !kept_ids.contains(&r.doc)) {
+                prop_assert!(result_score(&original, r) < result_score(&fake, r));
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The in-enclave table of past queries.
+//!
+//! The proxy keeps the last `x` queries from *all* users, with no
+//! association to who sent them (§4.1: "the X-Search proxy node does not
+//! maintain individual profile structures ... it only updates a table
+//! containing the last x past queries"). The table lives in EPC-protected
+//! memory, so its size is byte-accounted against the enclave's
+//! [`EpcGauge`] — that accounting *is* the Fig 6 measurement.
+
+use parking_lot::RwLock;
+use rand::Rng;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use xsearch_sgx_sim::cost::CostModel;
+use xsearch_sgx_sim::epc::EpcGauge;
+
+/// Heap bytes attributed to one stored query: the string bytes plus the
+/// container bookkeeping (`String` header in the deque slot).
+fn entry_bytes(query: &str) -> usize {
+    query.len() + std::mem::size_of::<String>()
+}
+
+/// A bounded sliding window of past queries, thread-safe and
+/// EPC-accounted.
+///
+/// # Example
+///
+/// ```
+/// use xsearch_core::history::QueryHistory;
+/// use xsearch_sgx_sim::epc::EpcGauge;
+/// use rand::SeedableRng;
+///
+/// let history = QueryHistory::new(3, EpcGauge::new());
+/// for q in ["a", "b", "c", "d"] {
+///     history.push(q);
+/// }
+/// assert_eq!(history.len(), 3); // "a" was evicted
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// assert!(history.sample(&mut rng).is_some());
+/// ```
+#[derive(Debug)]
+pub struct QueryHistory {
+    inner: RwLock<VecDeque<String>>,
+    capacity: usize,
+    epc: Arc<EpcGauge>,
+    cost: CostModel,
+}
+
+impl QueryHistory {
+    /// Creates an empty history with window size `capacity`, charging its
+    /// memory to `epc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, epc: Arc<EpcGauge>) -> Self {
+        assert!(capacity > 0, "history window must be positive");
+        QueryHistory {
+            inner: RwLock::new(VecDeque::new()),
+            capacity,
+            epc,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Appends a query, evicting the oldest when the window is full
+    /// (Algorithm 1 line 9: `H ← Q`).
+    pub fn push(&self, query: &str) {
+        let mut inner = self.inner.write();
+        if inner.len() == self.capacity {
+            if let Some(evicted) = inner.pop_front() {
+                self.epc.release(entry_bytes(&evicted));
+            }
+        }
+        self.epc.charge(entry_bytes(query), &self.cost);
+        inner.push_back(query.to_owned());
+    }
+
+    /// Samples one past query uniformly (Algorithm 1 line 7:
+    /// `H[random(m)]`), `None` when the table is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<String> {
+        let inner = self.inner.read();
+        if inner.is_empty() {
+            return None;
+        }
+        Some(inner[rng.gen_range(0..inner.len())].clone())
+    }
+
+    /// Samples `k` past queries with replacement; empty if the table is.
+    pub fn sample_many<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<String> {
+        let inner = self.inner.read();
+        if inner.is_empty() {
+            return Vec::new();
+        }
+        (0..k).map(|_| inner[rng.gen_range(0..inner.len())].clone()).collect()
+    }
+
+    /// Number of stored queries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the table is empty (cold start).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// The configured window size.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently attributed to this table (string bytes plus
+    /// per-entry header), i.e. the Fig 6 y-axis.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let inner = self.inner.read();
+        inner.iter().map(|q| entry_bytes(q)).sum()
+    }
+
+    /// The EPC gauge this table charges.
+    #[must_use]
+    pub fn epc(&self) -> &Arc<EpcGauge> {
+        &self.epc
+    }
+
+    /// An ordered snapshot (oldest first) — used by sealed persistence;
+    /// only callable from in-enclave code in the real system.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<String> {
+        self.inner.read().iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn history(cap: usize) -> QueryHistory {
+        QueryHistory::new(cap, EpcGauge::with_limit(1 << 30))
+    }
+
+    #[test]
+    fn window_never_exceeds_capacity() {
+        let h = history(5);
+        for i in 0..20 {
+            h.push(&format!("query {i}"));
+            assert!(h.len() <= 5);
+        }
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        let h = history(2);
+        h.push("first");
+        h.push("second");
+        h.push("third");
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let s = h.sample(&mut rng).unwrap();
+            assert_ne!(s, "first", "oldest entry must be gone");
+        }
+    }
+
+    #[test]
+    fn sample_from_empty_is_none() {
+        let h = history(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(h.sample(&mut rng), None);
+        assert!(h.sample_many(3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_many_draws_with_replacement() {
+        let h = history(10);
+        h.push("only");
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(h.sample_many(4, &mut rng), vec!["only"; 4]);
+    }
+
+    #[test]
+    fn epc_accounting_tracks_usage() {
+        let gauge = EpcGauge::with_limit(1 << 30);
+        let h = QueryHistory::new(100, gauge.clone());
+        assert_eq!(gauge.used(), 0);
+        h.push("hello world");
+        let one = gauge.used();
+        assert_eq!(one, 11 + std::mem::size_of::<String>());
+        h.push("second query");
+        assert!(gauge.used() > one);
+    }
+
+    #[test]
+    fn eviction_releases_epc() {
+        let gauge = EpcGauge::with_limit(1 << 30);
+        let h = QueryHistory::new(1, gauge.clone());
+        h.push("aaaa");
+        let after_first = gauge.used();
+        h.push("bbbb"); // evicts "aaaa" of equal size
+        assert_eq!(gauge.used(), after_first);
+    }
+
+    #[test]
+    fn memory_bytes_matches_gauge() {
+        let gauge = EpcGauge::with_limit(1 << 30);
+        let h = QueryHistory::new(50, gauge.clone());
+        for i in 0..30 {
+            h.push(&format!("query number {i}"));
+        }
+        assert_eq!(h.memory_bytes(), gauge.used());
+    }
+
+    #[test]
+    #[should_panic(expected = "history window must be positive")]
+    fn zero_capacity_panics() {
+        let _ = history(0);
+    }
+
+    #[test]
+    fn concurrent_pushes_are_safe() {
+        let h = Arc::new(history(1000));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        h.push(&format!("t{t} q{i}"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.len(), 1000);
+    }
+
+    proptest! {
+        #[test]
+        fn accounting_never_drifts(queries in proptest::collection::vec("[a-z ]{1,30}", 1..60), cap in 1usize..20) {
+            let gauge = EpcGauge::with_limit(1 << 30);
+            let h = QueryHistory::new(cap, gauge.clone());
+            for q in &queries {
+                h.push(q);
+            }
+            prop_assert_eq!(h.memory_bytes(), gauge.used());
+            prop_assert!(h.len() <= cap);
+        }
+    }
+}

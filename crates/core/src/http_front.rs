@@ -1,0 +1,175 @@
+//! The broker's local HTTP front-end.
+//!
+//! §4.2: "When the user issues a Web search query, her Web client first
+//! connects to the local broker" — and footnote 3 notes X-Search works
+//! with stock HTTP clients like wget or curl. This module is that glue: a
+//! plain `GET /search?q=...` from the browser is translated into one
+//! encrypted tunnel exchange, and the filtered results come back as an
+//! HTML-free plain-text page (one result per line, like the wire format).
+
+use crate::broker::Broker;
+use crate::error::XSearchError;
+use crate::proxy::XSearchProxy;
+use crate::wire::WireResult;
+use xsearch_net_sim::http::{Request, Response};
+
+/// Serves one browser HTTP request through the attested tunnel.
+///
+/// Supported routes:
+/// * `GET /search?q=<query>` — private search; 200 with one result per
+///   line (`url<TAB>title<TAB>description`);
+/// * `GET /health` — 200 when the tunnel is established;
+/// * anything else — 404.
+///
+/// Errors from the tunnel map onto 502 (the proxy misbehaved) so the
+/// browser never hangs.
+pub fn serve(broker: &mut Broker, proxy: &XSearchProxy, raw_request: &[u8]) -> Vec<u8> {
+    let request = match Request::decode(raw_request) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::status(400, "Bad Request")
+                .with_header("content-type", "text/plain")
+                .encode_with_body(format!("malformed request: {e}\n").into_bytes());
+        }
+    };
+    route(broker, proxy, &request).encode()
+}
+
+fn route(broker: &mut Broker, proxy: &XSearchProxy, request: &Request) -> Response {
+    let path = request.target.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/health") => Response::ok(b"ok\n".to_vec()),
+        ("GET", "/search") => match request.query_param("q") {
+            Some(query) if !query.trim().is_empty() => match broker.search(proxy, &query) {
+                Ok(results) => {
+                    Response::ok(render(&results)).with_header("content-type", "text/plain")
+                }
+                Err(e) => proxy_error(&e),
+            },
+            _ => Response::status(400, "Bad Request"),
+        },
+        ("GET", _) => Response::status(404, "Not Found"),
+        _ => Response::status(405, "Method Not Allowed"),
+    }
+}
+
+fn render(results: &[WireResult]) -> Vec<u8> {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&r.url);
+        out.push('\t');
+        out.push_str(&r.title);
+        out.push('\t');
+        out.push_str(&r.description);
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+fn proxy_error(e: &XSearchError) -> Response {
+    Response::status(502, "Bad Gateway")
+        .with_header("content-type", "text/plain")
+        .with_body(format!("tunnel failure: {e}\n").into_bytes())
+}
+
+/// Small extension trait keeping `Response` ergonomic here without
+/// widening the net-sim API.
+trait WithBody {
+    fn with_body(self, body: Vec<u8>) -> Self;
+    fn encode_with_body(self, body: Vec<u8>) -> Vec<u8>;
+}
+
+impl WithBody for Response {
+    fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    fn encode_with_body(self, body: Vec<u8>) -> Vec<u8> {
+        self.with_body(body).encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::XSearchConfig;
+    use std::sync::Arc;
+    use xsearch_engine::corpus::CorpusConfig;
+    use xsearch_engine::engine::SearchEngine;
+    use xsearch_net_sim::http::percent_encode;
+    use xsearch_sgx_sim::attestation::AttestationService;
+
+    fn setup() -> (XSearchProxy, Broker) {
+        let ias = AttestationService::from_seed(8);
+        let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+            docs_per_topic: 30,
+            ..Default::default()
+        }));
+        let proxy = XSearchProxy::launch(
+            XSearchConfig { k: 2, ..Default::default() },
+            engine,
+            &ias,
+        );
+        proxy.seed_history(["alpha beta", "gamma delta", "epsilon zeta"]);
+        let broker = Broker::attach(&proxy, &ias, proxy.expected_measurement(), 1).unwrap();
+        (proxy, broker)
+    }
+
+    fn get(broker: &mut Broker, proxy: &XSearchProxy, target: &str) -> Response {
+        let raw = Request::get(target).encode();
+        Response::decode(&serve(broker, proxy, &raw)).unwrap()
+    }
+
+    #[test]
+    fn search_route_returns_results() {
+        let (proxy, mut broker) = setup();
+        let target = format!("/search?q={}", percent_encode("flights hotel vacation"));
+        let resp = get(&mut broker, &proxy, &target);
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(!body.is_empty());
+        assert!(body.lines().all(|l| l.split('\t').count() == 3));
+    }
+
+    #[test]
+    fn health_route_answers() {
+        let (proxy, mut broker) = setup();
+        assert_eq!(get(&mut broker, &proxy, "/health").status, 200);
+    }
+
+    #[test]
+    fn missing_query_is_bad_request() {
+        let (proxy, mut broker) = setup();
+        assert_eq!(get(&mut broker, &proxy, "/search").status, 400);
+        assert_eq!(get(&mut broker, &proxy, "/search?q=").status, 400);
+    }
+
+    #[test]
+    fn unknown_route_is_not_found() {
+        let (proxy, mut broker) = setup();
+        assert_eq!(get(&mut broker, &proxy, "/favicon.ico").status, 404);
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let (proxy, mut broker) = setup();
+        let raw = Request::post("/search?q=x", Vec::new()).encode();
+        let resp = Response::decode(&serve(&mut broker, &proxy, &raw)).unwrap();
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn malformed_bytes_get_400_not_panic() {
+        let (proxy, mut broker) = setup();
+        let resp = Response::decode(&serve(&mut broker, &proxy, b"\xff\xfe garbage")).unwrap();
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn plus_encoded_spaces_decode() {
+        let (proxy, mut broker) = setup();
+        let resp = get(&mut broker, &proxy, "/search?q=cheap+flights");
+        assert_eq!(resp.status, 200);
+    }
+}

@@ -1,0 +1,201 @@
+//! Algorithm 1: generation of an obfuscated query.
+//!
+//! The original query is placed at a uniformly random position among `k`
+//! fake queries drawn from the past-query table, all joined by logical OR.
+//! Using *real past queries* as fakes is the paper's key
+//! indistinguishability idea: every sub-query maps onto some genuine user
+//! profile, so a re-identification adversary cannot single out the fake
+//! ones the way it can with PEAS's synthetic co-occurrence queries.
+
+use crate::history::QueryHistory;
+use rand::Rng;
+
+/// An obfuscated query: `k + 1` sub-queries with the original at a known
+/// (enclave-private) position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObfuscatedQuery {
+    /// The sub-queries in the order they are sent to the engine.
+    pub subqueries: Vec<String>,
+    /// Index of the original query within `subqueries` — known only
+    /// inside the enclave; never serialized toward the engine.
+    pub original_index: usize,
+}
+
+impl ObfuscatedQuery {
+    /// The original query text.
+    #[must_use]
+    pub fn original(&self) -> &str {
+        &self.subqueries[self.original_index]
+    }
+
+    /// The fake sub-queries, in send order.
+    #[must_use]
+    pub fn fakes(&self) -> Vec<&str> {
+        self.subqueries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.original_index)
+            .map(|(_, q)| q.as_str())
+            .collect()
+    }
+
+    /// The single OR-joined query string the engine would receive
+    /// (`Qp0 OR ... OR Qu OR ... OR Qpk`).
+    #[must_use]
+    pub fn to_or_string(&self) -> String {
+        self.subqueries.join(" OR ")
+    }
+
+    /// Number of fake queries (k).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.subqueries.len() - 1
+    }
+}
+
+/// Runs Algorithm 1: aggregates `query` with `k` random past queries from
+/// `history` at a random position, then stores `query` in the history
+/// (line 9).
+///
+/// Cold start: with an empty history there is nothing plausible to hide
+/// behind, so the query is sent alone (k effectively 0) — the paper's
+/// table is assumed warm; we make the degradation explicit.
+pub fn obfuscate<R: Rng + ?Sized>(
+    query: &str,
+    history: &QueryHistory,
+    k: usize,
+    rng: &mut R,
+) -> ObfuscatedQuery {
+    let fakes = history.sample_many(k, rng);
+    history.push(query);
+    if fakes.is_empty() {
+        return ObfuscatedQuery { subqueries: vec![query.to_owned()], original_index: 0 };
+    }
+    let original_index = rng.gen_range(0..=fakes.len());
+    let mut subqueries = Vec::with_capacity(fakes.len() + 1);
+    let mut fake_iter = fakes.into_iter();
+    for position in 0.. {
+        if position == original_index {
+            subqueries.push(query.to_owned());
+        } else {
+            match fake_iter.next() {
+                Some(f) => subqueries.push(f),
+                None => break,
+            }
+        }
+        if subqueries.len() == k + 1 {
+            break;
+        }
+    }
+    ObfuscatedQuery { subqueries, original_index }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use xsearch_sgx_sim::epc::EpcGauge;
+
+    fn warm_history(n: usize) -> Arc<QueryHistory> {
+        let h = Arc::new(QueryHistory::new(10_000, EpcGauge::with_limit(1 << 30)));
+        for i in 0..n {
+            h.push(&format!("past query {i}"));
+        }
+        h
+    }
+
+    #[test]
+    fn obfuscated_query_has_k_plus_one_subqueries() {
+        let h = warm_history(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in 0..=7 {
+            let o = obfuscate("the real one", &h, k, &mut rng);
+            assert_eq!(o.subqueries.len(), k + 1, "k={k}");
+            assert_eq!(o.k(), k);
+            assert_eq!(o.original(), "the real one");
+        }
+    }
+
+    #[test]
+    fn fakes_come_from_history() {
+        let h = warm_history(20);
+        let mut rng = StdRng::seed_from_u64(2);
+        let o = obfuscate("real", &h, 5, &mut rng);
+        for f in o.fakes() {
+            assert!(f.starts_with("past query") || f == "real",
+                "fake {f:?} not from history");
+        }
+    }
+
+    #[test]
+    fn original_position_is_uniformish() {
+        let h = warm_history(100);
+        let mut rng = StdRng::seed_from_u64(3);
+        let k = 3;
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            let o = obfuscate("real", &h, k, &mut rng);
+            counts[o.original_index] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "position {i} count {c}");
+        }
+    }
+
+    #[test]
+    fn query_is_stored_in_history() {
+        let h = warm_history(0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = obfuscate("first ever", &h, 3, &mut rng);
+        assert_eq!(h.len(), 1);
+        // The next query can now use it as a fake.
+        let o = obfuscate("second", &h, 1, &mut rng);
+        assert_eq!(o.subqueries.len(), 2);
+        assert!(o.fakes().contains(&"first ever"));
+    }
+
+    #[test]
+    fn cold_start_sends_query_alone() {
+        let h = warm_history(0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let o = obfuscate("lonely", &h, 5, &mut rng);
+        assert_eq!(o.subqueries, vec!["lonely"]);
+        assert_eq!(o.original_index, 0);
+    }
+
+    #[test]
+    fn or_string_joins_in_order() {
+        let h = warm_history(10);
+        let mut rng = StdRng::seed_from_u64(6);
+        let o = obfuscate("real", &h, 2, &mut rng);
+        let s = o.to_or_string();
+        assert_eq!(s.matches(" OR ").count(), 2);
+        assert!(s.contains("real"));
+    }
+
+    #[test]
+    fn k_zero_with_warm_history_is_just_the_query() {
+        let h = warm_history(10);
+        let mut rng = StdRng::seed_from_u64(7);
+        let o = obfuscate("real", &h, 0, &mut rng);
+        assert_eq!(o.subqueries, vec!["real"]);
+    }
+
+    proptest! {
+        #[test]
+        fn invariants_hold(k in 0usize..8, n_hist in 0usize..30, seed: u64) {
+            let h = warm_history(n_hist);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let o = obfuscate("needle", &h, k, &mut rng);
+            // Exactly one sub-query at original_index equals the original.
+            prop_assert_eq!(o.original(), "needle");
+            let expected_len = if n_hist == 0 { 1 } else { k + 1 };
+            prop_assert_eq!(o.subqueries.len(), expected_len);
+            prop_assert!(o.original_index < o.subqueries.len());
+            prop_assert_eq!(o.fakes().len(), expected_len - 1);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Sealed history persistence.
+//!
+//! The paper's proxy loses its past-query table on restart (it lives only
+//! in enclave memory). SGX sealing makes a privacy-preserving restart
+//! possible: the enclave serializes the table and seals it to its own
+//! measurement, so only the *same proxy code* on the *same platform* can
+//! restore it — the operator gets a blob it cannot read. This module
+//! implements that extension (listed as such in DESIGN.md: the paper
+//! mentions sealing as an SGX capability in §2.3 but does not use it).
+
+use crate::history::QueryHistory;
+use rand::RngCore;
+use xsearch_sgx_sim::error::SgxError;
+use xsearch_sgx_sim::measurement::Measurement;
+use xsearch_sgx_sim::sealed::{SealedBlob, SealingPlatform};
+
+/// Serializes the history's queries (newest last) into a compact,
+/// length-prefixed byte form.
+fn serialize(queries: &[String]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(queries.len() as u64).to_le_bytes());
+    for q in queries {
+        out.extend_from_slice(&(q.len() as u32).to_le_bytes());
+        out.extend_from_slice(q.as_bytes());
+    }
+    out
+}
+
+fn deserialize(bytes: &[u8]) -> Result<Vec<String>, SgxError> {
+    let mut queries = Vec::new();
+    if bytes.len() < 8 {
+        return Err(SgxError::UnsealFailed);
+    }
+    let count = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
+    let mut offset = 8;
+    for _ in 0..count {
+        if bytes.len() < offset + 4 {
+            return Err(SgxError::UnsealFailed);
+        }
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        offset += 4;
+        if bytes.len() < offset + len {
+            return Err(SgxError::UnsealFailed);
+        }
+        let q = std::str::from_utf8(&bytes[offset..offset + len])
+            .map_err(|_| SgxError::UnsealFailed)?;
+        queries.push(q.to_owned());
+        offset += len;
+    }
+    Ok(queries)
+}
+
+/// Seals the history's contents to (platform, measurement).
+///
+/// The returned blob is safe to hand to untrusted storage: it reveals
+/// only its length.
+pub fn seal_history<R: RngCore>(
+    history: &QueryHistory,
+    platform: &SealingPlatform,
+    measurement: &Measurement,
+    rng: &mut R,
+) -> SealedBlob {
+    // Drain a snapshot oldest-first so restore preserves window order.
+    let snapshot = snapshot_in_order(history);
+    platform.seal(measurement, &serialize(&snapshot), rng)
+}
+
+/// Restores a sealed snapshot into `history` (pushed oldest-first, so the
+/// sliding window keeps the most recent queries if the snapshot exceeds
+/// capacity).
+///
+/// # Errors
+///
+/// [`SgxError::UnsealFailed`] when the blob was sealed by different code
+/// or a different platform, or was tampered with.
+pub fn restore_history(
+    history: &QueryHistory,
+    platform: &SealingPlatform,
+    measurement: &Measurement,
+    blob: &SealedBlob,
+) -> Result<usize, SgxError> {
+    let bytes = platform.unseal(measurement, blob)?;
+    let queries = deserialize(&bytes)?;
+    let n = queries.len();
+    for q in &queries {
+        history.push(q);
+    }
+    Ok(n)
+}
+
+/// Ordered snapshot of the history (oldest first) via repeated sampling
+/// would be probabilistic; instead expose an internal iteration.
+fn snapshot_in_order(history: &QueryHistory) -> Vec<String> {
+    history.snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xsearch_sgx_sim::epc::EpcGauge;
+    use xsearch_sgx_sim::measurement::MeasurementBuilder;
+
+    fn measurement(tag: &[u8]) -> Measurement {
+        let mut b = MeasurementBuilder::new();
+        b.add_region(tag);
+        b.finalize()
+    }
+
+    fn filled_history(queries: &[&str]) -> QueryHistory {
+        let h = QueryHistory::new(1000, EpcGauge::new());
+        for q in queries {
+            h.push(q);
+        }
+        h
+    }
+
+    #[test]
+    fn seal_restore_roundtrip_preserves_window() {
+        let platform = SealingPlatform::from_seed(1);
+        let m = measurement(b"proxy-v1");
+        let mut rng = StdRng::seed_from_u64(2);
+        let original = filled_history(&["first", "second", "third"]);
+        let blob = seal_history(&original, &platform, &m, &mut rng);
+
+        let restored = QueryHistory::new(1000, EpcGauge::new());
+        let n = restore_history(&restored, &platform, &m, &blob).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(restored.snapshot(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn different_code_cannot_restore() {
+        let platform = SealingPlatform::from_seed(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let history = filled_history(&["secret query"]);
+        let blob = seal_history(&history, &platform, &measurement(b"proxy-v1"), &mut rng);
+        let restored = QueryHistory::new(10, EpcGauge::new());
+        assert_eq!(
+            restore_history(&restored, &platform, &measurement(b"proxy-v2"), &blob),
+            Err(SgxError::UnsealFailed)
+        );
+        assert_eq!(restored.len(), 0);
+    }
+
+    #[test]
+    fn oversized_snapshot_keeps_most_recent() {
+        let platform = SealingPlatform::from_seed(1);
+        let m = measurement(b"proxy");
+        let mut rng = StdRng::seed_from_u64(4);
+        let big = filled_history(&["q1", "q2", "q3", "q4", "q5"]);
+        let blob = seal_history(&big, &platform, &m, &mut rng);
+
+        let small = QueryHistory::new(2, EpcGauge::new());
+        restore_history(&small, &platform, &m, &blob).unwrap();
+        assert_eq!(small.snapshot(), vec!["q4", "q5"], "window keeps the newest");
+    }
+
+    #[test]
+    fn blob_reveals_nothing_but_length() {
+        let platform = SealingPlatform::from_seed(1);
+        let m = measurement(b"proxy");
+        let mut rng = StdRng::seed_from_u64(5);
+        let history = filled_history(&["very identifying query"]);
+        let blob = seal_history(&history, &platform, &m, &mut rng);
+        let debug = format!("{blob:?}");
+        assert!(!debug.contains("identifying"), "sealed blob must be opaque");
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert_eq!(deserialize(&[1, 2, 3]), Err(SgxError::UnsealFailed));
+        // Count says 1 but no payload follows.
+        let mut bytes = 1u64.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&100u32.to_le_bytes());
+        assert_eq!(deserialize(&bytes), Err(SgxError::UnsealFailed));
+    }
+}

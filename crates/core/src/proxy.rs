@@ -1,0 +1,238 @@
+//! The untrusted proxy host.
+//!
+//! Runs on a public cloud node: it owns the enclave, relays ciphertext
+//! between brokers and the enclave's ecalls, and provides the untrusted
+//! side of the ocall interface (the socket to the search engine). It
+//! never sees a plaintext original query — only the obfuscated form the
+//! enclave deliberately emits toward the engine.
+
+use crate::config::XSearchConfig;
+use crate::enclave_app::{EnclaveState, ENCLAVE_CODE_V1};
+use crate::error::XSearchError;
+use std::sync::Arc;
+use xsearch_crypto::x25519::PublicKey;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_sgx_sim::attestation::{AttestationService, Quote};
+use xsearch_sgx_sim::boundary::BoundaryStats;
+use xsearch_sgx_sim::enclave::{Enclave, EnclaveBuilder};
+use xsearch_sgx_sim::epc::EpcGauge;
+use xsearch_sgx_sim::measurement::Measurement;
+
+/// The handshake response a broker receives.
+#[derive(Debug, Clone)]
+pub struct HandshakeResponse {
+    /// The enclave's channel public key.
+    pub enclave_pub: PublicKey,
+    /// Attestation quote binding the key pair to the enclave code.
+    pub quote: Quote,
+}
+
+/// An X-Search proxy node: enclave + engine uplink.
+pub struct XSearchProxy {
+    enclave: Enclave<EnclaveState>,
+    engine: Arc<SearchEngine>,
+}
+
+impl std::fmt::Debug for XSearchProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("XSearchProxy")
+            .field("measurement", &self.enclave.measurement())
+            .finish()
+    }
+}
+
+impl XSearchProxy {
+    /// Launches the proxy: builds the enclave from the canonical code,
+    /// provisions it for attestation, and runs the `init` ecall.
+    #[must_use]
+    pub fn launch(
+        config: XSearchConfig,
+        engine: Arc<SearchEngine>,
+        ias: &AttestationService,
+    ) -> Self {
+        let enclave = EnclaveBuilder::new("xsearch-proxy")
+            .with_code(ENCLAVE_CODE_V1)
+            .with_provisioning_key(ias.provisioning_key())
+            .build_with(|epc, cost| EnclaveState::init(config, epc, cost));
+        XSearchProxy { enclave, engine }
+    }
+
+    /// The measurement a correctly built proxy enclave must present —
+    /// what brokers pin.
+    #[must_use]
+    pub fn expected_measurement(&self) -> Measurement {
+        self.enclave.measurement()
+    }
+
+    /// Handshake: opens a session for `client_pub` inside the enclave and
+    /// returns the enclave key plus a quote over the channel binding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enclave/crypto failures (e.g. a low-order client key).
+    pub fn handshake(&self, client_pub: PublicKey) -> Result<HandshakeResponse, XSearchError> {
+        let binding = self.enclave.ecall_shared("handshake", client_pub.as_bytes(), |state, _, _| {
+            match state.open_session(client_pub) {
+                Ok(binding) => binding.to_vec(),
+                Err(_) => Vec::new(),
+            }
+        })?;
+        if binding.is_empty() {
+            return Err(XSearchError::Crypto(
+                xsearch_crypto::CryptoError::WeakPublicKey,
+            ));
+        }
+        let quote = self.enclave.quote(&binding)?;
+        let enclave_pub = self
+            .enclave
+            .ecall_shared("identity", &[], |state, _, _| state.identity_pub().as_bytes().to_vec())?;
+        let enclave_pub: [u8; 32] = enclave_pub
+            .try_into()
+            .map_err(|_| XSearchError::Protocol("bad identity key length".into()))?;
+        Ok(HandshakeResponse { enclave_pub: PublicKey(enclave_pub), quote })
+    }
+
+    /// Serves one encrypted request end to end (the `request` ecall with
+    /// a live engine behind the ocalls).
+    ///
+    /// # Errors
+    ///
+    /// See [`EnclaveState::request`].
+    pub fn request(&self, client_pub: &[u8; 32], ciphertext: &[u8]) -> Result<Vec<u8>, XSearchError> {
+        let engine = self.engine.clone();
+        self.enclave_request(client_pub, ciphertext, move |subqueries, k_each| {
+            engine.search_merged(subqueries, k_each)
+        })
+    }
+
+    /// Serves one encrypted request without contacting the engine — the
+    /// paper's Fig 5 saturation setup ("configured to reply immediately
+    /// to requests"): full decryption, obfuscation, filtering and
+    /// re-encryption work, no engine round trip.
+    ///
+    /// # Errors
+    ///
+    /// See [`EnclaveState::request`].
+    pub fn request_echo(&self, client_pub: &[u8; 32], ciphertext: &[u8]) -> Result<Vec<u8>, XSearchError> {
+        self.enclave_request(client_pub, ciphertext, |_, _| Vec::new())
+    }
+
+    fn enclave_request<F>(
+        &self,
+        client_pub: &[u8; 32],
+        ciphertext: &[u8],
+        fetch: F,
+    ) -> Result<Vec<u8>, XSearchError>
+    where
+        F: FnOnce(&[String], usize) -> Vec<xsearch_engine::engine::SearchResult>,
+    {
+        let mut outcome: Result<Vec<u8>, XSearchError> = Err(XSearchError::UnknownSession);
+        let _ = self.enclave.ecall_shared("request", ciphertext, |state, input, port| {
+            outcome = state.request(client_pub, input, port, fetch);
+            outcome.clone().unwrap_or_default()
+        })?;
+        outcome
+    }
+
+    /// Pre-populates the past-query table (experiment warm-up).
+    pub fn seed_history<'a, I: IntoIterator<Item = &'a str>>(&self, queries: I) {
+        for q in queries {
+            let _ = self.enclave.ecall_shared("seed", q.as_bytes(), |state, input, _| {
+                state.seed_history(std::str::from_utf8(input).unwrap_or_default());
+                Vec::new()
+            });
+        }
+    }
+
+    /// Current size of the in-enclave history.
+    #[must_use]
+    pub fn history_len(&self) -> usize {
+        let out = self
+            .enclave
+            .ecall_shared("history_len", &[], |state, _, _| {
+                (state.history().len() as u64).to_le_bytes().to_vec()
+            })
+            .expect("ecall cannot fail in this model");
+        u64::from_le_bytes(out.try_into().expect("8 bytes")) as usize
+    }
+
+    /// History memory in bytes (the Fig 6 measurement).
+    #[must_use]
+    pub fn history_memory_bytes(&self) -> usize {
+        let out = self
+            .enclave
+            .ecall_shared("history_mem", &[], |state, _, _| {
+                (state.history().memory_bytes() as u64).to_le_bytes().to_vec()
+            })
+            .expect("ecall cannot fail in this model");
+        u64::from_le_bytes(out.try_into().expect("8 bytes")) as usize
+    }
+
+    /// The enclave's boundary counters.
+    #[must_use]
+    pub fn boundary(&self) -> Arc<BoundaryStats> {
+        self.enclave.boundary()
+    }
+
+    /// The enclave's EPC gauge.
+    #[must_use]
+    pub fn epc(&self) -> Arc<EpcGauge> {
+        self.enclave.epc()
+    }
+
+    /// The engine this proxy forwards to.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<SearchEngine> {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsearch_engine::corpus::CorpusConfig;
+
+    fn proxy() -> (XSearchProxy, AttestationService) {
+        let ias = AttestationService::from_seed(11);
+        let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+            docs_per_topic: 10,
+            ..Default::default()
+        }));
+        let proxy = XSearchProxy::launch(
+            XSearchConfig { k: 2, history_capacity: 1000, ..Default::default() },
+            engine,
+            &ias,
+        );
+        (proxy, ias)
+    }
+
+    #[test]
+    fn two_proxies_with_same_code_share_measurement() {
+        let (a, _) = proxy();
+        let (b, _) = proxy();
+        assert_eq!(a.expected_measurement(), b.expected_measurement());
+    }
+
+    #[test]
+    fn handshake_produces_verifiable_quote() {
+        let (p, ias) = proxy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let client = xsearch_crypto::x25519::StaticSecret::random(&mut rng);
+        let resp = p.handshake(client.public_key()).unwrap();
+        assert!(ias.verify_expecting(&resp.quote, p.expected_measurement()).is_ok());
+        // The quote binds exactly this key pair.
+        let expected_binding =
+            crate::session::channel_binding(&resp.enclave_pub, &client.public_key());
+        assert_eq!(resp.quote.report_data, expected_binding);
+    }
+
+    #[test]
+    fn seed_and_len_roundtrip() {
+        let (p, _) = proxy();
+        p.seed_history(["a", "b", "c"]);
+        assert_eq!(p.history_len(), 3);
+        assert!(p.history_memory_bytes() > 0);
+    }
+
+    use rand::SeedableRng;
+}

@@ -1,0 +1,110 @@
+//! Analytics-redirection stripping.
+//!
+//! §4.1: results "are tampered by the proxy to remove any URL redirection
+//! used for analytics". Engines wrap result URLs in click-tracking
+//! redirectors (`http://tracker/click?u=<real-url>&session=...`); the
+//! proxy unwraps them so the search engine cannot correlate clicks either.
+
+use xsearch_engine::engine::SearchResult;
+use xsearch_net_sim::http::percent_decode;
+
+/// Query-string keys that commonly carry the redirection target.
+const TARGET_KEYS: &[&str] = &["u", "url", "q", "target", "dest"];
+
+/// If `url` is an analytics redirector, returns the inner target URL;
+/// otherwise returns the input unchanged.
+///
+/// # Example
+///
+/// ```
+/// use xsearch_core::redirect::strip_redirect;
+/// let wrapped = "http://redirect.tracker.com/click?u=http%3A%2F%2Freal.com%2Fpage&session=1";
+/// assert_eq!(strip_redirect(wrapped), "http://real.com/page");
+/// assert_eq!(strip_redirect("http://plain.com/x"), "http://plain.com/x");
+/// ```
+#[must_use]
+pub fn strip_redirect(url: &str) -> String {
+    let Some((_, query)) = url.split_once('?') else {
+        return url.to_owned();
+    };
+    for pair in query.split('&') {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if TARGET_KEYS.contains(&key) {
+            let decoded = percent_decode(value);
+            if decoded.starts_with("http://") || decoded.starts_with("https://") {
+                // Recurse: trackers sometimes nest.
+                return strip_redirect(&decoded);
+            }
+        }
+    }
+    url.to_owned()
+}
+
+/// Strips redirections from every result in place.
+pub fn strip_all(results: &mut [SearchResult]) {
+    for r in results {
+        r.url = strip_redirect(&r.url);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use xsearch_engine::document::DocId;
+
+    #[test]
+    fn plain_urls_pass_through() {
+        for u in ["http://a.com", "https://b.org/path", "http://c.net/p?page=2"] {
+            assert_eq!(strip_redirect(u), u);
+        }
+    }
+
+    #[test]
+    fn unwraps_single_level() {
+        let w = "http://t.co/r?url=https%3A%2F%2Fnews.site%2Farticle";
+        assert_eq!(strip_redirect(w), "https://news.site/article");
+    }
+
+    #[test]
+    fn unwraps_nested_redirects() {
+        let inner = "http://final.com/x";
+        let level1 = format!("http://mid.com/r?u={}", xsearch_net_sim::http::percent_encode(inner));
+        let level2 = format!("http://outer.com/r?u={}", xsearch_net_sim::http::percent_encode(&level1));
+        assert_eq!(strip_redirect(&level2), inner);
+    }
+
+    #[test]
+    fn non_url_params_do_not_trigger() {
+        let u = "http://search.com/results?q=paris+hotels";
+        assert_eq!(strip_redirect(u), u, "q is a search term, not a URL");
+    }
+
+    #[test]
+    fn strip_all_rewrites_results() {
+        let mut results = vec![SearchResult {
+            doc: DocId(0),
+            url: "http://redirect.tracker.com/click?u=http%3A%2F%2Freal.com&session=42".into(),
+            title: String::new(),
+            description: String::new(),
+            score: 0.0,
+        }];
+        strip_all(&mut results);
+        assert_eq!(results[0].url, "http://real.com");
+    }
+
+    proptest! {
+        #[test]
+        fn stripping_never_panics(url in "[ -~]{0,80}") {
+            let _ = strip_redirect(&url);
+        }
+
+        #[test]
+        fn stripping_is_idempotent(host in "[a-z]{3,10}", path in "[a-z]{0,10}") {
+            let inner = format!("http://{host}.com/{path}");
+            let wrapped = format!("http://t.com/r?u={}", xsearch_net_sim::http::percent_encode(&inner));
+            let once = strip_redirect(&wrapped);
+            prop_assert_eq!(strip_redirect(&once), once.clone());
+        }
+    }
+}

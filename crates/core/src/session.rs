@@ -1,0 +1,208 @@
+//! The attested encrypted channel between broker and enclave.
+//!
+//! §4.2: "the user sends her query to the proxy node through an encrypted
+//! tunnel with an end point inside the SGX enclave". The tunnel here is
+//! X25519 ECDH (the enclave's key bound into its attestation quote) →
+//! HKDF-SHA-256 → per-direction ChaCha20-Poly1305 with counter nonces.
+
+use crate::error::XSearchError;
+use xsearch_crypto::aead::{counter_nonce, ChaCha20Poly1305};
+use xsearch_crypto::hkdf;
+use xsearch_crypto::sha256::Sha256;
+use xsearch_crypto::x25519::PublicKey;
+
+const CHANNEL_INFO: &[u8] = b"xsearch-channel-v1";
+const CLIENT_DOMAIN: [u8; 4] = *b"c2s:";
+const SERVER_DOMAIN: [u8; 4] = *b"s2c:";
+
+/// Which side of the channel we are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The broker (client daemon).
+    Client,
+    /// The enclave.
+    Server,
+}
+
+/// One direction's cipher state.
+struct Directed {
+    aead: ChaCha20Poly1305,
+    domain: [u8; 4],
+    counter: u64,
+}
+
+/// An established secure channel.
+pub struct SecureChannel {
+    send: Directed,
+    recv: Directed,
+}
+
+impl std::fmt::Debug for SecureChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureChannel")
+            .field("sent", &self.send.counter)
+            .field("received", &self.recv.counter)
+            .finish()
+    }
+}
+
+impl SecureChannel {
+    /// Derives the channel from the DH shared secret and both public keys
+    /// (which salt the KDF, binding the channel to this key pair).
+    #[must_use]
+    pub fn establish(
+        side: Side,
+        shared: &[u8; 32],
+        client_pub: &PublicKey,
+        server_pub: &PublicKey,
+    ) -> Self {
+        let mut salt = Vec::with_capacity(64);
+        salt.extend_from_slice(client_pub.as_bytes());
+        salt.extend_from_slice(server_pub.as_bytes());
+        let okm = hkdf::derive(&salt, shared, CHANNEL_INFO, 64);
+        let c2s: [u8; 32] = okm[..32].try_into().expect("64-byte okm");
+        let s2c: [u8; 32] = okm[32..].try_into().expect("64-byte okm");
+        let (send_key, recv_key, send_domain, recv_domain) = match side {
+            Side::Client => (c2s, s2c, CLIENT_DOMAIN, SERVER_DOMAIN),
+            Side::Server => (s2c, c2s, SERVER_DOMAIN, CLIENT_DOMAIN),
+        };
+        SecureChannel {
+            send: Directed { aead: ChaCha20Poly1305::new(&send_key), domain: send_domain, counter: 0 },
+            recv: Directed { aead: ChaCha20Poly1305::new(&recv_key), domain: recv_domain, counter: 0 },
+        }
+    }
+
+    /// Encrypts the next outbound message.
+    pub fn seal(&mut self, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let nonce = counter_nonce(self.send.domain, self.send.counter);
+        self.send.counter += 1;
+        self.send.aead.seal(&nonce, aad, plaintext)
+    }
+
+    /// Decrypts the next inbound message.
+    ///
+    /// # Errors
+    ///
+    /// [`XSearchError::Crypto`] when authentication fails (tampering,
+    /// reordering or a desynchronized counter).
+    pub fn open(&mut self, aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, XSearchError> {
+        let nonce = counter_nonce(self.recv.domain, self.recv.counter);
+        let out = self.recv.aead.open(&nonce, aad, sealed)?;
+        self.recv.counter += 1;
+        Ok(out)
+    }
+
+    /// Messages sent so far.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.send.counter
+    }
+}
+
+/// The report data bound into the enclave's attestation quote: a hash of
+/// both channel public keys, preventing key substitution by the untrusted
+/// host.
+#[must_use]
+pub fn channel_binding(server_pub: &PublicKey, client_pub: &PublicKey) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"xsearch-channel-binding-v1");
+    h.update(server_pub.as_bytes());
+    h.update(client_pub.as_bytes());
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xsearch_crypto::x25519::StaticSecret;
+
+    fn pair() -> (SecureChannel, SecureChannel) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let client = StaticSecret::random(&mut rng);
+        let server = StaticSecret::random(&mut rng);
+        let shared = client.diffie_hellman(&server.public_key()).unwrap();
+        let c = SecureChannel::establish(
+            Side::Client,
+            &shared,
+            &client.public_key(),
+            &server.public_key(),
+        );
+        let s = SecureChannel::establish(
+            Side::Server,
+            &shared,
+            &client.public_key(),
+            &server.public_key(),
+        );
+        (c, s)
+    }
+
+    #[test]
+    fn bidirectional_traffic_roundtrips() {
+        let (mut c, mut s) = pair();
+        let ct = c.seal(b"req", b"cheap flights");
+        assert_eq!(s.open(b"req", &ct).unwrap(), b"cheap flights");
+        let ct = s.seal(b"resp", b"result list");
+        assert_eq!(c.open(b"resp", &ct).unwrap(), b"result list");
+    }
+
+    #[test]
+    fn multiple_messages_use_fresh_nonces() {
+        let (mut c, mut s) = pair();
+        let ct1 = c.seal(b"", b"same payload");
+        let ct2 = c.seal(b"", b"same payload");
+        assert_ne!(ct1, ct2, "counter nonce must change the ciphertext");
+        assert_eq!(s.open(b"", &ct1).unwrap(), b"same payload");
+        assert_eq!(s.open(b"", &ct2).unwrap(), b"same payload");
+    }
+
+    #[test]
+    fn replay_is_rejected() {
+        let (mut c, mut s) = pair();
+        let ct = c.seal(b"", b"msg");
+        assert!(s.open(b"", &ct).is_ok());
+        // Replaying the same ciphertext: receiver counter advanced.
+        assert!(s.open(b"", &ct).is_err());
+    }
+
+    #[test]
+    fn reordering_is_rejected() {
+        let (mut c, mut s) = pair();
+        let ct1 = c.seal(b"", b"first");
+        let ct2 = c.seal(b"", b"second");
+        assert!(s.open(b"", &ct2).is_err(), "out-of-order delivery fails");
+        // ct1 still opens (failed opens do not advance the counter).
+        assert_eq!(s.open(b"", &ct1).unwrap(), b"first");
+    }
+
+    #[test]
+    fn directions_are_separated() {
+        let (mut c, mut s) = pair();
+        let ct = c.seal(b"", b"to server");
+        // The client must not accept its own direction's traffic back.
+        let mut c2 = {
+            let (c2, _) = pair();
+            c2
+        };
+        assert!(c2.open(b"", &ct).is_err());
+        assert!(s.open(b"", &ct).is_ok());
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let (mut c, mut s) = pair();
+        let ct = c.seal(b"query", b"text");
+        assert!(s.open(b"other", &ct).is_err());
+    }
+
+    #[test]
+    fn binding_depends_on_both_keys() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = StaticSecret::random(&mut rng).public_key();
+        let b = StaticSecret::random(&mut rng).public_key();
+        let c = StaticSecret::random(&mut rng).public_key();
+        assert_ne!(channel_binding(&a, &b), channel_binding(&a, &c));
+        assert_ne!(channel_binding(&a, &b), channel_binding(&b, &a));
+    }
+}

@@ -1,0 +1,176 @@
+//! Wire encoding of result lists for the encrypted tunnel.
+//!
+//! A simple escaped line format: one result per line,
+//! `url \t title \t description`. Chosen over a binary format so that a
+//! captured (encrypted) payload decrypts to something a human can audit —
+//! and because result text dominates the payload anyway.
+
+use crate::error::XSearchError;
+use xsearch_engine::engine::SearchResult;
+
+/// A result as the client receives it (no engine-internal fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResult {
+    /// Result URL (redirections already stripped by the proxy).
+    pub url: String,
+    /// Result title.
+    pub title: String,
+    /// Result snippet.
+    pub description: String,
+}
+
+impl From<&SearchResult> for WireResult {
+    fn from(r: &SearchResult) -> Self {
+        WireResult { url: r.url.clone(), title: r.title.clone(), description: r.description.clone() }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Serializes results for the tunnel.
+#[must_use]
+pub fn encode_results(results: &[SearchResult]) -> Vec<u8> {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&escape(&r.url));
+        out.push('\t');
+        out.push_str(&escape(&r.title));
+        out.push('\t');
+        out.push_str(&escape(&r.description));
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+/// Parses a result list from tunnel bytes.
+///
+/// # Errors
+///
+/// [`XSearchError::Protocol`] when the payload is not UTF-8 or a line
+/// does not have three fields.
+pub fn decode_results(bytes: &[u8]) -> Result<Vec<WireResult>, XSearchError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| XSearchError::Protocol("result payload is not utf-8".into()))?;
+    let mut results = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (url, title, description) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
+            (Some(u), Some(t), Some(d), None) => (u, t, d),
+            _ => {
+                return Err(XSearchError::Protocol(format!(
+                    "result line has wrong field count: {line:?}"
+                )))
+            }
+        };
+        results.push(WireResult {
+            url: unescape(url),
+            title: unescape(title),
+            description: unescape(description),
+        });
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use xsearch_engine::document::DocId;
+
+    fn result(url: &str, title: &str, desc: &str) -> SearchResult {
+        SearchResult {
+            doc: DocId(0),
+            url: url.into(),
+            title: title.into(),
+            description: desc.into(),
+            score: 1.0,
+        }
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let rs = vec![
+            result("http://a.com", "title a", "desc a"),
+            result("http://b.com", "title b", "desc b"),
+        ];
+        let decoded = decode_results(&encode_results(&rs)).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].url, "http://a.com");
+        assert_eq!(decoded[1].title, "title b");
+    }
+
+    #[test]
+    fn roundtrip_with_separator_characters() {
+        let rs = vec![result("http://a.com", "tab\there", "line\nbreak \\ slash")];
+        let decoded = decode_results(&encode_results(&rs)).unwrap();
+        assert_eq!(decoded[0].title, "tab\there");
+        assert_eq!(decoded[0].description, "line\nbreak \\ slash");
+    }
+
+    #[test]
+    fn empty_list_roundtrips() {
+        assert!(decode_results(&encode_results(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        assert!(matches!(
+            decode_results(b"only-two\tfields\n"),
+            Err(XSearchError::Protocol(_))
+        ));
+        assert!(matches!(
+            decode_results(b"a\tb\tc\td\n"),
+            Err(XSearchError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_rejected() {
+        assert!(matches!(
+            decode_results(&[0xff, 0xfe]),
+            Err(XSearchError::Protocol(_))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_text(url in "[ -~]{0,30}", title in ".{0,30}", desc in ".{0,30}") {
+            let rs = vec![result(&url, &title, &desc)];
+            let decoded = decode_results(&encode_results(&rs)).unwrap();
+            prop_assert_eq!(&decoded[0].url, &url);
+            prop_assert_eq!(&decoded[0].title, &title);
+            prop_assert_eq!(&decoded[0].description, &desc);
+        }
+    }
+}

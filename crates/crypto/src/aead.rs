@@ -1,0 +1,228 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//!
+//! This is the work-horse cipher of the whole reproduction: the attested
+//! broker↔enclave channel, the Tor baseline's onion layers and the PEAS
+//! baseline's proxy hops all seal and open with it, so the Fig 5 throughput
+//! comparison measures this real computation.
+
+use crate::chacha20::{self, KEY_LEN, NONCE_LEN};
+use crate::constant_time::ct_eq;
+use crate::error::CryptoError;
+use crate::poly1305::{Poly1305, TAG_LEN};
+
+/// An authenticated cipher instance holding one 256-bit key.
+///
+/// # Example
+///
+/// ```
+/// use xsearch_crypto::aead::ChaCha20Poly1305;
+///
+/// let aead = ChaCha20Poly1305::new(&[9u8; 32]);
+/// let ct = aead.seal(&[0u8; 12], b"aad", b"hello");
+/// assert_eq!(aead.open(&[0u8; 12], b"aad", &ct).unwrap(), b"hello");
+/// assert!(aead.open(&[0u8; 12], b"other-aad", &ct).is_err());
+/// ```
+#[derive(Clone)]
+pub struct ChaCha20Poly1305 {
+    key: [u8; KEY_LEN],
+}
+
+impl std::fmt::Debug for ChaCha20Poly1305 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("ChaCha20Poly1305").field("key", &"<secret>").finish()
+    }
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates a cipher from a 32-byte key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        ChaCha20Poly1305 { key: *key }
+    }
+
+    /// Derives the Poly1305 one-time key for `nonce` (RFC 8439 §2.6).
+    fn one_time_key(&self, nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+        let block = chacha20::block(&self.key, 0, nonce);
+        let mut otk = [0u8; 32];
+        otk.copy_from_slice(&block[..32]);
+        otk
+    }
+
+    fn compute_tag(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        ciphertext: &[u8],
+    ) -> [u8; TAG_LEN] {
+        let otk = self.one_time_key(nonce);
+        let mut mac = Poly1305::new(&otk);
+        let zero_pad = [0u8; 16];
+        mac.update(aad);
+        mac.update(&zero_pad[..(16 - aad.len() % 16) % 16]);
+        mac.update(ciphertext);
+        mac.update(&zero_pad[..(16 - ciphertext.len() % 16) % 16]);
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.finalize()
+    }
+
+    /// Encrypts `plaintext`, binding `aad`, and returns `ciphertext ‖ tag`.
+    #[must_use]
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        chacha20::xor_stream(&self.key, 1, nonce, &mut out);
+        let tag = self.compute_tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts and authenticates `sealed` (`ciphertext ‖ tag`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] if `sealed` is shorter than a
+    /// tag, and [`CryptoError::AuthenticationFailed`] if the tag does not
+    /// verify (wrong key, nonce, AAD, or tampered ciphertext).
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::InvalidLength { got: sealed.len(), expected: TAG_LEN });
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = self.compute_tag(nonce, aad, ciphertext);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut out = ciphertext.to_vec();
+        chacha20::xor_stream(&self.key, 1, nonce, &mut out);
+        Ok(out)
+    }
+}
+
+/// Builds a 12-byte nonce from a 4-byte domain prefix and a counter.
+///
+/// The attested channel uses one domain per direction with a monotonically
+/// increasing counter, which guarantees nonce uniqueness per key.
+#[must_use]
+pub fn counter_nonce(domain: [u8; 4], counter: u64) -> [u8; NONCE_LEN] {
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce[..4].copy_from_slice(&domain);
+    nonce[4..].copy_from_slice(&counter.to_le_bytes());
+    nonce
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use proptest::prelude::*;
+
+    const SUNSCREEN: &[u8] = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+
+    fn rfc_key() -> [u8; 32] {
+        hex::decode_expect("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+            .try_into()
+            .unwrap()
+    }
+
+    fn rfc_nonce() -> [u8; 12] {
+        hex::decode_expect("070000004041424344454647").try_into().unwrap()
+    }
+
+    fn rfc_aad() -> Vec<u8> {
+        hex::decode_expect("50515253c0c1c2c3c4c5c6c7")
+    }
+
+    #[test]
+    fn rfc8439_aead_vector() {
+        // RFC 8439 §2.8.2.
+        let aead = ChaCha20Poly1305::new(&rfc_key());
+        let sealed = aead.seal(&rfc_nonce(), &rfc_aad(), SUNSCREEN);
+        assert_eq!(sealed.len(), SUNSCREEN.len() + TAG_LEN);
+        assert_eq!(
+            hex::encode(&sealed[..16]),
+            "d31a8d34648e60db7b86afbc53ef7ec2"
+        );
+        assert_eq!(
+            hex::encode(&sealed[sealed.len() - TAG_LEN..]),
+            "1ae10b594f09e26a7e902ecbd0600691"
+        );
+    }
+
+    #[test]
+    fn rfc8439_aead_roundtrip() {
+        let aead = ChaCha20Poly1305::new(&rfc_key());
+        let sealed = aead.seal(&rfc_nonce(), &rfc_aad(), SUNSCREEN);
+        let opened = aead.open(&rfc_nonce(), &rfc_aad(), &sealed).unwrap();
+        assert_eq!(opened, SUNSCREEN);
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let aead = ChaCha20Poly1305::new(&[1u8; 32]);
+        let mut sealed = aead.seal(&[0u8; 12], b"", b"payload");
+        sealed[0] ^= 1;
+        assert_eq!(
+            aead.open(&[0u8; 12], b"", &sealed),
+            Err(CryptoError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn short_input_rejected_with_length_error() {
+        let aead = ChaCha20Poly1305::new(&[1u8; 32]);
+        assert!(matches!(
+            aead.open(&[0u8; 12], b"", &[0u8; 8]),
+            Err(CryptoError::InvalidLength { got: 8, expected: TAG_LEN })
+        ));
+    }
+
+    #[test]
+    fn empty_plaintext_is_supported() {
+        let aead = ChaCha20Poly1305::new(&[1u8; 32]);
+        let sealed = aead.seal(&[3u8; 12], b"aad", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(aead.open(&[3u8; 12], b"aad", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn counter_nonce_is_unique_per_counter() {
+        let a = counter_nonce(*b"c2s:", 1);
+        let b = counter_nonce(*b"c2s:", 2);
+        let c = counter_nonce(*b"s2c:", 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #[test]
+        fn seal_open_roundtrip(key: [u8; 32], nonce: [u8; 12], aad: Vec<u8>, pt: Vec<u8>) {
+            let aead = ChaCha20Poly1305::new(&key);
+            let sealed = aead.seal(&nonce, &aad, &pt);
+            prop_assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), pt);
+        }
+
+        #[test]
+        fn any_bit_flip_is_rejected(key: [u8; 32], nonce: [u8; 12], pt: Vec<u8>, flip_byte: usize, flip_bit in 0u8..8) {
+            let aead = ChaCha20Poly1305::new(&key);
+            let mut sealed = aead.seal(&nonce, b"aad", &pt);
+            let idx = flip_byte % sealed.len();
+            sealed[idx] ^= 1 << flip_bit;
+            prop_assert_eq!(aead.open(&nonce, b"aad", &sealed), Err(CryptoError::AuthenticationFailed));
+        }
+
+        #[test]
+        fn wrong_nonce_is_rejected(key: [u8; 32], n1: [u8; 12], n2: [u8; 12], pt: Vec<u8>) {
+            prop_assume!(n1 != n2);
+            let aead = ChaCha20Poly1305::new(&key);
+            let sealed = aead.seal(&n1, b"", &pt);
+            prop_assert!(aead.open(&n2, b"", &sealed).is_err());
+        }
+    }
+}

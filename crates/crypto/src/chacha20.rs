@@ -1,0 +1,180 @@
+//! The ChaCha20 stream cipher (RFC 8439).
+//!
+//! Provides the raw block function (also used to derive the Poly1305
+//! one-time key in the AEAD construction) and in-place stream encryption.
+
+/// Key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce size in bytes (the IETF 96-bit variant).
+pub const NONCE_LEN: usize = 12;
+/// Output of one block function invocation.
+pub const BLOCK_LEN: usize = 64;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn initial_state(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for (i, chunk) in key.chunks_exact(4).enumerate() {
+        state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    state[12] = counter;
+    for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+        state[13 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    state
+}
+
+/// Computes one 64-byte keystream block for (`key`, `counter`, `nonce`).
+#[must_use]
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let initial = initial_state(key, counter, nonce);
+    let mut state = initial;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = state[i].wrapping_add(initial[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XORs the ChaCha20 keystream (starting at `counter`) into `data` in place.
+///
+/// Applying the function twice with the same parameters restores the
+/// original data, so this is both encryption and decryption.
+///
+/// # Example
+///
+/// ```
+/// use xsearch_crypto::chacha20::xor_stream;
+///
+/// let key = [1u8; 32];
+/// let nonce = [2u8; 12];
+/// let mut data = *b"attack at dawn";
+/// xor_stream(&key, 1, &nonce, &mut data);
+/// assert_ne!(&data, b"attack at dawn");
+/// xor_stream(&key, 1, &nonce, &mut data);
+/// assert_eq!(&data, b"attack at dawn");
+/// ```
+pub fn xor_stream(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    for (block_idx, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
+        let ks = block(
+            key,
+            counter.wrapping_add(block_idx as u32),
+            nonce,
+        );
+        for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
+            *byte ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rfc8439_block_function_vector() {
+        // RFC 8439 §2.3.2.
+        let key: [u8; 32] = hex::decode_expect(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        )
+        .try_into()
+        .unwrap();
+        let nonce: [u8; 12] = hex::decode_expect("000000090000004a00000000").try_into().unwrap();
+        let ks = block(&key, 1, &nonce);
+        assert_eq!(
+            hex::encode(&ks),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn all_zero_key_first_block() {
+        // Widely-reproduced ChaCha20 keystream for the all-zero key/nonce at
+        // counter 0 (draft-agl / RFC 8439 A.1 test vector #1).
+        let key = [0u8; 32];
+        let nonce = [0u8; 12];
+        let ks = block(&key, 0, &nonce);
+        assert_eq!(
+            hex::encode(&ks[..32]),
+            "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7"
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2.
+        let key: [u8; 32] = hex::decode_expect(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        )
+        .try_into()
+        .unwrap();
+        let nonce: [u8; 12] = hex::decode_expect("000000000000004a00000000").try_into().unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        xor_stream(&key, 1, &nonce, &mut data);
+        assert_eq!(
+            hex::encode(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        assert_eq!(data.len(), 114);
+        // Round-trips back to the plaintext.
+        xor_stream(&key, 1, &nonce, &mut data);
+        assert!(data.starts_with(b"Ladies and Gentlemen"));
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let key = [9u8; 32];
+        let nonce = [3u8; 12];
+        let mut two_blocks = vec![0u8; 128];
+        xor_stream(&key, 5, &nonce, &mut two_blocks);
+        let b0 = block(&key, 5, &nonce);
+        let b1 = block(&key, 6, &nonce);
+        assert_eq!(&two_blocks[..64], &b0[..]);
+        assert_eq!(&two_blocks[64..], &b1[..]);
+    }
+
+    proptest! {
+        #[test]
+        fn xor_stream_is_an_involution(key: [u8; 32], nonce: [u8; 12], counter: u32, data: Vec<u8>) {
+            let mut work = data.clone();
+            xor_stream(&key, counter, &nonce, &mut work);
+            xor_stream(&key, counter, &nonce, &mut work);
+            prop_assert_eq!(work, data);
+        }
+
+        #[test]
+        fn different_nonces_produce_different_keystream(key: [u8; 32], n1: [u8; 12], n2: [u8; 12]) {
+            prop_assume!(n1 != n2);
+            prop_assert_ne!(block(&key, 0, &n1), block(&key, 0, &n2));
+        }
+    }
+}

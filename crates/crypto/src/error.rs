@@ -1,0 +1,63 @@
+//! Error type shared by the fallible operations of this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible cryptographic operations.
+///
+/// The variants deliberately carry no secret-dependent detail: an
+/// authentication failure says *that* it failed, never *why*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// An AEAD tag or MAC did not verify; the ciphertext is not authentic.
+    AuthenticationFailed,
+    /// An input had an invalid length (key, nonce or ciphertext too short).
+    InvalidLength {
+        /// What the caller supplied.
+        got: usize,
+        /// What the primitive requires.
+        expected: usize,
+    },
+    /// A Diffie-Hellman exchange produced the all-zero shared secret
+    /// (a low-order public key was supplied).
+    WeakPublicKey,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => write!(f, "authentication failed"),
+            CryptoError::InvalidLength { got, expected } => {
+                write!(f, "invalid input length: got {got}, expected {expected}")
+            }
+            CryptoError::WeakPublicKey => write!(f, "weak public key rejected"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_punctuation() {
+        let msg = CryptoError::AuthenticationFailed.to_string();
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn invalid_length_reports_both_sizes() {
+        let msg = CryptoError::InvalidLength { got: 3, expected: 32 }.to_string();
+        assert!(msg.contains('3') && msg.contains("32"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

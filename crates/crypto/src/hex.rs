@@ -1,0 +1,87 @@
+//! Minimal hexadecimal encoding/decoding, used pervasively by test vectors
+//! and by human-readable identifiers (measurement hashes, quote digests).
+
+/// Encodes bytes as a lowercase hexadecimal string.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(xsearch_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+#[must_use]
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Decodes a hexadecimal string (upper or lower case, no separators).
+///
+/// Returns `None` when the input has odd length or contains a non-hex
+/// character.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(xsearch_crypto::hex::decode("dead"), Some(vec![0xde, 0xad]));
+/// assert_eq!(xsearch_crypto::hex::decode("xyz"), None);
+/// ```
+#[must_use]
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let digits: Vec<u8> = s
+        .chars()
+        .map(|c| c.to_digit(16).map(|d| d as u8))
+        .collect::<Option<_>>()?;
+    Some(digits.chunks(2).map(|p| (p[0] << 4) | p[1]).collect())
+}
+
+/// Decodes a hex string that is known to be valid, panicking otherwise.
+///
+/// Intended for literals in tests and embedded constants.
+///
+/// # Panics
+///
+/// Panics if `s` is not valid even-length hex.
+#[must_use]
+pub fn decode_expect(s: &str) -> Vec<u8> {
+    decode(s).unwrap_or_else(|| panic!("invalid hex literal: {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_empty_is_empty() {
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decode_rejects_odd_length() {
+        assert_eq!(decode("abc"), None);
+    }
+
+    #[test]
+    fn decode_rejects_non_hex() {
+        assert_eq!(decode("zz"), None);
+    }
+
+    #[test]
+    fn decode_accepts_mixed_case() {
+        assert_eq!(decode("DeAd"), Some(vec![0xde, 0xad]));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(bytes: Vec<u8>) {
+            prop_assert_eq!(decode(&encode(&bytes)), Some(bytes));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! ECIES-style hybrid public-key encryption: X25519 + HKDF-SHA-256 +
+//! ChaCha20-Poly1305.
+//!
+//! The PEAS baseline in the paper wraps each query for its two proxies with
+//! RSA-hybrid encryption; this module is the substitution documented in
+//! DESIGN.md — it preserves the *cost structure* (one asymmetric operation
+//! per recipient per message on both the sender and the recipient) while
+//! reusing the primitives already validated in this crate.
+
+use crate::aead::ChaCha20Poly1305;
+use crate::error::CryptoError;
+use crate::hkdf;
+use crate::x25519::{PublicKey, StaticSecret, KEY_LEN};
+use rand::RngCore;
+
+/// Domain-separation label for the KDF.
+const INFO: &[u8] = b"xsearch-hybrid-v1";
+
+/// All-zero nonce: safe here because every encryption uses a fresh
+/// ephemeral key, so (key, nonce) pairs never repeat.
+const NONCE: [u8; 12] = [0u8; 12];
+
+/// Encrypts `plaintext` to `recipient`, returning
+/// `ephemeral_public ‖ ciphertext ‖ tag`.
+///
+/// Each call generates a fresh ephemeral X25519 key pair, performs one DH
+/// with the recipient key, derives an AEAD key and seals the payload; the
+/// recipient needs one DH to reverse it. This is the per-message public-key
+/// work the PEAS cost model depends on.
+pub fn seal<R: RngCore>(rng: &mut R, recipient: &PublicKey, plaintext: &[u8]) -> Vec<u8> {
+    let ephemeral = StaticSecret::random(rng);
+    let eph_pub = ephemeral.public_key();
+    let shared = ephemeral
+        .diffie_hellman(recipient)
+        .expect("freshly generated ephemeral key cannot hit a low-order point for a valid recipient");
+    let key = derive_key(&shared, &eph_pub, recipient);
+    let aead = ChaCha20Poly1305::new(&key);
+    let mut out = Vec::with_capacity(KEY_LEN + plaintext.len() + 16);
+    out.extend_from_slice(eph_pub.as_bytes());
+    out.extend_from_slice(&aead.seal(&NONCE, eph_pub.as_bytes(), plaintext));
+    out
+}
+
+/// Decrypts a message produced by [`seal`] with the recipient's secret key.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidLength`] for truncated input,
+/// [`CryptoError::WeakPublicKey`] for a degenerate ephemeral key, and
+/// [`CryptoError::AuthenticationFailed`] when the AEAD tag does not verify.
+pub fn open(secret: &StaticSecret, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if sealed.len() < KEY_LEN + 16 {
+        return Err(CryptoError::InvalidLength { got: sealed.len(), expected: KEY_LEN + 16 });
+    }
+    let (eph_bytes, body) = sealed.split_at(KEY_LEN);
+    let eph_pub = PublicKey(eph_bytes.try_into().expect("split at KEY_LEN"));
+    let shared = secret.diffie_hellman(&eph_pub)?;
+    let key = derive_key(&shared, &eph_pub, &secret.public_key());
+    let aead = ChaCha20Poly1305::new(&key);
+    aead.open(&NONCE, eph_pub.as_bytes(), body)
+}
+
+/// Binds the AEAD key to both public keys involved in the exchange.
+fn derive_key(shared: &[u8; 32], eph: &PublicKey, recipient: &PublicKey) -> [u8; 32] {
+    let mut salt = Vec::with_capacity(64);
+    salt.extend_from_slice(eph.as_bytes());
+    salt.extend_from_slice(recipient.as_bytes());
+    let okm = hkdf::derive(&salt, shared, INFO, 32);
+    okm.try_into().expect("requested exactly 32 bytes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(seed: u64) -> (StaticSecret, PublicKey) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = StaticSecret::random(&mut rng);
+        let public = secret.public_key();
+        (secret, public)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (secret, public) = keypair(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sealed = seal(&mut rng, &public, b"the user query");
+        assert_eq!(open(&secret, &sealed).unwrap(), b"the user query");
+    }
+
+    #[test]
+    fn wrong_recipient_fails() {
+        let (_, public_a) = keypair(1);
+        let (secret_b, _) = keypair(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sealed = seal(&mut rng, &public_a, b"msg");
+        assert!(open(&secret_b, &sealed).is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let (secret, _) = keypair(1);
+        assert!(matches!(
+            open(&secret, &[0u8; 10]),
+            Err(CryptoError::InvalidLength { .. })
+        ));
+    }
+
+    #[test]
+    fn sealed_is_larger_by_overhead_only() {
+        let (_, public) = keypair(1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sealed = seal(&mut rng, &public, &[0u8; 100]);
+        assert_eq!(sealed.len(), 100 + KEY_LEN + 16);
+    }
+
+    #[test]
+    fn each_seal_is_unique() {
+        let (_, public) = keypair(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = seal(&mut rng, &public, b"same message");
+        let b = seal(&mut rng, &public, b"same message");
+        assert_ne!(a, b, "fresh ephemeral keys must randomize ciphertexts");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn roundtrip_any_payload(seed: u64, payload: Vec<u8>) {
+            let (secret, public) = keypair(seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+            let sealed = seal(&mut rng, &public, &payload);
+            prop_assert_eq!(open(&secret, &sealed).unwrap(), payload);
+        }
+
+        #[test]
+        fn tamper_rejected(seed: u64, idx: usize, bit in 0u8..8) {
+            let (secret, public) = keypair(seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+            let mut sealed = seal(&mut rng, &public, b"payload bytes");
+            let i = KEY_LEN + idx % (sealed.len() - KEY_LEN);
+            sealed[i] ^= 1 << bit;
+            prop_assert!(open(&secret, &sealed).is_err());
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! The Poly1305 one-time authenticator (RFC 8439), using 26-bit limbs with
+//! 64-bit intermediate products (the portable "donna" formulation).
+
+/// Key size in bytes (r ‖ s).
+pub const KEY_LEN: usize = 32;
+/// Tag size in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 MAC.
+///
+/// A Poly1305 key must never authenticate two different messages; the AEAD
+/// construction derives a fresh key per nonce.
+///
+/// # Example
+///
+/// ```
+/// use xsearch_crypto::poly1305::Poly1305;
+///
+/// let key = [0x42u8; 32];
+/// let tag = Poly1305::mac(&key, b"one-time message");
+/// assert_eq!(tag.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    s: [u32; 4],
+    h: [u32; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Creates a MAC context from a 32-byte one-time key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let le32 =
+            |b: &[u8]| -> u32 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) };
+        // Clamp r per the RFC and split into five 26-bit limbs.
+        let t0 = le32(&key[0..4]);
+        let t1 = le32(&key[4..8]);
+        let t2 = le32(&key[8..12]);
+        let t3 = le32(&key[12..16]);
+        let r = [
+            t0 & 0x03ff_ffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ff_ff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ff_c0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03f0_3fff,
+            (t3 >> 8) & 0x000f_ffff,
+        ];
+        let s = [
+            le32(&key[16..20]),
+            le32(&key[20..24]),
+            le32(&key[24..28]),
+            le32(&key[28..32]),
+        ];
+        Poly1305 { r, s, h: [0; 5], buf: [0; 16], buf_len: 0 }
+    }
+
+    /// One-shot MAC of `message` under `key`.
+    #[must_use]
+    pub fn mac(key: &[u8; KEY_LEN], message: &[u8]) -> [u8; TAG_LEN] {
+        let mut p = Poly1305::new(key);
+        p.update(message);
+        p.finalize()
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, 1 << 24);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let (block, rest) = data.split_at(16);
+            let mut b = [0u8; 16];
+            b.copy_from_slice(block);
+            self.process_block(&b, 1 << 24);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Processes one 16-byte block. `hibit` is `1 << 24` for full blocks
+    /// (the appended 0x01 byte at position 16) and is folded into the limbs
+    /// directly for the padded final block.
+    fn process_block(&mut self, block: &[u8; 16], hibit: u32) {
+        let le32 =
+            |b: &[u8]| -> u32 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) };
+        let t0 = le32(&block[0..4]);
+        let t1 = le32(&block[4..8]);
+        let t2 = le32(&block[8..12]);
+        let t3 = le32(&block[12..16]);
+
+        // h += block (with the high bit appended)
+        let mut h0 = self.h[0] + (t0 & 0x03ff_ffff);
+        let mut h1 = self.h[1] + (((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff);
+        let mut h2 = self.h[2] + (((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff);
+        let mut h3 = self.h[3] + (((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff);
+        let mut h4 = self.h[4] + ((t3 >> 8) | hibit);
+
+        let [r0, r1, r2, r3, r4] = self.r;
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+
+        // h *= r (mod 2^130 - 5), with lazy carries.
+        let d0 = u64::from(h0) * u64::from(r0)
+            + u64::from(h1) * u64::from(s4)
+            + u64::from(h2) * u64::from(s3)
+            + u64::from(h3) * u64::from(s2)
+            + u64::from(h4) * u64::from(s1);
+        let d1 = u64::from(h0) * u64::from(r1)
+            + u64::from(h1) * u64::from(r0)
+            + u64::from(h2) * u64::from(s4)
+            + u64::from(h3) * u64::from(s3)
+            + u64::from(h4) * u64::from(s2);
+        let d2 = u64::from(h0) * u64::from(r2)
+            + u64::from(h1) * u64::from(r1)
+            + u64::from(h2) * u64::from(r0)
+            + u64::from(h3) * u64::from(s4)
+            + u64::from(h4) * u64::from(s3);
+        let d3 = u64::from(h0) * u64::from(r3)
+            + u64::from(h1) * u64::from(r2)
+            + u64::from(h2) * u64::from(r1)
+            + u64::from(h3) * u64::from(r0)
+            + u64::from(h4) * u64::from(s4);
+        let d4 = u64::from(h0) * u64::from(r4)
+            + u64::from(h1) * u64::from(r3)
+            + u64::from(h2) * u64::from(r2)
+            + u64::from(h3) * u64::from(r1)
+            + u64::from(h4) * u64::from(r0);
+
+        let mut carry = (d0 >> 26) as u32;
+        h0 = (d0 as u32) & 0x03ff_ffff;
+        let d1 = d1 + u64::from(carry);
+        carry = (d1 >> 26) as u32;
+        h1 = (d1 as u32) & 0x03ff_ffff;
+        let d2 = d2 + u64::from(carry);
+        carry = (d2 >> 26) as u32;
+        h2 = (d2 as u32) & 0x03ff_ffff;
+        let d3 = d3 + u64::from(carry);
+        carry = (d3 >> 26) as u32;
+        h3 = (d3 as u32) & 0x03ff_ffff;
+        let d4 = d4 + u64::from(carry);
+        carry = (d4 >> 26) as u32;
+        h4 = (d4 as u32) & 0x03ff_ffff;
+        h0 += carry * 5;
+        carry = h0 >> 26;
+        h0 &= 0x03ff_ffff;
+        h1 += carry;
+
+        self.h = [h0, h1, h2, h3, h4];
+    }
+
+    /// Completes the MAC and returns the 16-byte tag.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            // Pad the final partial block: append 0x01 then zeros; the high
+            // bit for this block is 0.
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.process_block(&block, 0);
+        }
+
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+
+        // Full carry propagation.
+        let mut carry = h1 >> 26;
+        h1 &= 0x03ff_ffff;
+        h2 += carry;
+        carry = h2 >> 26;
+        h2 &= 0x03ff_ffff;
+        h3 += carry;
+        carry = h3 >> 26;
+        h3 &= 0x03ff_ffff;
+        h4 += carry;
+        carry = h4 >> 26;
+        h4 &= 0x03ff_ffff;
+        h0 += carry * 5;
+        carry = h0 >> 26;
+        h0 &= 0x03ff_ffff;
+        h1 += carry;
+
+        // Compute h + -p = h - (2^130 - 5) and select it if non-negative.
+        let mut g0 = h0.wrapping_add(5);
+        carry = g0 >> 26;
+        g0 &= 0x03ff_ffff;
+        let mut g1 = h1.wrapping_add(carry);
+        carry = g1 >> 26;
+        g1 &= 0x03ff_ffff;
+        let mut g2 = h2.wrapping_add(carry);
+        carry = g2 >> 26;
+        g2 &= 0x03ff_ffff;
+        let mut g3 = h3.wrapping_add(carry);
+        carry = g3 >> 26;
+        g3 &= 0x03ff_ffff;
+        let g4 = h4.wrapping_add(carry).wrapping_sub(1 << 26);
+
+        // Select h if h < p, else g (constant time via mask).
+        let mask = (g4 >> 31).wrapping_sub(1); // all-ones if g4 did not underflow
+        g0 &= mask;
+        g1 &= mask;
+        g2 &= mask;
+        g3 &= mask;
+        let g4 = g4 & mask;
+        let not_mask = !mask;
+        h0 = (h0 & not_mask) | g0;
+        h1 = (h1 & not_mask) | g1;
+        h2 = (h2 & not_mask) | g2;
+        h3 = (h3 & not_mask) | g3;
+        h4 = (h4 & not_mask) | g4;
+
+        // Serialize h to 128 bits.
+        let f0 = h0 | (h1 << 26);
+        let f1 = (h1 >> 6) | (h2 << 20);
+        let f2 = (h2 >> 12) | (h3 << 14);
+        let f3 = (h3 >> 18) | (h4 << 8);
+
+        // tag = (h + s) mod 2^128
+        let mut acc = u64::from(f0) + u64::from(self.s[0]);
+        let t0 = acc as u32;
+        acc = u64::from(f1) + u64::from(self.s[1]) + (acc >> 32);
+        let t1 = acc as u32;
+        acc = u64::from(f2) + u64::from(self.s[2]) + (acc >> 32);
+        let t2 = acc as u32;
+        acc = u64::from(f3) + u64::from(self.s[3]) + (acc >> 32);
+        let t3 = acc as u32;
+
+        let mut tag = [0u8; TAG_LEN];
+        tag[0..4].copy_from_slice(&t0.to_le_bytes());
+        tag[4..8].copy_from_slice(&t1.to_le_bytes());
+        tag[8..12].copy_from_slice(&t2.to_le_bytes());
+        tag[12..16].copy_from_slice(&t3.to_le_bytes());
+        tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rfc8439_tag_vector() {
+        // RFC 8439 §2.5.2.
+        let key: [u8; 32] = hex::decode_expect(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .try_into()
+        .unwrap();
+        let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex::encode(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    #[test]
+    fn zero_key_gives_zero_tag() {
+        // With r = s = 0 the polynomial evaluates to 0 and the tag is 0.
+        let tag = Poly1305::mac(&[0u8; 32], b"anything at all");
+        assert_eq!(tag, [0u8; 16]);
+    }
+
+    #[test]
+    fn empty_message() {
+        // h stays 0; tag = s.
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&[0xabu8; 16]);
+        assert_eq!(Poly1305::mac(&key, b""), [0xabu8; 16]);
+    }
+
+    #[test]
+    fn exact_block_boundary() {
+        let key = [7u8; 32];
+        let one = Poly1305::mac(&key, &[0x55u8; 16]);
+        let two = Poly1305::mac(&key, &[0x55u8; 32]);
+        assert_ne!(one, two);
+    }
+
+    proptest! {
+        #[test]
+        fn incremental_equals_one_shot(key: [u8; 32], a: Vec<u8>, b: Vec<u8>) {
+            let mut p = Poly1305::new(&key);
+            p.update(&a);
+            p.update(&b);
+            let mut joined = a.clone();
+            joined.extend_from_slice(&b);
+            prop_assert_eq!(p.finalize(), Poly1305::mac(&key, &joined));
+        }
+
+        #[test]
+        fn messages_of_different_length_differ(key: [u8; 32], msg: Vec<u8>) {
+            // Appending the 0x01-distinguisher means a message and the same
+            // message plus one zero byte must authenticate differently for a
+            // non-degenerate key.
+            prop_assume!(key[..16].iter().any(|&b| b != 0));
+            let mut longer = msg.clone();
+            longer.push(0);
+            prop_assert_ne!(Poly1305::mac(&key, &msg), Poly1305::mac(&key, &longer));
+        }
+    }
+}

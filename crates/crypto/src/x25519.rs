@@ -1,0 +1,483 @@
+//! X25519 Diffie-Hellman (RFC 7748) over GF(2^255 − 19), using five 51-bit
+//! limbs with 128-bit intermediate products and a constant-time Montgomery
+//! ladder.
+//!
+//! This primitive anchors the attested channel key exchange and the
+//! ECIES-style hybrid encryption that models PEAS's public-key cost.
+
+use crate::error::CryptoError;
+use rand::RngCore;
+
+/// Length of scalars, field elements and public keys.
+pub const KEY_LEN: usize = 32;
+
+const MASK_51: u64 = (1u64 << 51) - 1;
+
+/// Field element in GF(2^255 − 19), five 51-bit limbs, little-endian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load8 = |b: &[u8]| -> u64 {
+            u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+        };
+        // RFC 7748: the top bit of the u-coordinate is masked off.
+        Fe([
+            load8(&bytes[0..8]) & MASK_51,
+            (load8(&bytes[6..14]) >> 3) & MASK_51,
+            (load8(&bytes[12..20]) >> 6) & MASK_51,
+            (load8(&bytes[19..27]) >> 1) & MASK_51,
+            (load8(&bytes[24..32]) >> 12) & MASK_51,
+        ])
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        // Fully reduce mod p = 2^255 - 19.
+        let mut h = self.0;
+        // Two carry passes bring every limb under 52 bits.
+        for _ in 0..2 {
+            let mut carry;
+            carry = h[0] >> 51;
+            h[0] &= MASK_51;
+            h[1] += carry;
+            carry = h[1] >> 51;
+            h[1] &= MASK_51;
+            h[2] += carry;
+            carry = h[2] >> 51;
+            h[2] &= MASK_51;
+            h[3] += carry;
+            carry = h[3] >> 51;
+            h[3] &= MASK_51;
+            h[4] += carry;
+            carry = h[4] >> 51;
+            h[4] &= MASK_51;
+            h[0] += carry * 19;
+        }
+        // Compute q = floor((h + 19) / 2^255): 1 iff h >= p.
+        let mut q = (h[0] + 19) >> 51;
+        q = (h[1] + q) >> 51;
+        q = (h[2] + q) >> 51;
+        q = (h[3] + q) >> 51;
+        q = (h[4] + q) >> 51;
+        // h := h - q*p  ==  h + 19q, then mask to 255 bits.
+        h[0] += 19 * q;
+        let mut carry = h[0] >> 51;
+        h[0] &= MASK_51;
+        h[1] += carry;
+        carry = h[1] >> 51;
+        h[1] &= MASK_51;
+        h[2] += carry;
+        carry = h[2] >> 51;
+        h[2] &= MASK_51;
+        h[3] += carry;
+        carry = h[3] >> 51;
+        h[3] &= MASK_51;
+        h[4] += carry;
+        h[4] &= MASK_51;
+
+        let mut out = [0u8; 32];
+        let write = |out: &mut [u8; 32], bit_offset: usize, limb: u64| {
+            // Scatter a 51-bit limb starting at the given bit offset.
+            let byte = bit_offset / 8;
+            let shift = bit_offset % 8;
+            let v = (limb as u128) << shift;
+            for i in 0..8 {
+                if byte + i < 32 {
+                    out[byte + i] |= (v >> (8 * i)) as u8;
+                }
+            }
+        };
+        write(&mut out, 0, h[0]);
+        write(&mut out, 51, h[1]);
+        write(&mut out, 102, h[2]);
+        write(&mut out, 153, h[3]);
+        write(&mut out, 204, h[4]);
+        out
+    }
+
+    fn add(&self, rhs: &Fe) -> Fe {
+        let mut out = [0u64; 5];
+        for i in 0..5 {
+            out[i] = self.0[i] + rhs.0[i];
+        }
+        Fe(out)
+    }
+
+    fn sub(&self, rhs: &Fe) -> Fe {
+        // Add a multiple of p large enough (16p) to avoid underflow while
+        // keeping limbs below 2^55 for the following multiplication.
+        const P_TIMES_16: [u64; 5] = [
+            36_028_797_018_963_664, // 16 * (2^51 - 19)
+            36_028_797_018_963_952, // 16 * (2^51 - 1)
+            36_028_797_018_963_952,
+            36_028_797_018_963_952,
+            36_028_797_018_963_952,
+        ];
+        let mut out = [0u64; 5];
+        for i in 0..5 {
+            out[i] = self.0[i] + P_TIMES_16[i] - rhs.0[i];
+        }
+        Fe(out).weak_reduce()
+    }
+
+    fn weak_reduce(self) -> Fe {
+        let mut h = self.0;
+        let mut carry;
+        carry = h[0] >> 51;
+        h[0] &= MASK_51;
+        h[1] += carry;
+        carry = h[1] >> 51;
+        h[1] &= MASK_51;
+        h[2] += carry;
+        carry = h[2] >> 51;
+        h[2] &= MASK_51;
+        h[3] += carry;
+        carry = h[3] >> 51;
+        h[3] &= MASK_51;
+        h[4] += carry;
+        carry = h[4] >> 51;
+        h[4] &= MASK_51;
+        h[0] += carry * 19;
+        Fe(h)
+    }
+
+    fn mul(&self, rhs: &Fe) -> Fe {
+        let [a0, a1, a2, a3, a4] = self.0.map(u128::from);
+        let [b0, b1, b2, b3, b4] = rhs.0.map(u128::from);
+        let (b1_19, b2_19, b3_19, b4_19) = (b1 * 19, b2 * 19, b3 * 19, b4 * 19);
+
+        let c0 = a0 * b0 + a1 * b4_19 + a2 * b3_19 + a3 * b2_19 + a4 * b1_19;
+        let c1 = a0 * b1 + a1 * b0 + a2 * b4_19 + a3 * b3_19 + a4 * b2_19;
+        let c2 = a0 * b2 + a1 * b1 + a2 * b0 + a3 * b4_19 + a4 * b3_19;
+        let c3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 + a4 * b4_19;
+        let c4 = a0 * b4 + a1 * b3 + a2 * b2 + a3 * b1 + a4 * b0;
+
+        Fe::carry_wide([c0, c1, c2, c3, c4])
+    }
+
+    fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    fn carry_wide(mut c: [u128; 5]) -> Fe {
+        let mut out = [0u64; 5];
+        c[1] += c[0] >> 51;
+        out[0] = (c[0] as u64) & MASK_51;
+        c[2] += c[1] >> 51;
+        out[1] = (c[1] as u64) & MASK_51;
+        c[3] += c[2] >> 51;
+        out[2] = (c[2] as u64) & MASK_51;
+        c[4] += c[3] >> 51;
+        out[3] = (c[3] as u64) & MASK_51;
+        let carry = (c[4] >> 51) as u64;
+        out[4] = (c[4] as u64) & MASK_51;
+        out[0] += carry * 19;
+        let carry = out[0] >> 51;
+        out[0] &= MASK_51;
+        out[1] += carry;
+        Fe(out)
+    }
+
+    fn mul_small(&self, k: u64) -> Fe {
+        let k = u128::from(k);
+        Fe::carry_wide(self.0.map(|l| u128::from(l) * k))
+    }
+
+    /// Computes self^(p − 2) = self^(-1) via square-and-multiply over the
+    /// binary expansion of p − 2 = 2^255 − 21.
+    fn invert(&self) -> Fe {
+        // p - 2 in binary: 253 high one-bits then 0,1,0,1,1 (LSB last):
+        // 2^255 - 21 = 0b111...11101011 (251 ones, then 01011).
+        let mut result = Fe::ONE;
+        let base = *self;
+        // Exponent bits from most significant (bit 254) down to 0.
+        for i in (0..255).rev() {
+            result = result.square();
+            let bit = if i >= 5 {
+                1 // bits 254..=5 of (2^255 - 21) are all 1
+            } else {
+                // Low five bits of -21 mod 32 = 01011.
+                [1u8, 1, 0, 1, 0][i] // bit 0 ->1, 1->1, 2->0, 3->1, 4->0
+            };
+            if bit == 1 {
+                result = result.mul(&base);
+            }
+        }
+        result
+    }
+
+    /// Constant-time conditional swap of two field elements.
+    fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+        debug_assert!(swap <= 1);
+        let mask = swap.wrapping_neg();
+        for i in 0..5 {
+            let t = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+}
+
+/// Clamps a 32-byte scalar per RFC 7748 §5.
+fn clamp(scalar: &mut [u8; 32]) {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+}
+
+/// The raw X25519 function: scalar multiplication on the Montgomery curve.
+///
+/// `scalar` is clamped internally; `u` is a 32-byte u-coordinate.
+#[must_use]
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let mut k = *scalar;
+    clamp(&mut k);
+    let x1 = Fe::from_bytes(u);
+
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = u64::from((k[t / 8] >> (t % 8)) & 1);
+        swap ^= k_t;
+        Fe::cswap(swap, &mut x2, &mut x3);
+        Fe::cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2.add(&z2);
+        let aa = a.square();
+        let b = x2.sub(&z2);
+        let bb = b.square();
+        let e = aa.sub(&bb);
+        let c = x3.add(&z3);
+        let d = x3.sub(&z3);
+        let da = d.mul(&a);
+        let cb = c.mul(&b);
+        x3 = da.add(&cb).square();
+        z3 = x1.mul(&da.sub(&cb).square());
+        x2 = aa.mul(&bb);
+        z2 = e.mul(&aa.add(&e.mul_small(121_665)));
+    }
+
+    Fe::cswap(swap, &mut x2, &mut x3);
+    Fe::cswap(swap, &mut z2, &mut z3);
+
+    x2.mul(&z2.invert()).to_bytes()
+}
+
+/// The X25519 base point (u = 9).
+#[must_use]
+pub fn basepoint() -> [u8; 32] {
+    let mut bp = [0u8; 32];
+    bp[0] = 9;
+    bp
+}
+
+/// A long-lived X25519 private key.
+#[derive(Clone)]
+pub struct StaticSecret {
+    scalar: [u8; 32],
+}
+
+impl std::fmt::Debug for StaticSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticSecret").field("scalar", &"<secret>").finish()
+    }
+}
+
+impl StaticSecret {
+    /// Generates a fresh random secret from the given RNG.
+    pub fn random<R: RngCore>(rng: &mut R) -> Self {
+        let mut scalar = [0u8; 32];
+        rng.fill_bytes(&mut scalar);
+        clamp(&mut scalar);
+        StaticSecret { scalar }
+    }
+
+    /// Builds a secret from raw bytes (clamped internally).
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        let mut scalar = bytes;
+        clamp(&mut scalar);
+        StaticSecret { scalar }
+    }
+
+    /// Derives the corresponding public key.
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(x25519(&self.scalar, &basepoint()))
+    }
+
+    /// Runs the Diffie-Hellman exchange with a peer public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::WeakPublicKey`] when the exchange yields the
+    /// all-zero shared secret (the peer supplied a low-order point).
+    pub fn diffie_hellman(&self, peer: &PublicKey) -> Result<[u8; 32], CryptoError> {
+        let shared = x25519(&self.scalar, &peer.0);
+        if shared == [0u8; 32] {
+            return Err(CryptoError::WeakPublicKey);
+        }
+        Ok(shared)
+    }
+}
+
+/// An X25519 public key (a Montgomery u-coordinate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey(pub [u8; 32]);
+
+impl PublicKey {
+    /// Returns the raw 32 bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for PublicKey {
+    fn from(bytes: [u8; 32]) -> Self {
+        PublicKey(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn arr(s: &str) -> [u8; 32] {
+        hex::decode_expect(s).try_into().unwrap()
+    }
+
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar = arr("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = arr("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(
+            hex::encode(&x25519(&scalar, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    #[test]
+    fn rfc7748_vector_2() {
+        let scalar = arr("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = arr("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        assert_eq!(
+            hex::encode(&x25519(&scalar, &u)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    #[test]
+    fn rfc7748_diffie_hellman() {
+        let alice = StaticSecret::from_bytes(arr(
+            "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a",
+        ));
+        let bob = StaticSecret::from_bytes(arr(
+            "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb",
+        ));
+        assert_eq!(
+            hex::encode(alice.public_key().as_bytes()),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex::encode(bob.public_key().as_bytes()),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let s1 = alice.diffie_hellman(&bob.public_key()).unwrap();
+        let s2 = bob.diffie_hellman(&alice.public_key()).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(
+            hex::encode(&s1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    #[test]
+    fn rfc7748_iterated_once() {
+        // RFC 7748 §5.2: after 1 iteration of k = X25519(k, u); u = old k.
+        let mut k = basepoint();
+        let mut u = basepoint();
+        let result = x25519(&k, &u);
+        u = k;
+        k = result;
+        let _ = u;
+        assert_eq!(
+            hex::encode(&k),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+    }
+
+    #[test]
+    fn low_order_point_is_rejected() {
+        let secret = StaticSecret::from_bytes([7u8; 32]);
+        let zero_point = PublicKey([0u8; 32]);
+        assert_eq!(
+            secret.diffie_hellman(&zero_point),
+            Err(CryptoError::WeakPublicKey)
+        );
+    }
+
+    #[test]
+    fn field_roundtrip_under_p() {
+        // Any value with the top bit clear and below p round-trips.
+        let mut bytes = [0u8; 32];
+        bytes[0] = 42;
+        bytes[20] = 9;
+        assert_eq!(Fe::from_bytes(&bytes).to_bytes(), bytes);
+    }
+
+    #[test]
+    fn invert_one_is_one() {
+        assert_eq!(Fe::ONE.invert(), Fe::ONE);
+    }
+
+    #[test]
+    fn invert_is_inverse() {
+        let mut bytes = [0u8; 32];
+        bytes[0] = 5;
+        let x = Fe::from_bytes(&bytes);
+        let prod = x.mul(&x.invert());
+        assert_eq!(prod.to_bytes(), Fe::ONE.to_bytes());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn dh_commutes(seed_a: u64, seed_b: u64) {
+            let mut rng_a = StdRng::seed_from_u64(seed_a);
+            let mut rng_b = StdRng::seed_from_u64(seed_b ^ 0x5a5a);
+            let a = StaticSecret::random(&mut rng_a);
+            let b = StaticSecret::random(&mut rng_b);
+            let s1 = a.diffie_hellman(&b.public_key()).unwrap();
+            let s2 = b.diffie_hellman(&a.public_key()).unwrap();
+            prop_assert_eq!(s1, s2);
+        }
+
+        #[test]
+        fn fe_mul_commutes(a_bytes: [u8; 32], b_bytes: [u8; 32]) {
+            let a = Fe::from_bytes(&a_bytes);
+            let b = Fe::from_bytes(&b_bytes);
+            prop_assert_eq!(a.mul(&b).to_bytes(), b.mul(&a).to_bytes());
+        }
+
+        #[test]
+        fn fe_add_sub_cancels(a_bytes: [u8; 32], b_bytes: [u8; 32]) {
+            let a = Fe::from_bytes(&a_bytes);
+            let b = Fe::from_bytes(&b_bytes);
+            prop_assert_eq!(a.add(&b).sub(&b).to_bytes(), a.weak_reduce().to_bytes());
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! A log-bucketed histogram for latency values, in the spirit of
+//! HdrHistogram: constant-time recording, bounded relative error on
+//! percentile queries, mergeable across threads.
+//!
+//! Values are dimensionless `u64`s; the workload generator records
+//! microseconds.
+
+/// Sub-bucket resolution: each power-of-two range is split into this many
+/// linear sub-buckets, bounding relative quantile error to 1/64 ≈ 1.6%.
+const SUB_BUCKETS: usize = 64;
+const SUB_BITS: u32 = 6; // log2(SUB_BUCKETS)
+
+/// Number of major (power-of-two) buckets needed to cover u64.
+const MAJOR_BUCKETS: usize = 64;
+
+/// A mergeable log-bucketed histogram.
+///
+/// # Example
+///
+/// ```
+/// use xsearch_metrics::histogram::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for v in [100, 200, 300, 400, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.quantile(0.5) >= 200 && h.quantile(0.5) <= 310);
+/// assert!(h.max() >= 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; MAJOR_BUCKETS * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Maps a value to its bucket index.
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        // Position of the highest set bit.
+        let msb = 63 - value.leading_zeros();
+        // Major bucket: how many doublings above the linear range.
+        let major = (msb - SUB_BITS + 1) as usize;
+        // Sub-bucket: the SUB_BITS bits below the msb.
+        let sub = ((value >> (msb - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        // Majors start at the linear range (major 0 = values < SUB_BUCKETS,
+        // occupying the first SUB_BUCKETS slots); each subsequent major
+        // contributes SUB_BUCKETS/2 distinct new sub-buckets but we keep the
+        // simple dense layout for clarity.
+        major * SUB_BUCKETS + sub
+    }
+
+    /// Upper-bound representative value for a bucket index (inverse of
+    /// [`Self::index_of`] up to bucket granularity).
+    fn value_of(index: usize) -> u64 {
+        let major = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if major == 0 {
+            return sub;
+        }
+        let msb = major as u32 + SUB_BITS - 1;
+        ((1u64 << SUB_BITS) | sub) << (msb - SUB_BITS)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::index_of(value).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in [0, 1], with bucket-granularity error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside [0, 1].
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value_of(idx).min(self.max).max(self.min());
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one (for per-thread recorders).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Convenience percentile summary: (p50, p90, p99, p999).
+    #[must_use]
+    pub fn summary(&self) -> (u64, u64, u64, u64) {
+        (self.quantile(0.5), self.quantile(0.9), self.quantile(0.99), self.quantile(0.999))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            h.record(rng.gen_range(1..1_000_000));
+        }
+        let mut last = 0;
+        for i in 0..=100 {
+            let q = h.quantile(i as f64 / 100.0);
+            assert!(q >= last, "quantile regressed at {i}");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        // A single value: every quantile must be within ~3.2% of it
+        // (one sub-bucket of width 2^(msb-6)).
+        for value in [100u64, 1_000, 10_000, 1_000_000, 123_456_789] {
+            let mut h2 = LatencyHistogram::new();
+            h2.record(value);
+            let got = h2.quantile(0.5) as f64;
+            let err = (got - value as f64).abs() / value as f64;
+            assert!(err < 0.033, "value {value} got {got} err {err}");
+            h.record(value);
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(1..100_000);
+            if rng.gen_bool(0.5) {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.max(), combined.max());
+        assert_eq!(a.quantile(0.99), combined.quantile(0.99));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_out_of_range() {
+        let _ = LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn index_value_roundtrip_is_within_bucket() {
+        for value in [0u64, 1, 63, 64, 65, 127, 128, 1000, 65_535, 1 << 40] {
+            let idx = LatencyHistogram::index_of(value);
+            let rep = LatencyHistogram::value_of(idx);
+            // The representative is the bucket's lower bound: within
+            // one sub-bucket width of the value.
+            assert!(rep <= value, "rep {rep} > value {value}");
+            let next = LatencyHistogram::value_of(idx + 1);
+            assert!(next > value, "next {next} <= value {value}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_brackets_true_percentile(values in proptest::collection::vec(1u64..10_000_000, 1..500), q in 0.0f64..=1.0) {
+            let mut h = LatencyHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1] as f64;
+            let got = h.quantile(q) as f64;
+            // Bucket granularity bounds relative error by 1/64.
+            prop_assert!(got <= truth * 1.0 + truth / 32.0 + 1.0, "got {got} truth {truth}");
+            prop_assert!(got >= truth - truth / 32.0 - 1.0, "got {got} truth {truth}");
+        }
+
+        #[test]
+        fn count_and_extremes_track(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut h = LatencyHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+            prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Measurement substrate for the X-Search reproduction.
+//!
+//! Every experiment harness in this repository reports through the types
+//! here:
+//!
+//! * [`histogram`] — a log-bucketed latency histogram in the spirit of
+//!   HdrHistogram (what the paper's wrk2 load generator records),
+//! * [`accuracy`] — precision/recall over result sets (Fig 4),
+//! * [`distribution`] — empirical CDF/CCDF series (Fig 1 and Fig 7),
+//! * [`series`] — plain TSV table printing shared by the fig harnesses,
+//! * [`memory`] — byte accounting used for the EPC occupancy study (Fig 6).
+
+pub mod accuracy;
+pub mod distribution;
+pub mod histogram;
+pub mod memory;
+pub mod series;
+
+pub use accuracy::PrecisionRecall;
+pub use distribution::Empirical;
+pub use histogram::LatencyHistogram;

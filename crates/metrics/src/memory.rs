@@ -1,0 +1,79 @@
+//! Byte-accurate memory accounting.
+//!
+//! Fig 6 of the paper profiles the proxy's heap while the in-enclave query
+//! history grows; since the enclave is simulated, we account bytes exactly
+//! instead of sampling a heap profiler: each tracked structure reports its
+//! heap footprint including container overhead.
+
+/// Types that can report their heap memory footprint in bytes.
+pub trait HeapSize {
+    /// Bytes allocated on the heap by this value (excluding `size_of::<Self>()`).
+    fn heap_bytes(&self) -> usize;
+
+    /// Total footprint: inline size plus heap allocations.
+    fn total_bytes(&self) -> usize
+    where
+        Self: Sized,
+    {
+        std::mem::size_of::<Self>() + self.heap_bytes()
+    }
+}
+
+impl HeapSize for String {
+    fn heap_bytes(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+            + self.iter().map(HeapSize::heap_bytes).sum::<usize>()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Option<T> {
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, HeapSize::heap_bytes)
+    }
+}
+
+/// Bytes in a mebibyte.
+pub const MIB: usize = 1024 * 1024;
+
+/// Converts bytes to fractional MiB (the unit of Fig 6's y-axis).
+#[must_use]
+pub fn to_mib(bytes: usize) -> f64 {
+    bytes as f64 / MIB as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_reports_capacity() {
+        let s = String::with_capacity(100);
+        assert_eq!(s.heap_bytes(), 100);
+        assert_eq!(s.total_bytes(), 100 + std::mem::size_of::<String>());
+    }
+
+    #[test]
+    fn vec_of_strings_counts_both_levels() {
+        let v = vec!["abc".to_owned(), "defg".to_owned()];
+        let expected_inline = v.capacity() * std::mem::size_of::<String>();
+        assert_eq!(v.heap_bytes(), expected_inline + 3 + 4);
+    }
+
+    #[test]
+    fn option_none_is_free() {
+        let o: Option<String> = None;
+        assert_eq!(o.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn mib_conversion() {
+        assert_eq!(to_mib(MIB), 1.0);
+        assert!((to_mib(90 * MIB) - 90.0).abs() < 1e-12);
+    }
+}

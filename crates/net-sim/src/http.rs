@@ -1,0 +1,385 @@
+//! A minimal HTTP/1.1 codec.
+//!
+//! The paper notes that X-Search "can be used with third-party clients
+//! issuing regular HTTP requests, such as wget or curl" (§6.3, footnote 3);
+//! the proxy therefore frames its client traffic as HTTP. This codec
+//! supports exactly what the system needs: request line + headers + body
+//! with `Content-Length` framing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from parsing HTTP messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The start line was malformed.
+    BadStartLine,
+    /// A header line was malformed.
+    BadHeader,
+    /// The blank line terminating the headers never arrived.
+    UnterminatedHeaders,
+    /// `Content-Length` disagrees with the available body bytes.
+    BadBody,
+    /// The message is not valid UTF-8 where text is required.
+    BadEncoding,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            HttpError::BadStartLine => "malformed start line",
+            HttpError::BadHeader => "malformed header",
+            HttpError::UnterminatedHeaders => "headers not terminated",
+            HttpError::BadBody => "body length mismatch",
+            HttpError::BadEncoding => "invalid utf-8 in message head",
+        };
+        write!(f, "{msg}")
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method (GET, POST, ...). Uppercase by convention; not enforced.
+    pub method: String,
+    /// Request target, e.g. `/search?q=foo`.
+    pub target: String,
+    /// Headers with case-insensitive names (stored lowercase).
+    pub headers: BTreeMap<String, String>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Builds a GET request for `target`.
+    #[must_use]
+    pub fn get(target: impl Into<String>) -> Self {
+        Request { method: "GET".into(), target: target.into(), headers: BTreeMap::new(), body: Vec::new() }
+    }
+
+    /// Builds a POST with a body.
+    #[must_use]
+    pub fn post(target: impl Into<String>, body: Vec<u8>) -> Self {
+        Request { method: "POST".into(), target: target.into(), headers: BTreeMap::new(), body }
+    }
+
+    /// Sets a header (name lowercased), returning `self` for chaining.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.insert(name.to_ascii_lowercase(), value.to_owned());
+        self
+    }
+
+    /// Gets a header by case-insensitive name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// Extracts the query parameter `key` from the target
+    /// (`/search?q=cheap+flights` → `q` = `cheap flights`).
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<String> {
+        let (_, qs) = self.target.split_once('?')?;
+        for pair in qs.split('&') {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            if k == key {
+                return Some(percent_decode(v));
+            }
+        }
+        None
+    }
+
+    /// Serializes to wire bytes (adds `Content-Length`).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = format!("{} {} HTTP/1.1\r\n", self.method, self.target).into_bytes();
+        encode_headers(&mut out, &self.headers, self.body.len());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`HttpError`] variant, depending on what is malformed.
+    pub fn decode(bytes: &[u8]) -> Result<Self, HttpError> {
+        let (head, body) = split_head(bytes)?;
+        let mut lines = head.lines();
+        let start = lines.next().ok_or(HttpError::BadStartLine)?;
+        let mut parts = start.split(' ');
+        let method = parts.next().ok_or(HttpError::BadStartLine)?.to_owned();
+        let target = parts.next().ok_or(HttpError::BadStartLine)?.to_owned();
+        let version = parts.next().ok_or(HttpError::BadStartLine)?;
+        if !version.starts_with("HTTP/") || parts.next().is_some() || method.is_empty() {
+            return Err(HttpError::BadStartLine);
+        }
+        let headers = parse_headers(lines)?;
+        let body = take_body(&headers, body)?;
+        Ok(Request { method, target, headers, body })
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 404, ...).
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Headers (lowercase names).
+    pub headers: BTreeMap<String, String>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 response with a body.
+    #[must_use]
+    pub fn ok(body: Vec<u8>) -> Self {
+        Response { status: 200, reason: "OK".into(), headers: BTreeMap::new(), body }
+    }
+
+    /// A response with the given status and empty body.
+    #[must_use]
+    pub fn status(status: u16, reason: &str) -> Self {
+        Response { status, reason: reason.to_owned(), headers: BTreeMap::new(), body: Vec::new() }
+    }
+
+    /// Sets a header (name lowercased).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.insert(name.to_ascii_lowercase(), value.to_owned());
+        self
+    }
+
+    /// Serializes to wire bytes (adds `Content-Length`).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).into_bytes();
+        encode_headers(&mut out, &self.headers, self.body.len());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`HttpError`] variant, depending on what is malformed.
+    pub fn decode(bytes: &[u8]) -> Result<Self, HttpError> {
+        let (head, body) = split_head(bytes)?;
+        let mut lines = head.lines();
+        let start = lines.next().ok_or(HttpError::BadStartLine)?;
+        let mut parts = start.splitn(3, ' ');
+        let version = parts.next().ok_or(HttpError::BadStartLine)?;
+        if !version.starts_with("HTTP/") {
+            return Err(HttpError::BadStartLine);
+        }
+        let status: u16 =
+            parts.next().ok_or(HttpError::BadStartLine)?.parse().map_err(|_| HttpError::BadStartLine)?;
+        let reason = parts.next().unwrap_or("").to_owned();
+        let headers = parse_headers(lines)?;
+        let body = take_body(&headers, body)?;
+        Ok(Response { status, reason, headers, body })
+    }
+}
+
+fn encode_headers(out: &mut Vec<u8>, headers: &BTreeMap<String, String>, body_len: usize) {
+    for (k, v) in headers {
+        if k != "content-length" {
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+    }
+    out.extend_from_slice(format!("content-length: {body_len}\r\n\r\n").as_bytes());
+}
+
+fn split_head(bytes: &[u8]) -> Result<(&str, &[u8]), HttpError> {
+    let sep = b"\r\n\r\n";
+    let pos = bytes
+        .windows(sep.len())
+        .position(|w| w == sep)
+        .ok_or(HttpError::UnterminatedHeaders)?;
+    let head = std::str::from_utf8(&bytes[..pos]).map_err(|_| HttpError::BadEncoding)?;
+    Ok((head, &bytes[pos + sep.len()..]))
+}
+
+fn parse_headers<'a, I: Iterator<Item = &'a str>>(
+    lines: I,
+) -> Result<BTreeMap<String, String>, HttpError> {
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadHeader);
+        }
+        headers.insert(name.to_ascii_lowercase(), value.trim().to_owned());
+    }
+    Ok(headers)
+}
+
+fn take_body(headers: &BTreeMap<String, String>, body: &[u8]) -> Result<Vec<u8>, HttpError> {
+    match headers.get("content-length") {
+        Some(len) => {
+            let len: usize = len.parse().map_err(|_| HttpError::BadBody)?;
+            if body.len() < len {
+                return Err(HttpError::BadBody);
+            }
+            Ok(body[..len].to_vec())
+        }
+        None => Ok(body.to_vec()),
+    }
+}
+
+/// Percent-decodes a URL query component (`+` → space, `%xx` → byte).
+#[must_use]
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 3 <= bytes.len() => {
+                match std::str::from_utf8(&bytes[i + 1..i + 3])
+                    .ok()
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                        continue;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encodes a string for use in a query component.
+#[must_use]
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char);
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::post("/search", b"payload".to_vec()).with_header("Host", "proxy");
+        let decoded = Request::decode(&req.encode()).unwrap();
+        assert_eq!(decoded.method, "POST");
+        assert_eq!(decoded.target, "/search");
+        assert_eq!(decoded.header("host"), Some("proxy"));
+        assert_eq!(decoded.body, b"payload");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok(b"results".to_vec()).with_header("X-Proxy", "xsearch");
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded.status, 200);
+        assert_eq!(decoded.reason, "OK");
+        assert_eq!(decoded.body, b"results");
+    }
+
+    #[test]
+    fn query_param_extraction() {
+        let req = Request::get("/search?q=cheap+flights&k=3");
+        assert_eq!(req.query_param("q").as_deref(), Some("cheap flights"));
+        assert_eq!(req.query_param("k").as_deref(), Some("3"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn percent_roundtrip_on_query_text() {
+        for s in ["cheap flights", "c++ tutorial", "100% cotton", "a&b=c"] {
+            assert_eq!(percent_decode(&percent_encode(s)), s, "{s}");
+        }
+    }
+
+    #[test]
+    fn missing_header_terminator_rejected() {
+        assert_eq!(
+            Request::decode(b"GET / HTTP/1.1\r\nhost: x\r\n"),
+            Err(HttpError::UnterminatedHeaders)
+        );
+    }
+
+    #[test]
+    fn malformed_start_line_rejected() {
+        assert_eq!(
+            Request::decode(b"GARBAGE\r\n\r\n"),
+            Err(HttpError::BadStartLine)
+        );
+    }
+
+    #[test]
+    fn short_body_rejected() {
+        let raw = b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc";
+        assert_eq!(Request::decode(raw), Err(HttpError::BadBody));
+    }
+
+    #[test]
+    fn extra_body_bytes_are_truncated_to_content_length() {
+        let raw = b"POST / HTTP/1.1\r\ncontent-length: 3\r\n\r\nabcdef";
+        assert_eq!(Request::decode(raw).unwrap().body, b"abc");
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let raw = b"GET / HTTP/1.1\r\nHOST: example\r\n\r\n";
+        let req = Request::decode(raw).unwrap();
+        assert_eq!(req.header("Host"), Some("example"));
+    }
+
+    #[test]
+    fn status_parse() {
+        let resp = Response::decode(b"HTTP/1.1 404 Not Found\r\n\r\n").unwrap();
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.reason, "Not Found");
+    }
+
+    proptest! {
+        #[test]
+        fn request_roundtrips_any_body(body: Vec<u8>, target in "/[a-z0-9/]{0,20}") {
+            let req = Request::post(target, body.clone());
+            let dec = Request::decode(&req.encode()).unwrap();
+            prop_assert_eq!(dec.body, body);
+        }
+
+        #[test]
+        fn decode_never_panics(bytes: Vec<u8>) {
+            let _ = Request::decode(&bytes);
+            let _ = Response::decode(&bytes);
+        }
+
+        #[test]
+        fn percent_encode_decode_roundtrip(s in "[ -~]{0,50}") {
+            prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Network substrate for the X-Search reproduction.
+//!
+//! The paper's measurements involve three kinds of network behaviour:
+//! WAN latency between client, proxies and search engine (Fig 7), relay
+//! capacity limits (Tor's Fig 5 saturation), and plain HTTP framing (the
+//! X-Search proxy speaks HTTP so stock clients work). This crate models
+//! each one:
+//!
+//! * [`delay`] — latency distributions (constant, uniform, log-normal) with
+//!   deterministic sampling;
+//! * [`link`] — one-way/RTT delay sampling for a named link, *accounted*
+//!   rather than slept, so end-to-end latency experiments run in
+//!   microseconds of wall time;
+//! * [`station`] — a worker-pool service station with a bounded queue,
+//!   modelling capacity-limited relays;
+//! * [`transport`] — in-process duplex byte pipes for wiring components;
+//! * [`http`] — a minimal HTTP/1.1 request/response codec.
+
+pub mod delay;
+pub mod http;
+pub mod link;
+pub mod station;
+pub mod transport;
+
+pub use delay::DelayModel;
+pub use link::Link;

@@ -1,0 +1,131 @@
+//! A named network link with a one-way delay model.
+//!
+//! Delays are *accounted*, not slept: an experiment asks a link for a
+//! sampled one-way or round-trip delay and adds it to its latency budget.
+//! This keeps the Fig 7 end-to-end experiment deterministic and fast while
+//! preserving the distributional shape.
+
+use crate::delay::DelayModel;
+use rand::Rng;
+use std::time::Duration;
+
+/// A point-to-point link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    name: String,
+    delay: DelayModel,
+}
+
+impl Link {
+    /// Creates a link with a one-way delay model.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use xsearch_net_sim::{Link, DelayModel};
+    /// use rand::SeedableRng;
+    ///
+    /// let link = Link::new("client-proxy", DelayModel::constant_ms(20));
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    /// assert_eq!(link.rtt(&mut rng).as_millis(), 40);
+    /// ```
+    #[must_use]
+    pub fn new(name: impl Into<String>, delay: DelayModel) -> Self {
+        Link { name: name.into(), delay }
+    }
+
+    /// The link's label (for reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Samples a one-way traversal delay.
+    pub fn one_way<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        self.delay.sample(rng)
+    }
+
+    /// Samples a round trip: two independent one-way traversals.
+    pub fn rtt<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        self.one_way(rng) + self.one_way(rng)
+    }
+
+    /// The underlying delay model.
+    #[must_use]
+    pub fn delay_model(&self) -> &DelayModel {
+        &self.delay
+    }
+}
+
+/// The WAN topology of the paper's deployment, calibrated per DESIGN.md §6.
+#[derive(Debug, Clone)]
+pub struct WanModel {
+    /// Client (broker) ↔ X-Search/PEAS proxy in a public cloud.
+    pub client_proxy: Link,
+    /// Proxy ↔ search engine.
+    pub proxy_engine: Link,
+    /// Client ↔ search engine directly (the Direct baseline).
+    pub client_engine: Link,
+    /// One Tor relay hop (client→guard, relay→relay, exit→engine all use
+    /// independent samples of this link).
+    pub tor_hop: Link,
+    /// Search-engine service time (query evaluation at Bing).
+    pub engine_service: DelayModel,
+}
+
+impl Default for WanModel {
+    fn default() -> Self {
+        WanModel {
+            client_proxy: Link::new("client-proxy", DelayModel::lognormal_ms(20, 0.35)),
+            proxy_engine: Link::new("proxy-engine", DelayModel::lognormal_ms(15, 0.35)),
+            client_engine: Link::new("client-engine", DelayModel::lognormal_ms(18, 0.35)),
+            tor_hop: Link::new("tor-hop", DelayModel::lognormal_ms(110, 0.55)),
+            engine_service: DelayModel::lognormal_ms(380, 0.25),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rtt_is_sum_of_two_one_ways_for_constant() {
+        let link = Link::new("l", DelayModel::constant_ms(30));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(link.rtt(&mut rng), Duration::from_millis(60));
+    }
+
+    #[test]
+    fn name_is_preserved() {
+        assert_eq!(Link::new("alpha", DelayModel::constant_ms(1)).name(), "alpha");
+    }
+
+    #[test]
+    fn default_wan_orders_paths_sensibly() {
+        // A Tor hop is slower than the direct paths; the engine dominates.
+        let wan = WanModel::default();
+        assert!(wan.tor_hop.delay_model().median() > wan.client_proxy.delay_model().median());
+        assert!(wan.engine_service.median() > wan.tor_hop.delay_model().median());
+    }
+
+    #[test]
+    fn direct_median_rtt_lands_near_paper_scale() {
+        // Direct search: client-engine RTT + engine service ≈ 0.42 s median,
+        // matching Fig 7's Direct curve being comfortably under X-Search's
+        // 0.577 s median.
+        let wan = WanModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut samples: Vec<f64> = (0..2001)
+            .map(|_| {
+                (wan.client_engine.rtt(&mut rng) + wan.engine_service.sample(&mut rng))
+                    .as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((0.30..0.60).contains(&median), "median {median}");
+    }
+}

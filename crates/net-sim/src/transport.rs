@@ -1,0 +1,131 @@
+//! In-process duplex byte pipes.
+//!
+//! Components (broker, proxy, relays, engine front-end) talk over message
+//! pipes; a pipe carries whole frames (`Vec<u8>`) like one TCP segment
+//! carrying one length-prefixed message would.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// One end of a duplex pipe.
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// Error from [`Endpoint::recv_timeout`] / closed pipes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer endpoint was dropped.
+    Disconnected,
+    /// No frame arrived within the timeout.
+    TimedOut,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::TimedOut => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl Endpoint {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] if the peer is gone.
+    pub fn send(&self, frame: Vec<u8>) -> Result<(), TransportError> {
+        self.tx.send(frame).map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Blocks until a frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] if the peer is gone.
+    pub fn recv(&self) -> Result<Vec<u8>, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Waits up to `timeout` for a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::TimedOut`] on timeout, `Disconnected` if the peer
+    /// endpoint was dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::TimedOut,
+            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })
+    }
+}
+
+/// Creates a connected pair of endpoints.
+///
+/// # Example
+///
+/// ```
+/// let (a, b) = xsearch_net_sim::transport::duplex();
+/// a.send(b"ping".to_vec()).unwrap();
+/// assert_eq!(b.recv().unwrap(), b"ping");
+/// b.send(b"pong".to_vec()).unwrap();
+/// assert_eq!(a.recv().unwrap(), b"pong");
+/// ```
+#[must_use]
+pub fn duplex() -> (Endpoint, Endpoint) {
+    let (tx_ab, rx_ab) = unbounded();
+    let (tx_ba, rx_ba) = unbounded();
+    (Endpoint { tx: tx_ab, rx: rx_ba }, Endpoint { tx: tx_ba, rx: rx_ab })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_preserve_order() {
+        let (a, b) = duplex();
+        for i in 0..10u8 {
+            a.send(vec![i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(b.recv().unwrap(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn both_directions_work_concurrently() {
+        let (a, b) = duplex();
+        let t = std::thread::spawn(move || {
+            let frame = b.recv().unwrap();
+            b.send(frame.iter().rev().copied().collect()).unwrap();
+        });
+        a.send(vec![1, 2, 3]).unwrap();
+        assert_eq!(a.recv().unwrap(), vec![3, 2, 1]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_peer_reports_disconnect() {
+        let (a, b) = duplex();
+        drop(b);
+        assert_eq!(a.send(vec![0]), Err(TransportError::Disconnected));
+        assert_eq!(a.recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (a, _b) = duplex();
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)),
+            Err(TransportError::TimedOut)
+        );
+    }
+}

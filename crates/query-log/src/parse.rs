@@ -1,0 +1,198 @@
+//! Parser for the real AOL query-log TSV format.
+//!
+//! Files look like:
+//!
+//! ```text
+//! AnonID	Query	QueryTime	ItemRank	ClickURL
+//! 142	rentdirect.com	2006-03-01 07:17:12
+//! 142	staple.com	2006-03-01 17:29:13	1	http://www.staples.com
+//! ```
+//!
+//! The header line is optional; malformed lines are skipped and counted.
+
+use crate::record::{QueryRecord, UserId};
+
+/// Result of parsing a log: the records plus a count of skipped lines.
+#[derive(Debug, Clone, Default)]
+pub struct ParseOutcome {
+    /// Successfully parsed records, in file order.
+    pub records: Vec<QueryRecord>,
+    /// Lines that did not conform to the schema.
+    pub skipped: usize,
+}
+
+/// Parses AOL TSV content (already read into a string).
+///
+/// # Example
+///
+/// ```
+/// let text = "AnonID\tQuery\tQueryTime\tItemRank\tClickURL\n\
+///             142\trentdirect.com\t2006-03-01 07:17:12\t\t\n";
+/// let out = xsearch_query_log::parse::parse_aol(text);
+/// assert_eq!(out.records.len(), 1);
+/// assert_eq!(out.records[0].query, "rentdirect.com");
+/// ```
+#[must_use]
+pub fn parse_aol(content: &str) -> ParseOutcome {
+    let mut out = ParseOutcome::default();
+    for (i, line) in content.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if i == 0 && line.starts_with("AnonID") {
+            continue; // header
+        }
+        match parse_line(line) {
+            Some(rec) => out.records.push(rec),
+            None => out.skipped += 1,
+        }
+    }
+    out
+}
+
+fn parse_line(line: &str) -> Option<QueryRecord> {
+    let mut fields = line.split('\t');
+    let user: u32 = fields.next()?.trim().parse().ok()?;
+    let query = fields.next()?.trim();
+    if query.is_empty() {
+        return None;
+    }
+    let time = parse_datetime(fields.next()?.trim())?;
+    let item_rank = match fields.next().map(str::trim) {
+        Some("") | None => None,
+        Some(r) => Some(r.parse().ok()?),
+    };
+    let click_url = match fields.next().map(str::trim) {
+        Some("") | None => None,
+        Some(u) => Some(u.to_owned()),
+    };
+    Some(QueryRecord { user: UserId(user), query: query.to_owned(), time, item_rank, click_url })
+}
+
+/// Parses `YYYY-MM-DD HH:MM:SS` into Unix seconds (UTC, proleptic
+/// Gregorian). Returns `None` for malformed input or out-of-range fields.
+#[must_use]
+pub fn parse_datetime(s: &str) -> Option<u64> {
+    let (date, time) = s.split_once(' ')?;
+    let mut dp = date.split('-');
+    let year: i64 = dp.next()?.parse().ok()?;
+    let month: u64 = dp.next()?.parse().ok()?;
+    let day: u64 = dp.next()?.parse().ok()?;
+    if dp.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    let mut tp = time.split(':');
+    let hour: u64 = tp.next()?.parse().ok()?;
+    let minute: u64 = tp.next()?.parse().ok()?;
+    let second: u64 = tp.next()?.parse().ok()?;
+    if tp.next().is_some() || hour > 23 || minute > 59 || second > 60 {
+        return None;
+    }
+    let days = days_from_civil(year, month, day);
+    if days < 0 {
+        return None;
+    }
+    Some(days as u64 * 86_400 + hour * 3_600 + minute * 60 + second)
+}
+
+/// Days since 1970-01-01 for a proleptic Gregorian date
+/// (Howard Hinnant's `days_from_civil` algorithm).
+fn days_from_civil(y: i64, m: u64, d: u64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = if m > 2 { m - 3 } else { m + 9 }; // March-based month
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe as i64 - 719_468
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(parse_datetime("1970-01-01 00:00:00"), Some(0));
+    }
+
+    #[test]
+    fn known_epoch_values() {
+        // 2000-01-01T00:00:00Z and 2006-03-01T00:00:00Z.
+        assert_eq!(parse_datetime("2000-01-01 00:00:00"), Some(946_684_800));
+        assert_eq!(parse_datetime("2006-03-01 00:00:00"), Some(1_141_171_200));
+        assert_eq!(parse_datetime("2006-03-01 07:17:12"), Some(1_141_171_200 + 7 * 3600 + 17 * 60 + 12));
+    }
+
+    #[test]
+    fn leap_year_february() {
+        // 2004 was a leap year: Feb 29 exists and Mar 1 is day 60.
+        let feb29 = parse_datetime("2004-02-29 00:00:00").unwrap();
+        let mar1 = parse_datetime("2004-03-01 00:00:00").unwrap();
+        assert_eq!(mar1 - feb29, 86_400);
+    }
+
+    #[test]
+    fn malformed_datetimes_rejected() {
+        for s in ["2006-03-01", "2006/03/01 00:00:00", "2006-13-01 00:00:00", "2006-03-01 25:00:00", "garbage"] {
+            assert_eq!(parse_datetime(s), None, "{s}");
+        }
+    }
+
+    #[test]
+    fn parses_click_and_non_click_lines() {
+        let text = "AnonID\tQuery\tQueryTime\tItemRank\tClickURL\n\
+                    142\trentdirect.com\t2006-03-01 07:17:12\t\t\n\
+                    142\tstaple.com\t2006-03-01 17:29:13\t1\thttp://www.staples.com\n";
+        let out = parse_aol(text);
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.skipped, 0);
+        assert_eq!(out.records[0].item_rank, None);
+        assert_eq!(out.records[1].item_rank, Some(1));
+        assert_eq!(out.records[1].click_url.as_deref(), Some("http://www.staples.com"));
+    }
+
+    #[test]
+    fn three_column_lines_parse_without_click_fields() {
+        let out = parse_aol("7\tnew york lottery\t2006-05-11 09:12:13\n");
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].user, UserId(7));
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let text = "abc\tquery\t2006-03-01 00:00:00\n\
+                    5\t\t2006-03-01 00:00:00\n\
+                    5\tok query\t2006-03-01 00:00:00\n";
+        let out = parse_aol(text);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.skipped, 2);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let out = parse_aol("");
+        assert!(out.records.is_empty());
+        assert_eq!(out.skipped, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn datetime_roundtrip_monotone(
+            d1 in 1u64..=28, d2 in 1u64..=28,
+            m1 in 1u64..=12, m2 in 1u64..=12,
+            y1 in 1990i64..2020, y2 in 1990i64..2020,
+        ) {
+            let a = parse_datetime(&format!("{y1:04}-{m1:02}-{d1:02} 00:00:00")).unwrap();
+            let b = parse_datetime(&format!("{y2:04}-{m2:02}-{d2:02} 00:00:00")).unwrap();
+            prop_assert_eq!((y1, m1, d1) <= (y2, m2, d2), a <= b);
+        }
+
+        #[test]
+        fn parse_never_panics(line: String) {
+            let _ = parse_aol(&line);
+        }
+    }
+}

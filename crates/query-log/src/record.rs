@@ -1,0 +1,66 @@
+//! The query-log record type, mirroring the AOL dataset schema.
+
+use std::fmt;
+
+/// An anonymized user identifier (the AOL `AnonID` column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct UserId(pub u32);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// One logged query event.
+///
+/// Field names follow the AOL columns: `AnonID`, `Query`, `QueryTime`,
+/// `ItemRank`, `ClickURL`. Click data is optional (absent for non-click
+/// events) and unused by most experiments, but preserved so real AOL files
+/// round-trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRecord {
+    /// Anonymized requesting user.
+    pub user: UserId,
+    /// The raw query text as typed.
+    pub query: String,
+    /// Seconds since the Unix epoch.
+    pub time: u64,
+    /// 1-based rank of the clicked result, when a click followed.
+    pub item_rank: Option<u32>,
+    /// Domain of the clicked result, when a click followed.
+    pub click_url: Option<String>,
+}
+
+impl QueryRecord {
+    /// Convenience constructor for a non-click query event.
+    #[must_use]
+    pub fn new(user: UserId, query: impl Into<String>, time: u64) -> Self {
+        QueryRecord { user, query: query.into(), time, item_rank: None, click_url: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_id_displays_compactly() {
+        assert_eq!(UserId(42).to_string(), "u42");
+    }
+
+    #[test]
+    fn new_has_no_click_data() {
+        let r = QueryRecord::new(UserId(1), "paris hotels", 1_141_171_200);
+        assert_eq!(r.item_rank, None);
+        assert_eq!(r.click_url, None);
+        assert_eq!(r.query, "paris hotels");
+    }
+
+    #[test]
+    fn records_are_ordered_by_derive() {
+        let a = QueryRecord::new(UserId(1), "a", 1);
+        let b = QueryRecord::new(UserId(1), "a", 1);
+        assert_eq!(a, b);
+    }
+}

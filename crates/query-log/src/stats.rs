@@ -1,0 +1,99 @@
+//! Descriptive statistics over a query log — used by examples and by the
+//! calibration tests that keep the synthetic generator honest.
+
+use crate::record::QueryRecord;
+use std::collections::{HashMap, HashSet};
+
+/// Summary statistics of a log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogStats {
+    /// Total records.
+    pub records: usize,
+    /// Distinct users.
+    pub users: usize,
+    /// Distinct query strings.
+    pub unique_queries: usize,
+    /// Mean query length in characters.
+    pub mean_query_chars: f64,
+    /// Mean query length in whitespace words.
+    pub mean_query_words: f64,
+    /// Most records by a single user.
+    pub max_user_records: usize,
+    /// Fraction of records whose query also appears for another user.
+    pub cross_user_share: f64,
+}
+
+impl LogStats {
+    /// Computes statistics over `log`.
+    #[must_use]
+    pub fn compute(log: &[QueryRecord]) -> Self {
+        let mut users: HashMap<_, usize> = HashMap::new();
+        let mut owners: HashMap<&str, HashSet<u32>> = HashMap::new();
+        let mut chars = 0usize;
+        let mut words = 0usize;
+        for r in log {
+            *users.entry(r.user).or_insert(0) += 1;
+            owners.entry(&r.query).or_default().insert(r.user.0);
+            chars += r.query.chars().count();
+            words += r.query.split_whitespace().count();
+        }
+        let shared: HashSet<&str> = owners
+            .iter()
+            .filter(|(_, o)| o.len() >= 2)
+            .map(|(q, _)| *q)
+            .collect();
+        let cross = log.iter().filter(|r| shared.contains(r.query.as_str())).count();
+        let n = log.len().max(1);
+        LogStats {
+            records: log.len(),
+            users: users.len(),
+            unique_queries: owners.len(),
+            mean_query_chars: chars as f64 / n as f64,
+            mean_query_words: words as f64 / n as f64,
+            max_user_records: users.values().copied().max().unwrap_or(0),
+            cross_user_share: cross as f64 / n as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::UserId;
+    use crate::synthetic::{generate, SyntheticConfig};
+
+    #[test]
+    fn empty_log_stats() {
+        let s = LogStats::compute(&[]);
+        assert_eq!(s.records, 0);
+        assert_eq!(s.users, 0);
+        assert_eq!(s.mean_query_chars, 0.0);
+    }
+
+    #[test]
+    fn counts_are_exact_on_tiny_log() {
+        let log = vec![
+            QueryRecord::new(UserId(1), "a b", 0),
+            QueryRecord::new(UserId(2), "a b", 1),
+            QueryRecord::new(UserId(2), "c", 2),
+        ];
+        let s = LogStats::compute(&log);
+        assert_eq!(s.records, 3);
+        assert_eq!(s.users, 2);
+        assert_eq!(s.unique_queries, 2);
+        assert_eq!(s.max_user_records, 2);
+        // "a b" appears for two users: 2 of 3 records are cross-user.
+        assert!((s.cross_user_share - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_log_matches_aol_texture() {
+        let log = generate(&SyntheticConfig { num_users: 150, ..Default::default() });
+        let s = LogStats::compute(&log);
+        // AOL-like shape: short keyword queries, repeated across users.
+        assert!((1.0..4.5).contains(&s.mean_query_words), "words {}", s.mean_query_words);
+        assert!((8.0..40.0).contains(&s.mean_query_chars), "chars {}", s.mean_query_chars);
+        assert!(s.cross_user_share > 0.15, "cross-user share {}", s.cross_user_share);
+        assert!(s.unique_queries * 2 < s.records * 2, "sanity");
+    }
+}

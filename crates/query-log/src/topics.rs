@@ -1,0 +1,164 @@
+//! The embedded topic/term bank behind the synthetic query log and the
+//! synthetic web corpus.
+//!
+//! Forty topics approximate the subject spread of 2006-era web search
+//! (health, travel, entertainment, shopping, ...). Each topic carries a
+//! vocabulary of content terms; user profiles are mixtures over topics, and
+//! the search-engine corpus aligns its documents to the same bank so that
+//! result overlap behaves like a real keyword engine.
+
+/// A named topic with its content vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topic {
+    /// Short topic label.
+    pub name: &'static str,
+    /// Content terms characteristic of the topic.
+    pub terms: &'static [&'static str],
+}
+
+/// Query modifiers that attach to any topic ("free", "best", "online", ...).
+pub static MODIFIERS: &[&str] = &[
+    "free", "best", "cheap", "online", "new", "top", "local", "reviews", "pictures", "guide",
+    "2006", "official", "discount", "used", "sale", "how", "what", "where", "list", "compare",
+];
+
+/// Rare "personal" terms (given names, surnames, small places) that make a
+/// user's long-tail queries identifying — the signal SimAttack exploits.
+pub static PERSONAL: &[&str] = &[
+    "abbott", "acworth", "ainsworth", "albany", "alvarado", "amesbury", "anderson", "ashtabula",
+    "atkins", "aurora", "bakersfield", "baldwin", "barnstable", "barrett", "baxter", "beaumont",
+    "bellingham", "bentley", "billings", "biloxi", "blackwell", "boise", "bowman", "bozeman",
+    "bradford", "brandon", "bristol", "brockton", "burbank", "burlington", "calhoun", "camden",
+    "carlisle", "carson", "chandler", "chattanooga", "cheyenne", "clarkson", "clayton", "clifton",
+    "colby", "conway", "crawford", "crowley", "cumberland", "dalton", "danbury", "davenport",
+    "dawson", "dayton", "decatur", "dekalb", "denton", "dorchester", "dover", "dubuque", "duluth",
+    "duncan", "eastman", "elgin", "elkhart", "emerson", "enfield", "erwin", "eugene", "everett",
+    "fairbanks", "fargo", "farmington", "fletcher", "flint", "florence", "fontana", "foster",
+    "franklin", "fremont", "fresno", "fulton", "gadsden", "galveston", "gardner", "garland",
+    "gastonia", "gilbert", "gladstone", "glendale", "goshen", "grafton", "granger", "greeley",
+    "greenville", "gresham", "griffin", "hadley", "hammond", "hampton", "hancock", "hanover",
+    "harmon", "harrison", "hartford", "hastings", "haverhill", "hawkins", "hayward", "helena",
+    "hendricks", "hialeah", "hickory", "hobart", "holbrook", "holden", "hopkins", "houlton",
+    "howell", "hudson", "huntley", "hutchinson", "irving", "jackson", "jamestown", "jasper",
+    "jennings", "joliet", "juneau", "kearney", "keller", "kendall", "kennedy", "kingston",
+    "kirkland", "lancaster", "lansing", "laredo", "larkin", "lawton", "leland", "lewiston",
+    "lexington", "lincoln", "livermore", "lockhart", "lombard", "lowell", "lubbock", "lynchburg",
+    "madison", "malden", "manchester", "mansfield", "marietta", "marlow", "mcallen", "medford",
+    "mendota", "meriden", "merritt", "milford", "modesto", "monroe", "montague", "morgan",
+    "muncie", "murray", "nashua", "newell", "newton", "norfolk", "norwood", "oakley", "odessa",
+    "ogden", "olathe", "oswego", "owensboro", "palmer", "pasadena", "paterson", "pawtucket",
+    "peabody", "pendleton", "peoria", "perkins", "pittsfield", "plano", "pomona", "portage",
+    "preston", "pueblo", "quincy", "radford", "raleigh", "ramsey", "randall", "redding",
+    "renton", "richmond", "riverton", "roanoke", "rockford", "rosewood", "roswell", "rutland",
+    "saginaw", "salem", "salinas", "sanborn", "sandusky", "sanford", "saratoga", "savannah",
+    "schenectady", "scranton", "sedalia", "shelby", "sheridan", "sherman", "shreveport",
+    "somerville", "spalding", "spokane", "stamford", "sterling", "stockton", "sumter",
+    "syracuse", "tacoma", "taunton", "temple", "thornton", "titusville", "toledo", "topeka",
+    "torrance", "trenton", "tucson", "tulsa", "tupelo", "tyler", "underwood", "upton", "utica",
+    "valdosta", "vance", "ventura", "vernon", "waco", "wakefield", "walker", "wallace",
+    "walpole", "waltham", "warwick", "watertown", "waverly", "webster", "wellesley", "weston",
+    "wheaton", "whitman", "wichita", "willard", "winchester", "windham", "winfield", "winona",
+    "woodbury", "wooster", "worthington", "yonkers",
+];
+
+/// The topic bank.
+pub static TOPICS: &[Topic] = &[
+    Topic { name: "health", terms: &["symptoms", "treatment", "diabetes", "cancer", "pain", "doctor", "medicine", "diet", "pregnancy", "allergy", "blood", "pressure", "heart", "disease", "therapy", "infection", "surgery", "vitamin", "headache", "asthma", "arthritis", "cholesterol"] },
+    Topic { name: "travel", terms: &["flights", "hotel", "vacation", "airline", "cruise", "resort", "airport", "travel", "tickets", "beach", "paris", "london", "orlando", "tours", "rental", "passport", "luggage", "destination", "island", "caribbean", "hawaii", "disney"] },
+    Topic { name: "finance", terms: &["bank", "loan", "mortgage", "credit", "card", "interest", "rates", "insurance", "stock", "market", "investment", "refinance", "debt", "savings", "taxes", "irs", "retirement", "401k", "broker", "equity", "payday", "bankruptcy"] },
+    Topic { name: "music", terms: &["lyrics", "song", "album", "band", "concert", "guitar", "mp3", "download", "rock", "country", "rap", "singer", "radio", "billboard", "karaoke", "piano", "drums", "jazz", "playlist", "tour", "remix", "acoustic"] },
+    Topic { name: "movies", terms: &["movie", "film", "trailer", "theater", "dvd", "actor", "actress", "showtimes", "review", "oscar", "hollywood", "comedy", "horror", "drama", "sequel", "director", "cinema", "premiere", "box", "office", "netflix", "blockbuster"] },
+    Topic { name: "sports", terms: &["football", "baseball", "basketball", "nfl", "nba", "mlb", "score", "schedule", "playoffs", "team", "coach", "stadium", "tickets", "league", "draft", "roster", "soccer", "hockey", "golf", "tennis", "standings", "espn"] },
+    Topic { name: "cars", terms: &["car", "truck", "honda", "toyota", "ford", "chevrolet", "dealer", "parts", "engine", "tires", "transmission", "mileage", "hybrid", "lease", "warranty", "bluebook", "sedan", "suv", "brakes", "oil", "mechanic", "motorcycle"] },
+    Topic { name: "recipes", terms: &["recipe", "chicken", "cake", "cookies", "dinner", "soup", "bread", "pasta", "salad", "grill", "baking", "dessert", "casserole", "sauce", "crockpot", "pie", "vegetarian", "marinade", "appetizer", "pancake", "chili", "meatloaf"] },
+    Topic { name: "jobs", terms: &["jobs", "employment", "resume", "career", "salary", "hiring", "interview", "openings", "parttime", "nursing", "teacher", "manager", "application", "benefits", "workplace", "training", "certification", "staffing", "recruiter", "internship", "temp", "overtime"] },
+    Topic { name: "realestate", terms: &["homes", "house", "apartment", "rent", "realtor", "listing", "foreclosure", "condo", "property", "acreage", "closing", "appraisal", "landlord", "tenant", "duplex", "townhouse", "mobile", "realty", "zillow", "escrow", "deed", "inspection"] },
+    Topic { name: "games", terms: &["games", "cheats", "xbox", "playstation", "nintendo", "poker", "solitaire", "sudoku", "arcade", "console", "multiplayer", "walkthrough", "codes", "bingo", "chess", "puzzle", "casino", "slots", "wii", "gamecube", "halo", "sims"] },
+    Topic { name: "fashion", terms: &["dress", "shoes", "jeans", "handbag", "jewelry", "clothing", "boutique", "designer", "fashion", "makeup", "perfume", "bridal", "prom", "accessories", "sunglasses", "watches", "earrings", "necklace", "outfit", "style", "boots", "lingerie"] },
+    Topic { name: "pets", terms: &["dog", "cat", "puppy", "kitten", "breeder", "veterinarian", "grooming", "kennel", "adoption", "aquarium", "rescue", "terrier", "retriever", "poodle", "bulldog", "hamster", "parrot", "leash", "pets", "shelter", "obedience", "feline"] },
+    Topic { name: "gardening", terms: &["garden", "plants", "flowers", "seeds", "lawn", "roses", "vegetable", "mulch", "fertilizer", "pruning", "landscaping", "perennial", "annuals", "shrubs", "tomato", "herbs", "greenhouse", "compost", "weeds", "irrigation", "bulbs", "orchid"] },
+    Topic { name: "education", terms: &["school", "college", "university", "degree", "courses", "tuition", "scholarship", "student", "homework", "grades", "campus", "professor", "semester", "diploma", "admission", "transcript", "textbook", "elementary", "kindergarten", "curriculum", "exam", "sat"] },
+    Topic { name: "weather", terms: &["weather", "forecast", "hurricane", "tornado", "radar", "temperature", "storm", "rain", "snow", "humidity", "flood", "lightning", "drought", "climate", "barometer", "blizzard", "heatwave", "windchill", "precipitation", "doppler", "gust", "hail"] },
+    Topic { name: "news", terms: &["news", "headlines", "election", "president", "congress", "senate", "war", "iraq", "politics", "economy", "immigration", "scandal", "investigation", "breaking", "reporter", "editorial", "poll", "campaign", "governor", "legislation", "verdict", "debate"] },
+    Topic { name: "technology", terms: &["computer", "laptop", "software", "windows", "internet", "printer", "wireless", "router", "monitor", "keyboard", "virus", "spyware", "broadband", "modem", "download", "upgrade", "memory", "processor", "desktop", "firewall", "backup", "ipod"] },
+    Topic { name: "shopping", terms: &["store", "coupon", "walmart", "target", "ebay", "amazon", "clearance", "shipping", "catalog", "outlet", "mall", "gift", "registry", "bargain", "auction", "wholesale", "refund", "giftcard", "deals", "merchandise", "checkout", "retailer"] },
+    Topic { name: "parenting", terms: &["baby", "toddler", "diaper", "stroller", "daycare", "preschool", "nursery", "crib", "formula", "teething", "potty", "tantrum", "milestones", "playdate", "babysitter", "carseat", "naptime", "pediatrician", "twins", "newborn", "adoption", "maternity"] },
+    Topic { name: "wedding", terms: &["wedding", "bride", "groom", "engagement", "ring", "reception", "invitations", "florist", "caterer", "honeymoon", "bridesmaid", "tuxedo", "veil", "bouquet", "registry", "anniversary", "vows", "photographer", "banquet", "centerpiece", "gown", "rsvp"] },
+    Topic { name: "diy", terms: &["repair", "plumbing", "electrical", "paint", "drywall", "flooring", "roofing", "remodel", "cabinet", "deck", "fence", "insulation", "tile", "faucet", "furnace", "gutter", "hammer", "ladder", "lumber", "sander", "toolbox", "workbench"] },
+    Topic { name: "fitness", terms: &["gym", "workout", "exercise", "yoga", "pilates", "treadmill", "weights", "cardio", "protein", "muscle", "trainer", "marathon", "jogging", "stretching", "abs", "dumbbell", "aerobics", "calories", "nutrition", "supplement", "bodybuilding", "spinning"] },
+    Topic { name: "celebrity", terms: &["celebrity", "gossip", "paparazzi", "divorce", "dating", "rehab", "tabloid", "interview", "redcarpet", "awards", "grammy", "fanclub", "biography", "scandalous", "supermodel", "heiress", "starlet", "entourage", "publicist", "autograph", "premiere", "idol"] },
+    Topic { name: "religion", terms: &["church", "bible", "prayer", "sermon", "gospel", "faith", "worship", "pastor", "scripture", "christian", "catholic", "baptist", "methodist", "choir", "ministry", "missionary", "devotional", "psalm", "easter", "christmas", "communion", "baptism"] },
+    Topic { name: "genealogy", terms: &["genealogy", "ancestry", "surname", "census", "obituary", "cemetery", "heritage", "lineage", "descendants", "immigration", "archives", "birth", "marriage", "records", "pedigree", "ellis", "homestead", "ancestor", "genealogist", "roots", "clan", "registry"] },
+    Topic { name: "legal", terms: &["lawyer", "attorney", "lawsuit", "court", "divorce", "custody", "settlement", "probate", "contract", "liability", "plaintiff", "defendant", "felony", "misdemeanor", "paralegal", "notary", "statute", "subpoena", "testimony", "verdict", "appeal", "litigation"] },
+    Topic { name: "astrology", terms: &["horoscope", "zodiac", "astrology", "tarot", "psychic", "aries", "taurus", "gemini", "scorpio", "libra", "capricorn", "aquarius", "pisces", "virgo", "sagittarius", "leo", "compatibility", "numerology", "palmistry", "birthchart", "retrograde", "eclipse"] },
+    Topic { name: "crafts", terms: &["crafts", "scrapbook", "knitting", "crochet", "quilting", "beads", "stamps", "sewing", "embroidery", "origami", "stencil", "yarn", "fabric", "pattern", "glue", "ribbon", "candle", "pottery", "woodwork", "mosaic", "decoupage", "macrame"] },
+    Topic { name: "outdoors", terms: &["camping", "hiking", "fishing", "hunting", "kayak", "canoe", "trail", "campground", "tent", "backpack", "wilderness", "rifle", "archery", "tackle", "bait", "lure", "binoculars", "compass", "firewood", "lantern", "sleeping", "rapids"] },
+    Topic { name: "tv", terms: &["episode", "season", "series", "sitcom", "reality", "drama", "channel", "cable", "satellite", "rerun", "finale", "premiere", "network", "soap", "opera", "cartoon", "anime", "documentary", "gameshow", "talkshow", "miniseries", "broadcast"] },
+    Topic { name: "books", terms: &["book", "novel", "author", "paperback", "hardcover", "bestseller", "library", "bookstore", "fiction", "mystery", "romance", "thriller", "biography", "memoir", "poetry", "publisher", "chapter", "sequel", "trilogy", "audiobook", "bookclub", "anthology"] },
+    Topic { name: "history", terms: &["history", "civil", "revolution", "ancient", "medieval", "empire", "dynasty", "archaeology", "artifact", "museum", "monument", "colonial", "pioneer", "frontier", "treaty", "constitution", "independence", "victorian", "renaissance", "crusades", "pharaoh", "gladiator"] },
+    Topic { name: "science", terms: &["science", "physics", "chemistry", "biology", "astronomy", "telescope", "molecule", "genome", "evolution", "experiment", "laboratory", "quantum", "galaxy", "planet", "asteroid", "microscope", "element", "periodic", "neuron", "fossil", "volcano", "ecosystem"] },
+    Topic { name: "boats", terms: &["boat", "yacht", "sailboat", "pontoon", "marina", "outboard", "trailer", "hull", "anchor", "dock", "propeller", "fiberglass", "nautical", "regatta", "sailing", "mooring", "bilge", "rudder", "keel", "catamaran", "dinghy", "waterski"] },
+    Topic { name: "insurance", terms: &["insurance", "premium", "deductible", "claim", "policy", "coverage", "liability", "accident", "adjuster", "quote", "comprehensive", "collision", "underwriting", "beneficiary", "copay", "medicare", "medicaid", "hmo", "ppo", "dental", "vision", "actuary"] },
+    Topic { name: "phones", terms: &["phone", "cellphone", "ringtone", "verizon", "cingular", "sprint", "nokia", "motorola", "samsung", "prepaid", "minutes", "texting", "voicemail", "bluetooth", "charger", "headset", "flip", "camera", "contract", "roaming", "caller", "landline"] },
+    Topic { name: "airlines", terms: &["airline", "boarding", "checkin", "baggage", "delta", "united", "southwest", "jetblue", "continental", "frequent", "flyer", "miles", "upgrade", "layover", "nonstop", "redeye", "turbulence", "cockpit", "runway", "terminal", "standby", "charter"] },
+    Topic { name: "taxes", terms: &["tax", "refund", "deduction", "filing", "audit", "withholding", "exemption", "dependent", "income", "w2", "1099", "efile", "accountant", "cpa", "extension", "amended", "estimated", "bracket", "credit", "earned", "preparer", "turbotax"] },
+    Topic { name: "military", terms: &["army", "navy", "marines", "airforce", "veteran", "deployment", "enlistment", "recruiter", "boot", "sergeant", "officer", "battalion", "regiment", "reserves", "guard", "pentagon", "medal", "uniform", "barracks", "discharge", "gi", "rotc"] },
+];
+
+/// Number of topics in the bank.
+#[must_use]
+pub fn topic_count() -> usize {
+    TOPICS.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn bank_has_forty_topics() {
+        assert_eq!(topic_count(), 40);
+    }
+
+    #[test]
+    fn every_topic_has_enough_terms() {
+        for t in TOPICS {
+            assert!(t.terms.len() >= 20, "topic {} has only {} terms", t.name, t.terms.len());
+        }
+    }
+
+    #[test]
+    fn topic_names_are_unique() {
+        let names: HashSet<_> = TOPICS.iter().map(|t| t.name).collect();
+        assert_eq!(names.len(), TOPICS.len());
+    }
+
+    #[test]
+    fn terms_are_lowercase_tokens() {
+        for t in TOPICS {
+            for term in t.terms {
+                assert!(
+                    term.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                    "term {term:?} in {} is not a plain token",
+                    t.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn personal_pool_is_large_and_unique() {
+        let set: HashSet<_> = PERSONAL.iter().collect();
+        assert!(set.len() >= 200, "personal pool too small: {}", set.len());
+        assert_eq!(set.len(), PERSONAL.len());
+    }
+
+    #[test]
+    fn modifiers_do_not_overlap_personal() {
+        let personal: HashSet<_> = PERSONAL.iter().collect();
+        for m in MODIFIERS {
+            assert!(!personal.contains(m));
+        }
+    }
+}

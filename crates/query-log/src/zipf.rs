@@ -1,0 +1,159 @@
+//! A Zipf-distributed sampler over ranks `0..n`.
+//!
+//! Web query popularity is famously Zipfian (Pass et al., "A Picture of
+//! Search", the AOL dataset paper); the synthetic generator draws query
+//! ranks from this sampler.
+
+use rand::Rng;
+
+/// Samples ranks with probability ∝ 1/(rank+1)^s via an inverse-CDF table.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let zipf = xsearch_query_log::zipf::Zipf::new(100, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = zipf.sample(&mut rng);
+/// assert!(r < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or `s` is negative/non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over empty support");
+        assert!(s.is_finite() && s >= 0.0, "invalid zipf exponent {s}");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the end.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+
+    /// Probability of rank `k`.
+    #[must_use]
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cumulative.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[k] - self.cumulative[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_in_support() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_likely() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+        // Harmonic(100) ≈ 5.19, so P(0) ≈ 0.193.
+        let p0 = counts[0] as f64 / 20_000.0;
+        assert!((p0 - 0.193).abs() < 0.02, "p0 {p0}");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_out_of_range_is_zero() {
+        assert_eq!(Zipf::new(3, 1.0).pmf(3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf over empty support")]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn samples_always_in_range(n in 1usize..200, s in 0.0f64..3.0, seed: u64) {
+            let z = Zipf::new(n, s);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+
+        #[test]
+        fn pmf_is_decreasing(n in 2usize..100, s in 0.1f64..3.0) {
+            let z = Zipf::new(n, s);
+            for k in 1..n {
+                prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The search-engine front-end.
+//!
+//! Supports both plain keyword search and the paper's obfuscated-query
+//! execution mode: because Bing's `OR` operator only works reliably with
+//! single-word operands, §5.3.2 simulates `Q₀ OR … OR Qₖ` by submitting
+//! each sub-query independently and merging the result sets —
+//! [`SearchEngine::search_merged`] reproduces exactly that.
+
+use crate::bm25::{rank, Bm25Params};
+use crate::corpus::{generate, CorpusConfig};
+use crate::document::{DocId, Document};
+use crate::index::InvertedIndex;
+use xsearch_text::tokenize::tokenize;
+
+/// One search result as returned to clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Stable document id.
+    pub doc: DocId,
+    /// Result URL (possibly analytics-wrapped; the proxy strips those).
+    pub url: String,
+    /// Result title.
+    pub title: String,
+    /// Result snippet.
+    pub description: String,
+    /// Ranking score (BM25).
+    pub score: f64,
+}
+
+/// The engine: a corpus plus its index.
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    docs: Vec<Document>,
+    index: InvertedIndex,
+    params: Bm25Params,
+}
+
+impl SearchEngine {
+    /// Generates a corpus from `config` and indexes it.
+    #[must_use]
+    pub fn build(config: &CorpusConfig) -> Self {
+        Self::from_documents(generate(config))
+    }
+
+    /// Indexes an existing document collection.
+    #[must_use]
+    pub fn from_documents(docs: Vec<Document>) -> Self {
+        let index = InvertedIndex::build(&docs);
+        SearchEngine { docs, index, params: Bm25Params::default() }
+    }
+
+    /// Number of indexed documents.
+    #[must_use]
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Access to a document by id.
+    #[must_use]
+    pub fn document(&self, id: DocId) -> Option<&Document> {
+        self.docs.get(id.0 as usize)
+    }
+
+    /// Plain keyword search: BM25 over the query's tokens, top `k` results.
+    #[must_use]
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        let terms = tokenize(query);
+        let ranked = rank(&self.index, &terms, self.params);
+        ranked
+            .into_iter()
+            .take(k)
+            .map(|(doc, score)| self.to_result(doc, score))
+            .collect()
+    }
+
+    /// The paper's obfuscated-query execution: submit each sub-query
+    /// independently (top `k_each` results each) and merge the result
+    /// sets, deduplicating by document and keeping each document's best
+    /// score. Merge order interleaves the per-sub-query rankings
+    /// (rank 1 of each sub-query, then rank 2, …) so no sub-query is
+    /// privileged — the search engine does not know which one is real.
+    #[must_use]
+    pub fn search_merged(&self, subqueries: &[String], k_each: usize) -> Vec<SearchResult> {
+        let per_query: Vec<Vec<SearchResult>> =
+            subqueries.iter().map(|q| self.search(q, k_each)).collect();
+        let mut merged: Vec<SearchResult> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for rank_pos in 0..k_each {
+            for results in &per_query {
+                if let Some(r) = results.get(rank_pos) {
+                    if seen.insert(r.doc) {
+                        merged.push(r.clone());
+                    }
+                }
+            }
+        }
+        merged
+    }
+
+    fn to_result(&self, doc: DocId, score: f64) -> SearchResult {
+        let d = &self.docs[doc.0 as usize];
+        SearchResult {
+            doc,
+            url: d.url.clone(),
+            title: d.title.clone(),
+            description: d.description.clone(),
+            score,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use xsearch_query_log::topics::TOPICS;
+
+    fn engine() -> SearchEngine {
+        SearchEngine::build(&CorpusConfig { docs_per_topic: 40, ..Default::default() })
+    }
+
+    #[test]
+    fn search_returns_at_most_k() {
+        let e = engine();
+        assert!(e.search("flights hotel", 5).len() <= 5);
+    }
+
+    #[test]
+    fn results_are_sorted_by_score() {
+        let e = engine();
+        let rs = e.search("flights hotel cruise", 20);
+        for pair in rs.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn topical_query_returns_topical_docs() {
+        let e = engine();
+        // Use three terms from the travel topic.
+        let travel = TOPICS.iter().position(|t| t.name == "travel").unwrap();
+        let q = format!("{} {}", TOPICS[travel].terms[0], TOPICS[travel].terms[1]);
+        let rs = e.search(&q, 20);
+        assert!(!rs.is_empty());
+        let travel_hits = rs
+            .iter()
+            .filter(|r| e.document(r.doc).unwrap().topic == travel)
+            .count();
+        assert!(travel_hits * 2 > rs.len(), "{travel_hits}/{} travel hits", rs.len());
+    }
+
+    #[test]
+    fn unknown_vocabulary_returns_empty() {
+        let e = engine();
+        assert!(e.search("zzzz qqqq", 10).is_empty());
+    }
+
+    #[test]
+    fn merged_search_dedupes_documents() {
+        let e = engine();
+        let subs = vec!["flights hotel".to_owned(), "flights cruise".to_owned()];
+        let merged = e.search_merged(&subs, 10);
+        let ids: HashSet<_> = merged.iter().map(|r| r.doc).collect();
+        assert_eq!(ids.len(), merged.len());
+    }
+
+    #[test]
+    fn merged_search_covers_each_subquery() {
+        let e = engine();
+        let travel = TOPICS.iter().position(|t| t.name == "travel").unwrap();
+        let health = TOPICS.iter().position(|t| t.name == "health").unwrap();
+        let subs = vec![
+            format!("{} {}", TOPICS[travel].terms[0], TOPICS[travel].terms[1]),
+            format!("{} {}", TOPICS[health].terms[0], TOPICS[health].terms[1]),
+        ];
+        let merged = e.search_merged(&subs, 10);
+        let topics: HashSet<usize> =
+            merged.iter().map(|r| e.document(r.doc).unwrap().topic).collect();
+        assert!(topics.contains(&travel) && topics.contains(&health));
+    }
+
+    #[test]
+    fn merged_interleaves_rankings() {
+        let e = engine();
+        let a = "flights hotel vacation".to_owned();
+        let b = "symptoms cancer doctor".to_owned();
+        let ra = e.search(&a, 3);
+        let merged = e.search_merged(&[a, b], 3);
+        // First merged result is sub-query a's top hit.
+        assert_eq!(merged[0].doc, ra[0].doc);
+    }
+
+    #[test]
+    fn merged_of_single_query_equals_search() {
+        let e = engine();
+        let q = "flights hotel".to_owned();
+        let direct: Vec<_> = e.search(&q, 10).into_iter().map(|r| r.doc).collect();
+        let merged: Vec<_> = e.search_merged(&[q], 10).into_iter().map(|r| r.doc).collect();
+        assert_eq!(direct, merged);
+    }
+}

@@ -1,0 +1,169 @@
+//! Inverted index over the corpus.
+
+use crate::document::{DocId, Document};
+use std::collections::HashMap;
+use xsearch_text::tokenize::tokenize;
+use xsearch_text::vector::TermInterner;
+
+/// One posting: a document and the term's frequency in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// The document containing the term.
+    pub doc: DocId,
+    /// Term frequency (title terms counted double — title matches matter
+    /// more, as in real engines).
+    pub tf: u32,
+}
+
+/// An inverted index with the statistics BM25 needs.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    interner: TermInterner,
+    postings: Vec<Vec<Posting>>,
+    doc_lengths: HashMap<DocId, u32>,
+    total_len: u64,
+    doc_count: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index from documents.
+    #[must_use]
+    pub fn build(docs: &[Document]) -> Self {
+        let mut interner = TermInterner::new();
+        let mut postings: Vec<Vec<Posting>> = Vec::new();
+        let mut doc_lengths = HashMap::with_capacity(docs.len());
+        let mut total_len = 0u64;
+        for doc in docs {
+            let mut counts: HashMap<u32, u32> = HashMap::new();
+            let mut len = 0u32;
+            // Title terms weighted ×2.
+            for tok in tokenize(&doc.title) {
+                let id = interner.intern(&tok);
+                *counts.entry(id).or_insert(0) += 2;
+                len += 2;
+            }
+            for tok in tokenize(&doc.description) {
+                let id = interner.intern(&tok);
+                *counts.entry(id).or_insert(0) += 1;
+                len += 1;
+            }
+            for (term, tf) in counts {
+                let slot = term as usize;
+                if slot >= postings.len() {
+                    postings.resize_with(slot + 1, Vec::new);
+                }
+                postings[slot].push(Posting { doc: doc.id, tf });
+            }
+            doc_lengths.insert(doc.id, len);
+            total_len += u64::from(len);
+        }
+        InvertedIndex { interner, postings, doc_lengths, total_len, doc_count: docs.len() }
+    }
+
+    /// Number of indexed documents.
+    #[must_use]
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Average document length (BM25's `avgdl`).
+    #[must_use]
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_count == 0 {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_count as f64
+        }
+    }
+
+    /// Length of one document, 0 if unknown.
+    #[must_use]
+    pub fn doc_len(&self, doc: DocId) -> u32 {
+        self.doc_lengths.get(&doc).copied().unwrap_or(0)
+    }
+
+    /// The postings list for a term, empty when the term is unknown.
+    #[must_use]
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        self.interner
+            .get(term)
+            .and_then(|id| self.postings.get(id as usize))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Document frequency of a term.
+    #[must_use]
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.postings(term).len()
+    }
+
+    /// Distinct indexed terms.
+    #[must_use]
+    pub fn vocabulary_size(&self) -> usize {
+        self.interner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Document> {
+        vec![
+            Document {
+                id: DocId(0),
+                url: "u0".into(),
+                title: "cheap flights".into(),
+                description: "paris flights deals".into(),
+                topic: 0,
+            },
+            Document {
+                id: DocId(1),
+                url: "u1".into(),
+                title: "hotel paris".into(),
+                description: "cheap hotel rooms in paris".into(),
+                topic: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn postings_cover_both_fields() {
+        let idx = InvertedIndex::build(&docs());
+        assert_eq!(idx.doc_freq("paris"), 2);
+        assert_eq!(idx.doc_freq("flights"), 1);
+        assert_eq!(idx.doc_freq("unknownword"), 0);
+    }
+
+    #[test]
+    fn title_terms_weighted_double() {
+        let idx = InvertedIndex::build(&docs());
+        // doc0: "flights" appears once in title (×2) and once in body (+1).
+        let p = idx.postings("flights");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].tf, 3);
+    }
+
+    #[test]
+    fn doc_lengths_accumulate() {
+        let idx = InvertedIndex::build(&docs());
+        // doc0: title 2 words ×2 + body 3 words = 7.
+        assert_eq!(idx.doc_len(DocId(0)), 7);
+        assert!(idx.avg_doc_len() > 0.0);
+    }
+
+    #[test]
+    fn empty_corpus_is_empty() {
+        let idx = InvertedIndex::build(&[]);
+        assert_eq!(idx.doc_count(), 0);
+        assert_eq!(idx.avg_doc_len(), 0.0);
+        assert!(idx.postings("x").is_empty());
+    }
+
+    #[test]
+    fn vocabulary_counts_distinct_terms() {
+        let idx = InvertedIndex::build(&docs());
+        // cheap flights paris deals hotel rooms in = 7 distinct terms.
+        assert_eq!(idx.vocabulary_size(), 7);
+    }
+}

@@ -1,0 +1,88 @@
+//! Latency-modeled engine service for end-to-end experiments.
+//!
+//! Wraps a [`SearchEngine`] with the WAN model's engine service time so the
+//! Fig 7 harness can account a realistic per-query delay without sleeping.
+
+use crate::engine::{SearchEngine, SearchResult};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use xsearch_net_sim::DelayModel;
+
+/// A search engine with a modeled service-time distribution.
+#[derive(Debug)]
+pub struct EngineService {
+    engine: SearchEngine,
+    service_time: DelayModel,
+    rng: Mutex<StdRng>,
+}
+
+impl EngineService {
+    /// Wraps `engine` with a service-time model.
+    #[must_use]
+    pub fn new(engine: SearchEngine, service_time: DelayModel, seed: u64) -> Self {
+        EngineService { engine, service_time, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// Executes a query, returning results and the modeled service time
+    /// (query evaluation inside the engine's datacenter).
+    pub fn search(&self, query: &str, k: usize) -> (Vec<SearchResult>, Duration) {
+        let results = self.engine.search(query, k);
+        let delay = self.service_time.sample(&mut *self.rng.lock());
+        (results, delay)
+    }
+
+    /// Executes an obfuscated query in the paper's merged mode.
+    pub fn search_merged(&self, subqueries: &[String], k_each: usize) -> (Vec<SearchResult>, Duration) {
+        let results = self.engine.search_merged(subqueries, k_each);
+        // Each sub-query costs an independent engine evaluation; the
+        // sub-queries execute concurrently from the proxy, so the modeled
+        // time is the max of the independent draws.
+        let mut rng = self.rng.lock();
+        let delay = (0..subqueries.len().max(1))
+            .map(|_| self.service_time.sample(&mut *rng))
+            .max()
+            .unwrap_or(Duration::ZERO);
+        (results, delay)
+    }
+
+    /// The wrapped engine.
+    #[must_use]
+    pub fn engine(&self) -> &SearchEngine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    fn service() -> EngineService {
+        let engine = SearchEngine::build(&CorpusConfig { docs_per_topic: 10, ..Default::default() });
+        EngineService::new(engine, DelayModel::constant_ms(350), 1)
+    }
+
+    #[test]
+    fn search_reports_modeled_delay() {
+        let s = service();
+        let (_, d) = s.search("flights", 10);
+        assert_eq!(d, Duration::from_millis(350));
+    }
+
+    #[test]
+    fn merged_delay_is_max_of_draws() {
+        let s = service();
+        let (_, d) = s.search_merged(&["flights".into(), "hotel".into()], 10);
+        // Constant model: max of equal draws is the constant.
+        assert_eq!(d, Duration::from_millis(350));
+    }
+
+    #[test]
+    fn results_flow_through() {
+        let s = service();
+        let (rs, _) = s.search("flights hotel", 10);
+        assert!(!rs.is_empty());
+    }
+}

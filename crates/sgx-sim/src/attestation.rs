@@ -1,0 +1,218 @@
+//! Simulated remote attestation.
+//!
+//! Real SGX attestation: the quoting enclave signs a report (measurement +
+//! report data) with an EPID group key; the verifier submits the quote to
+//! Intel's Attestation Service, which vouches for the signature. We keep
+//! the protocol shape and replace the group signature with an HMAC under a
+//! *provisioning key* known only to the attestation service and to
+//! provisioned platforms (DESIGN.md documents this substitution).
+//!
+//! What the model preserves — and what X-Search's security argument needs:
+//!
+//! * a quote binds **report data** (the channel public key) to a
+//!   **measurement** (the exact proxy code);
+//! * only provisioned platforms can produce verifiable quotes;
+//! * any tampering with measurement or report data is detected.
+
+use crate::error::SgxError;
+use crate::measurement::Measurement;
+use rand::RngCore;
+use xsearch_crypto::constant_time::ct_eq;
+use xsearch_crypto::hmac::HmacSha256;
+
+/// An attestation quote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// Measurement of the quoting enclave.
+    pub measurement: Measurement,
+    /// Caller-chosen data bound into the quote (e.g. a channel key hash).
+    pub report_data: Vec<u8>,
+    /// MAC standing in for the EPID group signature.
+    pub(crate) mac: [u8; 32],
+}
+
+impl Quote {
+    /// Serializes the quote for transport.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 8 + self.report_data.len() + 32);
+        out.extend_from_slice(&self.measurement.0);
+        out.extend_from_slice(&(self.report_data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.report_data);
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses a serialized quote.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::QuoteRejected`] for structurally invalid bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SgxError> {
+        if bytes.len() < 32 + 8 + 32 {
+            return Err(SgxError::QuoteRejected);
+        }
+        let mut measurement = [0u8; 32];
+        measurement.copy_from_slice(&bytes[..32]);
+        let len = u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes")) as usize;
+        if bytes.len() != 40 + len + 32 {
+            return Err(SgxError::QuoteRejected);
+        }
+        let report_data = bytes[40..40 + len].to_vec();
+        let mut mac = [0u8; 32];
+        mac.copy_from_slice(&bytes[40 + len..]);
+        Ok(Quote { measurement: Measurement(measurement), report_data, mac })
+    }
+}
+
+/// The simulated attestation authority (IAS analogue).
+#[derive(Debug, Clone)]
+pub struct AttestationService {
+    provisioning_key: [u8; 32],
+}
+
+impl AttestationService {
+    /// Creates a service with a fresh provisioning key.
+    pub fn new<R: RngCore>(rng: &mut R) -> Self {
+        let mut key = [0u8; 32];
+        rng.fill_bytes(&mut key);
+        AttestationService { provisioning_key: key }
+    }
+
+    /// Deterministic construction for reproducible experiments.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&seed.to_le_bytes());
+        key[8..16].copy_from_slice(b"xsrchIAS");
+        AttestationService { provisioning_key: xsearch_crypto::sha256::Sha256::digest(&key) }
+    }
+
+    /// The key handed to genuine platforms at provisioning time.
+    #[must_use]
+    pub fn provisioning_key(&self) -> [u8; 32] {
+        self.provisioning_key
+    }
+
+    /// Verifies a quote's authenticity (the IAS round trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::QuoteRejected`] when the MAC does not verify.
+    pub fn verify(&self, quote: &Quote) -> Result<(), SgxError> {
+        let mut mac = HmacSha256::new(&self.provisioning_key);
+        mac.update(&quote.measurement.0);
+        mac.update(&(quote.report_data.len() as u64).to_le_bytes());
+        mac.update(&quote.report_data);
+        if ct_eq(&mac.finalize(), &quote.mac) {
+            Ok(())
+        } else {
+            Err(SgxError::QuoteRejected)
+        }
+    }
+
+    /// Verifies authenticity *and* that the quote comes from the expected
+    /// code — the check the X-Search broker performs before trusting a
+    /// proxy.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::QuoteRejected`] for an inauthentic quote,
+    /// [`SgxError::MeasurementMismatch`] for authentic-but-wrong code.
+    pub fn verify_expecting(
+        &self,
+        quote: &Quote,
+        expected: Measurement,
+    ) -> Result<(), SgxError> {
+        self.verify(quote)?;
+        if quote.measurement != expected {
+            return Err(SgxError::MeasurementMismatch);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::EnclaveBuilder;
+
+    fn provisioned_enclave(
+        service: &AttestationService,
+        code: &[u8],
+    ) -> crate::enclave::Enclave<()> {
+        EnclaveBuilder::new("q")
+            .with_code(code)
+            .with_provisioning_key(service.provisioning_key())
+            .build(())
+    }
+
+    #[test]
+    fn genuine_quote_verifies() {
+        let service = AttestationService::from_seed(1);
+        let enclave = provisioned_enclave(&service, b"proxy-v1");
+        let quote = enclave.quote(b"channel-key-hash").unwrap();
+        assert!(service.verify(&quote).is_ok());
+        assert!(service.verify_expecting(&quote, enclave.measurement()).is_ok());
+    }
+
+    #[test]
+    fn forged_mac_is_rejected() {
+        let service = AttestationService::from_seed(1);
+        let enclave = provisioned_enclave(&service, b"proxy-v1");
+        let mut quote = enclave.quote(b"rd").unwrap();
+        quote.mac[0] ^= 1;
+        assert_eq!(service.verify(&quote), Err(SgxError::QuoteRejected));
+    }
+
+    #[test]
+    fn tampered_report_data_is_rejected() {
+        let service = AttestationService::from_seed(1);
+        let enclave = provisioned_enclave(&service, b"proxy-v1");
+        let mut quote = enclave.quote(b"real-key").unwrap();
+        quote.report_data = b"evil-key".to_vec();
+        assert_eq!(service.verify(&quote), Err(SgxError::QuoteRejected));
+    }
+
+    #[test]
+    fn wrong_code_fails_expectation() {
+        let service = AttestationService::from_seed(1);
+        let good = provisioned_enclave(&service, b"proxy-v1");
+        let evil = provisioned_enclave(&service, b"proxy-evil");
+        let quote = evil.quote(b"rd").unwrap();
+        assert_eq!(
+            service.verify_expecting(&quote, good.measurement()),
+            Err(SgxError::MeasurementMismatch)
+        );
+    }
+
+    #[test]
+    fn unprovisioned_platform_cannot_quote() {
+        let enclave = EnclaveBuilder::new("u").with_code(b"c").build(());
+        assert_eq!(enclave.quote(b"rd").unwrap_err(), SgxError::QuoteRejected);
+    }
+
+    #[test]
+    fn different_service_rejects_foreign_quotes() {
+        let service_a = AttestationService::from_seed(1);
+        let service_b = AttestationService::from_seed(2);
+        let enclave = provisioned_enclave(&service_a, b"c");
+        let quote = enclave.quote(b"rd").unwrap();
+        assert_eq!(service_b.verify(&quote), Err(SgxError::QuoteRejected));
+    }
+
+    #[test]
+    fn quote_roundtrips_encoding() {
+        let service = AttestationService::from_seed(3);
+        let enclave = provisioned_enclave(&service, b"c");
+        let quote = enclave.quote(b"some report data").unwrap();
+        let decoded = Quote::decode(&quote.encode()).unwrap();
+        assert_eq!(decoded, quote);
+        assert!(service.verify(&decoded).is_ok());
+    }
+
+    #[test]
+    fn truncated_quote_rejected() {
+        assert_eq!(Quote::decode(&[0u8; 10]), Err(SgxError::QuoteRejected));
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for enclave operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the SGX model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgxError {
+    /// An EPC allocation would exceed the configured hard limit.
+    EpcExhausted {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+    },
+    /// The enclave was destroyed; no further calls are possible.
+    Destroyed,
+    /// A quote failed verification at the attestation service.
+    QuoteRejected,
+    /// The expected and actual measurements differ (wrong code loaded).
+    MeasurementMismatch,
+    /// A sealed blob could not be opened (wrong enclave or tampering).
+    UnsealFailed,
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::EpcExhausted { requested, available } => {
+                write!(f, "epc exhausted: requested {requested} bytes, {available} available")
+            }
+            SgxError::Destroyed => write!(f, "enclave destroyed"),
+            SgxError::QuoteRejected => write!(f, "attestation quote rejected"),
+            SgxError::MeasurementMismatch => write!(f, "enclave measurement mismatch"),
+            SgxError::UnsealFailed => write!(f, "sealed blob could not be opened"),
+        }
+    }
+}
+
+impl Error for SgxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = SgxError::EpcExhausted { requested: 4096, available: 100 };
+        assert!(e.to_string().contains("4096"));
+        assert!(SgxError::Destroyed.to_string().contains("destroyed"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SgxError>();
+    }
+}

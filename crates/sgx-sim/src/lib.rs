@@ -1,0 +1,48 @@
+//! A software model of Intel SGX for the X-Search reproduction.
+//!
+//! No SGX hardware is available in this environment, so the enclave
+//! behaviour the paper's systems analysis depends on is modeled explicitly
+//! (DESIGN.md documents the substitution):
+//!
+//! * [`epc`] — the Enclave Page Cache: ~90 MiB of usable protected memory;
+//!   allocations beyond the limit trigger costed paging, the effect Fig 6
+//!   measures against;
+//! * [`measurement`] — MRENCLAVE-style measurement hashes over the
+//!   enclave's initial pages;
+//! * [`enclave`] — lifecycle (build → initialize → ecall → destroy) with a
+//!   typed in-enclave application state;
+//! * [`boundary`] — ecall/ocall transition counting and cost accounting
+//!   (the paper's §5.3.3 identifies transitions as the main bottleneck);
+//! * [`attestation`] — quote generation and a simulated attestation
+//!   service (EPID group signatures replaced by MACs under a provisioning
+//!   key, preserving the protocol shape);
+//! * [`sealed`] — sealing keyed by the enclave measurement.
+//!
+//! # Example
+//!
+//! ```
+//! use xsearch_sgx_sim::enclave::EnclaveBuilder;
+//!
+//! let mut enclave = EnclaveBuilder::new("demo")
+//!     .with_code(b"demo enclave logic v1")
+//!     .build(0u64); // app state: a counter
+//! let out = enclave.ecall("bump", &[5], |state, input| {
+//!     *state += u64::from(input[0]);
+//!     *state
+//! }).unwrap();
+//! assert_eq!(out, 5);
+//! assert_eq!(enclave.boundary().ecalls(), 1);
+//! ```
+
+pub mod attestation;
+pub mod boundary;
+pub mod cost;
+pub mod enclave;
+pub mod epc;
+pub mod error;
+pub mod measurement;
+pub mod sealed;
+
+pub use enclave::{Enclave, EnclaveBuilder};
+pub use error::SgxError;
+pub use measurement::Measurement;

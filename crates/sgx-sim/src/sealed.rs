@@ -1,0 +1,139 @@
+//! Sealed storage: encryption keyed by platform and measurement.
+//!
+//! Real SGX derives sealing keys from a fused platform secret and the
+//! enclave identity; data sealed by one enclave version on one platform
+//! only opens there. The X-Search proxy could seal its query history
+//! across restarts; the model exists so that behaviour (and its failure
+//! modes) can be exercised.
+
+use crate::error::SgxError;
+use crate::measurement::Measurement;
+use rand::RngCore;
+use xsearch_crypto::aead::ChaCha20Poly1305;
+use xsearch_crypto::hkdf;
+
+/// A platform holding a sealing master secret (fuse-derived in real SGX).
+#[derive(Clone)]
+pub struct SealingPlatform {
+    master: [u8; 32],
+}
+
+impl std::fmt::Debug for SealingPlatform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SealingPlatform").field("master", &"<secret>").finish()
+    }
+}
+
+/// A sealed blob: nonce plus AEAD ciphertext.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlob {
+    nonce: [u8; 12],
+    ciphertext: Vec<u8>,
+}
+
+impl SealingPlatform {
+    /// A platform with a random master secret.
+    pub fn new<R: RngCore>(rng: &mut R) -> Self {
+        let mut master = [0u8; 32];
+        rng.fill_bytes(&mut master);
+        SealingPlatform { master }
+    }
+
+    /// Deterministic platform for reproducible tests.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut buf = [0u8; 32];
+        buf[..8].copy_from_slice(&seed.to_le_bytes());
+        SealingPlatform { master: xsearch_crypto::sha256::Sha256::digest(&buf) }
+    }
+
+    fn key_for(&self, measurement: &Measurement) -> [u8; 32] {
+        hkdf::derive(&measurement.0, &self.master, b"xsearch-sealing-v1", 32)
+            .try_into()
+            .expect("exactly 32 bytes requested")
+    }
+
+    /// Seals `plaintext` to (this platform, `measurement`).
+    pub fn seal<R: RngCore>(
+        &self,
+        measurement: &Measurement,
+        plaintext: &[u8],
+        rng: &mut R,
+    ) -> SealedBlob {
+        let mut nonce = [0u8; 12];
+        rng.fill_bytes(&mut nonce);
+        let aead = ChaCha20Poly1305::new(&self.key_for(measurement));
+        SealedBlob { nonce, ciphertext: aead.seal(&nonce, &measurement.0, plaintext) }
+    }
+
+    /// Opens a blob sealed by the same platform and measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::UnsealFailed`] for a different platform, a
+    /// different enclave measurement, or tampered data.
+    pub fn unseal(&self, measurement: &Measurement, blob: &SealedBlob) -> Result<Vec<u8>, SgxError> {
+        let aead = ChaCha20Poly1305::new(&self.key_for(measurement));
+        aead.open(&blob.nonce, &measurement.0, &blob.ciphertext)
+            .map_err(|_| SgxError::UnsealFailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn m(tag: &[u8]) -> Measurement {
+        let mut b = crate::measurement::MeasurementBuilder::new();
+        b.add_region(tag);
+        b.finalize()
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let platform = SealingPlatform::from_seed(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let blob = platform.seal(&m(b"proxy"), b"query history", &mut rng);
+        assert_eq!(platform.unseal(&m(b"proxy"), &blob).unwrap(), b"query history");
+    }
+
+    #[test]
+    fn different_measurement_cannot_unseal() {
+        let platform = SealingPlatform::from_seed(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let blob = platform.seal(&m(b"proxy-v1"), b"secret", &mut rng);
+        assert_eq!(
+            platform.unseal(&m(b"proxy-v2"), &blob),
+            Err(SgxError::UnsealFailed)
+        );
+    }
+
+    #[test]
+    fn different_platform_cannot_unseal() {
+        let p1 = SealingPlatform::from_seed(1);
+        let p2 = SealingPlatform::from_seed(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let blob = p1.seal(&m(b"proxy"), b"secret", &mut rng);
+        assert_eq!(p2.unseal(&m(b"proxy"), &blob), Err(SgxError::UnsealFailed));
+    }
+
+    #[test]
+    fn tampered_blob_fails() {
+        let platform = SealingPlatform::from_seed(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut blob = platform.seal(&m(b"proxy"), b"secret", &mut rng);
+        blob.ciphertext[0] ^= 1;
+        assert_eq!(platform.unseal(&m(b"proxy"), &blob), Err(SgxError::UnsealFailed));
+    }
+
+    #[test]
+    fn sealing_is_randomized() {
+        let platform = SealingPlatform::from_seed(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = platform.seal(&m(b"proxy"), b"same", &mut rng);
+        let b = platform.seal(&m(b"proxy"), b"same", &mut rng);
+        assert_ne!(a, b);
+    }
+}

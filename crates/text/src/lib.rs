@@ -1,0 +1,32 @@
+//! Text-processing substrate for the X-Search reproduction.
+//!
+//! Web search queries and result snippets are short keyword texts; both the
+//! SimAttack re-identification attack and X-Search's own result filter
+//! (Algorithm 2 of the paper) reduce to operations over bags of words. This
+//! crate provides those operations:
+//!
+//! * [`mod@tokenize`] — lower-cased alphanumeric tokenization,
+//! * [`stopwords`] — a compact English stopword list,
+//! * [`porter`] — the Porter stemming algorithm (used when normalizing
+//!   queries for profile similarity, as SimAttack does),
+//! * [`vector`] — interned sparse term vectors,
+//! * [`similarity`] — cosine similarity and the paper's `nbCommonWords`.
+//!
+//! # Example
+//!
+//! ```
+//! use xsearch_text::similarity::{cosine_queries, nb_common_words};
+//!
+//! assert!(cosine_queries("cheap flight paris", "paris flight deals") > 0.3);
+//! assert_eq!(nb_common_words("cheap flight paris", "flight to paris"), 2);
+//! ```
+
+pub mod porter;
+pub mod similarity;
+pub mod stopwords;
+pub mod tokenize;
+pub mod vector;
+
+pub use similarity::{cosine_queries, nb_common_words};
+pub use tokenize::tokenize;
+pub use vector::{SparseVector, TermInterner};

@@ -1,0 +1,474 @@
+//! The Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+//! stripping", *Program* 14(3), 1980), as published — without the later
+//! "departure" rules.
+//!
+//! The implementation mirrors the reference C program's structure: a byte
+//! buffer, an end index `k`, and a suffix offset `j` shared between the
+//! `ends`/measure helpers.
+
+struct Stemmer {
+    b: Vec<u8>,
+    /// Index of the last valid byte.
+    k: isize,
+    /// Offset of the character before the candidate suffix (set by `ends`).
+    j: isize,
+}
+
+impl Stemmer {
+    fn cons(&self, i: isize) -> bool {
+        match self.b[i as usize] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.cons(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Measures the number of consonant-vowel sequences in `b[0..=j]`.
+    fn m(&self) -> usize {
+        let mut n = 0;
+        let mut i: isize = 0;
+        loop {
+            if i > self.j {
+                return n;
+            }
+            if !self.cons(i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        loop {
+            loop {
+                if i > self.j {
+                    return n;
+                }
+                if self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            n += 1;
+            loop {
+                if i > self.j {
+                    return n;
+                }
+                if !self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+
+    fn vowel_in_stem(&self) -> bool {
+        (0..=self.j).any(|i| !self.cons(i))
+    }
+
+    fn double_consonant(&self, j: isize) -> bool {
+        j >= 1 && self.b[j as usize] == self.b[(j - 1) as usize] && self.cons(j)
+    }
+
+    /// consonant–vowel–consonant ending at `i`, where the final consonant
+    /// is not w, x or y (the `*o` condition).
+    fn cvc(&self, i: isize) -> bool {
+        if i < 2 || !self.cons(i) || self.cons(i - 1) || !self.cons(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i as usize], b'w' | b'x' | b'y')
+    }
+
+    fn ends(&mut self, s: &str) -> bool {
+        let l = s.len() as isize;
+        if l > self.k + 1 {
+            return false;
+        }
+        let start = (self.k + 1 - l) as usize;
+        if &self.b[start..=(self.k as usize)] != s.as_bytes() {
+            return false;
+        }
+        self.j = self.k - l;
+        true
+    }
+
+    fn set_to(&mut self, s: &str) {
+        let start = (self.j + 1) as usize;
+        self.b.truncate(start);
+        self.b.extend_from_slice(s.as_bytes());
+        self.k = self.j + s.len() as isize;
+    }
+
+    fn replace_if_measure(&mut self, s: &str) {
+        if self.m() > 0 {
+            self.set_to(s);
+        }
+    }
+
+    /// Plurals and -ed/-ing.
+    fn step1ab(&mut self) {
+        if self.b[self.k as usize] == b's' {
+            if self.ends("sses") {
+                self.k -= 2;
+            } else if self.ends("ies") {
+                self.set_to("i");
+            } else if self.b[(self.k - 1) as usize] != b's' {
+                self.k -= 1;
+            }
+        }
+        if self.ends("eed") {
+            if self.m() > 0 {
+                self.k -= 1;
+            }
+        } else if (self.ends("ed") || self.ends("ing")) && self.vowel_in_stem() {
+            self.k = self.j;
+            if self.ends("at") {
+                self.set_to("ate");
+            } else if self.ends("bl") {
+                self.set_to("ble");
+            } else if self.ends("iz") {
+                self.set_to("ize");
+            } else if self.double_consonant(self.k) {
+                self.k -= 1;
+                if matches!(self.b[self.k as usize], b'l' | b's' | b'z') {
+                    self.k += 1;
+                }
+            } else if self.m() == 1 && self.cvc(self.k) {
+                self.set_to("e");
+            }
+        }
+    }
+
+    /// Terminal y → i when there is another vowel in the stem.
+    fn step1c(&mut self) {
+        if self.ends("y") && self.vowel_in_stem() {
+            self.b[self.k as usize] = b'i';
+        }
+    }
+
+    /// Double to single suffixes, e.g. -ization → -ize.
+    fn step2(&mut self) {
+        if self.k < 1 {
+            return;
+        }
+        match self.b[(self.k - 1) as usize] {
+            b'a' => {
+                if self.ends("ational") {
+                    self.replace_if_measure("ate");
+                } else if self.ends("tional") {
+                    self.replace_if_measure("tion");
+                }
+            }
+            b'c' => {
+                if self.ends("enci") {
+                    self.replace_if_measure("ence");
+                } else if self.ends("anci") {
+                    self.replace_if_measure("ance");
+                }
+            }
+            b'e' => {
+                if self.ends("izer") {
+                    self.replace_if_measure("ize");
+                }
+            }
+            b'l' => {
+                if self.ends("abli") {
+                    self.replace_if_measure("able");
+                } else if self.ends("alli") {
+                    self.replace_if_measure("al");
+                } else if self.ends("entli") {
+                    self.replace_if_measure("ent");
+                } else if self.ends("eli") {
+                    self.replace_if_measure("e");
+                } else if self.ends("ousli") {
+                    self.replace_if_measure("ous");
+                }
+            }
+            b'o' => {
+                if self.ends("ization") {
+                    self.replace_if_measure("ize");
+                } else if self.ends("ation") || self.ends("ator") {
+                    // Both map to -ate; `ends` short-circuits, so `j` is
+                    // set by whichever suffix matched.
+                    self.replace_if_measure("ate");
+                }
+            }
+            b's' => {
+                if self.ends("alism") {
+                    self.replace_if_measure("al");
+                } else if self.ends("iveness") {
+                    self.replace_if_measure("ive");
+                } else if self.ends("fulness") {
+                    self.replace_if_measure("ful");
+                } else if self.ends("ousness") {
+                    self.replace_if_measure("ous");
+                }
+            }
+            b't' => {
+                if self.ends("aliti") {
+                    self.replace_if_measure("al");
+                } else if self.ends("iviti") {
+                    self.replace_if_measure("ive");
+                } else if self.ends("biliti") {
+                    self.replace_if_measure("ble");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// -icate, -ative, -alize, ...
+    fn step3(&mut self) {
+        match self.b[self.k as usize] {
+            b'e' => {
+                if self.ends("icate") {
+                    self.replace_if_measure("ic");
+                } else if self.ends("ative") {
+                    self.replace_if_measure("");
+                } else if self.ends("alize") {
+                    self.replace_if_measure("al");
+                }
+            }
+            b'i' => {
+                if self.ends("iciti") {
+                    self.replace_if_measure("ic");
+                }
+            }
+            b'l' => {
+                if self.ends("ical") {
+                    self.replace_if_measure("ic");
+                } else if self.ends("ful") {
+                    self.replace_if_measure("");
+                }
+            }
+            b's' => {
+                if self.ends("ness") {
+                    self.replace_if_measure("");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Strips -ant, -ence, etc. when the measure exceeds 1.
+    fn step4(&mut self) {
+        if self.k < 1 {
+            return;
+        }
+        let matched = match self.b[(self.k - 1) as usize] {
+            b'a' => self.ends("al"),
+            b'c' => self.ends("ance") || self.ends("ence"),
+            b'e' => self.ends("er"),
+            b'i' => self.ends("ic"),
+            b'l' => self.ends("able") || self.ends("ible"),
+            b'n' => {
+                self.ends("ant") || self.ends("ement") || self.ends("ment") || self.ends("ent")
+            }
+            b'o' => {
+                (self.ends("ion")
+                    && self.j >= 0
+                    && matches!(self.b[self.j as usize], b's' | b't'))
+                    || self.ends("ou")
+            }
+            b's' => self.ends("ism"),
+            b't' => self.ends("ate") || self.ends("iti"),
+            b'u' => self.ends("ous"),
+            b'v' => self.ends("ive"),
+            b'z' => self.ends("ize"),
+            _ => false,
+        };
+        if matched && self.m() > 1 {
+            self.k = self.j;
+        }
+    }
+
+    /// Removes a final -e and reduces -ll when the measure allows.
+    fn step5(&mut self) {
+        self.j = self.k;
+        if self.b[self.k as usize] == b'e' {
+            let a = self.m();
+            if a > 1 || (a == 1 && !self.cvc(self.k - 1)) {
+                self.k -= 1;
+            }
+        }
+        if self.b[self.k as usize] == b'l' && self.double_consonant(self.k) && self.m() > 1 {
+            self.k -= 1;
+        }
+    }
+}
+
+/// Stems a single lower-case word.
+///
+/// Words shorter than three characters, and words containing non-ASCII or
+/// non-lowercase-alphabetic bytes, are returned unchanged (stemming is
+/// defined over plain English words; query tokens like "649" pass through).
+///
+/// # Example
+///
+/// ```
+/// use xsearch_text::porter::stem;
+/// assert_eq!(stem("relational"), "relat");
+/// assert_eq!(stem("ponies"), "poni");
+/// assert_eq!(stem("sky"), "sky");
+/// ```
+#[must_use]
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_owned();
+    }
+    let mut s = Stemmer { b: word.as_bytes().to_vec(), k: word.len() as isize - 1, j: 0 };
+    s.step1ab();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5();
+    s.b.truncate((s.k + 1) as usize);
+    String::from_utf8(s.b).expect("ascii in, ascii out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Classic examples from Porter's 1980 paper, one per rule family.
+    #[test]
+    fn paper_examples() {
+        let cases = [
+            // Step 1a
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            // Step 1b
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            // Step 1c
+            ("happy", "happi"),
+            ("sky", "sky"),
+            // Step 2
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            // Step 3
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            // Step 4
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            // Step 5
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, want) in cases {
+            assert_eq!(stem(input), want, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        for w in ["a", "is", "be", "ox"] {
+            assert_eq!(stem(w), w);
+        }
+    }
+
+    #[test]
+    fn non_alphabetic_unchanged() {
+        assert_eq!(stem("649"), "649");
+        assert_eq!(stem("mp3"), "mp3");
+        assert_eq!(stem("café"), "café");
+    }
+
+    #[test]
+    fn common_query_words() {
+        assert_eq!(stem("running"), "run");
+        assert_eq!(stem("flights"), "flight");
+        assert_eq!(stem("recipes"), "recip");
+        assert_eq!(stem("lyrics"), "lyric");
+    }
+
+    proptest! {
+        #[test]
+        fn stem_output_is_lowercase_ascii(word in "[a-z]{3,15}") {
+            // Note: Porter is *not* idempotent ("ease" → "eas" → "ea"),
+            // so we check the output alphabet instead.
+            let s = stem(&word);
+            prop_assert!(!s.is_empty());
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn stem_never_longer_than_input(word in "[a-z]{3,20}") {
+            prop_assert!(stem(&word).len() <= word.len() + 1,
+                "only -i endings may grow via ies->i / y->i rules");
+        }
+
+        #[test]
+        fn stem_never_panics(word: String) {
+            let _ = stem(&word);
+        }
+    }
+}

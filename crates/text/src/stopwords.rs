@@ -1,0 +1,78 @@
+//! A compact English stopword list.
+//!
+//! SimAttack and the synthetic-log calibration drop function words before
+//! comparing queries; this list covers the classic closed-class English
+//! vocabulary that appears in AOL-style queries ("how to ...", "what is
+//! ...").
+
+/// Sorted list of stopwords; lookup is by binary search.
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
+    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "herself",
+    "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it", "its", "itself", "just",
+    "me", "more", "most", "my", "myself", "no", "nor", "not", "now", "of", "off", "on", "once",
+    "only", "or", "other", "our", "ours", "ourselves", "out", "over", "own", "s", "same", "she",
+    "should", "so", "some", "such", "t", "than", "that", "the", "their", "theirs", "them",
+    "themselves", "then", "there", "these", "they", "this", "those", "through", "to", "too",
+    "under", "until", "up", "very", "was", "we", "were", "what", "when", "where", "which",
+    "while", "who", "whom", "why", "will", "with", "you", "your", "yours", "yourself",
+    "yourselves",
+];
+
+/// Returns `true` if `word` (expected lower-case) is an English stopword.
+///
+/// # Example
+///
+/// ```
+/// use xsearch_text::stopwords::is_stopword;
+/// assert!(is_stopword("the"));
+/// assert!(!is_stopword("lottery"));
+/// ```
+#[must_use]
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Number of stopwords in the embedded list.
+#[must_use]
+pub fn len() -> usize {
+    STOPWORDS.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_unique() {
+        for pair in STOPWORDS.windows(2) {
+            assert!(pair[0] < pair[1], "{} >= {}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn common_function_words_present() {
+        for w in ["the", "of", "and", "to", "in", "how", "what", "is"] {
+            assert!(is_stopword(w), "{w} missing");
+        }
+    }
+
+    #[test]
+    fn content_words_absent() {
+        for w in ["lottery", "flight", "cancer", "recipe", "google"] {
+            assert!(!is_stopword(w), "{w} wrongly listed");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_lowercase_contract() {
+        assert!(!is_stopword("The"));
+    }
+
+    #[test]
+    fn list_has_classic_coverage() {
+        assert!(len() > 100, "list unexpectedly small: {}", len());
+    }
+}

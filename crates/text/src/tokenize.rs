@@ -1,0 +1,125 @@
+//! Tokenization: lower-cased maximal runs of alphanumeric characters.
+//!
+//! This is deliberately the simplest credible web-search tokenizer — the
+//! AOL log contains raw user keystrokes ("new york lottery", "myspace.com")
+//! and both the paper's filter and SimAttack operate on word overlap, so
+//! punctuation splitting plus case folding is the right granularity.
+
+/// Splits `text` into lower-cased alphanumeric tokens.
+///
+/// Unicode letters are kept (case-folded); everything else separates
+/// tokens. Empty inputs produce an empty vector.
+///
+/// # Example
+///
+/// ```
+/// use xsearch_text::tokenize::tokenize;
+/// assert_eq!(tokenize("Cheap FLIGHTS, to-Paris!"), vec!["cheap", "flights", "to", "paris"]);
+/// ```
+#[must_use]
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            // Case folding can expand to sequences containing combining
+            // marks (e.g. 'İ' → "i\u{307}"); keep only alphanumerics so
+            // tokens stay within the token alphabet.
+            current.extend(ch.to_lowercase().filter(|c| c.is_alphanumeric()));
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Tokenizes and removes stopwords in one pass.
+///
+/// # Example
+///
+/// ```
+/// use xsearch_text::tokenize::content_words;
+/// assert_eq!(content_words("the best of the best"), vec!["best", "best"]);
+/// ```
+#[must_use]
+pub fn content_words(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !crate::stopwords::is_stopword(t))
+        .collect()
+}
+
+/// Tokenizes, removes stopwords and Porter-stems — the normalization
+/// SimAttack applies before computing cosine similarity.
+#[must_use]
+pub fn normalized_terms(text: &str) -> Vec<String> {
+    content_words(text)
+        .into_iter()
+        .map(|t| crate::porter::stem(&t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  \t ... ").is_empty());
+    }
+
+    #[test]
+    fn case_folding() {
+        assert_eq!(tokenize("HeLLo WoRLD"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn digits_are_tokens() {
+        assert_eq!(tokenize("lottery 649 results"), vec!["lottery", "649", "results"]);
+    }
+
+    #[test]
+    fn urls_split_into_words() {
+        assert_eq!(tokenize("www.myspace.com"), vec!["www", "myspace", "com"]);
+    }
+
+    #[test]
+    fn apostrophes_split() {
+        assert_eq!(tokenize("o'reilly's"), vec!["o", "reilly", "s"]);
+    }
+
+    #[test]
+    fn content_words_drop_stopwords() {
+        assert_eq!(content_words("how to tie a tie"), vec!["tie", "tie"]);
+    }
+
+    #[test]
+    fn normalized_terms_stem() {
+        assert_eq!(normalized_terms("running shoes"), vec!["run", "shoe"]);
+    }
+
+    proptest! {
+        #[test]
+        fn tokens_are_lowercase_alphanumeric(text: String) {
+            for tok in tokenize(&text) {
+                prop_assert!(!tok.is_empty());
+                prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+                // Case folding is a fixpoint: some uppercase letters (e.g.
+                // '𝒥') have no lowercase mapping and pass through.
+                prop_assert_eq!(tok.to_lowercase(), tok.clone());
+            }
+        }
+
+        #[test]
+        fn tokenize_is_idempotent_on_joined(text: String) {
+            let once = tokenize(&text);
+            let rejoined = once.join(" ");
+            prop_assert_eq!(tokenize(&rejoined), once);
+        }
+    }
+}

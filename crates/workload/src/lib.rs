@@ -1,0 +1,31 @@
+//! wrk2-style open-loop load generation.
+//!
+//! The paper's Fig 5 uses wrk2 to drive each proxy at a fixed request rate
+//! and record latency until the proxy saturates. wrk2's defining features
+//! are reproduced here:
+//!
+//! * **open loop** — requests are issued on a fixed schedule regardless of
+//!   how slowly the service responds, unlike closed-loop benchmarks that
+//!   only send when the previous response returned;
+//! * **coordinated-omission correction** — latency is measured from the
+//!   *scheduled* send time, so queueing delay during overload is charged
+//!   to the service rather than silently dropped.
+//!
+//! # Example
+//!
+//! ```
+//! use xsearch_workload::{run_open_loop, LoadSpec};
+//! use std::time::Duration;
+//!
+//! let spec = LoadSpec { rate_per_sec: 2_000.0, duration: Duration::from_millis(200), threads: 2 };
+//! let report = run_open_loop(&spec, &|| true);
+//! assert!(report.completed > 0);
+//! ```
+
+pub mod rate;
+pub mod report;
+pub mod runner;
+
+pub use rate::Schedule;
+pub use report::RunReport;
+pub use runner::{run_open_loop, LoadSpec};

@@ -1,0 +1,81 @@
+//! Constant-rate pacing schedules.
+
+use std::time::Duration;
+
+/// The send schedule for a constant-rate open loop: request `i` is due at
+/// `i / rate` after the start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Schedule {
+    nanos_per_request: f64,
+}
+
+impl Schedule {
+    /// A schedule for `rate_per_sec` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive and finite.
+    #[must_use]
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "rate must be positive, got {rate_per_sec}"
+        );
+        Schedule { nanos_per_request: 1e9 / rate_per_sec }
+    }
+
+    /// When request `index` is due, relative to the start of the run.
+    #[must_use]
+    pub fn due_at(&self, index: u64) -> Duration {
+        Duration::from_nanos((self.nanos_per_request * index as f64) as u64)
+    }
+
+    /// How many requests are due within `window`.
+    #[must_use]
+    pub fn requests_within(&self, window: Duration) -> u64 {
+        (window.as_nanos() as f64 / self.nanos_per_request).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn due_times_are_evenly_spaced() {
+        let s = Schedule::new(1000.0); // 1 ms apart
+        assert_eq!(s.due_at(0), Duration::ZERO);
+        assert_eq!(s.due_at(1), Duration::from_millis(1));
+        assert_eq!(s.due_at(10), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn requests_within_window() {
+        let s = Schedule::new(100.0);
+        assert_eq!(s.requests_within(Duration::from_secs(1)), 100);
+        assert_eq!(s.requests_within(Duration::from_millis(95)), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = Schedule::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn due_at_is_monotone(rate in 1.0f64..1e6, i in 0u64..10_000) {
+            let s = Schedule::new(rate);
+            prop_assert!(s.due_at(i + 1) >= s.due_at(i));
+        }
+
+        #[test]
+        fn count_and_due_agree(rate in 1.0f64..1e5, secs in 1u64..10) {
+            let s = Schedule::new(rate);
+            let window = Duration::from_secs(secs);
+            let n = s.requests_within(window);
+            prop_assert!(s.due_at(n) >= window || n > 0 && s.due_at(n) <= window + Duration::from_millis(1));
+        }
+    }
+}

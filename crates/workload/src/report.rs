@@ -1,0 +1,114 @@
+//! Load-run reports.
+
+use xsearch_metrics::histogram::LatencyHistogram;
+
+/// The outcome of one constant-rate run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The offered rate (requests per second the schedule aimed for).
+    pub offered_rate: f64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that failed (e.g. shed by a saturated station).
+    pub failed: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_secs: f64,
+    /// Latency histogram in **microseconds**, measured from the scheduled
+    /// send time (coordinated-omission corrected).
+    pub latency_us: LatencyHistogram,
+}
+
+impl RunReport {
+    /// Achieved throughput in completed requests per second.
+    #[must_use]
+    pub fn achieved_rate(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.elapsed_secs
+        }
+    }
+
+    /// Error fraction in [0, 1].
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        let total = self.completed + self.failed;
+        if total == 0 {
+            0.0
+        } else {
+            self.failed as f64 / total as f64
+        }
+    }
+
+    /// Median latency in milliseconds.
+    #[must_use]
+    pub fn median_latency_ms(&self) -> f64 {
+        self.latency_us.quantile(0.5) as f64 / 1e3
+    }
+
+    /// 99th-percentile latency in milliseconds.
+    #[must_use]
+    pub fn p99_latency_ms(&self) -> f64 {
+        self.latency_us.quantile(0.99) as f64 / 1e3
+    }
+
+    /// Whether the service kept up: achieved ≥ 95% of offered and errors
+    /// under 1% — the Fig 5 saturation criterion.
+    #[must_use]
+    pub fn kept_up(&self) -> bool {
+        self.achieved_rate() >= 0.95 * self.offered_rate && self.error_rate() < 0.01
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(completed: u64, failed: u64, secs: f64, offered: f64) -> RunReport {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100 {
+            h.record(i * 100);
+        }
+        RunReport {
+            offered_rate: offered,
+            completed,
+            failed,
+            elapsed_secs: secs,
+            latency_us: h,
+        }
+    }
+
+    #[test]
+    fn achieved_rate_divides_by_elapsed() {
+        let r = report(1000, 0, 2.0, 500.0);
+        assert_eq!(r.achieved_rate(), 500.0);
+        assert!(r.kept_up());
+    }
+
+    #[test]
+    fn error_rate_fraction() {
+        let r = report(90, 10, 1.0, 100.0);
+        assert!((r.error_rate() - 0.1).abs() < 1e-12);
+        assert!(!r.kept_up());
+    }
+
+    #[test]
+    fn latency_percentiles_convert_to_ms() {
+        let r = report(100, 0, 1.0, 100.0);
+        assert!(r.median_latency_ms() > 0.0);
+        assert!(r.p99_latency_ms() >= r.median_latency_ms());
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let r = RunReport {
+            offered_rate: 10.0,
+            completed: 0,
+            failed: 0,
+            elapsed_secs: 0.0,
+            latency_us: LatencyHistogram::new(),
+        };
+        assert_eq!(r.achieved_rate(), 0.0);
+        assert_eq!(r.error_rate(), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The multi-threaded open-loop runner.
+
+use crate::rate::Schedule;
+use crate::report::RunReport;
+use std::time::{Duration, Instant};
+use xsearch_metrics::histogram::LatencyHistogram;
+
+/// Parameters of one constant-rate run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// Offered request rate (requests/second across all threads).
+    pub rate_per_sec: f64,
+    /// How long to keep offering load.
+    pub duration: Duration,
+    /// Generator threads; each sends every `threads`-th request.
+    pub threads: usize,
+}
+
+/// Drives `service` at the spec'd rate and returns the report.
+///
+/// `service` is called once per request on a generator thread and returns
+/// `true` on success, `false` when the request was rejected/failed.
+/// Latency is measured from each request's **scheduled** time, so when the
+/// service cannot keep up, the growing backlog appears as latency — wrk2's
+/// coordinated-omission correction.
+///
+/// # Panics
+///
+/// Panics if `threads` is 0 or the rate is not positive.
+pub fn run_open_loop<S>(spec: &LoadSpec, service: &S) -> RunReport
+where
+    S: Fn() -> bool + Sync,
+{
+    assert!(spec.threads > 0, "need at least one generator thread");
+    let schedule = Schedule::new(spec.rate_per_sec);
+    let total = schedule.requests_within(spec.duration);
+    let start = Instant::now();
+
+    let results: Vec<(LatencyHistogram, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.threads)
+            .map(|thread_idx| {
+                scope.spawn(move || {
+                    let mut hist = LatencyHistogram::new();
+                    let mut completed = 0u64;
+                    let mut failed = 0u64;
+                    let mut index = thread_idx as u64;
+                    while index < total {
+                        let due = schedule.due_at(index);
+                        // Wait for the scheduled instant (sleep coarse,
+                        // spin fine).
+                        loop {
+                            let now = start.elapsed();
+                            if now >= due {
+                                break;
+                            }
+                            let remaining = due - now;
+                            if remaining > Duration::from_micros(200) {
+                                std::thread::sleep(remaining - Duration::from_micros(100));
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        let ok = service();
+                        let latency = start.elapsed().saturating_sub(due);
+                        hist.record(latency.as_micros() as u64);
+                        if ok {
+                            completed += 1;
+                        } else {
+                            failed += 1;
+                        }
+                        index += spec.threads as u64;
+                    }
+                    (hist, completed, failed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("generator thread panicked")).collect()
+    });
+
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut latency = LatencyHistogram::new();
+    let mut completed = 0;
+    let mut failed = 0;
+    for (h, c, f) in results {
+        latency.merge(&h);
+        completed += c;
+        failed += f;
+    }
+    RunReport {
+        offered_rate: spec.rate_per_sec,
+        completed,
+        failed,
+        elapsed_secs: elapsed,
+        latency_us: latency,
+    }
+}
+
+/// Sweeps rates until the service stops keeping up, returning one report
+/// per rate — the series Fig 5 plots. The sweep stops one step after the
+/// first saturated point so the curve shows the collapse.
+pub fn sweep_rates<S>(
+    rates: &[f64],
+    duration: Duration,
+    threads: usize,
+    service: &S,
+) -> Vec<RunReport>
+where
+    S: Fn() -> bool + Sync,
+{
+    let mut reports = Vec::new();
+    let mut saturated_points = 0;
+    for &rate in rates {
+        let report = run_open_loop(&LoadSpec { rate_per_sec: rate, duration, threads }, service);
+        let kept_up = report.kept_up();
+        reports.push(report);
+        if !kept_up {
+            saturated_points += 1;
+            if saturated_points >= 2 {
+                break;
+            }
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn fast_service_keeps_up() {
+        let spec = LoadSpec {
+            rate_per_sec: 5_000.0,
+            duration: Duration::from_millis(300),
+            threads: 2,
+        };
+        let calls = AtomicU64::new(0);
+        let report = run_open_loop(&spec, &|| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        let expected = (spec.rate_per_sec * spec.duration.as_secs_f64()) as u64;
+        assert_eq!(report.completed, expected);
+        assert_eq!(calls.load(Ordering::Relaxed), expected);
+        assert!(report.kept_up(), "achieved {}", report.achieved_rate());
+        assert!(report.median_latency_ms() < 5.0, "median {}", report.median_latency_ms());
+    }
+
+    #[test]
+    fn slow_service_shows_coordinated_omission_latency() {
+        // Service takes 2 ms but we offer 2,000/s on one thread: backlog
+        // grows, and CO-corrected latency must blow past the service time.
+        let spec = LoadSpec {
+            rate_per_sec: 2_000.0,
+            duration: Duration::from_millis(300),
+            threads: 1,
+        };
+        let report = run_open_loop(&spec, &|| {
+            std::thread::sleep(Duration::from_millis(2));
+            true
+        });
+        assert!(
+            report.p99_latency_ms() > 20.0,
+            "p99 {} ms should reflect queueing, not just 2 ms service",
+            report.p99_latency_ms()
+        );
+        assert!(report.achieved_rate() < 1_000.0);
+    }
+
+    #[test]
+    fn failures_are_counted() {
+        let spec = LoadSpec {
+            rate_per_sec: 1_000.0,
+            duration: Duration::from_millis(100),
+            threads: 2,
+        };
+        let toggle = AtomicU64::new(0);
+        let report = run_open_loop(&spec, &|| toggle.fetch_add(1, Ordering::Relaxed) % 2 == 0);
+        assert!(report.failed > 0);
+        assert!((report.error_rate() - 0.5).abs() < 0.1, "error rate {}", report.error_rate());
+    }
+
+    #[test]
+    fn sweep_stops_after_collapse() {
+        let rates = [100.0, 200.0, 400.0, 800.0, 1_600.0, 3_200.0];
+        let reports = sweep_rates(&rates, Duration::from_millis(150), 1, &|| {
+            std::thread::sleep(Duration::from_millis(3)); // caps at ~330/s
+            true
+        });
+        assert!(reports.len() < rates.len(), "sweep should stop early, got {}", reports.len());
+        assert!(!reports.last().unwrap().kept_up());
+    }
+}

@@ -1,0 +1,48 @@
+//! Attack demo: run SimAttack against unprotected traffic, then against
+//! the same traffic protected by X-Search, and watch the
+//! re-identification rate collapse.
+//!
+//! Run with: `cargo run --release --example attack_demo`
+
+use xsearch::attack::eval::reidentification_rate;
+use xsearch::attack::profile::ProfileSet;
+use xsearch::attack::simattack::SimAttack;
+use xsearch::baselines::system::PrivateSearchSystem;
+use xsearch::baselines::xsearch_system::XSearchSystem;
+use xsearch::query_log::split::{top_active_users, train_test_split};
+use xsearch::query_log::synthetic::{generate, SyntheticConfig};
+
+fn main() {
+    // An AOL-like synthetic log; the adversary (the search engine) knows
+    // each user's past queries — the training split.
+    let log = generate(&SyntheticConfig { num_users: 120, seed: 99, ..Default::default() });
+    let top = top_active_users(&log, 50);
+    let split = train_test_split(&log, &top, 2.0 / 3.0);
+    println!(
+        "dataset: {} users, {} training queries (adversary knowledge), {} test queries",
+        top.len(),
+        split.train.len(),
+        split.test.len()
+    );
+
+    let profiles = ProfileSet::build(&split.train);
+    let attack = SimAttack::default();
+    let test: Vec<_> = split.test.iter().take(600).cloned().collect();
+
+    // Unprotected (identity hidden, query in the clear — what Tor gives).
+    let unprotected = reidentification_rate(&profiles, &attack, &test, |r| vec![r.query.clone()]);
+    println!("\nunlinkability only (Tor-like): {:.1}% of queries re-identified", unprotected * 100.0);
+
+    // X-Search with growing k.
+    for k in [1usize, 3, 7] {
+        let mut xsearch = XSearchSystem::new(k, 1_000_000, 7);
+        xsearch.warm(split.train.iter().map(|r| r.query.as_str()));
+        let rate = reidentification_rate(&profiles, &attack, &test, |r| {
+            xsearch.protect(r.user, &r.query).subqueries
+        });
+        println!("x-search k={k}: {:.1}% re-identified", rate * 100.0);
+    }
+
+    println!("\nwhy it works: every fake is a real past query, so the attack");
+    println!("keeps matching decoys to other users' profiles and must abstain.");
+}

@@ -1,0 +1,63 @@
+//! Side-by-side comparison of what every system exposes to the search
+//! engine for the same stream of queries — the qualitative version of
+//! the paper's Table-free §2 comparison.
+//!
+//! Run with: `cargo run --release --example baseline_comparison`
+
+use xsearch::baselines::direct::Direct;
+use xsearch::baselines::goopir::GooPir;
+use xsearch::baselines::peas::PeasSystem;
+use xsearch::baselines::system::PrivateSearchSystem;
+use xsearch::baselines::tmn::TrackMeNot;
+use xsearch::baselines::tor::TorSystem;
+use xsearch::baselines::xsearch_system::XSearchSystem;
+use xsearch::query_log::record::UserId;
+use xsearch::query_log::synthetic::{generate, SyntheticConfig};
+
+fn show(system: &mut dyn PrivateSearchSystem, user: UserId, query: &str) {
+    let exposure = system.protect(user, query);
+    let identity = match exposure.identity {
+        Some(u) => format!("identity EXPOSED ({u})"),
+        None => "identity hidden".to_owned(),
+    };
+    println!("{:<12} {}", system.name(), identity);
+    for (i, q) in exposure.subqueries.iter().enumerate() {
+        let marker = if q == query { " ← original" } else { "" };
+        println!("             [{i}] {q:?}{marker}");
+    }
+    println!();
+}
+
+fn main() {
+    // Shared history/training data for the history- and matrix-based
+    // systems.
+    let log = generate(&SyntheticConfig { num_users: 60, seed: 5, ..Default::default() });
+    let past: Vec<String> = log.iter().map(|r| r.query.clone()).collect();
+
+    let user = UserId(17);
+    let query = "diabetes symptoms blood sugar";
+    println!("user {user} queries {query:?}\n");
+
+    let mut direct = Direct::new();
+    show(&mut direct, user, query);
+
+    let mut tor = TorSystem::new();
+    show(&mut tor, user, query);
+
+    let mut tmn = TrackMeNot::new(5);
+    show(&mut tmn, user, query);
+
+    let mut goopir = GooPir::new(3, 5);
+    show(&mut goopir, user, query);
+
+    let mut peas = PeasSystem::new(&past, 3, 5);
+    show(&mut peas, user, query);
+
+    let mut xsearch = XSearchSystem::new(3, 1_000_000, 5);
+    xsearch.warm(past.iter().map(String::as_str));
+    show(&mut xsearch, user, query);
+
+    println!("note how X-Search's decoys are verbatim queries of other");
+    println!("users, while PEAS/GooPIR/TMN decoys are synthetic text that a");
+    println!("profile-matching adversary can discard (Fig 1 / Fig 3).");
+}

@@ -1,0 +1,70 @@
+//! A full private session, step by step: attestation handshake, what a
+//! *malicious* proxy looks like to the broker, and what the untrusted
+//! world observes while a user searches.
+//!
+//! Run with: `cargo run --release --example private_session`
+
+use std::sync::Arc;
+use xsearch::core::{broker::Broker, config::XSearchConfig, proxy::XSearchProxy};
+use xsearch::engine::{corpus::CorpusConfig, engine::SearchEngine};
+use xsearch::sgx::attestation::AttestationService;
+
+fn main() {
+    let ias = AttestationService::from_seed(2017);
+    let engine =
+        Arc::new(SearchEngine::build(&CorpusConfig { docs_per_topic: 60, ..Default::default() }));
+
+    // --- Step 1: the genuine proxy and its measurement ---------------
+    let proxy = XSearchProxy::launch(
+        XSearchConfig { k: 3, ..Default::default() },
+        engine.clone(),
+        &ias,
+    );
+    let pinned = proxy.expected_measurement();
+    println!("step 1: proxy enclave measurement {pinned}");
+
+    // --- Step 2: attestation rejects a wrong measurement -------------
+    let mut tampered = pinned;
+    tampered.0[0] ^= 0xff;
+    match Broker::attach(&proxy, &ias, tampered, 1) {
+        Err(e) => println!("step 2: broker pinned a different measurement → rejected ({e})"),
+        Ok(_) => unreachable!("attestation must fail"),
+    }
+
+    // --- Step 3: genuine attestation succeeds ------------------------
+    let mut broker =
+        Broker::attach(&proxy, &ias, pinned, 1).expect("genuine proxy attests fine");
+    println!("step 3: quote verified, measurement matches, channel keys bound into quote");
+
+    // --- Step 4: searching through the tunnel ------------------------
+    proxy.seed_history([
+        "stomach pain causes",
+        "divorce lawyer fees",
+        "lottery results 649",
+        "knitting patterns free",
+        "college scholarship application",
+        "used truck dealer",
+    ]);
+    let sensitive = "diabetes symptoms blood sugar";
+    let results = broker.search(&proxy, sensitive).expect("tunnel search");
+    println!("\nstep 4: searched {sensitive:?} privately → {} filtered results", results.len());
+    for r in results.iter().take(5) {
+        println!("   - {}", r.title);
+    }
+
+    // --- Step 5: what the adversary saw -------------------------------
+    println!("\nstep 5: the observable world:");
+    println!("   * the engine saw ONE obfuscated query: 4 sub-queries OR-ed,");
+    println!("     3 of them real past queries of other users;");
+    println!("   * the proxy host saw only AEAD ciphertext and that query;");
+    println!("   * the history table now also stores the user's query for");
+    println!("     future obfuscations ({} entries).", proxy.history_len());
+    let b = proxy.boundary();
+    println!(
+        "   * boundary traffic: {} ecalls / {} ocalls, {} B in, {} B out",
+        b.ecalls(),
+        b.ocalls(),
+        b.bytes_in(),
+        b.bytes_out()
+    );
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration: the full attested X-Search pipeline from
+//! broker to engine and back.
+
+use std::sync::Arc;
+use xsearch::core::{broker::Broker, config::XSearchConfig, proxy::XSearchProxy};
+use xsearch::engine::{corpus::CorpusConfig, engine::SearchEngine};
+use xsearch::query_log::topics::TOPICS;
+use xsearch::sgx::attestation::AttestationService;
+
+fn setup(k: usize) -> (XSearchProxy, AttestationService, Arc<SearchEngine>) {
+    let ias = AttestationService::from_seed(1);
+    let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 50,
+        ..Default::default()
+    }));
+    let proxy = XSearchProxy::launch(
+        XSearchConfig { k, history_capacity: 10_000, ..Default::default() },
+        engine.clone(),
+        &ias,
+    );
+    (proxy, ias, engine)
+}
+
+fn topic_query(name: &str) -> String {
+    let t = TOPICS.iter().find(|t| t.name == name).unwrap();
+    format!("{} {} {}", t.terms[0], t.terms[1], t.terms[2])
+}
+
+#[test]
+fn full_session_returns_filtered_relevant_results() {
+    let (proxy, ias, engine) = setup(3);
+    proxy.seed_history([
+        topic_query("health").as_str(),
+        topic_query("finance").as_str(),
+        topic_query("sports").as_str(),
+        topic_query("recipes").as_str(),
+    ]);
+    let mut broker = Broker::attach(&proxy, &ias, proxy.expected_measurement(), 9).unwrap();
+
+    let query = topic_query("travel");
+    let results = broker.search(&proxy, &query).unwrap();
+    assert!(!results.is_empty(), "travel query must return results");
+
+    // The filtered results substantially overlap the unprotected ones.
+    let direct: std::collections::HashSet<String> =
+        engine.search(&query, 20).into_iter().map(|r| r.url).collect();
+    // Compare on redirect-stripped URLs.
+    let stripped: std::collections::HashSet<String> =
+        direct.iter().map(|u| xsearch::core::redirect::strip_redirect(u)).collect();
+    let overlap = results.iter().filter(|r| stripped.contains(&r.url)).count();
+    assert!(
+        overlap * 2 >= results.len(),
+        "{overlap}/{} filtered results overlap the direct top-20",
+        results.len()
+    );
+}
+
+#[test]
+fn results_never_carry_tracker_redirections() {
+    let (proxy, ias, _) = setup(2);
+    proxy.seed_history(["a b c", "d e f", "g h i"]);
+    let mut broker = Broker::attach(&proxy, &ias, proxy.expected_measurement(), 10).unwrap();
+    for topic in ["travel", "health", "cars", "music"] {
+        let results = broker.search(&proxy, &topic_query(topic)).unwrap();
+        for r in &results {
+            assert!(
+                !r.url.contains("redirect.tracker.com"),
+                "tracker URL leaked: {}",
+                r.url
+            );
+        }
+    }
+}
+
+#[test]
+fn many_sequential_queries_grow_the_history() {
+    let (proxy, ias, _) = setup(2);
+    proxy.seed_history(["warm one", "warm two"]);
+    let mut broker = Broker::attach(&proxy, &ias, proxy.expected_measurement(), 11).unwrap();
+    let before = proxy.history_len();
+    for i in 0..10 {
+        let q = topic_query(TOPICS[i % TOPICS.len()].name);
+        let _ = broker.search(&proxy, &q).unwrap();
+    }
+    assert_eq!(proxy.history_len(), before + 10, "every query lands in the table");
+}
+
+#[test]
+fn concurrent_brokers_share_one_proxy() {
+    let (proxy, ias, _) = setup(1);
+    proxy.seed_history(["seed one", "seed two", "seed three"]);
+    let proxy = Arc::new(proxy);
+    let measurement = proxy.expected_measurement();
+
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let proxy = proxy.clone();
+            let ias = ias.clone();
+            std::thread::spawn(move || {
+                let mut broker = Broker::attach(&proxy, &ias, measurement, 100 + i).unwrap();
+                for round in 0..5 {
+                    let q = topic_query(TOPICS[(i as usize + round) % TOPICS.len()].name);
+                    broker.search(&proxy, &q).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no broker thread may fail");
+    }
+    assert!(proxy.history_len() >= 3 + 8 * 5);
+}
+
+#[test]
+fn echo_mode_is_crypto_complete() {
+    // Echo mode still exercises the full decrypt → obfuscate → filter →
+    // encrypt path; the tunnel counters must stay in lockstep.
+    let (proxy, ias, _) = setup(3);
+    proxy.seed_history(["w1", "w2", "w3", "w4"]);
+    let mut broker = Broker::attach(&proxy, &ias, proxy.expected_measurement(), 12).unwrap();
+    for _ in 0..50 {
+        let results = broker.search_echo(&proxy, "ping").unwrap();
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration: the privacy evaluation pipeline — synthetic
+//! log → profiles → SimAttack vs protected exposures — reproducing the
+//! paper's qualitative ordering on a small dataset.
+
+use xsearch::attack::eval::reidentification_rate;
+use xsearch::attack::profile::ProfileSet;
+use xsearch::attack::simattack::SimAttack;
+use xsearch::baselines::peas::PeasSystem;
+use xsearch::baselines::system::PrivateSearchSystem;
+use xsearch::baselines::xsearch_system::XSearchSystem;
+use xsearch::query_log::split::{top_active_users, train_test_split};
+use xsearch::query_log::synthetic::{generate, SyntheticConfig};
+
+struct Pipeline {
+    profiles: ProfileSet,
+    train: Vec<String>,
+    test: Vec<xsearch::query_log::record::QueryRecord>,
+}
+
+fn pipeline() -> Pipeline {
+    let log = generate(&SyntheticConfig { num_users: 80, seed: 31, ..Default::default() });
+    let top = top_active_users(&log, 40);
+    let split = train_test_split(&log, &top, 2.0 / 3.0);
+    let train = split.train.iter().map(|r| r.query.clone()).collect();
+    let test = split.test.iter().take(400).cloned().collect();
+    Pipeline { profiles: ProfileSet::build(&split.train), train, test }
+}
+
+#[test]
+fn unprotected_traffic_is_substantially_reidentifiable() {
+    let p = pipeline();
+    let rate = reidentification_rate(&p.profiles, &SimAttack::default(), &p.test, |r| {
+        vec![r.query.clone()]
+    });
+    assert!(
+        (0.2..=0.7).contains(&rate),
+        "unprotected re-identification rate {rate} outside the plausible band"
+    );
+}
+
+#[test]
+fn xsearch_reduces_reidentification_below_unprotected() {
+    let p = pipeline();
+    let attack = SimAttack::default();
+    let unprotected = reidentification_rate(&p.profiles, &attack, &p.test, |r| {
+        vec![r.query.clone()]
+    });
+    let mut xsearch = XSearchSystem::new(3, 1_000_000, 17);
+    xsearch.warm(p.train.iter().map(String::as_str));
+    let protected = reidentification_rate(&p.profiles, &attack, &p.test, |r| {
+        xsearch.protect(r.user, &r.query).subqueries
+    });
+    assert!(
+        protected < unprotected * 0.6,
+        "x-search must cut re-identification strongly: {protected} vs {unprotected}"
+    );
+}
+
+#[test]
+fn xsearch_beats_peas_at_equal_k() {
+    let p = pipeline();
+    let attack = SimAttack::default();
+    let k = 3;
+
+    let mut xsearch = XSearchSystem::new(k, 1_000_000, 23);
+    xsearch.warm(p.train.iter().map(String::as_str));
+    let xs = reidentification_rate(&p.profiles, &attack, &p.test, |r| {
+        xsearch.protect(r.user, &r.query).subqueries
+    });
+
+    let mut peas = PeasSystem::new(&p.train, k, 23);
+    let pe = reidentification_rate(&p.profiles, &attack, &p.test, |r| {
+        peas.protect(r.user, &r.query).subqueries
+    });
+
+    assert!(xs < pe, "x-search ({xs}) must beat peas ({pe}) — the paper's Fig 3 ordering");
+}
+
+#[test]
+fn protection_improves_with_k() {
+    let p = pipeline();
+    let attack = SimAttack::default();
+    let rate_at = |k: usize| {
+        let mut xsearch = XSearchSystem::new(k, 1_000_000, 29);
+        xsearch.warm(p.train.iter().map(String::as_str));
+        reidentification_rate(&p.profiles, &attack, &p.test, |r| {
+            xsearch.protect(r.user, &r.query).subqueries
+        })
+    };
+    let r1 = rate_at(1);
+    let r7 = rate_at(7);
+    assert!(r7 <= r1, "more fakes cannot hurt: k=7 {r7} vs k=1 {r1}");
+}
