@@ -28,6 +28,8 @@
 //! assert_eq!(hit, UserId(1));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod eval;
 pub mod profile;
 pub mod simattack;

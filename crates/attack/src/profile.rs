@@ -52,7 +52,9 @@ impl ProfileSet {
     pub fn build(train: &[QueryRecord]) -> Self {
         let mut set = ProfileSet::default();
         for record in train {
-            let Some(pq) = normalize(&record.query) else { continue };
+            let Some(pq) = normalize(&record.query) else {
+                continue;
+            };
             let user_idx = match set.user_index.get(&record.user) {
                 Some(&i) => i,
                 None => {
@@ -64,7 +66,10 @@ impl ProfileSet {
             };
             let query_idx = set.queries.len() as u32;
             for (term, _) in &pq.terms {
-                set.postings.entry(term.clone()).or_default().push(query_idx);
+                set.postings
+                    .entry(term.clone())
+                    .or_default()
+                    .push(query_idx);
             }
             set.queries.push((user_idx, pq));
         }
@@ -94,7 +99,9 @@ impl ProfileSet {
     /// the result have all-zero similarities.
     #[must_use]
     pub fn nonzero_cosines(&self, query: &str) -> HashMap<UserId, Vec<f64>> {
-        let Some(q) = normalize(query) else { return HashMap::new() };
+        let Some(q) = normalize(query) else {
+            return HashMap::new();
+        };
         // Accumulate dot products over the postings of the query's terms.
         let mut dots: HashMap<u32, f64> = HashMap::new();
         for (term, qw) in &q.terms {
@@ -115,7 +122,9 @@ impl ProfileSet {
             let (user_idx, pq) = &self.queries[query_idx as usize];
             let denom = q.norm * pq.norm;
             if denom > 0.0 && dot > 0.0 {
-                out.entry(self.users[*user_idx as usize]).or_default().push(dot / denom);
+                out.entry(self.users[*user_idx as usize])
+                    .or_default()
+                    .push(dot / denom);
             }
         }
         out

@@ -30,7 +30,10 @@ impl SimAttack {
     /// Panics for out-of-range `alpha`.
     #[must_use]
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
         SimAttack { alpha }
     }
 
@@ -83,12 +86,20 @@ impl SimAttack {
                         }
                     }
                     Some(b) if score > b.similarity => {
-                        best = Some(Identification { user, subquery_index: idx, similarity: score });
+                        best = Some(Identification {
+                            user,
+                            subquery_index: idx,
+                            similarity: score,
+                        });
                         tied = false;
                     }
                     Some(_) => {}
                     None => {
-                        best = Some(Identification { user, subquery_index: idx, similarity: score });
+                        best = Some(Identification {
+                            user,
+                            subquery_index: idx,
+                            similarity: score,
+                        });
                         tied = false;
                     }
                 }
@@ -104,7 +115,8 @@ impl SimAttack {
     /// returns the re-identified user.
     #[must_use]
     pub fn attack_single(&self, profiles: &ProfileSet, query: &str) -> Option<UserId> {
-        self.attack(profiles, std::slice::from_ref(&query.to_owned())).map(|id| id.user)
+        self.attack(profiles, std::slice::from_ref(&query.to_owned()))
+            .map(|id| id.user)
     }
 }
 
@@ -136,22 +148,31 @@ mod tests {
     #[test]
     fn repeated_query_is_reidentified() {
         let attack = SimAttack::default();
-        assert_eq!(attack.attack_single(&profiles(), "cheap flights paris"), Some(UserId(1)));
-        assert_eq!(attack.attack_single(&profiles(), "diabetes symptoms"), Some(UserId(2)));
+        assert_eq!(
+            attack.attack_single(&profiles(), "cheap flights paris"),
+            Some(UserId(1))
+        );
+        assert_eq!(
+            attack.attack_single(&profiles(), "diabetes symptoms"),
+            Some(UserId(2))
+        );
     }
 
     #[test]
     fn unknown_topic_is_not_reidentified() {
         let attack = SimAttack::default();
-        assert_eq!(attack.attack_single(&profiles(), "gardening mulch roses"), None);
+        assert_eq!(
+            attack.attack_single(&profiles(), "gardening mulch roses"),
+            None
+        );
     }
 
     #[test]
     fn obfuscated_exposure_recovers_user_and_query() {
         let attack = SimAttack::default();
         let subqueries = vec![
-            "nfl scores".to_owned(),          // user 3's real past query (the fake)
-            "paris hotel deals".to_owned(),   // the original, close to user 1
+            "nfl scores".to_owned(),        // user 3's real past query (the fake)
+            "paris hotel deals".to_owned(), // the original, close to user 1
         ];
         // Both sub-queries match someone, but exact repetition scores 1.0:
         // the fake (an exact past query) wins — which is precisely why

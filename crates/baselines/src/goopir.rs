@@ -25,9 +25,15 @@ impl GooPir {
     pub fn new(k: usize, seed: u64) -> Self {
         // The dictionary: the union of all topic vocabularies, flattened —
         // GooPIR draws uniformly from a keyword dictionary.
-        let dictionary: Vec<&'static str> =
-            TOPICS.iter().flat_map(|t| t.terms.iter().copied()).collect();
-        GooPir { rng: StdRng::seed_from_u64(seed), k, dictionary }
+        let dictionary: Vec<&'static str> = TOPICS
+            .iter()
+            .flat_map(|t| t.terms.iter().copied())
+            .collect();
+        GooPir {
+            rng: StdRng::seed_from_u64(seed),
+            k,
+            dictionary,
+        }
     }
 
     /// One dictionary fake with `words` keywords.
@@ -50,7 +56,10 @@ impl PrivateSearchSystem for GooPir {
         let len = query.split_whitespace().count();
         let mut subqueries: Vec<String> = (0..self.k).map(|_| self.fake_with_len(len)).collect();
         subqueries.insert(self.rng.gen_range(0..=subqueries.len()), query.to_owned());
-        Exposure { subqueries, identity: Some(user) }
+        Exposure {
+            subqueries,
+            identity: Some(user),
+        }
     }
 }
 
@@ -63,7 +72,10 @@ mod tests {
         let mut g = GooPir::new(3, 1);
         let e = g.protect(UserId(1), "paris hotel");
         assert_eq!(e.subqueries.len(), 4);
-        assert_eq!(e.subqueries.iter().filter(|q| *q == "paris hotel").count(), 1);
+        assert_eq!(
+            e.subqueries.iter().filter(|q| *q == "paris hotel").count(),
+            1
+        );
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! privacy experiments drive: every system turns `(user, query)` into the
 //! *exposure* an honest-but-curious engine observes.
 
+#![deny(missing_docs)]
+
 pub mod direct;
 pub mod goopir;
 pub mod peas;

@@ -43,7 +43,11 @@ impl PeasClient {
     /// Creates a client that trusts `issuer_pub`.
     #[must_use]
     pub fn new(user: UserId, issuer_pub: PublicKey, seed: u64) -> Self {
-        PeasClient { user, issuer_pub, rng: StdRng::seed_from_u64(seed) }
+        PeasClient {
+            user,
+            issuer_pub,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// One full PEAS exchange: hybrid-encrypt the query + one-time
@@ -73,7 +77,9 @@ impl PeasClient {
         // Receiver hop: identity replaced by an exchange id.
         let (_view, forwarded) = receiver.relay(self.user, &ciphertext);
 
-        let sealed_response = issuer.handle(&forwarded, fetch).map_err(PeasError::Issuer)?;
+        let sealed_response = issuer
+            .handle(&forwarded, fetch)
+            .map_err(PeasError::Issuer)?;
 
         let aead = ChaCha20Poly1305::new(&response_key);
         let body = aead
@@ -137,7 +143,9 @@ mod tests {
             "ciphertext must not contain the query"
         );
         // And the normal path still works.
-        let _ = client.search(&receiver, &issuer, query, |_, _| Vec::new()).unwrap();
+        let _ = client
+            .search(&receiver, &issuer, query, |_, _| Vec::new())
+            .unwrap();
     }
 
     #[test]
@@ -146,7 +154,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let other = xsearch_crypto::x25519::StaticSecret::random(&mut rng);
         let mut client = PeasClient::new(UserId(1), other.public_key(), 7);
-        let err = client.search(&receiver, &issuer, "q", |_, _| Vec::new()).unwrap_err();
-        assert!(matches!(err, PeasError::Issuer(IssuerError::BadCiphertext(_))));
+        let err = client
+            .search(&receiver, &issuer, "q", |_, _| Vec::new())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PeasError::Issuer(IssuerError::BadCiphertext(_))
+        ));
     }
 }

@@ -75,7 +75,11 @@ impl CooccurrenceMatrix {
     /// Co-occurrence count of an ordered pair.
     #[must_use]
     pub fn cooccurrence(&self, a: &str, b: &str) -> u64 {
-        self.pairs.get(a).and_then(|m| m.get(b)).copied().unwrap_or(0)
+        self.pairs
+            .get(a)
+            .and_then(|m| m.get(b))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Terms co-occurring with `term`, with counts, in deterministic
@@ -94,8 +98,11 @@ impl CooccurrenceMatrix {
     /// All terms with their frequencies (deterministic order).
     #[must_use]
     pub fn terms(&self) -> Vec<(&str, u64)> {
-        let mut v: Vec<(&str, u64)> =
-            self.frequencies.iter().map(|(t, &c)| (t.as_str(), c)).collect();
+        let mut v: Vec<(&str, u64)> = self
+            .frequencies
+            .iter()
+            .map(|(t, &c)| (t.as_str(), c))
+            .collect();
         v.sort_unstable();
         v
     }
@@ -147,7 +154,10 @@ mod tests {
     #[test]
     fn cooccurrence_is_symmetric() {
         let m = matrix();
-        assert_eq!(m.cooccurrence("cheap", "flights"), m.cooccurrence("flights", "cheap"));
+        assert_eq!(
+            m.cooccurrence("cheap", "flights"),
+            m.cooccurrence("flights", "cheap")
+        );
         assert_eq!(m.cooccurrence("cheap", "flights"), 2);
         assert_eq!(m.cooccurrence("hotel", "paris"), 0);
     }

@@ -27,7 +27,12 @@ impl PeasFakeGenerator {
             terms.push(t.to_owned());
             cumulative.push(acc);
         }
-        PeasFakeGenerator { matrix, terms, cumulative, rng: StdRng::seed_from_u64(seed) }
+        PeasFakeGenerator {
+            matrix,
+            terms,
+            cumulative,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The trained matrix.
@@ -147,7 +152,10 @@ mod tests {
     use xsearch_query_log::synthetic::{generate as gen_log, SyntheticConfig};
 
     fn trained() -> PeasFakeGenerator {
-        let log = gen_log(&SyntheticConfig { num_users: 40, ..Default::default() });
+        let log = gen_log(&SyntheticConfig {
+            num_users: 40,
+            ..Default::default()
+        });
         let queries: Vec<String> = log.into_iter().map(|r| r.query).collect();
         PeasFakeGenerator::new(CooccurrenceMatrix::build(&queries), 7)
     }
@@ -190,7 +198,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let log = gen_log(&SyntheticConfig { num_users: 20, ..Default::default() });
+        let log = gen_log(&SyntheticConfig {
+            num_users: 20,
+            ..Default::default()
+        });
         let queries: Vec<String> = log.into_iter().map(|r| r.query).collect();
         let mut a = PeasFakeGenerator::new(CooccurrenceMatrix::build(&queries), 3);
         let mut b = PeasFakeGenerator::new(CooccurrenceMatrix::build(&queries), 3);

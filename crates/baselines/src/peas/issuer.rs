@@ -91,8 +91,9 @@ impl PeasIssuer {
         }
         let (key_bytes, query_bytes) = payload.split_at(32);
         let response_key: [u8; 32] = key_bytes.try_into().expect("split at 32");
-        let query =
-            std::str::from_utf8(query_bytes).map_err(|_| IssuerError::BadPayload)?.to_owned();
+        let query = std::str::from_utf8(query_bytes)
+            .map_err(|_| IssuerError::BadPayload)?
+            .to_owned();
 
         // Obfuscate with co-occurrence fakes at a random position.
         let mut subqueries = self.fakegen.lock().generate(self.k);
@@ -139,7 +140,10 @@ mod tests {
         rng.fill_bytes(&mut response_key);
         let mut payload = response_key.to_vec();
         payload.extend_from_slice(query.as_bytes());
-        (response_key, hybrid::seal(&mut rng, &issuer.public_key(), &payload))
+        (
+            response_key,
+            hybrid::seal(&mut rng, &issuer.public_key(), &payload),
+        )
     }
 
     #[test]
@@ -175,6 +179,9 @@ mod tests {
         let issuer = issuer();
         let mut rng = StdRng::seed_from_u64(2);
         let ct = hybrid::seal(&mut rng, &issuer.public_key(), b"too short");
-        assert_eq!(issuer.handle(&ct, |_, _| Vec::new()), Err(IssuerError::BadPayload));
+        assert_eq!(
+            issuer.handle(&ct, |_, _| Vec::new()),
+            Err(IssuerError::BadPayload)
+        );
     }
 }

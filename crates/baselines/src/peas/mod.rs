@@ -61,7 +61,10 @@ impl PrivateSearchSystem for PeasSystem {
         let mut subqueries = self.fakegen.generate(self.k);
         let position = self.rng.gen_range(0..=subqueries.len());
         subqueries.insert(position, query.to_owned());
-        Exposure { subqueries, identity: None }
+        Exposure {
+            subqueries,
+            identity: None,
+        }
     }
 }
 
@@ -85,7 +88,13 @@ mod tests {
         let e = peas.protect(UserId(5), "my real query");
         assert_eq!(e.identity, None);
         assert_eq!(e.subqueries.len(), 4);
-        assert_eq!(e.subqueries.iter().filter(|q| *q == "my real query").count(), 1);
+        assert_eq!(
+            e.subqueries
+                .iter()
+                .filter(|q| *q == "my real query")
+                .count(),
+            1
+        );
     }
 
     #[test]

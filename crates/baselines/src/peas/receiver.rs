@@ -37,7 +37,11 @@ impl PeasReceiver {
         let exchange_id = self.next_exchange.fetch_add(1, Ordering::Relaxed);
         self.relayed.fetch_add(1, Ordering::Relaxed);
         (
-            ReceiverView { user, exchange_id, ciphertext_len: ciphertext.len() },
+            ReceiverView {
+                user,
+                exchange_id,
+                ciphertext_len: ciphertext.len(),
+            },
             ciphertext.to_vec(),
         )
     }

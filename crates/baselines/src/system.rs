@@ -18,7 +18,10 @@ impl Exposure {
     /// An exposure consisting of a single plain query.
     #[must_use]
     pub fn single(query: &str, identity: Option<UserId>) -> Self {
-        Exposure { subqueries: vec![query.to_owned()], identity }
+        Exposure {
+            subqueries: vec![query.to_owned()],
+            identity,
+        }
     }
 }
 

@@ -15,9 +15,28 @@ use xsearch_query_log::topics::TOPICS;
 /// Headline-flavoured connective vocabulary that user queries rarely
 /// contain but RSS titles constantly do.
 static HEADLINE_WORDS: &[&str] = &[
-    "announces", "amid", "reportedly", "officials", "lawmakers", "unveils", "sparks",
-    "criticism", "surge", "decline", "probe", "wake", "despite", "continues", "latest",
-    "update", "exclusive", "analysis", "opinion", "watchdog", "regulators", "spokesman",
+    "announces",
+    "amid",
+    "reportedly",
+    "officials",
+    "lawmakers",
+    "unveils",
+    "sparks",
+    "criticism",
+    "surge",
+    "decline",
+    "probe",
+    "wake",
+    "despite",
+    "continues",
+    "latest",
+    "update",
+    "exclusive",
+    "analysis",
+    "opinion",
+    "watchdog",
+    "regulators",
+    "spokesman",
 ];
 
 /// A simulated RSS-feed fake-query source.
@@ -33,14 +52,17 @@ impl TrackMeNot {
     /// Creates the generator with a deterministic seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        TrackMeNot { rng: StdRng::seed_from_u64(seed), fakes_per_query: 1.0 }
+        TrackMeNot {
+            rng: StdRng::seed_from_u64(seed),
+            fakes_per_query: 1.0,
+        }
     }
 
     /// One RSS-headline-style fake query.
     pub fn fake_query(&mut self) -> String {
         let topic = &TOPICS[self.rng.gen_range(0..TOPICS.len())];
-        let n_topic = self.rng.gen_range(2..=3);
-        let n_headline = self.rng.gen_range(1..=2);
+        let n_topic = self.rng.gen_range(2usize..=3);
+        let n_headline = self.rng.gen_range(1usize..=2);
         let mut words: Vec<&str> = Vec::with_capacity(n_topic + n_headline);
         for _ in 0..n_topic {
             words.push(topic.terms[self.rng.gen_range(0..topic.terms.len())]);
@@ -75,7 +97,10 @@ impl PrivateSearchSystem for TrackMeNot {
         for _ in 0..n {
             subqueries.push(self.fake_query());
         }
-        Exposure { subqueries, identity: Some(user) }
+        Exposure {
+            subqueries,
+            identity: Some(user),
+        }
     }
 }
 

@@ -58,7 +58,11 @@ impl ClientCircuit {
                 .diffie_hellman(relay_pub)
                 .expect("directory keys are well-formed");
             let key = hop_key(&shared, &eph.public_key(), relay_pub);
-            hops.push(ClientHop { aead: ChaCha20Poly1305::new(&key), forward: 0, backward: 0 });
+            hops.push(ClientHop {
+                aead: ChaCha20Poly1305::new(&key),
+                forward: 0,
+                backward: 0,
+            });
             ephemerals.push(eph.public_key());
         }
         (ClientCircuit { id, hops }, ephemerals)
@@ -97,7 +101,10 @@ impl ClientCircuit {
         let mut data = onion.to_vec();
         for hop in &mut self.hops {
             let nonce = counter_nonce(*b"torB", hop.backward);
-            data = hop.aead.open(&nonce, &[], &data).map_err(|_| CircuitError::BadLayer)?;
+            data = hop
+                .aead
+                .open(&nonce, &[], &data)
+                .map_err(|_| CircuitError::BadLayer)?;
             hop.backward += 1;
         }
         Ok(data)
@@ -171,6 +178,9 @@ mod tests {
         let relays = relay_secrets(3, &mut rng);
         let keys: Vec<PublicKey> = relays.iter().map(StaticSecret::public_key).collect();
         let (mut circuit, _) = ClientCircuit::establish(1, &keys, &mut rng);
-        assert_eq!(circuit.unwrap_backward(&[0u8; 80]), Err(CircuitError::BadLayer));
+        assert_eq!(
+            circuit.unwrap_backward(&[0u8; 80]),
+            Err(CircuitError::BadLayer)
+        );
     }
 }

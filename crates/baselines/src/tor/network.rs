@@ -52,7 +52,9 @@ pub struct TorNetwork {
 
 impl std::fmt::Debug for TorNetwork {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TorNetwork").field("relays", &self.relays.len()).finish()
+        f.debug_struct("TorNetwork")
+            .field("relays", &self.relays.len())
+            .finish()
     }
 }
 
@@ -68,7 +70,11 @@ impl TorNetwork {
     pub fn new<R: RngCore>(n: usize, relay_service: Duration, rng: &mut R) -> Self {
         assert!(n >= 3, "need at least 3 relays for a circuit");
         let relays = (0..n).map(|i| Arc::new(Relay::new(i, rng))).collect();
-        TorNetwork { relays, next_circuit: AtomicU64::new(1), relay_service }
+        TorNetwork {
+            relays,
+            next_circuit: AtomicU64::new(1),
+            relay_service,
+        }
     }
 
     /// Number of relays in the consensus.
@@ -81,8 +87,11 @@ impl TorNetwork {
     pub fn build_circuit<R: RngCore>(&self, rng: &mut R) -> BoundCircuit {
         let mut indices: Vec<usize> = (0..self.relays.len()).collect();
         indices.shuffle(rng);
-        let path: Vec<Arc<Relay>> =
-            indices.into_iter().take(3).map(|i| self.relays[i].clone()).collect();
+        let path: Vec<Arc<Relay>> = indices
+            .into_iter()
+            .take(3)
+            .map(|i| self.relays[i].clone())
+            .collect();
         let keys: Vec<_> = path.iter().map(|r| r.public_key()).collect();
         let id = self.next_circuit.fetch_add(1, Ordering::Relaxed);
         let (circuit, ephemerals) = ClientCircuit::establish(id, &keys, rng);
@@ -197,8 +206,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let net = network(&mut rng);
         let bound = net.build_circuit(&mut rng);
-        let ids: std::collections::HashSet<usize> =
-            bound.path.iter().map(|r| r.id()).collect();
+        let ids: std::collections::HashSet<usize> = bound.path.iter().map(|r| r.id()).collect();
         assert_eq!(ids.len(), 3);
     }
 
@@ -212,7 +220,9 @@ mod tests {
         let cells = to_cells(b"the secret query");
         let framed: Vec<u8> = cells.iter().flat_map(|c| c.iter().copied()).collect();
         let onion = bound.circuit.wrap_forward(&framed);
-        let after_guard = bound.path[0].peel_forward(bound.circuit.id(), &onion).unwrap();
+        let after_guard = bound.path[0]
+            .peel_forward(bound.circuit.id(), &onion)
+            .unwrap();
         let needle = b"the secret query";
         let visible = after_guard.windows(needle.len()).any(|w| w == needle);
         assert!(!visible, "guard must not see the plaintext");

@@ -48,7 +48,11 @@ impl std::fmt::Debug for Relay {
 
 /// Derives the per-hop AEAD key from a DH shared secret (the ntor-style
 /// key schedule, simplified).
-pub(crate) fn hop_key(shared: &[u8; 32], client_eph: &PublicKey, relay_pub: &PublicKey) -> [u8; 32] {
+pub(crate) fn hop_key(
+    shared: &[u8; 32],
+    client_eph: &PublicKey,
+    relay_pub: &PublicKey,
+) -> [u8; 32] {
     let mut salt = Vec::with_capacity(64);
     salt.extend_from_slice(client_eph.as_bytes());
     salt.extend_from_slice(relay_pub.as_bytes());
@@ -60,7 +64,11 @@ pub(crate) fn hop_key(shared: &[u8; 32], client_eph: &PublicKey, relay_pub: &Pub
 impl Relay {
     /// Creates a relay with a fresh identity key.
     pub fn new<R: RngCore>(id: usize, rng: &mut R) -> Self {
-        Relay { id, secret: StaticSecret::random(rng), circuits: Mutex::new(HashMap::new()) }
+        Relay {
+            id,
+            secret: StaticSecret::random(rng),
+            circuits: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Relay index in the directory.
@@ -85,7 +93,11 @@ impl Relay {
         let key = hop_key(&shared, client_eph, &self.public_key());
         self.circuits.lock().insert(
             circuit,
-            HopState { aead: ChaCha20Poly1305::new(&key), forward: 0, backward: 0 },
+            HopState {
+                aead: ChaCha20Poly1305::new(&key),
+                forward: 0,
+                backward: 0,
+            },
         );
     }
 
@@ -96,9 +108,14 @@ impl Relay {
     /// [`RelayError::UnknownCircuit`] / [`RelayError::BadOnion`].
     pub fn peel_forward(&self, circuit: u64, onion: &[u8]) -> Result<Vec<u8>, RelayError> {
         let mut circuits = self.circuits.lock();
-        let state = circuits.get_mut(&circuit).ok_or(RelayError::UnknownCircuit)?;
+        let state = circuits
+            .get_mut(&circuit)
+            .ok_or(RelayError::UnknownCircuit)?;
         let nonce = counter_nonce(*b"torF", state.forward);
-        let inner = state.aead.open(&nonce, &[], onion).map_err(|_| RelayError::BadOnion)?;
+        let inner = state
+            .aead
+            .open(&nonce, &[], onion)
+            .map_err(|_| RelayError::BadOnion)?;
         state.forward += 1;
         Ok(inner)
     }
@@ -110,7 +127,9 @@ impl Relay {
     /// [`RelayError::UnknownCircuit`].
     pub fn wrap_backward(&self, circuit: u64, payload: &[u8]) -> Result<Vec<u8>, RelayError> {
         let mut circuits = self.circuits.lock();
-        let state = circuits.get_mut(&circuit).ok_or(RelayError::UnknownCircuit)?;
+        let state = circuits
+            .get_mut(&circuit)
+            .ok_or(RelayError::UnknownCircuit)?;
         let nonce = counter_nonce(*b"torB", state.backward);
         state.backward += 1;
         Ok(state.aead.seal(&nonce, &[], payload))
@@ -150,7 +169,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let relay = Relay::new(0, &mut rng);
         assert_eq!(relay.peel_forward(9, b"x"), Err(RelayError::UnknownCircuit));
-        assert_eq!(relay.wrap_backward(9, b"x"), Err(RelayError::UnknownCircuit));
+        assert_eq!(
+            relay.wrap_backward(9, b"x"),
+            Err(RelayError::UnknownCircuit)
+        );
     }
 
     #[test]

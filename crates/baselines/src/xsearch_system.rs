@@ -52,7 +52,10 @@ impl PrivateSearchSystem for XSearchSystem {
 
     fn protect(&mut self, _user: UserId, query: &str) -> Exposure {
         let obfuscated = obfuscate(query, &self.history, self.k, &mut self.rng);
-        Exposure { subqueries: obfuscated.subqueries, identity: None }
+        Exposure {
+            subqueries: obfuscated.subqueries,
+            identity: None,
+        }
     }
 }
 

@@ -11,7 +11,9 @@ use xsearch_crypto::x25519::StaticSecret;
 
 fn bench_crypto(c: &mut Criterion) {
     let mut group = c.benchmark_group("crypto");
-    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2));
 
     let aead = ChaCha20Poly1305::new(&[7u8; 32]);
     for size in [64usize, 1024, 8192] {
@@ -24,7 +26,10 @@ fn bench_crypto(c: &mut Criterion) {
     let sealed = aead.seal(&[0u8; 12], b"aad", &vec![0xabu8; 1024]);
     group.throughput(Throughput::Bytes(1024));
     group.bench_function("aead_open_1024B", |b| {
-        b.iter(|| aead.open(&[0u8; 12], b"aad", std::hint::black_box(&sealed)).unwrap())
+        b.iter(|| {
+            aead.open(&[0u8; 12], b"aad", std::hint::black_box(&sealed))
+                .unwrap()
+        })
     });
 
     group.throughput(Throughput::Bytes(1024));
@@ -39,7 +44,11 @@ fn bench_crypto(c: &mut Criterion) {
     let bob_pub = bob.public_key();
     group.throughput(Throughput::Elements(1));
     group.bench_function("x25519_diffie_hellman", |b| {
-        b.iter(|| alice.diffie_hellman(std::hint::black_box(&bob_pub)).unwrap())
+        b.iter(|| {
+            alice
+                .diffie_hellman(std::hint::black_box(&bob_pub))
+                .unwrap()
+        })
     });
 
     // The PEAS per-request asymmetric cost: one ECIES seal + open.

@@ -7,9 +7,13 @@ use xsearch_sgx_sim::enclave::EnclaveBuilder;
 
 fn bench_boundary(c: &mut Criterion) {
     let mut group = c.benchmark_group("enclave_boundary");
-    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2));
 
-    let mut enclave = EnclaveBuilder::new("bench").with_code(b"bench enclave").build(0u64);
+    let mut enclave = EnclaveBuilder::new("bench")
+        .with_code(b"bench enclave")
+        .build(0u64);
 
     for size in [0usize, 1024, 16 * 1024] {
         let payload = vec![0u8; size];

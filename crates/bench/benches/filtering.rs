@@ -7,9 +7,14 @@ use xsearch_engine::engine::SearchEngine;
 
 fn bench_filtering(c: &mut Criterion) {
     let mut group = c.benchmark_group("filtering");
-    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2));
 
-    let engine = SearchEngine::build(&CorpusConfig { docs_per_topic: 100, ..Default::default() });
+    let engine = SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 100,
+        ..Default::default()
+    });
     let original = "flights hotel vacation cruise";
     let fake_pool = [
         "diabetes symptoms treatment".to_owned(),
@@ -23,7 +28,11 @@ fn bench_filtering(c: &mut Criterion) {
 
     for n_results in [20usize, 80] {
         let results = engine.search_merged(
-            &[original.to_owned(), fake_pool[0].clone(), fake_pool[1].clone()],
+            &[
+                original.to_owned(),
+                fake_pool[0].clone(),
+                fake_pool[1].clone(),
+            ],
             n_results / 2,
         );
         for k in [1usize, 3, 7] {

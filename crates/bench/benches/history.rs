@@ -9,7 +9,9 @@ use xsearch_sgx_sim::epc::EpcGauge;
 
 fn bench_history(c: &mut Criterion) {
     let mut group = c.benchmark_group("history");
-    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2));
 
     // Push into a full window (every push evicts).
     let full = QueryHistory::new(100_000, EpcGauge::new());

@@ -12,7 +12,9 @@ use xsearch_sgx_sim::epc::EpcGauge;
 
 fn bench_obfuscation(c: &mut Criterion) {
     let mut group = c.benchmark_group("obfuscation");
-    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2));
 
     for history_size in [1_000usize, 100_000] {
         let history = QueryHistory::new(history_size + 10_000, EpcGauge::new());

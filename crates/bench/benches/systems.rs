@@ -22,19 +22,29 @@ use xsearch_sgx_sim::attestation::AttestationService;
 
 fn bench_systems(c: &mut Criterion) {
     let mut group = c.benchmark_group("systems_per_request");
-    group.sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2));
 
-    let warm: Vec<String> = generate(&SyntheticConfig { num_users: 30, ..Default::default() })
-        .into_iter()
-        .map(|r| r.query)
-        .collect();
+    let warm: Vec<String> = generate(&SyntheticConfig {
+        num_users: 30,
+        ..Default::default()
+    })
+    .into_iter()
+    .map(|r| r.query)
+    .collect();
 
     // X-Search: echo-mode request through the attested tunnel.
     let ias = AttestationService::from_seed(1);
-    let engine =
-        Arc::new(SearchEngine::build(&CorpusConfig { docs_per_topic: 5, ..Default::default() }));
+    let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 5,
+        ..Default::default()
+    }));
     let proxy = XSearchProxy::launch(
-        XSearchConfig { k: 3, ..Default::default() },
+        XSearchConfig {
+            k: 3,
+            ..Default::default()
+        },
         engine,
         &ias,
     );
@@ -45,8 +55,10 @@ fn bench_systems(c: &mut Criterion) {
     });
 
     // PEAS: full two-proxy crypto path, echo engine.
-    let mut issuer =
-        PeasIssuer::new(PeasFakeGenerator::new(CooccurrenceMatrix::build(&warm), 3), 3);
+    let mut issuer = PeasIssuer::new(
+        PeasFakeGenerator::new(CooccurrenceMatrix::build(&warm), 3),
+        3,
+    );
     issuer.set_k(3);
     let receiver = PeasReceiver::new();
     let mut client = PeasClient::new(UserId(1), issuer.public_key(), 4);

@@ -47,7 +47,11 @@ fn main() {
         &["source", "reid_rate"],
     );
     table.note("source ids: 0=history(x-search) 1=cooccurrence(peas) 2=dictionary(goopir) 3=rss(tmn) 4=none");
-    table.note(&format!("users={} attacked={}", profiles.user_count(), test.len()));
+    table.note(&format!(
+        "users={} attacked={}",
+        profiles.user_count(),
+        test.len()
+    ));
 
     // 0: history (the paper's choice).
     let xsearch = {
@@ -55,19 +59,24 @@ fn main() {
         s.warm(train.iter().map(String::as_str));
         s
     };
-    let r_history =
-        rate_for(&profiles, &test, xsearch, |s, r| s.protect(r.user, &r.query).subqueries);
+    let r_history = rate_for(&profiles, &test, xsearch, |s, r| {
+        s.protect(r.user, &r.query).subqueries
+    });
     table.row(&[0.0, r_history]);
 
     // 1: co-occurrence walks.
     let peas = PeasSystem::new(&train, K, EXPERIMENT_SEED);
-    let r_cooc = rate_for(&profiles, &test, peas, |s, r| s.protect(r.user, &r.query).subqueries);
+    let r_cooc = rate_for(&profiles, &test, peas, |s, r| {
+        s.protect(r.user, &r.query).subqueries
+    });
     table.row(&[1.0, r_cooc]);
 
     // 2: dictionary picks (GooPIR exposes identity; for a fair fake-source
     // comparison only the sub-queries are used).
     let goopir = GooPir::new(K, EXPERIMENT_SEED);
-    let r_dict = rate_for(&profiles, &test, goopir, |s, r| s.protect(r.user, &r.query).subqueries);
+    let r_dict = rate_for(&profiles, &test, goopir, |s, r| {
+        s.protect(r.user, &r.query).subqueries
+    });
     table.row(&[2.0, r_dict]);
 
     // 3: RSS phrases (TMN interleaves rather than ORs; same treatment).
@@ -93,6 +102,12 @@ fn main() {
     println!();
     println!("# summary");
     println!("history(x-search)={r_history:.3} cooccurrence={r_cooc:.3} dictionary={r_dict:.3} rss={r_rss:.3} none={r_none:.3}");
-    println!("claim check: history fakes give the lowest re-identification → {}",
-        if r_history <= r_cooc && r_history <= r_dict && r_history <= r_rss { "HOLDS" } else { "VIOLATED" });
+    println!(
+        "claim check: history fakes give the lowest re-identification → {}",
+        if r_history <= r_cooc && r_history <= r_dict && r_history <= r_rss {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
 }

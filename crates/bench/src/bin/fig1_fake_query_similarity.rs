@@ -33,12 +33,14 @@ fn main() {
     let profiles = ProfileSet::build(&dataset.split.train);
 
     let mut peas = PeasFakeGenerator::new(CooccurrenceMatrix::build(&train), EXPERIMENT_SEED);
-    let peas_sims: Vec<f64> =
-        (0..FAKES).map(|_| max_similarity(&profiles, &peas.one_fake())).collect();
+    let peas_sims: Vec<f64> = (0..FAKES)
+        .map(|_| max_similarity(&profiles, &peas.one_fake()))
+        .collect();
 
     let mut tmn = TrackMeNot::new(EXPERIMENT_SEED);
-    let tmn_sims: Vec<f64> =
-        (0..FAKES).map(|_| max_similarity(&profiles, &tmn.fake_query())).collect();
+    let tmn_sims: Vec<f64> = (0..FAKES)
+        .map(|_| max_similarity(&profiles, &tmn.fake_query()))
+        .collect();
 
     // X-Search fakes are past queries themselves: similarity 1 by
     // construction (sampled here for completeness).
@@ -52,7 +54,10 @@ fn main() {
         "fig1: CCDF of max(similarity(fakeQuery, pastQuery))",
         &["similarity", "ccdf_peas", "ccdf_tmn", "ccdf_xsearch"],
     );
-    table.note(&format!("fakes per system = {FAKES}; past queries = {}", dataset.split.train.len()));
+    table.note(&format!(
+        "fakes per system = {FAKES}; past queries = {}",
+        dataset.split.train.len()
+    ));
     table.note("paper shape: PEAS and TMN mass concentrated at low similarity; X-Search at 1.0");
     for i in 0..=20 {
         let x = i as f64 / 20.0;

@@ -15,13 +15,15 @@
 //!
 //! Run: `cargo run -p xsearch-bench --release --bin fig5_throughput_latency`
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xsearch_baselines::peas::{CooccurrenceMatrix, PeasClient, PeasFakeGenerator, PeasIssuer, PeasReceiver};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xsearch_baselines::peas::{
+    CooccurrenceMatrix, PeasClient, PeasFakeGenerator, PeasIssuer, PeasReceiver,
+};
 use xsearch_baselines::tor::network::TorNetwork;
 use xsearch_bench::{Dataset, EXPERIMENT_SEED};
 use xsearch_core::broker::Broker;
@@ -58,9 +60,16 @@ fn round_robin<T>(pool: &[Mutex<T>], counter: &AtomicUsize) -> usize {
 fn xsearch_reports(warm: &[String]) -> Vec<xsearch_workload::RunReport> {
     let ias = AttestationService::from_seed(EXPERIMENT_SEED);
     // Tiny corpus: the engine is out of the measured path (echo mode).
-    let engine = Arc::new(SearchEngine::build(&CorpusConfig { docs_per_topic: 5, ..Default::default() }));
+    let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 5,
+        ..Default::default()
+    }));
     let proxy = XSearchProxy::launch(
-        XSearchConfig { k: K, history_capacity: 1_000_000, ..Default::default() },
+        XSearchConfig {
+            k: K,
+            history_capacity: 1_000_000,
+            ..Default::default()
+        },
         engine,
         &ias,
     );
@@ -86,15 +95,26 @@ fn xsearch_reports(warm: &[String]) -> Vec<xsearch_workload::RunReport> {
 
 fn peas_reports(warm: &[String]) -> Vec<xsearch_workload::RunReport> {
     let matrix = CooccurrenceMatrix::build(warm);
-    let mut issuer = PeasIssuer::new(PeasFakeGenerator::new(matrix, EXPERIMENT_SEED), EXPERIMENT_SEED);
+    let mut issuer = PeasIssuer::new(
+        PeasFakeGenerator::new(matrix, EXPERIMENT_SEED),
+        EXPERIMENT_SEED,
+    );
     issuer.set_k(K);
     let issuer = Arc::new(issuer);
     let receiver = Arc::new(PeasReceiver::new());
     let clients: Vec<Mutex<PeasClient>> = (0..SESSIONS)
-        .map(|i| Mutex::new(PeasClient::new(UserId(i as u32), issuer.public_key(), i as u64)))
+        .map(|i| {
+            Mutex::new(PeasClient::new(
+                UserId(i as u32),
+                issuer.public_key(),
+                i as u64,
+            ))
+        })
         .collect();
     let counter = AtomicUsize::new(0);
-    let rates = [100.0, 250.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0];
+    let rates = [
+        100.0, 250.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0,
+    ];
     sweep_rates(&rates, POINT_DURATION, THREADS, &|| {
         let idx = round_robin(&clients, &counter);
         clients[idx]
@@ -107,8 +127,9 @@ fn peas_reports(warm: &[String]) -> Vec<xsearch_workload::RunReport> {
 fn tor_reports() -> Vec<xsearch_workload::RunReport> {
     let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
     let network = Arc::new(TorNetwork::new(12, TOR_RELAY_SERVICE, &mut rng));
-    let circuits: Vec<Mutex<_>> =
-        (0..SESSIONS).map(|_| Mutex::new(network.build_circuit(&mut rng))).collect();
+    let circuits: Vec<Mutex<_>> = (0..SESSIONS)
+        .map(|_| Mutex::new(network.build_circuit(&mut rng)))
+        .collect();
     let counter = AtomicUsize::new(0);
     let rates = [25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1_600.0];
     sweep_rates(&rates, POINT_DURATION, THREADS, &|| {
@@ -140,7 +161,15 @@ fn main() {
 
     let mut table = Table::new(
         "fig5: latency vs offered throughput (system: 0=xsearch 1=peas 2=tor)",
-        &["system", "offered_rps", "achieved_rps", "median_ms", "p99_ms", "error_rate", "kept_up"],
+        &[
+            "system",
+            "offered_rps",
+            "achieved_rps",
+            "median_ms",
+            "p99_ms",
+            "error_rate",
+            "kept_up",
+        ],
     );
     table.note(&format!(
         "open loop, {THREADS} generator threads, {SESSIONS} sessions, {:?} per point, k={K}",

@@ -27,7 +27,9 @@ fn main() {
         "fig6: history memory vs queries stored",
         &["queries_x1e4", "memory_mib", "usable_epc_mib"],
     );
-    table.note(&format!("{TOTAL_QUERIES} unique synthetic queries, byte-accurate accounting"));
+    table.note(&format!(
+        "{TOTAL_QUERIES} unique synthetic queries, byte-accurate accounting"
+    ));
     table.note("paper: >1M queries fit within the ~90 MiB usable EPC");
 
     table.row(&[0.0, 0.0, to_mib(USABLE_EPC_BYTES)]);

@@ -58,7 +58,11 @@ fn main() {
     // --- X-Search (k = 3) ---
     let ias = AttestationService::from_seed(EXPERIMENT_SEED);
     let proxy = XSearchProxy::launch(
-        XSearchConfig { k: K, history_capacity: 1_000_000, ..Default::default() },
+        XSearchConfig {
+            k: K,
+            history_capacity: 1_000_000,
+            ..Default::default()
+        },
         engine.clone(),
         &ias,
     );
@@ -67,17 +71,17 @@ fn main() {
     let mut xsearch = Vec::with_capacity(QUERIES);
     for record in &test {
         let start = Instant::now();
-        let _ = broker.search(&proxy, &record.query).expect("attested search");
+        let _ = broker
+            .search(&proxy, &record.query)
+            .expect("attested search");
         let compute = start.elapsed();
         // k+1 sub-queries hit the engine concurrently → max of draws.
         let engine_time = (0..=K)
             .map(|_| wan.engine_service.sample(&mut rng))
             .max()
             .unwrap_or(Duration::ZERO);
-        let total = wan.client_proxy.rtt(&mut rng)
-            + wan.proxy_engine.rtt(&mut rng)
-            + engine_time
-            + compute;
+        let total =
+            wan.client_proxy.rtt(&mut rng) + wan.proxy_engine.rtt(&mut rng) + engine_time + compute;
         xsearch.push(total.as_secs_f64());
     }
 
@@ -111,7 +115,9 @@ fn main() {
         "fig7: CDF of end-to-end search round-trip time (seconds)",
         &["seconds", "cdf_direct", "cdf_xsearch_k3", "cdf_tor"],
     );
-    table.note(&format!("{QUERIES} queries; measured compute + calibrated WAN model"));
+    table.note(&format!(
+        "{QUERIES} queries; measured compute + calibrated WAN model"
+    ));
     table.note("paper: xsearch median 0.577 s / p99 0.873 s; tor median 1.06 s / p99 ~3 s");
     for i in 0..=35 {
         let x = i as f64 * 0.1;

@@ -5,6 +5,8 @@
 //! most active users, and a ⅔/⅓ train/test split per user. Centralizing
 //! the setup keeps the figures comparable with each other.
 
+#![deny(missing_docs)]
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -69,7 +71,11 @@ impl Dataset {
 /// The standard simulated engine (40 topics × 250 documents).
 #[must_use]
 pub fn standard_engine() -> SearchEngine {
-    SearchEngine::build(&CorpusConfig { docs_per_topic: 250, seed: EXPERIMENT_SEED, ..Default::default() })
+    SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 250,
+        seed: EXPERIMENT_SEED,
+        ..Default::default()
+    })
 }
 
 #[cfg(test)]
@@ -81,8 +87,7 @@ mod tests {
         let d = Dataset::with_users(30);
         assert!(!d.split.train.is_empty());
         assert!(!d.split.test.is_empty());
-        let users: std::collections::HashSet<_> =
-            d.split.test.iter().map(|r| r.user).collect();
+        let users: std::collections::HashSet<_> = d.split.test.iter().map(|r| r.user).collect();
         assert!(users.len() <= TOP_USERS);
     }
 

@@ -25,7 +25,9 @@ pub struct Broker {
 
 impl std::fmt::Debug for Broker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Broker").field("client_pub", &self.client_pub).finish()
+        f.debug_struct("Broker")
+            .field("client_pub", &self.client_pub)
+            .finish()
     }
 }
 
@@ -61,8 +63,12 @@ impl Broker {
         }
 
         let shared = secret.diffie_hellman(&resp.enclave_pub)?;
-        let channel = SecureChannel::establish(Side::Client, &shared, &client_pub, &resp.enclave_pub);
-        Ok(Broker { client_pub, channel })
+        let channel =
+            SecureChannel::establish(Side::Client, &shared, &client_pub, &resp.enclave_pub);
+        Ok(Broker {
+            client_pub,
+            channel,
+        })
     }
 
     /// Sends one query through the tunnel and returns the filtered
@@ -123,7 +129,11 @@ mod tests {
             ..Default::default()
         }));
         let proxy = XSearchProxy::launch(
-            XSearchConfig { k, history_capacity: 10_000, ..Default::default() },
+            XSearchConfig {
+                k,
+                history_capacity: 10_000,
+                ..Default::default()
+            },
             engine,
             &ias,
         );
@@ -141,10 +151,16 @@ mod tests {
         assert!(!results.is_empty());
         // Results must relate to the original query, not only to fakes.
         let engine = proxy.engine();
-        let direct: std::collections::HashSet<String> =
-            engine.search(&query, 20).into_iter().map(|r| r.title).collect();
+        let direct: std::collections::HashSet<String> = engine
+            .search(&query, 20)
+            .into_iter()
+            .map(|r| r.title)
+            .collect();
         let overlap = results.iter().filter(|r| direct.contains(&r.title)).count();
-        assert!(overlap > 0, "filtered results should overlap the direct results");
+        assert!(
+            overlap > 0,
+            "filtered results should overlap the direct results"
+        );
     }
 
     #[test]
@@ -153,7 +169,10 @@ mod tests {
         let mut wrong = proxy.expected_measurement();
         wrong.0[0] ^= 1;
         let err = Broker::attach(&proxy, &ias, wrong, 1).unwrap_err();
-        assert_eq!(err, XSearchError::Sgx(xsearch_sgx_sim::SgxError::MeasurementMismatch));
+        assert_eq!(
+            err,
+            XSearchError::Sgx(xsearch_sgx_sim::SgxError::MeasurementMismatch)
+        );
     }
 
     #[test]
@@ -161,7 +180,10 @@ mod tests {
         let (proxy, _) = setup(1);
         let other_ias = AttestationService::from_seed(999);
         let err = Broker::attach(&proxy, &other_ias, proxy.expected_measurement(), 1).unwrap_err();
-        assert_eq!(err, XSearchError::Sgx(xsearch_sgx_sim::SgxError::QuoteRejected));
+        assert_eq!(
+            err,
+            XSearchError::Sgx(xsearch_sgx_sim::SgxError::QuoteRejected)
+        );
     }
 
     #[test]

@@ -20,7 +20,12 @@ pub struct XSearchConfig {
 
 impl Default for XSearchConfig {
     fn default() -> Self {
-        XSearchConfig { k: 3, history_capacity: 1_000_000, results_per_query: 20, seed: 0x5eed }
+        XSearchConfig {
+            k: 3,
+            history_capacity: 1_000_000,
+            results_per_query: 20,
+            seed: 0x5eed,
+        }
     }
 }
 

@@ -8,13 +8,13 @@
 //! the obfuscated queries that are, by construction, safe to reveal.
 
 use crate::config::XSearchConfig;
+use crate::error::XSearchError;
 use crate::filter::filter_results;
 use crate::history::QueryHistory;
 use crate::obfuscate::{obfuscate, ObfuscatedQuery};
 use crate::redirect::strip_all;
 use crate::session::{channel_binding, SecureChannel, Side};
 use crate::wire::encode_results;
-use crate::error::XSearchError;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -202,7 +202,11 @@ mod tests {
     fn state(k: usize) -> EnclaveState {
         let epc = EpcGauge::with_limit(1 << 30);
         EnclaveState::init(
-            XSearchConfig { k, history_capacity: 100, ..Default::default() },
+            XSearchConfig {
+                k,
+                history_capacity: 100,
+                ..Default::default()
+            },
             &epc,
             &CostModel::default(),
         )
@@ -268,7 +272,9 @@ mod tests {
         let stats = BoundaryStats::new();
         let port = OcallPort::new(stats.clone(), CostModel::default());
         let ct = channel.seal(b"query", b"q");
-        state.request(&client_id, &ct, &port, |_, _| Vec::new()).unwrap();
+        state
+            .request(&client_id, &ct, &port, |_, _| Vec::new())
+            .unwrap();
         assert_eq!(stats.ocalls(), 4, "sock_connect, send, recv, close");
     }
 
@@ -279,7 +285,9 @@ mod tests {
         assert_eq!(state.history().len(), 0);
         let ct = channel.seal(b"query", b"first query");
         let port = port();
-        state.request(&client_id, &ct, &port, |_, _| Vec::new()).unwrap();
+        state
+            .request(&client_id, &ct, &port, |_, _| Vec::new())
+            .unwrap();
         assert_eq!(state.history().len(), 1);
     }
 
@@ -291,10 +299,16 @@ mod tests {
         let port = port();
         let ct_a = ch_a.seal(b"query", b"from a");
         let ct_b = ch_b.seal(b"query", b"from b");
-        assert!(state.request(&id_a, &ct_a, &port, |_, _| Vec::new()).is_ok());
-        assert!(state.request(&id_b, &ct_b, &port, |_, _| Vec::new()).is_ok());
+        assert!(state
+            .request(&id_a, &ct_a, &port, |_, _| Vec::new())
+            .is_ok());
+        assert!(state
+            .request(&id_b, &ct_b, &port, |_, _| Vec::new())
+            .is_ok());
         // Cross-session ciphertext fails.
         let ct_cross = ch_a.seal(b"query", b"cross");
-        assert!(state.request(&id_b, &ct_cross, &port, |_, _| Vec::new()).is_err());
+        assert!(state
+            .request(&id_b, &ct_cross, &port, |_, _| Vec::new())
+            .is_err());
     }
 }

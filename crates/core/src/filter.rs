@@ -56,7 +56,11 @@ mod tests {
     fn keeps_results_matching_original() {
         let results = vec![
             result(0, "cheap flights to paris", "book paris flights today"),
-            result(1, "diabetes symptoms guide", "common diabetes symptoms explained"),
+            result(
+                1,
+                "diabetes symptoms guide",
+                "common diabetes symptoms explained",
+            ),
         ];
         let kept = filter_results(
             "cheap paris flights",

@@ -93,7 +93,9 @@ impl QueryHistory {
         if inner.is_empty() {
             return Vec::new();
         }
-        (0..k).map(|_| inner[rng.gen_range(0..inner.len())].clone()).collect()
+        (0..k)
+            .map(|_| inner[rng.gen_range(0..inner.len())].clone())
+            .collect()
     }
 
     /// Number of stored queries.

@@ -107,7 +107,10 @@ mod tests {
             ..Default::default()
         }));
         let proxy = XSearchProxy::launch(
-            XSearchConfig { k: 2, ..Default::default() },
+            XSearchConfig {
+                k: 2,
+                ..Default::default()
+            },
             engine,
             &ias,
         );

@@ -33,6 +33,8 @@
 //! assert!(!results.is_empty());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod broker;
 pub mod config;
 pub mod enclave_app;

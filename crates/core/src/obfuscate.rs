@@ -69,7 +69,10 @@ pub fn obfuscate<R: Rng + ?Sized>(
     let fakes = history.sample_many(k, rng);
     history.push(query);
     if fakes.is_empty() {
-        return ObfuscatedQuery { subqueries: vec![query.to_owned()], original_index: 0 };
+        return ObfuscatedQuery {
+            subqueries: vec![query.to_owned()],
+            original_index: 0,
+        };
     }
     let original_index = rng.gen_range(0..=fakes.len());
     let mut subqueries = Vec::with_capacity(fakes.len() + 1);
@@ -87,7 +90,10 @@ pub fn obfuscate<R: Rng + ?Sized>(
             break;
         }
     }
-    ObfuscatedQuery { subqueries, original_index }
+    ObfuscatedQuery {
+        subqueries,
+        original_index,
+    }
 }
 
 #[cfg(test)]
@@ -125,8 +131,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let o = obfuscate("real", &h, 5, &mut rng);
         for f in o.fakes() {
-            assert!(f.starts_with("past query") || f == "real",
-                "fake {f:?} not from history");
+            assert!(
+                f.starts_with("past query") || f == "real",
+                "fake {f:?} not from history"
+            );
         }
     }
 

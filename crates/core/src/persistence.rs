@@ -155,7 +155,11 @@ mod tests {
 
         let small = QueryHistory::new(2, EpcGauge::new());
         restore_history(&small, &platform, &m, &blob).unwrap();
-        assert_eq!(small.snapshot(), vec!["q4", "q5"], "window keeps the newest");
+        assert_eq!(
+            small.snapshot(),
+            vec!["q4", "q5"],
+            "window keeps the newest"
+        );
     }
 
     #[test]

@@ -71,25 +71,30 @@ impl XSearchProxy {
     ///
     /// Propagates enclave/crypto failures (e.g. a low-order client key).
     pub fn handshake(&self, client_pub: PublicKey) -> Result<HandshakeResponse, XSearchError> {
-        let binding = self.enclave.ecall_shared("handshake", client_pub.as_bytes(), |state, _, _| {
-            match state.open_session(client_pub) {
+        let binding = self.enclave.ecall_shared(
+            "handshake",
+            client_pub.as_bytes(),
+            |state, _, _| match state.open_session(client_pub) {
                 Ok(binding) => binding.to_vec(),
                 Err(_) => Vec::new(),
-            }
-        })?;
+            },
+        )?;
         if binding.is_empty() {
             return Err(XSearchError::Crypto(
                 xsearch_crypto::CryptoError::WeakPublicKey,
             ));
         }
         let quote = self.enclave.quote(&binding)?;
-        let enclave_pub = self
-            .enclave
-            .ecall_shared("identity", &[], |state, _, _| state.identity_pub().as_bytes().to_vec())?;
+        let enclave_pub = self.enclave.ecall_shared("identity", &[], |state, _, _| {
+            state.identity_pub().as_bytes().to_vec()
+        })?;
         let enclave_pub: [u8; 32] = enclave_pub
             .try_into()
             .map_err(|_| XSearchError::Protocol("bad identity key length".into()))?;
-        Ok(HandshakeResponse { enclave_pub: PublicKey(enclave_pub), quote })
+        Ok(HandshakeResponse {
+            enclave_pub: PublicKey(enclave_pub),
+            quote,
+        })
     }
 
     /// Serves one encrypted request end to end (the `request` ecall with
@@ -98,7 +103,11 @@ impl XSearchProxy {
     /// # Errors
     ///
     /// See [`EnclaveState::request`].
-    pub fn request(&self, client_pub: &[u8; 32], ciphertext: &[u8]) -> Result<Vec<u8>, XSearchError> {
+    pub fn request(
+        &self,
+        client_pub: &[u8; 32],
+        ciphertext: &[u8],
+    ) -> Result<Vec<u8>, XSearchError> {
         let engine = self.engine.clone();
         self.enclave_request(client_pub, ciphertext, move |subqueries, k_each| {
             engine.search_merged(subqueries, k_each)
@@ -113,7 +122,11 @@ impl XSearchProxy {
     /// # Errors
     ///
     /// See [`EnclaveState::request`].
-    pub fn request_echo(&self, client_pub: &[u8; 32], ciphertext: &[u8]) -> Result<Vec<u8>, XSearchError> {
+    pub fn request_echo(
+        &self,
+        client_pub: &[u8; 32],
+        ciphertext: &[u8],
+    ) -> Result<Vec<u8>, XSearchError> {
         self.enclave_request(client_pub, ciphertext, |_, _| Vec::new())
     }
 
@@ -127,20 +140,24 @@ impl XSearchProxy {
         F: FnOnce(&[String], usize) -> Vec<xsearch_engine::engine::SearchResult>,
     {
         let mut outcome: Result<Vec<u8>, XSearchError> = Err(XSearchError::UnknownSession);
-        let _ = self.enclave.ecall_shared("request", ciphertext, |state, input, port| {
-            outcome = state.request(client_pub, input, port, fetch);
-            outcome.clone().unwrap_or_default()
-        })?;
+        let _ = self
+            .enclave
+            .ecall_shared("request", ciphertext, |state, input, port| {
+                outcome = state.request(client_pub, input, port, fetch);
+                outcome.clone().unwrap_or_default()
+            })?;
         outcome
     }
 
     /// Pre-populates the past-query table (experiment warm-up).
     pub fn seed_history<'a, I: IntoIterator<Item = &'a str>>(&self, queries: I) {
         for q in queries {
-            let _ = self.enclave.ecall_shared("seed", q.as_bytes(), |state, input, _| {
-                state.seed_history(std::str::from_utf8(input).unwrap_or_default());
-                Vec::new()
-            });
+            let _ = self
+                .enclave
+                .ecall_shared("seed", q.as_bytes(), |state, input, _| {
+                    state.seed_history(std::str::from_utf8(input).unwrap_or_default());
+                    Vec::new()
+                });
         }
     }
 
@@ -162,7 +179,9 @@ impl XSearchProxy {
         let out = self
             .enclave
             .ecall_shared("history_mem", &[], |state, _, _| {
-                (state.history().memory_bytes() as u64).to_le_bytes().to_vec()
+                (state.history().memory_bytes() as u64)
+                    .to_le_bytes()
+                    .to_vec()
             })
             .expect("ecall cannot fail in this model");
         u64::from_le_bytes(out.try_into().expect("8 bytes")) as usize
@@ -199,7 +218,11 @@ mod tests {
             ..Default::default()
         }));
         let proxy = XSearchProxy::launch(
-            XSearchConfig { k: 2, history_capacity: 1000, ..Default::default() },
+            XSearchConfig {
+                k: 2,
+                history_capacity: 1000,
+                ..Default::default()
+            },
             engine,
             &ias,
         );
@@ -219,7 +242,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let client = xsearch_crypto::x25519::StaticSecret::random(&mut rng);
         let resp = p.handshake(client.public_key()).unwrap();
-        assert!(ias.verify_expecting(&resp.quote, p.expected_measurement()).is_ok());
+        assert!(ias
+            .verify_expecting(&resp.quote, p.expected_measurement())
+            .is_ok());
         // The quote binds exactly this key pair.
         let expected_binding =
             crate::session::channel_binding(&resp.enclave_pub, &client.public_key());

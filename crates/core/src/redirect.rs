@@ -55,7 +55,11 @@ mod tests {
 
     #[test]
     fn plain_urls_pass_through() {
-        for u in ["http://a.com", "https://b.org/path", "http://c.net/p?page=2"] {
+        for u in [
+            "http://a.com",
+            "https://b.org/path",
+            "http://c.net/p?page=2",
+        ] {
             assert_eq!(strip_redirect(u), u);
         }
     }
@@ -69,8 +73,14 @@ mod tests {
     #[test]
     fn unwraps_nested_redirects() {
         let inner = "http://final.com/x";
-        let level1 = format!("http://mid.com/r?u={}", xsearch_net_sim::http::percent_encode(inner));
-        let level2 = format!("http://outer.com/r?u={}", xsearch_net_sim::http::percent_encode(&level1));
+        let level1 = format!(
+            "http://mid.com/r?u={}",
+            xsearch_net_sim::http::percent_encode(inner)
+        );
+        let level2 = format!(
+            "http://outer.com/r?u={}",
+            xsearch_net_sim::http::percent_encode(&level1)
+        );
         assert_eq!(strip_redirect(&level2), inner);
     }
 

@@ -67,8 +67,16 @@ impl SecureChannel {
             Side::Server => (s2c, c2s, SERVER_DOMAIN, CLIENT_DOMAIN),
         };
         SecureChannel {
-            send: Directed { aead: ChaCha20Poly1305::new(&send_key), domain: send_domain, counter: 0 },
-            recv: Directed { aead: ChaCha20Poly1305::new(&recv_key), domain: recv_domain, counter: 0 },
+            send: Directed {
+                aead: ChaCha20Poly1305::new(&send_key),
+                domain: send_domain,
+                counter: 0,
+            },
+            recv: Directed {
+                aead: ChaCha20Poly1305::new(&recv_key),
+                domain: recv_domain,
+                counter: 0,
+            },
         }
     }
 

@@ -21,7 +21,11 @@ pub struct WireResult {
 
 impl From<&SearchResult> for WireResult {
     fn from(r: &SearchResult) -> Self {
-        WireResult { url: r.url.clone(), title: r.title.clone(), description: r.description.clone() }
+        WireResult {
+            url: r.url.clone(),
+            title: r.title.clone(),
+            description: r.description.clone(),
+        }
     }
 }
 
@@ -85,14 +89,15 @@ pub fn decode_results(bytes: &[u8]) -> Result<Vec<WireResult>, XSearchError> {
             continue;
         }
         let mut fields = line.split('\t');
-        let (url, title, description) = match (fields.next(), fields.next(), fields.next(), fields.next()) {
-            (Some(u), Some(t), Some(d), None) => (u, t, d),
-            _ => {
-                return Err(XSearchError::Protocol(format!(
-                    "result line has wrong field count: {line:?}"
-                )))
-            }
-        };
+        let (url, title, description) =
+            match (fields.next(), fields.next(), fields.next(), fields.next()) {
+                (Some(u), Some(t), Some(d), None) => (u, t, d),
+                _ => {
+                    return Err(XSearchError::Protocol(format!(
+                        "result line has wrong field count: {line:?}"
+                    )))
+                }
+            };
         results.push(WireResult {
             url: unescape(url),
             title: unescape(title),

@@ -30,7 +30,9 @@ pub struct ChaCha20Poly1305 {
 impl std::fmt::Debug for ChaCha20Poly1305 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
-        f.debug_struct("ChaCha20Poly1305").field("key", &"<secret>").finish()
+        f.debug_struct("ChaCha20Poly1305")
+            .field("key", &"<secret>")
+            .finish()
     }
 }
 
@@ -49,12 +51,7 @@ impl ChaCha20Poly1305 {
         otk
     }
 
-    fn compute_tag(
-        &self,
-        nonce: &[u8; NONCE_LEN],
-        aad: &[u8],
-        ciphertext: &[u8],
-    ) -> [u8; TAG_LEN] {
+    fn compute_tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
         let otk = self.one_time_key(nonce);
         let mut mac = Poly1305::new(&otk);
         let zero_pad = [0u8; 16];
@@ -92,7 +89,10 @@ impl ChaCha20Poly1305 {
         sealed: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
         if sealed.len() < TAG_LEN {
-            return Err(CryptoError::InvalidLength { got: sealed.len(), expected: TAG_LEN });
+            return Err(CryptoError::InvalidLength {
+                got: sealed.len(),
+                expected: TAG_LEN,
+            });
         }
         let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
         let expected = self.compute_tag(nonce, aad, ciphertext);
@@ -132,7 +132,9 @@ mod tests {
     }
 
     fn rfc_nonce() -> [u8; 12] {
-        hex::decode_expect("070000004041424344454647").try_into().unwrap()
+        hex::decode_expect("070000004041424344454647")
+            .try_into()
+            .unwrap()
     }
 
     fn rfc_aad() -> Vec<u8> {
@@ -179,7 +181,10 @@ mod tests {
         let aead = ChaCha20Poly1305::new(&[1u8; 32]);
         assert!(matches!(
             aead.open(&[0u8; 12], b"", &[0u8; 8]),
-            Err(CryptoError::InvalidLength { got: 8, expected: TAG_LEN })
+            Err(CryptoError::InvalidLength {
+                got: 8,
+                expected: TAG_LEN
+            })
         ));
     }
 

@@ -82,11 +82,7 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
 /// ```
 pub fn xor_stream(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
     for (block_idx, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
-        let ks = block(
-            key,
-            counter.wrapping_add(block_idx as u32),
-            nonce,
-        );
+        let ks = block(key, counter.wrapping_add(block_idx as u32), nonce);
         for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
             *byte ^= k;
         }
@@ -102,12 +98,13 @@ mod tests {
     #[test]
     fn rfc8439_block_function_vector() {
         // RFC 8439 §2.3.2.
-        let key: [u8; 32] = hex::decode_expect(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
-        let nonce: [u8; 12] = hex::decode_expect("000000090000004a00000000").try_into().unwrap();
+        let key: [u8; 32] =
+            hex::decode_expect("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = hex::decode_expect("000000090000004a00000000")
+            .try_into()
+            .unwrap();
         let ks = block(&key, 1, &nonce);
         assert_eq!(
             hex::encode(&ks),
@@ -132,12 +129,13 @@ mod tests {
     #[test]
     fn rfc8439_encryption_vector() {
         // RFC 8439 §2.4.2.
-        let key: [u8; 32] = hex::decode_expect(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
-        let nonce: [u8; 12] = hex::decode_expect("000000000000004a00000000").try_into().unwrap();
+        let key: [u8; 32] =
+            hex::decode_expect("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = hex::decode_expect("000000000000004a00000000")
+            .try_into()
+            .unwrap();
         let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
         xor_stream(&key, 1, &nonce, &mut data);
         assert_eq!(

@@ -51,7 +51,11 @@ mod tests {
 
     #[test]
     fn invalid_length_reports_both_sizes() {
-        let msg = CryptoError::InvalidLength { got: 3, expected: 32 }.to_string();
+        let msg = CryptoError::InvalidLength {
+            got: 3,
+            expected: 32,
+        }
+        .to_string();
         assert!(msg.contains('3') && msg.contains("32"));
     }
 

@@ -42,7 +42,9 @@ pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Vec<u8> {
         let take = (len - out.len()).min(DIGEST_LEN);
         out.extend_from_slice(&block[..take]);
         previous = block.to_vec();
-        counter = counter.checked_add(1).expect("len bound keeps counter in range");
+        counter = counter
+            .checked_add(1)
+            .expect("len bound keeps counter in range");
     }
     out
 }

@@ -30,9 +30,9 @@ const NONCE: [u8; 12] = [0u8; 12];
 pub fn seal<R: RngCore>(rng: &mut R, recipient: &PublicKey, plaintext: &[u8]) -> Vec<u8> {
     let ephemeral = StaticSecret::random(rng);
     let eph_pub = ephemeral.public_key();
-    let shared = ephemeral
-        .diffie_hellman(recipient)
-        .expect("freshly generated ephemeral key cannot hit a low-order point for a valid recipient");
+    let shared = ephemeral.diffie_hellman(recipient).expect(
+        "freshly generated ephemeral key cannot hit a low-order point for a valid recipient",
+    );
     let key = derive_key(&shared, &eph_pub, recipient);
     let aead = ChaCha20Poly1305::new(&key);
     let mut out = Vec::with_capacity(KEY_LEN + plaintext.len() + 16);
@@ -50,7 +50,10 @@ pub fn seal<R: RngCore>(rng: &mut R, recipient: &PublicKey, plaintext: &[u8]) ->
 /// [`CryptoError::AuthenticationFailed`] when the AEAD tag does not verify.
 pub fn open(secret: &StaticSecret, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
     if sealed.len() < KEY_LEN + 16 {
-        return Err(CryptoError::InvalidLength { got: sealed.len(), expected: KEY_LEN + 16 });
+        return Err(CryptoError::InvalidLength {
+            got: sealed.len(),
+            expected: KEY_LEN + 16,
+        });
     }
     let (eph_bytes, body) = sealed.split_at(KEY_LEN);
     let eph_pub = PublicKey(eph_bytes.try_into().expect("split at KEY_LEN"));

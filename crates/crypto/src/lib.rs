@@ -32,6 +32,8 @@
 //! assert_eq!(opened, b"secret query");
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod aead;
 pub mod chacha20;
 pub mod constant_time;

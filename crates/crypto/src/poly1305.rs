@@ -33,8 +33,7 @@ impl Poly1305 {
     /// Creates a MAC context from a 32-byte one-time key.
     #[must_use]
     pub fn new(key: &[u8; KEY_LEN]) -> Self {
-        let le32 =
-            |b: &[u8]| -> u32 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) };
+        let le32 = |b: &[u8]| -> u32 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) };
         // Clamp r per the RFC and split into five 26-bit limbs.
         let t0 = le32(&key[0..4]);
         let t1 = le32(&key[4..8]);
@@ -53,7 +52,13 @@ impl Poly1305 {
             le32(&key[24..28]),
             le32(&key[28..32]),
         ];
-        Poly1305 { r, s, h: [0; 5], buf: [0; 16], buf_len: 0 }
+        Poly1305 {
+            r,
+            s,
+            h: [0; 5],
+            buf: [0; 16],
+            buf_len: 0,
+        }
     }
 
     /// One-shot MAC of `message` under `key`.
@@ -94,8 +99,7 @@ impl Poly1305 {
     /// (the appended 0x01 byte at position 16) and is folded into the limbs
     /// directly for the padded final block.
     fn process_block(&mut self, block: &[u8; 16], hibit: u32) {
-        let le32 =
-            |b: &[u8]| -> u32 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) };
+        let le32 = |b: &[u8]| -> u32 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) };
         let t0 = le32(&block[0..4]);
         let t1 = le32(&block[4..8]);
         let t2 = le32(&block[8..12]);
@@ -257,11 +261,10 @@ mod tests {
     #[test]
     fn rfc8439_tag_vector() {
         // RFC 8439 §2.5.2.
-        let key: [u8; 32] = hex::decode_expect(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            hex::decode_expect("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .try_into()
+                .unwrap();
         let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
         assert_eq!(hex::encode(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
     }

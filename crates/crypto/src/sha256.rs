@@ -53,7 +53,12 @@ impl Sha256 {
     /// Creates a fresh hasher in the initial state.
     #[must_use]
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0; BLOCK_LEN], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0; BLOCK_LEN],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// One-shot convenience: hash `data` and return the 32-byte digest.

@@ -100,11 +100,7 @@ impl Fe {
     }
 
     fn add(&self, rhs: &Fe) -> Fe {
-        let mut out = [0u64; 5];
-        for i in 0..5 {
-            out[i] = self.0[i] + rhs.0[i];
-        }
-        Fe(out)
+        Fe(std::array::from_fn(|i| self.0[i] + rhs.0[i]))
     }
 
     fn sub(&self, rhs: &Fe) -> Fe {
@@ -288,7 +284,9 @@ pub struct StaticSecret {
 
 impl std::fmt::Debug for StaticSecret {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("StaticSecret").field("scalar", &"<secret>").finish()
+        f.debug_struct("StaticSecret")
+            .field("scalar", &"<secret>")
+            .finish()
     }
 }
 

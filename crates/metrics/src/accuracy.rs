@@ -38,8 +38,16 @@ impl PrecisionRecall {
         let ref_set: HashSet<&T> = reference.iter().collect();
         let ret_set: HashSet<&T> = returned.iter().collect();
         let inter = ref_set.intersection(&ret_set).count() as f64;
-        let precision = if ret_set.is_empty() { 1.0 } else { inter / ret_set.len() as f64 };
-        let recall = if ref_set.is_empty() { 1.0 } else { inter / ref_set.len() as f64 };
+        let precision = if ret_set.is_empty() {
+            1.0
+        } else {
+            inter / ret_set.len() as f64
+        };
+        let recall = if ref_set.is_empty() {
+            1.0
+        } else {
+            inter / ref_set.len() as f64
+        };
         PrecisionRecall { precision, recall }
     }
 
@@ -123,8 +131,14 @@ mod tests {
 
     #[test]
     fn mean_averages_componentwise() {
-        let a = PrecisionRecall { precision: 1.0, recall: 0.0 };
-        let b = PrecisionRecall { precision: 0.0, recall: 1.0 };
+        let a = PrecisionRecall {
+            precision: 1.0,
+            recall: 0.0,
+        };
+        let b = PrecisionRecall {
+            precision: 0.0,
+            recall: 1.0,
+        };
         let m = PrecisionRecall::mean([a, b]);
         assert_eq!(m.precision, 0.5);
         assert_eq!(m.recall, 0.5);

@@ -108,7 +108,11 @@ impl FromIterator<f64> for Empirical {
 }
 
 fn grid(lo: f64, hi: f64, points: usize) -> impl Iterator<Item = f64> {
-    let step = if points > 1 { (hi - lo) / (points - 1) as f64 } else { 0.0 };
+    let step = if points > 1 {
+        (hi - lo) / (points - 1) as f64
+    } else {
+        0.0
+    };
     (0..points.max(1)).map(move |i| lo + step * i as f64)
 }
 

@@ -164,7 +164,12 @@ impl LatencyHistogram {
     /// Convenience percentile summary: (p50, p90, p99, p999).
     #[must_use]
     pub fn summary(&self) -> (u64, u64, u64, u64) {
-        (self.quantile(0.5), self.quantile(0.9), self.quantile(0.99), self.quantile(0.999))
+        (
+            self.quantile(0.5),
+            self.quantile(0.9),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
     }
 }
 

@@ -10,6 +10,8 @@
 //! * [`series`] — plain TSV table printing shared by the fig harnesses,
 //! * [`memory`] — byte accounting used for the EPC occupancy study (Fig 6).
 
+#![deny(missing_docs)]
+
 pub mod accuracy;
 pub mod distribution;
 pub mod histogram;

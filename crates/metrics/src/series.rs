@@ -51,7 +51,12 @@ impl Table {
     ///
     /// Panics if the cell count does not match the column count.
     pub fn row(&mut self, cells: &[f64]) {
-        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in table {}", self.title);
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in table {}",
+            self.title
+        );
         self.rows.push(cells.to_vec());
     }
 

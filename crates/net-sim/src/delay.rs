@@ -36,7 +36,10 @@ impl DelayModel {
     /// Log-normal with median in milliseconds.
     #[must_use]
     pub fn lognormal_ms(median_ms: u64, sigma: f64) -> Self {
-        DelayModel::LogNormal { median: Duration::from_millis(median_ms), sigma }
+        DelayModel::LogNormal {
+            median: Duration::from_millis(median_ms),
+            sigma,
+        }
     }
 
     /// Draws one delay.
@@ -127,8 +130,9 @@ mod tests {
     fn lognormal_has_right_tail() {
         let m = DelayModel::lognormal_ms(100, 0.5);
         let mut rng = StdRng::seed_from_u64(5);
-        let samples: Vec<f64> =
-            (0..4000).map(|_| m.sample(&mut rng).as_secs_f64() * 1e3).collect();
+        let samples: Vec<f64> = (0..4000)
+            .map(|_| m.sample(&mut rng).as_secs_f64() * 1e3)
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         // Log-normal mean exceeds median: e^{σ²/2} ≈ 1.13.
         assert!(mean > 105.0, "mean {mean}");
@@ -136,12 +140,18 @@ mod tests {
 
     #[test]
     fn median_accessor_matches_variants() {
-        assert_eq!(DelayModel::constant_ms(7).median(), Duration::from_millis(7));
+        assert_eq!(
+            DelayModel::constant_ms(7).median(),
+            Duration::from_millis(7)
+        );
         assert_eq!(
             DelayModel::Uniform(Duration::from_millis(10), Duration::from_millis(20)).median(),
             Duration::from_millis(15)
         );
-        assert_eq!(DelayModel::lognormal_ms(40, 0.4).median(), Duration::from_millis(40));
+        assert_eq!(
+            DelayModel::lognormal_ms(40, 0.4).median(),
+            Duration::from_millis(40)
+        );
     }
 
     proptest! {

@@ -56,26 +56,39 @@ impl Request {
     /// Builds a GET request for `target`.
     #[must_use]
     pub fn get(target: impl Into<String>) -> Self {
-        Request { method: "GET".into(), target: target.into(), headers: BTreeMap::new(), body: Vec::new() }
+        Request {
+            method: "GET".into(),
+            target: target.into(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
     }
 
     /// Builds a POST with a body.
     #[must_use]
     pub fn post(target: impl Into<String>, body: Vec<u8>) -> Self {
-        Request { method: "POST".into(), target: target.into(), headers: BTreeMap::new(), body }
+        Request {
+            method: "POST".into(),
+            target: target.into(),
+            headers: BTreeMap::new(),
+            body,
+        }
     }
 
     /// Sets a header (name lowercased), returning `self` for chaining.
     #[must_use]
     pub fn with_header(mut self, name: &str, value: &str) -> Self {
-        self.headers.insert(name.to_ascii_lowercase(), value.to_owned());
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_owned());
         self
     }
 
     /// Gets a header by case-insensitive name.
     #[must_use]
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// Extracts the query parameter `key` from the target
@@ -119,7 +132,12 @@ impl Request {
         }
         let headers = parse_headers(lines)?;
         let body = take_body(&headers, body)?;
-        Ok(Request { method, target, headers, body })
+        Ok(Request {
+            method,
+            target,
+            headers,
+            body,
+        })
     }
 }
 
@@ -140,19 +158,30 @@ impl Response {
     /// A 200 response with a body.
     #[must_use]
     pub fn ok(body: Vec<u8>) -> Self {
-        Response { status: 200, reason: "OK".into(), headers: BTreeMap::new(), body }
+        Response {
+            status: 200,
+            reason: "OK".into(),
+            headers: BTreeMap::new(),
+            body,
+        }
     }
 
     /// A response with the given status and empty body.
     #[must_use]
     pub fn status(status: u16, reason: &str) -> Self {
-        Response { status, reason: reason.to_owned(), headers: BTreeMap::new(), body: Vec::new() }
+        Response {
+            status,
+            reason: reason.to_owned(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
     }
 
     /// Sets a header (name lowercased).
     #[must_use]
     pub fn with_header(mut self, name: &str, value: &str) -> Self {
-        self.headers.insert(name.to_ascii_lowercase(), value.to_owned());
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_owned());
         self
     }
 
@@ -179,12 +208,20 @@ impl Response {
         if !version.starts_with("HTTP/") {
             return Err(HttpError::BadStartLine);
         }
-        let status: u16 =
-            parts.next().ok_or(HttpError::BadStartLine)?.parse().map_err(|_| HttpError::BadStartLine)?;
+        let status: u16 = parts
+            .next()
+            .ok_or(HttpError::BadStartLine)?
+            .parse()
+            .map_err(|_| HttpError::BadStartLine)?;
         let reason = parts.next().unwrap_or("").to_owned();
         let headers = parse_headers(lines)?;
         let body = take_body(&headers, body)?;
-        Ok(Response { status, reason, headers, body })
+        Ok(Response {
+            status,
+            reason,
+            headers,
+            body,
+        })
     }
 }
 

@@ -16,6 +16,8 @@
 //! * [`transport`] — in-process duplex byte pipes for wiring components;
 //! * [`http`] — a minimal HTTP/1.1 request/response codec.
 
+#![deny(missing_docs)]
+
 pub mod delay;
 pub mod http;
 pub mod link;

@@ -31,7 +31,10 @@ impl Link {
     /// ```
     #[must_use]
     pub fn new(name: impl Into<String>, delay: DelayModel) -> Self {
-        Link { name: name.into(), delay }
+        Link {
+            name: name.into(),
+            delay,
+        }
     }
 
     /// The link's label (for reports).
@@ -100,7 +103,10 @@ mod tests {
 
     #[test]
     fn name_is_preserved() {
-        assert_eq!(Link::new("alpha", DelayModel::constant_ms(1)).name(), "alpha");
+        assert_eq!(
+            Link::new("alpha", DelayModel::constant_ms(1)).name(),
+            "alpha"
+        );
     }
 
     #[test]

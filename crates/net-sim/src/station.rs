@@ -104,7 +104,12 @@ impl ServiceStation {
                     .expect("spawn station worker")
             })
             .collect();
-        ServiceStation { name, sender: Some(sender), workers: handles, stats }
+        ServiceStation {
+            name,
+            sender: Some(sender),
+            workers: handles,
+            stats,
+        }
     }
 
     /// The station's label.

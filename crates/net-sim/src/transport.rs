@@ -41,7 +41,9 @@ impl Endpoint {
     ///
     /// Returns [`TransportError::Disconnected`] if the peer is gone.
     pub fn send(&self, frame: Vec<u8>) -> Result<(), TransportError> {
-        self.tx.send(frame).map_err(|_| TransportError::Disconnected)
+        self.tx
+            .send(frame)
+            .map_err(|_| TransportError::Disconnected)
     }
 
     /// Blocks until a frame arrives.
@@ -82,7 +84,16 @@ impl Endpoint {
 pub fn duplex() -> (Endpoint, Endpoint) {
     let (tx_ab, rx_ab) = unbounded();
     let (tx_ba, rx_ba) = unbounded();
-    (Endpoint { tx: tx_ab, rx: rx_ba }, Endpoint { tx: tx_ba, rx: rx_ab })
+    (
+        Endpoint {
+            tx: tx_ab,
+            rx: rx_ba,
+        },
+        Endpoint {
+            tx: tx_ba,
+            rx: rx_ab,
+        },
+    )
 }
 
 #[cfg(test)]

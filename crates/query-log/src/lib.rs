@@ -28,6 +28,8 @@
 //! assert!(!split.train.is_empty() && !split.test.is_empty());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod parse;
 pub mod record;
 pub mod split;

@@ -10,6 +10,10 @@
 //!
 //! The header line is optional; malformed lines are skipped and counted.
 
+// The doc example above shows the literal TSV schema — the tabs are the
+// field separators being documented.
+#![allow(clippy::tabs_in_doc_comments)]
+
 use crate::record::{QueryRecord, UserId};
 
 /// Result of parsing a log: the records plus a count of skipped lines.
@@ -66,7 +70,13 @@ fn parse_line(line: &str) -> Option<QueryRecord> {
         Some("") | None => None,
         Some(u) => Some(u.to_owned()),
     };
-    Some(QueryRecord { user: UserId(user), query: query.to_owned(), time, item_rank, click_url })
+    Some(QueryRecord {
+        user: UserId(user),
+        query: query.to_owned(),
+        time,
+        item_rank,
+        click_url,
+    })
 }
 
 /// Parses `YYYY-MM-DD HH:MM:SS` into Unix seconds (UTC, proleptic
@@ -123,7 +133,10 @@ mod tests {
         // 2000-01-01T00:00:00Z and 2006-03-01T00:00:00Z.
         assert_eq!(parse_datetime("2000-01-01 00:00:00"), Some(946_684_800));
         assert_eq!(parse_datetime("2006-03-01 00:00:00"), Some(1_141_171_200));
-        assert_eq!(parse_datetime("2006-03-01 07:17:12"), Some(1_141_171_200 + 7 * 3600 + 17 * 60 + 12));
+        assert_eq!(
+            parse_datetime("2006-03-01 07:17:12"),
+            Some(1_141_171_200 + 7 * 3600 + 17 * 60 + 12)
+        );
     }
 
     #[test]
@@ -136,7 +149,13 @@ mod tests {
 
     #[test]
     fn malformed_datetimes_rejected() {
-        for s in ["2006-03-01", "2006/03/01 00:00:00", "2006-13-01 00:00:00", "2006-03-01 25:00:00", "garbage"] {
+        for s in [
+            "2006-03-01",
+            "2006/03/01 00:00:00",
+            "2006-13-01 00:00:00",
+            "2006-03-01 25:00:00",
+            "garbage",
+        ] {
             assert_eq!(parse_datetime(s), None, "{s}");
         }
     }
@@ -151,7 +170,10 @@ mod tests {
         assert_eq!(out.skipped, 0);
         assert_eq!(out.records[0].item_rank, None);
         assert_eq!(out.records[1].item_rank, Some(1));
-        assert_eq!(out.records[1].click_url.as_deref(), Some("http://www.staples.com"));
+        assert_eq!(
+            out.records[1].click_url.as_deref(),
+            Some("http://www.staples.com")
+        );
     }
 
     #[test]

@@ -36,7 +36,13 @@ impl QueryRecord {
     /// Convenience constructor for a non-click query event.
     #[must_use]
     pub fn new(user: UserId, query: impl Into<String>, time: u64) -> Self {
-        QueryRecord { user, query: query.into(), time, item_rank: None, click_url: None }
+        QueryRecord {
+            user,
+            query: query.into(),
+            time,
+            item_rank: None,
+            click_url: None,
+        }
     }
 }
 

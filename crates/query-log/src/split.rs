@@ -93,7 +93,11 @@ mod tests {
     use crate::synthetic::{generate, SyntheticConfig};
 
     fn sample_log() -> Vec<QueryRecord> {
-        generate(&SyntheticConfig { num_users: 40, median_queries_per_user: 30.0, ..Default::default() })
+        generate(&SyntheticConfig {
+            num_users: 40,
+            median_queries_per_user: 30.0,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -142,10 +146,20 @@ mod tests {
         let top = top_active_users(&log, 5);
         let split = train_test_split(&log, &top, 0.5);
         for &u in &top {
-            let max_train =
-                split.train.iter().filter(|r| r.user == u).map(|r| r.time).max().unwrap();
-            let min_test =
-                split.test.iter().filter(|r| r.user == u).map(|r| r.time).min().unwrap();
+            let max_train = split
+                .train
+                .iter()
+                .filter(|r| r.user == u)
+                .map(|r| r.time)
+                .max()
+                .unwrap();
+            let min_test = split
+                .test
+                .iter()
+                .filter(|r| r.user == u)
+                .map(|r| r.time)
+                .min()
+                .unwrap();
             assert!(max_train <= min_test, "user {u}: train leaks past test");
         }
     }
@@ -156,7 +170,10 @@ mod tests {
         let top = top_active_users(&log, 10);
         let split = train_test_split(&log, &top, 2.0 / 3.0);
         for &u in &top {
-            assert!(split.test.iter().any(|r| r.user == u), "user {u} lost all test queries");
+            assert!(
+                split.test.iter().any(|r| r.user == u),
+                "user {u} lost all test queries"
+            );
         }
     }
 

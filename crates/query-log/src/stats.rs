@@ -42,7 +42,10 @@ impl LogStats {
             .filter(|(_, o)| o.len() >= 2)
             .map(|(q, _)| *q)
             .collect();
-        let cross = log.iter().filter(|r| shared.contains(r.query.as_str())).count();
+        let cross = log
+            .iter()
+            .filter(|r| shared.contains(r.query.as_str()))
+            .count();
         let n = log.len().max(1);
         LogStats {
             records: log.len(),
@@ -88,12 +91,27 @@ mod tests {
 
     #[test]
     fn synthetic_log_matches_aol_texture() {
-        let log = generate(&SyntheticConfig { num_users: 150, ..Default::default() });
+        let log = generate(&SyntheticConfig {
+            num_users: 150,
+            ..Default::default()
+        });
         let s = LogStats::compute(&log);
         // AOL-like shape: short keyword queries, repeated across users.
-        assert!((1.0..4.5).contains(&s.mean_query_words), "words {}", s.mean_query_words);
-        assert!((8.0..40.0).contains(&s.mean_query_chars), "chars {}", s.mean_query_chars);
-        assert!(s.cross_user_share > 0.15, "cross-user share {}", s.cross_user_share);
+        assert!(
+            (1.0..4.5).contains(&s.mean_query_words),
+            "words {}",
+            s.mean_query_words
+        );
+        assert!(
+            (8.0..40.0).contains(&s.mean_query_chars),
+            "chars {}",
+            s.mean_query_chars
+        );
+        assert!(
+            s.cross_user_share > 0.15,
+            "cross-user share {}",
+            s.cross_user_share
+        );
         assert!(s.unique_queries * 2 < s.records * 2, "sanity");
     }
 }

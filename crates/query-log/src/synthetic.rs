@@ -177,10 +177,15 @@ fn sample_profile(user: UserId, config: &SyntheticConfig, rng: &mut StdRng) -> U
     let u2: f64 = rng.gen();
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     let count = (config.median_queries_per_user.ln() + config.activity_sigma * z).exp();
-    let activity = (count as usize)
-        .clamp(config.min_queries_per_user, config.max_queries_per_user);
+    let activity = (count as usize).clamp(config.min_queries_per_user, config.max_queries_per_user);
 
-    UserProfile { user, topic_indices: indices, topic_weights: weights, personal_terms, activity }
+    UserProfile {
+        user,
+        topic_indices: indices,
+        topic_weights: weights,
+        personal_terms,
+        activity,
+    }
 }
 
 fn next_query(
@@ -214,15 +219,22 @@ fn next_query(
 
     if rng.gen_bool(config.modifier_probability) {
         let m = MODIFIERS[rng.gen_range(0..MODIFIERS.len())];
-        query = if rng.gen_bool(0.5) { format!("{m} {query}") } else { format!("{query} {m}") };
+        query = if rng.gen_bool(0.5) {
+            format!("{m} {query}")
+        } else {
+            format!("{query} {m}")
+        };
     }
     query
 }
 
 /// Composes a 1–3 term query from a topic vocabulary (distinct terms).
 fn compose_topical(terms: &[&str], rng: &mut StdRng) -> String {
-    let n = [1usize, 2, 2, 2, 3][rng.gen_range(0..5)];
-    let picked: Vec<&str> = terms.choose_multiple(rng, n.min(terms.len())).copied().collect();
+    let n = [1usize, 2, 2, 2, 3][rng.gen_range(0..5usize)];
+    let picked: Vec<&str> = terms
+        .choose_multiple(rng, n.min(terms.len()))
+        .copied()
+        .collect();
     picked.join(" ")
 }
 
@@ -274,7 +286,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn small_config() -> SyntheticConfig {
-        SyntheticConfig { num_users: 30, median_queries_per_user: 40.0, ..Default::default() }
+        SyntheticConfig {
+            num_users: 30,
+            median_queries_per_user: 40.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -287,7 +303,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = generate(&small_config());
-        let b = generate(&SyntheticConfig { seed: 43, ..small_config() });
+        let b = generate(&SyntheticConfig {
+            seed: 43,
+            ..small_config()
+        });
         assert_ne!(a, b);
     }
 
@@ -321,13 +340,19 @@ mod tests {
 
     #[test]
     fn activity_is_heavy_tailed() {
-        let cfg = SyntheticConfig { num_users: 300, ..Default::default() };
+        let cfg = SyntheticConfig {
+            num_users: 300,
+            ..Default::default()
+        };
         let (_, profiles) = generate_with_profiles(&cfg);
         let mut acts: Vec<usize> = profiles.iter().map(|p| p.activity).collect();
         acts.sort_unstable();
         let median = acts[acts.len() / 2];
         let p95 = acts[acts.len() * 95 / 100];
-        assert!(p95 as f64 > 2.5 * median as f64, "median {median} p95 {p95}");
+        assert!(
+            p95 as f64 > 2.5 * median as f64,
+            "median {median} p95 {p95}"
+        );
     }
 
     #[test]
@@ -345,12 +370,19 @@ mod tests {
                 set.len() < qs.len()
             })
             .count();
-        assert!(with_repeat * 2 >= per_user.len(), "{with_repeat}/{}", per_user.len());
+        assert!(
+            with_repeat * 2 >= per_user.len(),
+            "{with_repeat}/{}",
+            per_user.len()
+        );
     }
 
     #[test]
     fn queries_are_shared_across_users() {
-        let log = generate(&SyntheticConfig { num_users: 100, ..Default::default() });
+        let log = generate(&SyntheticConfig {
+            num_users: 100,
+            ..Default::default()
+        });
         let mut owners: std::collections::HashMap<&str, HashSet<UserId>> = Default::default();
         for r in &log {
             owners.entry(&r.query).or_default().insert(r.user);
@@ -381,7 +413,10 @@ mod tests {
     fn unique_queries_have_realistic_lengths() {
         let qs = unique_queries(10_000, 9);
         let mean_len: f64 = qs.iter().map(|q| q.len() as f64).sum::<f64>() / qs.len() as f64;
-        assert!((10.0..40.0).contains(&mean_len), "mean query length {mean_len}");
+        assert!(
+            (10.0..40.0).contains(&mean_len),
+            "mean query length {mean_len}"
+        );
     }
 
     proptest! {

@@ -25,7 +25,11 @@ impl Default for Bm25Params {
 /// The idf uses the standard BM25 form with a +1 inside the log so scores
 /// stay positive for common terms.
 #[must_use]
-pub fn rank(index: &InvertedIndex, query_terms: &[String], params: Bm25Params) -> Vec<(DocId, f64)> {
+pub fn rank(
+    index: &InvertedIndex,
+    query_terms: &[String],
+    params: Bm25Params,
+) -> Vec<(DocId, f64)> {
     let n = index.doc_count() as f64;
     if n == 0.0 {
         return Vec::new();
@@ -48,7 +52,11 @@ pub fn rank(index: &InvertedIndex, query_terms: &[String], params: Bm25Params) -
     }
     let mut ranked: Vec<(DocId, f64)> = scores.into_iter().collect();
     // Deterministic order: score desc, then doc id asc.
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores finite").then(a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("scores finite")
+            .then(a.0.cmp(&b.0))
+    });
     ranked
 }
 
@@ -88,7 +96,11 @@ mod tests {
     #[test]
     fn or_semantics_unions_matches() {
         let idx = build();
-        let ranked = rank(&idx, &["hotel".into(), "garden".into()], Bm25Params::default());
+        let ranked = rank(
+            &idx,
+            &["hotel".into(), "garden".into()],
+            Bm25Params::default(),
+        );
         let ids: Vec<u32> = ranked.iter().map(|(d, _)| d.0).collect();
         assert!(ids.contains(&0) && ids.contains(&2));
     }
@@ -103,7 +115,11 @@ mod tests {
     #[test]
     fn scores_are_positive_and_sorted() {
         let idx = build();
-        let ranked = rank(&idx, &["paris".into(), "cheap".into()], Bm25Params::default());
+        let ranked = rank(
+            &idx,
+            &["paris".into(), "cheap".into()],
+            Bm25Params::default(),
+        );
         for pair in ranked.windows(2) {
             assert!(pair[0].1 >= pair[1].1);
         }

@@ -60,8 +60,10 @@ fn generate_doc(
     rng: &mut StdRng,
 ) -> Document {
     let title_len = rng.gen_range(config.title_words.0..=config.title_words.1);
-    let mut title_words: Vec<&str> =
-        terms.choose_multiple(rng, title_len.min(terms.len())).copied().collect();
+    let mut title_words: Vec<&str> = terms
+        .choose_multiple(rng, title_len.min(terms.len()))
+        .copied()
+        .collect();
     if rng.gen_bool(0.4) {
         title_words.insert(0, MODIFIERS[rng.gen_range(0..MODIFIERS.len())]);
     }
@@ -98,7 +100,13 @@ fn generate_doc(
         format!("http://{host}/{path}")
     };
 
-    Document { id, url, title, description, topic: topic_idx }
+    Document {
+        id,
+        url,
+        title,
+        description,
+        topic: topic_idx,
+    }
 }
 
 #[cfg(test)]
@@ -107,7 +115,10 @@ mod tests {
     use std::collections::HashSet;
 
     fn small() -> CorpusConfig {
-        CorpusConfig { docs_per_topic: 20, ..Default::default() }
+        CorpusConfig {
+            docs_per_topic: 20,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -146,8 +157,15 @@ mod tests {
     #[test]
     fn some_urls_are_tracker_wrapped() {
         let docs = generate(&small());
-        let wrapped = docs.iter().filter(|d| d.url.contains("redirect.tracker.com")).count();
-        assert!(wrapped > docs.len() / 10, "{wrapped} wrapped of {}", docs.len());
+        let wrapped = docs
+            .iter()
+            .filter(|d| d.url.contains("redirect.tracker.com"))
+            .count();
+        assert!(
+            wrapped > docs.len() / 10,
+            "{wrapped} wrapped of {}",
+            docs.len()
+        );
         assert!(wrapped < docs.len() / 2);
     }
 

@@ -46,7 +46,11 @@ impl SearchEngine {
     #[must_use]
     pub fn from_documents(docs: Vec<Document>) -> Self {
         let index = InvertedIndex::build(&docs);
-        SearchEngine { docs, index, params: Bm25Params::default() }
+        SearchEngine {
+            docs,
+            index,
+            params: Bm25Params::default(),
+        }
     }
 
     /// Number of indexed documents.
@@ -116,7 +120,10 @@ mod tests {
     use xsearch_query_log::topics::TOPICS;
 
     fn engine() -> SearchEngine {
-        SearchEngine::build(&CorpusConfig { docs_per_topic: 40, ..Default::default() })
+        SearchEngine::build(&CorpusConfig {
+            docs_per_topic: 40,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -146,7 +153,11 @@ mod tests {
             .iter()
             .filter(|r| e.document(r.doc).unwrap().topic == travel)
             .count();
-        assert!(travel_hits * 2 > rs.len(), "{travel_hits}/{} travel hits", rs.len());
+        assert!(
+            travel_hits * 2 > rs.len(),
+            "{travel_hits}/{} travel hits",
+            rs.len()
+        );
     }
 
     #[test]
@@ -174,8 +185,10 @@ mod tests {
             format!("{} {}", TOPICS[health].terms[0], TOPICS[health].terms[1]),
         ];
         let merged = e.search_merged(&subs, 10);
-        let topics: HashSet<usize> =
-            merged.iter().map(|r| e.document(r.doc).unwrap().topic).collect();
+        let topics: HashSet<usize> = merged
+            .iter()
+            .map(|r| e.document(r.doc).unwrap().topic)
+            .collect();
         assert!(topics.contains(&travel) && topics.contains(&health));
     }
 
@@ -195,7 +208,11 @@ mod tests {
         let e = engine();
         let q = "flights hotel".to_owned();
         let direct: Vec<_> = e.search(&q, 10).into_iter().map(|r| r.doc).collect();
-        let merged: Vec<_> = e.search_merged(&[q], 10).into_iter().map(|r| r.doc).collect();
+        let merged: Vec<_> = e
+            .search_merged(&[q], 10)
+            .into_iter()
+            .map(|r| r.doc)
+            .collect();
         assert_eq!(direct, merged);
     }
 }

@@ -57,7 +57,13 @@ impl InvertedIndex {
             doc_lengths.insert(doc.id, len);
             total_len += u64::from(len);
         }
-        InvertedIndex { interner, postings, doc_lengths, total_len, doc_count: docs.len() }
+        InvertedIndex {
+            interner,
+            postings,
+            doc_lengths,
+            total_len,
+            doc_count: docs.len(),
+        }
     }
 
     /// Number of indexed documents.

@@ -26,6 +26,8 @@
 //! assert!(results.len() <= 10);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod bm25;
 pub mod corpus;
 pub mod document;

@@ -22,7 +22,11 @@ impl EngineService {
     /// Wraps `engine` with a service-time model.
     #[must_use]
     pub fn new(engine: SearchEngine, service_time: DelayModel, seed: u64) -> Self {
-        EngineService { engine, service_time, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+        EngineService {
+            engine,
+            service_time,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
     }
 
     /// Executes a query, returning results and the modeled service time
@@ -34,7 +38,11 @@ impl EngineService {
     }
 
     /// Executes an obfuscated query in the paper's merged mode.
-    pub fn search_merged(&self, subqueries: &[String], k_each: usize) -> (Vec<SearchResult>, Duration) {
+    pub fn search_merged(
+        &self,
+        subqueries: &[String],
+        k_each: usize,
+    ) -> (Vec<SearchResult>, Duration) {
         let results = self.engine.search_merged(subqueries, k_each);
         // Each sub-query costs an independent engine evaluation; the
         // sub-queries execute concurrently from the proxy, so the modeled
@@ -60,7 +68,10 @@ mod tests {
     use crate::corpus::CorpusConfig;
 
     fn service() -> EngineService {
-        let engine = SearchEngine::build(&CorpusConfig { docs_per_topic: 10, ..Default::default() });
+        let engine = SearchEngine::build(&CorpusConfig {
+            docs_per_topic: 10,
+            ..Default::default()
+        });
         EngineService::new(engine, DelayModel::constant_ms(350), 1)
     }
 

@@ -61,7 +61,11 @@ impl Quote {
         let report_data = bytes[40..40 + len].to_vec();
         let mut mac = [0u8; 32];
         mac.copy_from_slice(&bytes[40 + len..]);
-        Ok(Quote { measurement: Measurement(measurement), report_data, mac })
+        Ok(Quote {
+            measurement: Measurement(measurement),
+            report_data,
+            mac,
+        })
     }
 }
 
@@ -76,7 +80,9 @@ impl AttestationService {
     pub fn new<R: RngCore>(rng: &mut R) -> Self {
         let mut key = [0u8; 32];
         rng.fill_bytes(&mut key);
-        AttestationService { provisioning_key: key }
+        AttestationService {
+            provisioning_key: key,
+        }
     }
 
     /// Deterministic construction for reproducible experiments.
@@ -85,7 +91,9 @@ impl AttestationService {
         let mut key = [0u8; 32];
         key[..8].copy_from_slice(&seed.to_le_bytes());
         key[8..16].copy_from_slice(b"xsrchIAS");
-        AttestationService { provisioning_key: xsearch_crypto::sha256::Sha256::digest(&key) }
+        AttestationService {
+            provisioning_key: xsearch_crypto::sha256::Sha256::digest(&key),
+        }
     }
 
     /// The key handed to genuine platforms at provisioning time.
@@ -119,11 +127,7 @@ impl AttestationService {
     ///
     /// [`SgxError::QuoteRejected`] for an inauthentic quote,
     /// [`SgxError::MeasurementMismatch`] for authentic-but-wrong code.
-    pub fn verify_expecting(
-        &self,
-        quote: &Quote,
-        expected: Measurement,
-    ) -> Result<(), SgxError> {
+    pub fn verify_expecting(&self, quote: &Quote, expected: Measurement) -> Result<(), SgxError> {
         self.verify(quote)?;
         if quote.measurement != expected {
             return Err(SgxError::MeasurementMismatch);
@@ -153,7 +157,9 @@ mod tests {
         let enclave = provisioned_enclave(&service, b"proxy-v1");
         let quote = enclave.quote(b"channel-key-hash").unwrap();
         assert!(service.verify(&quote).is_ok());
-        assert!(service.verify_expecting(&quote, enclave.measurement()).is_ok());
+        assert!(service
+            .verify_expecting(&quote, enclave.measurement())
+            .is_ok());
     }
 
     #[test]

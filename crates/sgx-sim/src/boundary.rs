@@ -61,18 +61,22 @@ impl BoundaryStats {
     pub(crate) fn record_ecall(&self, bytes_in: usize, bytes_out: usize, cost: &CostModel) {
         self.ecalls.fetch_add(1, Ordering::Relaxed);
         self.bytes_in.fetch_add(bytes_in as u64, Ordering::Relaxed);
-        self.bytes_out.fetch_add(bytes_out as u64, Ordering::Relaxed);
+        self.bytes_out
+            .fetch_add(bytes_out as u64, Ordering::Relaxed);
         // An ecall is two crossings: enter with input, exit with output.
         let d = cost.crossing(bytes_in) + cost.crossing(bytes_out);
-        self.overhead_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.overhead_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn record_ocall(&self, bytes_out: usize, bytes_in: usize, cost: &CostModel) {
         self.ocalls.fetch_add(1, Ordering::Relaxed);
-        self.bytes_out.fetch_add(bytes_out as u64, Ordering::Relaxed);
+        self.bytes_out
+            .fetch_add(bytes_out as u64, Ordering::Relaxed);
         self.bytes_in.fetch_add(bytes_in as u64, Ordering::Relaxed);
         let d = cost.crossing(bytes_out) + cost.crossing(bytes_in);
-        self.overhead_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.overhead_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -100,7 +104,8 @@ impl OcallPort {
         F: FnOnce(&[u8]) -> Vec<u8>,
     {
         let response = f(request);
-        self.stats.record_ocall(request.len(), response.len(), &self.cost);
+        self.stats
+            .record_ocall(request.len(), response.len(), &self.cost);
         response
     }
 

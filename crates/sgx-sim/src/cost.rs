@@ -24,7 +24,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { transition_ns: 2_700, per_byte_copy_ns: 0, page_crypt_ns: 3_900 }
+        CostModel {
+            transition_ns: 2_700,
+            per_byte_copy_ns: 0,
+            page_crypt_ns: 3_900,
+        }
     }
 }
 
@@ -55,11 +59,11 @@ mod tests {
 
     #[test]
     fn crossing_scales_with_bytes() {
-        let c = CostModel { per_byte_copy_ns: 2, ..Default::default() };
-        assert_eq!(
-            c.crossing(100) - c.crossing(0),
-            Duration::from_nanos(200)
-        );
+        let c = CostModel {
+            per_byte_copy_ns: 2,
+            ..Default::default()
+        };
+        assert_eq!(c.crossing(100) - c.crossing(0), Duration::from_nanos(200));
     }
 
     #[test]

@@ -156,7 +156,8 @@ impl<T> Enclave<T> {
         f: impl FnOnce(&mut T, &[u8]) -> R,
     ) -> Result<R, SgxError> {
         let out = f(&mut self.state, input);
-        self.boundary.record_ecall(input.len(), std::mem::size_of::<R>(), &self.cost);
+        self.boundary
+            .record_ecall(input.len(), std::mem::size_of::<R>(), &self.cost);
         Ok(out)
     }
 
@@ -176,7 +177,8 @@ impl<T> Enclave<T> {
     ) -> Result<Vec<u8>, SgxError> {
         let port = OcallPort::new(self.boundary.clone(), self.cost);
         let out = f(&mut self.state, input, &port);
-        self.boundary.record_ecall(input.len(), out.len(), &self.cost);
+        self.boundary
+            .record_ecall(input.len(), out.len(), &self.cost);
         Ok(out)
     }
 
@@ -197,7 +199,8 @@ impl<T> Enclave<T> {
     ) -> Result<Vec<u8>, SgxError> {
         let port = OcallPort::new(self.boundary.clone(), self.cost);
         let out = f(&self.state, input, &port);
-        self.boundary.record_ecall(input.len(), out.len(), &self.cost);
+        self.boundary
+            .record_ecall(input.len(), out.len(), &self.cost);
         Ok(out)
     }
 
@@ -233,9 +236,13 @@ mod tests {
 
     #[test]
     fn ecall_mutates_protected_state() {
-        let mut e = EnclaveBuilder::new("t").with_code(b"code").build(Vec::<u32>::new());
-        e.ecall("push", &[1], |state, input| state.push(u32::from(input[0]))).unwrap();
-        e.ecall("push", &[2], |state, input| state.push(u32::from(input[0]))).unwrap();
+        let mut e = EnclaveBuilder::new("t")
+            .with_code(b"code")
+            .build(Vec::<u32>::new());
+        e.ecall("push", &[1], |state, input| state.push(u32::from(input[0])))
+            .unwrap();
+        e.ecall("push", &[2], |state, input| state.push(u32::from(input[0])))
+            .unwrap();
         let len = e.ecall("len", &[], |state, _| state.len()).unwrap();
         assert_eq!(len, 2);
         assert_eq!(e.boundary().ecalls(), 3);
@@ -283,7 +290,10 @@ mod tests {
 
     #[test]
     fn epc_gauge_is_shared() {
-        let e = EnclaveBuilder::new("t").with_code(b"c").with_epc_limit(1024).build(());
+        let e = EnclaveBuilder::new("t")
+            .with_code(b"c")
+            .with_epc_limit(1024)
+            .build(());
         let gauge = e.epc();
         gauge.charge(100, &e.cost_model());
         assert_eq!(e.epc().used(), 100);
@@ -293,7 +303,8 @@ mod tests {
     fn modeled_overhead_grows_with_traffic() {
         let mut e = EnclaveBuilder::new("t").with_code(b"c").build(());
         let before = e.boundary().modeled_overhead();
-        e.ecall_bytes("x", &[0u8; 1024], |_, _, _| vec![0u8; 2048]).unwrap();
+        e.ecall_bytes("x", &[0u8; 1024], |_, _, _| vec![0u8; 2048])
+            .unwrap();
         assert!(e.boundary().modeled_overhead() > before);
     }
 }

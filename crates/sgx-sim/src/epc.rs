@@ -41,7 +41,10 @@ impl EpcGauge {
     /// Creates a gauge with a custom limit (tests, ablations).
     #[must_use]
     pub fn with_limit(limit: usize) -> Arc<Self> {
-        Arc::new(EpcGauge { limit, ..Default::default() })
+        Arc::new(EpcGauge {
+            limit,
+            ..Default::default()
+        })
     }
 
     /// Records an allocation of `bytes`. Returns the modeled paging cost
@@ -60,9 +63,11 @@ impl EpcGauge {
         if new_pages == 0 {
             return Duration::ZERO;
         }
-        self.paged_pages.fetch_add(new_pages as u64, Ordering::Relaxed);
+        self.paged_pages
+            .fetch_add(new_pages as u64, Ordering::Relaxed);
         let d = cost.paging(new_pages);
-        self.paging_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.paging_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
         d
     }
 

@@ -27,8 +27,14 @@ pub enum SgxError {
 impl fmt::Display for SgxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SgxError::EpcExhausted { requested, available } => {
-                write!(f, "epc exhausted: requested {requested} bytes, {available} available")
+            SgxError::EpcExhausted {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "epc exhausted: requested {requested} bytes, {available} available"
+                )
             }
             SgxError::Destroyed => write!(f, "enclave destroyed"),
             SgxError::QuoteRejected => write!(f, "attestation quote rejected"),
@@ -46,7 +52,10 @@ mod tests {
 
     #[test]
     fn errors_display_meaningfully() {
-        let e = SgxError::EpcExhausted { requested: 4096, available: 100 };
+        let e = SgxError::EpcExhausted {
+            requested: 4096,
+            available: 100,
+        };
         assert!(e.to_string().contains("4096"));
         assert!(SgxError::Destroyed.to_string().contains("destroyed"));
     }

@@ -34,6 +34,8 @@
 //! assert_eq!(enclave.boundary().ecalls(), 1);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod attestation;
 pub mod boundary;
 pub mod cost;

@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn order_matters() {
-        assert_ne!(measure(&[b"first", b"second"]), measure(&[b"second", b"first"]));
+        assert_ne!(
+            measure(&[b"first", b"second"]),
+            measure(&[b"second", b"first"])
+        );
     }
 
     #[test]

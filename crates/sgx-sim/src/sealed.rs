@@ -20,7 +20,9 @@ pub struct SealingPlatform {
 
 impl std::fmt::Debug for SealingPlatform {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SealingPlatform").field("master", &"<secret>").finish()
+        f.debug_struct("SealingPlatform")
+            .field("master", &"<secret>")
+            .finish()
     }
 }
 
@@ -44,7 +46,9 @@ impl SealingPlatform {
     pub fn from_seed(seed: u64) -> Self {
         let mut buf = [0u8; 32];
         buf[..8].copy_from_slice(&seed.to_le_bytes());
-        SealingPlatform { master: xsearch_crypto::sha256::Sha256::digest(&buf) }
+        SealingPlatform {
+            master: xsearch_crypto::sha256::Sha256::digest(&buf),
+        }
     }
 
     fn key_for(&self, measurement: &Measurement) -> [u8; 32] {
@@ -63,7 +67,10 @@ impl SealingPlatform {
         let mut nonce = [0u8; 12];
         rng.fill_bytes(&mut nonce);
         let aead = ChaCha20Poly1305::new(&self.key_for(measurement));
-        SealedBlob { nonce, ciphertext: aead.seal(&nonce, &measurement.0, plaintext) }
+        SealedBlob {
+            nonce,
+            ciphertext: aead.seal(&nonce, &measurement.0, plaintext),
+        }
     }
 
     /// Opens a blob sealed by the same platform and measurement.
@@ -72,7 +79,11 @@ impl SealingPlatform {
     ///
     /// Returns [`SgxError::UnsealFailed`] for a different platform, a
     /// different enclave measurement, or tampered data.
-    pub fn unseal(&self, measurement: &Measurement, blob: &SealedBlob) -> Result<Vec<u8>, SgxError> {
+    pub fn unseal(
+        &self,
+        measurement: &Measurement,
+        blob: &SealedBlob,
+    ) -> Result<Vec<u8>, SgxError> {
         let aead = ChaCha20Poly1305::new(&self.key_for(measurement));
         aead.open(&blob.nonce, &measurement.0, &blob.ciphertext)
             .map_err(|_| SgxError::UnsealFailed)
@@ -96,7 +107,10 @@ mod tests {
         let platform = SealingPlatform::from_seed(1);
         let mut rng = StdRng::seed_from_u64(2);
         let blob = platform.seal(&m(b"proxy"), b"query history", &mut rng);
-        assert_eq!(platform.unseal(&m(b"proxy"), &blob).unwrap(), b"query history");
+        assert_eq!(
+            platform.unseal(&m(b"proxy"), &blob).unwrap(),
+            b"query history"
+        );
     }
 
     #[test]
@@ -125,7 +139,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut blob = platform.seal(&m(b"proxy"), b"secret", &mut rng);
         blob.ciphertext[0] ^= 1;
-        assert_eq!(platform.unseal(&m(b"proxy"), &blob), Err(SgxError::UnsealFailed));
+        assert_eq!(
+            platform.unseal(&m(b"proxy"), &blob),
+            Err(SgxError::UnsealFailed)
+        );
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! assert_eq!(nb_common_words("cheap flight paris", "flight to paris"), 2);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod porter;
 pub mod similarity;
 pub mod stopwords;

@@ -153,6 +153,9 @@ impl Stemmer {
     }
 
     /// Double to single suffixes, e.g. -ization → -ize.
+    // The single-suffix arms mirror the multi-suffix ones: this is the
+    // paper's rule table transcribed row by row, so keep the shape.
+    #[allow(clippy::collapsible_match)]
     fn step2(&mut self) {
         if self.k < 1 {
             return;
@@ -224,6 +227,9 @@ impl Stemmer {
     }
 
     /// -icate, -ative, -alize, ...
+    // The single-suffix arms mirror the multi-suffix ones: this is the
+    // paper's rule table transcribed row by row, so keep the shape.
+    #[allow(clippy::collapsible_match)]
     fn step3(&mut self) {
         match self.b[self.k as usize] {
             b'e' => {
@@ -267,13 +273,9 @@ impl Stemmer {
             b'e' => self.ends("er"),
             b'i' => self.ends("ic"),
             b'l' => self.ends("able") || self.ends("ible"),
-            b'n' => {
-                self.ends("ant") || self.ends("ement") || self.ends("ment") || self.ends("ent")
-            }
+            b'n' => self.ends("ant") || self.ends("ement") || self.ends("ment") || self.ends("ent"),
             b'o' => {
-                (self.ends("ion")
-                    && self.j >= 0
-                    && matches!(self.b[self.j as usize], b's' | b't'))
+                (self.ends("ion") && self.j >= 0 && matches!(self.b[self.j as usize], b's' | b't'))
                     || self.ends("ou")
             }
             b's' => self.ends("ism"),
@@ -322,7 +324,11 @@ pub fn stem(word: &str) -> String {
     if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
         return word.to_owned();
     }
-    let mut s = Stemmer { b: word.as_bytes().to_vec(), k: word.len() as isize - 1, j: 0 };
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+        k: word.len() as isize - 1,
+        j: 0,
+    };
     s.step1ab();
     s.step1c();
     s.step2();

@@ -80,7 +80,10 @@ mod tests {
 
     #[test]
     fn digits_are_tokens() {
-        assert_eq!(tokenize("lottery 649 results"), vec!["lottery", "649", "results"]);
+        assert_eq!(
+            tokenize("lottery 649 results"),
+            vec!["lottery", "649", "results"]
+        );
     }
 
     #[test]

@@ -254,8 +254,10 @@ mod tests {
     #[test]
     fn term_frequencies_count_tokens() {
         let mut interner = TermInterner::new();
-        let tokens: Vec<String> =
-            ["tie", "a", "tie"].iter().map(|s| (*s).to_owned()).collect();
+        let tokens: Vec<String> = ["tie", "a", "tie"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
         let v = SparseVector::term_frequencies(&tokens, &mut interner);
         assert_eq!(v.weight(interner.get("tie").unwrap()), 2.0);
         assert_eq!(v.weight(interner.get("a").unwrap()), 1.0);

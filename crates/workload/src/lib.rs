@@ -22,6 +22,8 @@
 //! assert!(report.completed > 0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod rate;
 pub mod report;
 pub mod runner;

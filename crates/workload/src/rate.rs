@@ -21,7 +21,9 @@ impl Schedule {
             rate_per_sec.is_finite() && rate_per_sec > 0.0,
             "rate must be positive, got {rate_per_sec}"
         );
-        Schedule { nanos_per_request: 1e9 / rate_per_sec }
+        Schedule {
+            nanos_per_request: 1e9 / rate_per_sec,
+        }
     }
 
     /// When request `index` is due, relative to the start of the run.

@@ -74,7 +74,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("generator thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("generator thread panicked"))
+            .collect()
     });
 
     let elapsed = start.elapsed().as_secs_f64();
@@ -110,7 +113,14 @@ where
     let mut reports = Vec::new();
     let mut saturated_points = 0;
     for &rate in rates {
-        let report = run_open_loop(&LoadSpec { rate_per_sec: rate, duration, threads }, service);
+        let report = run_open_loop(
+            &LoadSpec {
+                rate_per_sec: rate,
+                duration,
+                threads,
+            },
+            service,
+        );
         let kept_up = report.kept_up();
         reports.push(report);
         if !kept_up {
@@ -144,7 +154,11 @@ mod tests {
         assert_eq!(report.completed, expected);
         assert_eq!(calls.load(Ordering::Relaxed), expected);
         assert!(report.kept_up(), "achieved {}", report.achieved_rate());
-        assert!(report.median_latency_ms() < 5.0, "median {}", report.median_latency_ms());
+        assert!(
+            report.median_latency_ms() < 5.0,
+            "median {}",
+            report.median_latency_ms()
+        );
     }
 
     #[test]
@@ -176,9 +190,15 @@ mod tests {
             threads: 2,
         };
         let toggle = AtomicU64::new(0);
-        let report = run_open_loop(&spec, &|| toggle.fetch_add(1, Ordering::Relaxed) % 2 == 0);
+        let report = run_open_loop(&spec, &|| {
+            toggle.fetch_add(1, Ordering::Relaxed).is_multiple_of(2)
+        });
         assert!(report.failed > 0);
-        assert!((report.error_rate() - 0.5).abs() < 0.1, "error rate {}", report.error_rate());
+        assert!(
+            (report.error_rate() - 0.5).abs() < 0.1,
+            "error rate {}",
+            report.error_rate()
+        );
     }
 
     #[test]
@@ -188,7 +208,11 @@ mod tests {
             std::thread::sleep(Duration::from_millis(3)); // caps at ~330/s
             true
         });
-        assert!(reports.len() < rates.len(), "sweep should stop early, got {}", reports.len());
+        assert!(
+            reports.len() < rates.len(),
+            "sweep should stop early, got {}",
+            reports.len()
+        );
         assert!(!reports.last().unwrap().kept_up());
     }
 }

@@ -15,7 +15,11 @@ use xsearch::query_log::synthetic::{generate, SyntheticConfig};
 fn main() {
     // An AOL-like synthetic log; the adversary (the search engine) knows
     // each user's past queries — the training split.
-    let log = generate(&SyntheticConfig { num_users: 120, seed: 99, ..Default::default() });
+    let log = generate(&SyntheticConfig {
+        num_users: 120,
+        seed: 99,
+        ..Default::default()
+    });
     let top = top_active_users(&log, 50);
     let split = train_test_split(&log, &top, 2.0 / 3.0);
     println!(
@@ -31,7 +35,10 @@ fn main() {
 
     // Unprotected (identity hidden, query in the clear — what Tor gives).
     let unprotected = reidentification_rate(&profiles, &attack, &test, |r| vec![r.query.clone()]);
-    println!("\nunlinkability only (Tor-like): {:.1}% of queries re-identified", unprotected * 100.0);
+    println!(
+        "\nunlinkability only (Tor-like): {:.1}% of queries re-identified",
+        unprotected * 100.0
+    );
 
     // X-Search with growing k.
     for k in [1usize, 3, 7] {

@@ -31,7 +31,11 @@ fn show(system: &mut dyn PrivateSearchSystem, user: UserId, query: &str) {
 fn main() {
     // Shared history/training data for the history- and matrix-based
     // systems.
-    let log = generate(&SyntheticConfig { num_users: 60, seed: 5, ..Default::default() });
+    let log = generate(&SyntheticConfig {
+        num_users: 60,
+        seed: 5,
+        ..Default::default()
+    });
     let past: Vec<String> = log.iter().map(|r| r.query.clone()).collect();
 
     let user = UserId(17);

@@ -11,12 +11,17 @@ use xsearch::sgx::attestation::AttestationService;
 
 fn main() {
     let ias = AttestationService::from_seed(2017);
-    let engine =
-        Arc::new(SearchEngine::build(&CorpusConfig { docs_per_topic: 60, ..Default::default() }));
+    let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 60,
+        ..Default::default()
+    }));
 
     // --- Step 1: the genuine proxy and its measurement ---------------
     let proxy = XSearchProxy::launch(
-        XSearchConfig { k: 3, ..Default::default() },
+        XSearchConfig {
+            k: 3,
+            ..Default::default()
+        },
         engine.clone(),
         &ias,
     );
@@ -32,8 +37,7 @@ fn main() {
     }
 
     // --- Step 3: genuine attestation succeeds ------------------------
-    let mut broker =
-        Broker::attach(&proxy, &ias, pinned, 1).expect("genuine proxy attests fine");
+    let mut broker = Broker::attach(&proxy, &ias, pinned, 1).expect("genuine proxy attests fine");
     println!("step 3: quote verified, measurement matches, channel keys bound into quote");
 
     // --- Step 4: searching through the tunnel ------------------------
@@ -47,7 +51,10 @@ fn main() {
     ]);
     let sensitive = "diabetes symptoms blood sugar";
     let results = broker.search(&proxy, sensitive).expect("tunnel search");
-    println!("\nstep 4: searched {sensitive:?} privately → {} filtered results", results.len());
+    println!(
+        "\nstep 4: searched {sensitive:?} privately → {} filtered results",
+        results.len()
+    );
     for r in results.iter().take(5) {
         println!("   - {}", r.title);
     }
@@ -58,7 +65,10 @@ fn main() {
     println!("     3 of them real past queries of other users;");
     println!("   * the proxy host saw only AEAD ciphertext and that query;");
     println!("   * the history table now also stores the user's query for");
-    println!("     future obfuscations ({} entries).", proxy.history_len());
+    println!(
+        "     future obfuscations ({} entries).",
+        proxy.history_len()
+    );
     let b = proxy.boundary();
     println!(
         "   * boundary traffic: {} ecalls / {} ocalls, {} B in, {} B out",

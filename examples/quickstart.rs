@@ -13,10 +13,15 @@ fn main() {
     // A search engine (Bing stand-in: 40 topics × 100 documents) and an
     // X-Search proxy whose enclave hides each query among k = 3 real
     // past queries.
-    let engine =
-        Arc::new(SearchEngine::build(&CorpusConfig { docs_per_topic: 100, ..Default::default() }));
+    let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 100,
+        ..Default::default()
+    }));
     let ias = AttestationService::from_seed(7);
-    let config = XSearchConfig { k: 3, ..Default::default() };
+    let config = XSearchConfig {
+        k: 3,
+        ..Default::default()
+    };
     let proxy = XSearchProxy::launch(config, engine, &ias);
 
     // Warm the past-query table (in production it fills with real
@@ -28,7 +33,10 @@ fn main() {
         "chicken casserole recipe",
         "cheap hotel rome",
     ]);
-    println!("proxy launched; enclave measurement = {}", proxy.expected_measurement());
+    println!(
+        "proxy launched; enclave measurement = {}",
+        proxy.expected_measurement()
+    );
 
     // ---- Client side ------------------------------------------------
     // The broker attests the enclave (quote verified against the
@@ -49,9 +57,11 @@ fn main() {
 
     // What crossed the enclave boundary, and what it cost.
     let boundary = proxy.boundary();
-    println!("\nenclave boundary: {} ecalls, {} ocalls, modeled overhead {:?}",
+    println!(
+        "\nenclave boundary: {} ecalls, {} ocalls, modeled overhead {:?}",
         boundary.ecalls(),
         boundary.ocalls(),
-        boundary.modeled_overhead());
+        boundary.modeled_overhead()
+    );
     println!("history size now: {} queries", proxy.history_len());
 }

@@ -34,6 +34,14 @@
 //! assert!(!results.is_empty());
 //! ```
 
+#![deny(missing_docs)]
+
+// Compile and run every fenced Rust block in README.md as a doctest, so
+// the README can never drift from the real API.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
+
 pub use xsearch_attack as attack;
 pub use xsearch_baselines as baselines;
 pub use xsearch_core as core;

@@ -15,14 +15,21 @@ use xsearch::query_log::record::UserId;
 use xsearch::query_log::synthetic::{generate, SyntheticConfig};
 
 fn engine() -> Arc<SearchEngine> {
-    Arc::new(SearchEngine::build(&CorpusConfig { docs_per_topic: 40, ..Default::default() }))
+    Arc::new(SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 40,
+        ..Default::default()
+    }))
 }
 
 fn training() -> Vec<String> {
-    generate(&SyntheticConfig { num_users: 40, seed: 8, ..Default::default() })
-        .into_iter()
-        .map(|r| r.query)
-        .collect()
+    generate(&SyntheticConfig {
+        num_users: 40,
+        seed: 8,
+        ..Default::default()
+    })
+    .into_iter()
+    .map(|r| r.query)
+    .collect()
 }
 
 #[test]
@@ -45,8 +52,10 @@ fn tor_carries_real_searches_end_to_end() {
 fn peas_full_crypto_path_returns_filtered_results() {
     let engine = engine();
     let train = training();
-    let mut issuer =
-        PeasIssuer::new(PeasFakeGenerator::new(CooccurrenceMatrix::build(&train), 2), 2);
+    let mut issuer = PeasIssuer::new(
+        PeasFakeGenerator::new(CooccurrenceMatrix::build(&train), 2),
+        2,
+    );
     issuer.set_k(3);
     let receiver = PeasReceiver::new();
     let mut client = PeasClient::new(UserId(1), issuer.public_key(), 3);
@@ -81,7 +90,12 @@ fn every_obfuscating_system_contains_the_original_exactly_once() {
     for system in &mut systems {
         let exposure = system.protect(user, query);
         let count = exposure.subqueries.iter().filter(|q| *q == query).count();
-        assert_eq!(count, 1, "{}: original must appear exactly once", system.name());
+        assert_eq!(
+            count,
+            1,
+            "{}: original must appear exactly once",
+            system.name()
+        );
         assert!(!exposure.subqueries.is_empty());
     }
 }
@@ -95,9 +109,20 @@ fn identity_exposure_matches_the_paper_taxonomy() {
         (Box::new(xsearch::baselines::direct::Direct::new()), false),
         (Box::new(xsearch::baselines::tor::TorSystem::new()), true),
         (Box::new(xsearch::baselines::tmn::TrackMeNot::new(1)), false),
-        (Box::new(xsearch::baselines::goopir::GooPir::new(2, 1)), false),
-        (Box::new(xsearch::baselines::peas::PeasSystem::new(&train, 2, 1)), true),
-        (Box::new(xsearch::baselines::xsearch_system::XSearchSystem::new(2, 1_000, 1)), true),
+        (
+            Box::new(xsearch::baselines::goopir::GooPir::new(2, 1)),
+            false,
+        ),
+        (
+            Box::new(xsearch::baselines::peas::PeasSystem::new(&train, 2, 1)),
+            true,
+        ),
+        (
+            Box::new(xsearch::baselines::xsearch_system::XSearchSystem::new(
+                2, 1_000, 1,
+            )),
+            true,
+        ),
     ];
     for (mut system, hides) in expectations {
         let exposure = system.protect(user, "a query");

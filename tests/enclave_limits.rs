@@ -88,7 +88,14 @@ fn boundary_counters_reflect_traffic_shape() {
         docs_per_topic: 10,
         ..Default::default()
     }));
-    let proxy = XSearchProxy::launch(XSearchConfig { k: 2, ..Default::default() }, engine, &ias);
+    let proxy = XSearchProxy::launch(
+        XSearchConfig {
+            k: 2,
+            ..Default::default()
+        },
+        engine,
+        &ias,
+    );
     proxy.seed_history(["x", "y", "z"]);
     let mut broker = Broker::attach(&proxy, &ias, proxy.expected_measurement(), 7).unwrap();
 

@@ -14,7 +14,11 @@ fn setup(k: usize) -> (XSearchProxy, AttestationService, Arc<SearchEngine>) {
         ..Default::default()
     }));
     let proxy = XSearchProxy::launch(
-        XSearchConfig { k, history_capacity: 10_000, ..Default::default() },
+        XSearchConfig {
+            k,
+            history_capacity: 10_000,
+            ..Default::default()
+        },
         engine.clone(),
         &ias,
     );
@@ -42,11 +46,16 @@ fn full_session_returns_filtered_relevant_results() {
     assert!(!results.is_empty(), "travel query must return results");
 
     // The filtered results substantially overlap the unprotected ones.
-    let direct: std::collections::HashSet<String> =
-        engine.search(&query, 20).into_iter().map(|r| r.url).collect();
+    let direct: std::collections::HashSet<String> = engine
+        .search(&query, 20)
+        .into_iter()
+        .map(|r| r.url)
+        .collect();
     // Compare on redirect-stripped URLs.
-    let stripped: std::collections::HashSet<String> =
-        direct.iter().map(|u| xsearch::core::redirect::strip_redirect(u)).collect();
+    let stripped: std::collections::HashSet<String> = direct
+        .iter()
+        .map(|u| xsearch::core::redirect::strip_redirect(u))
+        .collect();
     let overlap = results.iter().filter(|r| stripped.contains(&r.url)).count();
     assert!(
         overlap * 2 >= results.len(),
@@ -82,7 +91,11 @@ fn many_sequential_queries_grow_the_history() {
         let q = topic_query(TOPICS[i % TOPICS.len()].name);
         let _ = broker.search(&proxy, &q).unwrap();
     }
-    assert_eq!(proxy.history_len(), before + 10, "every query lands in the table");
+    assert_eq!(
+        proxy.history_len(),
+        before + 10,
+        "every query lands in the table"
+    );
 }
 
 #[test]

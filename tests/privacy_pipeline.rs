@@ -18,12 +18,20 @@ struct Pipeline {
 }
 
 fn pipeline() -> Pipeline {
-    let log = generate(&SyntheticConfig { num_users: 80, seed: 31, ..Default::default() });
+    let log = generate(&SyntheticConfig {
+        num_users: 80,
+        seed: 31,
+        ..Default::default()
+    });
     let top = top_active_users(&log, 40);
     let split = train_test_split(&log, &top, 2.0 / 3.0);
     let train = split.train.iter().map(|r| r.query.clone()).collect();
     let test = split.test.iter().take(400).cloned().collect();
-    Pipeline { profiles: ProfileSet::build(&split.train), train, test }
+    Pipeline {
+        profiles: ProfileSet::build(&split.train),
+        train,
+        test,
+    }
 }
 
 #[test]
@@ -42,9 +50,8 @@ fn unprotected_traffic_is_substantially_reidentifiable() {
 fn xsearch_reduces_reidentification_below_unprotected() {
     let p = pipeline();
     let attack = SimAttack::default();
-    let unprotected = reidentification_rate(&p.profiles, &attack, &p.test, |r| {
-        vec![r.query.clone()]
-    });
+    let unprotected =
+        reidentification_rate(&p.profiles, &attack, &p.test, |r| vec![r.query.clone()]);
     let mut xsearch = XSearchSystem::new(3, 1_000_000, 17);
     xsearch.warm(p.train.iter().map(String::as_str));
     let protected = reidentification_rate(&p.profiles, &attack, &p.test, |r| {
@@ -73,7 +80,10 @@ fn xsearch_beats_peas_at_equal_k() {
         peas.protect(r.user, &r.query).subqueries
     });
 
-    assert!(xs < pe, "x-search ({xs}) must beat peas ({pe}) — the paper's Fig 3 ordering");
+    assert!(
+        xs < pe,
+        "x-search ({xs}) must beat peas ({pe}) — the paper's Fig 3 ordering"
+    );
 }
 
 #[test]

@@ -70,7 +70,10 @@ fn another_platform_cannot_read_the_pool() {
     let blob = seal_history(&history, &SealingPlatform::from_seed(1), &m, &mut rng);
     let other = SealingPlatform::from_seed(2);
     let target = QueryHistory::new(100, EpcGauge::new());
-    assert_eq!(restore_history(&target, &other, &m, &blob), Err(SgxError::UnsealFailed));
+    assert_eq!(
+        restore_history(&target, &other, &m, &blob),
+        Err(SgxError::UnsealFailed)
+    );
 }
 
 #[test]
@@ -89,7 +92,11 @@ fn restored_window_respects_capacity_accounting() {
     let small = QueryHistory::new(100, gauge.clone());
     restore_history(&small, &platform, &m, &blob).unwrap();
     assert_eq!(small.len(), 100);
-    assert_eq!(small.memory_bytes(), gauge.used(), "accounting survives restore");
+    assert_eq!(
+        small.memory_bytes(),
+        gauge.used(),
+        "accounting survives restore"
+    );
     // The newest entries won.
     assert_eq!(small.snapshot().last().map(String::as_str), Some("q999"));
 }

@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's benches
+//! use — [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`Throughput`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — backed by a simple calibrated wall-clock timer instead of
+//! criterion's statistical machinery.
+//!
+//! Behaviour under `cargo test`: benchmark executables built with
+//! `harness = false` are run by `cargo test` like any other test binary;
+//! this harness detects the `--test` flag cargo passes and runs each
+//! benchmark exactly once (a smoke run), keeping `cargo test -q` fast
+//! while `cargo bench` still produces timing numbers.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Timing state handed to the benchmark closure.
+pub struct Bencher {
+    smoke: bool,
+    measurement_time: Duration,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Call `routine` repeatedly and record its mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm up, then run for roughly the configured measurement time.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement_time || iters >= u64::MAX / 2 {
+                self.result = Some((elapsed, iters));
+                return;
+            }
+            let per_iter = elapsed.checked_div(iters as u32).unwrap_or_default();
+            iters = if per_iter.is_zero() {
+                iters.saturating_mul(8)
+            } else {
+                let want = self.measurement_time.as_nanos() / per_iter.as_nanos().max(1);
+                (want as u64).clamp(iters + 1, iters.saturating_mul(16))
+            };
+        }
+    }
+}
+
+/// Top-level benchmark driver (a registry of named benchmarks).
+pub struct Criterion {
+    smoke: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut smoke = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                // `cargo test` runs harness=false bench binaries with --test.
+                "--test" => smoke = true,
+                // Flags cargo/criterion accept that we can ignore.
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        Criterion { smoke, filter }
+    }
+}
+
+impl Criterion {
+    fn wants(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        measurement_time: Duration,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.wants(id) {
+            return;
+        }
+        let mut b = Bencher {
+            smoke: self.smoke,
+            measurement_time,
+            result: None,
+        };
+        f(&mut b);
+        if self.smoke {
+            println!("bench {id} ... ok (smoke)");
+            return;
+        }
+        match b.result {
+            Some((elapsed, iters)) if iters > 0 => {
+                let per = elapsed.as_nanos() as f64 / iters as f64;
+                let rate = match throughput {
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  {:.1} MiB/s", n as f64 / per * 1e9 / (1024.0 * 1024.0))
+                    }
+                    Some(Throughput::Elements(n)) => {
+                        format!("  {:.0} elem/s", n as f64 / per * 1e9)
+                    }
+                    None => String::new(),
+                };
+                println!("bench {id:<50} {per:>12.1} ns/iter{rate}");
+            }
+            _ => println!("bench {id} ... no measurement"),
+        }
+    }
+
+    /// Register and run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, None, Duration::from_millis(200), &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+
+    /// Final hook after all groups ran (criterion API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set how long each benchmark should measure.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Register and run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion
+            .run_one(&full, self.throughput, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export of the standard black-box optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function list (criterion-compatible macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Define the benchmark binary's `main` (criterion-compatible macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,339 @@
+//! MPMC channels with the `crossbeam-channel` API shape.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and currently full.
+    Full(T),
+    /// All receivers have been dropped.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// All senders have been dropped and the queue is drained.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// All senders have been dropped and the queue is drained.
+    Disconnected,
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    cap: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn disconnected_tx(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) == 0
+    }
+    fn disconnected_rx(&self) -> bool {
+        self.receivers.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects when
+/// the last clone drops.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half of a channel. Cloneable (MPMC); each message is
+/// delivered to exactly one receiver.
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.senders.fetch_add(1, Ordering::SeqCst);
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver(self.0.clone())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Notify under the queue mutex: a peer that observed
+            // senders > 0 is either still holding the lock (we block
+            // until it parks on the condvar) or already parked — either
+            // way the wakeup cannot fall between its check and its wait.
+            let _q = self.0.queue.lock().unwrap();
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.0.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _q = self.0.queue.lock().unwrap();
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send `value`, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if all receivers are gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut q = self.0.queue.lock().unwrap();
+        loop {
+            if self.0.disconnected_rx() {
+                return Err(SendError(value));
+            }
+            match self.0.cap {
+                Some(cap) if q.len() >= cap => {
+                    q = self.0.not_full.wait(q).unwrap();
+                }
+                _ => {
+                    q.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Send without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when a bounded channel is at capacity,
+    /// [`TrySendError::Disconnected`] when all receivers are gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut q = self.0.queue.lock().unwrap();
+        if self.0.disconnected_rx() {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.0.cap {
+            if q.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        q.push_back(value);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] when the queue is empty and all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.0.queue.lock().unwrap();
+        loop {
+            if let Some(v) = q.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.0.disconnected_tx() {
+                return Err(RecvError);
+            }
+            q = self.0.not_empty.wait(q).unwrap();
+        }
+    }
+
+    /// Receive without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when no message is queued,
+    /// [`TryRecvError::Disconnected`] when drained and all senders gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.0.queue.lock().unwrap();
+        if let Some(v) = q.pop_front() {
+            self.0.not_full.notify_one();
+            return Ok(v);
+        }
+        if self.0.disconnected_tx() {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Block up to `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] on expiry,
+    /// [`RecvTimeoutError::Disconnected`] when drained and all senders gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.0.queue.lock().unwrap();
+        loop {
+            if let Some(v) = q.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.0.disconnected_tx() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _res) = self.0.not_empty.wait_timeout(q, deadline - now).unwrap();
+            q = guard;
+        }
+    }
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        cap,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender(shared.clone()), Receiver(shared))
+}
+
+/// Create a channel with a bounded queue of `cap` messages.
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap))
+}
+
+/// Create a channel with an unbounded queue.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn roundtrip_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn bounded_try_send_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn disconnect_wakes_receivers() {
+        let (tx, rx) = unbounded::<u8>();
+        let h = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn mpmc_each_message_once() {
+        let (tx, rx) = unbounded();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<u32> = workers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disconnect_never_lost_under_contention() {
+        // Regression: dropping the last sender must not race a receiver
+        // between its disconnect check and its condvar wait.
+        for _ in 0..200 {
+            let (tx, rx) = unbounded::<u8>();
+            let h = thread::spawn(move || rx.recv());
+            drop(tx);
+            assert_eq!(h.join().unwrap(), Err(RecvError));
+        }
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+}

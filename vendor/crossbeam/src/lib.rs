@@ -1,0 +1,11 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides [`channel`]: multi-producer multi-consumer channels with the
+//! `crossbeam-channel` API shape (`bounded`, `unbounded`, cloneable
+//! `Sender`/`Receiver`, `recv_timeout`, `try_send`). Built on
+//! `Mutex` + `Condvar`; slower than the real lock-free implementation but
+//! semantically equivalent for the workloads in this workspace.
+
+#![deny(missing_docs)]
+
+pub mod channel;

@@ -1,0 +1,12 @@
+//! Collection strategies.
+
+use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+/// Strategy for a `Vec` whose elements come from `element` and whose
+/// length is drawn from `size` (a `usize`, `a..b`, or `a..=b`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

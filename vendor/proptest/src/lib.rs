@@ -1,0 +1,194 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro (with both `name in strategy` and
+//! `name: Type` parameter forms), [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_assert_ne!`], [`strategy::Strategy`]
+//! with `prop_map`, [`arbitrary::Arbitrary`] + [`any`], regex-like
+//! string strategies (character classes and `{m,n}` quantifiers), and
+//! [`collection::vec`].
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its deterministic case seed instead), and a fixed default of 64 cases
+//! per property (`PROPTEST_CASES` overrides).
+
+#![deny(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+mod string;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies while generating a case.
+pub type TestRng = StdRng;
+
+/// Generate one value of `T` via its [`arbitrary::Arbitrary`] impl.
+///
+/// Returns a *strategy*; the macro (or [`strategy::Strategy::new_value`])
+/// draws concrete values from it.
+#[must_use]
+pub fn any<T: arbitrary::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Per-block configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u64,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u64) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+#[doc(hidden)]
+pub fn __run_cases(name: &str, case: impl FnMut(&mut TestRng)) {
+    __run_cases_with(64, name, case);
+}
+
+#[doc(hidden)]
+pub fn __run_cases_with(default_cases: u64, name: &str, mut case: impl FnMut(&mut TestRng)) {
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_cases);
+    // Deterministic per-test seeding: test name + case index.
+    let base = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    });
+    for i in 0..cases {
+        let seed = base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case(&mut rng);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!("proptest: property `{name}` failed at case {i} (seed {seed:#x})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The prelude: everything a `proptest!` test module needs.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Skip the current case when its precondition does not hold.
+///
+/// Real proptest rejects and regenerates; this shim simply returns from
+/// the case closure, which is equivalent for non-adversarial conditions.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Assert a property holds; failure aborts the current case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Assert two expressions are equal within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Assert two expressions are unequal within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strat:expr $(,)?) => {
+        let $name = $crate::strategy::Strategy::new_value(&($strat), $rng);
+    };
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)+) => {
+        let $name = $crate::strategy::Strategy::new_value(&($strat), $rng);
+        $crate::__proptest_bind!($rng, $($rest)+);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary($rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)+) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bind!($rng, $($rest)+);
+    };
+}
+
+/// Define property tests.
+///
+/// Each function body runs for many generated cases. Parameters are
+/// either `name in strategy` (drawn from an explicit strategy) or
+/// `name: Type` (drawn from the type's [`arbitrary::Arbitrary`] impl).
+/// A leading `#![proptest_config(ProptestConfig::with_cases(n))]`
+/// overrides the per-property case count for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_with_cfg! { ($cfg) $($rest)* }
+    };
+    ($(#[$attr:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::__run_cases(stringify!($name), |__pt_rng| {
+                $crate::__proptest_bind!(__pt_rng, $($params)*);
+                $body
+            });
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_with_cfg {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$attr:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let __pt_cfg: $crate::ProptestConfig = $cfg;
+            $crate::__run_cases_with(__pt_cfg.cases, stringify!($name), |__pt_rng| {
+                $crate::__proptest_bind!(__pt_rng, $($params)*);
+                $body
+            });
+        }
+        $crate::__proptest_with_cfg! { ($cfg) $($rest)* }
+    };
+}

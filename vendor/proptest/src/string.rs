@@ -1,0 +1,172 @@
+//! A tiny regex-subset interpreter for string strategies.
+//!
+//! Supports the patterns this workspace's tests use: literal characters,
+//! `.` (any printable ASCII), character classes `[a-z0-9 /]` with ranges,
+//! and `{m}` / `{m,n}` repetition. Unsupported syntax panics, which
+//! surfaces immediately the first time a test runs.
+
+use crate::TestRng;
+use rand::Rng;
+
+enum Atom {
+    Literal(char),
+    AnyChar,
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated class in regex {pattern:?}"))
+                    + i
+                    + 1;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i + 1..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in regex {pattern:?}"))
+                + i
+                + 1;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad {m,n} lower bound"),
+                    hi.trim().parse().expect("bad {m,n} upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad {n} count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyChar => char::from(rng.gen_range(0x20u8..=0x7E)),
+        Atom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u32).saturating_sub(lo as u32) + 1)
+                .sum();
+            let mut pick = rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let span = (hi as u32) - (lo as u32) + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick)
+                        .expect("class range produced invalid char");
+                }
+                pick -= span;
+            }
+            unreachable!("class pick out of bounds")
+        }
+    }
+}
+
+pub(crate) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..count {
+            out.push(gen_char(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    fn sample(pattern: &str) -> Vec<String> {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        (0..200)
+            .map(|_| super::generate(pattern, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn class_with_range_and_literal() {
+        for s in sample("[a-z ]{0,30}") {
+            assert!(s.len() <= 30);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        for s in sample("[ -~]{0,50}") {
+            assert!(s.len() <= 50);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literal_prefix_and_dot() {
+        for s in sample("/[a-z0-9/]{0,20}") {
+            assert!(s.starts_with('/'));
+        }
+        assert!(sample(".{0,30}").iter().all(|s| s.len() <= 30));
+    }
+
+    #[test]
+    fn two_words_with_space() {
+        for s in sample("[a-z]{2,8} [a-z]{2,8}") {
+            let parts: Vec<&str> = s.split(' ').collect();
+            assert_eq!(parts.len(), 2);
+            assert!((2..=8).contains(&parts[0].len()));
+            assert!((2..=8).contains(&parts[1].len()));
+        }
+    }
+}

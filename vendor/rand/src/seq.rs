@@ -1,0 +1,62 @@
+//! Sequence-related helpers (`SliceRandom`).
+
+use crate::{Rng, RngCore};
+
+/// Random operations over slices: choose, shuffle, sample-without-replacement.
+pub trait SliceRandom {
+    /// The element type of the slice.
+    type Item;
+
+    /// Uniformly pick one element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Uniformly pick `amount` distinct elements (fewer if the slice is
+    /// shorter), in random order.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        // Partial Fisher–Yates over an index vector.
+        let n = self.len();
+        let amount = amount.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(amount);
+        idx.into_iter()
+            .map(|i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
