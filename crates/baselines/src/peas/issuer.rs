@@ -110,7 +110,7 @@ impl PeasIssuer {
             .filter(|(i, _)| *i != position)
             .map(|(_, q)| q.clone())
             .collect();
-        let kept = xsearch_core::filter::filter_results(&query, &fakes, &results);
+        let kept = xsearch_core::filter::filter_results(&query, &fakes, results);
 
         // Encrypt the response under the client's one-time key.
         let aead = ChaCha20Poly1305::new(&response_key);

@@ -53,7 +53,15 @@ impl PrivateSearchSystem for XSearchSystem {
     fn protect(&mut self, _user: UserId, query: &str) -> Exposure {
         let obfuscated = obfuscate(query, &self.history, self.k, &mut self.rng);
         Exposure {
-            subqueries: obfuscated.subqueries,
+            // The privacy experiments consume owned strings; this is the
+            // cold evaluation path, so re-owning the Arc'd sub-queries
+            // here keeps the hot path copy-free without rippling Arc
+            // through the whole attack stack.
+            subqueries: obfuscated
+                .subqueries
+                .iter()
+                .map(|s| String::from(&**s))
+                .collect(),
             identity: None,
         }
     }

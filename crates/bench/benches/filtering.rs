@@ -35,6 +35,13 @@ fn bench_filtering(c: &mut Criterion) {
             ],
             n_results / 2,
         );
+        // `filter_results` consumes its input (it retains in place on
+        // the hot path), so the timed loop below pays one full-input
+        // clone per iteration. This baseline measures that clone alone;
+        // subtract it to get the filter's own cost.
+        group.bench_function(format!("clone_baseline_results{n_results}"), |b| {
+            b.iter(|| std::hint::black_box(results.clone()))
+        });
         for k in [1usize, 3, 7] {
             let fakes: Vec<String> = fake_pool[..k].to_vec();
             group.bench_function(format!("k{k}_results{n_results}"), |b| {
@@ -42,7 +49,7 @@ fn bench_filtering(c: &mut Criterion) {
                     filter_results(
                         std::hint::black_box(original),
                         &fakes,
-                        std::hint::black_box(&results),
+                        std::hint::black_box(results.clone()),
                     )
                 })
             });

@@ -1,0 +1,75 @@
+//! Threads-scaling of the enclave request hot path: a fixed batch of
+//! echo-mode requests executed by 1/2/4/8 broker threads against one
+//! shared proxy. With the enclave state lock-striped (sharded sessions,
+//! striped history, per-request RNG) the batch time should not grow as
+//! threads are added; a global lock anywhere in the path shows up as
+//! per-thread-count regression here before it shows in Fig 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use xsearch_core::broker::Broker;
+use xsearch_core::config::XSearchConfig;
+use xsearch_core::proxy::XSearchProxy;
+use xsearch_engine::corpus::CorpusConfig;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_query_log::synthetic::unique_queries;
+use xsearch_sgx_sim::attestation::AttestationService;
+
+const BATCH: usize = 256;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_request_scaling(c: &mut Criterion) {
+    let ias = AttestationService::from_seed(42);
+    let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 5,
+        ..Default::default()
+    }));
+    let proxy = XSearchProxy::launch(
+        XSearchConfig {
+            k: 3,
+            history_capacity: 100_000,
+            ..Default::default()
+        },
+        engine,
+        &ias,
+    );
+    let warm = unique_queries(10_000, 7);
+    proxy.seed_history(warm.iter().map(String::as_str));
+    let max_threads = *THREAD_COUNTS.iter().max().expect("non-empty");
+    let brokers: Vec<Mutex<Broker>> = (0..max_threads)
+        .map(|i| {
+            Mutex::new(
+                Broker::attach(&proxy, &ias, proxy.expected_measurement(), i as u64).unwrap(),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("request_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
+
+    for threads in THREAD_COUNTS {
+        group.bench_function(format!("echo_batch{BATCH}_threads{threads}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for (t, broker) in brokers.iter().enumerate().take(threads) {
+                        let proxy = &proxy;
+                        scope.spawn(move || {
+                            let mut broker = broker.lock();
+                            for i in 0..BATCH / threads {
+                                let q = format!("scaling query {t} {i}");
+                                broker.search_echo(proxy, &q).unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_request_scaling);
+criterion_main!(benches);

@@ -58,8 +58,7 @@ fn main() {
                 .collect();
             let obfuscated = obfuscate(&record.query, &history, k, &mut rng);
             let merged = engine.search_merged(&obfuscated.subqueries, TOP_K_RESULTS);
-            let fakes: Vec<String> = obfuscated.fakes().iter().map(|s| (*s).to_owned()).collect();
-            let returned: Vec<DocId> = filter_results(&record.query, &fakes, &merged)
+            let returned: Vec<DocId> = filter_results(&record.query, &obfuscated.fakes(), merged)
                 .into_iter()
                 .map(|r| r.doc)
                 .collect();

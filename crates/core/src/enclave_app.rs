@@ -6,6 +6,24 @@
 //! enclave's channel identity key, the per-client session keys, and the
 //! table of past queries. Untrusted code only ever sees ciphertext and
 //! the obfuscated queries that are, by construction, safe to reveal.
+//!
+//! # Concurrency
+//!
+//! The paper's proxy "uses multiple threads" inside one enclave (§4.1),
+//! so the `request` path must not serialize on shared state. Three
+//! mechanisms keep it lock-striped end to end:
+//!
+//! * the session table is split over [`SESSION_SHARDS`] shards keyed by
+//!   the client's public-key bytes — a request locks its shard only for
+//!   the table lookup, then holds nothing but its own session's mutex;
+//! * randomness is per-request: an atomic ticket counter plus the
+//!   enclave seed derive an independent `StdRng` per request, replacing
+//!   a global `Mutex<StdRng>` every obfuscation used to contend on;
+//! * the history table is internally lock-striped (see
+//!   [`crate::history`]).
+//!
+//! The remaining serialization is *per session* (channel nonce counters
+//! require ordered seal/open), which is inherent to the protocol.
 
 use crate::config::XSearchConfig;
 use crate::error::XSearchError;
@@ -14,11 +32,12 @@ use crate::history::QueryHistory;
 use crate::obfuscate::{obfuscate, ObfuscatedQuery};
 use crate::redirect::strip_all;
 use crate::session::{channel_binding, SecureChannel, Side};
-use crate::wire::encode_results;
+use crate::wire::{decode_query_batch, encode_results, encoded_len};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use xsearch_crypto::x25519::{PublicKey, StaticSecret};
 use xsearch_engine::engine::SearchResult;
@@ -34,16 +53,57 @@ pub const ENCLAVE_CODE_V1: &[u8] =
       obfuscation=algorithm1(history-sampling); filtering=algorithm2(nbCommonWords); \
       ocalls=sock_connect,send,recv,close";
 
+/// Number of session-table shards. Requests from different clients lock
+/// different shards, so concurrent lookups do not serialize.
+pub const SESSION_SHARDS: usize = 16;
+
+/// Hasher for the session table: reads the first eight bytes of the
+/// 32-byte client key. x25519 public keys are already uniformly
+/// distributed, so a keyed SipHash over all 32 bytes only adds cost on
+/// every request. (A client grinding keys toward one bucket skews only
+/// its own shard's chain, and the same key-generation budget would let
+/// it open that many real sessions anyway.)
+#[derive(Default)]
+struct KeyBytesHasher(u64);
+
+impl std::hash::Hasher for KeyBytesHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut prefix = [0u8; 8];
+        let n = bytes.len().min(8);
+        prefix[..n].copy_from_slice(&bytes[..n]);
+        self.0 = u64::from_le_bytes(prefix);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type SessionMap =
+    HashMap<[u8; 32], Arc<Mutex<SecureChannel>>, std::hash::BuildHasherDefault<KeyBytesHasher>>;
+type SessionShard = Mutex<SessionMap>;
+
+/// Routes a client key to its session shard. x25519 public keys are
+/// close-to-uniform field elements; folding bytes from across the key
+/// keeps the mapping balanced even under byte-level bias.
+fn session_shard(client_pub: &[u8; 32]) -> usize {
+    (client_pub[0] ^ client_pub[11] ^ client_pub[19] ^ client_pub[31]) as usize % SESSION_SHARDS
+}
+
 /// Protected application state.
 pub struct EnclaveState {
     identity: StaticSecret,
     identity_pub: PublicKey,
     history: QueryHistory,
     config: XSearchConfig,
-    rng: Mutex<StdRng>,
-    // Per-session locks so concurrent clients do not serialize on one
-    // global mutex (the proxy "uses multiple threads", §4.1).
-    sessions: Mutex<HashMap<[u8; 32], Arc<Mutex<SecureChannel>>>>,
+    /// Base seed for per-request RNGs, derived from the config seed at
+    /// `init` (after the identity draw, preserving the seed schedule).
+    rng_seed: u64,
+    /// Ticket counter: each request takes one and derives a private RNG
+    /// stream from it — no shared RNG lock on the hot path. For a fixed
+    /// arrival order the streams (and thus Algorithm 1's positions) are
+    /// exactly reproducible from the config seed.
+    rng_ticket: AtomicU64,
+    sessions: Vec<SessionShard>,
 }
 
 impl std::fmt::Debug for EnclaveState {
@@ -63,13 +123,17 @@ impl EnclaveState {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let identity = StaticSecret::random(&mut rng);
         let identity_pub = identity.public_key();
+        let rng_seed = rng.gen();
         EnclaveState {
             identity,
             identity_pub,
             history: QueryHistory::new(config.history_capacity, epc.clone()),
             config,
-            rng: Mutex::new(rng),
-            sessions: Mutex::new(HashMap::new()),
+            rng_seed,
+            rng_ticket: AtomicU64::new(0),
+            sessions: (0..SESSION_SHARDS)
+                .map(|_| Mutex::new(SessionMap::default()))
+                .collect(),
         }
     }
 
@@ -85,6 +149,16 @@ impl EnclaveState {
         &self.history
     }
 
+    /// The private RNG for one request ticket: SplitMix64-spaced streams
+    /// off the enclave seed, so concurrent requests never share (or lock)
+    /// generator state yet a fixed request order replays byte-identically.
+    fn request_rng(&self, ticket: u64) -> StdRng {
+        StdRng::seed_from_u64(
+            self.rng_seed
+                .wrapping_add(ticket.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    }
+
     /// Establishes a session for `client_pub`: DH + per-direction keys.
     /// Returns the binding hash the quote must carry.
     ///
@@ -95,7 +169,7 @@ impl EnclaveState {
         let shared = self.identity.diffie_hellman(&client_pub)?;
         let channel =
             SecureChannel::establish(Side::Server, &shared, &client_pub, &self.identity_pub);
-        self.sessions
+        self.sessions[session_shard(client_pub.as_bytes())]
             .lock()
             .insert(*client_pub.as_bytes(), Arc::new(Mutex::new(channel)));
         Ok(channel_binding(&self.identity_pub, &client_pub))
@@ -105,6 +179,23 @@ impl EnclaveState {
     /// the history fills with real traffic).
     pub fn seed_history(&self, query: &str) {
         self.history.push(query);
+    }
+
+    /// The batch form of [`EnclaveState::seed_history`]: decodes a
+    /// length-prefixed query batch (see [`crate::wire::encode_query_batch`])
+    /// so warming a large history costs one ecall instead of one per
+    /// query. Returns the number of queries seeded.
+    ///
+    /// # Errors
+    ///
+    /// [`XSearchError::Protocol`] on a malformed batch; nothing is seeded
+    /// in that case.
+    pub fn seed_history_batch(&self, payload: &[u8]) -> Result<usize, XSearchError> {
+        let queries = decode_query_batch(payload)?;
+        for q in &queries {
+            self.history.push(q);
+        }
+        Ok(queries.len())
     }
 
     /// The `request` ecall: decrypts one query from the session of
@@ -128,11 +219,11 @@ impl EnclaveState {
         fetch: F,
     ) -> Result<Vec<u8>, XSearchError>
     where
-        F: FnOnce(&[String], usize) -> Vec<SearchResult>,
+        F: FnOnce(&[Arc<str>], usize) -> Vec<SearchResult>,
     {
-        // Decrypt inside the enclave; only this session is locked.
-        let session = self
-            .sessions
+        // Decrypt inside the enclave; only this client's shard is locked
+        // for the lookup, then only this session for the crypto.
+        let session = self.sessions[session_shard(client_pub)]
             .lock()
             .get(client_pub)
             .cloned()
@@ -143,10 +234,10 @@ impl EnclaveState {
             .map_err(|_| XSearchError::Protocol("query is not utf-8".into()))?;
 
         // Obfuscate (Algorithm 1) and store the query in the history.
-        let obfuscated = {
-            let mut rng = self.rng.lock();
-            obfuscate(&query, &self.history, self.config.k, &mut *rng)
-        };
+        // The RNG is this request's own — nothing to lock.
+        let ticket = self.rng_ticket.fetch_add(1, Ordering::Relaxed);
+        let mut rng = self.request_rng(ticket);
+        let obfuscated = obfuscate(&query, &self.history, self.config.k, &mut rng);
 
         // Fetch results via the paper's four-ocall sequence. The payload
         // crossing the boundary is the obfuscated query — exactly what an
@@ -154,8 +245,7 @@ impl EnclaveState {
         let results = self.fetch_via_ocalls(&obfuscated, port, fetch);
 
         // Filter (Algorithm 2) and strip analytics redirections.
-        let fakes: Vec<String> = obfuscated.fakes().iter().map(|s| (*s).to_owned()).collect();
-        let mut kept = filter_results(&query, &fakes, &results);
+        let mut kept = filter_results(&query, &obfuscated.fakes(), results);
         strip_all(&mut kept);
 
         // Encrypt the response for the broker.
@@ -169,7 +259,7 @@ impl EnclaveState {
         fetch: F,
     ) -> Vec<SearchResult>
     where
-        F: FnOnce(&[String], usize) -> Vec<SearchResult>,
+        F: FnOnce(&[Arc<str>], usize) -> Vec<SearchResult>,
     {
         // sock_connect(host, port)
         port.ocall(b"sock_connect:engine:80", |_| b"sock:0".to_vec());
@@ -177,19 +267,17 @@ impl EnclaveState {
         let wire_query = obfuscated.to_or_string();
         port.ocall(wire_query.as_bytes(), |_| Vec::new());
         // recv(sock, buff, len) — results come back (untrusted fetch runs
-        // here).
-        let mut results: Option<Vec<SearchResult>> = None;
+        // here). The boundary is charged the exact serialized size the
+        // response would occupy, without building that buffer.
         let k_each = self.config.results_per_query;
-        let subqueries = obfuscated.subqueries.clone();
-        port.ocall(b"recv", |_| {
-            let r = fetch(&subqueries, k_each);
-            let bytes = encode_results(&r);
-            results = Some(r);
-            bytes
+        let results = port.ocall_sized(b"recv", |_| {
+            let r = fetch(&obfuscated.subqueries, k_each);
+            let n = encoded_len(&r);
+            (r, n)
         });
         // close(sock)
         port.ocall(b"close:sock:0", |_| Vec::new());
-        results.unwrap_or_default()
+        results
     }
 }
 
@@ -310,5 +398,101 @@ mod tests {
         assert!(state
             .request(&id_b, &ct_cross, &port, |_, _| Vec::new())
             .is_err());
+    }
+
+    #[test]
+    fn sessions_work_from_every_shard() {
+        // Enough clients to populate many shards; each must stay
+        // reachable — a routing bug would orphan some sessions.
+        let state = state(0);
+        let port = port();
+        let mut shards_hit = std::collections::HashSet::new();
+        for seed in 100..164 {
+            let (id, mut ch) = client_channel(&state, seed);
+            shards_hit.insert(session_shard(&id));
+            let ct = ch.seal(b"query", b"hello");
+            let resp = state.request(&id, &ct, &port, |_, _| Vec::new()).unwrap();
+            assert!(ch.open(b"results", &resp).is_ok());
+        }
+        assert!(
+            shards_hit.len() > SESSION_SHARDS / 2,
+            "64 random keys should spread over shards, hit {}",
+            shards_hit.len()
+        );
+    }
+
+    #[test]
+    fn seed_batch_matches_individual_seeding() {
+        let a = state(1);
+        let b = state(1);
+        let queries = ["one", "two", "three", "four"];
+        for q in queries {
+            a.seed_history(q);
+        }
+        let payload = crate::wire::encode_query_batch(queries);
+        assert_eq!(b.seed_history_batch(&payload).unwrap(), 4);
+        assert_eq!(a.history().snapshot(), b.history().snapshot());
+        assert_eq!(a.history().memory_bytes(), b.history().memory_bytes());
+    }
+
+    #[test]
+    fn malformed_seed_batch_is_rejected_whole() {
+        let s = state(1);
+        let mut payload = crate::wire::encode_query_batch(["ok"]);
+        payload.truncate(payload.len() - 1);
+        assert!(s.seed_history_batch(&payload).is_err());
+        assert_eq!(s.history().len(), 0, "partial batches must not seed");
+    }
+
+    /// The RNG refactor must not change what a fixed seed produces:
+    /// same config seed + same request order ⇒ identical obfuscation
+    /// positions and byte-identical filtered responses.
+    #[test]
+    fn same_seed_replays_identical_obfuscation_and_output() {
+        let run = || {
+            let state = state(3);
+            for q in ["warm a", "warm b", "warm c", "warm d", "warm e"] {
+                state.seed_history(q);
+            }
+            let (id, mut ch) = client_channel(&state, 42);
+            let port = port();
+            let mut seen: Vec<Vec<String>> = Vec::new();
+            let mut responses: Vec<Vec<u8>> = Vec::new();
+            for q in ["alpha query", "beta query", "gamma query"] {
+                let ct = ch.seal(b"query", q.as_bytes());
+                let resp = state
+                    .request(&id, &ct, &port, |subqueries, _| {
+                        seen.push(subqueries.iter().map(|s| String::from(&**s)).collect());
+                        Vec::new()
+                    })
+                    .unwrap();
+                responses.push(ch.open(b"results", &resp).unwrap());
+            }
+            (seen, responses)
+        };
+        let (seen_a, resp_a) = run();
+        let (seen_b, resp_b) = run();
+        assert_eq!(seen_a, seen_b, "sub-query order must replay exactly");
+        assert_eq!(resp_a, resp_b, "filtered output must replay exactly");
+    }
+
+    #[test]
+    fn concurrent_requests_use_disjoint_rng_streams() {
+        let state = state(3);
+        for i in 0..50 {
+            state.seed_history(&format!("warm {i}"));
+        }
+        let t0 = state.rng_ticket.load(Ordering::Relaxed);
+        let (id, mut ch) = client_channel(&state, 9);
+        let port = port();
+        for q in ["q1", "q2"] {
+            let ct = ch.seal(b"query", q.as_bytes());
+            state.request(&id, &ct, &port, |_, _| Vec::new()).unwrap();
+        }
+        assert_eq!(
+            state.rng_ticket.load(Ordering::Relaxed) - t0,
+            2,
+            "each request takes exactly one ticket"
+        );
     }
 }

@@ -7,9 +7,16 @@
 //! *original* query attains the maximum score (ties included — the
 //! algorithm's condition is `score[Qu] = max`, so a draw goes to the
 //! user).
+//!
+//! Hot-path shape: every sub-query is tokenized **once** into a word
+//! set up front and every result's title/description once per result —
+//! the naive form re-tokenizes each (sub-query, result) pair, which is
+//! O(results × k) tokenizations. The input result list is consumed and
+//! filtered in place; no cloning of the kept results.
 
+use std::collections::HashSet;
 use xsearch_engine::engine::SearchResult;
-use xsearch_text::similarity::nb_common_words;
+use xsearch_text::similarity::{common_words, nb_common_words, word_set};
 
 /// Scores one (query, result) pair per Algorithm 2 lines 5–6.
 #[must_use]
@@ -17,23 +24,36 @@ pub fn result_score(query: &str, result: &SearchResult) -> usize {
     nb_common_words(query, &result.title) + nb_common_words(query, &result.description)
 }
 
+/// Scores a pre-tokenized query against a pre-tokenized result.
+fn score_sets(query: &HashSet<String>, title: &HashSet<String>, desc: &HashSet<String>) -> usize {
+    common_words(query, title) + common_words(query, desc)
+}
+
 /// Runs Algorithm 2: keeps the results whose best-matching sub-query is
-/// the original one.
+/// the original one. Consumes the result list and retains in place.
 #[must_use]
-pub fn filter_results(
+pub fn filter_results<S: AsRef<str>>(
     original: &str,
-    fakes: &[String],
-    results: &[SearchResult],
+    fakes: &[S],
+    mut results: Vec<SearchResult>,
 ) -> Vec<SearchResult> {
+    if fakes.is_empty() || results.is_empty() {
+        // No fakes ⇒ the original trivially attains the max score; no
+        // results ⇒ nothing to tokenize against (echo-mode hot path).
+        return results;
+    }
+    let original_words = word_set(original);
+    let fake_words: Vec<HashSet<String>> = fakes.iter().map(|f| word_set(f.as_ref())).collect();
+    results.retain(|r| {
+        let title = word_set(&r.title);
+        let desc = word_set(&r.description);
+        let own = score_sets(&original_words, &title, &desc);
+        // `own >= every fake score` ⇔ `own == max` (ties to the user).
+        fake_words
+            .iter()
+            .all(|f| own >= score_sets(f, &title, &desc))
+    });
     results
-        .iter()
-        .filter(|r| {
-            let own = result_score(original, r);
-            let best_fake = fakes.iter().map(|f| result_score(f, r)).max().unwrap_or(0);
-            own >= best_fake
-        })
-        .cloned()
-        .collect()
 }
 
 #[cfg(test)]
@@ -65,7 +85,7 @@ mod tests {
         let kept = filter_results(
             "cheap paris flights",
             &["diabetes symptoms".to_owned()],
-            &results,
+            results,
         );
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].doc, DocId(0));
@@ -74,7 +94,7 @@ mod tests {
     #[test]
     fn drops_results_matching_fakes_better() {
         let results = vec![result(0, "diabetes symptoms", "diabetes care")];
-        let kept = filter_results("paris flights", &["diabetes symptoms".to_owned()], &results);
+        let kept = filter_results("paris flights", &["diabetes symptoms".to_owned()], results);
         assert!(kept.is_empty());
     }
 
@@ -82,7 +102,7 @@ mod tests {
     fn ties_go_to_the_user() {
         // Result overlaps both queries equally (scores tie) → forwarded.
         let results = vec![result(0, "travel guide", "general travel advice")];
-        let kept = filter_results("travel paris", &["travel rome".to_owned()], &results);
+        let kept = filter_results("travel paris", &["travel rome".to_owned()], results);
         assert_eq!(kept.len(), 1);
     }
 
@@ -92,13 +112,13 @@ mod tests {
             result(0, "anything", "at all"),
             result(1, "even this", "unrelated"),
         ];
-        let kept = filter_results("some query", &[], &results);
+        let kept = filter_results("some query", &[] as &[&str], results);
         assert_eq!(kept.len(), 2, "k=0 means no filtering is possible");
     }
 
     #[test]
     fn empty_results_stay_empty() {
-        assert!(filter_results("q", &["f".to_owned()], &[]).is_empty());
+        assert!(filter_results("q", &["f".to_owned()], Vec::new()).is_empty());
     }
 
     #[test]
@@ -126,7 +146,7 @@ mod tests {
                 .enumerate()
                 .map(|(i, t)| result(i as u32, t, ""))
                 .collect();
-            let kept = filter_results(&original, std::slice::from_ref(&fake), &results);
+            let kept = filter_results(&original, std::slice::from_ref(&fake), results.clone());
             prop_assert!(kept.len() <= results.len());
             // Everything kept satisfies the score rule.
             for r in &kept {

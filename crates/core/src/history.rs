@@ -6,22 +6,62 @@
 //! containing the last x past queries"). The table lives in EPC-protected
 //! memory, so its size is byte-accounted against the enclave's
 //! [`EpcGauge`] — that accounting *is* the Fig 6 measurement.
+//!
+//! # Lock striping
+//!
+//! The paper's proxy "uses multiple threads" over this shared table, so
+//! the table must not serialize them. Entries are spread over
+//! [`MAX_STRIPES`] independent stripes, each its own mutex-protected
+//! ring: a push routes to stripe `seq % stripes` via an atomic sequence
+//! counter (so stripes fill at equal rates and eviction stays globally
+//! FIFO up to stripe interleaving), and a sample locks exactly one
+//! stripe. Aggregates that used to require a global lock — length and
+//! the Fig 6 byte count — are maintained as running atomic counters, so
+//! reading them is O(1) and lock-free.
+//!
+//! Entries are `Arc<str>`: sampling hands out refcount bumps instead of
+//! deep string copies, which is what makes Algorithm 1's `k` draws per
+//! request cheap.
 
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 use rand::Rng;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use xsearch_sgx_sim::cost::CostModel;
 use xsearch_sgx_sim::epc::EpcGauge;
 
+/// Upper bound on the number of stripes; the actual count is the largest
+/// **power-of-two divisor** of the capacity, capped at this, so routing
+/// is a mask and the striped union is exactly the paper's last-x window
+/// (see [`QueryHistory::new`]). Odd capacities get a single stripe.
+pub const MAX_STRIPES: usize = 8;
+
+/// One stored entry: the query text plus the global push sequence number
+/// that lets [`QueryHistory::snapshot`] reconstruct chronological order
+/// across stripes.
+type Entry = (u64, Arc<str>);
+
 /// Heap bytes attributed to one stored query: the string bytes plus the
-/// container bookkeeping (`String` header in the deque slot).
+/// per-entry bookkeeping in the stripe slot (16-byte `Arc<str>` fat
+/// pointer + 8-byte sequence tag — the same 24 bytes the pre-striping
+/// `String` header occupied, so Fig 6 is directly comparable across
+/// versions).
 fn entry_bytes(query: &str) -> usize {
-    query.len() + std::mem::size_of::<String>()
+    query.len() + std::mem::size_of::<Entry>()
 }
 
-/// A bounded sliding window of past queries, thread-safe and
-/// EPC-accounted.
+/// One lock stripe: a bounded FIFO ring plus a mirror of its length that
+/// samplers can read without taking the lock.
+#[derive(Debug)]
+struct Stripe {
+    entries: Mutex<VecDeque<Entry>>,
+    len: AtomicUsize,
+    capacity: usize,
+}
+
+/// A bounded sliding window of past queries, thread-safe (lock-striped)
+/// and EPC-accounted.
 ///
 /// # Example
 ///
@@ -40,8 +80,14 @@ fn entry_bytes(query: &str) -> usize {
 /// ```
 #[derive(Debug)]
 pub struct QueryHistory {
-    inner: RwLock<VecDeque<String>>,
+    stripes: Vec<Stripe>,
     capacity: usize,
+    /// Global push counter: routes pushes round-robin across stripes and
+    /// tags entries for chronological snapshots.
+    push_seq: AtomicU64,
+    /// Running byte counter (lock-free O(1)
+    /// [`QueryHistory::memory_bytes`], replacing the old O(n) scan).
+    total_bytes: AtomicUsize,
     epc: Arc<EpcGauge>,
     cost: CostModel,
 }
@@ -56,58 +102,128 @@ impl QueryHistory {
     #[must_use]
     pub fn new(capacity: usize, epc: Arc<EpcGauge>) -> Self {
         assert!(capacity > 0, "history window must be positive");
+        // The stripe count must divide the capacity: with equal stripe
+        // capacities and round-robin routing, the union of the stripes
+        // is provably *exactly* the last-`capacity` pushes (each stripe
+        // holds the newest `capacity / n` of its residue class), so
+        // striping does not change the paper's window semantics. It is
+        // also kept a power of two so routing is a mask, not a division.
+        // Odd capacities fall back to fewer stripes — realistic window
+        // sizes are round (even) numbers and get the full fan-out.
+        let stripe_count = 1usize << capacity.trailing_zeros().min(MAX_STRIPES.trailing_zeros());
+        let stripes = (0..stripe_count)
+            .map(|_| Stripe {
+                entries: Mutex::new(VecDeque::new()),
+                len: AtomicUsize::new(0),
+                capacity: capacity / stripe_count,
+            })
+            .collect();
         QueryHistory {
-            inner: RwLock::new(VecDeque::new()),
+            stripes,
             capacity,
+            push_seq: AtomicU64::new(0),
+            total_bytes: AtomicUsize::new(0),
             epc,
             cost: CostModel::default(),
         }
     }
 
-    /// Appends a query, evicting the oldest when the window is full
-    /// (Algorithm 1 line 9: `H ← Q`).
+    /// Appends a query, evicting the oldest in its stripe when the window
+    /// is full (Algorithm 1 line 9: `H ← Q`).
     pub fn push(&self, query: &str) {
-        let mut inner = self.inner.write();
-        if inner.len() == self.capacity {
-            if let Some(evicted) = inner.pop_front() {
-                self.epc.release(entry_bytes(&evicted));
+        self.push_arc(Arc::from(query));
+    }
+
+    /// Appends an already-shared query without re-allocating its text —
+    /// the obfuscation path stores the same `Arc` it sends to the engine.
+    pub fn push_arc(&self, query: Arc<str>) {
+        let seq = self.push_seq.fetch_add(1, Ordering::Relaxed);
+        // Power-of-two stripe count: routing is a mask, not a division.
+        let stripe = &self.stripes[(seq as usize) & (self.stripes.len() - 1)];
+        let added = entry_bytes(&query);
+        let mut entries = stripe.entries.lock();
+        if entries.len() == stripe.capacity {
+            // Steady state: pop + push under one lock leaves the length
+            // unchanged, so only the byte delta needs publishing.
+            let (_, evicted) = entries.pop_front().expect("capacity > 0");
+            let freed = entry_bytes(&evicted);
+            self.epc.release(freed);
+            self.epc.charge(added, &self.cost);
+            if added >= freed {
+                self.total_bytes.fetch_add(added - freed, Ordering::Relaxed);
+            } else {
+                self.total_bytes.fetch_sub(freed - added, Ordering::Relaxed);
             }
+        } else {
+            self.epc.charge(added, &self.cost);
+            self.total_bytes.fetch_add(added, Ordering::Relaxed);
+            stripe.len.fetch_add(1, Ordering::Release);
         }
-        self.epc.charge(entry_bytes(query), &self.cost);
-        inner.push_back(query.to_owned());
+        entries.push_back((seq, query));
+    }
+
+    /// Fetches the entry at global index `r` (stripe-major order),
+    /// clamping against concurrent eviction so a raced draw still
+    /// returns *some* stored query rather than failing.
+    fn entry_at(&self, mut r: usize) -> Option<Arc<str>> {
+        for stripe in &self.stripes {
+            let len = stripe.len.load(Ordering::Acquire);
+            if r >= len {
+                r -= len;
+                continue;
+            }
+            let entries = stripe.entries.lock();
+            if let Some((_, q)) = entries.get(r.min(entries.len().wrapping_sub(1))) {
+                return Some(Arc::clone(q));
+            }
+            break;
+        }
+        // Raced with eviction past the end of the walk: take the newest
+        // entry of any non-empty stripe (sampling stays uniform in the
+        // quiescent case; this branch is unreachable single-threaded).
+        self.stripes
+            .iter()
+            .find_map(|s| s.entries.lock().back().map(|(_, q)| Arc::clone(q)))
     }
 
     /// Samples one past query uniformly (Algorithm 1 line 7:
-    /// `H[random(m)]`), `None` when the table is empty.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<String> {
-        let inner = self.inner.read();
-        if inner.is_empty() {
+    /// `H[random(m)]`), `None` when the table is empty. Locks exactly one
+    /// stripe.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Arc<str>> {
+        let len = self.len();
+        if len == 0 {
             return None;
         }
-        Some(inner[rng.gen_range(0..inner.len())].clone())
+        self.entry_at(rng.gen_range(0..len))
     }
 
     /// Samples `k` past queries with replacement; empty if the table is.
-    pub fn sample_many<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<String> {
-        let inner = self.inner.read();
-        if inner.is_empty() {
+    /// Each draw bumps a refcount instead of deep-cloning the string, and
+    /// locks only the one stripe it lands on.
+    pub fn sample_many<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<Arc<str>> {
+        let len = self.len();
+        if len == 0 {
             return Vec::new();
         }
         (0..k)
-            .map(|_| inner[rng.gen_range(0..inner.len())].clone())
+            .filter_map(|_| self.entry_at(rng.gen_range(0..len)))
             .collect()
     }
 
-    /// Number of stored queries.
+    /// Number of stored queries (lock-free: sums the per-stripe length
+    /// mirrors, at most [`MAX_STRIPES`] plain loads).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.stripes
+            .iter()
+            .map(|s| s.len.load(Ordering::Acquire))
+            .sum()
     }
 
     /// Whether the table is empty (cold start).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.len() == 0
     }
 
     /// The configured window size.
@@ -117,11 +233,11 @@ impl QueryHistory {
     }
 
     /// Bytes currently attributed to this table (string bytes plus
-    /// per-entry header), i.e. the Fig 6 y-axis.
+    /// per-entry bookkeeping), i.e. the Fig 6 y-axis. O(1): a running
+    /// counter maintained by push/evict, not a scan.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        let inner = self.inner.read();
-        inner.iter().map(|q| entry_bytes(q)).sum()
+        self.total_bytes.load(Ordering::Relaxed)
     }
 
     /// The EPC gauge this table charges.
@@ -131,10 +247,17 @@ impl QueryHistory {
     }
 
     /// An ordered snapshot (oldest first) — used by sealed persistence;
-    /// only callable from in-enclave code in the real system.
+    /// only callable from in-enclave code in the real system. Cold path:
+    /// locks every stripe and merges by push sequence number.
     #[must_use]
     pub fn snapshot(&self) -> Vec<String> {
-        self.inner.read().iter().cloned().collect()
+        let mut tagged: Vec<Entry> = self
+            .stripes
+            .iter()
+            .flat_map(|s| s.entries.lock().iter().cloned().collect::<Vec<_>>())
+            .collect();
+        tagged.sort_unstable_by_key(|(seq, _)| *seq);
+        tagged.into_iter().map(|(_, q)| String::from(&*q)).collect()
     }
 }
 
@@ -168,7 +291,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..50 {
             let s = h.sample(&mut rng).unwrap();
-            assert_ne!(s, "first", "oldest entry must be gone");
+            assert_ne!(&*s, "first", "oldest entry must be gone");
         }
     }
 
@@ -185,7 +308,23 @@ mod tests {
         let h = history(10);
         h.push("only");
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(h.sample_many(4, &mut rng), vec!["only"; 4]);
+        assert_eq!(
+            h.sample_many(4, &mut rng),
+            vec![Arc::<str>::from("only"); 4]
+        );
+    }
+
+    #[test]
+    fn sampling_shares_the_stored_allocation() {
+        let h = history(10);
+        h.push("shared text");
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = h.sample(&mut rng).unwrap();
+        let b = h.sample(&mut rng).unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "samples must be refcount bumps, not copies"
+        );
     }
 
     #[test]
@@ -195,6 +334,8 @@ mod tests {
         assert_eq!(gauge.used(), 0);
         h.push("hello world");
         let one = gauge.used();
+        // 11 string bytes + 24 bytes of slot bookkeeping (fat pointer +
+        // sequence tag) — identical to the pre-striping String header.
         assert_eq!(one, 11 + std::mem::size_of::<String>());
         h.push("second query");
         assert!(gauge.used() > one);
@@ -218,6 +359,25 @@ mod tests {
             h.push(&format!("query number {i}"));
         }
         assert_eq!(h.memory_bytes(), gauge.used());
+    }
+
+    #[test]
+    fn snapshot_is_chronological_across_stripes() {
+        let h = history(100);
+        let queries: Vec<String> = (0..25).map(|i| format!("q{i}")).collect();
+        for q in &queries {
+            h.push(q);
+        }
+        assert_eq!(h.snapshot(), queries);
+    }
+
+    #[test]
+    fn snapshot_after_eviction_keeps_newest_in_order() {
+        let h = history(4);
+        for i in 0..10 {
+            h.push(&format!("q{i}"));
+        }
+        assert_eq!(h.snapshot(), vec!["q6", "q7", "q8", "q9"]);
     }
 
     #[test]
@@ -245,6 +405,34 @@ mod tests {
         assert_eq!(h.len(), 1000);
     }
 
+    #[test]
+    fn concurrent_push_and_sample_never_drifts() {
+        let h = Arc::new(history(64));
+        for i in 0..64 {
+            h.push(&format!("warm {i}"));
+        }
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t);
+                    for i in 0..500 {
+                        if i % 3 == 0 {
+                            h.push(&format!("t{t} q{i}"));
+                        } else {
+                            assert!(h.sample(&mut rng).is_some());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.len(), 64);
+        assert_eq!(h.memory_bytes(), h.epc().used());
+    }
+
     proptest! {
         #[test]
         fn accounting_never_drifts(queries in proptest::collection::vec("[a-z ]{1,30}", 1..60), cap in 1usize..20) {
@@ -255,6 +443,55 @@ mod tests {
             }
             prop_assert_eq!(h.memory_bytes(), gauge.used());
             prop_assert!(h.len() <= cap);
+        }
+
+        /// The striped table must sample from the same distribution the
+        /// old single-lock table did: uniform over the entries the
+        /// sliding window currently holds, nothing outside it.
+        #[test]
+        fn striped_sampling_matches_single_lock_distribution(
+            n_entries in 1usize..40,
+            cap in 1usize..40,
+            seed: u64
+        ) {
+            let h = history(cap);
+            // Reference model: the old implementation's single VecDeque.
+            let mut reference: VecDeque<String> = VecDeque::new();
+            for i in 0..n_entries {
+                let q = format!("entry {i}");
+                h.push(&q);
+                if reference.len() == cap {
+                    reference.pop_front();
+                }
+                reference.push_back(q);
+            }
+            let window: Vec<&String> = reference.iter().collect();
+            prop_assert_eq!(h.len(), window.len());
+
+            let draws = 200 * window.len();
+            let expected = draws / window.len();
+            let mut counts = std::collections::HashMap::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..draws {
+                let s = h.sample(&mut rng).unwrap();
+                *counts.entry(String::from(&*s)).or_insert(0usize) += 1;
+            }
+            // Every draw must come from the live window...
+            for q in counts.keys() {
+                prop_assert!(reference.contains(q), "sampled evicted entry {q:?}");
+            }
+            // ...and cover it uniformly (±60% of the expected count is
+            // ≈6σ at 200 draws per entry — tight enough to catch any
+            // stripe bias, loose enough to never flake).
+            for w in &window {
+                let c = counts.get(*w).copied().unwrap_or(0);
+                let lo = expected * 2 / 5;
+                let hi = expected * 8 / 5;
+                prop_assert!(
+                    (lo..=hi).contains(&c),
+                    "entry {w:?} drawn {c} times, expected ≈{expected}"
+                );
+            }
         }
     }
 }

@@ -6,16 +6,24 @@
 //! indistinguishability idea: every sub-query maps onto some genuine user
 //! profile, so a re-identification adversary cannot single out the fake
 //! ones the way it can with PEAS's synthetic co-occurrence queries.
+//!
+//! Sub-queries are `Arc<str>`: the fakes share the history table's
+//! allocations and the original is allocated once and shared with the
+//! history entry Algorithm 1 stores (line 9), so obfuscating is a matter
+//! of refcount bumps, not string copies — this is the request hot path.
 
 use crate::history::QueryHistory;
 use rand::Rng;
+use std::sync::Arc;
 
 /// An obfuscated query: `k + 1` sub-queries with the original at a known
 /// (enclave-private) position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObfuscatedQuery {
-    /// The sub-queries in the order they are sent to the engine.
-    pub subqueries: Vec<String>,
+    /// The sub-queries in the order they are sent to the engine. Shared
+    /// with the history table's entries (fakes) and its newest entry
+    /// (the original).
+    pub subqueries: Vec<Arc<str>>,
     /// Index of the original query within `subqueries` — known only
     /// inside the enclave; never serialized toward the engine.
     pub original_index: usize,
@@ -35,7 +43,7 @@ impl ObfuscatedQuery {
             .iter()
             .enumerate()
             .filter(|(i, _)| *i != self.original_index)
-            .map(|(_, q)| q.as_str())
+            .map(|(_, q)| &**q)
             .collect()
     }
 
@@ -67,10 +75,11 @@ pub fn obfuscate<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> ObfuscatedQuery {
     let fakes = history.sample_many(k, rng);
-    history.push(query);
+    let original: Arc<str> = Arc::from(query);
+    history.push_arc(Arc::clone(&original));
     if fakes.is_empty() {
         return ObfuscatedQuery {
-            subqueries: vec![query.to_owned()],
+            subqueries: vec![original],
             original_index: 0,
         };
     }
@@ -79,7 +88,7 @@ pub fn obfuscate<R: Rng + ?Sized>(
     let mut fake_iter = fakes.into_iter();
     for position in 0.. {
         if position == original_index {
-            subqueries.push(query.to_owned());
+            subqueries.push(Arc::clone(&original));
         } else {
             match fake_iter.next() {
                 Some(f) => subqueries.push(f),
@@ -102,7 +111,6 @@ mod tests {
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::sync::Arc;
     use xsearch_sgx_sim::epc::EpcGauge;
 
     fn warm_history(n: usize) -> Arc<QueryHistory> {
@@ -166,11 +174,23 @@ mod tests {
     }
 
     #[test]
+    fn stored_entry_shares_the_subquery_allocation() {
+        let h = warm_history(0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let o = obfuscate("no copies", &h, 2, &mut rng);
+        let stored = h.sample(&mut rng).unwrap();
+        assert!(
+            Arc::ptr_eq(&o.subqueries[o.original_index], &stored),
+            "history must store the same Arc the obfuscation emits"
+        );
+    }
+
+    #[test]
     fn cold_start_sends_query_alone() {
         let h = warm_history(0);
         let mut rng = StdRng::seed_from_u64(5);
         let o = obfuscate("lonely", &h, 5, &mut rng);
-        assert_eq!(o.subqueries, vec!["lonely"]);
+        assert_eq!(o.subqueries, vec![Arc::<str>::from("lonely")]);
         assert_eq!(o.original_index, 0);
     }
 
@@ -189,7 +209,7 @@ mod tests {
         let h = warm_history(10);
         let mut rng = StdRng::seed_from_u64(7);
         let o = obfuscate("real", &h, 0, &mut rng);
-        assert_eq!(o.subqueries, vec!["real"]);
+        assert_eq!(o.subqueries, vec![Arc::<str>::from("real")]);
     }
 
     proptest! {

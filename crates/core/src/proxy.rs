@@ -108,9 +108,8 @@ impl XSearchProxy {
         client_pub: &[u8; 32],
         ciphertext: &[u8],
     ) -> Result<Vec<u8>, XSearchError> {
-        let engine = self.engine.clone();
-        self.enclave_request(client_pub, ciphertext, move |subqueries, k_each| {
-            engine.search_merged(subqueries, k_each)
+        self.enclave_request(client_pub, ciphertext, |subqueries, k_each| {
+            self.engine.search_merged(subqueries, k_each)
         })
     }
 
@@ -137,7 +136,7 @@ impl XSearchProxy {
         fetch: F,
     ) -> Result<Vec<u8>, XSearchError>
     where
-        F: FnOnce(&[String], usize) -> Vec<xsearch_engine::engine::SearchResult>,
+        F: FnOnce(&[std::sync::Arc<str>], usize) -> Vec<xsearch_engine::engine::SearchResult>,
     {
         let mut outcome: Result<Vec<u8>, XSearchError> = Err(XSearchError::UnknownSession);
         let _ = self
@@ -149,16 +148,18 @@ impl XSearchProxy {
         outcome
     }
 
-    /// Pre-populates the past-query table (experiment warm-up).
+    /// Pre-populates the past-query table (experiment warm-up). The whole
+    /// batch crosses the boundary in **one** `seed` ecall (length-prefixed
+    /// wire batch) — Fig 5 warms 10k queries, which used to cost 10k
+    /// crossings.
     pub fn seed_history<'a, I: IntoIterator<Item = &'a str>>(&self, queries: I) {
-        for q in queries {
-            let _ = self
-                .enclave
-                .ecall_shared("seed", q.as_bytes(), |state, input, _| {
-                    state.seed_history(std::str::from_utf8(input).unwrap_or_default());
-                    Vec::new()
-                });
-        }
+        let payload = crate::wire::encode_query_batch(queries);
+        let _ = self
+            .enclave
+            .ecall_shared("seed", &payload, |state, input, _| {
+                let seeded = state.seed_history_batch(input).unwrap_or(0);
+                (seeded as u64).to_le_bytes().to_vec()
+            });
     }
 
     /// Current size of the in-enclave history.
@@ -257,6 +258,20 @@ mod tests {
         p.seed_history(["a", "b", "c"]);
         assert_eq!(p.history_len(), 3);
         assert!(p.history_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn seeding_is_one_boundary_crossing() {
+        let (p, _) = proxy();
+        let warm: Vec<String> = (0..500).map(|i| format!("warm query {i}")).collect();
+        let before = p.boundary().ecalls();
+        p.seed_history(warm.iter().map(String::as_str));
+        assert_eq!(
+            p.boundary().ecalls() - before,
+            1,
+            "the whole warm-up batch must cross in a single seed ecall"
+        );
+        assert_eq!(p.history_len(), 500);
     }
 
     use rand::SeedableRng;

@@ -29,6 +29,13 @@ impl From<&SearchResult> for WireResult {
     }
 }
 
+/// Bytes `escape` adds to `s` (one backslash per escaped character).
+fn escape_overhead(s: &str) -> usize {
+    s.bytes()
+        .filter(|b| matches!(b, b'\\' | b'\t' | b'\n' | b'\r'))
+        .count()
+}
+
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\")
         .replace('\t', "\\t")
@@ -72,6 +79,73 @@ pub fn encode_results(results: &[SearchResult]) -> Vec<u8> {
         out.push('\n');
     }
     out.into_bytes()
+}
+
+/// Exact length of [`encode_results`]'s output without building it —
+/// the enclave uses this to account the bytes a `recv` ocall carries
+/// across the boundary without serializing a payload nobody reads.
+#[must_use]
+pub fn encoded_len(results: &[SearchResult]) -> usize {
+    results
+        .iter()
+        .map(|r| {
+            r.url.len()
+                + r.title.len()
+                + r.description.len()
+                + escape_overhead(&r.url)
+                + escape_overhead(&r.title)
+                + escape_overhead(&r.description)
+                + 3 // two field tabs + newline
+        })
+        .sum()
+}
+
+/// Serializes a query batch as `count ‖ (len ‖ bytes)*` (u32 LE
+/// prefixes) — the payload of the proxy's single `seed` ecall, so
+/// warming a 10k-query history costs one boundary crossing, not 10k.
+#[must_use]
+pub fn encode_query_batch<'a, I: IntoIterator<Item = &'a str>>(queries: I) -> Vec<u8> {
+    let mut body = Vec::new();
+    let mut count: u32 = 0;
+    for q in queries {
+        body.extend_from_slice(&(q.len() as u32).to_le_bytes());
+        body.extend_from_slice(q.as_bytes());
+        count += 1;
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&count.to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Parses a query batch, borrowing each query from the payload (the
+/// enclave re-owns only what it stores).
+///
+/// # Errors
+///
+/// [`XSearchError::Protocol`] on truncation or non-UTF-8 queries.
+pub fn decode_query_batch(bytes: &[u8]) -> Result<Vec<&str>, XSearchError> {
+    let truncated = || XSearchError::Protocol("truncated query batch".into());
+    let count_bytes: [u8; 4] = bytes.get(..4).ok_or_else(truncated)?.try_into().expect("4");
+    let count = u32::from_le_bytes(count_bytes) as usize;
+    let mut queries = Vec::with_capacity(count.min(bytes.len() / 4));
+    let mut offset = 4;
+    for _ in 0..count {
+        let len_bytes: [u8; 4] = bytes
+            .get(offset..offset + 4)
+            .ok_or_else(truncated)?
+            .try_into()
+            .expect("4");
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        offset += 4;
+        let raw = bytes.get(offset..offset + len).ok_or_else(truncated)?;
+        offset += len;
+        queries.push(
+            std::str::from_utf8(raw)
+                .map_err(|_| XSearchError::Protocol("query batch entry is not utf-8".into()))?,
+        );
+    }
+    Ok(queries)
 }
 
 /// Parses a result list from tunnel bytes.
@@ -168,6 +242,38 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn query_batch_roundtrips() {
+        let queries = ["alpha", "beta gamma", "", "δelta"];
+        let encoded = encode_query_batch(queries);
+        assert_eq!(decode_query_batch(&encoded).unwrap(), queries);
+    }
+
+    #[test]
+    fn query_batch_rejects_truncation() {
+        let mut encoded = encode_query_batch(["alpha", "beta"]);
+        encoded.truncate(encoded.len() - 1);
+        assert!(matches!(
+            decode_query_batch(&encoded),
+            Err(XSearchError::Protocol(_))
+        ));
+        assert!(matches!(
+            decode_query_batch(&[1, 0]),
+            Err(XSearchError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn query_batch_rejects_non_utf8() {
+        let mut encoded = 1u32.to_le_bytes().to_vec();
+        encoded.extend_from_slice(&2u32.to_le_bytes());
+        encoded.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            decode_query_batch(&encoded),
+            Err(XSearchError::Protocol(_))
+        ));
+    }
+
     proptest! {
         #[test]
         fn roundtrip_any_text(url in "[ -~]{0,30}", title in ".{0,30}", desc in ".{0,30}") {
@@ -176,6 +282,24 @@ mod tests {
             prop_assert_eq!(&decoded[0].url, &url);
             prop_assert_eq!(&decoded[0].title, &title);
             prop_assert_eq!(&decoded[0].description, &desc);
+        }
+
+        #[test]
+        fn encoded_len_matches_encode_results(
+            url in "[ -~]{0,30}", title in ".{0,30}", desc in ".{0,30}",
+        ) {
+            let rs = vec![
+                result(&url, &title, &desc),
+                result("http://b.com", "tab\there", "line\nbreak \\ slash"),
+            ];
+            prop_assert_eq!(encoded_len(&rs), encode_results(&rs).len());
+        }
+
+        #[test]
+        fn query_batch_roundtrips_any_text(queries in proptest::collection::vec(".{0,20}", 0..8)) {
+            let encoded = encode_query_batch(queries.iter().map(String::as_str));
+            let decoded = decode_query_batch(&encoded).unwrap();
+            prop_assert_eq!(decoded, queries);
         }
     }
 }

@@ -1,0 +1,132 @@
+//! Multi-threaded stress of the de-serialized request hot path: many
+//! broker threads drive one proxy concurrently. What must hold no matter
+//! how the threads interleave:
+//!
+//! * every response decrypts under its own session (no nonce/session
+//!   cross-talk between shards),
+//! * the history window stays bounded at its capacity,
+//! * the EPC byte accounting never drifts from the history's own
+//!   running counter (charge/release stay paired under contention).
+
+use std::sync::Arc;
+use xsearch_core::broker::Broker;
+use xsearch_core::config::XSearchConfig;
+use xsearch_core::proxy::XSearchProxy;
+use xsearch_engine::corpus::CorpusConfig;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_sgx_sim::attestation::AttestationService;
+
+const THREADS: usize = 8;
+const REQUESTS_PER_THREAD: usize = 120;
+const HISTORY_CAPACITY: usize = 64;
+
+fn launch(k: usize) -> (XSearchProxy, AttestationService) {
+    let ias = AttestationService::from_seed(77);
+    let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 10,
+        ..Default::default()
+    }));
+    let proxy = XSearchProxy::launch(
+        XSearchConfig {
+            k,
+            history_capacity: HISTORY_CAPACITY,
+            ..Default::default()
+        },
+        engine,
+        &ias,
+    );
+    (proxy, ias)
+}
+
+#[test]
+fn eight_broker_threads_share_one_proxy() {
+    let (proxy, ias) = launch(3);
+    proxy.seed_history(["warm one", "warm two", "warm three", "warm four"]);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let proxy = &proxy;
+            let ias = &ias;
+            scope.spawn(move || {
+                let mut broker =
+                    Broker::attach(proxy, ias, proxy.expected_measurement(), 1_000 + t as u64)
+                        .unwrap();
+                for i in 0..REQUESTS_PER_THREAD {
+                    // Echo mode exercises the full enclave path (decrypt,
+                    // obfuscate, history update, filter, re-encrypt); a
+                    // successful return means the response decrypted.
+                    let results = broker
+                        .search_echo(proxy, &format!("thread {t} query {i}"))
+                        .unwrap_or_else(|e| panic!("thread {t} request {i}: {e:?}"));
+                    assert!(results.is_empty(), "echo mode returns no results");
+                }
+            });
+        }
+    });
+
+    // History stays bounded and full (8×120 + warm-up ≫ capacity).
+    assert_eq!(proxy.history_len(), HISTORY_CAPACITY);
+    // EPC accounting never drifts: the gauge holds exactly what the
+    // history's running byte counter says is stored.
+    assert_eq!(proxy.history_memory_bytes(), proxy.epc().used());
+}
+
+#[test]
+fn concurrent_handshakes_and_requests_interleave_safely() {
+    let (proxy, ias) = launch(2);
+    proxy.seed_history(["seed a", "seed b"]);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let proxy = &proxy;
+            let ias = &ias;
+            scope.spawn(move || {
+                // Each thread repeatedly opens a *new* session (hitting
+                // the sharded session table) and immediately uses it
+                // while other threads do the same.
+                for round in 0..12 {
+                    let seed = 10_000 + (t * 100 + round) as u64;
+                    let mut broker =
+                        Broker::attach(proxy, ias, proxy.expected_measurement(), seed).unwrap();
+                    for i in 0..4 {
+                        broker
+                            .search_echo(proxy, &format!("t{t} r{round} q{i}"))
+                            .unwrap();
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(proxy.history_len(), HISTORY_CAPACITY);
+    assert_eq!(proxy.history_memory_bytes(), proxy.epc().used());
+}
+
+#[test]
+fn mixed_echo_and_engine_traffic_is_consistent() {
+    let (proxy, ias) = launch(2);
+    proxy.seed_history(["alpha beta", "gamma delta", "epsilon zeta"]);
+
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let proxy = &proxy;
+            let ias = &ias;
+            scope.spawn(move || {
+                let mut broker =
+                    Broker::attach(proxy, ias, proxy.expected_measurement(), 500 + t as u64)
+                        .unwrap();
+                for i in 0..40 {
+                    if i % 2 == 0 {
+                        broker.search_echo(proxy, &format!("echo {t} {i}")).unwrap();
+                    } else {
+                        // Full engine round trip under concurrency.
+                        broker.search(proxy, &format!("query {t} {i}")).unwrap();
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(proxy.history_memory_bytes(), proxy.epc().used());
+    assert!(proxy.history_len() <= HISTORY_CAPACITY);
+}

@@ -83,10 +83,19 @@ impl SearchEngine {
     /// score. Merge order interleaves the per-sub-query rankings
     /// (rank 1 of each sub-query, then rank 2, …) so no sub-query is
     /// privileged — the search engine does not know which one is real.
+    ///
+    /// Generic over the sub-query representation so the enclave's
+    /// `Arc<str>` sub-queries cross without re-owning each string.
     #[must_use]
-    pub fn search_merged(&self, subqueries: &[String], k_each: usize) -> Vec<SearchResult> {
-        let per_query: Vec<Vec<SearchResult>> =
-            subqueries.iter().map(|q| self.search(q, k_each)).collect();
+    pub fn search_merged<S: AsRef<str>>(
+        &self,
+        subqueries: &[S],
+        k_each: usize,
+    ) -> Vec<SearchResult> {
+        let per_query: Vec<Vec<SearchResult>> = subqueries
+            .iter()
+            .map(|q| self.search(q.as_ref(), k_each))
+            .collect();
         let mut merged: Vec<SearchResult> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for rank_pos in 0..k_each {

@@ -109,6 +109,22 @@ impl OcallPort {
         response
     }
 
+    /// Like [`OcallPort::ocall`], but the untrusted function returns a
+    /// typed value plus the exact number of response bytes it stands for.
+    /// This keeps the byte accounting honest on paths where serializing
+    /// the response only to measure it would be pure overhead (the
+    /// enclave's `recv` ocall hands back a typed result list; the bytes
+    /// that *would* cross the boundary are still charged).
+    pub fn ocall_sized<F, R>(&self, request: &[u8], f: F) -> R
+    where
+        F: FnOnce(&[u8]) -> (R, usize),
+    {
+        let (response, response_len) = f(request);
+        self.stats
+            .record_ocall(request.len(), response_len, &self.cost);
+        response
+    }
+
     /// The shared counters.
     #[must_use]
     pub fn stats(&self) -> &Arc<BoundaryStats> {
@@ -146,6 +162,20 @@ mod tests {
         assert_eq!(stats.ocalls(), 1);
         assert_eq!(stats.bytes_out(), 10);
         assert_eq!(stats.bytes_in(), 7);
+    }
+
+    #[test]
+    fn ocall_sized_charges_reported_bytes() {
+        let stats = BoundaryStats::new();
+        let port = OcallPort::new(stats.clone(), CostModel::default());
+        let value = port.ocall_sized(b"recv", |req| {
+            assert_eq!(req, b"recv");
+            (vec![1u32, 2, 3], 4096)
+        });
+        assert_eq!(value, vec![1, 2, 3]);
+        assert_eq!(stats.ocalls(), 1);
+        assert_eq!(stats.bytes_out(), 4);
+        assert_eq!(stats.bytes_in(), 4096, "reported size, not Vec length");
     }
 
     #[test]

@@ -140,10 +140,16 @@ impl<T> Enclave<T> {
         self.cost
     }
 
-    /// Enters the enclave with a typed result; byte accounting uses the
-    /// input length and `size_of::<R>()` as an approximation for the
-    /// output copy. Use [`Enclave::ecall_bytes`] on the data path where
-    /// exact output sizes matter.
+    /// Enters the enclave with a typed result.
+    ///
+    /// **Byte accounting is approximate on this path**: the output copy
+    /// is charged as `size_of::<R>()` — the size of the out-struct the
+    /// SGX edge routine would copy — which under-counts any heap data
+    /// `R` owns. Callers that know the real serialized size of their
+    /// output must use [`Enclave::ecall_counted`]; callers moving raw
+    /// bytes must use [`Enclave::ecall_bytes`] / [`Enclave::ecall_shared`]
+    /// (both exact). This typed path remains for control-plane entries
+    /// where the out-struct *is* the whole payload.
     ///
     /// # Errors
     ///
@@ -158,6 +164,26 @@ impl<T> Enclave<T> {
         let out = f(&mut self.state, input);
         self.boundary
             .record_ecall(input.len(), std::mem::size_of::<R>(), &self.cost);
+        Ok(out)
+    }
+
+    /// Like [`Enclave::ecall`], but the entry point reports the real
+    /// serialized size of its output alongside the typed value, so the
+    /// boundary counters charge what would actually cross the boundary
+    /// instead of the `size_of::<R>()` approximation.
+    ///
+    /// # Errors
+    ///
+    /// Always `Ok` in this model; see [`Enclave::ecall`].
+    pub fn ecall_counted<R>(
+        &mut self,
+        _name: &str,
+        input: &[u8],
+        f: impl FnOnce(&mut T, &[u8]) -> (R, usize),
+    ) -> Result<R, SgxError> {
+        let (out, out_bytes) = f(&mut self.state, input);
+        self.boundary
+            .record_ecall(input.len(), out_bytes, &self.cost);
         Ok(out)
     }
 
@@ -246,6 +272,24 @@ mod tests {
         let len = e.ecall("len", &[], |state, _| state.len()).unwrap();
         assert_eq!(len, 2);
         assert_eq!(e.boundary().ecalls(), 3);
+    }
+
+    #[test]
+    fn ecall_counted_charges_reported_output_size() {
+        let mut e = EnclaveBuilder::new("t")
+            .with_code(b"code")
+            .build(vec!["alpha".to_owned(), "beta".to_owned()]);
+        // The typed result is a Vec header; the real payload is the
+        // serialized strings — the caller knows and reports that size.
+        let out = e
+            .ecall_counted("snapshot", b"rq", |state, _| {
+                let bytes: usize = state.iter().map(String::len).sum();
+                (state.clone(), bytes)
+            })
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(e.boundary().bytes_in(), 2);
+        assert_eq!(e.boundary().bytes_out(), 9, "alpha + beta payload bytes");
     }
 
     #[test]

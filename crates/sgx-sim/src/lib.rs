@@ -32,6 +32,15 @@
 //! }).unwrap();
 //! assert_eq!(out, 5);
 //! assert_eq!(enclave.boundary().ecalls(), 1);
+//!
+//! // Typed entries whose output carries heap data report the real
+//! // serialized size, so the boundary counters stay honest:
+//! let report = enclave.ecall_counted("report", &[], |state, _| {
+//!     let line = format!("count={state}");
+//!     let bytes = line.len();
+//!     (line, bytes)
+//! }).unwrap();
+//! assert_eq!(enclave.boundary().bytes_out(), report.len() as u64 + 8);
 //! ```
 
 #![deny(missing_docs)]

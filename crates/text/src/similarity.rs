@@ -56,6 +56,33 @@ pub fn cosine_terms(a: &[String], b: &[String]) -> f64 {
     }
 }
 
+/// The distinct case-folded words of a text, as one pre-tokenized set.
+/// Callers that score one text against many (Algorithm 2 scores every
+/// sub-query against every result) tokenize each side once with this and
+/// then count overlaps with [`common_words`], instead of re-tokenizing
+/// per pair through [`nb_common_words`].
+///
+/// # Example
+///
+/// ```
+/// use xsearch_text::similarity::{common_words, word_set};
+/// let q = word_set("hotel cheap paris");
+/// let e = word_set("Cheap Paris hotels");
+/// assert_eq!(common_words(&q, &e), 2);
+/// ```
+#[must_use]
+pub fn word_set(text: &str) -> HashSet<String> {
+    tokenize(text).into_iter().collect()
+}
+
+/// Number of shared words between two pre-tokenized sets — the
+/// tokenize-once form of [`nb_common_words`]. Iterates the smaller set.
+#[must_use]
+pub fn common_words(a: &HashSet<String>, b: &HashSet<String>) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small.iter().filter(|w| large.contains(*w)).count()
+}
+
 /// The paper's `nbCommonWords(q, e)`: the number of distinct words shared
 /// by query `q` and element `e` (title or description), after case-folding
 /// tokenization — no stemming, matching Algorithm 2's plain word overlap.
@@ -68,9 +95,7 @@ pub fn cosine_terms(a: &[String], b: &[String]) -> f64 {
 /// ```
 #[must_use]
 pub fn nb_common_words(q: &str, e: &str) -> usize {
-    let qset: HashSet<String> = tokenize(q).into_iter().collect();
-    let eset: HashSet<String> = tokenize(e).into_iter().collect();
-    qset.intersection(&eset).count()
+    common_words(&word_set(q), &word_set(e))
 }
 
 /// Jaccard similarity of the word sets of two texts — used by evaluation
@@ -169,6 +194,11 @@ mod tests {
         #[test]
         fn jaccard_symmetric(a in "[a-z ]{0,30}", b in "[a-z ]{0,30}") {
             prop_assert!((jaccard_words(&a, &b) - jaccard_words(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn pretokenized_overlap_matches_per_pair_form(a in "[a-zA-Z ]{0,40}", b in "[a-zA-Z ]{0,40}") {
+            prop_assert_eq!(common_words(&word_set(&a), &word_set(&b)), nb_common_words(&a, &b));
         }
     }
 }
