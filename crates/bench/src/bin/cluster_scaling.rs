@@ -1,0 +1,259 @@
+//! **Cluster scaling**: echo-mode capacity of the attested enclave fleet
+//! vs replica count, under the open-loop `workload` runner.
+//!
+//! The paper evaluates one SGX proxy; the ROADMAP north-star is serving
+//! millions of users, which means scaling *across enclaves*. This
+//! harness sweeps a 1/2/4/8-replica fleet (consistent-hash session
+//! affinity, untrusted router forwarding already-encrypted frames,
+//! per-replica data-center links accounted) and records the
+//! max-sustained-rate series in `BENCH_cluster.json` — the fleet-level
+//! counterpart of `BENCH_fig5.json`'s threads sweep.
+//!
+//! A **churn drill** rides along: a 4-replica fleet under open-loop load
+//! has one replica hard-killed and later restarted mid-run; the summary
+//! records how many requests failed (target: zero — clients drain the
+//! dead replica, the sealed window migrates to the ring successor, and
+//! in-flight requests retry) and how many history entries the migration
+//! carried.
+//!
+//! Env knobs: `CLUSTER_POINT_MS` shortens each measured point (CI smoke);
+//! `BENCH_CLUSTER_JSON` overrides the summary path.
+//!
+//! Run: `cargo run -p xsearch-bench --release --bin cluster_scaling`
+
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xsearch_bench::summary::{capacity, json_points};
+use xsearch_bench::{Dataset, EXPERIMENT_SEED};
+use xsearch_cluster::{Cluster, ClusterClient, ClusterConfig, PlacementPolicy};
+use xsearch_core::config::XSearchConfig;
+use xsearch_engine::corpus::CorpusConfig;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_metrics::series::Table;
+use xsearch_workload::runner::{run_open_loop, sweep_rates};
+use xsearch_workload::{LoadSpec, RunReport};
+
+const K: usize = 3;
+/// Attested client sessions spread over the fleet.
+const SESSIONS: usize = 32;
+/// Open-loop generator threads.
+const THREADS: usize = 4;
+/// Replica counts swept.
+const REPLICAS: &[usize] = &[1, 2, 4, 8];
+/// Queries warmed into every replica's window before measuring.
+const WARM_PER_REPLICA: usize = 2_000;
+/// Seal cadence during the sweep: snapshot each replica's window every
+/// N requests — the recovery-point/throughput trade (the churn tests use
+/// 1; a fleet at full throttle amortizes).
+const SEAL_EVERY: usize = 64;
+
+const QUERY: &str = "cheap flights paris";
+
+const RATES: &[f64] = &[
+    5_000.0, 10_000.0, 17_500.0, 25_000.0, 32_500.0, 40_000.0, 50_000.0, 65_000.0, 80_000.0,
+    100_000.0, 130_000.0, 170_000.0, 220_000.0, 300_000.0, 400_000.0,
+];
+
+fn point_duration() -> Duration {
+    std::env::var("CLUSTER_POINT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(Duration::from_millis(1_000), Duration::from_millis)
+}
+
+fn engine() -> Arc<SearchEngine> {
+    // Tiny corpus: echo mode keeps the engine out of the measured path.
+    Arc::new(SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 5,
+        ..Default::default()
+    }))
+}
+
+fn launch_fleet(replicas: usize, seal_every: usize, warm: &[String]) -> Cluster {
+    let cluster = Cluster::launch(
+        engine(),
+        ClusterConfig {
+            replicas,
+            placement: PlacementPolicy::ConsistentHash,
+            seal_every,
+            proxy: XSearchConfig {
+                k: K,
+                history_capacity: 1 << 20,
+                ..Default::default()
+            },
+            seed: EXPERIMENT_SEED,
+            ..Default::default()
+        },
+    );
+    for id in cluster.replica_ids() {
+        cluster
+            .with_replica(id, |proxy| {
+                proxy.seed_history(warm.iter().take(WARM_PER_REPLICA).map(String::as_str));
+            })
+            .expect("fresh fleet must accept warm-up");
+    }
+    cluster
+}
+
+fn attach_clients(cluster: &Cluster) -> Vec<Mutex<ClusterClient>> {
+    (0..SESSIONS)
+        .map(|i| Mutex::new(ClusterClient::attach(cluster, i as u64).expect("attach")))
+        .collect()
+}
+
+/// One replica-count point of the sweep.
+fn fleet_reports(replicas: usize, warm: &[String]) -> (Vec<RunReport>, f64) {
+    let cluster = launch_fleet(replicas, SEAL_EVERY, warm);
+    let clients = attach_clients(&cluster);
+    let counter = AtomicUsize::new(0);
+    let served = AtomicU64::new(0);
+    let reports = sweep_rates(RATES, point_duration(), THREADS, &|| {
+        let idx = counter.fetch_add(1, Ordering::Relaxed) % clients.len();
+        let ok = clients[idx].lock().search_echo(&cluster, QUERY).is_ok();
+        served.fetch_add(1, Ordering::Relaxed);
+        ok
+    });
+    let served = served.load(Ordering::Relaxed).max(1);
+    let hop_us_mean = cluster.accounted_network_delay().as_secs_f64() * 1e6 / served as f64;
+    (reports, hop_us_mean)
+}
+
+/// The churn drill: open-loop load on a 4-replica fleet with one
+/// kill/restart mid-run. Returns (completed, failed, surviving
+/// fleet-wide window size).
+fn churn_drill(warm: &[String]) -> (u64, u64, usize) {
+    let cluster = Arc::new(launch_fleet(4, 1, warm));
+    let clients = attach_clients(&cluster);
+    let victim = clients[0].lock().replica();
+    let total: u64 = 2_000;
+    let rate = 4_000.0;
+    let ticket = AtomicU64::new(0);
+    let report = run_open_loop(
+        &LoadSpec {
+            rate_per_sec: rate,
+            duration: Duration::from_secs_f64(total as f64 / rate),
+            threads: THREADS,
+        },
+        &|| {
+            let n = ticket.fetch_add(1, Ordering::Relaxed);
+            if n == total / 3 {
+                cluster.kill(victim).expect("victim exists");
+            }
+            if n == 2 * total / 3 {
+                cluster.restart(victim).expect("restart");
+            }
+            let idx = n as usize % clients.len();
+            clients[idx].lock().search_echo(&cluster, QUERY).is_ok()
+        },
+    );
+    // What survived: the failover's sweep runs inside client retries, so
+    // read the surviving fleet windows rather than a side channel.
+    let fleet_window: usize = cluster
+        .replica_ids()
+        .into_iter()
+        .filter_map(|id| {
+            cluster
+                .with_replica(id, xsearch_core::proxy::XSearchProxy::history_len)
+                .ok()
+        })
+        .sum();
+    (report.completed, report.failed, fleet_window)
+}
+
+fn render_summary(sweep: &[(usize, Vec<RunReport>, f64)], churn: (u64, u64, usize)) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"point_ms\": {},", point_duration().as_millis());
+    let _ = writeln!(
+        out,
+        "  \"placement\": \"consistent_hash\", \"sessions\": {SESSIONS}, \"threads\": {THREADS}, \"seal_every\": {SEAL_EVERY},"
+    );
+    out.push_str("  \"replica_sweep\": [\n");
+    for (i, (replicas, reports, hop_us)) in sweep.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"replicas\": {replicas}, \"max_sustained_rps\": {:.1}, \"hop_us_mean\": {hop_us:.1}, \"points\": ",
+            capacity(reports)
+        );
+        json_points(&mut out, reports);
+        out.push('}');
+        if i + 1 < sweep.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    let (completed, failed, fleet_window) = churn;
+    let _ = writeln!(
+        out,
+        "  \"churn_drill\": {{\"replicas\": 4, \"completed\": {completed}, \"failed\": {failed}, \"fleet_window_after\": {fleet_window}}}"
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let dataset = Dataset::with_users(60);
+    let warm = dataset.train_queries();
+
+    let mut table = Table::new(
+        "cluster-scaling: fleet echo capacity vs replica count",
+        &[
+            "replicas",
+            "offered_rps",
+            "achieved_rps",
+            "median_ms",
+            "p99_ms",
+            "kept_up",
+        ],
+    );
+    table.note(&format!(
+        "open loop, {THREADS} generator threads, {SESSIONS} attested sessions, {:?} per point, k={K}, consistent-hash affinity",
+        point_duration()
+    ));
+    table
+        .note("router is untrusted: it forwards encrypted frames and accounts per-replica DC hops");
+
+    let mut sweep = Vec::new();
+    for &replicas in REPLICAS {
+        eprintln!("running fleet sweep: {replicas} replica(s)...");
+        let (reports, hop_us) = fleet_reports(replicas, &warm);
+        for r in &reports {
+            table.row(&[
+                replicas as f64,
+                r.offered_rate,
+                r.achieved_rate(),
+                r.median_latency_ms(),
+                r.p99_latency_ms(),
+                f64::from(u8::from(r.kept_up())),
+            ]);
+        }
+        sweep.push((replicas, reports, hop_us));
+    }
+    table.print();
+
+    eprintln!("running churn drill (kill + restart under load)...");
+    let churn = churn_drill(&warm);
+
+    let summary = render_summary(&sweep, churn);
+    let path =
+        std::env::var("BENCH_CLUSTER_JSON").unwrap_or_else(|_| "BENCH_cluster.json".to_owned());
+    match std::fs::write(&path, &summary) {
+        Ok(()) => eprintln!("wrote summary to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    println!();
+    println!("# summary (max sustained rate, req/s)");
+    for (replicas, reports, hop_us) in &sweep {
+        println!(
+            "cluster replicas={replicas} rate={:.0} hop_us_mean={hop_us:.1}",
+            capacity(reports)
+        );
+    }
+    let (completed, failed, window) = churn;
+    println!("churn_drill completed={completed} failed={failed} fleet_window_after={window}");
+}

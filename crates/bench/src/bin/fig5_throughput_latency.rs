@@ -35,6 +35,7 @@ use xsearch_baselines::peas::{
     CooccurrenceMatrix, PeasClient, PeasFakeGenerator, PeasIssuer, PeasReceiver,
 };
 use xsearch_baselines::tor::network::TorNetwork;
+use xsearch_bench::summary::{capacity, json_points};
 use xsearch_bench::{Dataset, EXPERIMENT_SEED};
 use xsearch_core::broker::Broker;
 use xsearch_core::config::XSearchConfig;
@@ -218,34 +219,6 @@ fn emit(table: &mut Table, system: f64, reports: &[RunReport]) {
             f64::from(u8::from(r.kept_up())),
         ]);
     }
-}
-
-/// Max sustained rate: the best achieved rate among kept-up points.
-fn capacity(reports: &[RunReport]) -> f64 {
-    reports
-        .iter()
-        .filter(|r| r.kept_up())
-        .map(RunReport::achieved_rate)
-        .fold(0.0, f64::max)
-}
-
-fn json_points(out: &mut String, reports: &[RunReport]) {
-    out.push('[');
-    for (i, r) in reports.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"offered_rps\":{:.1},\"achieved_rps\":{:.1},\"median_ms\":{:.3},\"p99_ms\":{:.3},\"kept_up\":{}}}",
-            r.offered_rate,
-            r.achieved_rate(),
-            r.median_latency_ms(),
-            r.p99_latency_ms(),
-            r.kept_up()
-        );
-    }
-    out.push(']');
 }
 
 /// Renders the machine-readable summary the perf trajectory is tracked

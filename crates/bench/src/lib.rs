@@ -7,6 +7,8 @@
 
 #![deny(missing_docs)]
 
+pub mod summary;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;

@@ -1,0 +1,76 @@
+//! Shared helpers for the machine-readable bench summaries
+//! (`BENCH_fig5.json`, `BENCH_cluster.json`): one JSON point encoding and
+//! one capacity definition, so the perf trajectory stays comparable
+//! across harnesses and PRs.
+
+use std::fmt::Write as _;
+use xsearch_workload::RunReport;
+
+/// Max sustained rate: the best achieved rate among kept-up points.
+#[must_use]
+pub fn capacity(reports: &[RunReport]) -> f64 {
+    reports
+        .iter()
+        .filter(|r| r.kept_up())
+        .map(RunReport::achieved_rate)
+        .fold(0.0, f64::max)
+}
+
+/// Appends the sweep's points as a JSON array of
+/// `{offered_rps, achieved_rps, median_ms, p99_ms, kept_up}` objects.
+pub fn json_points(out: &mut String, reports: &[RunReport]) {
+    out.push('[');
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"offered_rps\":{:.1},\"achieved_rps\":{:.1},\"median_ms\":{:.3},\"p99_ms\":{:.3},\"kept_up\":{}}}",
+            r.offered_rate,
+            r.achieved_rate(),
+            r.median_latency_ms(),
+            r.p99_latency_ms(),
+            r.kept_up()
+        );
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsearch_metrics::histogram::LatencyHistogram;
+
+    fn report(offered: f64, completed: u64, secs: f64) -> RunReport {
+        let mut h = LatencyHistogram::new();
+        h.record(500);
+        RunReport {
+            offered_rate: offered,
+            completed,
+            failed: 0,
+            elapsed_secs: secs,
+            latency_us: h,
+        }
+    }
+
+    #[test]
+    fn capacity_takes_best_kept_up_point() {
+        let reports = vec![
+            report(100.0, 100, 1.0), // kept up at 100
+            report(200.0, 200, 1.0), // kept up at 200
+            report(400.0, 250, 1.0), // collapsed
+        ];
+        assert!((capacity(&reports) - 200.0).abs() < 1e-9);
+        assert_eq!(capacity(&[]), 0.0);
+    }
+
+    #[test]
+    fn json_points_is_valid_shape() {
+        let mut out = String::new();
+        json_points(&mut out, &[report(100.0, 100, 1.0)]);
+        assert!(out.starts_with('[') && out.ends_with(']'));
+        assert!(out.contains("\"offered_rps\":100.0"));
+        assert!(out.contains("\"kept_up\":true"));
+    }
+}

@@ -1,0 +1,179 @@
+//! A fleet-aware broker: routes by a stable affinity key, attests its
+//! replica end-to-end, and on failure triggers a health sweep, re-routes,
+//! re-attests the successor, and retries the request.
+
+use crate::error::ClusterError;
+use crate::fleet::Cluster;
+use crate::registry::ReplicaId;
+use xsearch_core::broker::Broker;
+use xsearch_core::wire::WireResult;
+use xsearch_crypto::sha256::Sha256;
+
+/// Failovers a single request will ride out before giving up.
+const MAX_FAILOVERS: usize = 3;
+
+/// One client of the fleet: a [`Broker`] plus routing state.
+///
+/// Routing uses a stable per-client **affinity key** (a hash of the
+/// client seed) rather than the channel public key: re-attaching after a
+/// failover rotates the channel keypair (fresh keys ⇒ no nonce reuse)
+/// without changing where consistent hashing places the client. The
+/// router learns nothing from the key — it is an opaque byte string.
+pub struct ClusterClient {
+    seed: u64,
+    /// Count of handshakes performed; salts each reattach seed so a
+    /// fresh keypair (and thus fresh channel keys) is derived every time.
+    handshakes: u64,
+    affinity: [u8; 32],
+    replica: ReplicaId,
+    broker: Broker,
+}
+
+impl std::fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("replica", &self.replica)
+            .field("handshakes", &self.handshakes)
+            .finish()
+    }
+}
+
+fn affinity_key(seed: u64) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"xsearch-client-affinity-v1");
+    h.update(&seed.to_le_bytes());
+    h.finalize()
+}
+
+fn handshake_seed(seed: u64, handshakes: u64) -> u64 {
+    seed ^ handshakes.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl ClusterClient {
+    /// Routes `seed`'s affinity key through the cluster, attests the
+    /// chosen replica, and establishes the tunnel.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors and attestation/tunnel failures.
+    pub fn attach(cluster: &Cluster, seed: u64) -> Result<Self, ClusterError> {
+        let affinity = affinity_key(seed);
+        let replica = cluster.route(&affinity)?;
+        let broker = cluster.with_replica(replica, |proxy| {
+            Broker::attach(
+                proxy,
+                cluster.ias(),
+                cluster.expected_measurement(),
+                handshake_seed(seed, 0),
+            )
+        })??;
+        Ok(ClusterClient {
+            seed,
+            handshakes: 1,
+            affinity,
+            replica,
+            broker,
+        })
+    }
+
+    /// The replica this client is currently pinned to.
+    #[must_use]
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    /// The client's stable routing key.
+    #[must_use]
+    pub fn affinity(&self) -> &[u8; 32] {
+        &self.affinity
+    }
+
+    /// One private search through the fleet (full engine round trip).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::RetriesExhausted`] (or a routing error) after
+    /// [`MAX_FAILOVERS`] unsuccessful failovers.
+    pub fn search(
+        &mut self,
+        cluster: &Cluster,
+        query: &str,
+    ) -> Result<Vec<WireResult>, ClusterError> {
+        self.search_inner(cluster, query, false)
+    }
+
+    /// One request in echo mode (no engine round trip) — the saturation
+    /// benchmarks' path.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterClient::search`].
+    pub fn search_echo(
+        &mut self,
+        cluster: &Cluster,
+        query: &str,
+    ) -> Result<Vec<WireResult>, ClusterError> {
+        self.search_inner(cluster, query, true)
+    }
+
+    fn search_inner(
+        &mut self,
+        cluster: &Cluster,
+        query: &str,
+        echo: bool,
+    ) -> Result<Vec<WireResult>, ClusterError> {
+        let mut last = ClusterError::RetriesExhausted;
+        for _ in 0..=MAX_FAILOVERS {
+            let target = self.replica;
+            let broker = &mut self.broker;
+            let outcome = cluster.with_replica(target, |proxy| {
+                if echo {
+                    broker.search_echo(proxy, query)
+                } else {
+                    broker.search(proxy, query)
+                }
+            });
+            match outcome {
+                Ok(Ok(results)) => return Ok(results),
+                Ok(Err(e)) => {
+                    // The replica answered but the session is broken —
+                    // typically a replica that crashed and restarted
+                    // (sessions die with the enclave). Re-attest below.
+                    last = ClusterError::Proxy(e);
+                }
+                Err(e @ (ClusterError::ReplicaDown(_) | ClusterError::NotRoutable(_))) => {
+                    // The replica stopped answering: drain it and
+                    // migrate its window before re-routing.
+                    cluster.health_sweep();
+                    last = e;
+                }
+                Err(e) => return Err(e),
+            }
+            match self.reroute(cluster) {
+                Ok(()) => {}
+                // The successor can itself die between routing and
+                // attach — sweep and let the next attempt re-route.
+                Err(e @ (ClusterError::ReplicaDown(_) | ClusterError::NotRoutable(_))) => {
+                    cluster.health_sweep();
+                    last = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// Re-routes on the affinity key and re-attests whatever replica now
+    /// owns it, with a fresh handshake seed (fresh channel keys).
+    fn reroute(&mut self, cluster: &Cluster) -> Result<(), ClusterError> {
+        let replica = cluster.route(&self.affinity)?;
+        let seed = handshake_seed(self.seed, self.handshakes);
+        self.handshakes += 1;
+        let broker = &mut self.broker;
+        cluster.with_replica(replica, |proxy| {
+            broker.reattach(proxy, cluster.ias(), cluster.expected_measurement(), seed)
+        })??;
+        self.replica = replica;
+        Ok(())
+    }
+}

@@ -1,0 +1,113 @@
+//! Cluster-tier error type.
+
+use crate::registry::ReplicaId;
+use std::error::Error;
+use std::fmt;
+use xsearch_core::error::XSearchError;
+use xsearch_sgx_sim::error::SgxError;
+
+/// Errors surfaced by the fleet tier.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The enclave/attestation layer failed (quote rejected, wrong
+    /// measurement, sealed-blob failure, rollback attempt, ...).
+    Sgx(SgxError),
+    /// The proxy stack under a replica failed (tunnel crypto, protocol,
+    /// unknown session, ...).
+    Proxy(XSearchError),
+    /// No replica with this id exists in the fleet.
+    UnknownReplica(ReplicaId),
+    /// The replica exists but its enclave is not running (crashed or
+    /// killed and not yet restarted).
+    ReplicaDown(ReplicaId),
+    /// The replica is not in the verified registry (never enrolled, or
+    /// drained/deregistered) — the router refuses to send traffic to it.
+    NotRoutable(ReplicaId),
+    /// An enrollment was attempted without (or with a stale) registry
+    /// challenge.
+    NoChallenge(ReplicaId),
+    /// The enrollment quote is authentic but does not bind the channel
+    /// key + challenge nonce the registry expected (key substitution or
+    /// quote replay).
+    QuoteBindingMismatch,
+    /// No verified, live replica is available to route to.
+    NoReplicasAvailable,
+    /// A request kept failing after the configured number of failovers.
+    RetriesExhausted,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Sgx(e) => write!(f, "enclave failure: {e}"),
+            ClusterError::Proxy(e) => write!(f, "replica proxy failure: {e}"),
+            ClusterError::UnknownReplica(id) => write!(f, "unknown replica {id}"),
+            ClusterError::ReplicaDown(id) => write!(f, "replica {id} is down"),
+            ClusterError::NotRoutable(id) => {
+                write!(f, "replica {id} is not in the verified registry")
+            }
+            ClusterError::NoChallenge(id) => {
+                write!(f, "no outstanding enrollment challenge for replica {id}")
+            }
+            ClusterError::QuoteBindingMismatch => {
+                write!(
+                    f,
+                    "enrollment quote does not bind the expected key and nonce"
+                )
+            }
+            ClusterError::NoReplicasAvailable => write!(f, "no live verified replicas"),
+            ClusterError::RetriesExhausted => write!(f, "request failed after all failovers"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Sgx(e) => Some(e),
+            ClusterError::Proxy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SgxError> for ClusterError {
+    fn from(e: SgxError) -> Self {
+        ClusterError::Sgx(e)
+    }
+}
+
+impl From<XSearchError> for ClusterError {
+    fn from(e: XSearchError) -> Self {
+        ClusterError::Proxy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ClusterError::ReplicaDown(ReplicaId(3))
+            .to_string()
+            .contains('3'));
+        assert!(ClusterError::QuoteBindingMismatch
+            .to_string()
+            .contains("quote"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = ClusterError::Sgx(SgxError::QuoteRejected);
+        assert!(e.source().is_some());
+        assert!(ClusterError::NoReplicasAvailable.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

@@ -1,0 +1,428 @@
+//! The fleet: N enclave replicas behind an untrusted routing front tier.
+//!
+//! # Trust model
+//!
+//! The router extends the paper's adversary model unchanged: like the
+//! proxy *host*, the front tier is untrusted. It only ever handles
+//! (a) opaque routing keys, (b) already-encrypted tunnel frames, and
+//! (c) sealed history blobs during failover. Privacy rests on the same
+//! two pillars as the single-proxy system — attestation before traffic
+//! (here: the registry verifies every replica's enrollment quote, and
+//! every broker still attests its own replica end-to-end) and
+//! end-to-end encryption into the enclave.
+//!
+//! # Failover
+//!
+//! A replica that stops answering is **drained** (deregistered, removed
+//! from the ring), its newest sealed history snapshot is **migrated** to
+//! a designated successor — the next distinct live replica clockwise
+//! from the failed replica's primary ring point (the orchestrator only
+//! holds ciphertext end to end) — and in-flight requests are **retried**
+//! by their [`crate::client::ClusterClient`] against whichever replica
+//! now owns their affinity key, after a fresh attestation. (With virtual
+//! nodes a failed replica's key ranges scatter over several inheritors,
+//! so a client does not necessarily land on the replica that adopted the
+//! window; the guarantee is that the window survives *in the fleet*.)
+//! Monotonic versions make the migration rollback-safe: the source can
+//! never restore the migrated-away window, and nobody can re-offer a
+//! superseded snapshot.
+
+use crate::error::ClusterError;
+use crate::node::ReplicaNode;
+use crate::placement::{HashRing, PlacementPolicy};
+use crate::registry::{ReplicaId, ReplicaRegistry};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xsearch_core::config::XSearchConfig;
+use xsearch_core::proxy::XSearchProxy;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_net_sim::link::FleetModel;
+use xsearch_sgx_sim::attestation::AttestationService;
+use xsearch_sgx_sim::measurement::Measurement;
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of replica slots.
+    pub replicas: usize,
+    /// Per-replica proxy configuration (each replica gets a distinct
+    /// derived `seed`, so channel identity keys differ).
+    pub proxy: XSearchConfig,
+    /// How the router places requests.
+    pub placement: PlacementPolicy,
+    /// Seal the history after this many served requests per replica —
+    /// the recovery-point knob: 1 means a crash loses nothing (every
+    /// request is snapshotted before the next), larger values trade
+    /// recovery freshness for throughput.
+    pub seal_every: usize,
+    /// Virtual nodes per replica on the consistent-hash ring.
+    pub vnodes: usize,
+    /// Base seed for attestation service, challenges and host RNGs.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            replicas: 4,
+            proxy: XSearchConfig::default(),
+            placement: PlacementPolicy::ConsistentHash,
+            seal_every: 1,
+            vnodes: 64,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// What one failover did (returned by [`Cluster::health_sweep`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// The drained replica.
+    pub failed: ReplicaId,
+    /// Where its sealed window went (`None` when no live successor).
+    pub successor: Option<ReplicaId>,
+    /// Queries restored into the successor's window.
+    pub migrated_queries: usize,
+}
+
+/// A fleet of attested enclave proxy replicas behind a routing tier.
+pub struct Cluster {
+    config: ClusterConfig,
+    ias: AttestationService,
+    expected: Measurement,
+    registry: ReplicaRegistry,
+    nodes: Vec<Arc<ReplicaNode>>,
+    ring: Mutex<HashRing>,
+    rr: AtomicUsize,
+    /// Sum of accounted router↔replica hop delays (ns) — reported by the
+    /// scaling bench; never slept.
+    accounted_delay_ns: AtomicU64,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("replicas", &self.nodes.len())
+            .field("routable", &self.registry.len())
+            .field("placement", &self.config.placement)
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Launches `config.replicas` replicas, enrolls each in the registry
+    /// through the challenge/quote protocol, and builds the routing ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.replicas` is zero, or if a freshly launched
+    /// replica fails its own enrollment (impossible unless the model is
+    /// broken — every replica runs the canonical code on a provisioned
+    /// platform).
+    #[must_use]
+    pub fn launch(engine: Arc<SearchEngine>, config: ClusterConfig) -> Self {
+        assert!(config.replicas > 0, "a fleet needs at least one replica");
+        let ias = AttestationService::from_seed(config.seed);
+        let links = FleetModel::new(config.replicas);
+        let nodes: Vec<Arc<ReplicaNode>> = (0..config.replicas)
+            .map(|i| {
+                let mut proxy_config = config.proxy.clone();
+                // Distinct enclave seed per replica: distinct identity
+                // keys and RNG streams.
+                proxy_config.seed = config
+                    .proxy
+                    .seed
+                    .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                Arc::new(ReplicaNode::launch(
+                    ReplicaId(i),
+                    proxy_config,
+                    engine.clone(),
+                    &ias,
+                    links.link(i).clone(),
+                    config.seed ^ (0xB0B0 + i as u64),
+                ))
+            })
+            .collect();
+        let expected = nodes[0]
+            .proxy()
+            .as_ref()
+            .expect("just launched")
+            .expected_measurement();
+        let registry = ReplicaRegistry::new(ias.clone(), expected, config.seed);
+        let cluster = Cluster {
+            config,
+            ias,
+            expected,
+            registry,
+            nodes,
+            ring: Mutex::new(HashRing::default()),
+            rr: AtomicUsize::new(0),
+            accounted_delay_ns: AtomicU64::new(0),
+        };
+        for node in &cluster.nodes {
+            cluster
+                .enroll(node.id())
+                .expect("fresh replica must enroll");
+        }
+        cluster
+    }
+
+    /// The fleet's attestation service (brokers verify quotes with it).
+    #[must_use]
+    pub fn ias(&self) -> &AttestationService {
+        &self.ias
+    }
+
+    /// The pinned proxy measurement every replica must present.
+    #[must_use]
+    pub fn expected_measurement(&self) -> Measurement {
+        self.expected
+    }
+
+    /// The membership registry.
+    #[must_use]
+    pub fn registry(&self) -> &ReplicaRegistry {
+        &self.registry
+    }
+
+    /// All replica slots (up or down, routable or not).
+    #[must_use]
+    pub fn replica_ids(&self) -> Vec<ReplicaId> {
+        self.nodes.iter().map(|n| n.id()).collect()
+    }
+
+    /// The node for `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownReplica`] for an out-of-range id.
+    pub fn node(&self, id: ReplicaId) -> Result<&Arc<ReplicaNode>, ClusterError> {
+        self.nodes.get(id.0).ok_or(ClusterError::UnknownReplica(id))
+    }
+
+    /// Sum of accounted router↔replica hop delays so far.
+    #[must_use]
+    pub fn accounted_network_delay(&self) -> Duration {
+        Duration::from_nanos(self.accounted_delay_ns.load(Ordering::Relaxed))
+    }
+
+    fn rebuild_ring(&self) {
+        let routable = self.registry.routable();
+        *self.ring.lock() = HashRing::build(&routable, self.config.vnodes);
+    }
+
+    /// Enrolls (or re-enrolls) `id` through the challenge/quote protocol
+    /// and rebuilds the ring.
+    ///
+    /// # Errors
+    ///
+    /// Registry verification errors; [`ClusterError::ReplicaDown`] when
+    /// the enclave is not running.
+    pub fn enroll(&self, id: ReplicaId) -> Result<(), ClusterError> {
+        let node = self.node(id)?;
+        let nonce = self.registry.challenge(id);
+        let guard = node.proxy();
+        let proxy = guard.as_ref().ok_or(ClusterError::ReplicaDown(id))?;
+        let (key, quote) = proxy.enrollment_quote(&nonce)?;
+        self.registry.register(id, key, &quote)?;
+        drop(guard);
+        self.rebuild_ring();
+        Ok(())
+    }
+
+    /// Picks a replica for `affinity` under the configured placement
+    /// policy. Only verified (routable) replicas are candidates; the
+    /// affinity key is an opaque, stable per-client byte string — the
+    /// router never sees client channel keys or plaintext.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoReplicasAvailable`] when nothing is routable.
+    pub fn route(&self, affinity: &[u8]) -> Result<ReplicaId, ClusterError> {
+        match self.config.placement {
+            PlacementPolicy::ConsistentHash => {
+                // Walk the ring but skip anything no longer verified:
+                // the refusal to route to deregistered replicas must not
+                // depend on the ring having been rebuilt yet.
+                let ring = self.ring.lock();
+                let choice = ring
+                    .walk_from(affinity)
+                    .find(|&id| self.registry.is_routable(id));
+                choice.ok_or(ClusterError::NoReplicasAvailable)
+            }
+            PlacementPolicy::LeastLoaded => self
+                .registry
+                .routable()
+                .into_iter()
+                .min_by_key(|&id| {
+                    (
+                        self.nodes.get(id.0).map_or(usize::MAX, |n| n.inflight()),
+                        id,
+                    )
+                })
+                .ok_or(ClusterError::NoReplicasAvailable),
+            PlacementPolicy::RoundRobin => {
+                let routable = self.registry.routable();
+                if routable.is_empty() {
+                    return Err(ClusterError::NoReplicasAvailable);
+                }
+                let i = self.rr.fetch_add(1, Ordering::Relaxed) % routable.len();
+                Ok(routable[i])
+            }
+        }
+    }
+
+    /// Runs `f` against the live proxy of `id`: the forwarding primitive
+    /// the front tier offers. The frames `f` moves are already encrypted
+    /// end-to-end; this tier adds only the accounted data-center hop,
+    /// in-flight accounting, and the sealing cadence.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NotRoutable`] for unverified/deregistered
+    /// replicas, [`ClusterError::ReplicaDown`] when the enclave is not
+    /// running.
+    pub fn with_replica<T>(
+        &self,
+        id: ReplicaId,
+        f: impl FnOnce(&XSearchProxy) -> T,
+    ) -> Result<T, ClusterError> {
+        let node = self.node(id)?;
+        if !self.registry.is_routable(id) {
+            return Err(ClusterError::NotRoutable(id));
+        }
+        let guard = node.proxy();
+        let proxy = guard.as_ref().ok_or(ClusterError::ReplicaDown(id))?;
+        node.enter();
+        let hop = node.sample_rtt();
+        self.accounted_delay_ns
+            .fetch_add(hop.as_nanos() as u64, Ordering::Relaxed);
+        let out = f(proxy);
+        node.exit();
+        if node.seal_due(self.config.seal_every) {
+            node.seal_snapshot(proxy);
+        }
+        Ok(out)
+    }
+
+    /// Hard-crashes `id`'s enclave (churn injection): sessions and the
+    /// in-EPC window vanish; the platform vault and the newest sealed
+    /// snapshot survive. The replica stays registered until a
+    /// [`Cluster::health_sweep`] drains it — exactly the window in which
+    /// clients see [`ClusterError::ReplicaDown`] and retry.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownReplica`] for an out-of-range id.
+    pub fn kill(&self, id: ReplicaId) -> Result<(), ClusterError> {
+        self.node(id)?.kill();
+        Ok(())
+    }
+
+    /// Restarts a crashed replica: relaunches the enclave, restores the
+    /// newest locally sealed snapshot if it is still current (the vault
+    /// rejects anything already migrated away), and re-enrolls through a
+    /// fresh challenge quote. Returns the number of restored queries.
+    ///
+    /// # Errors
+    ///
+    /// Registry verification errors; [`ClusterError::UnknownReplica`]
+    /// for an out-of-range id.
+    pub fn restart(&self, id: ReplicaId) -> Result<usize, ClusterError> {
+        let node = self.node(id)?;
+        let restored = node.relaunch(&self.ias);
+        self.enroll(id)?;
+        Ok(restored)
+    }
+
+    /// One health pass: every replica that is registered but whose
+    /// enclave no longer answers is drained and failed over. Returns a
+    /// report per failover performed. Concurrent sweeps are safe: the
+    /// registry's deregister is the single decision point, so exactly
+    /// one sweeper migrates each failed replica.
+    pub fn health_sweep(&self) -> Vec<FailoverReport> {
+        let mut reports = Vec::new();
+        for node in &self.nodes {
+            let id = node.id();
+            if node.is_up() || !self.registry.is_routable(id) {
+                continue;
+            }
+            // Down but still registered: drain. Only the sweeper that
+            // wins the deregistration race performs the migration.
+            if !self.registry.deregister(id) {
+                continue;
+            }
+            self.rebuild_ring();
+            reports.push(self.failover(id));
+        }
+        reports
+    }
+
+    /// Migrates the failed replica's sealed window to its designated
+    /// successor. The snapshot is only taken out of the failed node's
+    /// storage once a live successor proxy is in hand, and is put back
+    /// on adoption failure — a fleet with no successor (or a failed
+    /// adoption) keeps the blob so a later restart can still recover the
+    /// window.
+    fn failover(&self, failed: ReplicaId) -> FailoverReport {
+        let successor = self.pick_successor(failed);
+        let mut migrated_queries = 0;
+        if let Some(succ_id) = successor {
+            let failed_node = &self.nodes[failed.0];
+            let succ_node = &self.nodes[succ_id.0];
+            let guard = succ_node.proxy();
+            if let Some(succ_proxy) = guard.as_ref() {
+                if let Some(blob) = failed_node.take_sealed() {
+                    // Atomic adoption inside the successor enclave: the
+                    // front tier only ever relays the opaque blob, the
+                    // source vault retires it (no rollback at a
+                    // restarted `failed`), and there is no
+                    // destination-version window to race with the
+                    // successor's sealing cadence.
+                    match succ_proxy.adopt_migrated_history(failed_node.vault(), &blob) {
+                        Ok(n) => {
+                            migrated_queries = n;
+                            // Snapshot the merged window right away so
+                            // even a prompt crash of the successor
+                            // cannot lose it.
+                            succ_node.seal_snapshot(succ_proxy);
+                        }
+                        Err(_) => failed_node.adopt_sealed(blob),
+                    }
+                }
+            }
+        }
+        FailoverReport {
+            failed,
+            successor,
+            migrated_queries,
+        }
+    }
+
+    /// The designated migration target for `failed`'s sealed window:
+    /// under consistent hashing, the next distinct live routable replica
+    /// clockwise from the failed replica's primary ring point; under the
+    /// other policies, the least-loaded live replica.
+    fn pick_successor(&self, failed: ReplicaId) -> Option<ReplicaId> {
+        let candidate_ok = |id: &ReplicaId| {
+            *id != failed
+                && self.registry.is_routable(*id)
+                && self.nodes.get(id.0).is_some_and(|n| n.is_up())
+        };
+        match self.config.placement {
+            PlacementPolicy::ConsistentHash => {
+                let ring = self.ring.lock();
+                let successor = ring.walk_from_replica(failed).find(|id| candidate_ok(id));
+                successor
+            }
+            PlacementPolicy::LeastLoaded | PlacementPolicy::RoundRobin => self
+                .registry
+                .routable()
+                .into_iter()
+                .filter(|id| candidate_ok(id))
+                .min_by_key(|&id| (self.nodes[id.0].inflight(), id)),
+        }
+    }
+}

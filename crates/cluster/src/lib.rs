@@ -1,0 +1,330 @@
+//! **The cluster tier**: a fleet of attested X-Search enclave replicas
+//! behind an untrusted routing front tier.
+//!
+//! The paper evaluates one SGX proxy; serving heavy traffic needs many.
+//! This crate scales the system *across enclaves* the way `xsearch-core`
+//! scales it across threads, without changing the adversary model:
+//!
+//! * **membership is attested** — a replica joins only after the
+//!   [`registry::ReplicaRegistry`] verifies its enrollment quote
+//!   (authentic, pinned measurement, bound to a fresh challenge nonce),
+//!   and the router refuses traffic to anything unverified;
+//! * **the router is untrusted** — it forwards already-encrypted tunnel
+//!   frames keyed by an opaque affinity string; placement is pluggable
+//!   ([`placement::PlacementPolicy`]): consistent-hash session affinity
+//!   (a client's last-x history stays coherent on one replica),
+//!   least-loaded, or round-robin;
+//! * **failure is survivable** — a replica that stops answering is
+//!   drained by [`fleet::Cluster::health_sweep`], its sealed history
+//!   snapshot (monotonic-versioned, rollback-protected) migrates to its
+//!   ring successor, and clients re-attest the successor and retry
+//!   in-flight requests ([`client::ClusterClient`]).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xsearch_cluster::{Cluster, ClusterClient, ClusterConfig};
+//! use xsearch_core::config::XSearchConfig;
+//! use xsearch_engine::{corpus::CorpusConfig, engine::SearchEngine};
+//!
+//! let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+//!     docs_per_topic: 5,
+//!     ..Default::default()
+//! }));
+//! let cluster = Cluster::launch(
+//!     engine,
+//!     ClusterConfig {
+//!         replicas: 4,
+//!         proxy: XSearchConfig { k: 2, history_capacity: 1000, ..Default::default() },
+//!         ..Default::default()
+//!     },
+//! );
+//!
+//! let mut client = ClusterClient::attach(&cluster, 7).unwrap();
+//! let first = client.replica();
+//! client.search_echo(&cluster, "cheap flights").unwrap();
+//!
+//! // Kill the client's replica mid-session: the next request drains it,
+//! // migrates its sealed window to the ring successor, re-attests, and
+//! // succeeds anyway.
+//! cluster.kill(first).unwrap();
+//! client.search_echo(&cluster, "hotel rome").unwrap();
+//! assert_ne!(client.replica(), first);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod fleet;
+pub mod node;
+pub mod placement;
+pub mod registry;
+
+pub use client::ClusterClient;
+pub use error::ClusterError;
+pub use fleet::{Cluster, ClusterConfig, FailoverReport};
+pub use placement::PlacementPolicy;
+pub use registry::{ReplicaId, ReplicaRegistry};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xsearch_core::config::XSearchConfig;
+    use xsearch_engine::corpus::CorpusConfig;
+    use xsearch_engine::engine::SearchEngine;
+
+    fn engine() -> Arc<SearchEngine> {
+        Arc::new(SearchEngine::build(&CorpusConfig {
+            docs_per_topic: 5,
+            ..Default::default()
+        }))
+    }
+
+    fn small_cluster(replicas: usize, placement: PlacementPolicy) -> Cluster {
+        Cluster::launch(
+            engine(),
+            ClusterConfig {
+                replicas,
+                placement,
+                proxy: XSearchConfig {
+                    k: 2,
+                    history_capacity: 10_000,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn launch_enrolls_every_replica() {
+        let cluster = small_cluster(4, PlacementPolicy::ConsistentHash);
+        assert_eq!(cluster.registry().len(), 4);
+        for id in cluster.replica_ids() {
+            assert!(cluster.registry().is_routable(id));
+            assert!(cluster.node(id).unwrap().is_up());
+        }
+    }
+
+    #[test]
+    fn replicas_share_one_measurement_but_not_identity_keys() {
+        let cluster = small_cluster(3, PlacementPolicy::ConsistentHash);
+        let keys: Vec<_> = cluster
+            .replica_ids()
+            .into_iter()
+            .map(|id| cluster.registry().verified_key(id).unwrap())
+            .collect();
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[1], keys[2]);
+    }
+
+    #[test]
+    fn consistent_hash_affinity_is_sticky() {
+        let cluster = small_cluster(4, PlacementPolicy::ConsistentHash);
+        let mut client = ClusterClient::attach(&cluster, 42).unwrap();
+        let home = client.replica();
+        for i in 0..10 {
+            client.search_echo(&cluster, &format!("query {i}")).unwrap();
+            assert_eq!(client.replica(), home, "affinity must be sticky");
+        }
+        // All ten queries (plus their fakes' pushes) landed on one
+        // replica's window.
+        let len = cluster
+            .with_replica(home, xsearch_core::proxy::XSearchProxy::history_len)
+            .unwrap();
+        assert_eq!(len, 10);
+    }
+
+    #[test]
+    fn round_robin_spreads_single_requests() {
+        let cluster = small_cluster(4, PlacementPolicy::RoundRobin);
+        // Four sequential routes hit four distinct replicas.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            seen.insert(cluster.route(b"whoever").unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_replicas() {
+        let cluster = small_cluster(2, PlacementPolicy::LeastLoaded);
+        let busy = ReplicaId(0);
+        let idle = ReplicaId(1);
+        // While replica 0 holds a request in flight, routing must prefer
+        // replica 1 — route from *inside* the forwarded request, where
+        // the in-flight gauge is up.
+        let picked = cluster
+            .with_replica(busy, |_| cluster.route(b"x").unwrap())
+            .unwrap();
+        assert_eq!(picked, idle);
+        // With both idle again, the tie breaks to the lowest id.
+        assert_eq!(cluster.route(b"x").unwrap(), busy);
+    }
+
+    #[test]
+    fn router_refuses_unverified_and_deregistered_replicas() {
+        let cluster = small_cluster(3, PlacementPolicy::ConsistentHash);
+        let id = ReplicaId(1);
+        assert!(cluster.registry().deregister(id));
+        // Direct forwarding is refused...
+        assert_eq!(
+            cluster.with_replica(id, |_| ()).unwrap_err(),
+            ClusterError::NotRoutable(id)
+        );
+        // ...and after a ring rebuild (any enroll/sweep does one) no
+        // route resolves to the deregistered replica.
+        cluster.health_sweep();
+        for i in 0..200u64 {
+            assert_ne!(cluster.route(&i.to_le_bytes()).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn health_sweep_drains_and_migrates_to_successor() {
+        let cluster = small_cluster(4, PlacementPolicy::ConsistentHash);
+        let mut client = ClusterClient::attach(&cluster, 9).unwrap();
+        let victim = client.replica();
+        for q in ["alpha one", "beta two", "gamma three"] {
+            client.search_echo(&cluster, q).unwrap();
+        }
+        let window = cluster
+            .with_replica(victim, xsearch_core::proxy::XSearchProxy::history_snapshot)
+            .unwrap();
+        assert_eq!(window.len(), 3);
+
+        cluster.kill(victim).unwrap();
+        let reports = cluster.health_sweep();
+        assert_eq!(reports.len(), 1);
+        let report = &reports[0];
+        assert_eq!(report.failed, victim);
+        let successor = report.successor.expect("three live replicas remain");
+        assert_eq!(report.migrated_queries, 3);
+        assert!(!cluster.registry().is_routable(victim));
+
+        // The successor's window now contains the victim's.
+        let merged = cluster
+            .with_replica(
+                successor,
+                xsearch_core::proxy::XSearchProxy::history_snapshot,
+            )
+            .unwrap();
+        for q in &window {
+            assert!(merged.contains(q), "migrated window must contain {q:?}");
+        }
+
+        // A second sweep is a no-op (idempotent drain).
+        assert!(cluster.health_sweep().is_empty());
+    }
+
+    #[test]
+    fn client_rides_out_kill_and_restart() {
+        let cluster = small_cluster(4, PlacementPolicy::ConsistentHash);
+        let mut client = ClusterClient::attach(&cluster, 5).unwrap();
+        let home = client.replica();
+        client.search_echo(&cluster, "before the crash").unwrap();
+
+        cluster.kill(home).unwrap();
+        // The very next request drains the dead replica, re-routes,
+        // re-attests, and succeeds.
+        client.search_echo(&cluster, "during failover").unwrap();
+        assert_ne!(client.replica(), home);
+
+        // Restart: the replica re-enrolls (fresh challenge quote) and
+        // serves again. The existing client's session stays sticky on
+        // the successor (sessions only move on failure), but a freshly
+        // attached client with the same affinity routes home again.
+        cluster.restart(home).unwrap();
+        assert!(cluster.registry().is_routable(home));
+        let on_successor = client.replica();
+        client.search_echo(&cluster, "after restart").unwrap();
+        assert_eq!(client.replica(), on_successor);
+        assert_eq!(cluster.route(client.affinity()).unwrap(), home);
+    }
+
+    #[test]
+    fn restart_without_migration_recovers_own_window() {
+        // Killed and restarted before any sweep ran: the replica's own
+        // sealed snapshot is still current, so the window survives
+        // locally.
+        let cluster = small_cluster(4, PlacementPolicy::ConsistentHash);
+        let mut client = ClusterClient::attach(&cluster, 5).unwrap();
+        let home = client.replica();
+        for q in ["w1", "w2", "w3", "w4"] {
+            client.search_echo(&cluster, q).unwrap();
+        }
+        cluster.kill(home).unwrap();
+        let restored = cluster.restart(home).unwrap();
+        assert_eq!(restored, 4, "own sealed snapshot restores on restart");
+        let window = cluster
+            .with_replica(home, xsearch_core::proxy::XSearchProxy::history_snapshot)
+            .unwrap();
+        assert_eq!(window, vec!["w1", "w2", "w3", "w4"]);
+    }
+
+    #[test]
+    fn migrated_window_cannot_be_restored_at_the_source() {
+        // Kill → sweep (migrates) → restart: the source's stale snapshot
+        // must NOT resurrect — the window lives at the successor now.
+        let cluster = small_cluster(4, PlacementPolicy::ConsistentHash);
+        let mut client = ClusterClient::attach(&cluster, 9).unwrap();
+        let victim = client.replica();
+        client.search_echo(&cluster, "the one window").unwrap();
+
+        cluster.kill(victim).unwrap();
+        let reports = cluster.health_sweep();
+        assert_eq!(reports[0].migrated_queries, 1);
+
+        let restored = cluster.restart(victim).unwrap();
+        assert_eq!(
+            restored, 0,
+            "the migrated-away window must not come back (rollback protection)"
+        );
+        let window = cluster
+            .with_replica(victim, xsearch_core::proxy::XSearchProxy::history_snapshot)
+            .unwrap();
+        assert!(window.is_empty());
+    }
+
+    #[test]
+    fn single_replica_failure_leaves_no_successor() {
+        let cluster = small_cluster(1, PlacementPolicy::ConsistentHash);
+        let mut client = ClusterClient::attach(&cluster, 1).unwrap();
+        client.search_echo(&cluster, "the only window").unwrap();
+
+        cluster.kill(ReplicaId(0)).unwrap();
+        let reports = cluster.health_sweep();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].successor, None);
+        assert_eq!(
+            cluster.route(b"anyone").unwrap_err(),
+            ClusterError::NoReplicasAvailable
+        );
+        // Restart brings the fleet back — and because no successor ever
+        // adopted the window, the sealed snapshot must still be there to
+        // restore (a successor-less sweep must not consume it).
+        assert_eq!(cluster.restart(ReplicaId(0)).unwrap(), 1);
+        assert!(cluster.route(b"anyone").is_ok());
+        let window = cluster
+            .with_replica(
+                ReplicaId(0),
+                xsearch_core::proxy::XSearchProxy::history_snapshot,
+            )
+            .unwrap();
+        assert_eq!(window, vec!["the only window"]);
+    }
+
+    #[test]
+    fn accounted_network_delay_grows_with_traffic() {
+        let cluster = small_cluster(2, PlacementPolicy::RoundRobin);
+        let mut client = ClusterClient::attach(&cluster, 3).unwrap();
+        let before = cluster.accounted_network_delay();
+        for i in 0..5 {
+            client.search_echo(&cluster, &format!("q{i}")).unwrap();
+        }
+        assert!(cluster.accounted_network_delay() > before);
+    }
+}

@@ -1,0 +1,221 @@
+//! One fleet slot: an enclave proxy replica plus the host-side state
+//! that outlives enclave crashes.
+//!
+//! The node models a physical machine: the **enclave** (and everything
+//! in EPC — sessions, the decoy window) dies with [`ReplicaNode::kill`],
+//! while the **platform** state survives — the sealing identity and
+//! monotonic counter ([`HistoryVault`]), the untrusted storage slot
+//! holding the newest sealed snapshot, and the data-center link to the
+//! router.
+
+use crate::registry::ReplicaId;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xsearch_core::config::XSearchConfig;
+use xsearch_core::persistence::HistoryVault;
+use xsearch_core::proxy::XSearchProxy;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_net_sim::Link;
+use xsearch_sgx_sim::attestation::AttestationService;
+use xsearch_sgx_sim::sealed::{SealedBlob, SealingPlatform};
+
+/// A replica slot in the fleet.
+pub struct ReplicaNode {
+    id: ReplicaId,
+    config: XSearchConfig,
+    engine: Arc<SearchEngine>,
+    /// The enclave proxy; `None` models a crashed/killed enclave.
+    proxy: RwLock<Option<XSearchProxy>>,
+    /// Sealing identity + monotonic counter (survives enclave death).
+    vault: HistoryVault,
+    /// Untrusted storage: the newest sealed history snapshot.
+    sealed: Mutex<Option<SealedBlob>>,
+    /// Router ↔ this replica (delays accounted, not slept).
+    link: Link,
+    /// Host-side randomness for sealing nonces and link sampling.
+    rng: Mutex<StdRng>,
+    /// Requests currently inside this replica (least-loaded signal).
+    inflight: AtomicUsize,
+    /// Requests served since launch (across enclave restarts).
+    served: AtomicU64,
+    /// Monotonic request tick for the sealing cadence (every
+    /// `seal_every`-th tick snapshots; never reset).
+    seal_ticks: AtomicUsize,
+}
+
+impl std::fmt::Debug for ReplicaNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaNode")
+            .field("id", &self.id)
+            .field("up", &self.is_up())
+            .field("inflight", &self.inflight.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ReplicaNode {
+    /// Launches a replica: fresh enclave, fresh platform sealing
+    /// identity, per-replica link. `config.seed` should differ per
+    /// replica so channel identity keys differ.
+    #[must_use]
+    pub fn launch(
+        id: ReplicaId,
+        config: XSearchConfig,
+        engine: Arc<SearchEngine>,
+        ias: &AttestationService,
+        link: Link,
+        host_seed: u64,
+    ) -> Self {
+        let proxy = XSearchProxy::launch(config.clone(), engine.clone(), ias);
+        let platform = SealingPlatform::from_seed(host_seed);
+        let vault = HistoryVault::new(platform, proxy.expected_measurement());
+        ReplicaNode {
+            id,
+            config,
+            engine,
+            proxy: RwLock::new(Some(proxy)),
+            vault,
+            sealed: Mutex::new(None),
+            link,
+            rng: Mutex::new(StdRng::seed_from_u64(host_seed ^ 0xA5A5_5A5A)),
+            inflight: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            seal_ticks: AtomicUsize::new(0),
+        }
+    }
+
+    /// This node's fleet slot.
+    #[must_use]
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Whether the enclave is running.
+    #[must_use]
+    pub fn is_up(&self) -> bool {
+        self.proxy.read().is_some()
+    }
+
+    /// Read access to the live proxy (`None` while down).
+    pub(crate) fn proxy(&self) -> RwLockReadGuard<'_, Option<XSearchProxy>> {
+        self.proxy.read()
+    }
+
+    /// The node's sealing vault.
+    #[must_use]
+    pub fn vault(&self) -> &HistoryVault {
+        &self.vault
+    }
+
+    /// The router↔replica link.
+    #[must_use]
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Requests currently in flight on this replica.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Requests served since the node was created.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn enter(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn exit(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples the accounted router→replica→router hop.
+    pub(crate) fn sample_rtt(&self) -> Duration {
+        self.link.rtt(&mut *self.rng.lock())
+    }
+
+    /// Ticks the sealing cadence; returns `true` when a snapshot is due
+    /// (every `every` served requests). The counter is never reset —
+    /// each tick takes a unique value and exactly every `every`-th one
+    /// fires, so concurrent requests cannot lose cadence ticks.
+    pub(crate) fn seal_due(&self, every: usize) -> bool {
+        let every = every.max(1);
+        let n = self.seal_ticks.fetch_add(1, Ordering::AcqRel) + 1;
+        n.is_multiple_of(every)
+    }
+
+    /// Seals the live window through the vault and publishes the blob to
+    /// this node's untrusted storage slot (newest version wins — two
+    /// racing sealers cannot regress the stored snapshot).
+    pub(crate) fn seal_snapshot(&self, proxy: &XSearchProxy) {
+        let blob = proxy.seal_history_snapshot(&self.vault, &mut *self.rng.lock());
+        self.adopt_sealed(blob);
+    }
+
+    /// Stores a snapshot in the untrusted storage slot if it is newer
+    /// than what the slot holds.
+    pub(crate) fn adopt_sealed(&self, blob: SealedBlob) {
+        let mut slot = self.sealed.lock();
+        match &*slot {
+            Some(existing) if existing.version() >= blob.version() => {}
+            _ => *slot = Some(blob),
+        }
+    }
+
+    /// Takes the newest sealed snapshot out of untrusted storage (the
+    /// failover migration consumes it).
+    pub(crate) fn take_sealed(&self) -> Option<SealedBlob> {
+        self.sealed.lock().take()
+    }
+
+    /// A copy of the newest sealed snapshot, if any.
+    #[must_use]
+    pub fn sealed_snapshot(&self) -> Option<SealedBlob> {
+        self.sealed.lock().clone()
+    }
+
+    /// Hard-crashes the enclave: sessions and the in-EPC window are
+    /// gone; only sealed snapshots (and the platform vault) survive.
+    pub(crate) fn kill(&self) {
+        *self.proxy.write() = None;
+    }
+
+    /// Relaunches the enclave after a crash. If the untrusted storage
+    /// slot still holds a snapshot, the fresh enclave adopts it through
+    /// the same atomic version-claiming path failover migration uses —
+    /// so even a restart racing a concurrent health sweep cannot restore
+    /// a window that a successor adopted (or is adopting): exactly one
+    /// consumer wins each sealed version. Returns the number of restored
+    /// queries.
+    pub(crate) fn relaunch(&self, ias: &AttestationService) -> usize {
+        let proxy = XSearchProxy::launch(self.config.clone(), self.engine.clone(), ias);
+        let mut restored = 0;
+        if let Some(blob) = self.sealed.lock().clone() {
+            if let Ok(n) = proxy.adopt_migrated_history(&self.vault, &blob) {
+                restored = n;
+            }
+            // On error the snapshot was already claimed (migrated to a
+            // successor) or is foreign: start empty rather than
+            // resurrect a superseded window.
+        }
+        // Re-seal immediately so the slot reflects the restored state at
+        // a fresh monotonic version.
+        if restored > 0 {
+            let mut rng = self.rng.lock();
+            let blob = proxy.seal_history_snapshot(&self.vault, &mut *rng);
+            drop(rng);
+            self.adopt_sealed(blob);
+        }
+        *self.proxy.write() = Some(proxy);
+        restored
+    }
+}

@@ -1,0 +1,216 @@
+//! Pluggable request placement for the fleet router.
+//!
+//! Three policies, matching what the scaling and failover experiments
+//! need to compare:
+//!
+//! * [`PlacementPolicy::ConsistentHash`] — session affinity: a client's
+//!   requests keep landing on the same replica (64 virtual nodes per
+//!   replica on a hash ring), so the *last-x* window that replica
+//!   accumulates stays coherent with that client's recent traffic, and a
+//!   membership change only remaps the keys adjacent to the changed
+//!   replica;
+//! * [`PlacementPolicy::LeastLoaded`] — pick the replica with the fewest
+//!   in-flight requests (best raw balance, no affinity);
+//! * [`PlacementPolicy::RoundRobin`] — the classic strawman.
+
+use crate::registry::ReplicaId;
+use xsearch_crypto::sha256::Sha256;
+
+/// How the router picks a replica for a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Consistent-hash session affinity on the client's routing key.
+    ConsistentHash,
+    /// Fewest in-flight requests wins.
+    LeastLoaded,
+    /// Rotate through live replicas.
+    RoundRobin,
+}
+
+/// First 8 bytes of a domain-separated SHA-256, as the ring coordinate.
+fn hash64(domain: &[u8], parts: &[&[u8]]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(domain);
+    for p in parts {
+        h.update(p);
+    }
+    let digest = h.finalize();
+    u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"))
+}
+
+/// A consistent-hash ring over the currently routable replicas.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    /// Sorted (coordinate, replica) points; each replica contributes
+    /// `vnodes` points.
+    points: Vec<(u64, ReplicaId)>,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` virtual nodes per replica.
+    #[must_use]
+    pub fn build(ids: &[ReplicaId], vnodes: usize) -> Self {
+        let mut points = Vec::with_capacity(ids.len() * vnodes);
+        for &id in ids {
+            for v in 0..vnodes {
+                points.push((vnode_coord(id, v as u64), id));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// Whether the ring has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The replica owning `key` (first point clockwise from the key's
+    /// coordinate).
+    #[must_use]
+    pub fn lookup(&self, key: &[u8]) -> Option<ReplicaId> {
+        self.walk_from(key).next()
+    }
+
+    /// Distinct replicas in clockwise order starting at `key`'s
+    /// coordinate — element 0 is the owner, then the replicas that would
+    /// take over this key as earlier candidates drop out.
+    pub fn walk_from(&self, key: &[u8]) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.walk_from_coord(hash64(b"xsearch-ring-key-v1", &[key]))
+    }
+
+    /// Distinct replicas in clockwise order starting at `id`'s **primary
+    /// vnode coordinate** (vnode 0) — the failover walk: element 0 is
+    /// the replica that now owns the failed replica's primary point,
+    /// i.e. its designated successor. Works whether or not `id` is still
+    /// on the ring (the coordinate is derived, not looked up).
+    pub fn walk_from_replica(&self, id: ReplicaId) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.walk_from_coord(vnode_coord(id, 0))
+    }
+
+    fn walk_from_coord(&self, coord: u64) -> impl Iterator<Item = ReplicaId> + '_ {
+        let start = self.points.partition_point(|&(c, _)| c < coord);
+        let n = self.points.len();
+        let mut seen: Vec<ReplicaId> = Vec::new();
+        (0..n).filter_map(move |i| {
+            let (_, id) = self.points[(start + i) % n];
+            if seen.contains(&id) {
+                None
+            } else {
+                seen.push(id);
+                Some(id)
+            }
+        })
+    }
+}
+
+/// The ring coordinate of one of `id`'s virtual nodes.
+fn vnode_coord(id: ReplicaId, vnode: u64) -> u64 {
+    hash64(
+        b"xsearch-ring-vnode-v1",
+        &[&(id.0 as u64).to_le_bytes(), &vnode.to_le_bytes()],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn ids(n: usize) -> Vec<ReplicaId> {
+        (0..n).map(ReplicaId).collect()
+    }
+
+    #[test]
+    fn lookup_is_deterministic_and_total() {
+        let ring = HashRing::build(&ids(4), 64);
+        for i in 0..100u64 {
+            let key = i.to_le_bytes();
+            let a = ring.lookup(&key).unwrap();
+            let b = ring.lookup(&key).unwrap();
+            assert_eq!(a, b);
+            assert!(a.0 < 4);
+        }
+    }
+
+    #[test]
+    fn empty_ring_routes_nothing() {
+        let ring = HashRing::build(&[], 64);
+        assert!(ring.is_empty());
+        assert_eq!(ring.lookup(b"key"), None);
+    }
+
+    #[test]
+    fn load_spreads_over_replicas() {
+        let ring = HashRing::build(&ids(4), 64);
+        let mut counts: HashMap<ReplicaId, usize> = HashMap::new();
+        for i in 0..4000u64 {
+            *counts
+                .entry(ring.lookup(&i.to_le_bytes()).unwrap())
+                .or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4, "every replica owns some keys");
+        for (&id, &c) in &counts {
+            assert!(
+                (400..=2200).contains(&c),
+                "replica {id} owns {c} of 4000 keys — too skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_replica_only_remaps_its_keys() {
+        let before = HashRing::build(&ids(4), 64);
+        let after = HashRing::build(&ids(3), 64); // replica 3 removed
+        let mut moved = 0;
+        for i in 0..4000u64 {
+            let key = i.to_le_bytes();
+            let owner_before = before.lookup(&key).unwrap();
+            let owner_after = after.lookup(&key).unwrap();
+            if owner_before != owner_after {
+                moved += 1;
+                assert_eq!(
+                    owner_before,
+                    ReplicaId(3),
+                    "only the removed replica's keys may move"
+                );
+            }
+        }
+        assert!(moved > 0, "the removed replica owned something");
+        assert!(moved < 2000, "roughly a quarter of keys move, not half+");
+    }
+
+    #[test]
+    fn walk_from_replica_finds_the_primary_point_inheritor() {
+        let full = HashRing::build(&ids(4), 64);
+        let without3 = HashRing::build(&ids(3), 64); // replica 3 drained
+                                                     // The designated successor is whoever owns replica 3's primary
+                                                     // vnode coordinate once 3 is gone — the same replica that comes
+                                                     // right after 3's own point on the full ring.
+        let successor = without3.walk_from_replica(ReplicaId(3)).next().unwrap();
+        let expected = full
+            .walk_from_replica(ReplicaId(3))
+            .find(|&id| id != ReplicaId(3))
+            .unwrap();
+        assert_eq!(successor, expected);
+        // And on the full ring the walk starts at the replica itself
+        // (its own primary point owns the coordinate).
+        assert_eq!(
+            full.walk_from_replica(ReplicaId(3)).next(),
+            Some(ReplicaId(3))
+        );
+    }
+
+    #[test]
+    fn walk_yields_distinct_replicas_in_order() {
+        let ring = HashRing::build(&ids(4), 64);
+        let walked: Vec<ReplicaId> = ring.walk_from(b"some client").collect();
+        assert_eq!(walked.len(), 4);
+        let mut sorted = walked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "walk must not repeat replicas");
+        assert_eq!(walked[0], ring.lookup(b"some client").unwrap());
+    }
+}

@@ -1,0 +1,329 @@
+//! The attestation-verified replica registry.
+//!
+//! A replica joins the fleet only after presenting an enrollment quote
+//! that (a) is authentic under the fleet's attestation service, (b)
+//! carries the pinned proxy measurement, and (c) binds the replica's
+//! channel identity key to a **fresh challenge nonce** issued by the
+//! registry. The nonce makes enrollment quotes single-use: a quote
+//! captured while a replica was registered cannot be replayed to
+//! re-enroll it after deregistration, and a quote minted for one channel
+//! key cannot vouch for another.
+//!
+//! The router consults [`ReplicaRegistry::is_routable`] before every
+//! forward, so unverified or deregistered replicas never see traffic —
+//! the same trust decision the paper's broker makes per session (§4.2),
+//! lifted to fleet membership.
+
+use crate::error::ClusterError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use xsearch_core::session::registration_binding;
+use xsearch_crypto::sha256::Sha256;
+use xsearch_crypto::x25519::PublicKey;
+use xsearch_sgx_sim::attestation::{AttestationService, Quote};
+use xsearch_sgx_sim::measurement::Measurement;
+
+/// Identifies one replica slot in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReplicaId(pub usize);
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "replica-{}", self.0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Verified members: replica id → the channel identity key its
+    /// enrollment quote bound.
+    verified: HashMap<ReplicaId, PublicKey>,
+    /// Outstanding enrollment challenges (consumed on use).
+    challenges: HashMap<ReplicaId, [u8; 32]>,
+    /// Counter feeding nonce derivation — every challenge is fresh.
+    issued: u64,
+}
+
+/// The fleet's membership authority.
+#[derive(Debug)]
+pub struct ReplicaRegistry {
+    ias: AttestationService,
+    expected: Measurement,
+    seed: u64,
+    inner: Mutex<Inner>,
+}
+
+impl ReplicaRegistry {
+    /// Creates a registry pinning `expected` as the only admissible
+    /// proxy measurement. `seed` makes challenge nonces reproducible in
+    /// experiments (they remain unpredictable to replicas, which is all
+    /// replay protection needs).
+    #[must_use]
+    pub fn new(ias: AttestationService, expected: Measurement, seed: u64) -> Self {
+        ReplicaRegistry {
+            ias,
+            expected,
+            seed,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The pinned proxy measurement.
+    #[must_use]
+    pub fn expected_measurement(&self) -> Measurement {
+        self.expected
+    }
+
+    /// Issues a fresh enrollment challenge for `id`, replacing any
+    /// outstanding one. The replica must bind this nonce (together with
+    /// its channel identity key) into its enrollment quote.
+    pub fn challenge(&self, id: ReplicaId) -> [u8; 32] {
+        let mut inner = self.inner.lock();
+        inner.issued += 1;
+        let mut h = Sha256::new();
+        h.update(b"xsearch-registry-challenge-v1");
+        h.update(&self.seed.to_le_bytes());
+        h.update(&(id.0 as u64).to_le_bytes());
+        h.update(&inner.issued.to_le_bytes());
+        let nonce = h.finalize();
+        inner.challenges.insert(id, nonce);
+        nonce
+    }
+
+    /// Enrolls `id`: verifies the quote against the attestation service
+    /// and the pinned measurement, and checks it binds exactly
+    /// (`enclave_pub`, the outstanding challenge). The challenge is
+    /// consumed whether or not verification succeeds — each attempt
+    /// needs a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoChallenge`] without an outstanding challenge;
+    /// [`ClusterError::Sgx`] for an inauthentic quote or wrong
+    /// measurement; [`ClusterError::QuoteBindingMismatch`] when the
+    /// quote binds a different key or a stale nonce (replay).
+    pub fn register(
+        &self,
+        id: ReplicaId,
+        enclave_pub: PublicKey,
+        quote: &Quote,
+    ) -> Result<(), ClusterError> {
+        let nonce = self
+            .inner
+            .lock()
+            .challenges
+            .remove(&id)
+            .ok_or(ClusterError::NoChallenge(id))?;
+        self.ias.verify_expecting(quote, self.expected)?;
+        if quote.report_data != registration_binding(&enclave_pub, &nonce) {
+            return Err(ClusterError::QuoteBindingMismatch);
+        }
+        self.inner.lock().verified.insert(id, enclave_pub);
+        Ok(())
+    }
+
+    /// Removes `id` from the verified set (drain). Returns whether it
+    /// was registered — the caller that actually flips the membership
+    /// owns the follow-up failover, so concurrent sweeps stay idempotent.
+    pub fn deregister(&self, id: ReplicaId) -> bool {
+        self.inner.lock().verified.remove(&id).is_some()
+    }
+
+    /// Whether the router may send traffic to `id`.
+    #[must_use]
+    pub fn is_routable(&self, id: ReplicaId) -> bool {
+        self.inner.lock().verified.contains_key(&id)
+    }
+
+    /// The channel identity key `id`'s enrollment quote bound, if
+    /// verified.
+    #[must_use]
+    pub fn verified_key(&self, id: ReplicaId) -> Option<PublicKey> {
+        self.inner.lock().verified.get(&id).copied()
+    }
+
+    /// All currently verified replica ids, ascending.
+    #[must_use]
+    pub fn routable(&self) -> Vec<ReplicaId> {
+        let mut ids: Vec<ReplicaId> = self.inner.lock().verified.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of verified replicas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().verified.len()
+    }
+
+    /// Whether no replica is verified.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xsearch_core::config::XSearchConfig;
+    use xsearch_core::proxy::XSearchProxy;
+    use xsearch_engine::corpus::CorpusConfig;
+    use xsearch_engine::engine::SearchEngine;
+    use xsearch_sgx_sim::enclave::EnclaveBuilder;
+    use xsearch_sgx_sim::error::SgxError;
+
+    fn fleet_pieces() -> (AttestationService, XSearchProxy, ReplicaRegistry) {
+        let ias = AttestationService::from_seed(21);
+        let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+            docs_per_topic: 5,
+            ..Default::default()
+        }));
+        let proxy = XSearchProxy::launch(
+            XSearchConfig {
+                k: 1,
+                history_capacity: 100,
+                ..Default::default()
+            },
+            engine,
+            &ias,
+        );
+        let registry = ReplicaRegistry::new(ias.clone(), proxy.expected_measurement(), 9);
+        (ias, proxy, registry)
+    }
+
+    fn enroll(
+        registry: &ReplicaRegistry,
+        id: ReplicaId,
+        proxy: &XSearchProxy,
+    ) -> (PublicKey, Quote) {
+        let nonce = registry.challenge(id);
+        let (key, quote) = proxy.enrollment_quote(&nonce).unwrap();
+        registry.register(id, key, &quote).unwrap();
+        (key, quote)
+    }
+
+    #[test]
+    fn genuine_replica_enrolls_and_routes() {
+        let (_, proxy, registry) = fleet_pieces();
+        let id = ReplicaId(0);
+        assert!(!registry.is_routable(id), "unverified ⇒ unroutable");
+        let (key, _) = enroll(&registry, id, &proxy);
+        assert!(registry.is_routable(id));
+        assert_eq!(registry.verified_key(id), Some(key));
+        assert_eq!(registry.routable(), vec![id]);
+    }
+
+    #[test]
+    fn registration_without_challenge_is_rejected() {
+        let (_, proxy, registry) = fleet_pieces();
+        let nonce = [1u8; 32];
+        let (key, quote) = proxy.enrollment_quote(&nonce).unwrap();
+        assert_eq!(
+            registry.register(ReplicaId(0), key, &quote),
+            Err(ClusterError::NoChallenge(ReplicaId(0)))
+        );
+    }
+
+    #[test]
+    fn quote_bound_to_wrong_channel_key_is_rejected() {
+        // A malicious host enrolls with replica A's quote but substitutes
+        // its own channel key B — traffic would then terminate outside
+        // the attested enclave. The binding check catches it.
+        let (ias, proxy_a, registry) = fleet_pieces();
+        let engine = proxy_a.engine().clone();
+        let proxy_b = XSearchProxy::launch(
+            XSearchConfig {
+                k: 1,
+                history_capacity: 100,
+                seed: 999, // different identity key
+                ..Default::default()
+            },
+            engine,
+            &ias,
+        );
+        let id = ReplicaId(0);
+        let nonce = registry.challenge(id);
+        let (_key_a, quote_a) = proxy_a.enrollment_quote(&nonce).unwrap();
+        let (key_b, _) = proxy_b.enrollment_quote(&nonce).unwrap();
+        assert_ne!(_key_a, key_b);
+        assert_eq!(
+            registry.register(id, key_b, &quote_a),
+            Err(ClusterError::QuoteBindingMismatch)
+        );
+        assert!(!registry.is_routable(id));
+    }
+
+    #[test]
+    fn replayed_quote_from_deregistered_replica_is_rejected() {
+        let (_, proxy, registry) = fleet_pieces();
+        let id = ReplicaId(2);
+        let (key, old_quote) = enroll(&registry, id, &proxy);
+        assert!(registry.deregister(id));
+        assert!(!registry.is_routable(id));
+
+        // The operator replays the quote that once admitted the replica.
+        // A fresh challenge is outstanding, so the old binding no longer
+        // matches and re-enrollment fails.
+        let _fresh = registry.challenge(id);
+        assert_eq!(
+            registry.register(id, key, &old_quote),
+            Err(ClusterError::QuoteBindingMismatch)
+        );
+        assert!(!registry.is_routable(id));
+
+        // A genuinely fresh quote re-enrolls fine.
+        enroll(&registry, id, &proxy);
+        assert!(registry.is_routable(id));
+    }
+
+    #[test]
+    fn tampered_measurement_is_rejected() {
+        let (_, proxy, registry) = fleet_pieces();
+        let id = ReplicaId(1);
+        let nonce = registry.challenge(id);
+        let (key, mut quote) = proxy.enrollment_quote(&nonce).unwrap();
+        quote.measurement.0[0] ^= 1;
+        assert_eq!(
+            registry.register(id, key, &quote),
+            Err(ClusterError::Sgx(SgxError::QuoteRejected)),
+            "the quote MAC covers the measurement"
+        );
+    }
+
+    #[test]
+    fn authentic_quote_from_wrong_code_is_rejected() {
+        // A provisioned platform running *different* enclave code
+        // produces an authentic quote with the wrong measurement.
+        let (ias, _proxy, registry) = fleet_pieces();
+        let evil = EnclaveBuilder::new("evil")
+            .with_code(b"not-the-xsearch-proxy")
+            .with_provisioning_key(ias.provisioning_key())
+            .build(());
+        let id = ReplicaId(3);
+        let nonce = registry.challenge(id);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let fake_key = xsearch_crypto::x25519::StaticSecret::random(&mut rng).public_key();
+        let quote = evil
+            .quote(&registration_binding(&fake_key, &nonce))
+            .unwrap();
+        assert_eq!(
+            registry.register(id, fake_key, &quote),
+            Err(ClusterError::Sgx(SgxError::MeasurementMismatch))
+        );
+    }
+
+    #[test]
+    fn each_challenge_is_fresh() {
+        let (_, _, registry) = fleet_pieces();
+        let a = registry.challenge(ReplicaId(0));
+        let b = registry.challenge(ReplicaId(0));
+        let c = registry.challenge(ReplicaId(1));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+
+    use rand::SeedableRng;
+}

@@ -1,0 +1,164 @@
+//! The acceptance scenario for the fleet tier: under open-loop load
+//! against a 4-replica fleet, killing and restarting one replica must
+//! lose no client's last-x history window (sealed migration) and every
+//! surviving response must still decrypt.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xsearch_cluster::{Cluster, ClusterClient, ClusterConfig, PlacementPolicy};
+use xsearch_core::config::XSearchConfig;
+use xsearch_core::proxy::XSearchProxy;
+use xsearch_engine::corpus::CorpusConfig;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_workload::{run_open_loop, LoadSpec};
+
+use parking_lot::Mutex;
+
+const CLIENTS: usize = 16;
+/// Tagged queries each client sends before the churn phase.
+const TAGGED_PER_CLIENT: usize = 4;
+
+fn fleet() -> Cluster {
+    let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 5,
+        ..Default::default()
+    }));
+    Cluster::launch(
+        engine,
+        ClusterConfig {
+            replicas: 4,
+            placement: PlacementPolicy::ConsistentHash,
+            // Seal after every request: a crash loses nothing.
+            seal_every: 1,
+            proxy: XSearchConfig {
+                k: 2,
+                // Large enough that nothing is evicted during the test,
+                // so "the window survived" is checkable by containment.
+                history_capacity: 1 << 20,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn churn_under_open_loop_load_preserves_windows_and_decryption() {
+    let cluster = Arc::new(fleet());
+    let clients: Vec<Mutex<ClusterClient>> = (0..CLIENTS)
+        .map(|i| Mutex::new(ClusterClient::attach(&cluster, 1000 + i as u64).unwrap()))
+        .collect();
+
+    // Phase A — tagged traffic, so every replica's window has known,
+    // per-client content.
+    for (i, client) in clients.iter().enumerate() {
+        let mut client = client.lock();
+        for j in 0..TAGGED_PER_CLIENT {
+            client
+                .search_echo(&cluster, &format!("tagged client{i} q{j}"))
+                .unwrap();
+        }
+    }
+    let victim = clients[0].lock().replica();
+    let victim_window = cluster
+        .with_replica(victim, XSearchProxy::history_snapshot)
+        .unwrap();
+    assert!(
+        !victim_window.is_empty(),
+        "client 0's replica must hold its tagged window"
+    );
+
+    // Phase B — open-loop load across all clients; the victim replica is
+    // hard-killed a third of the way in and restarted at two thirds.
+    // Every request must eventually succeed: clients ride out the crash
+    // by draining the victim (health sweep), re-attesting whichever
+    // replica inherits their affinity key, and retrying; the victim's
+    // sealed window migrates to its designated ring successor.
+    let total_requests = 1_200u64;
+    let rate = 2_000.0;
+    let kill_at = total_requests / 3;
+    let restart_at = 2 * total_requests / 3;
+    let ticket = AtomicU64::new(0);
+
+    let spec = LoadSpec {
+        rate_per_sec: rate,
+        duration: Duration::from_secs_f64(total_requests as f64 / rate),
+        threads: 4,
+    };
+    let report = run_open_loop(&spec, &|| {
+        let n = ticket.fetch_add(1, Ordering::Relaxed);
+        if n == kill_at {
+            cluster.kill(victim).unwrap();
+        }
+        if n == restart_at {
+            cluster.restart(victim).unwrap();
+        }
+        let mut client = clients[n as usize % CLIENTS].lock();
+        client
+            .search_echo(&cluster, &format!("load query {n}"))
+            .is_ok()
+    });
+
+    assert_eq!(
+        report.failed, 0,
+        "every request must survive the churn (decrypted response or \
+         successful retry against the successor)"
+    );
+    assert!(report.completed >= total_requests);
+
+    // The victim's pre-kill window survived somewhere in the fleet: the
+    // ring successor adopted the sealed migration, and nothing evicted
+    // it (capacity is ample).
+    let mut fleet_union: HashSet<String> = HashSet::new();
+    for id in cluster.replica_ids() {
+        if let Ok(snapshot) = cluster.with_replica(id, XSearchProxy::history_snapshot) {
+            fleet_union.extend(snapshot);
+        }
+    }
+    for q in &victim_window {
+        assert!(
+            fleet_union.contains(q),
+            "window entry {q:?} was lost in the failover"
+        );
+    }
+
+    // The restarted victim is verified and serving again.
+    assert!(cluster.registry().is_routable(victim));
+    let mut probe = ClusterClient::attach(&cluster, 99_999).unwrap();
+    probe.search_echo(&cluster, "post churn probe").unwrap();
+}
+
+#[test]
+fn every_tagged_window_survives_killing_each_replica_once() {
+    // Sequential churn across the whole fleet: kill+sweep+restart each
+    // replica in turn; no tagged query may ever disappear.
+    let cluster = fleet();
+    let mut clients: Vec<ClusterClient> = (0..8)
+        .map(|i| ClusterClient::attach(&cluster, 2000 + i as u64).unwrap())
+        .collect();
+    let mut all_tags: Vec<String> = Vec::new();
+    for (i, client) in clients.iter_mut().enumerate() {
+        for j in 0..3 {
+            let q = format!("sweep-tag c{i} q{j}");
+            client.search_echo(&cluster, &q).unwrap();
+            all_tags.push(q);
+        }
+    }
+    for id in cluster.replica_ids() {
+        cluster.kill(id).unwrap();
+        cluster.health_sweep();
+        cluster.restart(id).unwrap();
+
+        let mut union: HashSet<String> = HashSet::new();
+        for rid in cluster.replica_ids() {
+            if let Ok(snap) = cluster.with_replica(rid, XSearchProxy::history_snapshot) {
+                union.extend(snap);
+            }
+        }
+        for tag in &all_tags {
+            assert!(union.contains(tag), "tag {tag:?} lost after churning {id}");
+        }
+    }
+}

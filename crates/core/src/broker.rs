@@ -71,6 +71,32 @@ impl Broker {
         })
     }
 
+    /// Re-establishes the session against a (possibly different) proxy —
+    /// the failover path: when a fleet replica dies, the broker attests
+    /// the successor replica from scratch and swaps its tunnel state in
+    /// place.
+    ///
+    /// `seed` **must be fresh** (never passed to a previous
+    /// `attach`/`reattach` of this broker): re-deriving the same client
+    /// keypair against the same enclave identity would re-derive the same
+    /// channel keys with reset nonce counters — nonce reuse. A fresh seed
+    /// gives a fresh keypair and therefore fresh keys, at the cost of a
+    /// new proxy-side session entry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Broker::attach`]; on error `self` is left unchanged.
+    pub fn reattach(
+        &mut self,
+        proxy: &XSearchProxy,
+        ias: &AttestationService,
+        expected: Measurement,
+        seed: u64,
+    ) -> Result<(), XSearchError> {
+        *self = Broker::attach(proxy, ias, expected, seed)?;
+        Ok(())
+    }
+
     /// Sends one query through the tunnel and returns the filtered
     /// results.
     ///
@@ -194,6 +220,37 @@ mod tests {
         for q in ["flights paris", "hotel rome", "cruise caribbean"] {
             let _ = broker.search(&proxy, q).unwrap();
         }
+    }
+
+    #[test]
+    fn reattach_moves_the_session_to_a_successor_proxy() {
+        let (a, ias) = setup(1);
+        let (b, _) = setup(1); // same IAS seed ⇒ same provisioning key
+        a.seed_history(["warm a"]);
+        b.seed_history(["warm b"]);
+        let mut broker = Broker::attach(&a, &ias, a.expected_measurement(), 10).unwrap();
+        let _ = broker.search(&a, "flights paris").unwrap();
+        let old_pub = broker.client_pub();
+
+        // Replica `a` dies; the broker re-attests against `b` with a
+        // fresh seed and keeps searching.
+        broker
+            .reattach(&b, &ias, b.expected_measurement(), 11)
+            .unwrap();
+        assert_ne!(broker.client_pub(), old_pub, "fresh seed ⇒ fresh keys");
+        let _ = broker.search(&b, "hotel rome").unwrap();
+    }
+
+    #[test]
+    fn failed_reattach_leaves_the_broker_usable() {
+        let (a, ias) = setup(1);
+        a.seed_history(["warm"]);
+        let mut broker = Broker::attach(&a, &ias, a.expected_measurement(), 12).unwrap();
+        let mut wrong = a.expected_measurement();
+        wrong.0[0] ^= 1;
+        assert!(broker.reattach(&a, &ias, wrong, 13).is_err());
+        // The original session still works.
+        let _ = broker.search(&a, "cruise caribbean").unwrap();
     }
 
     #[test]

@@ -174,5 +174,59 @@ mod tests {
         let (proxy, mut broker) = setup();
         let resp = get(&mut broker, &proxy, "/search?q=cheap+flights");
         assert_eq!(resp.status, 200);
+        // The decoded form — not the wire form — reached the enclave.
+        let window = proxy.history_snapshot();
+        assert!(window.contains(&"cheap flights".to_owned()));
+        assert!(!window.iter().any(|q| q.contains('+')));
+    }
+
+    #[test]
+    fn percent20_encoded_spaces_decode() {
+        let (proxy, mut broker) = setup();
+        let resp = get(&mut broker, &proxy, "/search?q=cheap%20flights%20rome");
+        assert_eq!(resp.status, 200);
+        let window = proxy.history_snapshot();
+        assert!(window.contains(&"cheap flights rome".to_owned()));
+        assert!(!window.iter().any(|q| q.contains('%')));
+    }
+
+    #[test]
+    fn tunnel_failure_maps_to_502() {
+        // The broker is attested to proxy A; pointing the front-end at a
+        // proxy that never saw its handshake makes the tunnel fail
+        // (unknown session), which must surface as 502, not a hang or a
+        // panic.
+        let (proxy_a, mut broker) = setup();
+        let ias = AttestationService::from_seed(8);
+        let proxy_b = XSearchProxy::launch(
+            crate::config::XSearchConfig {
+                k: 2,
+                seed: 4242, // distinct enclave identity, no sessions
+                ..Default::default()
+            },
+            proxy_a.engine().clone(),
+            &ias,
+        );
+        let raw = Request::get("/search?q=flights").encode();
+        let resp = Response::decode(&serve(&mut broker, &proxy_b, &raw)).unwrap();
+        assert_eq!(resp.status, 502);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("tunnel failure"), "body: {body}");
+    }
+
+    #[test]
+    fn status_paths_are_covered() {
+        // One pass over every error route the front-end can produce.
+        let (proxy, mut broker) = setup();
+        assert_eq!(get(&mut broker, &proxy, "/search").status, 400);
+        assert_eq!(get(&mut broker, &proxy, "/search?q=++").status, 400);
+        assert_eq!(get(&mut broker, &proxy, "/nope").status, 404);
+        let raw = Request::post("/search?q=x", Vec::new()).encode();
+        assert_eq!(
+            Response::decode(&serve(&mut broker, &proxy, &raw))
+                .unwrap()
+                .status,
+            405
+        );
     }
 }

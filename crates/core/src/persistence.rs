@@ -7,48 +7,40 @@
 //! restore it — the operator gets a blob it cannot read. This module
 //! implements that extension (listed as such in DESIGN.md: the paper
 //! mentions sealing as an SGX capability in §2.3 but does not use it).
+//!
+//! Two layers live here:
+//!
+//! * the free functions [`seal_history`] / [`restore_history`] — the
+//!   plain seal/unseal roundtrip, version 0, no rollback protection;
+//! * [`HistoryVault`] — the fleet-grade path: every snapshot carries a
+//!   **monotonic version** (modeling SGX's hardware monotonic counters),
+//!   restoring anything older than the newest sealed version is rejected
+//!   as a rollback, and [`migrate_history`] re-seals a snapshot from one
+//!   platform's vault to another's so failover (see `xsearch-cluster`)
+//!   can move a dead replica's window to its successor without ever
+//!   exposing plaintext to the operator or enabling history rollback.
+//!
+//! The on-disk payload format is the shared length-prefixed query batch
+//! from [`crate::wire`] — the same framing the `seed` ecall uses, so
+//! there is exactly one serializer to fuzz.
 
 use crate::history::QueryHistory;
+use crate::wire::{decode_query_batch, encode_query_batch};
 use rand::RngCore;
+use std::sync::atomic::{AtomicU64, Ordering};
 use xsearch_sgx_sim::error::SgxError;
 use xsearch_sgx_sim::measurement::Measurement;
 use xsearch_sgx_sim::sealed::{SealedBlob, SealingPlatform};
 
-/// Serializes the history's queries (newest last) into a compact,
-/// length-prefixed byte form.
+/// Serializes the history's queries (newest last) with the shared wire
+/// framing ([`crate::wire::encode_query_batch`]).
 fn serialize(queries: &[String]) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.extend_from_slice(&(queries.len() as u64).to_le_bytes());
-    for q in queries {
-        out.extend_from_slice(&(q.len() as u32).to_le_bytes());
-        out.extend_from_slice(q.as_bytes());
-    }
-    out
+    encode_query_batch(queries.iter().map(String::as_str))
 }
 
 fn deserialize(bytes: &[u8]) -> Result<Vec<String>, SgxError> {
-    let mut queries = Vec::new();
-    if bytes.len() < 8 {
-        return Err(SgxError::UnsealFailed);
-    }
-    let count = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
-    let mut offset = 8;
-    for _ in 0..count {
-        if bytes.len() < offset + 4 {
-            return Err(SgxError::UnsealFailed);
-        }
-        let len =
-            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
-        offset += 4;
-        if bytes.len() < offset + len {
-            return Err(SgxError::UnsealFailed);
-        }
-        let q = std::str::from_utf8(&bytes[offset..offset + len])
-            .map_err(|_| SgxError::UnsealFailed)?;
-        queries.push(q.to_owned());
-        offset += len;
-    }
-    Ok(queries)
+    let queries = decode_query_batch(bytes).map_err(|_| SgxError::UnsealFailed)?;
+    Ok(queries.into_iter().map(str::to_owned).collect())
 }
 
 /// Seals the history's contents to (platform, measurement).
@@ -81,7 +73,11 @@ pub fn restore_history(
     blob: &SealedBlob,
 ) -> Result<usize, SgxError> {
     let bytes = platform.unseal(measurement, blob)?;
-    let queries = deserialize(&bytes)?;
+    restore_bytes(history, &bytes)
+}
+
+fn restore_bytes(history: &QueryHistory, bytes: &[u8]) -> Result<usize, SgxError> {
+    let queries = deserialize(bytes)?;
     let n = queries.len();
     for q in &queries {
         history.push(q);
@@ -93,6 +89,159 @@ pub fn restore_history(
 /// would be probabilistic; instead expose an internal iteration.
 fn snapshot_in_order(history: &QueryHistory) -> Vec<String> {
     history.snapshot()
+}
+
+/// The enclave's sealing facility with rollback protection: a sealing
+/// platform, the enclave measurement, and a monotonic counter standing in
+/// for SGX's hardware monotonic counters.
+///
+/// Every [`HistoryVault::seal`] stamps the blob with the next counter
+/// value; [`HistoryVault::restore`] refuses any blob older than the
+/// newest one sealed, so an operator (or a failover orchestrator) cannot
+/// roll the decoy window back to a superseded snapshot. The vault object
+/// models state that survives enclave restarts on the same host — in
+/// real SGX the counter lives in platform hardware, not enclave memory.
+#[derive(Debug)]
+pub struct HistoryVault {
+    platform: SealingPlatform,
+    measurement: Measurement,
+    /// Version of the newest blob sealed by this vault — also the floor
+    /// below which restores are rejected as rollbacks.
+    last_sealed: AtomicU64,
+}
+
+impl HistoryVault {
+    /// Creates a vault for (platform, measurement) with a fresh counter.
+    #[must_use]
+    pub fn new(platform: SealingPlatform, measurement: Measurement) -> Self {
+        HistoryVault {
+            platform,
+            measurement,
+            last_sealed: AtomicU64::new(0),
+        }
+    }
+
+    /// The measurement blobs from this vault are sealed to.
+    #[must_use]
+    pub fn measurement(&self) -> Measurement {
+        self.measurement
+    }
+
+    /// Version of the newest blob this vault sealed (0 if none yet).
+    #[must_use]
+    pub fn last_sealed(&self) -> u64 {
+        self.last_sealed.load(Ordering::Acquire)
+    }
+
+    /// Seals a snapshot of `history` at the next monotonic version.
+    pub fn seal<R: RngCore>(&self, history: &QueryHistory, rng: &mut R) -> SealedBlob {
+        self.seal_bytes(&serialize(&snapshot_in_order(history)), rng)
+    }
+
+    fn seal_bytes<R: RngCore>(&self, payload: &[u8], rng: &mut R) -> SealedBlob {
+        let version = self.last_sealed.fetch_add(1, Ordering::AcqRel) + 1;
+        self.platform
+            .seal_versioned(&self.measurement, version, payload, rng)
+    }
+
+    /// Restores a sealed snapshot into `history`, enforcing monotonicity:
+    /// only the newest sealed version (or a newer one produced by a peer
+    /// vault and [`migrate_history`]) is accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::RolledBack`] for a blob older than the last sealed
+    /// version; [`SgxError::UnsealFailed`] for wrong platform/measurement
+    /// or tampering.
+    pub fn restore(&self, history: &QueryHistory, blob: &SealedBlob) -> Result<usize, SgxError> {
+        let bytes = self
+            .platform
+            .unseal_monotonic(&self.measurement, blob, self.last_sealed())?;
+        restore_bytes(history, &bytes)
+    }
+
+    /// Marks `version` (and everything older) as consumed, raising the
+    /// restore floor past it. Called after a blob is migrated away so
+    /// the source host cannot restore the pre-migration window — that
+    /// window now lives (and keeps growing) at the successor.
+    pub fn retire(&self, version: u64) {
+        self.last_sealed.fetch_max(version + 1, Ordering::AcqRel);
+    }
+}
+
+/// Migrates a sealed history snapshot from `src`'s vault to `dst`'s:
+/// unseals under the source platform, atomically claims the blob's
+/// version at the source (one consumer ever wins; the blob can never be
+/// restored at the source again), and re-seals under the destination
+/// platform at the destination's next monotonic version.
+///
+/// Conceptually both ends run inside attested enclaves of the same
+/// measurement; the orchestrator only ever holds the two opaque blobs.
+///
+/// # Errors
+///
+/// [`SgxError::RolledBack`] when `blob` is older than the newest snapshot
+/// `src` sealed; [`SgxError::UnsealFailed`] for wrong platform,
+/// measurement mismatch, or tampering.
+pub fn migrate_history<R: RngCore>(
+    blob: &SealedBlob,
+    src: &HistoryVault,
+    dst: &HistoryVault,
+    rng: &mut R,
+) -> Result<SealedBlob, SgxError> {
+    if src.measurement != dst.measurement {
+        // Sealed history only moves between replicas running the exact
+        // same enclave code.
+        return Err(SgxError::UnsealFailed);
+    }
+    let bytes = src.platform.unseal(&src.measurement, blob)?;
+    let claimed = src
+        .last_sealed
+        .fetch_max(blob.version() + 1, Ordering::AcqRel);
+    if claimed > blob.version() {
+        return Err(SgxError::RolledBack {
+            sealed: blob.version(),
+            floor: claimed,
+        });
+    }
+    Ok(dst.seal_bytes(&bytes, rng))
+}
+
+/// The live end of a migration: unseals `blob` under the **source**
+/// vault, atomically *claims* its version against the source's
+/// monotonic counter — exactly one consumer can ever win, even when a
+/// failover sweep and a source restart race for the same blob — and
+/// restores the window directly into `history` (the adopting enclave's
+/// live table). Unlike [`migrate_history`] + a later restore, this
+/// involves no destination-version check, so it cannot race with the
+/// destination's own sealing cadence either.
+///
+/// # Errors
+///
+/// [`SgxError::RolledBack`] when the blob's version was already claimed
+/// or superseded at the source; [`SgxError::UnsealFailed`] for wrong
+/// platform/measurement or tampering. On error nothing is restored or
+/// claimed.
+pub fn restore_migrated(
+    history: &QueryHistory,
+    blob: &SealedBlob,
+    src: &HistoryVault,
+) -> Result<usize, SgxError> {
+    let bytes = src.platform.unseal(&src.measurement, blob)?;
+    // Claim-then-restore: raise the floor past this version in one
+    // atomic step. The winner observes a previous floor at or below the
+    // blob's version; every racing consumer observes the raised floor
+    // and reports a rollback instead of duplicating the window.
+    let claimed = src
+        .last_sealed
+        .fetch_max(blob.version() + 1, Ordering::AcqRel);
+    if claimed > blob.version() {
+        return Err(SgxError::RolledBack {
+            sealed: blob.version(),
+            floor: claimed,
+        });
+    }
+    restore_bytes(history, &bytes)
 }
 
 #[cfg(test)]
@@ -177,8 +326,121 @@ mod tests {
     fn deserialize_rejects_garbage() {
         assert_eq!(deserialize(&[1, 2, 3]), Err(SgxError::UnsealFailed));
         // Count says 1 but no payload follows.
-        let mut bytes = 1u64.to_le_bytes().to_vec();
+        let mut bytes = 1u32.to_le_bytes().to_vec();
         bytes.extend_from_slice(&100u32.to_le_bytes());
         assert_eq!(deserialize(&bytes), Err(SgxError::UnsealFailed));
+    }
+
+    #[test]
+    fn serializer_is_the_shared_wire_framing() {
+        let queries = vec!["alpha".to_owned(), "beta gamma".to_owned()];
+        assert_eq!(
+            serialize(&queries),
+            encode_query_batch(queries.iter().map(String::as_str)),
+            "persistence and the seed ecall must share one framing"
+        );
+    }
+
+    #[test]
+    fn vault_versions_are_monotonic() {
+        let vault = HistoryVault::new(SealingPlatform::from_seed(1), measurement(b"proxy"));
+        let mut rng = StdRng::seed_from_u64(6);
+        let h = filled_history(&["a"]);
+        let b1 = vault.seal(&h, &mut rng);
+        let b2 = vault.seal(&h, &mut rng);
+        assert_eq!(b1.version(), 1);
+        assert_eq!(b2.version(), 2);
+        assert_eq!(vault.last_sealed(), 2);
+    }
+
+    #[test]
+    fn vault_rejects_stale_snapshot() {
+        let vault = HistoryVault::new(SealingPlatform::from_seed(1), measurement(b"proxy"));
+        let mut rng = StdRng::seed_from_u64(7);
+        let old = vault.seal(&filled_history(&["old window"]), &mut rng);
+        let new = vault.seal(&filled_history(&["new window"]), &mut rng);
+
+        let target = QueryHistory::new(100, EpcGauge::new());
+        assert_eq!(
+            vault.restore(&target, &old),
+            Err(SgxError::RolledBack {
+                sealed: 1,
+                floor: 2
+            }),
+            "failover migration must not enable history rollback"
+        );
+        assert_eq!(target.len(), 0);
+        assert_eq!(vault.restore(&target, &new).unwrap(), 1);
+        assert_eq!(target.snapshot(), vec!["new window"]);
+    }
+
+    #[test]
+    fn migration_moves_the_window_and_retires_the_source() {
+        let m = measurement(b"proxy");
+        let src = HistoryVault::new(SealingPlatform::from_seed(1), m);
+        let dst = HistoryVault::new(SealingPlatform::from_seed(2), m);
+        let mut rng = StdRng::seed_from_u64(8);
+
+        let blob = src.seal(&filled_history(&["decoy one", "decoy two"]), &mut rng);
+        let migrated = migrate_history(&blob, &src, &dst, &mut rng).unwrap();
+
+        // The successor restores the window under its own platform.
+        let successor = QueryHistory::new(100, EpcGauge::new());
+        assert_eq!(dst.restore(&successor, &migrated).unwrap(), 2);
+        assert_eq!(successor.snapshot(), vec!["decoy one", "decoy two"]);
+
+        // The source cannot restore the migrated-away blob: that would
+        // duplicate the window and roll back the successor's growth.
+        let revived = QueryHistory::new(100, EpcGauge::new());
+        assert!(matches!(
+            src.restore(&revived, &blob),
+            Err(SgxError::RolledBack { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_migrated_adopts_atomically_and_retires_source() {
+        let m = measurement(b"proxy");
+        let src = HistoryVault::new(SealingPlatform::from_seed(1), m);
+        let mut rng = StdRng::seed_from_u64(11);
+        let blob = src.seal(&filled_history(&["w1", "w2", "w3"]), &mut rng);
+
+        let live = filled_history(&["own entry"]);
+        assert_eq!(restore_migrated(&live, &blob, &src).unwrap(), 3);
+        assert_eq!(live.snapshot(), vec!["own entry", "w1", "w2", "w3"]);
+
+        // Retired at the source: adopting the same blob again is a
+        // rollback.
+        assert!(matches!(
+            restore_migrated(&live, &blob, &src),
+            Err(SgxError::RolledBack { .. })
+        ));
+    }
+
+    #[test]
+    fn migration_requires_matching_measurement() {
+        let src = HistoryVault::new(SealingPlatform::from_seed(1), measurement(b"proxy-v1"));
+        let dst = HistoryVault::new(SealingPlatform::from_seed(2), measurement(b"proxy-v2"));
+        let mut rng = StdRng::seed_from_u64(9);
+        let blob = src.seal(&filled_history(&["w"]), &mut rng);
+        assert_eq!(
+            migrate_history(&blob, &src, &dst, &mut rng),
+            Err(SgxError::UnsealFailed)
+        );
+    }
+
+    #[test]
+    fn foreign_platform_cannot_restore_vault_blob() {
+        let m = measurement(b"proxy");
+        let vault = HistoryVault::new(SealingPlatform::from_seed(1), m);
+        let other = HistoryVault::new(SealingPlatform::from_seed(2), m);
+        let mut rng = StdRng::seed_from_u64(10);
+        let blob = vault.seal(&filled_history(&["w"]), &mut rng);
+        let target = QueryHistory::new(100, EpcGauge::new());
+        assert_eq!(
+            other.restore(&target, &blob),
+            Err(SgxError::UnsealFailed),
+            "blobs are bound to their sealing platform"
+        );
     }
 }

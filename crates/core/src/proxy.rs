@@ -9,6 +9,9 @@
 use crate::config::XSearchConfig;
 use crate::enclave_app::{EnclaveState, ENCLAVE_CODE_V1};
 use crate::error::XSearchError;
+use crate::persistence::HistoryVault;
+use crate::session::registration_binding;
+use rand::RngCore;
 use std::sync::Arc;
 use xsearch_crypto::x25519::PublicKey;
 use xsearch_engine::engine::SearchEngine;
@@ -16,7 +19,9 @@ use xsearch_sgx_sim::attestation::{AttestationService, Quote};
 use xsearch_sgx_sim::boundary::BoundaryStats;
 use xsearch_sgx_sim::enclave::{Enclave, EnclaveBuilder};
 use xsearch_sgx_sim::epc::EpcGauge;
+use xsearch_sgx_sim::error::SgxError;
 use xsearch_sgx_sim::measurement::Measurement;
+use xsearch_sgx_sim::sealed::SealedBlob;
 
 /// The handshake response a broker receives.
 #[derive(Debug, Clone)]
@@ -85,16 +90,100 @@ impl XSearchProxy {
             ));
         }
         let quote = self.enclave.quote(&binding)?;
+        let enclave_pub = self.identity_pub()?;
+        Ok(HandshakeResponse { enclave_pub, quote })
+    }
+
+    /// Fetches the enclave's channel identity key (the `identity` ecall).
+    fn identity_pub(&self) -> Result<PublicKey, XSearchError> {
         let enclave_pub = self.enclave.ecall_shared("identity", &[], |state, _, _| {
             state.identity_pub().as_bytes().to_vec()
         })?;
         let enclave_pub: [u8; 32] = enclave_pub
             .try_into()
             .map_err(|_| XSearchError::Protocol("bad identity key length".into()))?;
-        Ok(HandshakeResponse {
-            enclave_pub: PublicKey(enclave_pub),
-            quote,
+        Ok(PublicKey(enclave_pub))
+    }
+
+    /// Produces this replica's registry-enrollment credentials: its
+    /// channel identity key plus a quote binding that key to the fleet
+    /// registry's challenge `nonce`
+    /// (see [`crate::session::registration_binding`]). The registry
+    /// verifies the quote before any traffic is routed to this replica;
+    /// the nonce makes each enrollment quote single-use, so deregistered
+    /// replicas cannot rejoin by replaying an old quote.
+    ///
+    /// # Errors
+    ///
+    /// [`XSearchError::Sgx`] when the platform holds no quoting key.
+    pub fn enrollment_quote(&self, nonce: &[u8; 32]) -> Result<(PublicKey, Quote), XSearchError> {
+        let identity = self.identity_pub()?;
+        let quote = self
+            .enclave
+            .quote(&registration_binding(&identity, nonce))?;
+        Ok((identity, quote))
+    }
+
+    /// Seals a snapshot of the in-enclave history through `vault` (the
+    /// `seal_history` ecall): the snapshot is serialized and encrypted
+    /// *inside* the enclave; only the opaque blob crosses the boundary,
+    /// and the boundary counters are charged its exact encoded size.
+    pub fn seal_history_snapshot<R: RngCore>(
+        &self,
+        vault: &HistoryVault,
+        rng: &mut R,
+    ) -> SealedBlob {
+        let mut sealed = None;
+        let _ = self
+            .enclave
+            .ecall_shared("seal_history", &[], |state, _, _| {
+                let blob = vault.seal(state.history(), rng);
+                let encoded = blob.encode();
+                sealed = Some(blob);
+                encoded
+            });
+        sealed.expect("ecall cannot fail in this model")
+    }
+
+    /// Restores a sealed history snapshot into the live in-enclave table
+    /// (the `restore_history` ecall) — the failover path: a successor
+    /// replica adopts the window a dead replica's vault migrated over.
+    /// Returns the number of queries restored.
+    ///
+    /// # Errors
+    ///
+    /// [`XSearchError::Sgx`] wrapping [`SgxError::RolledBack`] for a
+    /// stale blob or [`SgxError::UnsealFailed`] for a foreign or
+    /// tampered one.
+    pub fn restore_history_blob(
+        &self,
+        vault: &HistoryVault,
+        blob: &SealedBlob,
+    ) -> Result<usize, XSearchError> {
+        self.restore_ecall("restore_history", blob, |history, parsed| {
+            vault.restore(history, parsed)
         })
+    }
+
+    /// Shared boundary scaffolding of the two restore-style ecalls: the
+    /// encoded blob crosses in, `restore` runs against the live history
+    /// inside the enclave, the restored count comes back.
+    fn restore_ecall(
+        &self,
+        name: &str,
+        blob: &SealedBlob,
+        restore: impl FnOnce(&crate::history::QueryHistory, &SealedBlob) -> Result<usize, SgxError>,
+    ) -> Result<usize, XSearchError> {
+        let payload = blob.encode();
+        let mut outcome: Result<usize, SgxError> = Err(SgxError::UnsealFailed);
+        let _ = self
+            .enclave
+            .ecall_shared(name, &payload, |state, input, _| {
+                outcome =
+                    SealedBlob::decode(input).and_then(|parsed| restore(state.history(), &parsed));
+                Vec::new()
+            })?;
+        outcome.map_err(XSearchError::Sgx)
     }
 
     /// Serves one encrypted request end to end (the `request` ecall with
@@ -188,6 +277,58 @@ impl XSearchProxy {
         u64::from_le_bytes(out.try_into().expect("8 bytes")) as usize
     }
 
+    /// Adopts a peer's sealed window into the live in-enclave table (the
+    /// `migrate_in` ecall): unseals under the **peer's** vault,
+    /// atomically claims the blob's version there (exactly one consumer
+    /// ever wins, so racing adopters cannot duplicate the window and a
+    /// restarted peer cannot roll back to it), and merges the window.
+    /// Conceptually the unseal happens inside this enclave after a
+    /// vault-key transfer over an attested channel; the host only ever
+    /// relays ciphertext.
+    ///
+    /// Returns the number of adopted queries.
+    ///
+    /// # Errors
+    ///
+    /// [`XSearchError::Protocol`] when the peer vault's measurement is
+    /// not this enclave's (history only moves between replicas running
+    /// identical code); [`XSearchError::Sgx`] for stale
+    /// ([`SgxError::RolledBack`]) or foreign/tampered blobs.
+    pub fn adopt_migrated_history(
+        &self,
+        src: &HistoryVault,
+        blob: &SealedBlob,
+    ) -> Result<usize, XSearchError> {
+        if src.measurement() != self.expected_measurement() {
+            return Err(XSearchError::Protocol(
+                "migrated history comes from a different enclave code".into(),
+            ));
+        }
+        self.restore_ecall("migrate_in", blob, |history, parsed| {
+            crate::persistence::restore_migrated(history, parsed, src)
+        })
+    }
+
+    /// Plaintext snapshot of the in-enclave window, oldest first.
+    ///
+    /// **Experiment/test API**: a production enclave never exposes its
+    /// window in plaintext — the reproduction uses this to assert window
+    /// semantics (Fig 6 contents, and that fleet failover migration
+    /// preserves the decoy pool).
+    #[must_use]
+    pub fn history_snapshot(&self) -> Vec<String> {
+        let out = self
+            .enclave
+            .ecall_shared("history_snapshot", &[], |state, _, _| {
+                let snapshot = state.history().snapshot();
+                crate::wire::encode_query_batch(snapshot.iter().map(String::as_str))
+            })
+            .expect("ecall cannot fail in this model");
+        crate::wire::decode_query_batch(&out)
+            .map(|queries| queries.into_iter().map(str::to_owned).collect())
+            .unwrap_or_default()
+    }
+
     /// The enclave's boundary counters.
     #[must_use]
     pub fn boundary(&self) -> Arc<BoundaryStats> {
@@ -258,6 +399,78 @@ mod tests {
         p.seed_history(["a", "b", "c"]);
         assert_eq!(p.history_len(), 3);
         assert!(p.history_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn enrollment_quote_binds_identity_and_nonce() {
+        let (p, ias) = proxy();
+        let nonce = [7u8; 32];
+        let (identity, quote) = p.enrollment_quote(&nonce).unwrap();
+        assert!(ias
+            .verify_expecting(&quote, p.expected_measurement())
+            .is_ok());
+        assert_eq!(
+            quote.report_data,
+            crate::session::registration_binding(&identity, &nonce)
+        );
+        // A different nonce yields a different (non-replayable) quote.
+        let (_, other) = p.enrollment_quote(&[8u8; 32]).unwrap();
+        assert_ne!(quote.report_data, other.report_data);
+    }
+
+    #[test]
+    fn sealed_snapshot_roundtrips_through_a_successor() {
+        use rand::rngs::StdRng;
+        let (a, ias) = proxy();
+        a.seed_history(["alpha", "beta", "gamma"]);
+        let vault_a = crate::persistence::HistoryVault::new(
+            xsearch_sgx_sim::sealed::SealingPlatform::from_seed(1),
+            a.expected_measurement(),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let blob = a.seal_history_snapshot(&vault_a, &mut rng);
+        assert_eq!(blob.version(), 1);
+
+        // Successor replica on another platform: migrate, then restore.
+        let engine = a.engine().clone();
+        let b = XSearchProxy::launch(
+            XSearchConfig {
+                k: 2,
+                history_capacity: 1000,
+                ..Default::default()
+            },
+            engine,
+            &ias,
+        );
+        let vault_b = crate::persistence::HistoryVault::new(
+            xsearch_sgx_sim::sealed::SealingPlatform::from_seed(2),
+            b.expected_measurement(),
+        );
+        let migrated =
+            crate::persistence::migrate_history(&blob, &vault_a, &vault_b, &mut rng).unwrap();
+        assert_eq!(b.restore_history_blob(&vault_b, &migrated).unwrap(), 3);
+        assert_eq!(b.history_len(), 3);
+
+        // Rollback protection: the pre-migration blob is dead at the
+        // source, and a stale blob is dead at the successor.
+        assert!(matches!(
+            a.restore_history_blob(&vault_a, &blob),
+            Err(XSearchError::Sgx(SgxError::RolledBack { .. }))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_garbage_blob_bytes() {
+        let (p, _) = proxy();
+        let vault = crate::persistence::HistoryVault::new(
+            xsearch_sgx_sim::sealed::SealingPlatform::from_seed(1),
+            p.expected_measurement(),
+        );
+        let bad = xsearch_sgx_sim::sealed::SealedBlob::decode(&[0u8; 24]).unwrap();
+        assert_eq!(
+            p.restore_history_blob(&vault, &bad),
+            Err(XSearchError::Sgx(SgxError::UnsealFailed))
+        );
     }
 
     #[test]

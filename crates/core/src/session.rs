@@ -119,6 +119,20 @@ pub fn channel_binding(server_pub: &PublicKey, client_pub: &PublicKey) -> [u8; 3
     h.finalize()
 }
 
+/// The report data bound into a replica's *registry enrollment* quote: a
+/// hash of the enclave's channel identity key and the registry's
+/// challenge nonce. The nonce makes every enrollment quote fresh, so a
+/// quote captured while a replica was registered cannot be replayed to
+/// re-enroll it after deregistration.
+#[must_use]
+pub fn registration_binding(enclave_pub: &PublicKey, nonce: &[u8; 32]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"xsearch-registry-binding-v1");
+    h.update(enclave_pub.as_bytes());
+    h.update(nonce);
+    h.finalize()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +216,22 @@ mod tests {
         let (mut c, mut s) = pair();
         let ct = c.seal(b"query", b"text");
         assert!(s.open(b"other", &ct).is_err());
+    }
+
+    #[test]
+    fn registration_binding_depends_on_key_and_nonce() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = StaticSecret::random(&mut rng).public_key();
+        let b = StaticSecret::random(&mut rng).public_key();
+        assert_ne!(
+            registration_binding(&a, &[1u8; 32]),
+            registration_binding(&b, &[1u8; 32])
+        );
+        assert_ne!(
+            registration_binding(&a, &[1u8; 32]),
+            registration_binding(&a, &[2u8; 32]),
+            "a fresh nonce must produce a fresh binding"
+        );
     }
 
     #[test]

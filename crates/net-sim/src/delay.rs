@@ -42,6 +42,16 @@ impl DelayModel {
         }
     }
 
+    /// Log-normal with median in microseconds — intra-data-center hops
+    /// (e.g. a fleet router to its replicas) live at this scale.
+    #[must_use]
+    pub fn lognormal_us(median_us: u64, sigma: f64) -> Self {
+        DelayModel::LogNormal {
+            median: Duration::from_micros(median_us),
+            sigma,
+        }
+    }
+
     /// Draws one delay.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
         match self {

@@ -91,14 +91,16 @@ impl Request {
             .map(String::as_str)
     }
 
-    /// Extracts the query parameter `key` from the target
-    /// (`/search?q=cheap+flights` → `q` = `cheap flights`).
+    /// Extracts the query parameter `key` from the target, fully
+    /// percent-decoded (`/search?q=cheap+flights` → `q` = `cheap
+    /// flights`; `%20` and `+` both decode to a space, and the parameter
+    /// *name* is decoded before matching too).
     #[must_use]
     pub fn query_param(&self, key: &str) -> Option<String> {
         let (_, qs) = self.target.split_once('?')?;
         for pair in qs.split('&') {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-            if k == key {
+            if percent_decode(k) == key {
                 return Some(percent_decode(v));
             }
         }
@@ -349,6 +351,18 @@ mod tests {
         assert_eq!(req.query_param("q").as_deref(), Some("cheap flights"));
         assert_eq!(req.query_param("k").as_deref(), Some("3"));
         assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn query_param_decodes_percent20_and_encoded_keys() {
+        let req = Request::get("/search?q=cheap%20flights%2Bhotels");
+        assert_eq!(
+            req.query_param("q").as_deref(),
+            Some("cheap flights+hotels")
+        );
+        // An encoded parameter *name* still matches.
+        let req = Request::get("/search?%71=space%20here");
+        assert_eq!(req.query_param("q").as_deref(), Some("space here"));
     }
 
     #[test]

@@ -88,6 +88,52 @@ impl Default for WanModel {
     }
 }
 
+/// Per-replica front-tier links for a multi-enclave proxy fleet: the
+/// router sits in the same data center as the replicas, but racks are
+/// heterogeneous, so each replica gets its own (deterministically varied)
+/// one-way delay model. Like everything in this crate, delays are
+/// *accounted*, not slept.
+#[derive(Debug, Clone)]
+pub struct FleetModel {
+    /// Router ↔ replica `i` (index into the fleet).
+    pub router_replica: Vec<Link>,
+}
+
+impl FleetModel {
+    /// Base median one-way delay between router and a replica, in µs.
+    pub const BASE_HOP_US: u64 = 250;
+
+    /// Builds links for `replicas` nodes: replica `i` gets a log-normal
+    /// one-way delay whose median is the base hop plus a per-replica
+    /// skew of `i % 4` × 50 µs — enough spread that placement policies
+    /// see a heterogeneous fleet, small enough that the hop never
+    /// dominates the enclave service time.
+    #[must_use]
+    pub fn new(replicas: usize) -> Self {
+        FleetModel {
+            router_replica: (0..replicas)
+                .map(|i| {
+                    let median_us = Self::BASE_HOP_US + 50 * (i as u64 % 4);
+                    Link::new(
+                        format!("router-replica{i}"),
+                        DelayModel::lognormal_us(median_us, 0.25),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The link to replica `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range for the fleet.
+    #[must_use]
+    pub fn link(&self, i: usize) -> &Link {
+        &self.router_replica[i]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +161,20 @@ mod tests {
         let wan = WanModel::default();
         assert!(wan.tor_hop.delay_model().median() > wan.client_proxy.delay_model().median());
         assert!(wan.engine_service.median() > wan.tor_hop.delay_model().median());
+    }
+
+    #[test]
+    fn fleet_links_are_per_replica_and_heterogeneous() {
+        let fleet = FleetModel::new(8);
+        assert_eq!(fleet.router_replica.len(), 8);
+        assert_eq!(fleet.link(0).name(), "router-replica0");
+        // Replicas 0 and 1 sit on different racks: different medians.
+        assert!(fleet.link(1).delay_model().median() > fleet.link(0).delay_model().median());
+        // The hop stays intra-DC: well under a WAN client-proxy hop.
+        let wan = WanModel::default();
+        assert!(
+            fleet.link(3).delay_model().median() * 10 < wan.client_proxy.delay_model().median()
+        );
     }
 
     #[test]

@@ -22,6 +22,15 @@ pub enum SgxError {
     MeasurementMismatch,
     /// A sealed blob could not be opened (wrong enclave or tampering).
     UnsealFailed,
+    /// A sealed blob is authentic but older than the newest version this
+    /// enclave's monotonic counter has seen — restoring it would roll
+    /// protected state back to a superseded snapshot.
+    RolledBack {
+        /// Version recorded in the rejected blob.
+        sealed: u64,
+        /// Lowest version the monotonic counter still accepts.
+        floor: u64,
+    },
 }
 
 impl fmt::Display for SgxError {
@@ -40,6 +49,12 @@ impl fmt::Display for SgxError {
             SgxError::QuoteRejected => write!(f, "attestation quote rejected"),
             SgxError::MeasurementMismatch => write!(f, "enclave measurement mismatch"),
             SgxError::UnsealFailed => write!(f, "sealed blob could not be opened"),
+            SgxError::RolledBack { sealed, floor } => {
+                write!(
+                    f,
+                    "sealed blob version {sealed} is older than monotonic floor {floor}"
+                )
+            }
         }
     }
 }

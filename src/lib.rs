@@ -10,6 +10,9 @@
 //! * [`core`] — the X-Search proxy itself: obfuscation (Algorithm 1),
 //!   filtering (Algorithm 2), the in-enclave application, broker and
 //!   attested channel;
+//! * [`cluster`] — the fleet tier: attested replica registry, routing
+//!   policies, health checking and failover with sealed-history
+//!   migration;
 //! * [`baselines`] — Tor, PEAS, TrackMeNot, GooPIR and Direct;
 //! * [`attack`] — the SimAttack re-identification adversary;
 //! * [`sgx`] — the SGX model (EPC, measurement, attestation, sealing);
@@ -44,6 +47,7 @@ pub struct ReadmeDoctests;
 
 pub use xsearch_attack as attack;
 pub use xsearch_baselines as baselines;
+pub use xsearch_cluster as cluster;
 pub use xsearch_core as core;
 pub use xsearch_crypto as crypto;
 pub use xsearch_engine as engine;
