@@ -1,0 +1,232 @@
+//! **End-to-end k-sweep**: user-perceived X-Search latency vs the
+//! obfuscation degree k, with the engine fan-out executed for real.
+//!
+//! The seed modeled merged-mode engine time as the max of k+1 independent
+//! draws while the engine evaluated the sub-queries strictly serially —
+//! the figure-7-style numbers rested on concurrency that did not exist.
+//! This harness runs both truths end to end through the full attested
+//! pipeline (broker → enclave → engine uplink):
+//!
+//! * **serial** — the seed's evaluator: sub-queries one after another on
+//!   the proxy thread, engine leg = Σ (service draw + compute). Latency
+//!   grows linearly in k.
+//! * **parallel** — the worker-pool uplink: sub-queries dispatched
+//!   concurrently, engine leg = the per-lane makespan of the executions
+//!   that actually ran. With the pool at least k+1 wide, latency is
+//!   dominated by one service time regardless of k.
+//!
+//! Env knobs: `E2E_QUERIES` (default 60) bounds the per-point query
+//! count; `BENCH_E2E_JSON` overrides the summary path.
+//!
+//! Run: `cargo run -p xsearch-bench --release --bin e2e_ksweep`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use xsearch_bench::{standard_engine, timed_attested_search, Dataset, EXPERIMENT_SEED};
+use xsearch_core::broker::Broker;
+use xsearch_core::config::XSearchConfig;
+use xsearch_core::proxy::XSearchProxy;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_engine::service::EngineService;
+use xsearch_metrics::distribution::Empirical;
+use xsearch_metrics::series::Table;
+use xsearch_net_sim::link::WanModel;
+use xsearch_query_log::record::QueryRecord;
+
+/// Obfuscation degrees swept (k + 1 sub-queries hit the engine).
+const K_SWEEP: &[usize] = &[1, 3, 7, 15];
+
+fn query_count() -> usize {
+    std::env::var("E2E_QUERIES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(60, |n| n.max(1))
+}
+
+/// One mode's per-query end-to-end samples at a fixed k.
+struct ModePoint {
+    total_s: Empirical,
+    engine_s: Empirical,
+    compute_s: Empirical,
+}
+
+/// Drives `queries` through a freshly launched proxy whose engine uplink
+/// is `service`, measuring each request's wall compute and reading its
+/// modeled engine leg from the pipeline's own accounting (no external
+/// draws — the delay comes from the executions that ran).
+fn run_mode(
+    k: usize,
+    service: EngineService,
+    warm: &[String],
+    queries: &[QueryRecord],
+    wan: &WanModel,
+    rng: &mut StdRng,
+) -> ModePoint {
+    let ias = xsearch_sgx_sim::attestation::AttestationService::from_seed(EXPERIMENT_SEED);
+    let proxy = XSearchProxy::launch_with_service(
+        XSearchConfig {
+            k,
+            history_capacity: 1 << 20,
+            ..Default::default()
+        },
+        service,
+        &ias,
+    );
+    proxy.seed_history(warm.iter().map(String::as_str));
+    let mut broker = Broker::attach(&proxy, &ias, proxy.expected_measurement(), 1).unwrap();
+
+    let mut total = Vec::with_capacity(queries.len());
+    let mut engine = Vec::with_capacity(queries.len());
+    let mut compute = Vec::with_capacity(queries.len());
+    for record in queries {
+        let (engine_leg, proxy_compute) = timed_attested_search(&proxy, &mut broker, &record.query);
+        let e2e =
+            wan.client_proxy.rtt(rng) + wan.proxy_engine.rtt(rng) + engine_leg + proxy_compute;
+        total.push(e2e.as_secs_f64());
+        engine.push(engine_leg.as_secs_f64());
+        compute.push(proxy_compute.as_secs_f64());
+    }
+    ModePoint {
+        total_s: Empirical::from_samples(total),
+        engine_s: Empirical::from_samples(engine),
+        compute_s: Empirical::from_samples(compute),
+    }
+}
+
+fn json_mode(out: &mut String, point: &ModePoint) {
+    let _ = write!(
+        out,
+        "{{\"median_s\": {:.4}, \"p99_s\": {:.4}, \"engine_median_s\": {:.4}, \"compute_median_s\": {:.6}}}",
+        point.total_s.median(),
+        point.total_s.quantile(0.99),
+        point.engine_s.median(),
+        point.compute_s.median(),
+    );
+}
+
+fn main() {
+    let queries = query_count();
+    let dataset = Dataset::with_users(60);
+    let warm = dataset.train_queries();
+    let test = dataset.sample_test(queries, 7);
+    let engine: Arc<SearchEngine> = Arc::new(standard_engine());
+    let wan = WanModel::default();
+    let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED);
+
+    let mut table = Table::new(
+        "e2e-ksweep: end-to-end latency vs k, serial baseline vs real parallel fan-out (seconds)",
+        &[
+            "k",
+            "serial_median",
+            "serial_p99",
+            "parallel_median",
+            "parallel_p99",
+            "speedup_median",
+        ],
+    );
+    table.note(&format!(
+        "{queries} queries per point; engine service {:?}; pool {} lanes",
+        wan.engine_service,
+        xsearch_engine::pool::MAX_WORKERS
+    ));
+    table.note("serial = seed behavior (sub-queries back to back, delays summed)");
+    table.note("parallel = worker-pool fan-out (delay = per-lane makespan of real executions)");
+
+    let mut sweep = Vec::new();
+    for &k in K_SWEEP {
+        eprintln!("running k = {k} ({} sub-queries)...", k + 1);
+        let serial = run_mode(
+            k,
+            EngineService::serial(engine.clone(), wan.engine_service.clone(), EXPERIMENT_SEED),
+            &warm,
+            &test,
+            &wan,
+            &mut rng,
+        );
+        let parallel = run_mode(
+            k,
+            EngineService::new(engine.clone(), wan.engine_service.clone(), EXPERIMENT_SEED),
+            &warm,
+            &test,
+            &wan,
+            &mut rng,
+        );
+        table.row(&[
+            k as f64,
+            serial.total_s.median(),
+            serial.total_s.quantile(0.99),
+            parallel.total_s.median(),
+            parallel.total_s.quantile(0.99),
+            serial.total_s.median() / parallel.total_s.median(),
+        ]);
+        sweep.push((k, serial, parallel));
+    }
+    table.print();
+
+    // Growth from k = first to k = last of the sweep: the serial column
+    // reproduces the linear-in-k seed behavior; the parallel column must
+    // stay sublinear (the whole point of the real fan-out).
+    let (first, last) = (&sweep[0], &sweep[sweep.len() - 1]);
+    let serial_growth = last.1.total_s.median() / first.1.total_s.median();
+    let parallel_growth = last.2.total_s.median() / first.2.total_s.median();
+    let k_growth = (last.0 + 1) as f64 / (first.0 + 1) as f64;
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"queries\": {queries},");
+    let _ = writeln!(
+        out,
+        "  \"engine_service\": \"{:?}\", \"pool_workers\": {},",
+        wan.engine_service,
+        xsearch_engine::pool::MAX_WORKERS
+    );
+    out.push_str("  \"k_sweep\": [\n");
+    for (i, (k, serial, parallel)) in sweep.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"k\": {k}, \"subqueries\": {}, \"serial\": ",
+            k + 1
+        );
+        json_mode(&mut out, serial);
+        out.push_str(", \"parallel\": ");
+        json_mode(&mut out, parallel);
+        let _ = write!(
+            out,
+            ", \"speedup_median\": {:.2}}}",
+            serial.total_s.median() / parallel.total_s.median()
+        );
+        if i + 1 < sweep.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"growth_k{}_to_k{}\": {{\"subquery_factor\": {k_growth:.2}, \"serial_median_factor\": {serial_growth:.2}, \"parallel_median_factor\": {parallel_growth:.2}}}",
+        first.0, last.0
+    );
+    out.push_str("}\n");
+
+    let path = std::env::var("BENCH_E2E_JSON").unwrap_or_else(|_| "BENCH_e2e.json".to_owned());
+    match std::fs::write(&path, &out) {
+        Ok(()) => eprintln!("wrote summary to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    println!();
+    println!("# summary (median end-to-end seconds)");
+    for (k, serial, parallel) in &sweep {
+        println!(
+            "k={k} serial={:.3} parallel={:.3} speedup={:.2}x",
+            serial.total_s.median(),
+            parallel.total_s.median(),
+            serial.total_s.median() / parallel.total_s.median()
+        );
+    }
+    println!(
+        "growth x{k_growth:.1} sub-queries: serial x{serial_growth:.2}, parallel x{parallel_growth:.2}"
+    );
+}

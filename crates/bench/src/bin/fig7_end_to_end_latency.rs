@@ -17,10 +17,11 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xsearch_baselines::tor::network::TorNetwork;
-use xsearch_bench::{standard_engine, Dataset, EXPERIMENT_SEED};
+use xsearch_bench::{standard_engine, timed_attested_search, Dataset, EXPERIMENT_SEED};
 use xsearch_core::broker::Broker;
 use xsearch_core::config::XSearchConfig;
 use xsearch_core::proxy::XSearchProxy;
+use xsearch_engine::service::EngineService;
 use xsearch_metrics::distribution::Empirical;
 use xsearch_metrics::series::Table;
 use xsearch_net_sim::link::{Link, WanModel};
@@ -57,29 +58,25 @@ fn main() {
 
     // --- X-Search (k = 3) ---
     let ias = AttestationService::from_seed(EXPERIMENT_SEED);
-    let proxy = XSearchProxy::launch(
+    // The engine uplink carries the WAN service-time model: the k+1
+    // sub-queries really fan out over the proxy's worker pool, and the
+    // engine leg below is read back from the delays the pipeline attached
+    // to those actual executions (no external "as if concurrent" draws).
+    let service = EngineService::new(engine.clone(), wan.engine_service.clone(), EXPERIMENT_SEED);
+    let proxy = XSearchProxy::launch_with_service(
         XSearchConfig {
             k: K,
             history_capacity: 1_000_000,
             ..Default::default()
         },
-        engine.clone(),
+        service,
         &ias,
     );
     proxy.seed_history(warm.iter().map(String::as_str));
     let mut broker = Broker::attach(&proxy, &ias, proxy.expected_measurement(), 1).unwrap();
     let mut xsearch = Vec::with_capacity(QUERIES);
     for record in &test {
-        let start = Instant::now();
-        let _ = broker
-            .search(&proxy, &record.query)
-            .expect("attested search");
-        let compute = start.elapsed();
-        // k+1 sub-queries hit the engine concurrently → max of draws.
-        let engine_time = (0..=K)
-            .map(|_| wan.engine_service.sample(&mut rng))
-            .max()
-            .unwrap_or(Duration::ZERO);
+        let (engine_time, compute) = timed_attested_search(&proxy, &mut broker, &record.query);
         let total =
             wan.client_proxy.rtt(&mut rng) + wan.proxy_engine.rtt(&mut rng) + engine_time + compute;
         xsearch.push(total.as_secs_f64());

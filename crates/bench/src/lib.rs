@@ -80,6 +80,36 @@ pub fn standard_engine() -> SearchEngine {
     })
 }
 
+/// Runs one attested search and splits its latency into
+/// `(modeled engine leg, proxy-side compute)` without double counting.
+///
+/// The engine leg is read from the pipeline's own accounting
+/// ([`xsearch_core::proxy::XSearchProxy::accounted_engine_delay`]) and
+/// already includes each evaluation's measured compute, so the wall time
+/// the caller physically spent inside those evaluations
+/// ([`xsearch_core::proxy::XSearchProxy::accounted_engine_fetch_wall`])
+/// is subtracted from the request wall: crypto/obfuscation/filtering is
+/// counted once, and the in-process engine evaluation exactly once.
+///
+/// # Panics
+///
+/// Panics when the attested search itself fails — bench harnesses treat
+/// that as a broken setup, not a data point.
+pub fn timed_attested_search(
+    proxy: &xsearch_core::proxy::XSearchProxy,
+    broker: &mut xsearch_core::broker::Broker,
+    query: &str,
+) -> (std::time::Duration, std::time::Duration) {
+    let engine_before = proxy.accounted_engine_delay();
+    let fetch_before = proxy.accounted_engine_fetch_wall();
+    let start = std::time::Instant::now();
+    let _ = broker.search(proxy, query).expect("attested search");
+    let wall = start.elapsed();
+    let engine_leg = proxy.accounted_engine_delay() - engine_before;
+    let fetch_wall = proxy.accounted_engine_fetch_wall() - fetch_before;
+    (engine_leg, wall.saturating_sub(fetch_wall))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

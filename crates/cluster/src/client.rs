@@ -147,6 +147,10 @@ impl ClusterClient {
                     cluster.health_sweep();
                     last = e;
                 }
+                // Overloaded is deliberate backpressure from a *healthy*
+                // replica: propagate it instead of hammering the fleet
+                // with an immediate retry (and never health-sweep for
+                // it — the replica is alive, just busy).
                 Err(e) => return Err(e),
             }
             match self.reroute(cluster) {

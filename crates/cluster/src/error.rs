@@ -31,6 +31,10 @@ pub enum ClusterError {
     /// key + challenge nonce the registry expected (key substitution or
     /// quote replay).
     QuoteBindingMismatch,
+    /// The replica's bounded admission queue is full: the router sheds
+    /// the request instead of letting the backlog grow without bound.
+    /// Backpressure — callers should slow down or try again later.
+    Overloaded(ReplicaId),
     /// No verified, live replica is available to route to.
     NoReplicasAvailable,
     /// A request kept failing after the configured number of failovers.
@@ -55,6 +59,9 @@ impl fmt::Display for ClusterError {
                     f,
                     "enrollment quote does not bind the expected key and nonce"
                 )
+            }
+            ClusterError::Overloaded(id) => {
+                write!(f, "replica {id} shed the request: admission queue full")
             }
             ClusterError::NoReplicasAvailable => write!(f, "no live verified replicas"),
             ClusterError::RetriesExhausted => write!(f, "request failed after all failovers"),

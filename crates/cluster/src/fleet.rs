@@ -59,6 +59,13 @@ pub struct ClusterConfig {
     pub seal_every: usize,
     /// Virtual nodes per replica on the consistent-hash ring.
     pub vnodes: usize,
+    /// Bounded admission: the most requests one replica may hold
+    /// (in service or waiting on its locks) before the router sheds new
+    /// arrivals with [`ClusterError::Overloaded`]. `0` disables the
+    /// bound. Shedding is the backpressure signal that keeps an
+    /// overloaded replica answering instead of collapsing under an
+    /// unbounded backlog.
+    pub queue_limit: usize,
     /// Base seed for attestation service, challenges and host RNGs.
     pub seed: u64,
 }
@@ -71,9 +78,23 @@ impl Default for ClusterConfig {
             placement: PlacementPolicy::ConsistentHash,
             seal_every: 1,
             vnodes: 64,
+            queue_limit: 256,
             seed: 0xF1EE7,
         }
     }
+}
+
+/// One replica's admission-queue counters (see [`Cluster::queue_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// The replica these counters describe.
+    pub replica: ReplicaId,
+    /// Requests currently admitted (in service or waiting on locks).
+    pub depth: usize,
+    /// Deepest the queue has ever been.
+    pub high_water: usize,
+    /// Requests refused by the bounded queue so far.
+    pub shed: u64,
 }
 
 /// What one failover did (returned by [`Cluster::health_sweep`]).
@@ -85,6 +106,18 @@ pub struct FailoverReport {
     pub successor: Option<ReplicaId>,
     /// Queries restored into the successor's window.
     pub migrated_queries: usize,
+}
+
+/// Drains an admitted queue slot on drop, so a panicking forwarded
+/// closure cannot leak admission capacity.
+struct AdmitGuard<'a> {
+    node: &'a ReplicaNode,
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        self.node.exit();
+    }
 }
 
 /// A fleet of attested enclave proxy replicas behind a routing tier.
@@ -208,6 +241,23 @@ impl Cluster {
         Duration::from_nanos(self.accounted_delay_ns.load(Ordering::Relaxed))
     }
 
+    /// Per-replica admission-queue counters: current depth, high-water
+    /// mark, and how many requests the bounded queue has shed. The
+    /// operator-facing signal that a fleet is running hot *before* it
+    /// stops answering.
+    #[must_use]
+    pub fn queue_stats(&self) -> Vec<QueueStats> {
+        self.nodes
+            .iter()
+            .map(|node| QueueStats {
+                replica: node.id(),
+                depth: node.inflight(),
+                high_water: node.queue_high_water(),
+                shed: node.shed(),
+            })
+            .collect()
+    }
+
     fn rebuild_ring(&self) {
         let routable = self.registry.routable();
         *self.ring.lock() = HashRing::build(&routable, self.config.vnodes);
@@ -283,7 +333,9 @@ impl Cluster {
     ///
     /// [`ClusterError::NotRoutable`] for unverified/deregistered
     /// replicas, [`ClusterError::ReplicaDown`] when the enclave is not
-    /// running.
+    /// running, [`ClusterError::Overloaded`] when the replica's bounded
+    /// admission queue is full (backpressure — the request is shed, not
+    /// queued).
     pub fn with_replica<T>(
         &self,
         id: ReplicaId,
@@ -295,12 +347,18 @@ impl Cluster {
         }
         let guard = node.proxy();
         let proxy = guard.as_ref().ok_or(ClusterError::ReplicaDown(id))?;
-        node.enter();
+        if !node.try_enter(self.config.queue_limit) {
+            return Err(ClusterError::Overloaded(id));
+        }
+        // The admitted slot must drain even if `f` unwinds: a leaked
+        // slot would permanently shrink this replica's bounded queue
+        // until every arrival is shed.
+        let admitted = AdmitGuard { node };
         let hop = node.sample_rtt();
         self.accounted_delay_ns
             .fetch_add(hop.as_nanos() as u64, Ordering::Relaxed);
         let out = f(proxy);
-        node.exit();
+        drop(admitted);
         if node.seal_due(self.config.seal_every) {
             node.seal_snapshot(proxy);
         }

@@ -64,7 +64,7 @@ pub mod registry;
 
 pub use client::ClusterClient;
 pub use error::ClusterError;
-pub use fleet::{Cluster, ClusterConfig, FailoverReport};
+pub use fleet::{Cluster, ClusterConfig, FailoverReport, QueueStats};
 pub use placement::PlacementPolicy;
 pub use registry::{ReplicaId, ReplicaRegistry};
 
@@ -315,6 +315,149 @@ mod tests {
             )
             .unwrap();
         assert_eq!(window, vec!["the only window"]);
+    }
+
+    fn bounded_cluster(replicas: usize, queue_limit: usize) -> Cluster {
+        Cluster::launch(
+            engine(),
+            ClusterConfig {
+                replicas,
+                queue_limit,
+                proxy: XSearchConfig {
+                    k: 2,
+                    history_capacity: 10_000,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn full_admission_queue_sheds_with_backpressure() {
+        let cluster = bounded_cluster(1, 1);
+        let id = ReplicaId(0);
+        // One request in flight fills the queue: a concurrent arrival is
+        // shed, and the queue-depth metrics record both facts.
+        let inner = cluster
+            .with_replica(id, |_| cluster.with_replica(id, |_| ()))
+            .unwrap();
+        assert_eq!(inner.unwrap_err(), ClusterError::Overloaded(id));
+        let stats = cluster.queue_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].replica, id);
+        assert_eq!(stats[0].depth, 0, "both requests have drained");
+        assert_eq!(stats[0].high_water, 1);
+        assert_eq!(stats[0].shed, 1);
+    }
+
+    #[test]
+    fn shedding_recovers_once_load_drains() {
+        let cluster = bounded_cluster(1, 1);
+        let id = ReplicaId(0);
+        let _ = cluster
+            .with_replica(id, |_| cluster.with_replica(id, |_| ()))
+            .unwrap();
+        // The queue drained with the outer request: the next one is
+        // admitted normally — shedding is backpressure, not a trip wire.
+        assert!(cluster.with_replica(id, |_| ()).is_ok());
+        assert_eq!(cluster.queue_stats()[0].shed, 1);
+    }
+
+    #[test]
+    fn overload_propagates_to_the_client_without_a_sweep() {
+        let cluster = bounded_cluster(1, 1);
+        let mut client = ClusterClient::attach(&cluster, 3).unwrap();
+        let id = client.replica();
+        let err = cluster
+            .with_replica(id, |_| client.search_echo(&cluster, "busy"))
+            .unwrap();
+        assert_eq!(err.unwrap_err(), ClusterError::Overloaded(id));
+        // The replica is healthy: it must still be enrolled and serving.
+        assert!(cluster.registry().is_routable(id));
+        assert!(client.search_echo(&cluster, "after the burst").is_ok());
+    }
+
+    #[test]
+    fn panicking_forward_does_not_leak_admission_capacity() {
+        let cluster = bounded_cluster(1, 1);
+        let id = ReplicaId(0);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cluster.with_replica(id, |_| panic!("caller bug"));
+        }));
+        assert!(unwound.is_err());
+        // The admitted slot drained during the unwind: the replica still
+        // has its full bounded capacity.
+        assert_eq!(cluster.queue_stats()[0].depth, 0);
+        assert!(cluster.with_replica(id, |_| ()).is_ok());
+    }
+
+    #[test]
+    fn unbounded_queue_never_sheds() {
+        let cluster = bounded_cluster(1, 0);
+        let id = ReplicaId(0);
+        let inner = cluster
+            .with_replica(id, |_| {
+                cluster.with_replica(id, |_| cluster.with_replica(id, |_| ()))
+            })
+            .unwrap();
+        assert!(inner.unwrap().is_ok());
+        let stats = cluster.queue_stats()[0];
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.high_water, 3);
+    }
+
+    #[test]
+    fn concurrent_burst_sheds_excess_but_serves_admitted() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cluster = std::sync::Arc::new(bounded_cluster(1, 2));
+        let served = AtomicU64::new(0);
+        let shed = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cluster = &cluster;
+                let served = &served;
+                let shed = &shed;
+                scope.spawn(move || {
+                    let mut client = match ClusterClient::attach(cluster, 100 + t) {
+                        Ok(c) => c,
+                        // Even the attach handshake can be shed under
+                        // the burst — that is the point.
+                        Err(ClusterError::Overloaded(_)) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        Err(e) => panic!("unexpected attach failure: {e}"),
+                    };
+                    for i in 0..20 {
+                        match client.search_echo(cluster, &format!("q{i}")) {
+                            Ok(_) => {
+                                served.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(ClusterError::Overloaded(_)) => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("overload must shed, not fail: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        assert!(
+            served.load(Ordering::Relaxed) > 0,
+            "admitted work completes"
+        );
+        let stats = cluster.queue_stats()[0];
+        assert!(
+            stats.high_water <= 2,
+            "the bound held: {}",
+            stats.high_water
+        );
+        assert_eq!(
+            stats.shed,
+            shed.load(Ordering::Relaxed),
+            "every refusal was reported as backpressure"
+        );
     }
 
     #[test]

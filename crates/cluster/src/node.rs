@@ -38,8 +38,13 @@ pub struct ReplicaNode {
     link: Link,
     /// Host-side randomness for sealing nonces and link sampling.
     rng: Mutex<StdRng>,
-    /// Requests currently inside this replica (least-loaded signal).
+    /// Requests currently inside this replica (least-loaded signal and
+    /// the admission queue depth — everything admitted but not finished).
     inflight: AtomicUsize,
+    /// Deepest the admission queue has ever been.
+    queue_high_water: AtomicUsize,
+    /// Requests the bounded admission queue refused (backpressure).
+    shed: AtomicU64,
     /// Requests served since launch (across enclave restarts).
     served: AtomicU64,
     /// Monotonic request tick for the sealing cadence (every
@@ -83,6 +88,8 @@ impl ReplicaNode {
             link,
             rng: Mutex::new(StdRng::seed_from_u64(host_seed ^ 0xA5A5_5A5A)),
             inflight: AtomicUsize::new(0),
+            queue_high_water: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
             served: AtomicU64::new(0),
             seal_ticks: AtomicUsize::new(0),
         }
@@ -129,8 +136,44 @@ impl ReplicaNode {
         self.served.load(Ordering::Relaxed)
     }
 
-    pub(crate) fn enter(&self) {
-        self.inflight.fetch_add(1, Ordering::Relaxed);
+    /// Deepest the admission queue has ever been on this node.
+    #[must_use]
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Requests the bounded admission queue has refused so far.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Bounded admission: atomically claims a queue slot unless the node
+    /// already holds `limit` requests (`limit == 0` disables the bound).
+    /// Returns `false` — and counts the shed — when the request must be
+    /// refused; the caller surfaces that as backpressure instead of
+    /// queueing without bound and collapsing.
+    pub(crate) fn try_enter(&self, limit: usize) -> bool {
+        let mut current = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if limit != 0 && current >= limit {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.queue_high_water
+                        .fetch_max(current + 1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(observed) => current = observed,
+            }
+        }
     }
 
     pub(crate) fn exit(&self) {

@@ -109,9 +109,30 @@ impl Broker {
         proxy: &XSearchProxy,
         query: &str,
     ) -> Result<Vec<WireResult>, XSearchError> {
-        let ciphertext = self.channel.seal(b"query", query.as_bytes());
+        let ciphertext = self.seal_query(query);
         let response = proxy.request(self.client_pub.as_bytes(), &ciphertext)?;
-        let plaintext = self.channel.open(b"results", &response)?;
+        self.open_results(&response)
+    }
+
+    /// Seals one query for the tunnel without sending it — callers that
+    /// aggregate several clients' requests into one `proxy_batch` ecall
+    /// collect these ciphertexts first. Sealing advances this session's
+    /// nonce counter, so the responses must be opened in the same order
+    /// the queries were sealed.
+    #[must_use]
+    pub fn seal_query(&mut self, query: &str) -> Vec<u8> {
+        self.channel.seal(b"query", query.as_bytes())
+    }
+
+    /// Opens one encrypted response produced for this session (the
+    /// receiving half of [`Broker::seal_query`]).
+    ///
+    /// # Errors
+    ///
+    /// Tunnel crypto failures and protocol violations; see
+    /// [`XSearchError`].
+    pub fn open_results(&mut self, response: &[u8]) -> Result<Vec<WireResult>, XSearchError> {
+        let plaintext = self.channel.open(b"results", response)?;
         decode_results(&plaintext)
     }
 
@@ -126,10 +147,9 @@ impl Broker {
         proxy: &XSearchProxy,
         query: &str,
     ) -> Result<Vec<WireResult>, XSearchError> {
-        let ciphertext = self.channel.seal(b"query", query.as_bytes());
+        let ciphertext = self.seal_query(query);
         let response = proxy.request_echo(self.client_pub.as_bytes(), &ciphertext)?;
-        let plaintext = self.channel.open(b"results", &response)?;
-        decode_results(&plaintext)
+        self.open_results(&response)
     }
 
     /// The broker's channel public key (the proxy-side session id).

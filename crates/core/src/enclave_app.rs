@@ -32,7 +32,9 @@ use crate::history::QueryHistory;
 use crate::obfuscate::{obfuscate, ObfuscatedQuery};
 use crate::redirect::strip_all;
 use crate::session::{channel_binding, SecureChannel, Side};
-use crate::wire::{decode_query_batch, encode_results, encoded_len};
+use crate::wire::{
+    decode_query_batch, decode_request_batch, encode_response_batch, encode_results, encoded_len,
+};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -250,6 +252,39 @@ impl EnclaveState {
 
         // Encrypt the response for the broker.
         Ok(channel.seal(b"results", &encode_results(&kept)))
+    }
+
+    /// The `proxy_batch` ecall: serves every entry of a length-prefixed
+    /// request batch (see [`crate::wire::encode_request_batch`]) through
+    /// the same per-request path as [`EnclaveState::request`], and
+    /// returns the encoded per-entry outcomes. One enclave transition
+    /// carries the whole batch, amortizing the crossing the way the
+    /// batched `seed` ecall amortizes history warm-up; entries fail
+    /// independently (one broken session cannot poison its neighbours).
+    ///
+    /// `fetch` is invoked once per entry, between that entry's `send` and
+    /// `recv` ocalls.
+    ///
+    /// # Errors
+    ///
+    /// [`XSearchError::Protocol`] when the batch envelope itself is
+    /// malformed; per-entry failures are reported inside the encoded
+    /// response instead.
+    pub fn request_batch<F>(
+        &self,
+        payload: &[u8],
+        port: &OcallPort,
+        fetch: F,
+    ) -> Result<Vec<u8>, XSearchError>
+    where
+        F: Fn(&[Arc<str>], usize) -> Vec<SearchResult>,
+    {
+        let requests = decode_request_batch(payload)?;
+        let responses: Vec<Result<Vec<u8>, XSearchError>> = requests
+            .iter()
+            .map(|(client_pub, ciphertext)| self.request(client_pub, ciphertext, port, &fetch))
+            .collect();
+        Ok(encode_response_batch(&responses))
     }
 
     fn fetch_via_ocalls<F>(

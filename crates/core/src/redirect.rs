@@ -8,11 +8,53 @@
 use xsearch_engine::engine::SearchResult;
 use xsearch_net_sim::http::percent_decode;
 
-/// Query-string keys that commonly carry the redirection target.
+/// Query-string keys that commonly carry the redirection target
+/// (matched case-insensitively: trackers emit `u=` and `U=` alike).
 const TARGET_KEYS: &[&str] = &["u", "url", "q", "target", "dest"];
 
+/// Path segments that mark a URL as a click-tracking redirector. A
+/// target-shaped parameter alone is **not** enough to unwrap: a
+/// legitimate result like `https://site.com/share?url=https%3A%2F%2F…`
+/// carries a URL-valued parameter without being a redirection, and
+/// rewriting it would hand the client a different page than the engine
+/// ranked.
+const REDIRECT_PATH_SEGMENTS: &[&str] = &[
+    "click", "aclick", "clck", "redirect", "redir", "r", "rd", "go", "out", "track",
+];
+
+/// Whether `url` looks like a redirector endpoint: either its final
+/// non-empty path segment (`/r?u=`, `/v2/click?u=`, `/click/?u=`) or its
+/// leading host label (`out.reddit.com/?url=`) is a known redirect
+/// handler name. Only the *endpoint* segment is considered — a short
+/// segment inside a path is routinely a content namespace (`/r/rust?q=…`,
+/// `/go/tutorial?dest=…`) whose query parameters must not be unwrapped.
+fn has_redirector_path(url: &str) -> bool {
+    let is_redirector = |segment: &str| {
+        REDIRECT_PATH_SEGMENTS
+            .iter()
+            .any(|s| segment.eq_ignore_ascii_case(s))
+    };
+    let after_scheme = url.split_once("://").map_or(url, |(_, rest)| rest);
+    let before_query = after_scheme.split('?').next().unwrap_or(after_scheme);
+    let (host, path) = before_query
+        .split_once('/')
+        .map_or((before_query, ""), |(h, p)| (h, p));
+    match path.split('/').rev().find(|segment| !segment.is_empty()) {
+        // A URL with a real path is judged by its endpoint alone — a
+        // content page on a redirector-labelled host (go.dev/blog/why)
+        // must not be rewritten.
+        Some(endpoint) => is_redirector(endpoint),
+        // Path-less trackers live on a dedicated redirector subdomain:
+        // out.example.com/?url=…, r.example.net/?u=….
+        None => host.split('.').next().is_some_and(is_redirector),
+    }
+}
+
 /// If `url` is an analytics redirector, returns the inner target URL;
-/// otherwise returns the input unchanged.
+/// otherwise returns the input unchanged. Unwrapping requires **both** a
+/// redirector-shaped path (`/click`, `/redirect`, `/r`, …) and a
+/// target-keyed parameter decoding to an http(s) URL — see
+/// [`REDIRECT_PATH_SEGMENTS`] for why the parameter alone is not enough.
 ///
 /// # Example
 ///
@@ -21,15 +63,21 @@ const TARGET_KEYS: &[&str] = &["u", "url", "q", "target", "dest"];
 /// let wrapped = "http://redirect.tracker.com/click?u=http%3A%2F%2Freal.com%2Fpage&session=1";
 /// assert_eq!(strip_redirect(wrapped), "http://real.com/page");
 /// assert_eq!(strip_redirect("http://plain.com/x"), "http://plain.com/x");
+/// // A URL-valued parameter on a non-redirector page is left alone.
+/// let share = "https://site.com/share?url=https%3A%2F%2Fother.com";
+/// assert_eq!(strip_redirect(share), share);
 /// ```
 #[must_use]
 pub fn strip_redirect(url: &str) -> String {
     let Some((_, query)) = url.split_once('?') else {
         return url.to_owned();
     };
+    if !has_redirector_path(url) {
+        return url.to_owned();
+    }
     for pair in query.split('&') {
         let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
-        if TARGET_KEYS.contains(&key) {
+        if TARGET_KEYS.iter().any(|k| key.eq_ignore_ascii_case(k)) {
             let decoded = percent_decode(value);
             if decoded.starts_with("http://") || decoded.starts_with("https://") {
                 // Recurse: trackers sometimes nest.
@@ -88,6 +136,86 @@ mod tests {
     fn non_url_params_do_not_trigger() {
         let u = "http://search.com/results?q=paris+hotels";
         assert_eq!(strip_redirect(u), u, "q is a search term, not a URL");
+    }
+
+    #[test]
+    fn url_valued_params_on_non_redirector_pages_pass_through() {
+        // Regression: these are legitimate result URLs that *carry* a
+        // URL-valued parameter; rewriting them serves the wrong page.
+        for u in [
+            "https://site.com/share?url=https%3A%2F%2Fother.com",
+            "https://news.org/article?q=https%3A%2F%2Fquoted.example",
+            "http://wiki.net/page?target=http%3A%2F%2Fcited.example&rev=7",
+        ] {
+            assert_eq!(strip_redirect(u), u);
+        }
+    }
+
+    #[test]
+    fn uppercase_target_keys_are_unwrapped() {
+        // Regression: `U=` trackers used to slip through the
+        // case-sensitive key match.
+        let w = "http://t.co/r?U=https%3A%2F%2Fnews.site%2Farticle";
+        assert_eq!(strip_redirect(w), "https://news.site/article");
+        let w2 = "http://ads.example/Click?URL=http%3A%2F%2Freal.com";
+        assert_eq!(strip_redirect(w2), "http://real.com");
+    }
+
+    #[test]
+    fn redirector_path_is_required_even_for_u_keys() {
+        let u = "https://profile.example/user?u=https%3A%2F%2Fhomepage.example";
+        assert_eq!(strip_redirect(u), u);
+    }
+
+    #[test]
+    fn nested_redirector_endpoints_still_match() {
+        let w = "http://tracker.com/v2/click?u=http%3A%2F%2Freal.com";
+        assert_eq!(strip_redirect(w), "http://real.com");
+    }
+
+    #[test]
+    fn trailing_slash_and_host_label_redirectors_still_unwrap() {
+        // Regressions from the endpoint gate's first draft: a handler
+        // with a trailing slash, and path-less redirector subdomains.
+        for (wrapped, inner) in [
+            (
+                "http://ads.example/click/?u=http%3A%2F%2Freal.com",
+                "http://real.com",
+            ),
+            (
+                "https://out.reddit.example/?url=https%3A%2F%2Freal.com",
+                "https://real.com",
+            ),
+            (
+                "https://r.example.net/?u=https%3A%2F%2Freal.com",
+                "https://real.com",
+            ),
+        ] {
+            assert_eq!(strip_redirect(wrapped), inner);
+        }
+        // A content page on a redirector-labelled host is judged by its
+        // path endpoint, not the host: it must stay put.
+        for u in [
+            "https://go.example/blog/why?dest=https%3A%2F%2Fspec.example",
+            "https://r.example.net/articles/1?u=https%3A%2F%2Fcited.example",
+        ] {
+            assert_eq!(strip_redirect(u), u);
+        }
+        // ...while an ordinary host with a root-path URL param stays put.
+        let share = "https://site.example/?url=https%3A%2F%2Fother.com";
+        assert_eq!(strip_redirect(share), share);
+    }
+
+    #[test]
+    fn redirector_named_namespaces_are_not_endpoints() {
+        // `r`/`go` as an *interior* segment is a content namespace, not
+        // a redirect handler — its URL-valued parameters stay put.
+        for u in [
+            "https://reddit.example/r/rust?q=https%3A%2F%2Fdocs.example",
+            "https://lang.example/go/tutorial?dest=https%3A%2F%2Fspec.example",
+        ] {
+            assert_eq!(strip_redirect(u), u);
+        }
     }
 
     #[test]

@@ -268,6 +268,80 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edges_bracket_the_extremes() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 5, 64, 1_000, 123_456] {
+            h.record(v);
+        }
+        // q = 0 lands in the minimum's bucket, clamped up to the exact min.
+        assert_eq!(h.quantile(0.0), h.min());
+        // q = 1 lands in the maximum's bucket: within one sub-bucket of max.
+        let top = h.quantile(1.0);
+        assert!(top <= h.max());
+        assert!(top as f64 >= h.max() as f64 * (1.0 - 1.0 / 32.0) - 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_edge_quantiles_and_merge() {
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+
+        // empty ∪ empty is still empty...
+        let mut a = LatencyHistogram::new();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 0);
+
+        // ...merging empty into data changes nothing observable...
+        let mut b = LatencyHistogram::new();
+        b.record(42);
+        b.merge(&LatencyHistogram::new());
+        assert_eq!((b.count(), b.min(), b.max()), (1, 42, 42));
+        assert_eq!(b.quantile(0.5), 42);
+
+        // ...and merging data into empty adopts it (the empty side's
+        // u64::MAX min sentinel must not leak).
+        let mut c = LatencyHistogram::new();
+        c.merge(&b);
+        assert_eq!((c.count(), c.min(), c.max()), (1, 42, 42));
+        assert!((c.mean() - 42.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Merging per-thread histograms must be observably identical to
+        /// having recorded every value into a single histogram: same
+        /// count/min/max/mean and the same value at *every* quantile.
+        #[test]
+        fn merge_of_two_recorders_equals_one_recorder(
+            left in proptest::collection::vec(0u64..10_000_000, 0..200),
+            right in proptest::collection::vec(0u64..10_000_000, 0..200),
+        ) {
+            let mut a = LatencyHistogram::new();
+            let mut b = LatencyHistogram::new();
+            let mut one = LatencyHistogram::new();
+            for &v in &left {
+                a.record(v);
+                one.record(v);
+            }
+            for &v in &right {
+                b.record(v);
+                one.record(v);
+            }
+            a.merge(&b);
+            prop_assert_eq!(a.count(), one.count());
+            prop_assert_eq!(a.min(), one.min());
+            prop_assert_eq!(a.max(), one.max());
+            prop_assert!((a.mean() - one.mean()).abs() < 1e-9);
+            for i in 0..=20 {
+                let q = f64::from(i) / 20.0;
+                prop_assert_eq!(a.quantile(q), one.quantile(q), "q = {}", q);
+            }
+        }
+    }
+
+    #[test]
     fn index_value_roundtrip_is_within_bucket() {
         for value in [0u64, 1, 63, 64, 65, 127, 128, 1000, 65_535, 1 << 40] {
             let idx = LatencyHistogram::index_of(value);

@@ -277,6 +277,12 @@ fn take_body(headers: &BTreeMap<String, String>, body: &[u8]) -> Result<Vec<u8>,
 }
 
 /// Percent-decodes a URL query component (`+` → space, `%xx` → byte).
+///
+/// An escape is only an escape when **both** of the two following bytes
+/// are ASCII hex digits; anything else (truncated `%4`, or `%+5` — which
+/// a `u8::from_str_radix`-based parser would accept because the parser
+/// tolerates a leading `+` sign) passes the `%` through literally and
+/// keeps decoding from the next byte.
 #[must_use]
 pub fn percent_decode(s: &str) -> String {
     let bytes = s.as_bytes();
@@ -285,18 +291,15 @@ pub fn percent_decode(s: &str) -> String {
     while i < bytes.len() {
         match bytes[i] {
             b'+' => out.push(b' '),
-            b'%' if i + 3 <= bytes.len() => {
-                match std::str::from_utf8(&bytes[i + 1..i + 3])
-                    .ok()
-                    .and_then(|h| u8::from_str_radix(h, 16).ok())
-                {
-                    Some(b) => {
-                        out.push(b);
-                        i += 3;
-                        continue;
-                    }
-                    None => out.push(b'%'),
-                }
+            b'%' if i + 3 <= bytes.len()
+                && bytes[i + 1].is_ascii_hexdigit()
+                && bytes[i + 2].is_ascii_hexdigit() =>
+            {
+                let hi = (bytes[i + 1] as char).to_digit(16).expect("checked hex");
+                let lo = (bytes[i + 2] as char).to_digit(16).expect("checked hex");
+                out.push((hi as u8) << 4 | lo as u8);
+                i += 3;
+                continue;
             }
             b => out.push(b),
         }
@@ -370,6 +373,38 @@ mod tests {
         for s in ["cheap flights", "c++ tutorial", "100% cotton", "a&b=c"] {
             assert_eq!(percent_decode(&percent_encode(s)), s, "{s}");
         }
+    }
+
+    #[test]
+    fn signed_hex_is_not_an_escape() {
+        // Regression: `u8::from_str_radix("+5", 16)` parses to 5, so a
+        // lenient decoder turned `%+5` into the control byte 0x05. The
+        // `%` must pass through; the `+` still decodes to a space by the
+        // normal query rules.
+        assert_eq!(percent_decode("%+5"), "% 5");
+        assert_eq!(percent_decode("% 5"), "% 5");
+        assert_eq!(percent_decode("%-5"), "%-5");
+    }
+
+    #[test]
+    fn truncated_escapes_pass_through() {
+        assert_eq!(percent_decode("%"), "%");
+        assert_eq!(percent_decode("%4"), "%4");
+        assert_eq!(percent_decode("abc%"), "abc%");
+    }
+
+    #[test]
+    fn non_hex_escapes_pass_through() {
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%4g"), "%4g");
+        // ...and decoding resumes immediately after the literal `%`:
+        // the next byte may itself start a valid escape.
+        assert_eq!(percent_decode("%%41"), "%A");
+    }
+
+    #[test]
+    fn hex_case_is_accepted_both_ways() {
+        assert_eq!(percent_decode("%2b%2B"), "++");
     }
 
     #[test]

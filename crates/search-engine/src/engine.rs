@@ -79,10 +79,10 @@ impl SearchEngine {
 
     /// The paper's obfuscated-query execution: submit each sub-query
     /// independently (top `k_each` results each) and merge the result
-    /// sets, deduplicating by document and keeping each document's best
-    /// score. Merge order interleaves the per-sub-query rankings
-    /// (rank 1 of each sub-query, then rank 2, …) so no sub-query is
-    /// privileged — the search engine does not know which one is real.
+    /// sets with [`merge_ranked`]. This form evaluates the sub-queries
+    /// **serially on the caller's thread** — it is the paper's seed
+    /// behavior and the baseline the e2e k-sweep compares against;
+    /// [`crate::pool::SearchPool::search_merged`] is the parallel form.
     ///
     /// Generic over the sub-query representation so the enclave's
     /// `Arc<str>` sub-queries cross without re-owning each string.
@@ -96,18 +96,7 @@ impl SearchEngine {
             .iter()
             .map(|q| self.search(q.as_ref(), k_each))
             .collect();
-        let mut merged: Vec<SearchResult> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for rank_pos in 0..k_each {
-            for results in &per_query {
-                if let Some(r) = results.get(rank_pos) {
-                    if seen.insert(r.doc) {
-                        merged.push(r.clone());
-                    }
-                }
-            }
-        }
-        merged
+        merge_ranked(per_query, k_each)
     }
 
     fn to_result(&self, doc: DocId, score: f64) -> SearchResult {
@@ -120,6 +109,30 @@ impl SearchEngine {
             score,
         }
     }
+}
+
+/// Merges per-sub-query rankings into one result list, deduplicating by
+/// document and keeping each document's first-seen (best-ranked) entry.
+/// Merge order interleaves the rankings (rank 1 of each sub-query, then
+/// rank 2, …) so no sub-query is privileged — the search engine does not
+/// know which one is real.
+///
+/// Shared by the serial [`SearchEngine::search_merged`] and the parallel
+/// [`crate::pool::SearchPool`], so both produce byte-identical merges.
+#[must_use]
+pub fn merge_ranked(per_query: Vec<Vec<SearchResult>>, k_each: usize) -> Vec<SearchResult> {
+    let mut merged: Vec<SearchResult> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for rank_pos in 0..k_each {
+        for results in &per_query {
+            if let Some(r) = results.get(rank_pos) {
+                if seen.insert(r.doc) {
+                    merged.push(r.clone());
+                }
+            }
+        }
+    }
+    merged
 }
 
 #[cfg(test)]

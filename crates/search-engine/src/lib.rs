@@ -12,7 +12,11 @@
 //! * [`engine`] — the query front-end, including the paper's §5.3.2
 //!   workaround for Bing's single-word-OR limitation (submit each
 //!   sub-query independently and merge the result sets);
-//! * [`service`] — a latency-modeled wrapper for end-to-end experiments.
+//! * [`pool`] — a sharded worker pool that performs that sub-query
+//!   fan-out **concurrently**, the way the proxy really issues them;
+//! * [`service`] — a latency-modeled wrapper for end-to-end experiments,
+//!   attaching per-sub-query service times to the pool's actual
+//!   parallel executions.
 //!
 //! # Example
 //!
@@ -33,7 +37,9 @@ pub mod corpus;
 pub mod document;
 pub mod engine;
 pub mod index;
+pub mod pool;
 pub mod service;
 
 pub use document::{DocId, Document};
 pub use engine::{SearchEngine, SearchResult};
+pub use pool::SearchPool;

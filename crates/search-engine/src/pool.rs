@@ -1,0 +1,327 @@
+//! A persistent, sharded worker pool that evaluates the k+1 sub-queries
+//! of a merged request **concurrently** — the real fan-out the paper's
+//! proxy performs against Bing (§5.3.2 submits each sub-query as its own
+//! engine request, in flight at the same time).
+//!
+//! # Sharding
+//!
+//! Each worker owns a private job queue; a merged request claims a run of
+//! consecutive lanes with one atomic `fetch_add`, so its sub-queries land
+//! on distinct workers whenever the pool is at least k+1 wide. Index
+//! reads are `&self` (the BM25 index is immutable after build), so
+//! workers share one [`SearchEngine`] without locking.
+//!
+//! # Accounting
+//!
+//! [`SearchPool::search_merged_accounted`] reports, per sub-query, the
+//! lane it ran on and its measured compute time. Latency models (see
+//! [`crate::service::EngineService`]) attach per-sub-query service-time
+//! draws to these *actual* executions and charge the resulting per-lane
+//! makespan — replacing the seed's synthesized "max of independent draws"
+//! with delays tied to work that really runs in parallel.
+
+use crate::engine::{merge_ranked, SearchEngine, SearchResult};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Upper bound on pool width: the e2e experiments sweep k ≤ 15, i.e. at
+/// most 16 concurrent sub-queries per request.
+pub const MAX_WORKERS: usize = 16;
+
+/// A sub-query representation the pool can dispatch. Worker jobs carry
+/// `Arc<str>`, so `Arc<str>` inputs — the enclave's hot path — bump a
+/// refcount instead of copying the string; owned and borrowed strings
+/// are copied into a shared allocation once at dispatch.
+pub trait SubQuery {
+    /// Borrows the query text.
+    fn as_str(&self) -> &str;
+    /// The shared form a worker job carries.
+    fn to_shared(&self) -> Arc<str>;
+}
+
+impl SubQuery for Arc<str> {
+    fn as_str(&self) -> &str {
+        self
+    }
+    fn to_shared(&self) -> Arc<str> {
+        Arc::clone(self)
+    }
+}
+
+impl SubQuery for String {
+    fn as_str(&self) -> &str {
+        self
+    }
+    fn to_shared(&self) -> Arc<str> {
+        Arc::from(self.as_str())
+    }
+}
+
+impl SubQuery for &str {
+    fn as_str(&self) -> &str {
+        self
+    }
+    fn to_shared(&self) -> Arc<str> {
+        Arc::from(*self)
+    }
+}
+
+/// How one sub-query of a merged request actually executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubQueryRun {
+    /// The worker lane the sub-query ran on.
+    pub lane: usize,
+    /// Measured evaluation time on that lane.
+    pub compute: Duration,
+}
+
+struct Job {
+    query: Arc<str>,
+    k_each: usize,
+    slot: usize,
+    reply: Sender<Reply>,
+}
+
+struct Reply {
+    slot: usize,
+    compute: Duration,
+    results: Vec<SearchResult>,
+}
+
+/// A sharded pool of engine-evaluation workers.
+pub struct SearchPool {
+    engine: Arc<SearchEngine>,
+    lanes: Vec<Sender<Job>>,
+    next: AtomicUsize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SearchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchPool")
+            .field("workers", &self.lanes.len())
+            .finish()
+    }
+}
+
+impl SearchPool {
+    /// Spawns `workers` evaluation threads over `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn new(engine: Arc<SearchEngine>, workers: usize) -> Self {
+        assert!(workers > 0, "a search pool needs at least one worker");
+        let mut lanes = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for lane in 0..workers {
+            let (tx, rx) = unbounded::<Job>();
+            let engine = engine.clone();
+            lanes.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("xsearch-pool-{lane}"))
+                    .spawn(move || worker_loop(&engine, &rx))
+                    .expect("spawn pool worker"),
+            );
+        }
+        SearchPool {
+            engine,
+            lanes,
+            next: AtomicUsize::new(0),
+            workers: handles,
+        }
+    }
+
+    /// Pool width.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The engine the workers evaluate against.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<SearchEngine> {
+        &self.engine
+    }
+
+    /// The parallel counterpart of [`SearchEngine::search_merged`]:
+    /// dispatches every sub-query to a worker lane, collects the ranked
+    /// lists, and merges them. Produces exactly the serial form's output
+    /// (same [`merge_ranked`] over the same per-sub-query rankings).
+    #[must_use]
+    pub fn search_merged<S: SubQuery>(&self, subqueries: &[S], k_each: usize) -> Vec<SearchResult> {
+        self.search_merged_accounted(subqueries, k_each).0
+    }
+
+    /// [`SearchPool::search_merged`] plus per-sub-query execution
+    /// accounting (lane and measured compute time, in sub-query order).
+    #[must_use]
+    pub fn search_merged_accounted<S: SubQuery>(
+        &self,
+        subqueries: &[S],
+        k_each: usize,
+    ) -> (Vec<SearchResult>, Vec<SubQueryRun>) {
+        let n = subqueries.len();
+        if n == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        // One fetch_add claims n consecutive lanes: the sub-queries of
+        // one request never share a worker while n <= pool width.
+        let first_lane = self.next.fetch_add(n, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = unbounded::<Reply>();
+        let mut runs = Vec::with_capacity(n);
+        for (slot, query) in subqueries.iter().enumerate() {
+            let lane = (first_lane + slot) % self.lanes.len();
+            runs.push(SubQueryRun {
+                lane,
+                compute: Duration::ZERO,
+            });
+            let sent = self.lanes[lane].send(Job {
+                query: query.to_shared(),
+                k_each,
+                slot,
+                reply: reply_tx.clone(),
+            });
+            assert!(sent.is_ok(), "pool worker is alive while the pool exists");
+        }
+        drop(reply_tx);
+        let mut per_query: Vec<Vec<SearchResult>> = (0..n).map(|_| Vec::new()).collect();
+        for _ in 0..n {
+            let reply = reply_rx.recv().expect("worker must reply once per job");
+            runs[reply.slot].compute = reply.compute;
+            per_query[reply.slot] = reply.results;
+        }
+        (merge_ranked(per_query, k_each), runs)
+    }
+}
+
+impl Drop for SearchPool {
+    fn drop(&mut self) {
+        // Dropping every job sender disconnects the per-lane channels;
+        // workers drain outstanding jobs and exit.
+        self.lanes.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(engine: &SearchEngine, jobs: &Receiver<Job>) {
+    while let Ok(job) = jobs.recv() {
+        let start = Instant::now();
+        let results = engine.search(&job.query, job.k_each);
+        // A caller that gave up waiting has dropped the receiver; that
+        // is its business, not a worker error.
+        let _ = job.reply.send(Reply {
+            slot: job.slot,
+            compute: start.elapsed(),
+            results,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+    use std::collections::HashSet;
+
+    fn engine() -> Arc<SearchEngine> {
+        Arc::new(SearchEngine::build(&CorpusConfig {
+            docs_per_topic: 30,
+            ..Default::default()
+        }))
+    }
+
+    #[test]
+    fn parallel_merge_equals_serial_merge() {
+        let engine = engine();
+        let pool = SearchPool::new(engine.clone(), 4);
+        for subs in [
+            vec!["flights hotel".to_owned()],
+            vec!["flights hotel".to_owned(), "symptoms doctor".to_owned()],
+            vec![
+                "flights hotel".to_owned(),
+                "symptoms doctor".to_owned(),
+                "mortgage rates".to_owned(),
+                "nfl scores".to_owned(),
+                "cheap cruise".to_owned(),
+            ],
+        ] {
+            let serial = engine.search_merged(&subs, 10);
+            let parallel = pool.search_merged(&subs, 10);
+            assert_eq!(serial, parallel);
+        }
+    }
+
+    #[test]
+    fn one_request_spreads_over_distinct_lanes() {
+        let pool = SearchPool::new(engine(), 8);
+        let subs: Vec<String> = (0..8).map(|i| format!("query number {i}")).collect();
+        let (_, runs) = pool.search_merged_accounted(&subs, 5);
+        let lanes: HashSet<usize> = runs.iter().map(|r| r.lane).collect();
+        assert_eq!(
+            lanes.len(),
+            8,
+            "8 sub-queries on an 8-wide pool: all distinct lanes"
+        );
+    }
+
+    #[test]
+    fn narrow_pool_wraps_lanes_and_stays_correct() {
+        let engine = engine();
+        let pool = SearchPool::new(engine.clone(), 2);
+        let subs = vec![
+            "flights hotel".to_owned(),
+            "symptoms doctor".to_owned(),
+            "mortgage rates".to_owned(),
+        ];
+        let (merged, runs) = pool.search_merged_accounted(&subs, 10);
+        assert_eq!(merged, engine.search_merged(&subs, 10));
+        assert!(runs.iter().all(|r| r.lane < 2));
+        assert_eq!(runs.len(), 3);
+    }
+
+    #[test]
+    fn empty_request_is_empty() {
+        let pool = SearchPool::new(engine(), 2);
+        let (merged, runs) = pool.search_merged_accounted(&Vec::<String>::new(), 10);
+        assert!(merged.is_empty() && runs.is_empty());
+    }
+
+    #[test]
+    fn pool_survives_concurrent_callers() {
+        let engine = engine();
+        let pool = SearchPool::new(engine.clone(), 4);
+        let expected = engine.search_merged(&["flights hotel", "symptoms doctor"], 10);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..20 {
+                        let merged = pool.search_merged(&["flights hotel", "symptoms doctor"], 10);
+                        assert_eq!(merged, expected);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        // Dropping the pool must not hang or leak panicking threads.
+        let pool = SearchPool::new(engine(), 3);
+        let _ = pool.search_merged(&["flights".to_owned()], 5);
+        drop(pool);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = SearchPool::new(engine(), 0);
+    }
+}

@@ -1,64 +1,209 @@
 //! Latency-modeled engine service for end-to-end experiments.
 //!
-//! Wraps a [`SearchEngine`] with the WAN model's engine service time so the
-//! Fig 7 harness can account a realistic per-query delay without sleeping.
+//! Wraps a [`SearchEngine`] with the WAN model's engine service time so
+//! the end-to-end harnesses can account a realistic per-query delay
+//! without sleeping.
+//!
+//! The seed version of this module *synthesized* concurrency: the engine
+//! evaluated the k+1 sub-queries strictly serially while the model
+//! charged the **max** of k+1 independent delay draws, as if they had run
+//! in parallel. Merged mode now dispatches the sub-queries through a real
+//! [`SearchPool`] and attaches one service-time draw to each *actual*
+//! execution: the charged delay is the makespan over worker lanes —
+//! `max` over lanes of `Σ (draw + measured compute)` of the sub-queries
+//! that lane really ran. A pool at least k+1 wide therefore charges a
+//! max-of-draws-shaped delay because the fan-out is real, and a narrower
+//! pool honestly charges the queueing its width imposes.
+//! [`EngineService::serial`] keeps the seed's serial evaluator as an
+//! explicit baseline and charges the serial truth: the **sum** of the
+//! per-sub-query draws.
 
 use crate::engine::{SearchEngine, SearchResult};
+use crate::pool::{SearchPool, SubQuery, MAX_WORKERS};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use xsearch_net_sim::DelayModel;
 
+/// How merged-mode sub-queries are executed.
+enum Exec {
+    /// The seed baseline: serial on the caller's thread, delays summed.
+    Serial,
+    /// Real fan-out over a worker pool, delays combined per-lane.
+    Pool(SearchPool),
+}
+
 /// A search engine with a modeled service-time distribution.
-#[derive(Debug)]
 pub struct EngineService {
-    engine: SearchEngine,
+    engine: Arc<SearchEngine>,
     service_time: DelayModel,
     rng: Mutex<StdRng>,
+    exec: Exec,
+    /// Total modeled service time charged so far (ns) — harnesses read
+    /// per-request deltas instead of re-deriving the model outside the
+    /// pipeline.
+    accounted_ns: AtomicU64,
+    /// Total caller wall time spent inside evaluations (ns) — see
+    /// [`EngineService::accounted_fetch_wall`].
+    fetch_wall_ns: AtomicU64,
+}
+
+impl std::fmt::Debug for EngineService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineService")
+            .field("service_time", &self.service_time)
+            .field(
+                "workers",
+                &match &self.exec {
+                    Exec::Serial => 0,
+                    Exec::Pool(pool) => pool.workers(),
+                },
+            )
+            .finish()
+    }
 }
 
 impl EngineService {
-    /// Wraps `engine` with a service-time model.
+    /// Wraps `engine` with a service-time model and a full-width
+    /// ([`MAX_WORKERS`]) evaluation pool.
     #[must_use]
-    pub fn new(engine: SearchEngine, service_time: DelayModel, seed: u64) -> Self {
+    pub fn new(engine: Arc<SearchEngine>, service_time: DelayModel, seed: u64) -> Self {
+        Self::with_workers(engine, service_time, seed, MAX_WORKERS)
+    }
+
+    /// Wraps `engine` with a service-time model and a `workers`-wide
+    /// evaluation pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero (use [`EngineService::serial`] for the
+    /// serial baseline).
+    #[must_use]
+    pub fn with_workers(
+        engine: Arc<SearchEngine>,
+        service_time: DelayModel,
+        seed: u64,
+        workers: usize,
+    ) -> Self {
+        let pool = SearchPool::new(engine.clone(), workers);
         EngineService {
             engine,
             service_time,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            exec: Exec::Pool(pool),
+            accounted_ns: AtomicU64::new(0),
+            fetch_wall_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The seed's strictly serial merged-mode evaluator, kept as the
+    /// honest baseline: sub-queries run one after another on the caller's
+    /// thread and the charged delay is the **sum** of the per-sub-query
+    /// draws plus the measured serial compute.
+    #[must_use]
+    pub fn serial(engine: Arc<SearchEngine>, service_time: DelayModel, seed: u64) -> Self {
+        EngineService {
+            engine,
+            service_time,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            exec: Exec::Serial,
+            accounted_ns: AtomicU64::new(0),
+            fetch_wall_ns: AtomicU64::new(0),
         }
     }
 
     /// Executes a query, returning results and the modeled service time
     /// (query evaluation inside the engine's datacenter).
     pub fn search(&self, query: &str, k: usize) -> (Vec<SearchResult>, Duration) {
+        let start = Instant::now();
         let results = self.engine.search(query, k);
+        self.charge_wall(start.elapsed());
         let delay = self.service_time.sample(&mut *self.rng.lock());
+        self.charge(delay);
         (results, delay)
     }
 
-    /// Executes an obfuscated query in the paper's merged mode.
-    pub fn search_merged(
+    /// Executes an obfuscated query in the paper's merged mode and
+    /// returns the merged results plus the modeled end-to-end engine
+    /// delay of this request's sub-query executions (see module docs for
+    /// how serial and pooled modes charge it).
+    pub fn search_merged<S: SubQuery>(
         &self,
-        subqueries: &[String],
+        subqueries: &[S],
         k_each: usize,
     ) -> (Vec<SearchResult>, Duration) {
-        let results = self.engine.search_merged(subqueries, k_each);
-        // Each sub-query costs an independent engine evaluation; the
-        // sub-queries execute concurrently from the proxy, so the modeled
-        // time is the max of the independent draws.
-        let mut rng = self.rng.lock();
-        let delay = (0..subqueries.len().max(1))
-            .map(|_| self.service_time.sample(&mut *rng))
-            .max()
-            .unwrap_or(Duration::ZERO);
+        let n = subqueries.len();
+        // Draw the per-sub-query service times up front, under one lock:
+        // the draw sequence depends only on call order, never on worker
+        // scheduling, so a fixed seed replays identically.
+        let draws: Vec<Duration> = {
+            let mut rng = self.rng.lock();
+            (0..n)
+                .map(|_| self.service_time.sample(&mut *rng))
+                .collect()
+        };
+        let start = Instant::now();
+        let (results, delay) = match &self.exec {
+            Exec::Serial => {
+                let texts: Vec<&str> = subqueries.iter().map(SubQuery::as_str).collect();
+                let results = self.engine.search_merged(&texts, k_each);
+                let compute = start.elapsed();
+                (results, draws.iter().sum::<Duration>() + compute)
+            }
+            Exec::Pool(pool) => {
+                let (results, runs) = pool.search_merged_accounted(subqueries, k_each);
+                // Makespan over the lanes this request actually used:
+                // each lane serves its sub-queries back to back, lanes
+                // run concurrently.
+                let mut lane_busy = vec![Duration::ZERO; pool.workers()];
+                for (run, draw) in runs.iter().zip(&draws) {
+                    lane_busy[run.lane] += *draw + run.compute;
+                }
+                let makespan = lane_busy.into_iter().max().unwrap_or(Duration::ZERO);
+                (results, makespan)
+            }
+        };
+        self.charge_wall(start.elapsed());
+        self.charge(delay);
         (results, delay)
     }
 
     /// The wrapped engine.
     #[must_use]
-    pub fn engine(&self) -> &SearchEngine {
+    pub fn engine(&self) -> &Arc<SearchEngine> {
         &self.engine
+    }
+
+    /// Total modeled engine service time charged so far. End-to-end
+    /// harnesses read the delta around a request to attribute the engine
+    /// leg of that request's latency.
+    #[must_use]
+    pub fn accounted_delay(&self) -> Duration {
+        Duration::from_nanos(self.accounted_ns.load(Ordering::Relaxed))
+    }
+
+    /// Total **wall time the caller actually spent** inside this
+    /// service's evaluations. The modeled delay above already contains
+    /// the measured compute of each execution, and that same time also
+    /// elapses for real on the caller's clock — a harness that adds
+    /// `accounted_delay()` to a measured request wall time must subtract
+    /// this to avoid counting the in-process evaluation twice.
+    #[must_use]
+    pub fn accounted_fetch_wall(&self) -> Duration {
+        Duration::from_nanos(self.fetch_wall_ns.load(Ordering::Relaxed))
+    }
+
+    fn charge(&self, delay: Duration) {
+        self.accounted_ns
+            .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn charge_wall(&self, wall: Duration) {
+        self.fetch_wall_ns
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -67,32 +212,84 @@ mod tests {
     use super::*;
     use crate::corpus::CorpusConfig;
 
-    fn service() -> EngineService {
-        let engine = SearchEngine::build(&CorpusConfig {
+    const SERVICE_MS: u64 = 350;
+
+    fn engine() -> Arc<SearchEngine> {
+        Arc::new(SearchEngine::build(&CorpusConfig {
             docs_per_topic: 10,
             ..Default::default()
-        });
-        EngineService::new(engine, DelayModel::constant_ms(350), 1)
+        }))
+    }
+
+    fn service(workers: usize) -> EngineService {
+        EngineService::with_workers(engine(), DelayModel::constant_ms(SERVICE_MS), 1, workers)
     }
 
     #[test]
     fn search_reports_modeled_delay() {
-        let s = service();
+        let s = service(2);
         let (_, d) = s.search("flights", 10);
-        assert_eq!(d, Duration::from_millis(350));
+        assert_eq!(d, Duration::from_millis(SERVICE_MS));
     }
 
     #[test]
-    fn merged_delay_is_max_of_draws() {
-        let s = service();
-        let (_, d) = s.search_merged(&["flights".into(), "hotel".into()], 10);
-        // Constant model: max of equal draws is the constant.
-        assert_eq!(d, Duration::from_millis(350));
+    fn merged_delay_is_one_service_time_when_fanout_is_real() {
+        // 2 sub-queries on a 2-wide pool: both draws overlap, so the
+        // charged delay is one constant draw plus that lane's (small)
+        // measured compute — far below the 700 ms a serial engine pays.
+        let s = service(2);
+        let (_, d) = s.search_merged(&["flights".to_owned(), "hotel".to_owned()], 10);
+        assert!(d >= Duration::from_millis(SERVICE_MS), "got {d:?}");
+        assert!(d < Duration::from_millis(2 * SERVICE_MS), "got {d:?}");
+    }
+
+    #[test]
+    fn narrow_pool_charges_its_queueing() {
+        // 4 sub-queries over 2 lanes: each lane serves 2 draws back to
+        // back, so the makespan is at least two service times.
+        let s = service(2);
+        let subs: Vec<String> = (0..4).map(|i| format!("query {i}")).collect();
+        let (_, d) = s.search_merged(&subs, 10);
+        assert!(d >= Duration::from_millis(2 * SERVICE_MS), "got {d:?}");
+        assert!(d < Duration::from_millis(4 * SERVICE_MS), "got {d:?}");
+    }
+
+    #[test]
+    fn serial_baseline_charges_the_sum() {
+        let s = EngineService::serial(engine(), DelayModel::constant_ms(SERVICE_MS), 1);
+        let subs: Vec<String> = (0..4).map(|i| format!("query {i}")).collect();
+        let (_, d) = s.search_merged(&subs, 10);
+        assert!(d >= Duration::from_millis(4 * SERVICE_MS), "got {d:?}");
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_on_results() {
+        let pooled = service(3);
+        let serial = EngineService::serial(
+            pooled.engine().clone(),
+            DelayModel::constant_ms(SERVICE_MS),
+            1,
+        );
+        let subs = vec!["flights hotel".to_owned(), "symptoms doctor".to_owned()];
+        assert_eq!(
+            pooled.search_merged(&subs, 10).0,
+            serial.search_merged(&subs, 10).0
+        );
+    }
+
+    #[test]
+    fn accounted_delay_accumulates_per_request() {
+        let s = service(2);
+        let before = s.accounted_delay();
+        let (_, d) = s.search_merged(&["flights".to_owned(), "hotel".to_owned()], 10);
+        assert_eq!(s.accounted_delay() - before, d);
+        let (_, d2) = s.search("flights", 10);
+        assert_eq!(s.accounted_delay() - before, d + d2);
     }
 
     #[test]
     fn results_flow_through() {
-        let s = service();
+        let s = service(2);
         let (rs, _) = s.search("flights hotel", 10);
         assert!(!rs.is_empty());
     }

@@ -32,10 +32,13 @@ impl Schedule {
         Duration::from_nanos((self.nanos_per_request * index as f64) as u64)
     }
 
-    /// How many requests are due within `window`.
+    /// How many requests are due within `window`: the count of indices
+    /// `i` with `due_at(i) <= window`. Request 0 is due at t = 0, so any
+    /// window contains at least one request — at 100 req/s a 95 ms
+    /// window holds the 10 requests due at 0, 10, …, 90 ms.
     #[must_use]
     pub fn requests_within(&self, window: Duration) -> u64 {
-        (window.as_nanos() as f64 / self.nanos_per_request).floor() as u64
+        (window.as_nanos() as f64 / self.nanos_per_request).floor() as u64 + 1
     }
 }
 
@@ -55,8 +58,12 @@ mod tests {
     #[test]
     fn requests_within_window() {
         let s = Schedule::new(100.0);
-        assert_eq!(s.requests_within(Duration::from_secs(1)), 100);
-        assert_eq!(s.requests_within(Duration::from_millis(95)), 9);
+        // Due at 0, 10, …, 1000 ms inclusive: 101 requests.
+        assert_eq!(s.requests_within(Duration::from_secs(1)), 101);
+        // Due at 0, 10, …, 90 ms: request 0 counts, so 10 — not 9.
+        assert_eq!(s.requests_within(Duration::from_millis(95)), 10);
+        // The degenerate window still holds request 0.
+        assert_eq!(s.requests_within(Duration::ZERO), 1);
     }
 
     #[test]
@@ -78,6 +85,29 @@ mod tests {
             let window = Duration::from_secs(secs);
             let n = s.requests_within(window);
             prop_assert!(s.due_at(n) >= window || n > 0 && s.due_at(n) <= window + Duration::from_millis(1));
+        }
+
+        /// `requests_within` counts exactly the indices `due_at` places
+        /// inside the window: the last counted request is due within it
+        /// (modulo float rounding) and the first uncounted one is not.
+        #[test]
+        fn requests_within_matches_due_at(rate in 1.0f64..1e5, window_ms in 0u64..20_000) {
+            let s = Schedule::new(rate);
+            let window = Duration::from_millis(window_ms);
+            let n = s.requests_within(window);
+            prop_assert!(n >= 1, "request 0 is always due");
+            let slack = Duration::from_micros(1);
+            prop_assert!(
+                s.due_at(n - 1) <= window + slack,
+                "request {} due {:?} is outside the {window:?} window",
+                n - 1,
+                s.due_at(n - 1),
+            );
+            prop_assert!(
+                s.due_at(n) + slack > window,
+                "request {n} due {:?} should be past the {window:?} window",
+                s.due_at(n),
+            );
         }
     }
 }

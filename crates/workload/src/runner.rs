@@ -150,7 +150,9 @@ mod tests {
             calls.fetch_add(1, Ordering::Relaxed);
             true
         });
-        let expected = (spec.rate_per_sec * spec.duration.as_secs_f64()) as u64;
+        // Request 0 is due at t = 0, so the run sends rate × duration
+        // requests *plus one* (the schedule's fencepost).
+        let expected = (spec.rate_per_sec * spec.duration.as_secs_f64()) as u64 + 1;
         assert_eq!(report.completed, expected);
         assert_eq!(calls.load(Ordering::Relaxed), expected);
         assert!(report.kept_up(), "achieved {}", report.achieved_rate());
