@@ -81,9 +81,11 @@ impl PeasClient {
             .handle(&forwarded, fetch)
             .map_err(PeasError::Issuer)?;
 
+        // The response buffer is already owned: verify and decrypt it
+        // where it lies instead of allocating a plaintext copy.
         let aead = ChaCha20Poly1305::new(&response_key);
-        let body = aead
-            .open(&[0u8; 12], b"peas-response", &sealed_response)
+        let mut body = sealed_response;
+        aead.open_vec(&[0u8; 12], b"peas-response", &mut body)
             .map_err(|_| PeasError::BadResponse)?;
         decode_results(&body).map_err(|_| PeasError::BadResponse)
     }

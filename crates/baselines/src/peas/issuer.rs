@@ -112,10 +112,18 @@ impl PeasIssuer {
             .collect();
         let kept = xsearch_core::filter::filter_results(&query, &fakes, results);
 
-        // Encrypt the response under the client's one-time key.
+        // Encrypt the response under the client's one-time key: the
+        // result list serializes into one exactly-sized buffer (tag
+        // headroom included) and is sealed in place — the same
+        // zero-copy cipher path the X-Search proxy uses, so the Fig 5
+        // comparison measures protocol differences, not codec ones.
         let aead = ChaCha20Poly1305::new(&response_key);
-        let body = xsearch_core::wire::encode_results(&kept);
-        Ok(aead.seal(&[0u8; 12], b"peas-response", &body))
+        let mut body = Vec::with_capacity(
+            xsearch_core::wire::encoded_len(&kept) + xsearch_crypto::aead::TAG_LEN,
+        );
+        xsearch_core::wire::encode_results_into(&kept, &mut body);
+        aead.seal_vec(&[0u8; 12], b"peas-response", &mut body);
+        Ok(body)
     }
 }
 

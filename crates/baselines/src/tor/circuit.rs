@@ -2,7 +2,7 @@
 
 use super::relay::hop_key;
 use rand::RngCore;
-use xsearch_crypto::aead::{counter_nonce, ChaCha20Poly1305};
+use xsearch_crypto::aead::{counter_nonce, ChaCha20Poly1305, TAG_LEN};
 use xsearch_crypto::x25519::{PublicKey, StaticSecret};
 
 /// Errors from client-side onion processing.
@@ -82,17 +82,25 @@ impl ClientCircuit {
 
     /// Builds the forward onion: innermost layer for the exit, outermost
     /// for the guard.
+    ///
+    /// All layers are applied in one buffer sized for the payload plus
+    /// every hop's tag up front: each layer encrypts the accumulated
+    /// onion in place and appends its detached tag, instead of the old
+    /// allocate-and-copy per layer.
     pub fn wrap_forward(&mut self, payload: &[u8]) -> Vec<u8> {
-        let mut onion = payload.to_vec();
+        let mut onion = Vec::with_capacity(payload.len() + self.hops.len() * TAG_LEN);
+        onion.extend_from_slice(payload);
         for hop in self.hops.iter_mut().rev() {
             let nonce = counter_nonce(*b"torF", hop.forward);
             hop.forward += 1;
-            onion = hop.aead.seal(&nonce, &[], &onion);
+            hop.aead.seal_vec(&nonce, &[], &mut onion);
         }
         onion
     }
 
-    /// Peels a response onion (guard's layer outermost).
+    /// Peels a response onion (guard's layer outermost) — one buffer,
+    /// each layer verified and decrypted in place, then truncated by
+    /// its tag.
     ///
     /// # Errors
     ///
@@ -101,9 +109,8 @@ impl ClientCircuit {
         let mut data = onion.to_vec();
         for hop in &mut self.hops {
             let nonce = counter_nonce(*b"torB", hop.backward);
-            data = hop
-                .aead
-                .open(&nonce, &[], &data)
+            hop.aead
+                .open_vec(&nonce, &[], &mut data)
                 .map_err(|_| CircuitError::BadLayer)?;
             hop.backward += 1;
         }

@@ -3,7 +3,7 @@
 use parking_lot::Mutex;
 use rand::RngCore;
 use std::collections::HashMap;
-use xsearch_crypto::aead::{counter_nonce, ChaCha20Poly1305};
+use xsearch_crypto::aead::{counter_nonce, ChaCha20Poly1305, TAG_LEN};
 use xsearch_crypto::hkdf;
 use xsearch_crypto::x25519::{PublicKey, StaticSecret};
 
@@ -101,7 +101,8 @@ impl Relay {
         );
     }
 
-    /// Peels one forward layer (client → exit direction).
+    /// Peels one forward layer (client → exit direction): one result
+    /// allocation, verified and decrypted in place.
     ///
     /// # Errors
     ///
@@ -112,15 +113,17 @@ impl Relay {
             .get_mut(&circuit)
             .ok_or(RelayError::UnknownCircuit)?;
         let nonce = counter_nonce(*b"torF", state.forward);
-        let inner = state
+        let mut inner = onion.to_vec();
+        state
             .aead
-            .open(&nonce, &[], onion)
+            .open_vec(&nonce, &[], &mut inner)
             .map_err(|_| RelayError::BadOnion)?;
         state.forward += 1;
         Ok(inner)
     }
 
-    /// Wraps one backward layer (engine → client direction).
+    /// Wraps one backward layer (engine → client direction): the layer
+    /// is sealed in place in a buffer with tag headroom.
     ///
     /// # Errors
     ///
@@ -132,7 +135,10 @@ impl Relay {
             .ok_or(RelayError::UnknownCircuit)?;
         let nonce = counter_nonce(*b"torB", state.backward);
         state.backward += 1;
-        Ok(state.aead.seal(&nonce, &[], payload))
+        let mut out = Vec::with_capacity(payload.len() + TAG_LEN);
+        out.extend_from_slice(payload);
+        state.aead.seal_vec(&nonce, &[], &mut out);
+        Ok(out)
     }
 
     /// Number of circuits currently extended through this relay.

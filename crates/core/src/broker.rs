@@ -21,6 +21,10 @@ use xsearch_sgx_sim::measurement::Measurement;
 pub struct Broker {
     client_pub: PublicKey,
     channel: SecureChannel,
+    /// Reused for outbound ciphertexts and decrypted responses: a
+    /// steady-state `search` performs no transient allocations on the
+    /// sealed path (the decoded results are the deliverable).
+    scratch: Vec<u8>,
 }
 
 impl std::fmt::Debug for Broker {
@@ -68,6 +72,7 @@ impl Broker {
         Ok(Broker {
             client_pub,
             channel,
+            scratch: Vec::new(),
         })
     }
 
@@ -109,9 +114,12 @@ impl Broker {
         proxy: &XSearchProxy,
         query: &str,
     ) -> Result<Vec<WireResult>, XSearchError> {
-        let ciphertext = self.seal_query(query);
-        let response = proxy.request(self.client_pub.as_bytes(), &ciphertext)?;
-        self.open_results(&response)
+        self.channel
+            .seal_into(b"query", query.as_bytes(), &mut self.scratch);
+        let response = proxy.request(self.client_pub.as_bytes(), &self.scratch)?;
+        self.channel
+            .open_into(b"results", &response, &mut self.scratch)?;
+        decode_results(&self.scratch)
     }
 
     /// Seals one query for the tunnel without sending it — callers that
@@ -124,6 +132,13 @@ impl Broker {
         self.channel.seal(b"query", query.as_bytes())
     }
 
+    /// The buffer-reuse form of [`Broker::seal_query`]: seals into `out`
+    /// (cleared first), so a caller pumping many queries through one
+    /// session allocates nothing per query.
+    pub fn seal_query_into(&mut self, query: &str, out: &mut Vec<u8>) {
+        self.channel.seal_into(b"query", query.as_bytes(), out);
+    }
+
     /// Opens one encrypted response produced for this session (the
     /// receiving half of [`Broker::seal_query`]).
     ///
@@ -132,8 +147,9 @@ impl Broker {
     /// Tunnel crypto failures and protocol violations; see
     /// [`XSearchError`].
     pub fn open_results(&mut self, response: &[u8]) -> Result<Vec<WireResult>, XSearchError> {
-        let plaintext = self.channel.open(b"results", response)?;
-        decode_results(&plaintext)
+        self.channel
+            .open_into(b"results", response, &mut self.scratch)?;
+        decode_results(&self.scratch)
     }
 
     /// Like [`Broker::search`] but against the proxy's echo mode
@@ -147,9 +163,12 @@ impl Broker {
         proxy: &XSearchProxy,
         query: &str,
     ) -> Result<Vec<WireResult>, XSearchError> {
-        let ciphertext = self.seal_query(query);
-        let response = proxy.request_echo(self.client_pub.as_bytes(), &ciphertext)?;
-        self.open_results(&response)
+        self.channel
+            .seal_into(b"query", query.as_bytes(), &mut self.scratch);
+        let response = proxy.request_echo(self.client_pub.as_bytes(), &self.scratch)?;
+        self.channel
+            .open_into(b"results", &response, &mut self.scratch)?;
+        decode_results(&self.scratch)
     }
 
     /// The broker's channel public key (the proxy-side session id).

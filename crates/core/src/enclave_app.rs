@@ -33,7 +33,8 @@ use crate::obfuscate::{obfuscate, ObfuscatedQuery};
 use crate::redirect::strip_all;
 use crate::session::{channel_binding, SecureChannel, Side};
 use crate::wire::{
-    decode_query_batch, decode_request_batch, encode_response_batch, encode_results, encoded_len,
+    decode_query_batch, decode_request_batch, encode_response_batch, encode_results_into,
+    encoded_len,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -80,8 +81,19 @@ impl std::hash::Hasher for KeyBytesHasher {
     }
 }
 
+/// One client's in-enclave session: its channel plus the scratch
+/// buffer decrypted queries land in. The scratch lives with the
+/// session (and under its mutex, which the request path holds anyway
+/// for the channel's nonce counters), so a steady-state request reuses
+/// the same capacity instead of allocating a plaintext `Vec` per
+/// query.
+struct Session {
+    channel: SecureChannel,
+    query_buf: Vec<u8>,
+}
+
 type SessionMap =
-    HashMap<[u8; 32], Arc<Mutex<SecureChannel>>, std::hash::BuildHasherDefault<KeyBytesHasher>>;
+    HashMap<[u8; 32], Arc<Mutex<Session>>, std::hash::BuildHasherDefault<KeyBytesHasher>>;
 type SessionShard = Mutex<SessionMap>;
 
 /// Routes a client key to its session shard. x25519 public keys are
@@ -173,7 +185,13 @@ impl EnclaveState {
             SecureChannel::establish(Side::Server, &shared, &client_pub, &self.identity_pub);
         self.sessions[session_shard(client_pub.as_bytes())]
             .lock()
-            .insert(*client_pub.as_bytes(), Arc::new(Mutex::new(channel)));
+            .insert(
+                *client_pub.as_bytes(),
+                Arc::new(Mutex::new(Session {
+                    channel,
+                    query_buf: Vec::new(),
+                })),
+            );
         Ok(channel_binding(&self.identity_pub, &client_pub))
     }
 
@@ -230,16 +248,19 @@ impl EnclaveState {
             .get(client_pub)
             .cloned()
             .ok_or(XSearchError::UnknownSession)?;
-        let mut channel = session.lock();
-        let plaintext = channel.open(b"query", ciphertext)?;
-        let query = String::from_utf8(plaintext)
+        let mut session = session.lock();
+        let Session { channel, query_buf } = &mut *session;
+        // The plaintext query decrypts into this session's scratch
+        // buffer — no per-request plaintext allocation.
+        channel.open_into(b"query", ciphertext, query_buf)?;
+        let query = std::str::from_utf8(query_buf)
             .map_err(|_| XSearchError::Protocol("query is not utf-8".into()))?;
 
         // Obfuscate (Algorithm 1) and store the query in the history.
         // The RNG is this request's own — nothing to lock.
         let ticket = self.rng_ticket.fetch_add(1, Ordering::Relaxed);
         let mut rng = self.request_rng(ticket);
-        let obfuscated = obfuscate(&query, &self.history, self.config.k, &mut rng);
+        let obfuscated = obfuscate(query, &self.history, self.config.k, &mut rng);
 
         // Fetch results via the paper's four-ocall sequence. The payload
         // crossing the boundary is the obfuscated query — exactly what an
@@ -247,11 +268,19 @@ impl EnclaveState {
         let results = self.fetch_via_ocalls(&obfuscated, port, fetch);
 
         // Filter (Algorithm 2) and strip analytics redirections.
-        let mut kept = filter_results(&query, &obfuscated.fakes(), results);
+        let mut kept = filter_results(query, &obfuscated.fakes(), results);
         strip_all(&mut kept);
 
-        // Encrypt the response for the broker.
-        Ok(channel.seal(b"results", &encode_results(&kept)))
+        // Encrypt the response for the broker: serialize into one
+        // exactly-sized buffer (tag headroom included) and seal it where
+        // it lies. This — the buffer that crosses the boundary — is the
+        // only allocation the sealed path performs; the old path built
+        // an escape `String` per field, an encode `String`, and a sealed
+        // copy on top.
+        let mut response = Vec::with_capacity(encoded_len(&kept) + xsearch_crypto::aead::TAG_LEN);
+        encode_results_into(&kept, &mut response);
+        channel.seal_in_place(b"results", &mut response);
+        Ok(response)
     }
 
     /// The `proxy_batch` ecall: serves every entry of a length-prefixed

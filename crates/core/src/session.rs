@@ -6,7 +6,7 @@
 //! HKDF-SHA-256 → per-direction ChaCha20-Poly1305 with counter nonces.
 
 use crate::error::XSearchError;
-use xsearch_crypto::aead::{counter_nonce, ChaCha20Poly1305};
+use xsearch_crypto::aead::{counter_nonce, ChaCha20Poly1305, TAG_LEN};
 use xsearch_crypto::hkdf;
 use xsearch_crypto::sha256::Sha256;
 use xsearch_crypto::x25519::PublicKey;
@@ -80,23 +80,67 @@ impl SecureChannel {
         }
     }
 
-    /// Encrypts the next outbound message.
-    pub fn seal(&mut self, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    /// Encrypts `buf` in place — plaintext in, `ciphertext ‖ tag` out —
+    /// with this session's next outbound nonce. The zero-copy half of
+    /// the hot path: the enclave serializes a response straight into a
+    /// buffer with tag headroom and seals it where it lies.
+    pub fn seal_in_place(&mut self, aad: &[u8], buf: &mut Vec<u8>) {
         let nonce = counter_nonce(self.send.domain, self.send.counter);
         self.send.counter += 1;
-        self.send.aead.seal(&nonce, aad, plaintext)
+        self.send.aead.seal_vec(&nonce, aad, buf);
     }
 
-    /// Decrypts the next inbound message.
+    /// Encrypts `plaintext` into `out` (cleared first), reusing `out`'s
+    /// capacity — a steady-state caller allocates nothing.
+    pub fn seal_into(&mut self, aad: &[u8], plaintext: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        self.seal_in_place(aad, out);
+    }
+
+    /// Encrypts the next outbound message.
+    ///
+    /// Allocating wrapper over [`SecureChannel::seal_in_place`]; the hot
+    /// paths use the buffer-reuse variants.
+    pub fn seal(&mut self, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.seal_into(aad, plaintext, &mut out);
+        out
+    }
+
+    /// Decrypts the next inbound message into `out` (cleared first),
+    /// reusing `out`'s capacity.
     ///
     /// # Errors
     ///
     /// [`XSearchError::Crypto`] when authentication fails (tampering,
-    /// reordering or a desynchronized counter).
-    pub fn open(&mut self, aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, XSearchError> {
+    /// reordering or a desynchronized counter); the receive counter does
+    /// not advance, and `out` holds no plaintext, in that case.
+    pub fn open_into(
+        &mut self,
+        aad: &[u8],
+        sealed: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), XSearchError> {
         let nonce = counter_nonce(self.recv.domain, self.recv.counter);
-        let out = self.recv.aead.open(&nonce, aad, sealed)?;
+        out.clear();
+        out.extend_from_slice(sealed);
+        self.recv.aead.open_vec(&nonce, aad, out)?;
         self.recv.counter += 1;
+        Ok(())
+    }
+
+    /// Decrypts the next inbound message.
+    ///
+    /// Allocating wrapper over [`SecureChannel::open_into`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SecureChannel::open_into`].
+    pub fn open(&mut self, aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, XSearchError> {
+        let mut out = Vec::new();
+        self.open_into(aad, sealed, &mut out)?;
         Ok(out)
     }
 
@@ -216,6 +260,42 @@ mod tests {
         let (mut c, mut s) = pair();
         let ct = c.seal(b"query", b"text");
         assert!(s.open(b"other", &ct).is_err());
+    }
+
+    #[test]
+    fn buffer_reuse_variants_match_the_allocating_ones() {
+        // Two identically-seeded channel pairs: one driven through the
+        // allocating API, one through the scratch-buffer API — every
+        // ciphertext must match byte for byte.
+        let (mut c_alloc, mut s_alloc) = pair();
+        let (mut c_reuse, mut s_reuse) = pair();
+        let mut ct = Vec::new();
+        let mut pt = Vec::new();
+        for (i, msg) in [&b"hello world"[..], b"", b"third message"]
+            .iter()
+            .enumerate()
+        {
+            c_reuse.seal_into(b"q", msg, &mut ct);
+            assert_eq!(ct, c_alloc.seal(b"q", msg), "message {i}");
+            s_reuse.open_into(b"q", &ct, &mut pt).unwrap();
+            assert_eq!(&pt, msg);
+            assert_eq!(s_alloc.open(b"q", &ct).unwrap(), *msg);
+        }
+        // seal_in_place: the plaintext already lives in the buffer.
+        let mut buf = b"in-place payload".to_vec();
+        c_reuse.seal_in_place(b"q", &mut buf);
+        assert_eq!(buf, c_alloc.seal(b"q", b"in-place payload"));
+    }
+
+    #[test]
+    fn open_into_rejects_short_input_without_advancing() {
+        let (mut c, mut s) = pair();
+        let mut out = Vec::new();
+        assert!(s.open_into(b"", &[0u8; 8], &mut out).is_err());
+        // The counter did not advance: the next real message still opens.
+        let ct = c.seal(b"", b"still in sync");
+        s.open_into(b"", &ct, &mut out).unwrap();
+        assert_eq!(out, b"still in sync");
     }
 
     #[test]

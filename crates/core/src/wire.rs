@@ -29,18 +29,42 @@ impl From<&SearchResult> for WireResult {
     }
 }
 
-/// Bytes `escape` adds to `s` (one backslash per escaped character).
+/// The shared escape table: for each input byte, the letter that
+/// follows the backslash in its escaped form, or `0` for bytes that
+/// pass through verbatim. Both the writer ([`encode_results_into`]) and
+/// the size accounting ([`encoded_len`]) read this one table, so they
+/// cannot drift apart.
+const ESCAPE: [u8; 256] = {
+    let mut table = [0u8; 256];
+    table[b'\\' as usize] = b'\\';
+    table[b'\t' as usize] = b't';
+    table[b'\n' as usize] = b'n';
+    table[b'\r' as usize] = b'r';
+    table
+};
+
+/// Bytes escaping adds to `s` (one backslash per escaped character).
 fn escape_overhead(s: &str) -> usize {
-    s.bytes()
-        .filter(|b| matches!(b, b'\\' | b'\t' | b'\n' | b'\r'))
-        .count()
+    s.bytes().filter(|&b| ESCAPE[b as usize] != 0).count()
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\")
-        .replace('\t', "\\t")
-        .replace('\n', "\\n")
-        .replace('\r', "\\r")
+/// Appends the escaped form of `s` to `out`, copying unescaped runs
+/// whole instead of allocating one `String` per replaced character the
+/// way the old `str::replace` chain did. Escapes only ASCII bytes, so
+/// the output remains valid UTF-8.
+fn escape_into(s: &str, out: &mut Vec<u8>) {
+    let bytes = s.as_bytes();
+    let mut run_start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let escaped = ESCAPE[b as usize];
+        if escaped != 0 {
+            out.extend_from_slice(&bytes[run_start..i]);
+            out.push(b'\\');
+            out.push(escaped);
+            run_start = i + 1;
+        }
+    }
+    out.extend_from_slice(&bytes[run_start..]);
 }
 
 fn unescape(s: &str) -> String {
@@ -66,19 +90,30 @@ fn unescape(s: &str) -> String {
     out
 }
 
+/// Serializes results for the tunnel, appending to `out` — the
+/// zero-alloc hot path: the enclave encodes into a buffer sized by
+/// [`encoded_len`] (plus tag room) and seals it in place, so a response
+/// costs one exact allocation instead of a `String` per escaped field.
+pub fn encode_results_into(results: &[SearchResult], out: &mut Vec<u8>) {
+    for r in results {
+        escape_into(&r.url, out);
+        out.push(b'\t');
+        escape_into(&r.title, out);
+        out.push(b'\t');
+        escape_into(&r.description, out);
+        out.push(b'\n');
+    }
+}
+
 /// Serializes results for the tunnel.
+///
+/// Allocating wrapper over [`encode_results_into`] (byte-identical,
+/// proptest-enforced); kept for cold paths and tests.
 #[must_use]
 pub fn encode_results(results: &[SearchResult]) -> Vec<u8> {
-    let mut out = String::new();
-    for r in results {
-        out.push_str(&escape(&r.url));
-        out.push('\t');
-        out.push_str(&escape(&r.title));
-        out.push('\t');
-        out.push_str(&escape(&r.description));
-        out.push('\n');
-    }
-    out.into_bytes()
+    let mut out = Vec::with_capacity(encoded_len(results));
+    encode_results_into(results, &mut out);
+    out
 }
 
 /// Exact length of [`encode_results`]'s output without building it —
@@ -517,6 +552,42 @@ mod tests {
                 result("http://b.com", "tab\there", "line\nbreak \\ slash"),
             ];
             prop_assert_eq!(encoded_len(&rs), encode_results(&rs).len());
+        }
+
+        /// Escape-heavy inputs: every field drawn mostly from the four
+        /// escaped characters, so the shared table's overhead accounting
+        /// is exercised on dense, not incidental, escaping.
+        #[test]
+        fn encoded_len_matches_on_escape_heavy_inputs(
+            fields in proptest::collection::vec("[\t\n\r\\\\x]{0,40}", 3..9),
+        ) {
+            let rs: Vec<SearchResult> = fields
+                .chunks(3)
+                .filter(|c| c.len() == 3)
+                .map(|c| result(&c[0], &c[1], &c[2]))
+                .collect();
+            let encoded = encode_results(&rs);
+            prop_assert_eq!(encoded_len(&rs), encoded.len());
+            let decoded = decode_results(&encoded).unwrap();
+            for (d, r) in decoded.iter().zip(&rs) {
+                prop_assert_eq!(&d.url, &r.url);
+                prop_assert_eq!(&d.title, &r.title);
+                prop_assert_eq!(&d.description, &r.description);
+            }
+        }
+
+        /// `encode_results` ≡ `encode_results_into`, including when the
+        /// writer appends after existing bytes (the scratch-reuse shape).
+        #[test]
+        fn encode_results_into_matches_allocating(
+            url in ".{0,30}", title in "[\t\n\r\\\\ -~]{0,30}", desc in ".{0,30}",
+            prefix in proptest::collection::vec(any::<u8>(), 0..24),
+        ) {
+            let rs = vec![result(&url, &title, &desc), result("u", "t", "d")];
+            let mut out = prefix.clone();
+            encode_results_into(&rs, &mut out);
+            prop_assert_eq!(&out[..prefix.len()], &prefix[..]);
+            prop_assert_eq!(&out[prefix.len()..], &encode_results(&rs)[..]);
         }
 
         #[test]

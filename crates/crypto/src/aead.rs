@@ -4,13 +4,32 @@
 //! broker↔enclave channel, the Tor baseline's onion layers and the PEAS
 //! baseline's proxy hops all seal and open with it, so the Fig 5 throughput
 //! comparison measures this real computation.
+//!
+//! The hot entry points are the detached in-place APIs
+//! ([`ChaCha20Poly1305::seal_in_place`] /
+//! [`ChaCha20Poly1305::open_in_place`]): they encrypt the caller's
+//! buffer directly — no copy, no allocation — using the wide 4-block
+//! keystream path, and `seal_in_place` authenticates each 256-byte span
+//! right after encrypting it, while it is still hot in L1. The
+//! allocating [`ChaCha20Poly1305::seal`] / [`ChaCha20Poly1305::open`]
+//! are thin wrappers kept for cold paths and tests; proptests pin both
+//! pairs byte-identical (and identical to the pre-rewrite scalar
+//! implementation in [`crate::reference`]).
 
-use crate::chacha20::{self, KEY_LEN, NONCE_LEN};
+use crate::chacha20::{self, BLOCK_LEN, KEY_LEN, NONCE_LEN, WIDE_BLOCKS};
 use crate::constant_time::ct_eq;
 use crate::error::CryptoError;
-use crate::poly1305::{Poly1305, TAG_LEN};
+use crate::poly1305::Poly1305;
 
-/// An authenticated cipher instance holding one 256-bit key.
+pub use crate::poly1305::TAG_LEN;
+
+/// Bytes encrypted per seal pass before the span is handed to the
+/// authenticator: one wide keystream pass.
+const SPAN: usize = WIDE_BLOCKS * BLOCK_LEN;
+
+/// An authenticated cipher instance holding one 256-bit key, parsed
+/// into its state words once at construction (the per-block key-word
+/// parse the scalar path paid is gone).
 ///
 /// # Example
 ///
@@ -24,7 +43,9 @@ use crate::poly1305::{Poly1305, TAG_LEN};
 /// ```
 #[derive(Clone)]
 pub struct ChaCha20Poly1305 {
-    key: [u8; KEY_LEN],
+    /// The precomputed key schedule: the eight LE key words of ChaCha20
+    /// state rows 1–2.
+    key: [u32; 8],
 }
 
 impl std::fmt::Debug for ChaCha20Poly1305 {
@@ -40,42 +61,151 @@ impl ChaCha20Poly1305 {
     /// Creates a cipher from a 32-byte key.
     #[must_use]
     pub fn new(key: &[u8; KEY_LEN]) -> Self {
-        ChaCha20Poly1305 { key: *key }
+        ChaCha20Poly1305 {
+            key: chacha20::key_words(key),
+        }
     }
 
     /// Derives the Poly1305 one-time key for `nonce` (RFC 8439 §2.6).
-    fn one_time_key(&self, nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
-        let block = chacha20::block(&self.key, 0, nonce);
+    fn one_time_key(&self, nonce: &[u32; 3]) -> [u8; 32] {
+        let words = chacha20::block_words(&self.key, 0, nonce);
         let mut otk = [0u8; 32];
-        otk.copy_from_slice(&block[..32]);
+        for (chunk, word) in otk.chunks_exact_mut(4).zip(&words) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
         otk
     }
 
-    fn compute_tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
-        let otk = self.one_time_key(nonce);
-        let mut mac = Poly1305::new(&otk);
-        let zero_pad = [0u8; 16];
+    /// Starts the RFC 8439 MAC: one-time key, then AAD plus padding.
+    fn mac_with_aad(&self, nonce: &[u32; 3], aad: &[u8]) -> Poly1305 {
+        let mut mac = Poly1305::new(&self.one_time_key(nonce));
         mac.update(aad);
-        mac.update(&zero_pad[..(16 - aad.len() % 16) % 16]);
-        mac.update(ciphertext);
-        mac.update(&zero_pad[..(16 - ciphertext.len() % 16) % 16]);
-        mac.update(&(aad.len() as u64).to_le_bytes());
-        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.update(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+        mac
+    }
+
+    /// Finishes the RFC 8439 MAC: ciphertext padding, then both lengths.
+    fn mac_finish(mut mac: Poly1305, aad_len: usize, ct_len: usize) -> [u8; TAG_LEN] {
+        mac.update(&[0u8; 16][..(16 - ct_len % 16) % 16]);
+        mac.update(&(aad_len as u64).to_le_bytes());
+        mac.update(&(ct_len as u64).to_le_bytes());
         mac.finalize()
     }
 
+    /// MAC over an already-produced ciphertext (the open direction).
+    fn compute_tag(&self, nonce: &[u32; 3], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let mut mac = self.mac_with_aad(nonce, aad);
+        mac.update(ciphertext);
+        Self::mac_finish(mac, aad.len(), ciphertext.len())
+    }
+
+    /// Encrypts `data` in place, binding `aad`, and returns the detached
+    /// authentication tag.
+    ///
+    /// This is the one-pass hot path: each 256-byte span is encrypted by
+    /// one wide keystream pass and absorbed by the authenticator
+    /// immediately, so the payload is streamed through the CPU cache
+    /// once instead of once for ChaCha20 and again for Poly1305.
+    #[must_use]
+    pub fn seal_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        data: &mut [u8],
+    ) -> [u8; TAG_LEN] {
+        let nw = chacha20::nonce_words(nonce);
+        let mut mac = self.mac_with_aad(&nw, aad);
+        let mut counter = 1u32;
+        for span in data.chunks_mut(SPAN) {
+            chacha20::xor_stream_words(&self.key, counter, &nw, span);
+            counter = counter.wrapping_add(WIDE_BLOCKS as u32);
+            mac.update(span);
+        }
+        Self::mac_finish(mac, aad.len(), data.len())
+    }
+
+    /// Verifies the detached `tag` over the ciphertext in `data` and, on
+    /// success, decrypts `data` in place.
+    ///
+    /// The tag is checked **before** any decryption: on failure the
+    /// buffer still holds the untouched ciphertext, never a plaintext
+    /// that failed authentication.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::AuthenticationFailed`] if the tag does not verify
+    /// (wrong key, nonce, AAD, or tampered ciphertext); `data` is left
+    /// unmodified in that case.
+    pub fn open_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<(), CryptoError> {
+        let nw = chacha20::nonce_words(nonce);
+        let expected = self.compute_tag(&nw, aad, data);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        chacha20::xor_stream_words(&self.key, 1, &nw, data);
+        Ok(())
+    }
+
+    /// Encrypts the plaintext held in `buf` in place and appends the
+    /// tag — `buf` becomes `ciphertext ‖ tag`. The framed-buffer form
+    /// of [`ChaCha20Poly1305::seal_in_place`] every tunnel, onion layer
+    /// and PEAS hop builds on.
+    pub fn seal_vec(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], buf: &mut Vec<u8>) {
+        buf.reserve(TAG_LEN);
+        let tag = self.seal_in_place(nonce, aad, buf);
+        buf.extend_from_slice(&tag);
+    }
+
+    /// Verifies and decrypts the `ciphertext ‖ tag` held in `buf` in
+    /// place, truncating the tag off — the framed-buffer form of
+    /// [`ChaCha20Poly1305::open_in_place`].
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::InvalidLength`] if `buf` is shorter than a tag,
+    /// and [`CryptoError::AuthenticationFailed`] if the tag does not
+    /// verify; `buf` is left unmodified in both cases.
+    pub fn open_vec(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
+        if buf.len() < TAG_LEN {
+            return Err(CryptoError::InvalidLength {
+                got: buf.len(),
+                expected: TAG_LEN,
+            });
+        }
+        let split = buf.len() - TAG_LEN;
+        let (ciphertext, tag) = buf.split_at_mut(split);
+        let tag: &[u8; TAG_LEN] = (&*tag).try_into().expect("split at TAG_LEN");
+        self.open_in_place(nonce, aad, ciphertext, tag)?;
+        buf.truncate(split);
+        Ok(())
+    }
+
     /// Encrypts `plaintext`, binding `aad`, and returns `ciphertext ‖ tag`.
+    ///
+    /// Thin wrapper over [`ChaCha20Poly1305::seal_in_place`] (one exact
+    /// allocation); byte-identical to it by construction and by proptest.
     #[must_use]
     pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
         out.extend_from_slice(plaintext);
-        chacha20::xor_stream(&self.key, 1, nonce, &mut out);
-        let tag = self.compute_tag(nonce, aad, &out);
-        out.extend_from_slice(&tag);
+        self.seal_vec(nonce, aad, &mut out);
         out
     }
 
     /// Decrypts and authenticates `sealed` (`ciphertext ‖ tag`).
+    ///
+    /// Thin wrapper over [`ChaCha20Poly1305::open_in_place`].
     ///
     /// # Errors
     ///
@@ -88,19 +218,8 @@ impl ChaCha20Poly1305 {
         aad: &[u8],
         sealed: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
-        if sealed.len() < TAG_LEN {
-            return Err(CryptoError::InvalidLength {
-                got: sealed.len(),
-                expected: TAG_LEN,
-            });
-        }
-        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
-        let expected = self.compute_tag(nonce, aad, ciphertext);
-        if !ct_eq(&expected, tag) {
-            return Err(CryptoError::AuthenticationFailed);
-        }
-        let mut out = ciphertext.to_vec();
-        chacha20::xor_stream(&self.key, 1, nonce, &mut out);
+        let mut out = sealed.to_vec();
+        self.open_vec(nonce, aad, &mut out)?;
         Ok(out)
     }
 }
@@ -121,6 +240,7 @@ pub fn counter_nonce(domain: [u8; 4], counter: u64) -> [u8; NONCE_LEN] {
 mod tests {
     use super::*;
     use crate::hex;
+    use crate::reference::ScalarChaCha20Poly1305;
     use proptest::prelude::*;
 
     const SUNSCREEN: &[u8] = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
@@ -163,6 +283,52 @@ mod tests {
         let sealed = aead.seal(&rfc_nonce(), &rfc_aad(), SUNSCREEN);
         let opened = aead.open(&rfc_nonce(), &rfc_aad(), &sealed).unwrap();
         assert_eq!(opened, SUNSCREEN);
+    }
+
+    #[test]
+    fn in_place_roundtrip_with_detached_tag() {
+        let aead = ChaCha20Poly1305::new(&rfc_key());
+        let mut buf = SUNSCREEN.to_vec();
+        let tag = aead.seal_in_place(&rfc_nonce(), &rfc_aad(), &mut buf);
+        assert_ne!(&buf[..], SUNSCREEN);
+        aead.open_in_place(&rfc_nonce(), &rfc_aad(), &mut buf, &tag)
+            .unwrap();
+        assert_eq!(&buf[..], SUNSCREEN);
+    }
+
+    #[test]
+    fn vec_helpers_match_the_allocating_pair() {
+        let aead = ChaCha20Poly1305::new(&rfc_key());
+        let mut buf = SUNSCREEN.to_vec();
+        aead.seal_vec(&rfc_nonce(), &rfc_aad(), &mut buf);
+        assert_eq!(buf, aead.seal(&rfc_nonce(), &rfc_aad(), SUNSCREEN));
+        aead.open_vec(&rfc_nonce(), &rfc_aad(), &mut buf).unwrap();
+        assert_eq!(buf, SUNSCREEN);
+        // A sub-tag-length buffer is rejected untouched.
+        let mut short = vec![0u8; 8];
+        assert!(matches!(
+            aead.open_vec(&rfc_nonce(), b"", &mut short),
+            Err(CryptoError::InvalidLength {
+                got: 8,
+                expected: TAG_LEN
+            })
+        ));
+        assert_eq!(short, vec![0u8; 8]);
+    }
+
+    #[test]
+    fn open_in_place_leaves_ciphertext_untouched_on_failure() {
+        let aead = ChaCha20Poly1305::new(&[1u8; 32]);
+        let mut buf = b"payload".to_vec();
+        let tag = aead.seal_in_place(&[0u8; 12], b"", &mut buf);
+        let ciphertext = buf.clone();
+        let mut bad_tag = tag;
+        bad_tag[0] ^= 1;
+        assert_eq!(
+            aead.open_in_place(&[0u8; 12], b"", &mut buf, &bad_tag),
+            Err(CryptoError::AuthenticationFailed)
+        );
+        assert_eq!(buf, ciphertext, "failed open must not decrypt");
     }
 
     #[test]
@@ -211,6 +377,45 @@ mod tests {
             let aead = ChaCha20Poly1305::new(&key);
             let sealed = aead.seal(&nonce, &aad, &pt);
             prop_assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), pt);
+        }
+
+        /// The optimized cipher must be byte-identical to the pre-rewrite
+        /// scalar implementation, tag included — the wide keystream,
+        /// bulk Poly1305 and one-pass restructure change performance,
+        /// never output.
+        #[test]
+        fn matches_the_scalar_reference(
+            key: [u8; 32],
+            nonce: [u8; 12],
+            aad: Vec<u8>,
+            pt in proptest::collection::vec(any::<u8>(), 0..1200),
+        ) {
+            let new = ChaCha20Poly1305::new(&key);
+            let old = ScalarChaCha20Poly1305::new(&key);
+            let sealed = new.seal(&nonce, &aad, &pt);
+            prop_assert_eq!(&sealed, &old.seal(&nonce, &aad, &pt));
+            prop_assert_eq!(old.open(&nonce, &aad, &sealed).unwrap(), pt);
+        }
+
+        /// `seal` ≡ `seal_in_place` + detached tag, and `open` ≡
+        /// `open_in_place`, byte for byte.
+        #[test]
+        fn in_place_apis_match_the_allocating_ones(
+            key: [u8; 32],
+            nonce: [u8; 12],
+            aad: Vec<u8>,
+            pt in proptest::collection::vec(any::<u8>(), 0..1200),
+        ) {
+            let aead = ChaCha20Poly1305::new(&key);
+            let sealed = aead.seal(&nonce, &aad, &pt);
+
+            let mut buf = pt.clone();
+            let tag = aead.seal_in_place(&nonce, &aad, &mut buf);
+            prop_assert_eq!(&sealed[..pt.len()], &buf[..]);
+            prop_assert_eq!(&sealed[pt.len()..], &tag[..]);
+
+            aead.open_in_place(&nonce, &aad, &mut buf, &tag).unwrap();
+            prop_assert_eq!(buf, aead.open(&nonce, &aad, &sealed).unwrap());
         }
 
         #[test]

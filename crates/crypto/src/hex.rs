@@ -1,7 +1,30 @@
 //! Minimal hexadecimal encoding/decoding, used pervasively by test vectors
 //! and by human-readable identifiers (measurement hashes, quote digests).
 
+/// Lowercase digit per nibble value.
+const ENCODE_LUT: &[u8; 16] = b"0123456789abcdef";
+
+/// Nibble value per input byte; `0xff` marks a non-hex byte. Covers
+/// both cases; any non-ASCII byte maps to invalid.
+const DECODE_LUT: [u8; 256] = {
+    let mut lut = [0xffu8; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        lut[b] = match b as u8 {
+            c @ b'0'..=b'9' => c - b'0',
+            c @ b'a'..=b'f' => c - b'a' + 10,
+            c @ b'A'..=b'F' => c - b'A' + 10,
+            _ => 0xff,
+        };
+        b += 1;
+    }
+    lut
+};
+
 /// Encodes bytes as a lowercase hexadecimal string.
+///
+/// Table-driven, one allocation: two digit bytes per input byte straight
+/// into the output buffer.
 ///
 /// # Example
 ///
@@ -10,18 +33,19 @@
 /// ```
 #[must_use]
 pub fn encode(bytes: &[u8]) -> String {
-    let mut out = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
-        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    let mut out = Vec::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(ENCODE_LUT[(b >> 4) as usize]);
+        out.push(ENCODE_LUT[(b & 0xf) as usize]);
     }
-    out
+    String::from_utf8(out).expect("hex digits are ascii")
 }
 
 /// Decodes a hexadecimal string (upper or lower case, no separators).
 ///
 /// Returns `None` when the input has odd length or contains a non-hex
-/// character.
+/// character. Table-driven, one allocation: each digit pair is assembled
+/// directly into the output byte (no intermediate digit vector).
 ///
 /// # Example
 ///
@@ -31,14 +55,20 @@ pub fn encode(bytes: &[u8]) -> String {
 /// ```
 #[must_use]
 pub fn decode(s: &str) -> Option<Vec<u8>> {
-    if !s.len().is_multiple_of(2) {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
         return None;
     }
-    let digits: Vec<u8> = s
-        .chars()
-        .map(|c| c.to_digit(16).map(|d| d as u8))
-        .collect::<Option<_>>()?;
-    Some(digits.chunks(2).map(|p| (p[0] << 4) | p[1]).collect())
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = DECODE_LUT[pair[0] as usize];
+        let lo = DECODE_LUT[pair[1] as usize];
+        if hi == 0xff || lo == 0xff {
+            return None;
+        }
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
 }
 
 /// Decodes a hex string that is known to be valid, panicking otherwise.
@@ -76,6 +106,32 @@ mod tests {
     #[test]
     fn decode_accepts_mixed_case() {
         assert_eq!(decode("DeAd"), Some(vec![0xde, 0xad]));
+    }
+
+    #[test]
+    fn decode_rejects_multibyte_utf8() {
+        // Even *byte* length, but not hex digits — the byte-table path
+        // must reject exactly what the old char-based path rejected.
+        assert_eq!(decode("éé"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn decode_matches_char_based_semantics(s in "[0-9a-fA-F]{0,40}") {
+            let expected = if s.len().is_multiple_of(2) {
+                Some(
+                    s.chars()
+                        .map(|c| c.to_digit(16).unwrap() as u8)
+                        .collect::<Vec<_>>()
+                        .chunks(2)
+                        .map(|p| (p[0] << 4) | p[1])
+                        .collect::<Vec<u8>>(),
+                )
+            } else {
+                None
+            };
+            prop_assert_eq!(decode(&s), expected);
+        }
     }
 
     proptest! {

@@ -13,7 +13,10 @@
 //! * [`x25519`] — Diffie-Hellman over Curve25519 (RFC 7748),
 //! * [`hybrid`] — an ECIES-style hybrid public-key encryption built from
 //!   X25519 + HKDF + ChaCha20-Poly1305 (used by the PEAS baseline and by the
-//!   X-Search attested channel).
+//!   X-Search attested channel),
+//! * [`reference`] — the pre-optimization scalar AEAD, kept only as a
+//!   differential-testing and benchmarking baseline for the wide
+//!   multi-block hot path.
 //!
 //! These are *reproduction-grade* implementations: correct, constant-time
 //! where it matters for realistic cost measurement, but not hardened against
@@ -43,6 +46,7 @@ pub mod hkdf;
 pub mod hmac;
 pub mod hybrid;
 pub mod poly1305;
+pub mod reference;
 pub mod sha256;
 pub mod x25519;
 

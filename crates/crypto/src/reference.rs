@@ -1,0 +1,404 @@
+//! The pre-optimization scalar AEAD, kept as a measurement baseline.
+//!
+//! This module preserves, verbatim, the one-block-at-a-time
+//! ChaCha20-Poly1305 the reproduction shipped before the multi-block
+//! rewrite: a full state rebuild per 64-byte block, byte-wise keystream
+//! XOR, and a Poly1305 that round-trips its accumulator through the
+//! struct every 16 bytes. It exists for two jobs and must not be used
+//! on any hot path:
+//!
+//! * **differential testing** — proptests pin the optimized
+//!   [`crate::aead::ChaCha20Poly1305`] byte-identical to this one;
+//! * **benchmarking** — the `crypto_throughput` harness measures the
+//!   optimized path's speedup against this exact code rather than
+//!   against a number remembered from an older commit.
+
+use crate::constant_time::ct_eq;
+use crate::error::CryptoError;
+
+const KEY_LEN: usize = 32;
+const NONCE_LEN: usize = 12;
+const BLOCK_LEN: usize = 64;
+const TAG_LEN: usize = 16;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+fn initial_state(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for (i, chunk) in key.chunks_exact(4).enumerate() {
+        state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    state[12] = counter;
+    for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+        state[13 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    state
+}
+
+fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let initial = initial_state(key, counter, nonce);
+    let [mut x0, mut x1, mut x2, mut x3, mut x4, mut x5, mut x6, mut x7, mut x8, mut x9, mut x10, mut x11, mut x12, mut x13, mut x14, mut x15] =
+        initial;
+
+    macro_rules! quarter_round {
+        ($a:ident, $b:ident, $c:ident, $d:ident) => {
+            $a = $a.wrapping_add($b);
+            $d = ($d ^ $a).rotate_left(16);
+            $c = $c.wrapping_add($d);
+            $b = ($b ^ $c).rotate_left(12);
+            $a = $a.wrapping_add($b);
+            $d = ($d ^ $a).rotate_left(8);
+            $c = $c.wrapping_add($d);
+            $b = ($b ^ $c).rotate_left(7);
+        };
+    }
+
+    for _ in 0..10 {
+        quarter_round!(x0, x4, x8, x12);
+        quarter_round!(x1, x5, x9, x13);
+        quarter_round!(x2, x6, x10, x14);
+        quarter_round!(x3, x7, x11, x15);
+        quarter_round!(x0, x5, x10, x15);
+        quarter_round!(x1, x6, x11, x12);
+        quarter_round!(x2, x7, x8, x13);
+        quarter_round!(x3, x4, x9, x14);
+    }
+
+    let state = [
+        x0, x1, x2, x3, x4, x5, x6, x7, x8, x9, x10, x11, x12, x13, x14, x15,
+    ];
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = state[i].wrapping_add(initial[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// The pre-rewrite stream XOR: one block per pass, byte-wise XOR.
+pub fn xor_stream(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    for (block_idx, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
+        let ks = block(key, counter.wrapping_add(block_idx as u32), nonce);
+        for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
+            *byte ^= k;
+        }
+    }
+}
+
+struct Poly1305 {
+    r: [u32; 5],
+    s: [u32; 4],
+    h: [u32; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    fn new(key: &[u8; 32]) -> Self {
+        let le32 = |b: &[u8]| -> u32 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) };
+        let t0 = le32(&key[0..4]);
+        let t1 = le32(&key[4..8]);
+        let t2 = le32(&key[8..12]);
+        let t3 = le32(&key[12..16]);
+        let r = [
+            t0 & 0x03ff_ffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ff_ff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ff_c0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03f0_3fff,
+            (t3 >> 8) & 0x000f_ffff,
+        ];
+        let s = [
+            le32(&key[16..20]),
+            le32(&key[20..24]),
+            le32(&key[24..28]),
+            le32(&key[28..32]),
+        ];
+        Poly1305 {
+            r,
+            s,
+            h: [0; 5],
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, 1 << 24);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let (block, rest) = data.split_at(16);
+            let mut b = [0u8; 16];
+            b.copy_from_slice(block);
+            self.process_block(&b, 1 << 24);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 16], hibit: u32) {
+        let le32 = |b: &[u8]| -> u32 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) };
+        let t0 = le32(&block[0..4]);
+        let t1 = le32(&block[4..8]);
+        let t2 = le32(&block[8..12]);
+        let t3 = le32(&block[12..16]);
+
+        let mut h0 = self.h[0] + (t0 & 0x03ff_ffff);
+        let mut h1 = self.h[1] + (((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff);
+        let mut h2 = self.h[2] + (((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff);
+        let mut h3 = self.h[3] + (((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff);
+        let mut h4 = self.h[4] + ((t3 >> 8) | hibit);
+
+        let [r0, r1, r2, r3, r4] = self.r;
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+
+        let d0 = u64::from(h0) * u64::from(r0)
+            + u64::from(h1) * u64::from(s4)
+            + u64::from(h2) * u64::from(s3)
+            + u64::from(h3) * u64::from(s2)
+            + u64::from(h4) * u64::from(s1);
+        let d1 = u64::from(h0) * u64::from(r1)
+            + u64::from(h1) * u64::from(r0)
+            + u64::from(h2) * u64::from(s4)
+            + u64::from(h3) * u64::from(s3)
+            + u64::from(h4) * u64::from(s2);
+        let d2 = u64::from(h0) * u64::from(r2)
+            + u64::from(h1) * u64::from(r1)
+            + u64::from(h2) * u64::from(r0)
+            + u64::from(h3) * u64::from(s4)
+            + u64::from(h4) * u64::from(s3);
+        let d3 = u64::from(h0) * u64::from(r3)
+            + u64::from(h1) * u64::from(r2)
+            + u64::from(h2) * u64::from(r1)
+            + u64::from(h3) * u64::from(r0)
+            + u64::from(h4) * u64::from(s4);
+        let d4 = u64::from(h0) * u64::from(r4)
+            + u64::from(h1) * u64::from(r3)
+            + u64::from(h2) * u64::from(r2)
+            + u64::from(h3) * u64::from(r1)
+            + u64::from(h4) * u64::from(r0);
+
+        let mut carry = (d0 >> 26) as u32;
+        h0 = (d0 as u32) & 0x03ff_ffff;
+        let d1 = d1 + u64::from(carry);
+        carry = (d1 >> 26) as u32;
+        h1 = (d1 as u32) & 0x03ff_ffff;
+        let d2 = d2 + u64::from(carry);
+        carry = (d2 >> 26) as u32;
+        h2 = (d2 as u32) & 0x03ff_ffff;
+        let d3 = d3 + u64::from(carry);
+        carry = (d3 >> 26) as u32;
+        h3 = (d3 as u32) & 0x03ff_ffff;
+        let d4 = d4 + u64::from(carry);
+        carry = (d4 >> 26) as u32;
+        h4 = (d4 as u32) & 0x03ff_ffff;
+        h0 += carry * 5;
+        carry = h0 >> 26;
+        h0 &= 0x03ff_ffff;
+        h1 += carry;
+
+        self.h = [h0, h1, h2, h3, h4];
+    }
+
+    fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.process_block(&block, 0);
+        }
+
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+
+        let mut carry = h1 >> 26;
+        h1 &= 0x03ff_ffff;
+        h2 += carry;
+        carry = h2 >> 26;
+        h2 &= 0x03ff_ffff;
+        h3 += carry;
+        carry = h3 >> 26;
+        h3 &= 0x03ff_ffff;
+        h4 += carry;
+        carry = h4 >> 26;
+        h4 &= 0x03ff_ffff;
+        h0 += carry * 5;
+        carry = h0 >> 26;
+        h0 &= 0x03ff_ffff;
+        h1 += carry;
+
+        let mut g0 = h0.wrapping_add(5);
+        carry = g0 >> 26;
+        g0 &= 0x03ff_ffff;
+        let mut g1 = h1.wrapping_add(carry);
+        carry = g1 >> 26;
+        g1 &= 0x03ff_ffff;
+        let mut g2 = h2.wrapping_add(carry);
+        carry = g2 >> 26;
+        g2 &= 0x03ff_ffff;
+        let mut g3 = h3.wrapping_add(carry);
+        carry = g3 >> 26;
+        g3 &= 0x03ff_ffff;
+        let g4 = h4.wrapping_add(carry).wrapping_sub(1 << 26);
+
+        let mask = (g4 >> 31).wrapping_sub(1);
+        g0 &= mask;
+        g1 &= mask;
+        g2 &= mask;
+        g3 &= mask;
+        let g4 = g4 & mask;
+        let not_mask = !mask;
+        h0 = (h0 & not_mask) | g0;
+        h1 = (h1 & not_mask) | g1;
+        h2 = (h2 & not_mask) | g2;
+        h3 = (h3 & not_mask) | g3;
+        h4 = (h4 & not_mask) | g4;
+
+        let f0 = h0 | (h1 << 26);
+        let f1 = (h1 >> 6) | (h2 << 20);
+        let f2 = (h2 >> 12) | (h3 << 14);
+        let f3 = (h3 >> 18) | (h4 << 8);
+
+        let mut acc = u64::from(f0) + u64::from(self.s[0]);
+        let t0 = acc as u32;
+        acc = u64::from(f1) + u64::from(self.s[1]) + (acc >> 32);
+        let t1 = acc as u32;
+        acc = u64::from(f2) + u64::from(self.s[2]) + (acc >> 32);
+        let t2 = acc as u32;
+        acc = u64::from(f3) + u64::from(self.s[3]) + (acc >> 32);
+        let t3 = acc as u32;
+
+        let mut tag = [0u8; TAG_LEN];
+        tag[0..4].copy_from_slice(&t0.to_le_bytes());
+        tag[4..8].copy_from_slice(&t1.to_le_bytes());
+        tag[8..12].copy_from_slice(&t2.to_le_bytes());
+        tag[12..16].copy_from_slice(&t3.to_le_bytes());
+        tag
+    }
+}
+
+/// The pre-rewrite allocating AEAD (scalar ChaCha20, per-block Poly1305).
+#[derive(Clone)]
+pub struct ScalarChaCha20Poly1305 {
+    key: [u8; KEY_LEN],
+}
+
+impl std::fmt::Debug for ScalarChaCha20Poly1305 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScalarChaCha20Poly1305")
+            .field("key", &"<secret>")
+            .finish()
+    }
+}
+
+impl ScalarChaCha20Poly1305 {
+    /// Creates the reference cipher from a 32-byte key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        ScalarChaCha20Poly1305 { key: *key }
+    }
+
+    fn one_time_key(&self, nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+        let block = block(&self.key, 0, nonce);
+        let mut otk = [0u8; 32];
+        otk.copy_from_slice(&block[..32]);
+        otk
+    }
+
+    fn compute_tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let otk = self.one_time_key(nonce);
+        let mut mac = Poly1305::new(&otk);
+        let zero_pad = [0u8; 16];
+        mac.update(aad);
+        mac.update(&zero_pad[..(16 - aad.len() % 16) % 16]);
+        mac.update(ciphertext);
+        mac.update(&zero_pad[..(16 - ciphertext.len() % 16) % 16]);
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.finalize()
+    }
+
+    /// The pre-rewrite `seal`: returns `ciphertext ‖ tag`.
+    #[must_use]
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        xor_stream(&self.key, 1, nonce, &mut out);
+        let tag = self.compute_tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// The pre-rewrite `open`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::aead::ChaCha20Poly1305::open`].
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::InvalidLength {
+                got: sealed.len(),
+                expected: TAG_LEN,
+            });
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = self.compute_tag(nonce, aad, ciphertext);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut out = ciphertext.to_vec();
+        xor_stream(&self.key, 1, nonce, &mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn reference_still_passes_the_rfc8439_aead_vector() {
+        // RFC 8439 §2.8.2 — the baseline must stay a correct AEAD or the
+        // differential tests against it prove nothing.
+        let key: [u8; 32] =
+            hex::decode_expect("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = hex::decode_expect("070000004041424344454647")
+            .try_into()
+            .unwrap();
+        let aad = hex::decode_expect("50515253c0c1c2c3c4c5c6c7");
+        let msg: &[u8] = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let aead = ScalarChaCha20Poly1305::new(&key);
+        let sealed = aead.seal(&nonce, &aad, msg);
+        assert_eq!(
+            hex::encode(&sealed[..16]),
+            "d31a8d34648e60db7b86afbc53ef7ec2"
+        );
+        assert_eq!(
+            hex::encode(&sealed[sealed.len() - TAG_LEN..]),
+            "1ae10b594f09e26a7e902ecbd0600691"
+        );
+        assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), msg);
+    }
+}
