@@ -9,6 +9,14 @@
 //! max-sustained-rate series in `BENCH_cluster.json` — the fleet-level
 //! counterpart of `BENCH_fig5.json`'s threads sweep.
 //!
+//! The fleet serves one fixed user population whose last-x history
+//! (`FLEET_WINDOW` queries fleet-wide) is **split** across replicas:
+//! each holds its consistent-hash share as a bounded window at steady
+//! state. The recurring cost that scales with fleet size is therefore
+//! the sealing burden — every `SEAL_EVERY` requests a replica re-seals
+//! *its share* of the window — which is exactly the recovery-guarantee
+//! work a bigger fleet genuinely distributes.
+//!
 //! A **churn drill** rides along: a 4-replica fleet under open-loop load
 //! has one replica hard-killed and later restarted mid-run; the summary
 //! records how many requests failed (target: zero — clients drain the
@@ -28,7 +36,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use xsearch_bench::summary::{capacity, json_points};
 use xsearch_bench::{Dataset, EXPERIMENT_SEED};
-use xsearch_cluster::{Cluster, ClusterClient, ClusterConfig, PlacementPolicy};
+use xsearch_cluster::{Cluster, ClusterClient, ClusterConfig, LaneStats, PlacementPolicy};
 use xsearch_core::config::XSearchConfig;
 use xsearch_engine::corpus::CorpusConfig;
 use xsearch_engine::engine::SearchEngine;
@@ -43,8 +51,15 @@ const SESSIONS: usize = 32;
 const THREADS: usize = 4;
 /// Replica counts swept.
 const REPLICAS: &[usize] = &[1, 2, 4, 8];
-/// Queries warmed into every replica's window before measuring.
-const WARM_PER_REPLICA: usize = 2_000;
+/// Fleet-total last-x window, in queries. The window is a property of
+/// the **user population** — their recent history — not of the fleet
+/// size, so N replicas split it (consistent-hash affinity: each holds
+/// its own clients' share). Per-replica history capacity is set to the
+/// share, which keeps the window at steady state during the sweep
+/// (bounded last-x, oldest evicted) instead of growing without bound —
+/// measured capacity no longer depends on how many rate points ran
+/// before.
+const FLEET_WINDOW: usize = 32_768;
 /// Seal cadence during the sweep: snapshot each replica's window every
 /// N requests — the recovery-point/throughput trade (the churn tests use
 /// 1; a fleet at full throttle amortizes).
@@ -72,7 +87,13 @@ fn engine() -> Arc<SearchEngine> {
     }))
 }
 
-fn launch_fleet(replicas: usize, seal_every: usize, warm: &[String]) -> Cluster {
+fn launch_fleet(
+    replicas: usize,
+    seal_every: usize,
+    history_capacity: usize,
+    warm_per_replica: usize,
+    warm: &[String],
+) -> Cluster {
     let cluster = Cluster::launch(
         engine(),
         ClusterConfig {
@@ -81,17 +102,25 @@ fn launch_fleet(replicas: usize, seal_every: usize, warm: &[String]) -> Cluster 
             seal_every,
             proxy: XSearchConfig {
                 k: K,
-                history_capacity: 1 << 20,
+                history_capacity,
                 ..Default::default()
             },
             seed: EXPERIMENT_SEED,
             ..Default::default()
         },
     );
-    for id in cluster.replica_ids() {
+    for (i, id) in cluster.replica_ids().into_iter().enumerate() {
+        // Each replica warms with its own distinct slice of the
+        // population's history (wrapping when the trace is shorter).
         cluster
             .with_replica(id, |proxy| {
-                proxy.seed_history(warm.iter().take(WARM_PER_REPLICA).map(String::as_str));
+                proxy.seed_history(
+                    warm.iter()
+                        .cycle()
+                        .skip(i * warm_per_replica)
+                        .take(warm_per_replica)
+                        .map(String::as_str),
+                );
             })
             .expect("fresh fleet must accept warm-up");
     }
@@ -105,8 +134,9 @@ fn attach_clients(cluster: &Cluster) -> Vec<Mutex<ClusterClient>> {
 }
 
 /// One replica-count point of the sweep.
-fn fleet_reports(replicas: usize, warm: &[String]) -> (Vec<RunReport>, f64) {
-    let cluster = launch_fleet(replicas, SEAL_EVERY, warm);
+fn fleet_reports(replicas: usize, warm: &[String]) -> (Vec<RunReport>, f64, LaneStats) {
+    let share = FLEET_WINDOW / replicas;
+    let cluster = launch_fleet(replicas, SEAL_EVERY, share, share, warm);
     let clients = attach_clients(&cluster);
     let counter = AtomicUsize::new(0);
     let served = AtomicU64::new(0);
@@ -118,14 +148,16 @@ fn fleet_reports(replicas: usize, warm: &[String]) -> (Vec<RunReport>, f64) {
     });
     let served = served.load(Ordering::Relaxed).max(1);
     let hop_us_mean = cluster.accounted_network_delay().as_secs_f64() * 1e6 / served as f64;
-    (reports, hop_us_mean)
+    (reports, hop_us_mean, cluster.batch_stats())
 }
 
 /// The churn drill: open-loop load on a 4-replica fleet with one
 /// kill/restart mid-run. Returns (completed, failed, surviving
 /// fleet-wide window size).
 fn churn_drill(warm: &[String]) -> (u64, u64, usize) {
-    let cluster = Arc::new(launch_fleet(4, 1, warm));
+    // Ample capacity: the drill checks that nothing is *lost*, so
+    // nothing may be evicted either.
+    let cluster = Arc::new(launch_fleet(4, 1, 1 << 20, 2_000, warm));
     let clients = attach_clients(&cluster);
     let victim = clients[0].lock().replica();
     let total: u64 = 2_000;
@@ -163,20 +195,26 @@ fn churn_drill(warm: &[String]) -> (u64, u64, usize) {
     (report.completed, report.failed, fleet_window)
 }
 
-fn render_summary(sweep: &[(usize, Vec<RunReport>, f64)], churn: (u64, u64, usize)) -> String {
+fn render_summary(
+    sweep: &[(usize, Vec<RunReport>, f64, LaneStats)],
+    churn: (u64, u64, usize),
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"point_ms\": {},", point_duration().as_millis());
     let _ = writeln!(
         out,
-        "  \"placement\": \"consistent_hash\", \"sessions\": {SESSIONS}, \"threads\": {THREADS}, \"seal_every\": {SEAL_EVERY},"
+        "  \"placement\": \"consistent_hash\", \"sessions\": {SESSIONS}, \"threads\": {THREADS}, \"seal_every\": {SEAL_EVERY}, \"fleet_window\": {FLEET_WINDOW},"
     );
     out.push_str("  \"replica_sweep\": [\n");
-    for (i, (replicas, reports, hop_us)) in sweep.iter().enumerate() {
+    for (i, (replicas, reports, hop_us, lanes)) in sweep.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"replicas\": {replicas}, \"max_sustained_rps\": {:.1}, \"hop_us_mean\": {hop_us:.1}, \"points\": ",
-            capacity(reports)
+            "    {{\"replicas\": {replicas}, \"max_sustained_rps\": {:.1}, \"hop_us_mean\": {hop_us:.1}, \"ecall_batches\": {}, \"mean_batch\": {:.2}, \"max_batch\": {}, \"points\": ",
+            capacity(reports),
+            lanes.batches,
+            lanes.mean_batch(),
+            lanes.max_batch
         );
         json_points(&mut out, reports);
         out.push('}');
@@ -220,7 +258,7 @@ fn main() {
     let mut sweep = Vec::new();
     for &replicas in REPLICAS {
         eprintln!("running fleet sweep: {replicas} replica(s)...");
-        let (reports, hop_us) = fleet_reports(replicas, &warm);
+        let (reports, hop_us, lanes) = fleet_reports(replicas, &warm);
         for r in &reports {
             table.row(&[
                 replicas as f64,
@@ -231,7 +269,7 @@ fn main() {
                 f64::from(u8::from(r.kept_up())),
             ]);
         }
-        sweep.push((replicas, reports, hop_us));
+        sweep.push((replicas, reports, hop_us, lanes));
     }
     table.print();
 
@@ -248,10 +286,12 @@ fn main() {
 
     println!();
     println!("# summary (max sustained rate, req/s)");
-    for (replicas, reports, hop_us) in &sweep {
+    for (replicas, reports, hop_us, lanes) in &sweep {
         println!(
-            "cluster replicas={replicas} rate={:.0} hop_us_mean={hop_us:.1}",
-            capacity(reports)
+            "cluster replicas={replicas} rate={:.0} hop_us_mean={hop_us:.1} mean_batch={:.2} max_batch={}",
+            capacity(reports),
+            lanes.mean_batch(),
+            lanes.max_batch
         );
     }
     let (completed, failed, window) = churn;

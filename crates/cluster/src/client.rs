@@ -1,10 +1,20 @@
 //! A fleet-aware broker: routes by a stable affinity key, attests its
 //! replica end-to-end, and on failure triggers a health sweep, re-routes,
 //! re-attests the successor, and retries the request.
+//!
+//! Searches ride the cluster's coalescing data plane
+//! ([`Cluster::forward_with`]): the client seals the query locally,
+//! hands the ciphertext to its replica's lane, and blocks on its own
+//! reusable [`RequestSlot`] until the (possibly batched) response comes
+//! back. The tunnel is established once at attach and reused for every
+//! request — no per-request channel setup; re-attestation happens only
+//! on failover.
 
 use crate::error::ClusterError;
 use crate::fleet::Cluster;
 use crate::registry::ReplicaId;
+use crate::router::RequestSlot;
+use std::sync::Arc;
 use xsearch_core::broker::Broker;
 use xsearch_core::wire::WireResult;
 use xsearch_crypto::sha256::Sha256;
@@ -27,6 +37,10 @@ pub struct ClusterClient {
     affinity: [u8; 32],
     replica: ReplicaId,
     broker: Broker,
+    /// The client's completion cell on the data plane, reused across
+    /// requests (one outstanding request at a time — guaranteed by
+    /// `&mut self` on the search methods).
+    slot: Arc<RequestSlot>,
 }
 
 impl std::fmt::Debug for ClusterClient {
@@ -73,6 +87,7 @@ impl ClusterClient {
             affinity,
             replica,
             broker,
+            slot: RequestSlot::new(),
         })
     }
 
@@ -126,19 +141,26 @@ impl ClusterClient {
         for _ in 0..=MAX_FAILOVERS {
             let target = self.replica;
             let broker = &mut self.broker;
-            let outcome = cluster.with_replica(target, |proxy| {
-                if echo {
-                    broker.search_echo(proxy, query)
-                } else {
-                    broker.search(proxy, query)
-                }
+            // The seal closure runs only after the request is admitted:
+            // a request shed with `Overloaded` was never sealed, so the
+            // tunnel's strict-sequence nonce counter stays in sync.
+            let outcome = cluster.forward_with(target, echo, &self.slot, || {
+                let client_pub = *broker.client_pub().as_bytes();
+                let ciphertext = broker.seal_query(query);
+                (client_pub, ciphertext)
             });
             match outcome {
-                Ok(Ok(results)) => return Ok(results),
-                Ok(Err(e)) => {
-                    // The replica answered but the session is broken —
+                Ok(response) => match self.broker.open_results(&response) {
+                    Ok(results) => return Ok(results),
+                    // The replica answered but not on our session (e.g.
+                    // it restarted and lost the channel): re-attest.
+                    Err(e) => last = ClusterError::Proxy(e),
+                },
+                Err(ClusterError::Proxy(e)) => {
+                    // Our entry failed inside a coalesced batch —
                     // typically a replica that crashed and restarted
-                    // (sessions die with the enclave). Re-attest below.
+                    // (sessions die with the enclave). The tunnel may be
+                    // desynchronized either way: re-attest below.
                     last = ClusterError::Proxy(e);
                 }
                 Err(e @ (ClusterError::ReplicaDown(_) | ClusterError::NotRoutable(_))) => {

@@ -11,6 +11,27 @@
 //! every broker still attests its own replica end-to-end) and
 //! end-to-end encryption into the enclave.
 //!
+//! # Lock-free data plane
+//!
+//! The request path ([`Cluster::route`] + the forwarding primitives)
+//! acquires **no lock on shared control-plane state**:
+//!
+//! * membership and the consistent-hash ring are read as published
+//!   snapshots ([`crate::snapshot::Published`]) — one atomic load each;
+//!   writers (enroll, deregister, sweeps) copy-on-write and flip;
+//! * admission is an atomic compare-exchange on the target node;
+//! * concurrent requests to the same replica coalesce on its **lane**
+//!   (flat combining): one submitter becomes leader and carries the
+//!   whole queue across the enclave boundary in a single `proxy_batch`
+//!   ecall, the rest park on their per-client slots.
+//!
+//! The only mutexes a forwarded request can touch are per-lane queue
+//! pushes and per-slot state flips — microseconds-scale critical
+//! sections that never cover an ecall — plus the per-node proxy
+//! `RwLock` *read* side (writers are kill/restart only).
+//! [`Cluster::hold_control_plane_writers`] exists so tests can prove
+//! it: requests must flow while every membership writer is blocked.
+//!
 //! # Failover
 //!
 //! A replica that stops answering is **drained** (deregistered, removed
@@ -30,9 +51,10 @@
 use crate::error::ClusterError;
 use crate::node::ReplicaNode;
 use crate::placement::{HashRing, PlacementPolicy};
-use crate::registry::{ReplicaId, ReplicaRegistry};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::registry::{RegistryWriterHold, ReplicaId, ReplicaRegistry};
+use crate::router::{DeliveryFence, Lane, LaneStats, LeaderGuard, Pending, RequestSlot};
+use crate::snapshot::{Published, WriterHold};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use xsearch_core::config::XSearchConfig;
@@ -41,6 +63,16 @@ use xsearch_engine::engine::SearchEngine;
 use xsearch_net_sim::link::FleetModel;
 use xsearch_sgx_sim::attestation::AttestationService;
 use xsearch_sgx_sim::measurement::Measurement;
+
+/// Most entries one coalesced `proxy_batch` ecall will carry. Bounds
+/// tail latency for the first request in a long queue; the leader loops
+/// until the lane drains, so nothing is left behind.
+const MAX_BATCH: usize = 64;
+
+/// Timed-wait backstop for parked submitters. Delivery normally wakes
+/// them via the slot condvar; the timeout only matters if leadership
+/// went unclaimed in the instant they checked (lost-wakeup closure).
+const LANE_WAIT: Duration = Duration::from_millis(1);
 
 /// Fleet-level configuration.
 #[derive(Debug, Clone)]
@@ -120,6 +152,22 @@ impl Drop for AdmitGuard<'_> {
     }
 }
 
+/// Holds every control-plane writer lock at once — registry membership
+/// and ring publication — without mutating anything. While this exists,
+/// enroll/deregister/health sweeps block, but routing and forwarding
+/// must keep flowing: the request path only loads published snapshots.
+/// This is the harness for the lock-free acceptance test.
+pub struct ControlPlaneHold<'a> {
+    _registry: RegistryWriterHold<'a>,
+    _ring: WriterHold<'a, HashRing>,
+}
+
+impl std::fmt::Debug for ControlPlaneHold<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ControlPlaneHold")
+    }
+}
+
 /// A fleet of attested enclave proxy replicas behind a routing tier.
 pub struct Cluster {
     config: ClusterConfig,
@@ -127,11 +175,11 @@ pub struct Cluster {
     expected: Measurement,
     registry: ReplicaRegistry,
     nodes: Vec<Arc<ReplicaNode>>,
-    ring: Mutex<HashRing>,
+    /// The published consistent-hash ring — read lock-free by `route`.
+    ring: Published<HashRing>,
+    /// One coalescing lane per replica slot.
+    lanes: Vec<Lane>,
     rr: AtomicUsize,
-    /// Sum of accounted router↔replica hop delays (ns) — reported by the
-    /// scaling bench; never slept.
-    accounted_delay_ns: AtomicU64,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -184,15 +232,16 @@ impl Cluster {
             .expect("just launched")
             .expected_measurement();
         let registry = ReplicaRegistry::new(ias.clone(), expected, config.seed);
+        let lanes = (0..config.replicas).map(|_| Lane::default()).collect();
         let cluster = Cluster {
             config,
             ias,
             expected,
             registry,
             nodes,
-            ring: Mutex::new(HashRing::default()),
+            ring: Published::new(HashRing::default()),
+            lanes,
             rr: AtomicUsize::new(0),
-            accounted_delay_ns: AtomicU64::new(0),
         };
         for node in &cluster.nodes {
             cluster
@@ -235,10 +284,11 @@ impl Cluster {
         self.nodes.get(id.0).ok_or(ClusterError::UnknownReplica(id))
     }
 
-    /// Sum of accounted router↔replica hop delays so far.
+    /// Sum of accounted router↔replica hop delays so far (never slept,
+    /// tracked per node with an atomic — see `ReplicaNode::account_hop`).
     #[must_use]
     pub fn accounted_network_delay(&self) -> Duration {
-        Duration::from_nanos(self.accounted_delay_ns.load(Ordering::Relaxed))
+        Duration::from_nanos(self.nodes.iter().map(|n| n.accounted_hop_ns()).sum())
     }
 
     /// Per-replica admission-queue counters: current depth, high-water
@@ -258,13 +308,34 @@ impl Cluster {
             .collect()
     }
 
+    /// Fleet-wide request-coalescing statistics: how many `proxy_batch`
+    /// ecalls the lanes issued and how many requests rode in them.
+    #[must_use]
+    pub fn batch_stats(&self) -> LaneStats {
+        self.lanes
+            .iter()
+            .fold(LaneStats::default(), |acc, lane| acc.merged(lane.stats()))
+    }
+
+    /// Takes and holds every control-plane writer lock (registry + ring)
+    /// without publishing anything. Requests must keep flowing while the
+    /// hold exists — the property the lock-free data-plane test asserts.
+    #[must_use]
+    pub fn hold_control_plane_writers(&self) -> ControlPlaneHold<'_> {
+        ControlPlaneHold {
+            _registry: self.registry.hold_writer(),
+            _ring: self.ring.hold_writer(),
+        }
+    }
+
     fn rebuild_ring(&self) {
         let routable = self.registry.routable();
-        *self.ring.lock() = HashRing::build(&routable, self.config.vnodes);
+        self.ring
+            .publish(HashRing::build(&routable, self.config.vnodes));
     }
 
     /// Enrolls (or re-enrolls) `id` through the challenge/quote protocol
-    /// and rebuilds the ring.
+    /// and publishes a rebuilt ring.
     ///
     /// # Errors
     ///
@@ -285,27 +356,27 @@ impl Cluster {
     /// Picks a replica for `affinity` under the configured placement
     /// policy. Only verified (routable) replicas are candidates; the
     /// affinity key is an opaque, stable per-client byte string — the
-    /// router never sees client channel keys or plaintext.
+    /// router never sees client channel keys or plaintext. Lock-free:
+    /// reads one registry snapshot and (under consistent hashing) one
+    /// ring snapshot.
     ///
     /// # Errors
     ///
     /// [`ClusterError::NoReplicasAvailable`] when nothing is routable.
     pub fn route(&self, affinity: &[u8]) -> Result<ReplicaId, ClusterError> {
+        let members = self.registry.snapshot();
         match self.config.placement {
             PlacementPolicy::ConsistentHash => {
-                // Walk the ring but skip anything no longer verified:
-                // the refusal to route to deregistered replicas must not
-                // depend on the ring having been rebuilt yet.
-                let ring = self.ring.lock();
-                let choice = ring
-                    .walk_from(affinity)
-                    .find(|&id| self.registry.is_routable(id));
+                // Walk the ring but skip anything no longer verified in
+                // the membership snapshot: the refusal to route to
+                // deregistered replicas must not depend on the ring
+                // having been republished yet.
+                let ring = self.ring.load();
+                let choice = ring.walk_from(affinity).find(|&id| members.is_routable(id));
                 choice.ok_or(ClusterError::NoReplicasAvailable)
             }
-            PlacementPolicy::LeastLoaded => self
-                .registry
-                .routable()
-                .into_iter()
+            PlacementPolicy::LeastLoaded => members
+                .ids()
                 .min_by_key(|&id| {
                     (
                         self.nodes.get(id.0).map_or(usize::MAX, |n| n.inflight()),
@@ -314,20 +385,21 @@ impl Cluster {
                 })
                 .ok_or(ClusterError::NoReplicasAvailable),
             PlacementPolicy::RoundRobin => {
-                let routable = self.registry.routable();
-                if routable.is_empty() {
+                if members.is_empty() {
                     return Err(ClusterError::NoReplicasAvailable);
                 }
-                let i = self.rr.fetch_add(1, Ordering::Relaxed) % routable.len();
-                Ok(routable[i])
+                let i = self.rr.fetch_add(1, Ordering::Relaxed) % members.len();
+                Ok(members.members()[i].0)
             }
         }
     }
 
-    /// Runs `f` against the live proxy of `id`: the forwarding primitive
-    /// the front tier offers. The frames `f` moves are already encrypted
-    /// end-to-end; this tier adds only the accounted data-center hop,
-    /// in-flight accounting, and the sealing cadence.
+    /// Runs `f` against the live proxy of `id`: the control-plane
+    /// forwarding primitive (attach, re-attach, migration drills). The
+    /// frames `f` moves are already encrypted end-to-end; this tier adds
+    /// only the accounted data-center hop, in-flight accounting, and the
+    /// sealing cadence. Data-plane searches take the coalescing
+    /// [`Cluster::forward_sealed`] path instead.
     ///
     /// # Errors
     ///
@@ -354,15 +426,196 @@ impl Cluster {
         // slot would permanently shrink this replica's bounded queue
         // until every arrival is shed.
         let admitted = AdmitGuard { node };
-        let hop = node.sample_rtt();
-        self.accounted_delay_ns
-            .fetch_add(hop.as_nanos() as u64, Ordering::Relaxed);
+        node.account_hop();
         let out = f(proxy);
         drop(admitted);
         if node.seal_due(self.config.seal_every) {
             node.seal_snapshot(proxy);
         }
         Ok(out)
+    }
+
+    /// Forwards one sealed request to `id` through its coalescing lane
+    /// and blocks until the result is delivered. The fleet's data-plane
+    /// primitive: concurrent callers targeting the same replica ride a
+    /// single `proxy_batch` ecall.
+    ///
+    /// The caller keeps `slot` for its whole session (connection reuse);
+    /// it must have no other request outstanding on it.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NotRoutable`] / [`ClusterError::ReplicaDown`] /
+    /// [`ClusterError::Overloaded`] as for [`Cluster::with_replica`];
+    /// [`ClusterError::Proxy`] carries this entry's failure out of a
+    /// coalesced batch (other entries are unaffected). Note the request
+    /// was already sealed by the caller: after `Overloaded` the session's
+    /// send counter is *not* desynchronized only if the caller seals via
+    /// [`Cluster::forward_with`]'s closure, which runs after admission.
+    pub fn forward_sealed(
+        &self,
+        id: ReplicaId,
+        client_pub: [u8; 32],
+        ciphertext: Vec<u8>,
+        echo: bool,
+        slot: &Arc<RequestSlot>,
+    ) -> Result<Vec<u8>, ClusterError> {
+        self.forward_with(id, echo, slot, move || (client_pub, ciphertext))
+    }
+
+    /// The full data-plane forward: admits the request on `id`'s bounded
+    /// queue, *then* invokes `seal` to produce `(client_pub,
+    /// ciphertext)`, enqueues it on the replica's lane, and collects the
+    /// delivered response. Sealing after admission keeps the client's
+    /// strict-sequence nonce counter intact when the request is shed
+    /// with [`ClusterError::Overloaded`] — nothing was put on the wire.
+    ///
+    /// The calling thread may transparently become the lane leader and
+    /// carry the whole queue across the enclave boundary in one ecall.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::forward_sealed`].
+    pub fn forward_with(
+        &self,
+        id: ReplicaId,
+        echo: bool,
+        slot: &Arc<RequestSlot>,
+        seal: impl FnOnce() -> ([u8; 32], Vec<u8>),
+    ) -> Result<Vec<u8>, ClusterError> {
+        let node = self.node(id)?;
+        if !self.registry.is_routable(id) {
+            return Err(ClusterError::NotRoutable(id));
+        }
+        if !node.is_up() {
+            return Err(ClusterError::ReplicaDown(id));
+        }
+        if !node.try_enter(self.config.queue_limit) {
+            return Err(ClusterError::Overloaded(id));
+        }
+        // From here the admitted slot must drain on every path — even a
+        // panicking seal closure (AdmitGuard) or a leader that unwinds
+        // mid-batch (DeliveryFence fails the slot, we still drain here).
+        let admitted = AdmitGuard { node };
+        let (client_pub, ciphertext) = seal();
+        node.account_hop();
+        slot.begin();
+        let lane = &self.lanes[id.0];
+        lane.push(Pending {
+            client_pub,
+            ciphertext,
+            echo,
+            slot: Arc::clone(slot),
+        });
+        let result = loop {
+            if let Some(result) = slot.take_if_done() {
+                break result;
+            }
+            if lane.try_lead() {
+                loop {
+                    {
+                        let _leading = LeaderGuard::new(lane);
+                        self.lead(id, node);
+                    }
+                    // Leadership is released before this re-check, so a
+                    // submitter that enqueued after our final drain
+                    // either wins `try_lead` itself or we re-acquire and
+                    // serve it — nobody is stranded (the timed wait
+                    // below is the belt-and-braces backstop).
+                    if lane.is_empty() || !lane.try_lead() {
+                        break;
+                    }
+                }
+            } else if let Some(result) = slot.wait_timeout(LANE_WAIT) {
+                break result;
+            }
+        };
+        drop(admitted);
+        result
+    }
+
+    /// Drains `id`'s lane batch by batch until empty. Caller holds lane
+    /// leadership.
+    fn lead(&self, id: ReplicaId, node: &ReplicaNode) {
+        loop {
+            let batch = self.lanes[id.0].drain(MAX_BATCH);
+            if batch.is_empty() {
+                break;
+            }
+            self.execute_batch(id, node, batch);
+        }
+    }
+
+    /// Executes one coalesced batch: a single `proxy_batch` ecall per
+    /// request mode, per-entry delivery, and the sealing cadence. Holds
+    /// the proxy read guard for the whole thing, so a concurrent
+    /// [`Cluster::kill`] serializes before or after the batch — it can
+    /// never land between a request entering the window and the
+    /// cadence's seal, which is what keeps `seal_every == 1` lossless
+    /// under churn.
+    fn execute_batch(&self, id: ReplicaId, node: &ReplicaNode, batch: Vec<Pending>) {
+        self.lanes[id.0].record_batch(batch.len());
+        let fence = DeliveryFence::new(id, batch);
+        let guard = node.proxy();
+        let Some(proxy) = guard.as_ref() else {
+            // Dropping the armed fence delivers ReplicaDown to every
+            // entry; the submitters sweep and re-route.
+            return;
+        };
+        let entries = fence.entries();
+        let mut results: Vec<Option<Result<Vec<u8>, ClusterError>>> = Vec::new();
+        results.resize_with(entries.len(), || None);
+        for echo in [false, true] {
+            let idxs: Vec<usize> = entries
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.echo == echo)
+                .map(|(i, _)| i)
+                .collect();
+            if idxs.is_empty() {
+                continue;
+            }
+            let requests = idxs
+                .iter()
+                .map(|&i| (&entries[i].client_pub, entries[i].ciphertext.as_slice()));
+            let wire = if echo {
+                proxy.request_batch_echo_refs(requests)
+            } else {
+                proxy.request_batch_refs(requests)
+            };
+            match wire {
+                Ok(per_entry) => {
+                    for (&i, entry) in idxs.iter().zip(per_entry) {
+                        results[i] = Some(entry.map_err(ClusterError::Proxy));
+                    }
+                }
+                Err(envelope) => {
+                    // The batch envelope itself failed: every entry in
+                    // this sub-batch shares the failure.
+                    for &i in &idxs {
+                        results[i] = Some(Err(ClusterError::Proxy(envelope.clone())));
+                    }
+                }
+            }
+        }
+        // Sealing cadence: one tick per served entry, at most one
+        // snapshot per batch — before delivery and still under the proxy
+        // guard, so results a client has observed are always covered by
+        // a seal that already happened (when the cadence says they must).
+        let mut seal = false;
+        for _ in 0..entries.len() {
+            if node.seal_due(self.config.seal_every) {
+                seal = true;
+            }
+        }
+        if seal {
+            node.seal_snapshot(proxy);
+        }
+        for (pending, result) in fence.disarm().into_iter().zip(results) {
+            pending
+                .slot
+                .deliver(result.unwrap_or(Err(ClusterError::ReplicaDown(id))));
+        }
     }
 
     /// Hard-crashes `id`'s enclave (churn injection): sessions and the
@@ -471,7 +724,7 @@ impl Cluster {
         };
         match self.config.placement {
             PlacementPolicy::ConsistentHash => {
-                let ring = self.ring.lock();
+                let ring = self.ring.load();
                 let successor = ring.walk_from_replica(failed).find(|id| candidate_ok(id));
                 successor
             }

@@ -36,8 +36,17 @@ pub struct ReplicaNode {
     sealed: Mutex<Option<SealedBlob>>,
     /// Router ↔ this replica (delays accounted, not slept).
     link: Link,
-    /// Host-side randomness for sealing nonces and link sampling.
+    /// Host-side randomness for sealing nonces.
     rng: Mutex<StdRng>,
+    /// Precomputed link RTT draws (ns). Sampling a per-request delay
+    /// from a mutex-guarded RNG would put a lock on the request path;
+    /// instead we draw a table at launch and walk it with an atomic
+    /// cursor — same distribution, zero locks.
+    hop_table: Vec<u64>,
+    /// Next hop-table index (wraps).
+    hop_cursor: AtomicUsize,
+    /// Total accounted router↔replica delay in nanoseconds.
+    hop_ns: AtomicU64,
     /// Requests currently inside this replica (least-loaded signal and
     /// the admission queue depth — everything admitted but not finished).
     inflight: AtomicUsize,
@@ -78,6 +87,10 @@ impl ReplicaNode {
         let proxy = XSearchProxy::launch(config.clone(), engine.clone(), ias);
         let platform = SealingPlatform::from_seed(host_seed);
         let vault = HistoryVault::new(platform, proxy.expected_measurement());
+        let mut hop_rng = StdRng::seed_from_u64(host_seed ^ 0x1A2B_3C4D);
+        let hop_table: Vec<u64> = (0..1024)
+            .map(|_| link.rtt(&mut hop_rng).as_nanos() as u64)
+            .collect();
         ReplicaNode {
             id,
             config,
@@ -87,6 +100,9 @@ impl ReplicaNode {
             sealed: Mutex::new(None),
             link,
             rng: Mutex::new(StdRng::seed_from_u64(host_seed ^ 0xA5A5_5A5A)),
+            hop_table,
+            hop_cursor: AtomicUsize::new(0),
+            hop_ns: AtomicU64::new(0),
             inflight: AtomicUsize::new(0),
             queue_high_water: AtomicUsize::new(0),
             shed: AtomicU64::new(0),
@@ -181,9 +197,21 @@ impl ReplicaNode {
         self.served.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Samples the accounted router→replica→router hop.
-    pub(crate) fn sample_rtt(&self) -> Duration {
-        self.link.rtt(&mut *self.rng.lock())
+    /// Accounts one router→replica→router hop: takes the next
+    /// precomputed RTT draw (atomic cursor, no locks) and adds it to
+    /// this node's accounted-delay total.
+    pub(crate) fn account_hop(&self) -> Duration {
+        let i = self.hop_cursor.fetch_add(1, Ordering::Relaxed) % self.hop_table.len();
+        let ns = self.hop_table[i];
+        self.hop_ns.fetch_add(ns, Ordering::Relaxed);
+        Duration::from_nanos(ns)
+    }
+
+    /// Total accounted router↔replica network delay on this node, in
+    /// nanoseconds (accounted, not slept — see [`Link`]).
+    #[must_use]
+    pub fn accounted_hop_ns(&self) -> u64 {
+        self.hop_ns.load(Ordering::Relaxed)
     }
 
     /// Ticks the sealing cadence; returns `true` when a snapshot is due

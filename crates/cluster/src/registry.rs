@@ -9,15 +9,28 @@
 //! re-enroll it after deregistration, and a quote minted for one channel
 //! key cannot vouch for another.
 //!
-//! The router consults [`ReplicaRegistry::is_routable`] before every
-//! forward, so unverified or deregistered replicas never see traffic —
-//! the same trust decision the paper's broker makes per session (§4.2),
-//! lifted to fleet membership.
+//! The router consults the registry before every forward, so unverified
+//! or deregistered replicas never see traffic — the same trust decision
+//! the paper's broker makes per session (§4.2), lifted to fleet
+//! membership.
+//!
+//! # Snapshot publication
+//!
+//! Membership reads sit on the request hot path, so they never take the
+//! registry's writer lock. Every mutation (register/deregister) bumps a
+//! monotonically increasing **epoch**, rebuilds an immutable
+//! [`RegistrySnapshot`], and publishes it through a lock-free
+//! [`Published`] cell; [`ReplicaRegistry::is_routable`] and friends just
+//! load the current snapshot. Each snapshot carries a digest over its
+//! epoch and members, so stress tests can detect a torn read (none can
+//! occur — the digest check is the harness proving it).
 
 use crate::error::ClusterError;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use crate::snapshot::Published;
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 use xsearch_core::session::registration_binding;
 use xsearch_crypto::sha256::Sha256;
 use xsearch_crypto::x25519::PublicKey;
@@ -34,24 +47,143 @@ impl fmt::Display for ReplicaId {
     }
 }
 
+/// An immutable, digest-protected view of the verified membership at one
+/// epoch. The request path routes against exactly one of these — loaded
+/// with a single lock-free read — so a request either sees the fleet
+/// before a membership change or after it, never halfway through.
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    epoch: u64,
+    /// Verified members, ascending by id (binary-searchable).
+    members: Vec<(ReplicaId, PublicKey)>,
+    digest: u64,
+}
+
+/// FNV-1a over the epoch and member list — cheap, and any torn mixture
+/// of two snapshots would fail to reproduce it.
+fn snapshot_digest(epoch: u64, members: &[(ReplicaId, PublicKey)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(&epoch.to_le_bytes());
+    for (id, key) in members {
+        eat(&(id.0 as u64).to_le_bytes());
+        eat(key.as_bytes());
+    }
+    h
+}
+
+impl RegistrySnapshot {
+    fn build(epoch: u64, verified: &BTreeMap<ReplicaId, PublicKey>) -> Self {
+        let members: Vec<(ReplicaId, PublicKey)> =
+            verified.iter().map(|(&id, &key)| (id, key)).collect();
+        let digest = snapshot_digest(epoch, &members);
+        RegistrySnapshot {
+            epoch,
+            members,
+            digest,
+        }
+    }
+
+    /// The membership epoch this snapshot was published at. Bumped by
+    /// every register/deregister; strictly monotonic.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether `id` is verified in this snapshot.
+    #[must_use]
+    pub fn is_routable(&self, id: ReplicaId) -> bool {
+        self.members.binary_search_by_key(&id, |&(m, _)| m).is_ok()
+    }
+
+    /// The channel identity key `id`'s enrollment bound, if verified.
+    #[must_use]
+    pub fn verified_key(&self, id: ReplicaId) -> Option<PublicKey> {
+        self.members
+            .binary_search_by_key(&id, |&(m, _)| m)
+            .ok()
+            .map(|i| self.members[i].1)
+    }
+
+    /// Verified members, ascending by id.
+    #[must_use]
+    pub fn members(&self) -> &[(ReplicaId, PublicKey)] {
+        &self.members
+    }
+
+    /// Verified replica ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        self.members.iter().map(|&(id, _)| id)
+    }
+
+    /// Number of verified members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no replica is verified.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Recomputes the digest and compares it to the published one — the
+    /// torn-read detector the concurrency stress harness spins on. A
+    /// correctly functioning [`Published`] cell makes this always true.
+    #[must_use]
+    pub fn digest_ok(&self) -> bool {
+        snapshot_digest(self.epoch, &self.members) == self.digest
+    }
+}
+
+/// Everything only writers touch, behind the writer lock.
 #[derive(Debug, Default)]
-struct Inner {
+struct WriterState {
     /// Verified members: replica id → the channel identity key its
-    /// enrollment quote bound.
-    verified: HashMap<ReplicaId, PublicKey>,
+    /// enrollment quote bound. The canonical copy snapshots are built
+    /// from.
+    verified: BTreeMap<ReplicaId, PublicKey>,
     /// Outstanding enrollment challenges (consumed on use).
     challenges: HashMap<ReplicaId, [u8; 32]>,
     /// Counter feeding nonce derivation — every challenge is fresh.
     issued: u64,
+    /// Membership epoch: bumped by every register/deregister.
+    epoch: u64,
+    /// Per replica, the epoch at which it was last deregistered.
+    dereg_epoch: HashMap<ReplicaId, u64>,
 }
 
 /// The fleet's membership authority.
-#[derive(Debug)]
 pub struct ReplicaRegistry {
     ias: AttestationService,
     expected: Measurement,
     seed: u64,
-    inner: Mutex<Inner>,
+    writer: Mutex<WriterState>,
+    published: Published<RegistrySnapshot>,
+}
+
+impl fmt::Debug for ReplicaRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snapshot = self.snapshot();
+        f.debug_struct("ReplicaRegistry")
+            .field("epoch", &snapshot.epoch())
+            .field("members", &snapshot.len())
+            .finish()
+    }
+}
+
+/// Holds the registry's writer lock without mutating anything — the
+/// harness for proving requests never block on membership writers. All
+/// mutations (challenge/register/deregister) block while this exists;
+/// snapshot reads proceed untouched.
+pub struct RegistryWriterHold<'a> {
+    _guard: MutexGuard<'a, WriterState>,
 }
 
 impl ReplicaRegistry {
@@ -65,7 +197,8 @@ impl ReplicaRegistry {
             ias,
             expected,
             seed,
-            inner: Mutex::new(Inner::default()),
+            writer: Mutex::new(WriterState::default()),
+            published: Published::new(RegistrySnapshot::build(0, &BTreeMap::new())),
         }
     }
 
@@ -75,19 +208,33 @@ impl ReplicaRegistry {
         self.expected
     }
 
+    /// The current membership snapshot — one lock-free load; hold the
+    /// `Arc` to route any number of requests against a consistent view.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<RegistrySnapshot> {
+        self.published.load()
+    }
+
+    /// Rebuilds and publishes the snapshot from the writer state.
+    /// Callers must hold the writer lock (they pass its guard).
+    fn publish_from(&self, state: &WriterState) {
+        self.published
+            .publish(RegistrySnapshot::build(state.epoch, &state.verified));
+    }
+
     /// Issues a fresh enrollment challenge for `id`, replacing any
     /// outstanding one. The replica must bind this nonce (together with
     /// its channel identity key) into its enrollment quote.
     pub fn challenge(&self, id: ReplicaId) -> [u8; 32] {
-        let mut inner = self.inner.lock();
-        inner.issued += 1;
+        let mut state = self.writer.lock();
+        state.issued += 1;
         let mut h = Sha256::new();
         h.update(b"xsearch-registry-challenge-v1");
         h.update(&self.seed.to_le_bytes());
         h.update(&(id.0 as u64).to_le_bytes());
-        h.update(&inner.issued.to_le_bytes());
+        h.update(&state.issued.to_le_bytes());
         let nonce = h.finalize();
-        inner.challenges.insert(id, nonce);
+        state.challenges.insert(id, nonce);
         nonce
     }
 
@@ -110,57 +257,89 @@ impl ReplicaRegistry {
         quote: &Quote,
     ) -> Result<(), ClusterError> {
         let nonce = self
-            .inner
+            .writer
             .lock()
             .challenges
             .remove(&id)
             .ok_or(ClusterError::NoChallenge(id))?;
+        // Quote verification runs outside the writer lock: it is pure
+        // crypto over caller-owned data.
         self.ias.verify_expecting(quote, self.expected)?;
         if quote.report_data != registration_binding(&enclave_pub, &nonce) {
             return Err(ClusterError::QuoteBindingMismatch);
         }
-        self.inner.lock().verified.insert(id, enclave_pub);
+        let mut state = self.writer.lock();
+        state.verified.insert(id, enclave_pub);
+        state.epoch += 1;
+        self.publish_from(&state);
         Ok(())
     }
 
-    /// Removes `id` from the verified set (drain). Returns whether it
-    /// was registered — the caller that actually flips the membership
-    /// owns the follow-up failover, so concurrent sweeps stay idempotent.
+    /// Removes `id` from the verified set (drain) and publishes the new
+    /// membership epoch. Returns whether it was registered — the caller
+    /// that actually flips the membership owns the follow-up failover,
+    /// so concurrent sweeps stay idempotent.
     pub fn deregister(&self, id: ReplicaId) -> bool {
-        self.inner.lock().verified.remove(&id).is_some()
+        let mut state = self.writer.lock();
+        if state.verified.remove(&id).is_none() {
+            return false;
+        }
+        state.epoch += 1;
+        let epoch = state.epoch;
+        state.dereg_epoch.insert(id, epoch);
+        self.publish_from(&state);
+        true
+    }
+
+    /// The epoch at which `id` was last deregistered, if ever. After
+    /// `deregister(id)` returns, every snapshot at `epoch >=`
+    /// `deregister_epoch(id)` excludes `id` (until a re-enrollment bumps
+    /// past it) — the property the routing stress test asserts.
+    #[must_use]
+    pub fn deregister_epoch(&self, id: ReplicaId) -> Option<u64> {
+        self.writer.lock().dereg_epoch.get(&id).copied()
     }
 
     /// Whether the router may send traffic to `id`.
     #[must_use]
     pub fn is_routable(&self, id: ReplicaId) -> bool {
-        self.inner.lock().verified.contains_key(&id)
+        self.snapshot().is_routable(id)
     }
 
     /// The channel identity key `id`'s enrollment quote bound, if
     /// verified.
     #[must_use]
     pub fn verified_key(&self, id: ReplicaId) -> Option<PublicKey> {
-        self.inner.lock().verified.get(&id).copied()
+        self.snapshot().verified_key(id)
     }
 
     /// All currently verified replica ids, ascending.
     #[must_use]
     pub fn routable(&self) -> Vec<ReplicaId> {
-        let mut ids: Vec<ReplicaId> = self.inner.lock().verified.keys().copied().collect();
-        ids.sort_unstable();
-        ids
+        self.snapshot().ids().collect()
     }
 
     /// Number of verified replicas.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().verified.len()
+        self.snapshot().len()
     }
 
     /// Whether no replica is verified.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Grabs and holds the registry writer lock without mutating —
+    /// membership mutations block until the hold drops, snapshot reads
+    /// (and therefore routing and forwarding) must keep flowing. Test
+    /// and experiment hook.
+    #[must_use]
+    pub fn hold_writer(&self) -> RegistryWriterHold<'_> {
+        RegistryWriterHold {
+            _guard: self.writer.lock(),
+        }
     }
 }
 
@@ -323,6 +502,51 @@ mod tests {
         let c = registry.challenge(ReplicaId(1));
         assert_ne!(a, b);
         assert_ne!(b, c);
+    }
+
+    #[test]
+    fn epochs_advance_on_every_membership_mutation() {
+        let (_, proxy, registry) = fleet_pieces();
+        let id = ReplicaId(0);
+        let e0 = registry.snapshot().epoch();
+        enroll(&registry, id, &proxy);
+        let e1 = registry.snapshot().epoch();
+        assert!(e1 > e0, "register bumps the epoch");
+        assert!(registry.deregister(id));
+        let e2 = registry.snapshot().epoch();
+        assert!(e2 > e1, "deregister bumps the epoch");
+        assert_eq!(registry.deregister_epoch(id), Some(e2));
+        // Challenges are not membership mutations.
+        let _ = registry.challenge(id);
+        assert_eq!(registry.snapshot().epoch(), e2);
+    }
+
+    #[test]
+    fn snapshots_are_digest_consistent_and_immutable() {
+        let (_, proxy, registry) = fleet_pieces();
+        let before = registry.snapshot();
+        assert!(before.digest_ok());
+        assert!(before.is_empty());
+        enroll(&registry, ReplicaId(0), &proxy);
+        let after = registry.snapshot();
+        assert!(after.digest_ok());
+        assert_eq!(after.len(), 1);
+        // The previously loaded snapshot is immutable: it still shows
+        // the old membership and still passes its digest.
+        assert!(before.is_empty());
+        assert!(before.digest_ok());
+    }
+
+    #[test]
+    fn reads_proceed_while_the_writer_lock_is_held() {
+        let (_, proxy, registry) = fleet_pieces();
+        enroll(&registry, ReplicaId(0), &proxy);
+        let hold = registry.hold_writer();
+        for _ in 0..100 {
+            assert!(registry.is_routable(ReplicaId(0)));
+            assert!(registry.snapshot().digest_ok());
+        }
+        drop(hold);
     }
 
     use rand::SeedableRng;

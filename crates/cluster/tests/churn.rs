@@ -130,6 +130,89 @@ fn churn_under_open_loop_load_preserves_windows_and_decryption() {
     probe.search_echo(&cluster, "post churn probe").unwrap();
 }
 
+/// A seeded kill/restart schedule interleaved with client traffic,
+/// replayed twice from scratch: both runs must produce an identical
+/// transcript (same per-request results, same churn events), lose zero
+/// requests, and end with every query intact in the fleet-union window.
+/// Any nondeterminism smuggled into the data plane by the lock-free
+/// refactor — snapshot races, lane coalescing leaking into results,
+/// hop-table accounting feeding back into routing — would break the
+/// byte-for-byte transcript equality.
+#[test]
+fn seeded_churn_replay_is_deterministic_and_lossless() {
+    const REQUESTS: usize = 240;
+    const REPLAY_CLIENTS: usize = 6;
+
+    fn run_once() -> (Vec<String>, Vec<String>) {
+        let cluster = fleet();
+        let mut clients: Vec<ClusterClient> = (0..REPLAY_CLIENTS)
+            .map(|i| ClusterClient::attach(&cluster, 3000 + i as u64).unwrap())
+            .collect();
+
+        // A fixed-seed LCG drives every schedule decision, so the whole
+        // kill/restart/traffic interleaving replays exactly.
+        let mut state = 0x5EED_CAFEu64;
+        let mut draw = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+
+        let mut transcript: Vec<String> = Vec::with_capacity(REQUESTS + 16);
+        let mut downed: Option<xsearch_cluster::ReplicaId> = None;
+        for n in 0..REQUESTS {
+            if n % 48 == 0 && n > 0 {
+                let victim = xsearch_cluster::ReplicaId(draw() as usize % 4);
+                cluster.kill(victim).unwrap();
+                transcript.push(format!("kill {victim}"));
+                downed = Some(victim);
+            }
+            if n % 48 == 24 {
+                if let Some(victim) = downed.take() {
+                    let restored = cluster.restart(victim).unwrap();
+                    transcript.push(format!("restart {victim} restored {restored}"));
+                }
+            }
+            let c = draw() as usize % REPLAY_CLIENTS;
+            let echo = draw() % 2 == 0;
+            let query = format!("replay {n}");
+            let results = if echo {
+                clients[c].search_echo(&cluster, &query)
+            } else {
+                clients[c].search(&cluster, &query)
+            }
+            .unwrap_or_else(|e| panic!("request {n} lost: {e}"));
+            transcript.push(format!("n={n} client={c} results={results:?}"));
+        }
+
+        let mut union: Vec<String> = Vec::new();
+        for rid in cluster.replica_ids() {
+            if let Ok(snap) = cluster.with_replica(rid, XSearchProxy::history_snapshot) {
+                union.extend(snap);
+            }
+        }
+        union.sort_unstable();
+        union.dedup();
+        (transcript, union)
+    }
+
+    let (transcript_a, window_a) = run_once();
+    let (transcript_b, window_b) = run_once();
+    assert_eq!(
+        transcript_a, transcript_b,
+        "replaying the same seeded schedule must be deterministic"
+    );
+    assert_eq!(window_a, window_b, "fleet-union windows diverged");
+    for n in 0..REQUESTS {
+        let q = format!("replay {n}");
+        assert!(
+            window_a.contains(&q),
+            "query {q:?} lost from the fleet window despite seal_every=1"
+        );
+    }
+}
+
 #[test]
 fn every_tagged_window_survives_killing_each_replica_once() {
     // Sequential churn across the whole fleet: kill+sweep+restart each

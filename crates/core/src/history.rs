@@ -251,13 +251,26 @@ impl QueryHistory {
     /// locks every stripe and merges by push sequence number.
     #[must_use]
     pub fn snapshot(&self) -> Vec<String> {
-        let mut tagged: Vec<Entry> = self
-            .stripes
-            .iter()
-            .flat_map(|s| s.entries.lock().iter().cloned().collect::<Vec<_>>())
-            .collect();
+        self.snapshot_arcs()
+            .into_iter()
+            .map(|q| String::from(&*q))
+            .collect()
+    }
+
+    /// The zero-copy spine of [`QueryHistory::snapshot`]: the ordered
+    /// window as shared `Arc<str>` handles — refcount bumps, no text
+    /// copies. The sealed persistence path serializes straight from
+    /// these, which matters because a fleet replica re-seals its whole
+    /// window every `seal_every` requests.
+    #[must_use]
+    pub fn snapshot_arcs(&self) -> Vec<Arc<str>> {
+        let mut tagged: Vec<Entry> = Vec::with_capacity(self.len());
+        for stripe in &self.stripes {
+            let entries = stripe.entries.lock();
+            tagged.extend(entries.iter().cloned());
+        }
         tagged.sort_unstable_by_key(|(seq, _)| *seq);
-        tagged.into_iter().map(|(_, q)| String::from(&*q)).collect()
+        tagged.into_iter().map(|(_, q)| q).collect()
     }
 }
 

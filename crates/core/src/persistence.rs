@@ -32,10 +32,15 @@ use xsearch_sgx_sim::error::SgxError;
 use xsearch_sgx_sim::measurement::Measurement;
 use xsearch_sgx_sim::sealed::{SealedBlob, SealingPlatform};
 
-/// Serializes the history's queries (newest last) with the shared wire
-/// framing ([`crate::wire::encode_query_batch`]).
-fn serialize(queries: &[String]) -> Vec<u8> {
-    encode_query_batch(queries.iter().map(String::as_str))
+/// Serializes the live window with the shared wire framing
+/// ([`crate::wire::encode_query_batch`]), straight from its shared
+/// `Arc<str>` handles — the hot sealing path. A fleet replica re-seals
+/// its whole window every `seal_every` requests, so this avoids
+/// materializing an owned `Vec<String>` copy of every query text per
+/// snapshot.
+fn serialize_window(history: &QueryHistory) -> Vec<u8> {
+    let arcs = history.snapshot_arcs();
+    encode_query_batch(arcs.iter().map(|q| &**q))
 }
 
 fn deserialize(bytes: &[u8]) -> Result<Vec<String>, SgxError> {
@@ -53,9 +58,8 @@ pub fn seal_history<R: RngCore>(
     measurement: &Measurement,
     rng: &mut R,
 ) -> SealedBlob {
-    // Drain a snapshot oldest-first so restore preserves window order.
-    let snapshot = snapshot_in_order(history);
-    platform.seal(measurement, &serialize(&snapshot), rng)
+    // Snapshot oldest-first so restore preserves window order.
+    platform.seal(measurement, &serialize_window(history), rng)
 }
 
 /// Restores a sealed snapshot into `history` (pushed oldest-first, so the
@@ -83,12 +87,6 @@ fn restore_bytes(history: &QueryHistory, bytes: &[u8]) -> Result<usize, SgxError
         history.push(q);
     }
     Ok(n)
-}
-
-/// Ordered snapshot of the history (oldest first) via repeated sampling
-/// would be probabilistic; instead expose an internal iteration.
-fn snapshot_in_order(history: &QueryHistory) -> Vec<String> {
-    history.snapshot()
 }
 
 /// The enclave's sealing facility with rollback protection: a sealing
@@ -135,7 +133,7 @@ impl HistoryVault {
 
     /// Seals a snapshot of `history` at the next monotonic version.
     pub fn seal<R: RngCore>(&self, history: &QueryHistory, rng: &mut R) -> SealedBlob {
-        self.seal_bytes(&serialize(&snapshot_in_order(history)), rng)
+        self.seal_bytes(&serialize_window(history), rng)
     }
 
     fn seal_bytes<R: RngCore>(&self, payload: &[u8], rng: &mut R) -> SealedBlob {
@@ -333,10 +331,10 @@ mod tests {
 
     #[test]
     fn serializer_is_the_shared_wire_framing() {
-        let queries = vec!["alpha".to_owned(), "beta gamma".to_owned()];
+        let history = filled_history(&["alpha", "beta gamma"]);
         assert_eq!(
-            serialize(&queries),
-            encode_query_batch(queries.iter().map(String::as_str)),
+            serialize_window(&history),
+            encode_query_batch(["alpha", "beta gamma"]),
             "persistence and the seed ecall must share one framing"
         );
     }

@@ -248,6 +248,24 @@ impl XSearchProxy {
         &self,
         requests: &[([u8; 32], Vec<u8>)],
     ) -> Result<Vec<Result<Vec<u8>, XSearchError>>, XSearchError> {
+        self.request_batch_refs(requests.iter().map(|(pk, ct)| (pk, ct.as_slice())))
+    }
+
+    /// Borrowing form of [`XSearchProxy::request_batch`]: accepts the
+    /// batch as `(&client_pub, &ciphertext)` references so a router that
+    /// coalesces requests owned by many client threads can put them on
+    /// the wire without first copying them into owned tuples.
+    ///
+    /// # Errors
+    ///
+    /// See [`XSearchProxy::request_batch`].
+    pub fn request_batch_refs<'a, I>(
+        &self,
+        requests: I,
+    ) -> Result<Vec<Result<Vec<u8>, XSearchError>>, XSearchError>
+    where
+        I: IntoIterator<Item = (&'a [u8; 32], &'a [u8])>,
+    {
         self.enclave_request_batch(requests, |subqueries, k_each| {
             self.service.search_merged(subqueries, k_each).0
         })
@@ -264,19 +282,34 @@ impl XSearchProxy {
         &self,
         requests: &[([u8; 32], Vec<u8>)],
     ) -> Result<Vec<Result<Vec<u8>, XSearchError>>, XSearchError> {
+        self.request_batch_echo_refs(requests.iter().map(|(pk, ct)| (pk, ct.as_slice())))
+    }
+
+    /// Borrowing form of [`XSearchProxy::request_batch_echo`].
+    ///
+    /// # Errors
+    ///
+    /// See [`XSearchProxy::request_batch`].
+    pub fn request_batch_echo_refs<'a, I>(
+        &self,
+        requests: I,
+    ) -> Result<Vec<Result<Vec<u8>, XSearchError>>, XSearchError>
+    where
+        I: IntoIterator<Item = (&'a [u8; 32], &'a [u8])>,
+    {
         self.enclave_request_batch(requests, |_, _| Vec::new())
     }
 
-    fn enclave_request_batch<F>(
+    fn enclave_request_batch<'a, I, F>(
         &self,
-        requests: &[([u8; 32], Vec<u8>)],
+        requests: I,
         fetch: F,
     ) -> Result<Vec<Result<Vec<u8>, XSearchError>>, XSearchError>
     where
+        I: IntoIterator<Item = (&'a [u8; 32], &'a [u8])>,
         F: Fn(&[std::sync::Arc<str>], usize) -> Vec<xsearch_engine::engine::SearchResult>,
     {
-        let payload =
-            crate::wire::encode_request_batch(requests.iter().map(|(pk, ct)| (pk, ct.as_slice())));
+        let payload = crate::wire::encode_request_batch(requests);
         let mut envelope: Result<(), XSearchError> = Ok(());
         let encoded =
             self.enclave
