@@ -9,18 +9,80 @@
 //! back. The tunnel is established once at attach and reused for every
 //! request — no per-request channel setup; re-attestation happens only
 //! on failover.
+//!
+//! # The resilience policy stack
+//!
+//! When [`ResilienceConfig::enabled`] is set (the default), every search
+//! runs under a **deadline budget** on the modeled clock and walks a
+//! ladder of policies, cheapest first:
+//!
+//! 1. **deadline** — accounted charges (hops, injected faults, backoff)
+//!    accrue against [`ResilienceConfig::deadline`]; when the budget is
+//!    gone the search fails *typed* ([`ClusterError::DeadlineExceeded`],
+//!    not [`ClusterError::RetriesExhausted`]);
+//! 2. **backoff** — retries charge capped exponential backoff with
+//!    decorrelated jitter instead of hammering the fleet immediately;
+//! 3. **breakers** — repeated failures or over-deadline answers trip the
+//!    replica's circuit breaker, deflecting affinity routing *before*
+//!    the health sweep declares the replica dead;
+//! 4. **hedging** (opt-in) — an answer slower than the p99-derived hedge
+//!    delay is raced against the ring successor on a fresh sub-session;
+//!    the first answer (on the modeled clock) wins;
+//! 5. **degradation** — under queue pressure the fleet shrinks the decoy
+//!    count `k` before it sheds real queries (driven fleet-side, see
+//!    [`Cluster::queue_stats`]).
+//!
+//! Every decision consumes only deterministic inputs (seeded jitter,
+//! accounted charges, the fleet's op clock), so a chaos run with a fixed
+//! fault seed replays to an identical transcript.
 
 use crate::error::ClusterError;
 use crate::fleet::Cluster;
 use crate::registry::ReplicaId;
+use crate::resilience::{Backoff, LatencyEstimator};
 use crate::router::RequestSlot;
 use std::sync::Arc;
+use std::time::Duration;
 use xsearch_core::broker::Broker;
 use xsearch_core::wire::WireResult;
 use xsearch_crypto::sha256::Sha256;
 
-/// Failovers a single request will ride out before giving up.
-const MAX_FAILOVERS: usize = 3;
+/// What one resolved search cost (returned by
+/// [`ClusterClient::search_outcome`]).
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The decrypted results.
+    pub results: Vec<WireResult>,
+    /// Total modeled cost: accounted hops + injected fault delay +
+    /// backoff charges across every attempt (deterministic under a
+    /// fixed fault seed — nothing here is wall-clock).
+    pub cost: Duration,
+    /// Forward attempts this search made (1 = first try answered).
+    pub attempts: u32,
+    /// Whether a hedge request was fired.
+    pub hedged: bool,
+    /// The replica whose answer was used.
+    pub replica: ReplicaId,
+}
+
+/// Lifetime counters for one client (see [`ClusterClient::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Forward attempts beyond the first, summed over all searches.
+    pub retries: u64,
+    /// Re-attestation handshakes performed after the initial attach.
+    pub reattaches: u64,
+    /// Hedge requests fired.
+    pub hedges_fired: u64,
+    /// Hedge requests whose answer beat the primary on the modeled clock.
+    pub hedges_won: u64,
+    /// Searches that missed their deadline budget (whether or not an
+    /// answer eventually arrived).
+    pub deadline_misses: u64,
+    /// Forward attempts dropped on the link (injected loss/partition) —
+    /// each was retried on the same session, never re-attested.
+    pub link_losses: u64,
+}
 
 /// One client of the fleet: a [`Broker`] plus routing state.
 ///
@@ -34,6 +96,8 @@ pub struct ClusterClient {
     /// Count of handshakes performed; salts each reattach seed so a
     /// fresh keypair (and thus fresh channel keys) is derived every time.
     handshakes: u64,
+    /// Searches started — salts the per-search backoff jitter stream.
+    searches: u64,
     affinity: [u8; 32],
     replica: ReplicaId,
     broker: Broker,
@@ -41,6 +105,10 @@ pub struct ClusterClient {
     /// requests (one outstanding request at a time — guaranteed by
     /// `&mut self` on the search methods).
     slot: Arc<RequestSlot>,
+    /// Effective answer-cost samples, for the p99-derived hedge delay.
+    latencies: LatencyEstimator,
+    stats: ClientStats,
+    last_cost: Duration,
 }
 
 impl std::fmt::Debug for ClusterClient {
@@ -84,10 +152,14 @@ impl ClusterClient {
         Ok(ClusterClient {
             seed,
             handshakes: 1,
+            searches: 0,
             affinity,
             replica,
             broker,
             slot: RequestSlot::new(),
+            latencies: LatencyEstimator::default(),
+            stats: ClientStats::default(),
+            last_cost: Duration::ZERO,
         })
     }
 
@@ -103,18 +175,32 @@ impl ClusterClient {
         &self.affinity
     }
 
+    /// Lifetime resilience counters for this client.
+    #[must_use]
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// The modeled cost of the most recent search, successful or not
+    /// (for a failed search: everything charged before it gave up).
+    #[must_use]
+    pub fn last_cost(&self) -> Duration {
+        self.last_cost
+    }
+
     /// One private search through the fleet (full engine round trip).
     ///
     /// # Errors
     ///
-    /// [`ClusterError::RetriesExhausted`] (or a routing error) after
-    /// [`MAX_FAILOVERS`] unsuccessful failovers.
+    /// [`ClusterError::RetriesExhausted`] (or a routing error) after the
+    /// configured failover budget, [`ClusterError::DeadlineExceeded`]
+    /// when the deadline budget ran out first.
     pub fn search(
         &mut self,
         cluster: &Cluster,
         query: &str,
     ) -> Result<Vec<WireResult>, ClusterError> {
-        self.search_inner(cluster, query, false)
+        self.search_outcome(cluster, query).map(|o| o.results)
     }
 
     /// One request in echo mode (no engine round trip) — the saturation
@@ -128,6 +214,33 @@ impl ClusterClient {
         cluster: &Cluster,
         query: &str,
     ) -> Result<Vec<WireResult>, ClusterError> {
+        self.search_echo_outcome(cluster, query).map(|o| o.results)
+    }
+
+    /// [`ClusterClient::search`] with the full [`SearchOutcome`]
+    /// (modeled cost, attempts, hedging).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterClient::search`].
+    pub fn search_outcome(
+        &mut self,
+        cluster: &Cluster,
+        query: &str,
+    ) -> Result<SearchOutcome, ClusterError> {
+        self.search_inner(cluster, query, false)
+    }
+
+    /// [`ClusterClient::search_echo`] with the full [`SearchOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterClient::search`].
+    pub fn search_echo_outcome(
+        &mut self,
+        cluster: &Cluster,
+        query: &str,
+    ) -> Result<SearchOutcome, ClusterError> {
         self.search_inner(cluster, query, true)
     }
 
@@ -136,56 +249,340 @@ impl ClusterClient {
         cluster: &Cluster,
         query: &str,
         echo: bool,
-    ) -> Result<Vec<WireResult>, ClusterError> {
-        let mut last = ClusterError::RetriesExhausted;
-        for _ in 0..=MAX_FAILOVERS {
+    ) -> Result<SearchOutcome, ClusterError> {
+        self.searches = self.searches.wrapping_add(1);
+        if cluster.config().resilience.enabled {
+            self.search_with_policies(cluster, query, echo)
+        } else {
+            self.search_bare(cluster, query, echo)
+        }
+    }
+
+    /// The policy-stack search loop. All costs are modeled charges, so
+    /// the loop's decisions replay deterministically under a fixed fault
+    /// seed.
+    fn search_with_policies(
+        &mut self,
+        cluster: &Cluster,
+        query: &str,
+        echo: bool,
+    ) -> Result<SearchOutcome, ClusterError> {
+        let rcfg = cluster.config().resilience.clone();
+        let max_failovers = cluster.config().max_failovers;
+        let deadline = rcfg.deadline;
+        let mut backoff = Backoff::new(
+            rcfg.backoff_base,
+            rcfg.backoff_cap,
+            self.seed ^ self.searches.wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        let mut spent = Duration::ZERO;
+        let mut attempts: u32 = 0;
+        let mut failovers = 0usize;
+        loop {
+            if spent >= deadline {
+                self.stats.deadline_misses += 1;
+                self.last_cost = spent;
+                return Err(ClusterError::DeadlineExceeded);
+            }
+            // Breaker pre-check: if our replica is browning out, prefer
+            // somewhere healthier — but if routing has nowhere better
+            // (fleet-wide brown-out) we carry on with what we have
+            // rather than inventing an outage.
+            if !cluster.replica_accepting(self.replica) {
+                match self.reroute(cluster) {
+                    Ok(()) => {}
+                    Err(
+                        ClusterError::ReplicaDown(_)
+                        | ClusterError::NotRoutable(_)
+                        | ClusterError::Proxy(_),
+                    ) => {
+                        // The forward below will fail on the stale
+                        // replica and take the normal recovery path.
+                        cluster.health_sweep();
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            attempts += 1;
+            if attempts > 1 {
+                self.stats.retries += 1;
+            }
             let target = self.replica;
             let broker = &mut self.broker;
-            // The seal closure runs only after the request is admitted:
-            // a request shed with `Overloaded` was never sealed, so the
-            // tunnel's strict-sequence nonce counter stays in sync.
-            let outcome = cluster.forward_with(target, echo, &self.slot, || {
-                let client_pub = *broker.client_pub().as_bytes();
-                let ciphertext = broker.seal_query(query);
-                (client_pub, ciphertext)
-            });
-            match outcome {
-                Ok(response) => match self.broker.open_results(&response) {
-                    Ok(results) => return Ok(results),
-                    // The replica answered but not on our session (e.g.
-                    // it restarted and lost the channel): re-attest.
-                    Err(e) => last = ClusterError::Proxy(e),
+            // The seal closure runs only after the request is admitted
+            // (and after injected link loss): a request shed with
+            // `Overloaded` or dropped with `LinkLoss` was never sealed,
+            // so the tunnel's strict-sequence nonce counter stays in
+            // sync and retrying on the same session is safe.
+            let outcome = cluster.forward_timed(
+                target,
+                echo,
+                &self.slot,
+                Some(deadline.saturating_sub(spent)),
+                || {
+                    let client_pub = *broker.client_pub().as_bytes();
+                    let ciphertext = broker.seal_query(query);
+                    (client_pub, ciphertext)
                 },
-                Err(ClusterError::Proxy(e)) => {
-                    // Our entry failed inside a coalesced batch —
-                    // typically a replica that crashed and restarted
-                    // (sessions die with the enclave). The tunnel may be
-                    // desynchronized either way: re-attest below.
-                    last = ClusterError::Proxy(e);
-                }
-                Err(e @ (ClusterError::ReplicaDown(_) | ClusterError::NotRoutable(_))) => {
-                    // The replica stopped answering: drain it and
-                    // migrate its window before re-routing.
-                    cluster.health_sweep();
-                    last = e;
+            );
+            let last = match outcome {
+                Ok((response, charge)) => match self.broker.open_results(&response) {
+                    Ok(results) => {
+                        return Ok(self.resolve_answer(
+                            cluster, query, echo, &rcfg, spent, charge, attempts, target, results,
+                        ));
+                    }
+                    // The replica answered but not on our session, or the
+                    // response was corrupted in flight (gray failure):
+                    // AEAD caught it, the session may be desynchronized
+                    // either way — re-attest below.
+                    Err(e) => {
+                        cluster.record_failure(target);
+                        spent += charge + backoff.next_delay();
+                        ClusterError::Proxy(e)
+                    }
+                },
+                // Dropped before sealing: same-session retry after a
+                // backoff charge. No reattach, no failover — the tunnel
+                // never moved.
+                Err(ClusterError::LinkLoss(id)) => {
+                    self.stats.link_losses += 1;
+                    cluster.record_failure(id);
+                    spent += backoff.next_delay();
+                    continue;
                 }
                 // Overloaded is deliberate backpressure from a *healthy*
                 // replica: propagate it instead of hammering the fleet
                 // with an immediate retry (and never health-sweep for
                 // it — the replica is alive, just busy).
-                Err(e) => return Err(e),
+                Err(e @ ClusterError::Overloaded(_)) => {
+                    self.last_cost = spent;
+                    return Err(e);
+                }
+                // The lane leader found our entry past its budget and
+                // refused to execute it. The request *was* sealed, so
+                // the session is desynchronized: re-attest before
+                // handing the typed miss to the caller.
+                Err(ClusterError::DeadlineExceeded) => {
+                    self.stats.deadline_misses += 1;
+                    self.last_cost = spent;
+                    let _ = self.reroute(cluster);
+                    return Err(ClusterError::DeadlineExceeded);
+                }
+                Err(ClusterError::Proxy(e)) => {
+                    // Our entry failed inside a coalesced batch —
+                    // typically a replica that crashed and restarted
+                    // (sessions die with the enclave). Re-attest below.
+                    cluster.record_failure(target);
+                    spent += backoff.next_delay();
+                    ClusterError::Proxy(e)
+                }
+                Err(e @ (ClusterError::ReplicaDown(_) | ClusterError::NotRoutable(_))) => {
+                    // The replica stopped answering: drain it and
+                    // migrate its window before re-routing.
+                    cluster.record_failure(target);
+                    cluster.health_sweep();
+                    spent += backoff.next_delay();
+                    e
+                }
+                Err(e) => {
+                    self.last_cost = spent;
+                    return Err(e);
+                }
+            };
+            // Recovery tail: re-route + re-attest, bounded by the
+            // failover budget (time is bounded by the deadline check).
+            if failovers >= max_failovers {
+                self.last_cost = spent;
+                return Err(last);
             }
+            failovers += 1;
             match self.reroute(cluster) {
                 Ok(()) => {}
                 // The successor can itself die between routing and
                 // attach — sweep and let the next attempt re-route.
+                Err(ClusterError::ReplicaDown(_) | ClusterError::NotRoutable(_)) => {
+                    cluster.health_sweep();
+                }
+                Err(e) => {
+                    self.last_cost = spent;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Resolves a successful answer: hedge if it was slow, settle the
+    /// breaker, record the effective latency sample, and assemble the
+    /// outcome.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_answer(
+        &mut self,
+        cluster: &Cluster,
+        query: &str,
+        echo: bool,
+        rcfg: &crate::resilience::ResilienceConfig,
+        spent: Duration,
+        charge: Duration,
+        attempts: u32,
+        target: ReplicaId,
+        results: Vec<WireResult>,
+    ) -> SearchOutcome {
+        let deadline = rcfg.deadline;
+        let mut cost = spent + charge;
+        let mut winner = target;
+        let mut winning_results = results;
+        let mut hedged = false;
+        if rcfg.hedge {
+            let hedge_delay = self.latencies.hedge_delay(rcfg.hedge_after);
+            if charge > hedge_delay {
+                // The primary's answer was slower than the hedge
+                // trigger: race the ring successor on a fresh
+                // sub-session and take whichever answer lands first on
+                // the modeled clock. (The primary's answer is already in
+                // hand, so this rewrites cost, not correctness — and the
+                // sub-session's fresh keypair means the race can never
+                // touch the primary tunnel's nonce sequence.)
+                self.stats.hedges_fired += 1;
+                hedged = true;
+                if let Some((h_results, h_charge, h_replica)) = self.try_hedge(cluster, query, echo)
+                {
+                    let hedge_cost = spent + hedge_delay + h_charge;
+                    if hedge_cost < cost {
+                        self.stats.hedges_won += 1;
+                        cost = hedge_cost;
+                        winner = h_replica;
+                        winning_results = h_results;
+                    }
+                }
+            }
+        }
+        // The breaker judges the *primary's raw* answer time: a stalled
+        // replica must brown out of routing even when hedges keep
+        // rescuing its requests.
+        if charge > deadline {
+            cluster.record_failure(target);
+        } else {
+            cluster.record_success(target);
+        }
+        // The estimator records the *effective* cost of this attempt —
+        // hedged answers keep the p99 honest; recording a stall's raw
+        // charge would inflate the trigger until hedging disabled
+        // itself.
+        self.latencies.record(cost.saturating_sub(spent));
+        if cost > deadline {
+            self.stats.deadline_misses += 1;
+        }
+        self.last_cost = cost;
+        SearchOutcome {
+            results: winning_results,
+            cost,
+            attempts,
+            hedged,
+            replica: winner,
+        }
+    }
+
+    /// Fires one hedge request at the ring successor on a fresh
+    /// sub-session. Returns the results, the modeled charge of the
+    /// hedge's own forward, and the answering replica — or `None` when
+    /// there is no eligible successor or the hedge itself failed (the
+    /// primary's answer is already in hand, so a failed hedge costs
+    /// nothing).
+    fn try_hedge(
+        &mut self,
+        cluster: &Cluster,
+        query: &str,
+        echo: bool,
+    ) -> Option<(Vec<WireResult>, Duration, ReplicaId)> {
+        let successor = cluster.ring_successor(self.replica)?;
+        let seed = handshake_seed(self.seed, self.handshakes);
+        self.handshakes += 1;
+        self.stats.reattaches += 1;
+        let mut hedge_broker = cluster
+            .with_replica(successor, |proxy| {
+                Broker::attach(proxy, cluster.ias(), cluster.expected_measurement(), seed)
+            })
+            .ok()?
+            .ok()?;
+        let slot = RequestSlot::new();
+        let (response, charge) = cluster
+            .forward_timed(successor, echo, &slot, None, || {
+                let client_pub = *hedge_broker.client_pub().as_bytes();
+                let ciphertext = hedge_broker.seal_query(query);
+                (client_pub, ciphertext)
+            })
+            .ok()?;
+        let results = hedge_broker.open_results(&response).ok()?;
+        Some((results, charge, successor))
+    }
+
+    /// The pre-policy search loop, kept for `resilience.enabled ==
+    /// false`: immediate retries, no deadline, no breakers — and a
+    /// request dropped on the link is simply a failed request. This is
+    /// the baseline the chaos bench demonstrates collapsing.
+    fn search_bare(
+        &mut self,
+        cluster: &Cluster,
+        query: &str,
+        echo: bool,
+    ) -> Result<SearchOutcome, ClusterError> {
+        let mut last = ClusterError::RetriesExhausted;
+        let mut spent = Duration::ZERO;
+        let rounds = cluster.config().max_failovers as u32 + 1;
+        for attempts in 1..=rounds {
+            let target = self.replica;
+            let broker = &mut self.broker;
+            let outcome = cluster.forward_timed(target, echo, &self.slot, None, || {
+                let client_pub = *broker.client_pub().as_bytes();
+                let ciphertext = broker.seal_query(query);
+                (client_pub, ciphertext)
+            });
+            match outcome {
+                Ok((response, charge)) => {
+                    spent += charge;
+                    match self.broker.open_results(&response) {
+                        Ok(results) => {
+                            self.last_cost = spent;
+                            return Ok(SearchOutcome {
+                                results,
+                                cost: spent,
+                                attempts,
+                                hedged: false,
+                                replica: target,
+                            });
+                        }
+                        Err(e) => last = ClusterError::Proxy(e),
+                    }
+                }
+                Err(ClusterError::Proxy(e)) => {
+                    last = ClusterError::Proxy(e);
+                }
                 Err(e @ (ClusterError::ReplicaDown(_) | ClusterError::NotRoutable(_))) => {
                     cluster.health_sweep();
                     last = e;
                 }
-                Err(e) => return Err(e),
+                // Overloaded, LinkLoss, everything else: without the
+                // policy stack there is no same-session retry discipline
+                // — the failure is the caller's problem.
+                Err(e) => {
+                    self.last_cost = spent;
+                    return Err(e);
+                }
+            }
+            match self.reroute(cluster) {
+                Ok(()) => {}
+                Err(e @ (ClusterError::ReplicaDown(_) | ClusterError::NotRoutable(_))) => {
+                    cluster.health_sweep();
+                    last = e;
+                }
+                Err(e) => {
+                    self.last_cost = spent;
+                    return Err(e);
+                }
             }
         }
+        self.last_cost = spent;
         Err(last)
     }
 
@@ -195,6 +592,7 @@ impl ClusterClient {
         let replica = cluster.route(&self.affinity)?;
         let seed = handshake_seed(self.seed, self.handshakes);
         self.handshakes += 1;
+        self.stats.reattaches += 1;
         let broker = &mut self.broker;
         cluster.with_replica(replica, |proxy| {
             broker.reattach(proxy, cluster.ias(), cluster.expected_measurement(), seed)

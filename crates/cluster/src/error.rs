@@ -39,6 +39,15 @@ pub enum ClusterError {
     NoReplicasAvailable,
     /// A request kept failing after the configured number of failovers.
     RetriesExhausted,
+    /// The request's deadline budget ran out before an answer arrived —
+    /// distinct from [`ClusterError::RetriesExhausted`]: it was *time*,
+    /// not the attempt count, that was exhausted.
+    DeadlineExceeded,
+    /// The request was dropped on the link to this replica (injected
+    /// loss or a partition window) **before it was sealed**: the
+    /// tunnel's nonce counters never advanced, so the caller may retry
+    /// on the same session without re-attesting.
+    LinkLoss(ReplicaId),
 }
 
 impl fmt::Display for ClusterError {
@@ -65,6 +74,12 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::NoReplicasAvailable => write!(f, "no live verified replicas"),
             ClusterError::RetriesExhausted => write!(f, "request failed after all failovers"),
+            ClusterError::DeadlineExceeded => {
+                write!(f, "request deadline budget exhausted before an answer")
+            }
+            ClusterError::LinkLoss(id) => {
+                write!(f, "request to replica {id} lost on the link (never sealed)")
+            }
         }
     }
 }
@@ -103,6 +118,15 @@ mod tests {
         assert!(ClusterError::QuoteBindingMismatch
             .to_string()
             .contains("quote"));
+    }
+
+    #[test]
+    fn deadline_and_loss_displays_name_the_cause() {
+        assert!(ClusterError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        let loss = ClusterError::LinkLoss(ReplicaId(2)).to_string();
+        assert!(loss.contains('2') && loss.contains("never sealed"));
     }
 
     #[test]

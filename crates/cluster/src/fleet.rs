@@ -52,14 +52,16 @@ use crate::error::ClusterError;
 use crate::node::ReplicaNode;
 use crate::placement::{HashRing, PlacementPolicy};
 use crate::registry::{RegistryWriterHold, ReplicaId, ReplicaRegistry};
+use crate::resilience::{degrade_level, CircuitBreaker, ResilienceConfig};
 use crate::router::{DeliveryFence, Lane, LaneStats, LeaderGuard, Pending, RequestSlot};
 use crate::snapshot::{Published, WriterHold};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use xsearch_core::config::XSearchConfig;
 use xsearch_core::proxy::XSearchProxy;
 use xsearch_engine::engine::SearchEngine;
+use xsearch_net_sim::fault::{FaultEvent, FaultPlan};
 use xsearch_net_sim::link::FleetModel;
 use xsearch_sgx_sim::attestation::AttestationService;
 use xsearch_sgx_sim::measurement::Measurement;
@@ -68,11 +70,6 @@ use xsearch_sgx_sim::measurement::Measurement;
 /// tail latency for the first request in a long queue; the leader loops
 /// until the lane drains, so nothing is left behind.
 const MAX_BATCH: usize = 64;
-
-/// Timed-wait backstop for parked submitters. Delivery normally wakes
-/// them via the slot condvar; the timeout only matters if leadership
-/// went unclaimed in the instant they checked (lost-wakeup closure).
-const LANE_WAIT: Duration = Duration::from_millis(1);
 
 /// Fleet-level configuration.
 #[derive(Debug, Clone)]
@@ -100,6 +97,24 @@ pub struct ClusterConfig {
     pub queue_limit: usize,
     /// Base seed for attestation service, challenges and host RNGs.
     pub seed: u64,
+    /// Timed-wait backstop for submitters parked on their slot while
+    /// another thread leads their lane. Delivery normally wakes them via
+    /// the slot condvar; the timeout only matters if leadership went
+    /// unclaimed in the instant they checked (lost-wakeup closure).
+    /// Default 1 ms — long enough to never fire on the happy path, short
+    /// enough that a lost wakeup costs a bounded stutter.
+    pub lane_wait: Duration,
+    /// Failovers a single request rides out before the client gives up
+    /// with [`ClusterError::RetriesExhausted`]. Default 3: survives the
+    /// kill → sweep → successor-also-dies sequence churn testing
+    /// produces without letting a broken fleet spin forever.
+    pub max_failovers: usize,
+    /// The per-request resilience policy stack (deadlines, backoff,
+    /// breakers, hedging, degradation). See [`ResilienceConfig`].
+    pub resilience: ResilienceConfig,
+    /// Deterministic fault plan for chaos testing; `None` (the default)
+    /// injects nothing and costs one branch on the forward path.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ClusterConfig {
@@ -112,6 +127,10 @@ impl Default for ClusterConfig {
             vnodes: 64,
             queue_limit: 256,
             seed: 0xF1EE7,
+            lane_wait: Duration::from_millis(1),
+            max_failovers: 3,
+            resilience: ResilienceConfig::default(),
+            faults: None,
         }
     }
 }
@@ -127,6 +146,9 @@ pub struct QueueStats {
     pub high_water: usize,
     /// Requests refused by the bounded queue so far.
     pub shed: u64,
+    /// The graceful-degradation level currently pushed into this
+    /// replica's enclave (0 = full obfuscation strength).
+    pub degrade_level: usize,
 }
 
 /// What one failover did (returned by [`Cluster::health_sweep`]).
@@ -149,6 +171,20 @@ struct AdmitGuard<'a> {
 impl Drop for AdmitGuard<'_> {
     fn drop(&mut self) {
         self.node.exit();
+    }
+}
+
+/// Ends a health sweep on drop (generation bump, then the active flag),
+/// so a panicking sweep cannot wedge every future sweeper in the
+/// coalesced-wait loop.
+struct SweepGuard<'a> {
+    cluster: &'a Cluster,
+}
+
+impl Drop for SweepGuard<'_> {
+    fn drop(&mut self) {
+        self.cluster.sweep_gen.fetch_add(1, Ordering::Release);
+        self.cluster.sweep_active.store(false, Ordering::Release);
     }
 }
 
@@ -180,6 +216,21 @@ pub struct Cluster {
     /// One coalescing lane per replica slot.
     lanes: Vec<Lane>,
     rr: AtomicUsize,
+    /// One circuit breaker per replica slot — routing shifts away from a
+    /// replica whose breaker is open before the health sweep declares it
+    /// dead (brown-out handling, not crash handling).
+    breakers: Vec<CircuitBreaker>,
+    /// Logical operation clock: one tick per data-plane forward. Fault
+    /// timelines (partitions, crash schedules) and breaker cooldowns are
+    /// expressed in these ticks so chaos runs replay deterministically.
+    ops: AtomicU64,
+    /// Health-sweep coalescing: set while one sweeper is scanning.
+    sweep_active: AtomicBool,
+    /// Bumped when a sweep finishes; latecomers that observed the sweep
+    /// in progress return once the generation moves.
+    sweep_gen: AtomicU64,
+    sweeps_run: AtomicU64,
+    sweeps_coalesced: AtomicU64,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -223,6 +274,7 @@ impl Cluster {
                     &ias,
                     links.link(i).clone(),
                     config.seed ^ (0xB0B0 + i as u64),
+                    config.faults.as_ref().map(|plan| plan.injector(i)),
                 ))
             })
             .collect();
@@ -233,6 +285,9 @@ impl Cluster {
             .expected_measurement();
         let registry = ReplicaRegistry::new(ias.clone(), expected, config.seed);
         let lanes = (0..config.replicas).map(|_| Lane::default()).collect();
+        let breakers = (0..config.replicas)
+            .map(|_| CircuitBreaker::default())
+            .collect();
         let cluster = Cluster {
             config,
             ias,
@@ -242,6 +297,12 @@ impl Cluster {
             ring: Published::new(HashRing::default()),
             lanes,
             rr: AtomicUsize::new(0),
+            breakers,
+            ops: AtomicU64::new(0),
+            sweep_active: AtomicBool::new(false),
+            sweep_gen: AtomicU64::new(0),
+            sweeps_run: AtomicU64::new(0),
+            sweeps_coalesced: AtomicU64::new(0),
         };
         for node in &cluster.nodes {
             cluster
@@ -255,6 +316,12 @@ impl Cluster {
     #[must_use]
     pub fn ias(&self) -> &AttestationService {
         &self.ias
+    }
+
+    /// The configuration this fleet was launched with.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
     }
 
     /// The pinned proxy measurement every replica must present.
@@ -291,6 +358,29 @@ impl Cluster {
         Duration::from_nanos(self.nodes.iter().map(|n| n.accounted_hop_ns()).sum())
     }
 
+    /// Sum of accounted *injected* fault delays (stalls, delay spikes) —
+    /// modeled like hop delays: charged to request cost, never slept.
+    #[must_use]
+    pub fn accounted_fault_delay(&self) -> Duration {
+        Duration::from_nanos(self.nodes.iter().map(|n| n.accounted_fault_ns()).sum())
+    }
+
+    /// Total requests every replica served at reduced obfuscation
+    /// strength (the graceful-degradation ladder shrank `k`), summed
+    /// across the fleet. Down replicas contribute their last known
+    /// count of zero.
+    #[must_use]
+    pub fn degraded_served(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|node| {
+                node.proxy()
+                    .as_ref()
+                    .map_or(0, |proxy| proxy.degrade_stats().1)
+            })
+            .sum()
+    }
+
     /// Per-replica admission-queue counters: current depth, high-water
     /// mark, and how many requests the bounded queue has shed. The
     /// operator-facing signal that a fleet is running hot *before* it
@@ -304,6 +394,7 @@ impl Cluster {
                 depth: node.inflight(),
                 high_water: node.queue_high_water(),
                 shed: node.shed(),
+                degrade_level: node.degrade_level(),
             })
             .collect()
     }
@@ -370,9 +461,15 @@ impl Cluster {
                 // Walk the ring but skip anything no longer verified in
                 // the membership snapshot: the refusal to route to
                 // deregistered replicas must not depend on the ring
-                // having been republished yet.
+                // having been republished yet. An open circuit breaker
+                // also deflects the walk — but only as a preference:
+                // when every routable replica is browning out we still
+                // route somewhere rather than inventing an outage.
                 let ring = self.ring.load();
-                let choice = ring.walk_from(affinity).find(|&id| members.is_routable(id));
+                let choice = ring
+                    .walk_from(affinity)
+                    .find(|&id| members.is_routable(id) && self.breaker_allows(id))
+                    .or_else(|| ring.walk_from(affinity).find(|&id| members.is_routable(id)));
                 choice.ok_or(ClusterError::NoReplicasAvailable)
             }
             PlacementPolicy::LeastLoaded => members
@@ -392,6 +489,104 @@ impl Cluster {
                 Ok(members.members()[i].0)
             }
         }
+    }
+
+    /// Whether `id`'s circuit breaker currently admits traffic (closed,
+    /// or open-long-enough to probe half-open). Consults the op clock.
+    #[must_use]
+    pub fn breaker_allows(&self, id: ReplicaId) -> bool {
+        if !self.config.resilience.enabled {
+            return true;
+        }
+        self.breakers.get(id.0).is_none_or(|b| {
+            b.allows(
+                self.ops.load(Ordering::Relaxed),
+                self.config.resilience.breaker_cooldown_ops,
+            )
+        })
+    }
+
+    /// `id`'s breaker, for observability (`None` out of range).
+    #[must_use]
+    pub fn breaker(&self, id: ReplicaId) -> Option<&CircuitBreaker> {
+        self.breakers.get(id.0)
+    }
+
+    /// Total breaker trips (closed→open transitions) across the fleet.
+    #[must_use]
+    pub fn breaker_trips(&self) -> u64 {
+        self.breakers.iter().map(CircuitBreaker::trips).sum()
+    }
+
+    /// Records a successful answer from `id` (closes a half-open
+    /// breaker, resets the failure streak).
+    pub fn record_success(&self, id: ReplicaId) {
+        if let Some(b) = self.breakers.get(id.0) {
+            b.record_success();
+        }
+    }
+
+    /// Records a failed/too-slow answer from `id` (may trip the
+    /// breaker once the streak reaches the configured threshold).
+    pub fn record_failure(&self, id: ReplicaId) {
+        if let Some(b) = self.breakers.get(id.0) {
+            b.record_failure(
+                self.ops.load(Ordering::Relaxed),
+                self.config.resilience.breaker_threshold,
+            );
+        }
+    }
+
+    /// Whether `id` is worth sending a request to right now: verified in
+    /// the registry *and* not deflected by an open breaker. (Does not
+    /// check liveness — a crashed replica surfaces as `ReplicaDown` on
+    /// forward, which is the signal the sweep needs.)
+    #[must_use]
+    pub fn replica_accepting(&self, id: ReplicaId) -> bool {
+        self.registry.is_routable(id) && self.breaker_allows(id)
+    }
+
+    /// The next distinct live, routable, breaker-admitted replica
+    /// clockwise from `of`'s primary ring point — the hedging target.
+    /// `None` when no such replica exists or placement has no ring.
+    #[must_use]
+    pub fn ring_successor(&self, of: ReplicaId) -> Option<ReplicaId> {
+        let ring = self.ring.load();
+        let successor = ring.walk_from_replica(of).find(|&id| {
+            id != of
+                && self.registry.is_routable(id)
+                && self.nodes.get(id.0).is_some_and(|n| n.is_up())
+                && self.breaker_allows(id)
+        });
+        successor
+    }
+
+    /// Advances the logical op clock by one forward and applies any
+    /// fault-plan timeline entries that came due: scheduled crashes and
+    /// restarts fire here, and an active partition window turns the
+    /// forward into link loss. Returns `Err(LinkLoss)` when the fleet is
+    /// partitioned from the caller at this tick.
+    fn tick_faults(&self, id: ReplicaId) -> Result<(), ClusterError> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let Some(plan) = self.config.faults.as_deref() else {
+            return Ok(());
+        };
+        if plan.has_timeline() {
+            for event in plan.events_due(op) {
+                match event {
+                    FaultEvent::Crash(r) => {
+                        let _ = self.kill(ReplicaId(r));
+                    }
+                    FaultEvent::Restart(r) => {
+                        let _ = self.restart(ReplicaId(r));
+                    }
+                }
+            }
+            if plan.in_partition(op) {
+                return Err(ClusterError::LinkLoss(id));
+            }
+        }
+        Ok(())
     }
 
     /// Runs `f` against the live proxy of `id`: the control-plane
@@ -483,12 +678,58 @@ impl Cluster {
         slot: &Arc<RequestSlot>,
         seal: impl FnOnce() -> ([u8; 32], Vec<u8>),
     ) -> Result<Vec<u8>, ClusterError> {
+        self.forward_timed(id, echo, slot, None, seal)
+            .map(|(bytes, _)| bytes)
+    }
+
+    /// [`Cluster::forward_with`] plus the resilience plumbing: `budget`
+    /// (when given) becomes the entry's lane-side expiry backstop, and
+    /// the success value carries the **modeled charge** of the forward —
+    /// the accounted hop RTT plus any injected fault delay. Charges are
+    /// deterministic under a fixed fault seed (nothing sleeps), which is
+    /// what makes chaos transcripts replayable.
+    ///
+    /// Fault injection order matters for nonce safety: partition windows
+    /// and link loss fire *before* admission and before `seal` runs —
+    /// a dropped request was never sealed, so the session's strict
+    /// sequence is intact and [`ClusterError::LinkLoss`] is retryable on
+    /// the same session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::forward_sealed`]; additionally
+    /// [`ClusterError::LinkLoss`] for injected loss/partition and
+    /// [`ClusterError::DeadlineExceeded`] when the lane leader found the
+    /// entry already past its budget and refused to execute it.
+    pub fn forward_timed(
+        &self,
+        id: ReplicaId,
+        echo: bool,
+        slot: &Arc<RequestSlot>,
+        budget: Option<Duration>,
+        seal: impl FnOnce() -> ([u8; 32], Vec<u8>),
+    ) -> Result<(Vec<u8>, Duration), ClusterError> {
         let node = self.node(id)?;
         if !self.registry.is_routable(id) {
             return Err(ClusterError::NotRoutable(id));
         }
         if !node.is_up() {
             return Err(ClusterError::ReplicaDown(id));
+        }
+        // Fault timeline first: scheduled crashes/restarts apply, then a
+        // partition or a lossy link drops the request *before* it is
+        // sealed — the tunnel's nonce counters never moved.
+        self.tick_faults(id)?;
+        let mut charge = Duration::ZERO;
+        if let Some(plan) = self.config.faults.as_deref() {
+            let fault = plan.link_fault(id.0);
+            if fault.drop {
+                return Err(ClusterError::LinkLoss(id));
+            }
+            if !fault.delay.is_zero() {
+                node.account_fault(fault.delay);
+                charge += fault.delay;
+            }
         }
         if !node.try_enter(self.config.queue_limit) {
             return Err(ClusterError::Overloaded(id));
@@ -498,13 +739,14 @@ impl Cluster {
         // mid-batch (DeliveryFence fails the slot, we still drain here).
         let admitted = AdmitGuard { node };
         let (client_pub, ciphertext) = seal();
-        node.account_hop();
+        charge += node.account_hop();
         slot.begin();
         let lane = &self.lanes[id.0];
         lane.push(Pending {
             client_pub,
             ciphertext,
             echo,
+            expires_at: budget.map(|d| std::time::Instant::now() + d),
             slot: Arc::clone(slot),
         });
         let result = loop {
@@ -526,12 +768,12 @@ impl Cluster {
                         break;
                     }
                 }
-            } else if let Some(result) = slot.wait_timeout(LANE_WAIT) {
+            } else if let Some(result) = slot.wait_timeout(self.config.lane_wait) {
                 break result;
             }
         };
         drop(admitted);
-        result
+        result.map(|bytes| (bytes, charge))
     }
 
     /// Drains `id`'s lane batch by batch until empty. Caller holds lane
@@ -562,14 +804,39 @@ impl Cluster {
             // entry; the submitters sweep and re-route.
             return;
         };
+        // Graceful degradation: re-derive the pressure level from the
+        // current queue depth and push it into the enclave only when it
+        // changed. Shrinking the decoy count is the rung *before*
+        // shedding real queries — served-but-weaker beats not-served.
+        if self.config.resilience.enabled
+            && self.config.resilience.degrade
+            && self.config.queue_limit != 0
+        {
+            let level = degrade_level(node.inflight(), self.config.queue_limit);
+            if node.swap_degrade_level(level) != level {
+                proxy.set_degrade_level(level);
+            }
+        }
         let entries = fence.entries();
         let mut results: Vec<Option<Result<Vec<u8>, ClusterError>>> = Vec::new();
         results.resize_with(entries.len(), || None);
+        // Entries already past their deadline budget are refused without
+        // crossing the enclave boundary: the submitter gets
+        // `DeadlineExceeded` and the enclave's capacity goes to requests
+        // whose answers someone still wants.
+        let mut live = 0usize;
+        for (i, pending) in entries.iter().enumerate() {
+            if pending.expired() {
+                results[i] = Some(Err(ClusterError::DeadlineExceeded));
+            } else {
+                live += 1;
+            }
+        }
         for echo in [false, true] {
             let idxs: Vec<usize> = entries
                 .iter()
                 .enumerate()
-                .filter(|(_, p)| p.echo == echo)
+                .filter(|&(i, p)| p.echo == echo && results[i].is_none())
                 .map(|(i, _)| i)
                 .collect();
             if idxs.is_empty() {
@@ -603,7 +870,7 @@ impl Cluster {
         // guard, so results a client has observed are always covered by
         // a seal that already happened (when the cadence says they must).
         let mut seal = false;
-        for _ in 0..entries.len() {
+        for _ in 0..live {
             if node.seal_due(self.config.seal_every) {
                 seal = true;
             }
@@ -650,10 +917,38 @@ impl Cluster {
 
     /// One health pass: every replica that is registered but whose
     /// enclave no longer answers is drained and failed over. Returns a
-    /// report per failover performed. Concurrent sweeps are safe: the
-    /// registry's deregister is the single decision point, so exactly
-    /// one sweeper migrates each failed replica.
+    /// report per failover performed (empty when this call coalesced
+    /// into a sweep already in progress).
+    ///
+    /// Concurrent calls **coalesce**: when a replica dies, every
+    /// in-flight client notices at once and stampedes here. One caller
+    /// wins the CAS and scans; the rest spin until that scan's
+    /// generation completes and return empty — by then the failed
+    /// replica is drained, so their re-route sees the new membership
+    /// without N-1 redundant scans. Within the winning scan, the
+    /// registry's deregister remains the single decision point, so even
+    /// sweeps from *different* entry points migrate each failed replica
+    /// exactly once.
     pub fn health_sweep(&self) -> Vec<FailoverReport> {
+        let gen = self.sweep_gen.load(Ordering::Acquire);
+        if self
+            .sweep_active
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.sweeps_coalesced.fetch_add(1, Ordering::Relaxed);
+            // Wait for the in-progress sweep to finish (its drop guard
+            // bumps the generation first, so this cannot miss it), then
+            // report "nothing left to do".
+            while self.sweep_active.load(Ordering::Acquire)
+                && self.sweep_gen.load(Ordering::Acquire) == gen
+            {
+                std::thread::yield_now();
+            }
+            return Vec::new();
+        }
+        self.sweeps_run.fetch_add(1, Ordering::Relaxed);
+        let _sweeping = SweepGuard { cluster: self };
         let mut reports = Vec::new();
         for node in &self.nodes {
             let id = node.id();
@@ -669,6 +964,16 @@ impl Cluster {
             reports.push(self.failover(id));
         }
         reports
+    }
+
+    /// How many health sweeps actually scanned vs. coalesced into a
+    /// sweep already in progress: `(run, coalesced)`.
+    #[must_use]
+    pub fn sweep_stats(&self) -> (u64, u64) {
+        (
+            self.sweeps_run.load(Ordering::Relaxed),
+            self.sweeps_coalesced.load(Ordering::Relaxed),
+        )
     }
 
     /// Migrates the failed replica's sealed window to its designated

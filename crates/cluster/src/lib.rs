@@ -67,16 +67,21 @@ pub mod fleet;
 pub mod node;
 pub mod placement;
 pub mod registry;
+pub mod resilience;
 pub mod router;
 pub mod snapshot;
 
-pub use client::ClusterClient;
+pub use client::{ClientStats, ClusterClient, SearchOutcome};
 pub use error::ClusterError;
 pub use fleet::{Cluster, ClusterConfig, ControlPlaneHold, FailoverReport, QueueStats};
 pub use placement::PlacementPolicy;
 pub use registry::{RegistrySnapshot, ReplicaId, ReplicaRegistry};
+pub use resilience::{BreakerState, CircuitBreaker, ResilienceConfig};
 pub use router::{LaneStats, RequestSlot};
 pub use snapshot::Published;
+// Re-exported so chaos harnesses can build fault plans without a direct
+// net-sim dependency.
+pub use xsearch_net_sim::fault::{CrashEvent, FaultPlan, FaultSpec};
 
 #[cfg(test)]
 mod tests {

@@ -19,6 +19,7 @@ use xsearch_core::config::XSearchConfig;
 use xsearch_core::persistence::HistoryVault;
 use xsearch_core::proxy::XSearchProxy;
 use xsearch_engine::engine::SearchEngine;
+use xsearch_net_sim::fault::FaultInjector;
 use xsearch_net_sim::Link;
 use xsearch_sgx_sim::attestation::AttestationService;
 use xsearch_sgx_sim::sealed::{SealedBlob, SealingPlatform};
@@ -59,6 +60,15 @@ pub struct ReplicaNode {
     /// Monotonic request tick for the sealing cadence (every
     /// `seal_every`-th tick snapshots; never reset).
     seal_ticks: AtomicUsize,
+    /// Ecall-boundary fault injector, kept host-side so a relaunched
+    /// enclave gets the same chaos plan re-installed.
+    fault: Option<Arc<dyn FaultInjector>>,
+    /// Total accounted fault delay (stalls, spikes) in nanoseconds —
+    /// charged, never slept, like the hop delays.
+    fault_ns: AtomicU64,
+    /// The degradation level last pushed into the enclave: the fleet
+    /// only issues a `set_degrade` ecall when the level changes.
+    degrade_level: AtomicUsize,
 }
 
 impl std::fmt::Debug for ReplicaNode {
@@ -83,8 +93,12 @@ impl ReplicaNode {
         ias: &AttestationService,
         link: Link,
         host_seed: u64,
+        fault: Option<Arc<dyn FaultInjector>>,
     ) -> Self {
-        let proxy = XSearchProxy::launch(config.clone(), engine.clone(), ias);
+        let mut proxy = XSearchProxy::launch(config.clone(), engine.clone(), ias);
+        if let Some(injector) = &fault {
+            proxy.set_fault_injector(Arc::clone(injector));
+        }
         let platform = SealingPlatform::from_seed(host_seed);
         let vault = HistoryVault::new(platform, proxy.expected_measurement());
         let mut hop_rng = StdRng::seed_from_u64(host_seed ^ 0x1A2B_3C4D);
@@ -108,6 +122,9 @@ impl ReplicaNode {
             shed: AtomicU64::new(0),
             served: AtomicU64::new(0),
             seal_ticks: AtomicUsize::new(0),
+            fault,
+            fault_ns: AtomicU64::new(0),
+            degrade_level: AtomicUsize::new(0),
         }
     }
 
@@ -214,6 +231,35 @@ impl ReplicaNode {
         self.hop_ns.load(Ordering::Relaxed)
     }
 
+    /// Accounts injected fault delay (a stall or spike) against this
+    /// node — charged on the modeled clock, never slept.
+    pub(crate) fn account_fault(&self, delay: Duration) {
+        if !delay.is_zero() {
+            self.fault_ns.fetch_add(
+                delay.as_nanos().min(u128::from(u64::MAX)) as u64,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Total accounted injected-fault delay on this node, in nanoseconds.
+    #[must_use]
+    pub fn accounted_fault_ns(&self) -> u64 {
+        self.fault_ns.load(Ordering::Relaxed)
+    }
+
+    /// Updates the cached degradation level; returns the previous value
+    /// so the caller can skip the `set_degrade` ecall when unchanged.
+    pub(crate) fn swap_degrade_level(&self, level: usize) -> usize {
+        self.degrade_level.swap(level, Ordering::Relaxed)
+    }
+
+    /// The degradation level last pushed into this replica's enclave.
+    #[must_use]
+    pub fn degrade_level(&self) -> usize {
+        self.degrade_level.load(Ordering::Relaxed)
+    }
+
     /// Ticks the sealing cadence; returns `true` when a snapshot is due
     /// (every `every` served requests). The counter is never reset —
     /// each tick takes a unique value and exactly every `every`-th one
@@ -268,7 +314,13 @@ impl ReplicaNode {
     /// consumer wins each sealed version. Returns the number of restored
     /// queries.
     pub(crate) fn relaunch(&self, ias: &AttestationService) -> usize {
-        let proxy = XSearchProxy::launch(self.config.clone(), self.engine.clone(), ias);
+        let mut proxy = XSearchProxy::launch(self.config.clone(), self.engine.clone(), ias);
+        if let Some(injector) = &self.fault {
+            proxy.set_fault_injector(Arc::clone(injector));
+        }
+        // A fresh enclave starts at full obfuscation strength; the next
+        // pressure reading will re-derive the level.
+        self.degrade_level.store(0, Ordering::Relaxed);
         let mut restored = 0;
         if let Some(blob) = self.sealed.lock().clone() {
             if let Ok(n) = proxy.adopt_migrated_history(&self.vault, &blob) {

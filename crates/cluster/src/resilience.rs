@@ -1,0 +1,442 @@
+//! The resilience policy stack: deadlines, backoff, circuit breakers,
+//! hedging, and graceful degradation.
+//!
+//! Every mechanism here runs on **deterministic clocks** so chaos
+//! scenarios replay byte-identically:
+//!
+//! * request **deadline budgets** and **backoff** are charged on the
+//!   *accounted* (modeled) clock, the same one the per-hop link delays
+//!   use — never on wall time;
+//! * **circuit-breaker cooldowns** are measured on the fleet's logical
+//!   operation clock (one tick per data-plane forward), not on
+//!   `Instant`s;
+//! * backoff **jitter** is drawn from a per-client seeded generator,
+//!   not a global RNG.
+//!
+//! The stack layers in a fixed order. A request first gets a *deadline
+//! budget*; transient failures are retried under *capped exponential
+//! backoff with decorrelated jitter* (charged against the budget, never
+//! slept); repeated failures trip the replica's *circuit breaker*,
+//! shifting routing away from a browning-out replica before the health
+//! sweep declares it dead; a slow-but-answering replica is cut short by
+//! *hedging* (a second attempt at the ring successor after a
+//! p99-derived delay, first answer wins, nonce-safe because the hedge
+//! runs on a fresh sub-session); and under queue pressure the replica
+//! itself *degrades gracefully*, shrinking the fake-query count `k`
+//! before it sheds real queries.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::Duration;
+
+/// Tunables for the per-request resilience stack. Carried by
+/// `ClusterConfig`; the documented defaults keep every pre-existing
+/// behaviour observable (hedging off, generous deadline) while making
+/// deadlines, backoff and breakers active out of the box.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Master switch. `false` restores the legacy immediate-retry loop
+    /// exactly (the chaos bench measures both sides of this switch).
+    pub enabled: bool,
+    /// Per-request deadline budget on the accounted clock. A request
+    /// that cannot complete within this budget fails with
+    /// `ClusterError::DeadlineExceeded`. Default 2 s — far above any
+    /// healthy request, so it only fires under real faults.
+    pub deadline: Duration,
+    /// First backoff step after a transient failure. Default 500 µs.
+    pub backoff_base: Duration,
+    /// Backoff ceiling (decorrelated jitter never exceeds it).
+    /// Default 50 ms.
+    pub backoff_cap: Duration,
+    /// Consecutive failures that trip a replica's breaker open.
+    /// Default 3.
+    pub breaker_threshold: u32,
+    /// How long an open breaker refuses traffic, in data-plane
+    /// operations on the fleet's logical op clock (deterministic, unlike
+    /// wall time). After the cooldown the breaker goes half-open and
+    /// admits probe traffic. Default 512 ops.
+    pub breaker_cooldown_ops: u64,
+    /// Request hedging: when a response takes longer than the hedge
+    /// delay, fire a second attempt at the ring successor on a fresh
+    /// sub-session and take whichever answer is effectively first.
+    /// Default **off**: hedges add load and duplicate history pushes,
+    /// so they are an explicit opt-in (the chaos drill opts in).
+    pub hedge: bool,
+    /// Hedge trigger delay. `None` derives it from the client's observed
+    /// p99 latency (the classic "hedge after the tail starts" rule).
+    pub hedge_after: Option<Duration>,
+    /// Graceful degradation: under queue pressure a replica shrinks its
+    /// fake-query count `k` (never below 1) before shedding real
+    /// queries. Default on.
+    pub degrade: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            enabled: true,
+            deadline: Duration::from_secs(2),
+            backoff_base: Duration::from_micros(500),
+            backoff_cap: Duration::from_millis(50),
+            breaker_threshold: 3,
+            breaker_cooldown_ops: 512,
+            hedge: false,
+            hedge_after: None,
+            degrade: true,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// The legacy behaviour: no deadline, no backoff, no breakers, no
+    /// hedging, no degradation — the immediate-retry loop as it was.
+    #[must_use]
+    pub fn disabled() -> Self {
+        ResilienceConfig {
+            enabled: false,
+            degrade: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Capped exponential backoff with decorrelated jitter
+/// ("sleep = min(cap, uniform(base, prev * 3))"), charged on the
+/// accounted clock rather than slept. Deterministic: the jitter stream
+/// is derived from the seed, so a replayed request order replays its
+/// backoff charges exactly.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    state: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Backoff {
+    /// A fresh backoff sequence. `base` is clamped to at least 1 ns so
+    /// the charged budget always advances (a zero-cost retry loop could
+    /// otherwise spin forever inside a deadline).
+    #[must_use]
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        let base = base.max(Duration::from_nanos(1));
+        Backoff {
+            base,
+            cap: cap.max(base),
+            prev: base,
+            state: seed,
+        }
+    }
+
+    /// The next backoff charge.
+    pub fn next_delay(&mut self) -> Duration {
+        self.state = splitmix64(self.state);
+        let lo = self.base.as_nanos() as u64;
+        let hi = (self.prev.as_nanos() as u64).saturating_mul(3).max(lo + 1);
+        let span = hi - lo;
+        let draw = lo + self.state % span;
+        let next = Duration::from_nanos(draw).min(self.cap);
+        self.prev = next;
+        next
+    }
+}
+
+/// Circuit-breaker states (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic flows, consecutive failures are counted.
+    Closed,
+    /// Tripped: the router refuses this replica until the cooldown (in
+    /// data-plane ops) elapses.
+    Open,
+    /// Cooldown elapsed: probe traffic is admitted; one success closes
+    /// the breaker, one failure re-opens it.
+    HalfOpen,
+}
+
+const STATE_CLOSED: u8 = 0;
+const STATE_OPEN: u8 = 1;
+const STATE_HALF_OPEN: u8 = 2;
+
+/// One replica's circuit breaker. All-atomic — consulted on the
+/// lock-free routing path — and clocked on the fleet's logical op
+/// counter so that trips and cooldowns replay deterministically.
+#[derive(Debug, Default)]
+pub struct CircuitBreaker {
+    state: AtomicU8,
+    consecutive_failures: AtomicU32,
+    opened_at_op: AtomicU64,
+    /// Times this breaker transitioned closed/half-open → open.
+    trips: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// Whether the router may send traffic to this replica at op-clock
+    /// time `now`. An open breaker whose cooldown has elapsed moves to
+    /// half-open here (probe admission).
+    pub fn allows(&self, now: u64, cooldown_ops: u64) -> bool {
+        match self.state.load(Ordering::Acquire) {
+            STATE_OPEN => {
+                let since = now.saturating_sub(self.opened_at_op.load(Ordering::Relaxed));
+                if since >= cooldown_ops {
+                    let _ = self.state.compare_exchange(
+                        STATE_OPEN,
+                        STATE_HALF_OPEN,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Records a successful request: resets the failure streak and
+    /// closes a half-open breaker (the probe succeeded).
+    pub fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        let _ = self.state.compare_exchange(
+            STATE_HALF_OPEN,
+            STATE_CLOSED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Records a failed (or deadline-blowing) request at op-clock time
+    /// `now`. A half-open probe failure re-opens immediately; a closed
+    /// breaker opens once the streak reaches `threshold`.
+    pub fn record_failure(&self, now: u64, threshold: u32) {
+        let streak = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        match self.state.load(Ordering::Acquire) {
+            STATE_HALF_OPEN => self.trip(now),
+            STATE_CLOSED if streak >= threshold.max(1) => self.trip(now),
+            // Already open: refresh the trip time so a straggler failure
+            // restarts the cooldown.
+            STATE_OPEN => self.opened_at_op.store(now, Ordering::Relaxed),
+            _ => {}
+        }
+    }
+
+    fn trip(&self, now: u64) {
+        self.opened_at_op.store(now, Ordering::Relaxed);
+        self.state.store(STATE_OPEN, Ordering::Release);
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The breaker's current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::Acquire) {
+            STATE_OPEN => BreakerState::Open,
+            STATE_HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// How many times this breaker has tripped open.
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+}
+
+/// Default hedge trigger before any latency has been observed.
+const HEDGE_FLOOR: Duration = Duration::from_millis(5);
+/// Ring size for the latency estimator.
+const LATENCY_RING: usize = 256;
+/// Recompute the cached p99 every this many samples.
+const REFRESH_EVERY: u64 = 64;
+
+/// A small sliding-window latency estimator feeding the p99-derived
+/// hedge delay. Client-local (`&mut self`), so no synchronization.
+#[derive(Debug)]
+pub struct LatencyEstimator {
+    ring: Vec<u64>,
+    count: u64,
+    cached_p99_ns: u64,
+}
+
+impl Default for LatencyEstimator {
+    fn default() -> Self {
+        LatencyEstimator {
+            ring: Vec::with_capacity(LATENCY_RING),
+            count: 0,
+            cached_p99_ns: 0,
+        }
+    }
+}
+
+impl LatencyEstimator {
+    /// Records one observed request latency.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        if self.ring.len() < LATENCY_RING {
+            self.ring.push(ns);
+        } else {
+            self.ring[(self.count % LATENCY_RING as u64) as usize] = ns;
+        }
+        self.count += 1;
+        if self.count.is_multiple_of(REFRESH_EVERY) || self.cached_p99_ns == 0 {
+            let mut sorted = self.ring.clone();
+            sorted.sort_unstable();
+            let idx = (sorted.len().saturating_sub(1)) * 99 / 100;
+            self.cached_p99_ns = sorted[idx];
+        }
+    }
+
+    /// The current p99 estimate (`None` before any sample).
+    #[must_use]
+    pub fn p99(&self) -> Option<Duration> {
+        (self.cached_p99_ns > 0).then(|| Duration::from_nanos(self.cached_p99_ns))
+    }
+
+    /// The hedge trigger delay: the configured override if set, else
+    /// 3× the observed p99, else a conservative floor. Hedging well
+    /// after the p99 keeps the duplicate-work rate around 1% while
+    /// still cutting stalls short by orders of magnitude.
+    #[must_use]
+    pub fn hedge_delay(&self, configured: Option<Duration>) -> Duration {
+        configured
+            .or_else(|| self.p99().map(|p| p * 3))
+            .unwrap_or(HEDGE_FLOOR)
+            .max(Duration::from_micros(100))
+    }
+}
+
+/// Maps a replica's admission-queue pressure to a degradation level:
+/// 0 below 50% of the queue limit, then 1 (≥50%), 2 (≥75%), 3 (≥90%).
+/// Level `n` shrinks the enclave's fake-query count to `max(1, k - n)`
+/// — the ladder sheds obfuscation work before it sheds real queries.
+#[must_use]
+pub fn degrade_level(depth: usize, limit: usize) -> usize {
+    if limit == 0 {
+        return 0;
+    }
+    let pct = depth.saturating_mul(100) / limit;
+    match pct {
+        0..=49 => 0,
+        50..=74 => 1,
+        75..=89 => 2,
+        _ => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let mut a = Backoff::new(Duration::from_micros(500), Duration::from_millis(10), 7);
+        let mut b = Backoff::new(Duration::from_micros(500), Duration::from_millis(10), 7);
+        let seq_a: Vec<Duration> = (0..32).map(|_| a.next_delay()).collect();
+        let seq_b: Vec<Duration> = (0..32).map(|_| b.next_delay()).collect();
+        assert_eq!(seq_a, seq_b, "same seed must charge identically");
+        assert!(seq_a.iter().all(|&d| d >= Duration::from_micros(500)));
+        assert!(seq_a.iter().all(|&d| d <= Duration::from_millis(10)));
+        assert!(
+            seq_a.iter().any(|&d| d == Duration::from_millis(10)),
+            "the cap should be reached under repeated failures"
+        );
+        let mut c = Backoff::new(Duration::from_micros(500), Duration::from_millis(10), 8);
+        let seq_c: Vec<Duration> = (0..32).map(|_| c.next_delay()).collect();
+        assert_ne!(seq_a, seq_c, "different seeds must jitter differently");
+    }
+
+    #[test]
+    fn zero_base_backoff_still_advances_the_budget() {
+        let mut b = Backoff::new(Duration::ZERO, Duration::ZERO, 1);
+        assert!(b.next_delay() > Duration::ZERO);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_recovers_through_half_open() {
+        let b = CircuitBreaker::default();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(10, 3);
+        b.record_failure(11, 3);
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        assert!(b.allows(11, 100));
+        b.record_failure(12, 3);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows(50, 100), "cooldown not elapsed");
+        assert!(b.allows(112, 100), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_immediately() {
+        let b = CircuitBreaker::default();
+        for op in 0..3 {
+            b.record_failure(op, 3);
+        }
+        assert!(b.allows(600, 512));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure(601, 3);
+        assert_eq!(b.state(), BreakerState::Open, "one probe failure re-opens");
+        assert!(!b.allows(700, 512), "cooldown restarts from the re-open");
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = CircuitBreaker::default();
+        b.record_failure(1, 3);
+        b.record_failure(2, 3);
+        b.record_success();
+        b.record_failure(3, 3);
+        b.record_failure(4, 3);
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "interleaved successes must prevent a trip"
+        );
+    }
+
+    #[test]
+    fn latency_estimator_derives_a_p99_hedge_delay() {
+        let mut est = LatencyEstimator::default();
+        assert_eq!(est.hedge_delay(None), HEDGE_FLOOR, "floor before samples");
+        assert_eq!(
+            est.hedge_delay(Some(Duration::from_millis(2))),
+            Duration::from_millis(2),
+            "explicit override wins"
+        );
+        for _ in 0..128 {
+            est.record(Duration::from_micros(400));
+        }
+        let p99 = est.p99().expect("samples recorded");
+        assert_eq!(p99, Duration::from_micros(400));
+        assert_eq!(est.hedge_delay(None), Duration::from_micros(1200));
+    }
+
+    #[test]
+    fn degrade_ladder_maps_pressure_to_levels() {
+        assert_eq!(degrade_level(0, 0), 0, "unbounded queues never degrade");
+        assert_eq!(degrade_level(49, 100), 0);
+        assert_eq!(degrade_level(50, 100), 1);
+        assert_eq!(degrade_level(75, 100), 2);
+        assert_eq!(degrade_level(90, 100), 3);
+        assert_eq!(degrade_level(100, 100), 3);
+    }
+
+    #[test]
+    fn disabled_config_switches_everything_off() {
+        let c = ResilienceConfig::disabled();
+        assert!(!c.enabled && !c.degrade && !c.hedge);
+    }
+}

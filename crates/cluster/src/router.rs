@@ -127,6 +127,20 @@ pub(crate) struct Pending {
     pub echo: bool,
     /// Where the result goes.
     pub slot: Arc<RequestSlot>,
+    /// Wall-clock backstop from the caller's deadline budget: a lane
+    /// leader that drains this entry after the instant has passed
+    /// delivers `DeadlineExceeded` instead of executing it — a request
+    /// whose owner has already given up must not consume enclave work.
+    /// `None` (no budget) never expires.
+    pub expires_at: Option<std::time::Instant>,
+}
+
+impl Pending {
+    /// Whether this entry's deadline backstop has already passed.
+    pub fn expired(&self) -> bool {
+        self.expires_at
+            .is_some_and(|at| std::time::Instant::now() >= at)
+    }
 }
 
 /// Coalescing statistics for one lane (and, summed, for the fleet).
@@ -300,6 +314,7 @@ mod tests {
             ciphertext: vec![tag],
             echo: true,
             slot: Arc::clone(slot),
+            expires_at: None,
         }
     }
 
@@ -396,6 +411,17 @@ mod tests {
         });
         assert_eq!(merged.max_batch, 64);
         assert_eq!(merged.entries, 80);
+    }
+
+    #[test]
+    fn pending_expiry_tracks_the_backstop_instant() {
+        let slot = RequestSlot::new();
+        let mut p = pending(&slot, 1);
+        assert!(!p.expired(), "no deadline never expires");
+        p.expires_at = Some(std::time::Instant::now());
+        assert!(p.expired(), "a passed instant has expired");
+        p.expires_at = Some(std::time::Instant::now() + Duration::from_secs(600));
+        assert!(!p.expired());
     }
 
     #[test]

@@ -40,7 +40,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use xsearch_crypto::x25519::{PublicKey, StaticSecret};
 use xsearch_engine::engine::SearchResult;
@@ -118,6 +118,14 @@ pub struct EnclaveState {
     /// exactly reproducible from the config seed.
     rng_ticket: AtomicU64,
     sessions: Vec<SessionShard>,
+    /// Graceful-degradation level (the `set_degrade` ecall): level `n`
+    /// shrinks the fake-query count to `max(1, k - n)` so an overloaded
+    /// replica sheds *obfuscation work* before it sheds real queries.
+    /// Level 0 is full strength.
+    degrade: AtomicUsize,
+    /// Requests served with a reduced k — the privacy cost of the
+    /// degradation ladder, surfaced through `degrade_stats`.
+    degraded_served: AtomicU64,
 }
 
 impl std::fmt::Debug for EnclaveState {
@@ -148,7 +156,38 @@ impl EnclaveState {
             sessions: (0..SESSION_SHARDS)
                 .map(|_| Mutex::new(SessionMap::default()))
                 .collect(),
+            degrade: AtomicUsize::new(0),
+            degraded_served: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the graceful-degradation level. Level `n` serves requests
+    /// with `max(1, k - n)` fake queries; level 0 restores full `k`.
+    pub fn set_degrade_level(&self, level: usize) {
+        self.degrade.store(level, Ordering::Relaxed);
+    }
+
+    /// The current degradation level.
+    #[must_use]
+    pub fn degrade_level(&self) -> usize {
+        self.degrade.load(Ordering::Relaxed)
+    }
+
+    /// How many requests were served with a reduced fake-query count.
+    #[must_use]
+    pub fn degraded_served(&self) -> u64 {
+        self.degraded_served.load(Ordering::Relaxed)
+    }
+
+    /// The fake-query count for the current degradation level: never
+    /// below 1 (a real query is never sent bare when obfuscation is
+    /// configured at all), and exactly `k` at level 0.
+    fn effective_k(&self) -> usize {
+        let level = self.degrade.load(Ordering::Relaxed);
+        if level == 0 || self.config.k == 0 {
+            return self.config.k;
+        }
+        self.config.k.saturating_sub(level).max(1)
     }
 
     /// The enclave's channel public key (bound into attestation quotes).
@@ -260,7 +299,11 @@ impl EnclaveState {
         // The RNG is this request's own — nothing to lock.
         let ticket = self.rng_ticket.fetch_add(1, Ordering::Relaxed);
         let mut rng = self.request_rng(ticket);
-        let obfuscated = obfuscate(query, &self.history, self.config.k, &mut rng);
+        let k = self.effective_k();
+        if k < self.config.k {
+            self.degraded_served.fetch_add(1, Ordering::Relaxed);
+        }
+        let obfuscated = obfuscate(query, &self.history, k, &mut rng);
 
         // Fetch results via the paper's four-ocall sequence. The payload
         // crossing the boundary is the obfuscated query — exactly what an
@@ -538,6 +581,40 @@ mod tests {
         let (seen_b, resp_b) = run();
         assert_eq!(seen_a, seen_b, "sub-query order must replay exactly");
         assert_eq!(resp_a, resp_b, "filtered output must replay exactly");
+    }
+
+    #[test]
+    fn degradation_ladder_shrinks_k_with_a_floor_of_one() {
+        let state = state(3);
+        for i in 0..10 {
+            state.seed_history(&format!("warm {i}"));
+        }
+        let (id, mut ch) = client_channel(&state, 77);
+        let port = port();
+        let fanout = |state: &EnclaveState, ch: &mut SecureChannel| {
+            let ct = ch.seal(b"query", b"probe");
+            let mut seen = 0;
+            let resp = state
+                .request(&id, &ct, &port, |subqueries, _| {
+                    seen = subqueries.len();
+                    Vec::new()
+                })
+                .unwrap();
+            ch.open(b"results", &resp).unwrap();
+            seen
+        };
+        assert_eq!(fanout(&state, &mut ch), 4, "level 0 serves full k=3");
+        state.set_degrade_level(2);
+        assert_eq!(fanout(&state, &mut ch), 2, "level 2 shrinks to k=1");
+        state.set_degrade_level(9);
+        assert_eq!(fanout(&state, &mut ch), 2, "k never degrades below 1");
+        state.set_degrade_level(0);
+        assert_eq!(fanout(&state, &mut ch), 4, "level 0 restores full k");
+        assert_eq!(
+            state.degraded_served(),
+            2,
+            "exactly the reduced-k requests are counted"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@ use xsearch_crypto::x25519::PublicKey;
 use xsearch_engine::engine::SearchEngine;
 use xsearch_engine::pool::MAX_WORKERS;
 use xsearch_engine::service::EngineService;
+use xsearch_net_sim::fault::FaultInjector;
 use xsearch_net_sim::DelayModel;
 use xsearch_sgx_sim::attestation::{AttestationService, Quote};
 use xsearch_sgx_sim::boundary::BoundaryStats;
@@ -45,6 +46,11 @@ pub struct HandshakeResponse {
 pub struct XSearchProxy {
     enclave: Enclave<EnclaveState>,
     service: EngineService,
+    /// Chaos hook: when installed, every request-path response consults
+    /// the injector for a gray-failure / corruption decision at the
+    /// ecall boundary. `None` (the default) is a single branch — the
+    /// production path pays nothing.
+    fault: Option<Arc<dyn FaultInjector>>,
 }
 
 impl std::fmt::Debug for XSearchProxy {
@@ -92,7 +98,19 @@ impl XSearchProxy {
             .with_code(ENCLAVE_CODE_V1)
             .with_provisioning_key(ias.provisioning_key())
             .build_with(|epc, cost| EnclaveState::init(config, epc, cost));
-        XSearchProxy { enclave, service }
+        XSearchProxy {
+            enclave,
+            service,
+            fault: None,
+        }
+    }
+
+    /// Installs a deterministic fault injector at the ecall boundary
+    /// (see [`FaultInjector`]). Test/chaos API: the injector decides,
+    /// per response, whether the reply is lost after execution (gray
+    /// failure) or corrupted in flight.
+    pub fn set_fault_injector(&mut self, injector: Arc<dyn FaultInjector>) {
+        self.fault = Some(injector);
     }
 
     /// The measurement a correctly built proxy enclave must present —
@@ -323,7 +341,35 @@ impl XSearchProxy {
                     }
                 })?;
         envelope?;
-        crate::wire::decode_response_batch(&encoded)
+        let mut responses = crate::wire::decode_response_batch(&encoded)?;
+        if self.fault.is_some() {
+            for response in &mut responses {
+                self.inject_fault(response);
+            }
+        }
+        Ok(responses)
+    }
+
+    /// Applies one ecall-boundary fault decision to a response in place.
+    /// Gray failure: the enclave did the work (the session's counters
+    /// advanced) but the caller sees an error — exactly the ambiguity a
+    /// real timeout produces, which is why the client must re-attest.
+    /// Corruption: one flipped ciphertext byte, so the client's AEAD
+    /// open fails authentication.
+    fn inject_fault(&self, response: &mut Result<Vec<u8>, XSearchError>) {
+        let Some(injector) = &self.fault else { return };
+        let fault = injector.ecall_fault();
+        if let Ok(payload) = response {
+            if fault.fail {
+                *response = Err(XSearchError::Protocol(
+                    "injected gray failure: response lost at the ecall boundary".into(),
+                ));
+            } else if fault.corrupt {
+                if let Some(byte) = payload.last_mut() {
+                    *byte ^= 0x40;
+                }
+            }
+        }
     }
 
     /// Serves one encrypted request without contacting the engine — the
@@ -358,7 +404,46 @@ impl XSearchProxy {
                 outcome = state.request(client_pub, input, port, fetch);
                 outcome.clone().unwrap_or_default()
             })?;
+        if self.fault.is_some() {
+            self.inject_fault(&mut outcome);
+        }
         outcome
+    }
+
+    /// Sets the enclave's graceful-degradation level (the `set_degrade`
+    /// ecall): level `n` shrinks the fake-query count to
+    /// `max(1, k - n)`, trading obfuscation strength for capacity while
+    /// the replica is browning out. Level 0 restores full `k`.
+    pub fn set_degrade_level(&self, level: usize) {
+        let _ = self.enclave.ecall_shared(
+            "set_degrade",
+            &(level as u64).to_le_bytes(),
+            |state, input, _| {
+                let level = input.try_into().map(u64::from_le_bytes).unwrap_or_default() as usize;
+                state.set_degrade_level(level);
+                Vec::new()
+            },
+        );
+    }
+
+    /// `(current degrade level, requests served with a reduced k)` —
+    /// the observable cost of the degradation ladder, surfaced so the
+    /// chaos bench can report how much obfuscation strength was traded
+    /// for availability.
+    #[must_use]
+    pub fn degrade_stats(&self) -> (usize, u64) {
+        let out = self
+            .enclave
+            .ecall_shared("degrade_stats", &[], |state, _, _| {
+                let mut bytes = Vec::with_capacity(16);
+                bytes.extend_from_slice(&(state.degrade_level() as u64).to_le_bytes());
+                bytes.extend_from_slice(&state.degraded_served().to_le_bytes());
+                bytes
+            })
+            .expect("ecall cannot fail in this model");
+        let level = u64::from_le_bytes(out[..8].try_into().expect("8 bytes")) as usize;
+        let served = u64::from_le_bytes(out[8..].try_into().expect("8 bytes"));
+        (level, served)
     }
 
     /// Pre-populates the past-query table (experiment warm-up). The whole

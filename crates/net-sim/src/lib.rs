@@ -14,15 +14,20 @@
 //! * [`station`] — a worker-pool service station with a bounded queue,
 //!   modelling capacity-limited relays;
 //! * [`transport`] — in-process duplex byte pipes for wiring components;
-//! * [`http`] — a minimal HTTP/1.1 request/response codec.
+//! * [`http`] — a minimal HTTP/1.1 request/response codec;
+//! * [`fault`] — seeded, deterministic, replayable fault injection at
+//!   the link and ecall boundaries (loss, spikes, stalls, gray
+//!   failures, corruption, partitions, crash schedules).
 
 #![deny(missing_docs)]
 
 pub mod delay;
+pub mod fault;
 pub mod http;
 pub mod link;
 pub mod station;
 pub mod transport;
 
 pub use delay::DelayModel;
+pub use fault::{EcallFault, FaultInjector, FaultPlan, FaultSpec, LinkFault};
 pub use link::Link;
