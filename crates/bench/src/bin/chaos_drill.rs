@@ -34,6 +34,7 @@ use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
+use xsearch_bench::summary::{registry_json, write_summary};
 use xsearch_bench::EXPERIMENT_SEED;
 use xsearch_cluster::resilience::ResilienceConfig;
 use xsearch_cluster::{
@@ -132,6 +133,13 @@ struct ScenarioResult {
     acked: usize,
     lost: usize,
     transcript: Vec<String>,
+    /// The fleet's flight-recorder dump (breaker transitions, hedges,
+    /// failovers, injected faults, degrade steps), kept past the
+    /// cluster's teardown so failures can print the run's last events.
+    flight: Vec<String>,
+    /// The fleet's telemetry registry snapshot as JSON, embedded in the
+    /// summary for the acceptance scenario.
+    telemetry: String,
 }
 
 impl ScenarioResult {
@@ -229,6 +237,8 @@ fn run_scenario(
             acc
         });
     let (sweeps_run, sweeps_coalesced) = cluster.sweep_stats();
+    let mut telemetry = String::new();
+    registry_json(&mut telemetry, cluster.telemetry());
     ScenarioResult {
         name,
         policies,
@@ -252,6 +262,17 @@ fn run_scenario(
         acked: acked.len(),
         lost,
         transcript,
+        flight: cluster.flight().dump(),
+        telemetry,
+    }
+}
+
+/// Prints a scenario's flight-recorder dump to stderr — the forensic
+/// trail a failing gate leaves behind instead of a bare exit code.
+fn dump_flight(label: &str, events: &[String]) {
+    eprintln!("flight recorder ({label}): {} event(s)", events.len());
+    for line in events {
+        eprintln!("  {line}");
     }
 }
 
@@ -334,6 +355,16 @@ fn render_summary(results: &[ScenarioResult], replayed: bool) -> String {
         nopolicy.goodput_rps(),
         collapse
     );
+    let _ = writeln!(
+        out,
+        "  \"acceptance_flight_events\": {},",
+        degraded.flight.len()
+    );
+    let _ = writeln!(
+        out,
+        "  \"acceptance_telemetry\": {},",
+        degraded.telemetry.trim_end()
+    );
     let _ = writeln!(out, "  \"replay\": {{\"deterministic\": {replayed}}}");
     out.push_str("}\n");
     out
@@ -411,15 +442,17 @@ fn main() {
         eprintln!(
             "FAIL: chaos transcript diverged between identical seeds (first diff at {first_diff:?})"
         );
+        let first = results
+            .iter()
+            .find(|r| r.name == "stall_one_loss10")
+            .expect("ran");
+        dump_flight("original run", &first.flight);
+        dump_flight("replay run", &replay.flight);
         std::process::exit(1);
     }
 
     let summary = render_summary(&results, true);
-    let path = std::env::var("BENCH_CHAOS_JSON").unwrap_or_else(|_| "BENCH_chaos.json".to_owned());
-    match std::fs::write(&path, &summary) {
-        Ok(()) => eprintln!("wrote summary to {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    write_summary("BENCH_CHAOS_JSON", "BENCH_chaos.json", &summary);
 
     println!();
     println!("# chaos drill (availability = completed within {DEADLINE:?} on the modeled clock)");
@@ -462,6 +495,7 @@ fn main() {
             "FAIL: {} acknowledged requests missing from the fleet windows",
             degraded.lost
         );
+        dump_flight(degraded.name, &degraded.flight);
         std::process::exit(1);
     }
 }

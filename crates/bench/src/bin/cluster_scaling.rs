@@ -34,7 +34,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use xsearch_bench::summary::{capacity, json_points};
+use xsearch_bench::summary::{capacity, json_points, write_summary};
 use xsearch_bench::{Dataset, EXPERIMENT_SEED};
 use xsearch_cluster::{Cluster, ClusterClient, ClusterConfig, LaneStats, PlacementPolicy};
 use xsearch_core::config::XSearchConfig;
@@ -73,10 +73,7 @@ const RATES: &[f64] = &[
 ];
 
 fn point_duration() -> Duration {
-    std::env::var("CLUSTER_POINT_MS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .map_or(Duration::from_millis(1_000), Duration::from_millis)
+    xsearch_bench::summary::point_duration("CLUSTER_POINT_MS", 1_000)
 }
 
 fn engine() -> Arc<SearchEngine> {
@@ -277,12 +274,7 @@ fn main() {
     let churn = churn_drill(&warm);
 
     let summary = render_summary(&sweep, churn);
-    let path =
-        std::env::var("BENCH_CLUSTER_JSON").unwrap_or_else(|_| "BENCH_cluster.json".to_owned());
-    match std::fs::write(&path, &summary) {
-        Ok(()) => eprintln!("wrote summary to {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    write_summary("BENCH_CLUSTER_JSON", "BENCH_cluster.json", &summary);
 
     println!();
     println!("# summary (max sustained rate, req/s)");

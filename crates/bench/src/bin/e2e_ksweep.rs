@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::sync::Arc;
+use xsearch_bench::summary::write_summary;
 use xsearch_bench::{standard_engine, timed_attested_search, Dataset, EXPERIMENT_SEED};
 use xsearch_core::broker::Broker;
 use xsearch_core::config::XSearchConfig;
@@ -210,11 +211,7 @@ fn main() {
     );
     out.push_str("}\n");
 
-    let path = std::env::var("BENCH_E2E_JSON").unwrap_or_else(|_| "BENCH_e2e.json".to_owned());
-    match std::fs::write(&path, &out) {
-        Ok(()) => eprintln!("wrote summary to {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    write_summary("BENCH_E2E_JSON", "BENCH_e2e.json", &out);
 
     println!();
     println!("# summary (median end-to-end seconds)");

@@ -35,7 +35,7 @@ use xsearch_baselines::peas::{
     CooccurrenceMatrix, PeasClient, PeasFakeGenerator, PeasIssuer, PeasReceiver,
 };
 use xsearch_baselines::tor::network::TorNetwork;
-use xsearch_bench::summary::{capacity, json_points};
+use xsearch_bench::summary::{capacity, json_points, write_summary};
 use xsearch_bench::{Dataset, EXPERIMENT_SEED};
 use xsearch_core::broker::Broker;
 use xsearch_core::config::XSearchConfig;
@@ -83,10 +83,7 @@ const SCALING_RATES: &[f64] = &[
 /// Per-point measurement duration; `FIG5_POINT_MS` overrides the default
 /// so CI can smoke-run the full harness in seconds.
 fn point_duration() -> Duration {
-    std::env::var("FIG5_POINT_MS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .map_or(Duration::from_millis(1_500), Duration::from_millis)
+    xsearch_bench::summary::point_duration("FIG5_POINT_MS", 1_500)
 }
 
 fn round_robin<T>(pool: &[Mutex<T>], counter: &AtomicUsize) -> usize {
@@ -315,11 +312,7 @@ fn main() {
     scaling_table.print();
 
     let summary = render_summary(&scaling, &xs, &peas, &tor);
-    let path = std::env::var("BENCH_FIG5_JSON").unwrap_or_else(|_| "BENCH_fig5.json".to_owned());
-    match std::fs::write(&path, &summary) {
-        Ok(()) => eprintln!("wrote summary to {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    write_summary("BENCH_FIG5_JSON", "BENCH_fig5.json", &summary);
 
     println!();
     println!("# summary (max sustained rate, req/s)");

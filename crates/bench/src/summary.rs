@@ -1,9 +1,13 @@
 //! Shared helpers for the machine-readable bench summaries
-//! (`BENCH_fig5.json`, `BENCH_cluster.json`): one JSON point encoding and
-//! one capacity definition, so the perf trajectory stays comparable
-//! across harnesses and PRs.
+//! (`BENCH_fig5.json`, `BENCH_cluster.json`, `BENCH_chaos.json`,
+//! `BENCH_e2e.json`, `BENCH_obs.json`): one JSON point encoding, one
+//! capacity definition, one env-overridable writer, and one telemetry
+//! snapshot embedding, so the perf trajectory stays comparable across
+//! harnesses and PRs.
 
 use std::fmt::Write as _;
+use std::time::Duration;
+use xsearch_telemetry::Registry;
 use xsearch_workload::RunReport;
 
 /// Max sustained rate: the best achieved rate among kept-up points.
@@ -35,6 +39,34 @@ pub fn json_points(out: &mut String, reports: &[RunReport]) {
         );
     }
     out.push(']');
+}
+
+/// The per-point measurement duration shared by the sweep harnesses:
+/// `env_var` (milliseconds) overrides `default_ms` so CI can smoke-run
+/// a full harness in seconds.
+#[must_use]
+pub fn point_duration(env_var: &str, default_ms: u64) -> Duration {
+    std::env::var(env_var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(Duration::from_millis(default_ms), Duration::from_millis)
+}
+
+/// Writes a rendered summary to `default_path` (or the path in
+/// `env_var`, when set) and reports the outcome on stderr — the shared
+/// tail of every harness binary.
+pub fn write_summary(env_var: &str, default_path: &str, content: &str) {
+    let path = std::env::var(env_var).unwrap_or_else(|_| default_path.to_owned());
+    match std::fs::write(&path, content) {
+        Ok(()) => eprintln!("wrote summary to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Appends a telemetry registry snapshot as a JSON object — harnesses
+/// embed the fleet's own counters instead of hand-rolling stat fields.
+pub fn registry_json(out: &mut String, registry: &Registry) {
+    out.push_str(&registry.snapshot().render_json());
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@
 
 use crate::error::ClusterError;
 use crate::fleet::Cluster;
+use crate::obs::FleetMetrics;
 use crate::registry::ReplicaId;
 use crate::resilience::{Backoff, LatencyEstimator};
 use crate::router::RequestSlot;
@@ -46,6 +47,7 @@ use std::time::Duration;
 use xsearch_core::broker::Broker;
 use xsearch_core::wire::WireResult;
 use xsearch_crypto::sha256::Sha256;
+use xsearch_telemetry::FlightEvent;
 
 /// What one resolved search cost (returned by
 /// [`ClusterClient::search_outcome`]).
@@ -281,6 +283,10 @@ impl ClusterClient {
         loop {
             if spent >= deadline {
                 self.stats.deadline_misses += 1;
+                cluster.metrics().client_deadline_misses.inc();
+                cluster.flight().record(FlightEvent::DeadlineMiss {
+                    replica: self.replica.0 as u64,
+                });
                 self.last_cost = spent;
                 return Err(ClusterError::DeadlineExceeded);
             }
@@ -306,6 +312,7 @@ impl ClusterClient {
             attempts += 1;
             if attempts > 1 {
                 self.stats.retries += 1;
+                cluster.metrics().client_retries.inc();
             }
             let target = self.replica;
             let broker = &mut self.broker;
@@ -338,7 +345,12 @@ impl ClusterClient {
                     // either way — re-attest below.
                     Err(e) => {
                         cluster.record_failure(target);
-                        spent += charge + backoff.next_delay();
+                        let pause = backoff.next_delay();
+                        cluster
+                            .metrics()
+                            .span_backoff
+                            .record(FleetMetrics::us(pause));
+                        spent += charge + pause;
                         ClusterError::Proxy(e)
                     }
                 },
@@ -347,8 +359,14 @@ impl ClusterClient {
                 // never moved.
                 Err(ClusterError::LinkLoss(id)) => {
                     self.stats.link_losses += 1;
+                    cluster.metrics().client_link_losses.inc();
                     cluster.record_failure(id);
-                    spent += backoff.next_delay();
+                    let pause = backoff.next_delay();
+                    cluster
+                        .metrics()
+                        .span_backoff
+                        .record(FleetMetrics::us(pause));
+                    spent += pause;
                     continue;
                 }
                 // Overloaded is deliberate backpressure from a *healthy*
@@ -365,6 +383,10 @@ impl ClusterClient {
                 // handing the typed miss to the caller.
                 Err(ClusterError::DeadlineExceeded) => {
                     self.stats.deadline_misses += 1;
+                    cluster.metrics().client_deadline_misses.inc();
+                    cluster.flight().record(FlightEvent::DeadlineMiss {
+                        replica: target.0 as u64,
+                    });
                     self.last_cost = spent;
                     let _ = self.reroute(cluster);
                     return Err(ClusterError::DeadlineExceeded);
@@ -374,7 +396,12 @@ impl ClusterClient {
                     // typically a replica that crashed and restarted
                     // (sessions die with the enclave). Re-attest below.
                     cluster.record_failure(target);
-                    spent += backoff.next_delay();
+                    let pause = backoff.next_delay();
+                    cluster
+                        .metrics()
+                        .span_backoff
+                        .record(FleetMetrics::us(pause));
+                    spent += pause;
                     ClusterError::Proxy(e)
                 }
                 Err(e @ (ClusterError::ReplicaDown(_) | ClusterError::NotRoutable(_))) => {
@@ -382,7 +409,12 @@ impl ClusterClient {
                     // migrate its window before re-routing.
                     cluster.record_failure(target);
                     cluster.health_sweep();
-                    spent += backoff.next_delay();
+                    let pause = backoff.next_delay();
+                    cluster
+                        .metrics()
+                        .span_backoff
+                        .record(FleetMetrics::us(pause));
+                    spent += pause;
                     e
                 }
                 Err(e) => {
@@ -444,12 +476,17 @@ impl ClusterClient {
                 // sub-session's fresh keypair means the race can never
                 // touch the primary tunnel's nonce sequence.)
                 self.stats.hedges_fired += 1;
+                cluster.metrics().client_hedges_fired.inc();
                 hedged = true;
                 if let Some((h_results, h_charge, h_replica)) = self.try_hedge(cluster, query, echo)
                 {
                     let hedge_cost = spent + hedge_delay + h_charge;
                     if hedge_cost < cost {
                         self.stats.hedges_won += 1;
+                        cluster.metrics().client_hedges_won.inc();
+                        cluster.flight().record(FlightEvent::HedgeWon {
+                            replica: h_replica.0 as u64,
+                        });
                         cost = hedge_cost;
                         winner = h_replica;
                         winning_results = h_results;
@@ -470,8 +507,13 @@ impl ClusterClient {
         // charge would inflate the trigger until hedging disabled
         // itself.
         self.latencies.record(cost.saturating_sub(spent));
+        cluster
+            .metrics()
+            .span_request
+            .record(FleetMetrics::us(cost));
         if cost > deadline {
             self.stats.deadline_misses += 1;
+            cluster.metrics().client_deadline_misses.inc();
         }
         self.last_cost = cost;
         SearchOutcome {
@@ -496,9 +538,14 @@ impl ClusterClient {
         echo: bool,
     ) -> Option<(Vec<WireResult>, Duration, ReplicaId)> {
         let successor = cluster.ring_successor(self.replica)?;
+        cluster.flight().record(FlightEvent::HedgeFired {
+            primary: self.replica.0 as u64,
+            hedge: successor.0 as u64,
+        });
         let seed = handshake_seed(self.seed, self.handshakes);
         self.handshakes += 1;
         self.stats.reattaches += 1;
+        cluster.metrics().client_reattaches.inc();
         let mut hedge_broker = cluster
             .with_replica(successor, |proxy| {
                 Broker::attach(proxy, cluster.ias(), cluster.expected_measurement(), seed)
@@ -593,6 +640,7 @@ impl ClusterClient {
         let seed = handshake_seed(self.seed, self.handshakes);
         self.handshakes += 1;
         self.stats.reattaches += 1;
+        cluster.metrics().client_reattaches.inc();
         let broker = &mut self.broker;
         cluster.with_replica(replica, |proxy| {
             broker.reattach(proxy, cluster.ias(), cluster.expected_measurement(), seed)

@@ -50,6 +50,7 @@
 
 use crate::error::ClusterError;
 use crate::node::ReplicaNode;
+use crate::obs::FleetMetrics;
 use crate::placement::{HashRing, PlacementPolicy};
 use crate::registry::{RegistryWriterHold, ReplicaId, ReplicaRegistry};
 use crate::resilience::{degrade_level, CircuitBreaker, ResilienceConfig};
@@ -65,11 +66,16 @@ use xsearch_net_sim::fault::{FaultEvent, FaultPlan};
 use xsearch_net_sim::link::FleetModel;
 use xsearch_sgx_sim::attestation::AttestationService;
 use xsearch_sgx_sim::measurement::Measurement;
+use xsearch_telemetry::{Counter, FlightEvent, FlightRecorder, LabelValue, Registry};
 
 /// Most entries one coalesced `proxy_batch` ecall will carry. Bounds
 /// tail latency for the first request in a long queue; the leader loops
 /// until the lane drains, so nothing is left behind.
 const MAX_BATCH: usize = 64;
+
+/// Flight-recorder depth: enough to hold every control-plane decision of
+/// a failing chaos scenario's last phase without growing unbounded.
+const FLIGHT_CAPACITY: usize = 256;
 
 /// Fleet-level configuration.
 #[derive(Debug, Clone)]
@@ -213,13 +219,15 @@ pub struct Cluster {
     nodes: Vec<Arc<ReplicaNode>>,
     /// The published consistent-hash ring — read lock-free by `route`.
     ring: Published<HashRing>,
-    /// One coalescing lane per replica slot.
-    lanes: Vec<Lane>,
+    /// One coalescing lane per replica slot (`Arc` so snapshot-time poll
+    /// collectors can read the lane stats without borrowing the fleet).
+    lanes: Arc<Vec<Lane>>,
     rr: AtomicUsize,
     /// One circuit breaker per replica slot — routing shifts away from a
     /// replica whose breaker is open before the health sweep declares it
-    /// dead (brown-out handling, not crash handling).
-    breakers: Vec<CircuitBreaker>,
+    /// dead (brown-out handling, not crash handling). `Arc` for the same
+    /// poll-collector reason as the lanes.
+    breakers: Arc<Vec<CircuitBreaker>>,
     /// Logical operation clock: one tick per data-plane forward. Fault
     /// timelines (partitions, crash schedules) and breaker cooldowns are
     /// expressed in these ticks so chaos runs replay deterministically.
@@ -229,8 +237,17 @@ pub struct Cluster {
     /// Bumped when a sweep finishes; latecomers that observed the sweep
     /// in progress return once the generation moves.
     sweep_gen: AtomicU64,
-    sweeps_run: AtomicU64,
-    sweeps_coalesced: AtomicU64,
+    /// Sweep accounting lives directly on the metrics registry — the
+    /// first of the ad-hoc stat surfaces folded into one snapshot.
+    sweeps_run: Counter,
+    sweeps_coalesced: Counter,
+    /// The fleet's metrics registry (one snapshot for queues, breakers,
+    /// lanes, spans and client resilience counters).
+    telemetry: Arc<Registry>,
+    /// Pre-registered fleet counters and span histograms.
+    metrics: FleetMetrics,
+    /// Structured event ring dumped on chaos-scenario failures.
+    flight: Arc<FlightRecorder>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -284,10 +301,26 @@ impl Cluster {
             .expect("just launched")
             .expected_measurement();
         let registry = ReplicaRegistry::new(ias.clone(), expected, config.seed);
-        let lanes = (0..config.replicas).map(|_| Lane::default()).collect();
-        let breakers = (0..config.replicas)
-            .map(|_| CircuitBreaker::default())
-            .collect();
+        let lanes: Arc<Vec<Lane>> =
+            Arc::new((0..config.replicas).map(|_| Lane::default()).collect());
+        let breakers: Arc<Vec<CircuitBreaker>> = Arc::new(
+            (0..config.replicas)
+                .map(|_| CircuitBreaker::default())
+                .collect(),
+        );
+        let telemetry = Arc::new(Registry::new());
+        let metrics = FleetMetrics::register(&telemetry);
+        Self::register_polls(&telemetry, &nodes, &lanes, &breakers);
+        let sweeps_run = telemetry.counter(
+            "xsearch_fleet_sweeps_run_total",
+            "Health sweeps that actually scanned the fleet",
+            &[],
+        );
+        let sweeps_coalesced = telemetry.counter(
+            "xsearch_fleet_sweeps_coalesced_total",
+            "Health sweeps coalesced into one already in progress",
+            &[],
+        );
         let cluster = Cluster {
             config,
             ias,
@@ -301,8 +334,11 @@ impl Cluster {
             ops: AtomicU64::new(0),
             sweep_active: AtomicBool::new(false),
             sweep_gen: AtomicU64::new(0),
-            sweeps_run: AtomicU64::new(0),
-            sweeps_coalesced: AtomicU64::new(0),
+            sweeps_run,
+            sweeps_coalesced,
+            telemetry,
+            metrics,
+            flight: Arc::new(FlightRecorder::with_capacity(FLIGHT_CAPACITY)),
         };
         for node in &cluster.nodes {
             cluster
@@ -310,6 +346,120 @@ impl Cluster {
                 .expect("fresh replica must enroll");
         }
         cluster
+    }
+
+    /// Registers the snapshot-time poll collectors: every pre-existing
+    /// hot-path atomic (queue depths, shed counts, hop/fault accounting,
+    /// lane coalescing, breaker trips, per-enclave degrade counts) is
+    /// read at snapshot time through a cloned `Arc` — the instrumented
+    /// request path pays nothing for any of these.
+    fn register_polls(
+        telemetry: &Registry,
+        nodes: &[Arc<ReplicaNode>],
+        lanes: &Arc<Vec<Lane>>,
+        breakers: &Arc<Vec<CircuitBreaker>>,
+    ) {
+        for node in nodes {
+            let label = [("replica", LabelValue::Int(node.id().0 as u64))];
+            let n = Arc::clone(node);
+            telemetry.poll(
+                "xsearch_replica_inflight",
+                "Requests currently admitted on this replica",
+                &label,
+                move || n.inflight() as f64,
+            );
+            let n = Arc::clone(node);
+            telemetry.poll(
+                "xsearch_replica_queue_high_water",
+                "Deepest this replica's admission queue has been",
+                &label,
+                move || n.queue_high_water() as f64,
+            );
+            let n = Arc::clone(node);
+            telemetry.poll(
+                "xsearch_replica_shed",
+                "Requests this replica's bounded queue refused",
+                &label,
+                move || n.shed() as f64,
+            );
+            let n = Arc::clone(node);
+            telemetry.poll(
+                "xsearch_replica_served",
+                "Requests served by this replica since launch",
+                &label,
+                move || n.served() as f64,
+            );
+            let n = Arc::clone(node);
+            telemetry.poll(
+                "xsearch_replica_degrade_level",
+                "Degradation level last pushed into this enclave",
+                &label,
+                move || n.degrade_level() as f64,
+            );
+        }
+        let all: Vec<Arc<ReplicaNode>> = nodes.to_vec();
+        telemetry.poll(
+            "xsearch_fleet_hop_delay_us",
+            "Accounted router-replica hop delay, microseconds",
+            &[],
+            move || all.iter().map(|n| n.accounted_hop_ns()).sum::<u64>() as f64 / 1e3,
+        );
+        let all: Vec<Arc<ReplicaNode>> = nodes.to_vec();
+        telemetry.poll(
+            "xsearch_fleet_fault_delay_us",
+            "Accounted injected fault delay, microseconds",
+            &[],
+            move || all.iter().map(|n| n.accounted_fault_ns()).sum::<u64>() as f64 / 1e3,
+        );
+        let all: Vec<Arc<ReplicaNode>> = nodes.to_vec();
+        telemetry.poll(
+            "xsearch_fleet_engine_delay_us",
+            "Modeled engine service time charged fleet-wide, microseconds",
+            &[],
+            move || {
+                all.iter()
+                    .map(|n| {
+                        n.proxy().as_ref().map_or(0, |p| {
+                            p.accounted_engine_delay()
+                                .as_micros()
+                                .min(u128::from(u64::MAX)) as u64
+                        })
+                    })
+                    .sum::<u64>() as f64
+            },
+        );
+        let all: Vec<Arc<ReplicaNode>> = nodes.to_vec();
+        telemetry.poll(
+            "xsearch_fleet_degraded_served",
+            "Requests served at reduced obfuscation strength, fleet-wide",
+            &[],
+            move || {
+                all.iter()
+                    .map(|n| n.proxy().as_ref().map_or(0, |p| p.degrade_stats().1))
+                    .sum::<u64>() as f64
+            },
+        );
+        let l = Arc::clone(lanes);
+        telemetry.poll(
+            "xsearch_lane_batches",
+            "Coalesced proxy_batch ecalls issued by the lanes",
+            &[],
+            move || l.iter().map(|lane| lane.stats().batches).sum::<u64>() as f64,
+        );
+        let l = Arc::clone(lanes);
+        telemetry.poll(
+            "xsearch_lane_entries",
+            "Requests carried inside coalesced ecalls",
+            &[],
+            move || l.iter().map(|lane| lane.stats().entries).sum::<u64>() as f64,
+        );
+        let b = Arc::clone(breakers);
+        telemetry.poll(
+            "xsearch_breaker_trips",
+            "Circuit-breaker trips across the fleet",
+            &[],
+            move || b.iter().map(CircuitBreaker::trips).sum::<u64>() as f64,
+        );
     }
 
     /// The fleet's attestation service (brokers verify quotes with it).
@@ -406,6 +556,31 @@ impl Cluster {
         self.lanes
             .iter()
             .fold(LaneStats::default(), |acc, lane| acc.merged(lane.stats()))
+    }
+
+    /// The fleet's metrics registry: one snapshot covering queue depths,
+    /// lane coalescing, breaker trips, sweep coalescing, accounted
+    /// hop/fault/engine delays and the client resilience counters —
+    /// every surface `queue_stats()`, `sweep_stats()` and friends expose
+    /// piecemeal, unified for exposition.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
+    }
+
+    /// The fleet's flight recorder: a fixed ring holding the most recent
+    /// structured resilience events (breaker transitions, hedges,
+    /// failovers, injected faults, degrade steps). Chaos harnesses dump
+    /// it when a scenario fails.
+    #[must_use]
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// The pre-registered fleet instruments, for in-crate recorders
+    /// (clients mirror their stats through these).
+    pub(crate) fn metrics(&self) -> &FleetMetrics {
+        &self.metrics
     }
 
     /// Takes and holds every control-plane writer lock (registry + ring)
@@ -522,7 +697,11 @@ impl Cluster {
     /// breaker, resets the failure streak).
     pub fn record_success(&self, id: ReplicaId) {
         if let Some(b) = self.breakers.get(id.0) {
-            b.record_success();
+            if b.record_success() {
+                self.flight.record(FlightEvent::BreakerClose {
+                    replica: id.0 as u64,
+                });
+            }
         }
     }
 
@@ -530,10 +709,13 @@ impl Cluster {
     /// breaker once the streak reaches the configured threshold).
     pub fn record_failure(&self, id: ReplicaId) {
         if let Some(b) = self.breakers.get(id.0) {
-            b.record_failure(
-                self.ops.load(Ordering::Relaxed),
-                self.config.resilience.breaker_threshold,
-            );
+            let op = self.ops.load(Ordering::Relaxed);
+            if b.record_failure(op, self.config.resilience.breaker_threshold) {
+                self.flight.record(FlightEvent::BreakerTrip {
+                    replica: id.0 as u64,
+                    op,
+                });
+            }
         }
     }
 
@@ -724,14 +906,22 @@ impl Cluster {
         if let Some(plan) = self.config.faults.as_deref() {
             let fault = plan.link_fault(id.0);
             if fault.drop {
+                self.metrics.link_loss.inc();
                 return Err(ClusterError::LinkLoss(id));
             }
             if !fault.delay.is_zero() {
                 node.account_fault(fault.delay);
                 charge += fault.delay;
+                self.flight.record(FlightEvent::FaultInjected {
+                    replica: id.0 as u64,
+                    delay_us: FleetMetrics::us(fault.delay),
+                });
             }
         }
         if !node.try_enter(self.config.queue_limit) {
+            self.flight.record(FlightEvent::Shed {
+                replica: id.0 as u64,
+            });
             return Err(ClusterError::Overloaded(id));
         }
         // From here the admitted slot must drain on every path — even a
@@ -773,7 +963,12 @@ impl Cluster {
             }
         };
         drop(admitted);
-        result.map(|bytes| (bytes, charge))
+        let result = result.map(|bytes| (bytes, charge));
+        if result.is_ok() {
+            self.metrics.forwards.inc();
+            self.metrics.span_forward.record(FleetMetrics::us(charge));
+        }
+        result
     }
 
     /// Drains `id`'s lane batch by batch until empty. Caller holds lane
@@ -813,8 +1008,14 @@ impl Cluster {
             && self.config.queue_limit != 0
         {
             let level = degrade_level(node.inflight(), self.config.queue_limit);
-            if node.swap_degrade_level(level) != level {
+            let prev = node.swap_degrade_level(level);
+            if prev != level {
                 proxy.set_degrade_level(level);
+                self.flight.record(FlightEvent::DegradeStep {
+                    replica: id.0 as u64,
+                    from: prev as u64,
+                    to: level as u64,
+                });
             }
         }
         let entries = fence.entries();
@@ -828,6 +1029,10 @@ impl Cluster {
         for (i, pending) in entries.iter().enumerate() {
             if pending.expired() {
                 results[i] = Some(Err(ClusterError::DeadlineExceeded));
+                self.metrics.deadline_refusals.inc();
+                self.flight.record(FlightEvent::DeadlineMiss {
+                    replica: id.0 as u64,
+                });
             } else {
                 live += 1;
             }
@@ -896,6 +1101,10 @@ impl Cluster {
     /// [`ClusterError::UnknownReplica`] for an out-of-range id.
     pub fn kill(&self, id: ReplicaId) -> Result<(), ClusterError> {
         self.node(id)?.kill();
+        self.flight.record(FlightEvent::Crash {
+            replica: id.0 as u64,
+            op: self.ops.load(Ordering::Relaxed),
+        });
         Ok(())
     }
 
@@ -912,6 +1121,10 @@ impl Cluster {
         let node = self.node(id)?;
         let restored = node.relaunch(&self.ias);
         self.enroll(id)?;
+        self.flight.record(FlightEvent::Restart {
+            replica: id.0 as u64,
+            op: self.ops.load(Ordering::Relaxed),
+        });
         Ok(restored)
     }
 
@@ -936,7 +1149,7 @@ impl Cluster {
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {
-            self.sweeps_coalesced.fetch_add(1, Ordering::Relaxed);
+            self.sweeps_coalesced.inc();
             // Wait for the in-progress sweep to finish (its drop guard
             // bumps the generation first, so this cannot miss it), then
             // report "nothing left to do".
@@ -947,7 +1160,7 @@ impl Cluster {
             }
             return Vec::new();
         }
-        self.sweeps_run.fetch_add(1, Ordering::Relaxed);
+        self.sweeps_run.inc();
         let _sweeping = SweepGuard { cluster: self };
         let mut reports = Vec::new();
         for node in &self.nodes {
@@ -967,13 +1180,11 @@ impl Cluster {
     }
 
     /// How many health sweeps actually scanned vs. coalesced into a
-    /// sweep already in progress: `(run, coalesced)`.
+    /// sweep already in progress: `(run, coalesced)`. Thin accessor over
+    /// the registry counters (see [`Cluster::telemetry`]).
     #[must_use]
     pub fn sweep_stats(&self) -> (u64, u64) {
-        (
-            self.sweeps_run.load(Ordering::Relaxed),
-            self.sweeps_coalesced.load(Ordering::Relaxed),
-        )
+        (self.sweeps_run.value(), self.sweeps_coalesced.value())
     }
 
     /// Migrates the failed replica's sealed window to its designated
@@ -1010,6 +1221,13 @@ impl Cluster {
                 }
             }
         }
+        self.metrics.failovers.inc();
+        self.metrics.migrated.add(migrated_queries as u64);
+        self.flight.record(FlightEvent::Failover {
+            failed: failed.0 as u64,
+            successor: successor.map_or(u64::MAX, |s| s.0 as u64),
+            migrated: migrated_queries as u64,
+        });
         FailoverReport {
             failed,
             successor,

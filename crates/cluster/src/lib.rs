@@ -65,6 +65,7 @@ pub mod client;
 pub mod error;
 pub mod fleet;
 pub mod node;
+mod obs;
 pub mod placement;
 pub mod registry;
 pub mod resilience;
@@ -82,6 +83,7 @@ pub use snapshot::Published;
 // Re-exported so chaos harnesses can build fault plans without a direct
 // net-sim dependency.
 pub use xsearch_net_sim::fault::{CrashEvent, FaultPlan, FaultSpec};
+pub use xsearch_telemetry::{FlightEvent, FlightRecorder, Registry as MetricsRegistry};
 
 #[cfg(test)]
 mod tests {

@@ -201,29 +201,44 @@ impl CircuitBreaker {
     }
 
     /// Records a successful request: resets the failure streak and
-    /// closes a half-open breaker (the probe succeeded).
-    pub fn record_success(&self) {
+    /// closes a half-open breaker (the probe succeeded). Returns `true`
+    /// when this call performed the half-open → closed transition, so
+    /// the fleet can log the recovery exactly once.
+    pub fn record_success(&self) -> bool {
         self.consecutive_failures.store(0, Ordering::Relaxed);
-        let _ = self.state.compare_exchange(
-            STATE_HALF_OPEN,
-            STATE_CLOSED,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        );
+        self.state
+            .compare_exchange(
+                STATE_HALF_OPEN,
+                STATE_CLOSED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
     }
 
     /// Records a failed (or deadline-blowing) request at op-clock time
     /// `now`. A half-open probe failure re-opens immediately; a closed
-    /// breaker opens once the streak reaches `threshold`.
-    pub fn record_failure(&self, now: u64, threshold: u32) {
+    /// breaker opens once the streak reaches `threshold`. Returns `true`
+    /// when this call tripped the breaker open, so the fleet can log the
+    /// transition exactly once.
+    pub fn record_failure(&self, now: u64, threshold: u32) -> bool {
         let streak = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
         match self.state.load(Ordering::Acquire) {
-            STATE_HALF_OPEN => self.trip(now),
-            STATE_CLOSED if streak >= threshold.max(1) => self.trip(now),
+            STATE_HALF_OPEN => {
+                self.trip(now);
+                true
+            }
+            STATE_CLOSED if streak >= threshold.max(1) => {
+                self.trip(now);
+                true
+            }
             // Already open: refresh the trip time so a straggler failure
             // restarts the cooldown.
-            STATE_OPEN => self.opened_at_op.store(now, Ordering::Relaxed),
-            _ => {}
+            STATE_OPEN => {
+                self.opened_at_op.store(now, Ordering::Relaxed);
+                false
+            }
+            _ => false,
         }
     }
 

@@ -47,6 +47,7 @@ use xsearch_engine::engine::SearchResult;
 use xsearch_sgx_sim::boundary::OcallPort;
 use xsearch_sgx_sim::cost::CostModel;
 use xsearch_sgx_sim::epc::EpcGauge;
+use xsearch_telemetry::EnclaveScope;
 
 /// The canonical enclave code region. Its bytes stand in for the measured
 /// binary: brokers expect the measurement of exactly this "code", so a
@@ -126,6 +127,11 @@ pub struct EnclaveState {
     /// Requests served with a reduced k — the privacy cost of the
     /// degradation ladder, surfaced through `degrade_stats`.
     degraded_served: AtomicU64,
+    /// The enclave's telemetry partition: pre-registered, numeric-only
+    /// aggregate handles (see [`EnclaveScope`]). This is the *only*
+    /// telemetry surface in-enclave code may touch — query strings and
+    /// session identifiers cannot cross it by construction.
+    scope: Option<EnclaveScope>,
 }
 
 impl std::fmt::Debug for EnclaveState {
@@ -141,7 +147,21 @@ impl EnclaveState {
     /// The `init` ecall: generates the channel identity and sizes the
     /// history table against the enclave's EPC gauge.
     #[must_use]
-    pub fn init(config: XSearchConfig, epc: &Arc<EpcGauge>, _cost: &CostModel) -> Self {
+    pub fn init(config: XSearchConfig, epc: &Arc<EpcGauge>, cost: &CostModel) -> Self {
+        Self::init_instrumented(config, epc, cost, None)
+    }
+
+    /// The `init` ecall with a telemetry [`EnclaveScope`] attached. The
+    /// scope is built *outside* the enclave at launch, from handles
+    /// pre-registered on the host registry; handing it in here is the
+    /// one and only point telemetry crosses the trust boundary.
+    #[must_use]
+    pub fn init_instrumented(
+        config: XSearchConfig,
+        epc: &Arc<EpcGauge>,
+        _cost: &CostModel,
+        scope: Option<EnclaveScope>,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let identity = StaticSecret::random(&mut rng);
         let identity_pub = identity.public_key();
@@ -158,6 +178,7 @@ impl EnclaveState {
                 .collect(),
             degrade: AtomicUsize::new(0),
             degraded_served: AtomicU64::new(0),
+            scope,
         }
     }
 
@@ -165,6 +186,9 @@ impl EnclaveState {
     /// with `max(1, k - n)` fake queries; level 0 restores full `k`.
     pub fn set_degrade_level(&self, level: usize) {
         self.degrade.store(level, Ordering::Relaxed);
+        if let Some(scope) = &self.scope {
+            scope.set_degrade_level(level as u64);
+        }
     }
 
     /// The current degradation level.
@@ -254,6 +278,9 @@ impl EnclaveState {
         for q in &queries {
             self.history.push(q);
         }
+        if let Some(scope) = &self.scope {
+            scope.set_history_len(self.history.len() as u64);
+        }
         Ok(queries.len())
     }
 
@@ -271,6 +298,29 @@ impl EnclaveState {
     /// [`XSearchError::Crypto`] for tampered ciphertext,
     /// [`XSearchError::Protocol`] for a non-UTF-8 query.
     pub fn request<F>(
+        &self,
+        client_pub: &[u8; 32],
+        ciphertext: &[u8],
+        port: &OcallPort,
+        fetch: F,
+    ) -> Result<Vec<u8>, XSearchError>
+    where
+        F: FnOnce(&[Arc<str>], usize) -> Vec<SearchResult>,
+    {
+        let result = self.request_inner(client_pub, ciphertext, port, fetch);
+        if let Some(scope) = &self.scope {
+            match &result {
+                Ok(_) => {
+                    scope.request_served();
+                    scope.set_history_len(self.history.len() as u64);
+                }
+                Err(_) => scope.error(),
+            }
+        }
+        result
+    }
+
+    fn request_inner<F>(
         &self,
         client_pub: &[u8; 32],
         ciphertext: &[u8],
@@ -302,6 +352,9 @@ impl EnclaveState {
         let k = self.effective_k();
         if k < self.config.k {
             self.degraded_served.fetch_add(1, Ordering::Relaxed);
+            if let Some(scope) = &self.scope {
+                scope.degraded_served();
+            }
         }
         let obfuscated = obfuscate(query, &self.history, k, &mut rng);
 
@@ -352,6 +405,9 @@ impl EnclaveState {
         F: Fn(&[Arc<str>], usize) -> Vec<SearchResult>,
     {
         let requests = decode_request_batch(payload)?;
+        if let Some(scope) = &self.scope {
+            scope.batch_served(requests.len() as u64);
+        }
         let responses: Vec<Result<Vec<u8>, XSearchError>> = requests
             .iter()
             .map(|(client_pub, ciphertext)| self.request(client_pub, ciphertext, port, &fetch))

@@ -19,6 +19,9 @@ use xsearch_net_sim::http::{Request, Response};
 /// * `GET /search?q=<query>` — private search; 200 with one result per
 ///   line (`url<TAB>title<TAB>description`);
 /// * `GET /health` — 200 when the tunnel is established;
+/// * `GET /metrics` — Prometheus-style text exposition of the proxy's
+///   metrics registry (enclave aggregates + host collectors);
+/// * `GET /metrics.json` — the same snapshot as a JSON document;
 /// * anything else — 404.
 ///
 /// Errors from the tunnel map onto 502 (the proxy misbehaved) so the
@@ -39,6 +42,14 @@ fn route(broker: &mut Broker, proxy: &XSearchProxy, request: &Request) -> Respon
     let path = request.target.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
         ("GET", "/health") => Response::ok(b"ok\n".to_vec()),
+        ("GET", "/metrics") => {
+            Response::ok(proxy.registry().snapshot().render_prometheus().into_bytes())
+                .with_header("content-type", "text/plain; version=0.0.4")
+        }
+        ("GET", "/metrics.json") => {
+            Response::ok(proxy.registry().snapshot().render_json().into_bytes())
+                .with_header("content-type", "application/json")
+        }
         ("GET", "/search") => match request.query_param("q") {
             Some(query) if !query.trim().is_empty() => match broker.search(proxy, &query) {
                 Ok(results) => {
@@ -139,6 +150,31 @@ mod tests {
     fn health_route_answers() {
         let (proxy, mut broker) = setup();
         assert_eq!(get(&mut broker, &proxy, "/health").status, 200);
+    }
+
+    #[test]
+    fn metrics_route_exposes_prometheus_text() {
+        let (proxy, mut broker) = setup();
+        let target = format!("/search?q={}", percent_encode("flights hotel"));
+        assert_eq!(get(&mut broker, &proxy, &target).status, 200);
+        let resp = get(&mut broker, &proxy, "/metrics");
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("# TYPE xsearch_enclave_requests_total counter"));
+        assert!(body.contains("xsearch_enclave_requests_total 1"));
+        assert!(body.contains("xsearch_boundary_ecalls"));
+        // The query itself must never appear in the exposition.
+        assert!(!body.contains("flights"));
+    }
+
+    #[test]
+    fn metrics_json_route_exposes_snapshot() {
+        let (proxy, mut broker) = setup();
+        let resp = get(&mut broker, &proxy, "/metrics.json");
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"counters\""));
+        assert!(body.contains("xsearch_enclave_requests_total"));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use xsearch_sgx_sim::epc::EpcGauge;
 use xsearch_sgx_sim::error::SgxError;
 use xsearch_sgx_sim::measurement::Measurement;
 use xsearch_sgx_sim::sealed::SealedBlob;
+use xsearch_telemetry::{EnclaveScope, Registry};
 
 /// The handshake response a broker receives.
 #[derive(Debug, Clone)]
@@ -51,6 +52,11 @@ pub struct XSearchProxy {
     /// ecall boundary. `None` (the default) is a single branch — the
     /// production path pays nothing.
     fault: Option<Arc<dyn FaultInjector>>,
+    /// This node's metrics registry: the enclave's [`EnclaveScope`]
+    /// aggregates plus host-side poll collectors over the boundary, EPC
+    /// and engine-uplink accounting atomics. `http_front` renders it at
+    /// `/metrics`.
+    registry: Arc<Registry>,
 }
 
 impl std::fmt::Debug for XSearchProxy {
@@ -94,15 +100,66 @@ impl XSearchProxy {
         service: EngineService,
         ias: &AttestationService,
     ) -> Self {
+        let registry = Arc::new(Registry::new());
+        // The privacy partition: the enclave never touches the registry —
+        // it receives this scope of pre-registered numeric-only handles,
+        // built out here before the enclave exists.
+        let scope = EnclaveScope::register(&registry);
         let enclave = EnclaveBuilder::new("xsearch-proxy")
             .with_code(ENCLAVE_CODE_V1)
             .with_provisioning_key(ias.provisioning_key())
-            .build_with(|epc, cost| EnclaveState::init(config, epc, cost));
+            .build_with(|epc, cost| {
+                EnclaveState::init_instrumented(config, epc, cost, Some(scope))
+            });
+        // Host-side collectors: read existing accounting atomics at
+        // snapshot time, so the instrumented request path pays nothing.
+        let boundary = enclave.boundary();
+        registry.poll(
+            "xsearch_boundary_ecalls",
+            "Enclave transitions (ecalls) performed",
+            &[],
+            move || boundary.ecalls() as f64,
+        );
+        let boundary = enclave.boundary();
+        registry.poll(
+            "xsearch_boundary_ocalls",
+            "Ocalls performed across the boundary",
+            &[],
+            move || boundary.ocalls() as f64,
+        );
+        let epc = enclave.epc();
+        registry.poll(
+            "xsearch_epc_used_bytes",
+            "EPC-protected memory currently in use",
+            &[],
+            move || epc.used() as f64,
+        );
+        let (accounted_ns, fetch_wall_ns) = service.accounting_handles();
+        registry.poll(
+            "xsearch_engine_accounted_delay_us",
+            "Modeled engine service time charged, microseconds",
+            &[],
+            move || accounted_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e3,
+        );
+        registry.poll(
+            "xsearch_engine_fetch_wall_us",
+            "Caller wall time spent inside engine evaluations, microseconds",
+            &[],
+            move || fetch_wall_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e3,
+        );
         XSearchProxy {
             enclave,
             service,
             fault: None,
+            registry,
         }
+    }
+
+    /// This node's metrics registry (enclave aggregates + host-side
+    /// boundary/EPC/engine collectors).
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Installs a deterministic fault injector at the ecall boundary

@@ -128,6 +128,12 @@ impl LatencyHistogram {
         }
     }
 
+    /// Sum of all recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Value at quantile `q` in [0, 1], with bucket-granularity error.
     ///
     /// # Panics
@@ -170,6 +176,142 @@ impl LatencyHistogram {
             self.quantile(0.99),
             self.quantile(0.999),
         )
+    }
+}
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free log-bucketed histogram for concurrent recorders.
+///
+/// Shares the exact bucket layout of [`LatencyHistogram`], so a
+/// [`AtomicHistogram::snapshot`] merges into one losslessly: recording
+/// values through any number of threads and snapshotting is observably
+/// identical (count, sum, min, max, every quantile) to recording the
+/// same values into a single `LatencyHistogram`.
+///
+/// `record` is two relaxed `fetch_add`s on the hot path (bucket slot and
+/// count) plus sum/min/max maintenance — no locks, no allocation — so it
+/// is safe to call from latency-critical request paths.
+///
+/// # Example
+///
+/// ```
+/// use xsearch_metrics::histogram::AtomicHistogram;
+///
+/// let h = AtomicHistogram::new();
+/// h.record(250);
+/// h.record(4_000);
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 2);
+/// assert_eq!(snap.min(), 250);
+/// assert_eq!(snap.max(), 4_000);
+/// ```
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        AtomicHistogram {
+            counts: (0..MAJOR_BUCKETS * SUB_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock-free; callable from any thread
+    /// through a shared reference.
+    pub fn record(&self, value: u64) {
+        let idx = LatencyHistogram::index_of(value).min(self.counts.len() - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (wraps above `u64::MAX`; the workloads
+    /// here record microseconds and stay far below).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Resets every bucket and aggregate back to the empty state.
+    ///
+    /// Not atomic with respect to concurrent recorders: values recorded
+    /// during the reset may be partially dropped. Intended for bench
+    /// phase boundaries where recorders are quiescent.
+    pub fn reset(&self) {
+        for slot in &self.counts {
+            slot.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Materializes a mergeable [`LatencyHistogram`] snapshot.
+    ///
+    /// The snapshot is not a point-in-time cut under concurrent writes
+    /// (relaxed loads per bucket), but every recorded value lands in
+    /// exactly one future snapshot's bucket, so quiescent snapshots are
+    /// exact.
+    #[must_use]
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut count = 0u64;
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|slot| {
+                let c = slot.load(Ordering::Relaxed);
+                count += c;
+                c
+            })
+            .collect();
+        let min = self.min.load(Ordering::Relaxed);
+        LatencyHistogram {
+            counts,
+            count,
+            sum: u128::from(self.sum.load(Ordering::Relaxed)),
+            min,
+            max: self.max.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -337,6 +479,122 @@ mod tests {
             for i in 0..=20 {
                 let q = f64::from(i) / 20.0;
                 prop_assert_eq!(a.quantile(q), one.quantile(q), "q = {}", q);
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_histogram_starts_empty() {
+        let h = AtomicHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.min(), 0);
+        assert_eq!(snap.max(), 0);
+        assert_eq!(snap.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn atomic_snapshot_merges_into_latency_histogram() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = LatencyHistogram::new();
+        plain.record(10);
+        atomic.record(500_000);
+        plain.merge(&atomic.snapshot());
+        assert_eq!(plain.count(), 2);
+        assert_eq!(plain.min(), 10);
+        assert_eq!(plain.max(), 500_000);
+    }
+
+    #[test]
+    fn atomic_reset_returns_to_empty() {
+        let h = AtomicHistogram::new();
+        for v in [1u64, 100, 10_000] {
+            h.record(v);
+        }
+        h.reset();
+        assert_eq!(h.count(), 0);
+        let snap = h.snapshot();
+        assert_eq!((snap.count(), snap.min(), snap.max()), (0, 0, 0));
+        // And it keeps recording correctly after the reset.
+        h.record(7);
+        assert_eq!(h.snapshot().min(), 7);
+    }
+
+    /// The satellite acceptance test: eight concurrent recorders into one
+    /// `AtomicHistogram` must be observably identical — count, mean,
+    /// p50/p99, min, max — to recording the same values single-threaded
+    /// and merging.
+    #[test]
+    fn eight_thread_atomic_recorder_equals_single_thread_merge() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 5_000;
+        // Deterministic per-thread value streams.
+        let streams: Vec<Vec<u64>> = (0..THREADS)
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(0xA70_0000 + t as u64);
+                (0..PER_THREAD)
+                    .map(|_| rng.gen_range(1..50_000_000))
+                    .collect()
+            })
+            .collect();
+
+        let atomic = AtomicHistogram::new();
+        std::thread::scope(|scope| {
+            for stream in &streams {
+                let atomic = &atomic;
+                scope.spawn(move || {
+                    for &v in stream {
+                        atomic.record(v);
+                    }
+                });
+            }
+        });
+
+        // Reference: one single-threaded recorder per stream, merged.
+        let mut reference = LatencyHistogram::new();
+        for stream in &streams {
+            let mut per_thread = LatencyHistogram::new();
+            for &v in stream {
+                per_thread.record(v);
+            }
+            reference.merge(&per_thread);
+        }
+
+        let snap = atomic.snapshot();
+        assert_eq!(snap.count(), reference.count());
+        assert_eq!(snap.min(), reference.min());
+        assert_eq!(snap.max(), reference.max());
+        assert!((snap.mean() - reference.mean()).abs() < 1e-9);
+        for i in 0..=100 {
+            let q = f64::from(i) / 100.0;
+            assert_eq!(snap.quantile(q), reference.quantile(q), "q = {q}");
+        }
+    }
+
+    proptest! {
+        /// Bucket-layout equivalence: for any value set, an
+        /// `AtomicHistogram` snapshot and a `LatencyHistogram` agree on
+        /// every observable.
+        #[test]
+        fn atomic_and_plain_histograms_agree(
+            values in proptest::collection::vec(0u64..10_000_000, 0..300),
+        ) {
+            let atomic = AtomicHistogram::new();
+            let mut plain = LatencyHistogram::new();
+            for &v in &values {
+                atomic.record(v);
+                plain.record(v);
+            }
+            let snap = atomic.snapshot();
+            prop_assert_eq!(snap.count(), plain.count());
+            prop_assert_eq!(snap.min(), plain.min());
+            prop_assert_eq!(snap.max(), plain.max());
+            prop_assert!((snap.mean() - plain.mean()).abs() < 1e-9);
+            for i in 0..=20 {
+                let q = f64::from(i) / 20.0;
+                prop_assert_eq!(snap.quantile(q), plain.quantile(q), "q = {}", q);
             }
         }
     }

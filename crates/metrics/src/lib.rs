@@ -20,4 +20,4 @@ pub mod series;
 
 pub use accuracy::PrecisionRecall;
 pub use distribution::Empirical;
-pub use histogram::LatencyHistogram;
+pub use histogram::{AtomicHistogram, LatencyHistogram};

@@ -44,11 +44,12 @@ pub struct EngineService {
     exec: Exec,
     /// Total modeled service time charged so far (ns) — harnesses read
     /// per-request deltas instead of re-deriving the model outside the
-    /// pipeline.
-    accounted_ns: AtomicU64,
+    /// pipeline. `Arc`-shared so a metrics registry can poll it without
+    /// borrowing the service.
+    accounted_ns: Arc<AtomicU64>,
     /// Total caller wall time spent inside evaluations (ns) — see
     /// [`EngineService::accounted_fetch_wall`].
-    fetch_wall_ns: AtomicU64,
+    fetch_wall_ns: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for EngineService {
@@ -94,8 +95,8 @@ impl EngineService {
             service_time,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             exec: Exec::Pool(pool),
-            accounted_ns: AtomicU64::new(0),
-            fetch_wall_ns: AtomicU64::new(0),
+            accounted_ns: Arc::new(AtomicU64::new(0)),
+            fetch_wall_ns: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -110,8 +111,8 @@ impl EngineService {
             service_time,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             exec: Exec::Serial,
-            accounted_ns: AtomicU64::new(0),
-            fetch_wall_ns: AtomicU64::new(0),
+            accounted_ns: Arc::new(AtomicU64::new(0)),
+            fetch_wall_ns: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -194,6 +195,18 @@ impl EngineService {
     #[must_use]
     pub fn accounted_fetch_wall(&self) -> Duration {
         Duration::from_nanos(self.fetch_wall_ns.load(Ordering::Relaxed))
+    }
+
+    /// Shared handles to the accounting atomics
+    /// `(accounted_ns, fetch_wall_ns)`, so a metrics registry can poll
+    /// the pool's charge counters at snapshot time without borrowing the
+    /// service.
+    #[must_use]
+    pub fn accounting_handles(&self) -> (Arc<AtomicU64>, Arc<AtomicU64>) {
+        (
+            Arc::clone(&self.accounted_ns),
+            Arc::clone(&self.fetch_wall_ns),
+        )
     }
 
     fn charge(&self, delay: Duration) {

@@ -17,7 +17,10 @@
 //! * [`attack`] — the SimAttack re-identification adversary;
 //! * [`sgx`] — the SGX model (EPC, measurement, attestation, sealing);
 //! * [`engine`] — the simulated search engine;
-//! * [`query_log`] — AOL-schema logs (parser + calibrated synthesizer).
+//! * [`query_log`] — AOL-schema logs (parser + calibrated synthesizer);
+//! * [`telemetry`] — the lock-free observability layer: sharded metrics
+//!   registry, trust-boundary-aware [`telemetry::EnclaveScope`], and the
+//!   flight recorder the chaos harness dumps on failure.
 //!
 //! # Quickstart
 //!
@@ -55,5 +58,6 @@ pub use xsearch_metrics as metrics;
 pub use xsearch_net_sim as net_sim;
 pub use xsearch_query_log as query_log;
 pub use xsearch_sgx_sim as sgx;
+pub use xsearch_telemetry as telemetry;
 pub use xsearch_text as text;
 pub use xsearch_workload as workload;
