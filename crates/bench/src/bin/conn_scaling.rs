@@ -1,0 +1,441 @@
+//! **Connection scaling**: how many simulated sessions the event-driven
+//! front tier holds, and what each idle one costs.
+//!
+//! The thread-per-request harnesses measure the enclave hot path; this
+//! harness measures the *front*: the readiness reactor, the framed
+//! per-connection state machines, and the idle-memory discipline that
+//! makes a six-figure connection count affordable. Three phases:
+//!
+//! 1. **Idle sweep** — 10 k → 1 M accepted sessions (mostly idle, as a
+//!    search front's population is), single shard, manual stepping. The
+//!    gate is the *accounted* per-session footprint
+//!    ([`ByteStream::mem_bytes`] and friends, not an RSS sample — the
+//!    figure is deterministic) against the documented
+//!    [`IDLE_SESSION_BYTE_BUDGET`].
+//! 2. **Active subset under churn** — a threaded front carrying idle
+//!    ballast plus a small active session pool driven by the open-loop
+//!    generator (a fixed-rate approximation of the Poisson-active
+//!    subset), while a churn thread connects, attests, echoes, and
+//!    disconnects ephemeral framed clients the whole time. Reported:
+//!    sustained req/s and p99 under that churn.
+//! 3. **Replay gate** — a fixed interleaved transcript on one shard,
+//!    run twice clean and twice under a deterministic
+//!    [`FaultPlan`]; both pairs must be byte-identical (raw reply
+//!    frames compared directly — no hashing).
+//!
+//! Env knobs: `CONN_MAX_SESSIONS` caps the idle tiers (CI smoke uses
+//! 10 000); `CONN_POINT_MS` shortens each active measured point;
+//! `BENCH_CONN_JSON` overrides the summary path.
+//!
+//! Run: `cargo run -p xsearch-bench --release --bin conn_scaling`
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xsearch_bench::sessions::FrontSessions;
+use xsearch_bench::summary::{capacity, json_points, write_summary};
+use xsearch_cluster::{
+    Cluster, ClusterConfig, FaultPlan, FaultSpec, FramedClient, FrontConfig, FrontTier,
+    IDLE_SESSION_BYTE_BUDGET,
+};
+use xsearch_core::config::XSearchConfig;
+use xsearch_core::wire::encode_conn_request_into;
+use xsearch_core::Broker;
+use xsearch_engine::corpus::CorpusConfig;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_net_sim::{encode_frame_into, ByteStream, FrameDecoder, StreamError};
+use xsearch_workload::runner::sweep_rates;
+use xsearch_workload::RunReport;
+
+/// Idle-sweep tiers; `CONN_MAX_SESSIONS` drops the ones above the cap.
+const IDLE_TIERS: &[usize] = &[10_000, 100_000, 1_000_000];
+/// Idle ballast carried through the active phase.
+const BALLAST: usize = 2_000;
+/// Attested framed sessions in the active pool.
+const ACTIVE_SESSIONS: usize = 32;
+/// Generator threads for the active sweep.
+const THREADS: usize = 4;
+/// Offered-rate ladder for the active subset.
+const ACTIVE_RATES: &[f64] = &[
+    500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0, 32_000.0, 64_000.0,
+];
+
+const QUERY: &str = "cheap flights paris";
+
+fn point_duration() -> Duration {
+    xsearch_bench::summary::point_duration("CONN_POINT_MS", 800)
+}
+
+fn max_sessions() -> usize {
+    std::env::var("CONN_MAX_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1_000_000, |n| n.max(1_000))
+}
+
+/// A small fleet: the front is the subject; the enclave tier behind it
+/// only needs to exist.
+fn fleet(faults: Option<Arc<FaultPlan>>) -> Arc<Cluster> {
+    let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 5,
+        ..Default::default()
+    }));
+    Arc::new(Cluster::launch(
+        engine,
+        ClusterConfig {
+            replicas: 4,
+            proxy: XSearchConfig {
+                k: 2,
+                history_capacity: 1_000_000,
+                ..Default::default()
+            },
+            faults,
+            ..Default::default()
+        },
+    ))
+}
+
+/// One idle tier's result.
+struct IdleTier {
+    sessions: usize,
+    accounted_bytes: usize,
+    accept_ms: f64,
+    account_ms: f64,
+}
+
+impl IdleTier {
+    fn bytes_per_session(&self) -> f64 {
+        self.accounted_bytes as f64 / self.sessions.max(1) as f64
+    }
+
+    fn within_budget(&self) -> bool {
+        self.bytes_per_session() <= IDLE_SESSION_BYTE_BUDGET as f64
+    }
+}
+
+/// Phase 1: accept `n` sessions that never send a byte, adopt them onto
+/// one manually-stepped shard, and account their footprint.
+fn idle_tier(n: usize) -> IdleTier {
+    let cluster = fleet(None);
+    let front = FrontTier::new(&cluster, FrontConfig::default());
+    let start = Instant::now();
+    // Client ends must stay alive: dropping one closes the pair and the
+    // front reaps the session.
+    let mut held: Vec<ByteStream> = Vec::with_capacity(n);
+    for _ in 0..n {
+        held.push(front.accept());
+    }
+    // One step adopts everything queued on the shard's accept list.
+    front.step();
+    let accept_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(front.connections(), n, "adoption lost sessions");
+    let start = Instant::now();
+    let (sessions, accounted_bytes) = front.account_idle();
+    let account_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(sessions, n, "idle accounting missed sessions");
+    drop(held);
+    IdleTier {
+        sessions: n,
+        accounted_bytes,
+        accept_ms,
+        account_ms,
+    }
+}
+
+/// Phase 2 result.
+struct ActiveRun {
+    reports: Vec<RunReport>,
+    churn_cycles: u64,
+    churn_failures: u64,
+    idle_bytes_per_session_after: f64,
+}
+
+/// Phase 2: threaded front, idle ballast, open-loop load over the active
+/// pool, ephemeral connect/attest/echo/disconnect churn throughout.
+fn active_run() -> ActiveRun {
+    let cluster = fleet(None);
+    let front = Arc::new(FrontTier::new(
+        &cluster,
+        FrontConfig {
+            shards: 2,
+            ..FrontConfig::default()
+        },
+    ));
+    front.spawn();
+    let _ballast: Vec<ByteStream> = (0..BALLAST).map(|_| front.accept()).collect();
+    let active = FrontSessions::attach(&cluster, &front, ACTIVE_SESSIONS, 500_000);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let cycles = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+    let churn = {
+        let cluster = Arc::clone(&cluster);
+        let front = Arc::clone(&front);
+        let stop = Arc::clone(&stop);
+        let cycles = Arc::clone(&cycles);
+        let failures = Arc::clone(&failures);
+        std::thread::spawn(move || {
+            let mut seed = 900_000u64;
+            while !stop.load(Ordering::Relaxed) {
+                seed += 1;
+                let ok = FramedClient::connect(&cluster, &front, seed).is_ok_and(|mut client| {
+                    let ok = client
+                        .search_with(QUERY, true, std::thread::yield_now)
+                        .is_ok();
+                    client.close();
+                    ok
+                });
+                cycles.fetch_add(1, Ordering::Relaxed);
+                if !ok {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+
+    let reports = sweep_rates(ACTIVE_RATES, point_duration(), THREADS, &|| {
+        active.echo(&cluster, QUERY)
+    });
+
+    stop.store(true, Ordering::Relaxed);
+    churn.join().expect("churn thread");
+    // Post-load idle hygiene: the ballast must have fallen back to its
+    // floor cost even after the front carried real traffic.
+    let (sessions, bytes) = front.account_idle();
+    let idle_bytes_per_session_after = bytes as f64 / sessions.max(1) as f64;
+    front.shutdown();
+    ActiveRun {
+        reports,
+        churn_cycles: cycles.load(Ordering::Relaxed),
+        churn_failures: failures.load(Ordering::Relaxed),
+        idle_bytes_per_session_after,
+    }
+}
+
+/// A hand-rolled raw framed session exposing exact reply bytes.
+struct RawSession {
+    broker: Broker,
+    stream: ByteStream,
+    decoder: FrameDecoder,
+}
+
+impl RawSession {
+    fn open(cluster: &Cluster, front: &FrontTier, seed: u64) -> RawSession {
+        let client_pub = Broker::client_pub_for_seed(seed);
+        let replica = cluster.route(client_pub.as_bytes()).unwrap();
+        let broker = cluster
+            .with_replica(replica, |proxy| {
+                Broker::attach(proxy, cluster.ias(), cluster.expected_measurement(), seed)
+            })
+            .unwrap()
+            .unwrap();
+        RawSession {
+            broker,
+            stream: front.accept(),
+            decoder: FrameDecoder::new(),
+        }
+    }
+
+    fn send(&mut self, front: &FrontTier, query: &str) {
+        let ciphertext = self.broker.seal_query(query);
+        let mut payload = Vec::new();
+        encode_conn_request_into(
+            self.broker.client_pub().as_bytes(),
+            &ciphertext,
+            true,
+            &mut payload,
+        );
+        let mut framed = Vec::new();
+        encode_frame_into(&payload, &mut framed);
+        let mut written = 0;
+        while written < framed.len() {
+            match self.stream.write(&framed[written..]) {
+                Ok(n) => written += n,
+                Err(StreamError::WouldBlock) => {
+                    front.step();
+                }
+                Err(StreamError::Closed) => panic!("front closed the connection"),
+            }
+        }
+    }
+
+    fn recv(&mut self, front: &FrontTier) -> Vec<u8> {
+        for _ in 0..10_000 {
+            front.step();
+            self.decoder.read_from(&self.stream, 4096).ok();
+            if let Some(frame) = self.decoder.next_frame().unwrap() {
+                return frame.to_vec();
+            }
+        }
+        panic!("no reply within the step budget");
+    }
+}
+
+/// The deterministic chaos plan the replay gate runs under: link loss,
+/// latency spikes, one stalled replica — enough to exercise the error
+/// paths without making the transcript all noise.
+fn chaos_plan() -> Arc<FaultPlan> {
+    Arc::new(FaultPlan::new(
+        FaultSpec {
+            loss: 0.1,
+            spike_prob: 0.2,
+            spike: Duration::from_millis(5),
+            stalled: vec![1],
+            stall: Duration::from_millis(2),
+            ..Default::default()
+        },
+        7,
+        4,
+    ))
+}
+
+/// Phase 3: a fixed interleaved workload on one manually-stepped shard.
+/// Returns every reply frame's raw bytes in arrival order.
+fn transcript(faults: Option<Arc<FaultPlan>>) -> Vec<Vec<u8>> {
+    let cluster = fleet(faults);
+    let front = FrontTier::new(&cluster, FrontConfig::default());
+    let mut sessions: Vec<RawSession> = (0..4)
+        .map(|i| RawSession::open(&cluster, &front, 1000 + i))
+        .collect();
+    let mut replies = Vec::new();
+    for round in 0..3 {
+        for (i, session) in sessions.iter_mut().enumerate() {
+            session.send(&front, &format!("client{i} round{round}"));
+        }
+        for session in &mut sessions {
+            replies.push(session.recv(&front));
+        }
+    }
+    replies
+}
+
+fn main() {
+    let cap = max_sessions();
+    let point = point_duration();
+
+    // Phase 1: idle sweep.
+    let mut tiers = Vec::new();
+    for &n in IDLE_TIERS.iter().filter(|&&n| n <= cap) {
+        eprintln!("idle tier: {n} sessions...");
+        let tier = idle_tier(n);
+        eprintln!(
+            "  {} sessions: {:.1} B/session (budget {IDLE_SESSION_BYTE_BUDGET}), accept+adopt {:.0} ms, account {:.0} ms",
+            tier.sessions,
+            tier.bytes_per_session(),
+            tier.accept_ms,
+            tier.account_ms,
+        );
+        tiers.push(tier);
+    }
+
+    // Phase 2: active subset under churn.
+    eprintln!("active subset: {ACTIVE_SESSIONS} sessions over {BALLAST} idle, churn alongside...");
+    let active = active_run();
+    let best = active
+        .reports
+        .iter()
+        .filter(|r| r.kept_up())
+        .max_by(|a, b| a.achieved_rate().total_cmp(&b.achieved_rate()));
+    let p99_at_capacity = best.map_or(f64::NAN, RunReport::p99_latency_ms);
+    eprintln!(
+        "  sustained {:.0} req/s, p99 {:.2} ms, churn cycles {} ({} failed)",
+        capacity(&active.reports),
+        p99_at_capacity,
+        active.churn_cycles,
+        active.churn_failures,
+    );
+
+    // Phase 3: replay gates.
+    eprintln!("replay gate: clean...");
+    let clean_a = transcript(None);
+    let clean_b = transcript(None);
+    eprintln!("replay gate: chaos...");
+    let chaos_a = transcript(Some(chaos_plan()));
+    let chaos_b = transcript(Some(chaos_plan()));
+    let clean_identical = clean_a == clean_b;
+    let chaos_identical = chaos_a == chaos_b;
+    eprintln!(
+        "  clean identical={clean_identical} ({} frames), chaos identical={chaos_identical} ({} frames)",
+        clean_a.len(),
+        chaos_a.len(),
+    );
+
+    let budget_ok = tiers.iter().all(IdleTier::within_budget);
+    let pass = budget_ok && clean_identical && chaos_identical;
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"point_ms\": {}, \"max_sessions\": {cap}, \"idle_budget_bytes\": {IDLE_SESSION_BYTE_BUDGET},",
+        point.as_millis()
+    );
+    out.push_str("  \"idle\": [\n");
+    for (i, t) in tiers.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"sessions\": {}, \"accounted_bytes\": {}, \"bytes_per_session\": {:.1}, \"accept_ms\": {:.1}, \"account_ms\": {:.1}, \"within_budget\": {}}}",
+            t.sessions,
+            t.accounted_bytes,
+            t.bytes_per_session(),
+            t.accept_ms,
+            t.account_ms,
+            t.within_budget(),
+        );
+        if i + 1 < tiers.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"active\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"idle_ballast\": {BALLAST}, \"sessions\": {ACTIVE_SESSIONS}, \"threads\": {THREADS},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"max_sustained_rps\": {:.1}, \"p99_ms_at_capacity\": {p99_at_capacity:.3},",
+        capacity(&active.reports)
+    );
+    let _ = writeln!(
+        out,
+        "    \"churn_cycles\": {}, \"churn_failures\": {}, \"idle_bytes_per_session_after\": {:.1},",
+        active.churn_cycles, active.churn_failures, active.idle_bytes_per_session_after
+    );
+    out.push_str("    \"points\": ");
+    json_points(&mut out, &active.reports);
+    out.push_str("\n  },\n");
+    let _ = writeln!(
+        out,
+        "  \"replay\": {{\"frames\": {}, \"clean_identical\": {clean_identical}, \"chaos_frames\": {}, \"chaos_identical\": {chaos_identical}}},",
+        clean_a.len(),
+        chaos_a.len()
+    );
+    let _ = writeln!(out, "  \"pass\": {pass}");
+    out.push_str("}\n");
+    write_summary("BENCH_CONN_JSON", "BENCH_conn.json", &out);
+
+    println!();
+    println!("# conn scaling");
+    for t in &tiers {
+        println!(
+            "idle sessions={} bytes_per_session={:.1} budget={IDLE_SESSION_BYTE_BUDGET} ok={}",
+            t.sessions,
+            t.bytes_per_session(),
+            t.within_budget()
+        );
+    }
+    println!(
+        "active sustained={:.0} req/s p99={p99_at_capacity:.2} ms churn={} cycles",
+        capacity(&active.reports),
+        active.churn_cycles
+    );
+    println!("replay clean={clean_identical} chaos={chaos_identical}");
+    if !pass {
+        eprintln!("FAIL: idle budget or replay gate violated");
+        std::process::exit(1);
+    }
+}

@@ -35,16 +35,11 @@ use xsearch_baselines::peas::{
     CooccurrenceMatrix, PeasClient, PeasFakeGenerator, PeasIssuer, PeasReceiver,
 };
 use xsearch_baselines::tor::network::TorNetwork;
+use xsearch_bench::sessions::BrokerPool;
 use xsearch_bench::summary::{capacity, json_points, write_summary};
 use xsearch_bench::{Dataset, EXPERIMENT_SEED};
-use xsearch_core::broker::Broker;
-use xsearch_core::config::XSearchConfig;
-use xsearch_core::proxy::XSearchProxy;
-use xsearch_engine::corpus::CorpusConfig;
-use xsearch_engine::engine::SearchEngine;
 use xsearch_metrics::series::Table;
 use xsearch_query_log::record::UserId;
-use xsearch_sgx_sim::attestation::AttestationService;
 use xsearch_workload::runner::sweep_rates;
 use xsearch_workload::RunReport;
 
@@ -90,40 +85,10 @@ fn round_robin<T>(pool: &[Mutex<T>], counter: &AtomicUsize) -> usize {
     counter.fetch_add(1, Ordering::Relaxed) % pool.len()
 }
 
-/// Builds one warmed proxy plus its attested broker pool.
-fn warmed_proxy(warm: &[String]) -> (XSearchProxy, Vec<Mutex<Broker>>) {
-    let ias = AttestationService::from_seed(EXPERIMENT_SEED);
-    // Tiny corpus: the engine is out of the measured path (echo mode).
-    let engine = Arc::new(SearchEngine::build(&CorpusConfig {
-        docs_per_topic: 5,
-        ..Default::default()
-    }));
-    let proxy = XSearchProxy::launch(
-        XSearchConfig {
-            k: K,
-            history_capacity: 1_000_000,
-            ..Default::default()
-        },
-        engine,
-        &ias,
-    );
-    proxy.seed_history(warm.iter().take(10_000).map(String::as_str));
-    let brokers: Vec<Mutex<Broker>> = (0..SESSIONS)
-        .map(|i| {
-            Mutex::new(
-                Broker::attach(&proxy, &ias, proxy.expected_measurement(), i as u64).unwrap(),
-            )
-        })
-        .collect();
-    (proxy, brokers)
-}
-
 fn xsearch_reports(warm: &[String]) -> Vec<RunReport> {
-    let (proxy, brokers) = warmed_proxy(warm);
-    let counter = AtomicUsize::new(0);
+    let pool = BrokerPool::warmed(K, SESSIONS, warm);
     sweep_rates(XSEARCH_RATES, point_duration(), THREADS, &|| {
-        let idx = round_robin(&brokers, &counter);
-        let ok = brokers[idx].lock().search_echo(&proxy, QUERY).is_ok();
+        let ok = pool.echo(QUERY);
         xsearch_net_sim::station::busy_wait(SGX_TRANSITION_PAY);
         ok
     })
@@ -141,15 +106,13 @@ fn xsearch_reports(warm: &[String]) -> Vec<RunReport> {
 /// sweep exists to expose. Transition costs remain *accounted* in the
 /// proxy's [`xsearch_sgx_sim::boundary::BoundaryStats`] either way.
 fn scaling_reports(warm: &[String]) -> Vec<(usize, Vec<RunReport>)> {
-    let (proxy, brokers) = warmed_proxy(warm);
+    let pool = BrokerPool::warmed(K, SESSIONS, warm);
     SCALING_THREADS
         .iter()
         .map(|&threads| {
             eprintln!("  scaling: {threads} generator thread(s)...");
-            let counter = AtomicUsize::new(0);
             let reports = sweep_rates(SCALING_RATES, point_duration(), threads, &|| {
-                let idx = round_robin(&brokers, &counter);
-                brokers[idx].lock().search_echo(&proxy, QUERY).is_ok()
+                pool.echo(QUERY)
             });
             (threads, reports)
         })

@@ -31,14 +31,11 @@
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
+use xsearch_bench::sessions::BrokerPool;
 use xsearch_bench::summary::{registry_json, write_summary};
-use xsearch_bench::{Dataset, EXPERIMENT_SEED};
+use xsearch_bench::Dataset;
 use xsearch_core::broker::Broker;
-use xsearch_core::config::XSearchConfig;
 use xsearch_core::proxy::XSearchProxy;
-use xsearch_engine::corpus::CorpusConfig;
-use xsearch_engine::engine::SearchEngine;
-use xsearch_sgx_sim::attestation::AttestationService;
 
 const K: usize = 3;
 /// Generator threads, one attested session each (matches the fig-5
@@ -60,28 +57,10 @@ fn trials() -> usize {
         .map_or(5, |n| n.max(1))
 }
 
-/// One warmed proxy plus one attested broker per generator thread.
+/// One warmed proxy plus one attested broker per generator thread —
+/// the shared [`BrokerPool`] recipe, dissolved for per-thread sessions.
 fn warmed_proxy(warm: &[String]) -> (XSearchProxy, Vec<Broker>) {
-    let ias = AttestationService::from_seed(EXPERIMENT_SEED);
-    // Tiny corpus: the engine is out of the measured path (echo mode).
-    let engine = std::sync::Arc::new(SearchEngine::build(&CorpusConfig {
-        docs_per_topic: 5,
-        ..Default::default()
-    }));
-    let proxy = XSearchProxy::launch(
-        XSearchConfig {
-            k: K,
-            history_capacity: 1_000_000,
-            ..Default::default()
-        },
-        engine,
-        &ias,
-    );
-    proxy.seed_history(warm.iter().take(10_000).map(String::as_str));
-    let brokers = (0..THREADS)
-        .map(|i| Broker::attach(&proxy, &ias, proxy.expected_measurement(), i as u64).unwrap())
-        .collect();
-    (proxy, brokers)
+    BrokerPool::warmed(K, THREADS, warm).into_parts()
 }
 
 /// Closed-loop pump: every thread hammers `search_echo` on its own

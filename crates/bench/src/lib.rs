@@ -7,6 +7,7 @@
 
 #![deny(missing_docs)]
 
+pub mod sessions;
 pub mod summary;
 
 use rand::rngs::StdRng;

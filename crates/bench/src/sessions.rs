@@ -1,0 +1,153 @@
+//! Shared session machinery for the experiment harnesses.
+//!
+//! Two front paths exist: the original in-process broker↔proxy calls
+//! (what fig5/obs_overhead measure) and the event-driven framed path
+//! through [`FrontTier`] (what `conn_scaling` measures). Both pools
+//! live here so the harness loops can't drift apart — one warmed-proxy
+//! recipe, one attach recipe, one round-robin driver each.
+
+use crate::EXPERIMENT_SEED;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use xsearch_cluster::{Cluster, ClusterError, FramedClient, FrontTier};
+use xsearch_core::broker::Broker;
+use xsearch_core::config::XSearchConfig;
+use xsearch_core::proxy::XSearchProxy;
+use xsearch_engine::corpus::CorpusConfig;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_sgx_sim::attestation::AttestationService;
+
+/// One warmed single-proxy deployment plus a pool of attested broker
+/// sessions, shared round-robin by the generator threads. This is the
+/// thread-per-request harness core fig5 and obs_overhead both drive.
+pub struct BrokerPool {
+    proxy: XSearchProxy,
+    brokers: Vec<Mutex<Broker>>,
+    counter: AtomicUsize,
+}
+
+impl BrokerPool {
+    /// Launches a proxy (tiny corpus — echo mode keeps the engine out
+    /// of the measured path), warms its history, and attests
+    /// `sessions` brokers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when attestation fails — that is broken setup, not data.
+    #[must_use]
+    pub fn warmed(k: usize, sessions: usize, warm: &[String]) -> Self {
+        let ias = AttestationService::from_seed(EXPERIMENT_SEED);
+        let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+            docs_per_topic: 5,
+            ..Default::default()
+        }));
+        let proxy = XSearchProxy::launch(
+            XSearchConfig {
+                k,
+                history_capacity: 1_000_000,
+                ..Default::default()
+            },
+            engine,
+            &ias,
+        );
+        proxy.seed_history(warm.iter().take(10_000).map(String::as_str));
+        let brokers = (0..sessions)
+            .map(|i| {
+                Mutex::new(
+                    Broker::attach(&proxy, &ias, proxy.expected_measurement(), i as u64).unwrap(),
+                )
+            })
+            .collect();
+        BrokerPool {
+            proxy,
+            brokers,
+            counter: AtomicUsize::new(0),
+        }
+    }
+
+    /// The warmed proxy.
+    #[must_use]
+    pub fn proxy(&self) -> &XSearchProxy {
+        &self.proxy
+    }
+
+    /// One echo-mode request on the next session round-robin; `true` on
+    /// success. This is the service closure the open-loop runner calls.
+    pub fn echo(&self, query: &str) -> bool {
+        let idx = self.counter.fetch_add(1, Ordering::Relaxed) % self.brokers.len();
+        self.brokers[idx]
+            .lock()
+            .search_echo(&self.proxy, query)
+            .is_ok()
+    }
+
+    /// Dissolves the pool into its proxy and unshared brokers, for
+    /// harnesses that pin one session per generator thread.
+    #[must_use]
+    pub fn into_parts(self) -> (XSearchProxy, Vec<Broker>) {
+        (
+            self.proxy,
+            self.brokers.into_iter().map(Mutex::into_inner).collect(),
+        )
+    }
+}
+
+/// A pool of framed sessions over the event-driven front tier — the
+/// reactor-driven counterpart of [`BrokerPool`]. Drive the front in
+/// threaded mode ([`FrontTier::spawn`]); the pump is a yield.
+pub struct FrontSessions {
+    clients: Vec<Mutex<FramedClient>>,
+    counter: AtomicUsize,
+}
+
+impl FrontSessions {
+    /// Attests `sessions` framed clients (seeds `seed_base..`), each
+    /// with its own connection to the front.
+    ///
+    /// # Panics
+    ///
+    /// Panics when routing or attestation fails.
+    #[must_use]
+    pub fn attach(cluster: &Cluster, front: &FrontTier, sessions: usize, seed_base: u64) -> Self {
+        let clients = (0..sessions)
+            .map(|i| {
+                Mutex::new(FramedClient::connect(cluster, front, seed_base + i as u64).unwrap())
+            })
+            .collect();
+        FrontSessions {
+            clients,
+            counter: AtomicUsize::new(0),
+        }
+    }
+
+    /// Sessions in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// True when the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// One echo request on the next framed session round-robin; `true`
+    /// on success. A shed request ([`ClusterError::Overloaded`])
+    /// re-attests the session — its send counter advanced past what the
+    /// enclave saw — and counts as a failure, mirroring how the
+    /// synchronous harnesses count sheds.
+    pub fn echo(&self, cluster: &Cluster, query: &str) -> bool {
+        let idx = self.counter.fetch_add(1, Ordering::Relaxed) % self.clients.len();
+        let mut client = self.clients[idx].lock();
+        match client.search_with(query, true, std::thread::yield_now) {
+            Ok(_) => true,
+            Err(ClusterError::Overloaded(_)) => {
+                let _ = client.reattach(cluster);
+                false
+            }
+            Err(_) => false,
+        }
+    }
+}

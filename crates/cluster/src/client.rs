@@ -129,7 +129,7 @@ fn affinity_key(seed: u64) -> [u8; 32] {
     h.finalize()
 }
 
-fn handshake_seed(seed: u64, handshakes: u64) -> u64 {
+pub(crate) fn handshake_seed(seed: u64, handshakes: u64) -> u64 {
     seed ^ handshakes.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 

@@ -971,6 +971,104 @@ impl Cluster {
         result
     }
 
+    /// Non-blocking submission for the event-driven front tier: admits
+    /// the request on `id`'s bounded queue and enqueues it on the lane
+    /// **without waiting for delivery**. The admission slot stays
+    /// claimed until [`Cluster::finish_async`] runs (when the front
+    /// collects the delivery from `slot`), so queued-but-uncollected
+    /// work still counts against the backpressure bound.
+    ///
+    /// Unlike [`Cluster::forward_with`], the ciphertext was sealed by a
+    /// remote client *before* admission — on [`ClusterError::Overloaded`]
+    /// that client's session counter has advanced past the shed request
+    /// and it must re-attest before its next query (the framed error
+    /// reply tells it so immediately).
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::forward_timed`], minus `DeadlineExceeded` (the
+    /// front applies no per-entry budget).
+    pub(crate) fn submit_async(
+        &self,
+        id: ReplicaId,
+        echo: bool,
+        slot: &Arc<RequestSlot>,
+        client_pub: [u8; 32],
+        ciphertext: Vec<u8>,
+    ) -> Result<(), ClusterError> {
+        let node = self.node(id)?;
+        if !self.registry.is_routable(id) {
+            return Err(ClusterError::NotRoutable(id));
+        }
+        if !node.is_up() {
+            return Err(ClusterError::ReplicaDown(id));
+        }
+        self.tick_faults(id)?;
+        if let Some(plan) = self.config.faults.as_deref() {
+            let fault = plan.link_fault(id.0);
+            if fault.drop {
+                self.metrics.link_loss.inc();
+                return Err(ClusterError::LinkLoss(id));
+            }
+            if !fault.delay.is_zero() {
+                node.account_fault(fault.delay);
+                self.flight.record(FlightEvent::FaultInjected {
+                    replica: id.0 as u64,
+                    delay_us: FleetMetrics::us(fault.delay),
+                });
+            }
+        }
+        if !node.try_enter(self.config.queue_limit) {
+            self.flight.record(FlightEvent::Shed {
+                replica: id.0 as u64,
+            });
+            return Err(ClusterError::Overloaded(id));
+        }
+        node.account_hop();
+        slot.begin();
+        self.lanes[id.0].push(Pending {
+            client_pub,
+            ciphertext,
+            echo,
+            expires_at: None,
+            slot: Arc::clone(slot),
+        });
+        Ok(())
+    }
+
+    /// Drains `id`'s lane if nobody is already leading it — the reactor
+    /// thread calls this after a burst of [`Cluster::submit_async`]es,
+    /// becoming the flat-combining leader and carrying every queued
+    /// entry (its own and other shards') across the boundary in batched
+    /// ecalls. Returns without blocking when another thread leads; that
+    /// leader's drain loop picks the entries up.
+    pub(crate) fn drive_lane(&self, id: ReplicaId) {
+        let Ok(node) = self.node(id) else {
+            return;
+        };
+        let lane = &self.lanes[id.0];
+        while !lane.is_empty() {
+            if !lane.try_lead() {
+                break;
+            }
+            let leading = LeaderGuard::new(lane);
+            self.lead(id, node);
+            drop(leading);
+        }
+    }
+
+    /// Releases the admission slot claimed by [`Cluster::submit_async`];
+    /// `served` records whether the collected delivery was a success
+    /// (mirrors the sync path's forward accounting).
+    pub(crate) fn finish_async(&self, id: ReplicaId, served: bool) {
+        if let Ok(node) = self.node(id) {
+            node.exit();
+            if served {
+                self.metrics.forwards.inc();
+            }
+        }
+    }
+
     /// Drains `id`'s lane batch by batch until empty. Caller holds lane
     /// leadership.
     fn lead(&self, id: ReplicaId, node: &ReplicaNode) {

@@ -64,6 +64,7 @@
 pub mod client;
 pub mod error;
 pub mod fleet;
+pub mod front;
 pub mod node;
 mod obs;
 pub mod placement;
@@ -75,6 +76,7 @@ pub mod snapshot;
 pub use client::{ClientStats, ClusterClient, SearchOutcome};
 pub use error::ClusterError;
 pub use fleet::{Cluster, ClusterConfig, ControlPlaneHold, FailoverReport, QueueStats};
+pub use front::{ConnState, FramedClient, FrontConfig, FrontTier, IDLE_SESSION_BYTE_BUDGET};
 pub use placement::PlacementPolicy;
 pub use registry::{RegistrySnapshot, ReplicaId, ReplicaRegistry};
 pub use resilience::{BreakerState, CircuitBreaker, ResilienceConfig};

@@ -1,0 +1,172 @@
+//! Acceptance tests for the event-driven front tier: deterministic
+//! byte-identical replay in single-shard manual mode, and survival
+//! under connect/disconnect churn.
+
+use std::sync::Arc;
+use xsearch_cluster::{Cluster, ClusterConfig, ConnState, FramedClient, FrontConfig, FrontTier};
+use xsearch_core::config::XSearchConfig;
+use xsearch_core::wire::{decode_conn_reply, encode_conn_request_into, ConnStatus};
+use xsearch_core::Broker;
+use xsearch_engine::corpus::CorpusConfig;
+use xsearch_engine::engine::SearchEngine;
+use xsearch_net_sim::{encode_frame_into, ByteStream, FrameDecoder, StreamError};
+
+fn fleet() -> Arc<Cluster> {
+    let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+        docs_per_topic: 5,
+        ..Default::default()
+    }));
+    Arc::new(Cluster::launch(
+        engine,
+        ClusterConfig {
+            replicas: 4,
+            proxy: XSearchConfig {
+                k: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    ))
+}
+
+/// A hand-rolled raw framed session: broker + stream + reassembly, with
+/// every reply's exact bytes exposed (what the replay gate compares).
+struct RawSession {
+    broker: Broker,
+    stream: ByteStream,
+    decoder: FrameDecoder,
+}
+
+impl RawSession {
+    fn open(cluster: &Cluster, front: &FrontTier, seed: u64) -> RawSession {
+        let client_pub = Broker::client_pub_for_seed(seed);
+        let replica = cluster.route(client_pub.as_bytes()).unwrap();
+        let broker = cluster
+            .with_replica(replica, |proxy| {
+                Broker::attach(proxy, cluster.ias(), cluster.expected_measurement(), seed)
+            })
+            .unwrap()
+            .unwrap();
+        RawSession {
+            broker,
+            stream: front.accept(),
+            decoder: FrameDecoder::new(),
+        }
+    }
+
+    fn send(&mut self, front: &FrontTier, query: &str) {
+        let ciphertext = self.broker.seal_query(query);
+        let mut payload = Vec::new();
+        encode_conn_request_into(
+            self.broker.client_pub().as_bytes(),
+            &ciphertext,
+            true,
+            &mut payload,
+        );
+        let mut framed = Vec::new();
+        encode_frame_into(&payload, &mut framed);
+        let mut written = 0;
+        while written < framed.len() {
+            match self.stream.write(&framed[written..]) {
+                Ok(n) => written += n,
+                Err(StreamError::WouldBlock) => {
+                    front.step();
+                }
+                Err(StreamError::Closed) => panic!("front closed the connection"),
+            }
+        }
+    }
+
+    fn recv(&mut self, front: &FrontTier) -> Vec<u8> {
+        for _ in 0..10_000 {
+            front.step();
+            self.decoder.read_from(&self.stream, 4096).ok();
+            if let Some(frame) = self.decoder.next_frame().unwrap() {
+                return frame.to_vec();
+            }
+        }
+        panic!("no reply within the step budget");
+    }
+}
+
+/// Runs a fixed interleaved workload against a fresh single-shard front
+/// and returns every reply frame's raw bytes in arrival order.
+fn transcript() -> Vec<Vec<u8>> {
+    let cluster = fleet();
+    let front = FrontTier::new(&cluster, FrontConfig::default());
+    let mut sessions: Vec<RawSession> = (0..4)
+        .map(|i| RawSession::open(&cluster, &front, 1000 + i))
+        .collect();
+    let mut replies = Vec::new();
+    for round in 0..3 {
+        for (i, session) in sessions.iter_mut().enumerate() {
+            session.send(&front, &format!("client{i} round{round}"));
+        }
+        for session in &mut sessions {
+            replies.push(session.recv(&front));
+        }
+    }
+    replies
+}
+
+/// The determinism gate: one shard, manual stepping, fixed seeds — two
+/// runs must produce byte-identical reply frames (sealed ciphertext and
+/// all). This is what makes front-tier bugs replayable.
+#[test]
+fn single_shard_replay_is_byte_identical() {
+    let first = transcript();
+    let second = transcript();
+    assert_eq!(first.len(), 12);
+    assert_eq!(first, second, "replay diverged");
+    for reply in &first {
+        let (status, _) = decode_conn_reply(reply).unwrap();
+        assert_eq!(status, ConnStatus::Ok);
+    }
+}
+
+/// Connect/disconnect churn: waves of short-lived framed clients beside
+/// a long-lived one; every session must be reclaimed and the survivor
+/// must keep working.
+#[test]
+fn connection_churn_reclaims_sessions_and_keeps_survivors_working() {
+    let cluster = fleet();
+    let front = FrontTier::new(&cluster, FrontConfig::default());
+    let mut survivor = FramedClient::connect(&cluster, &front, 9000).unwrap();
+    survivor
+        .search_with("warm", true, || {
+            front.step();
+        })
+        .unwrap();
+    for wave in 0..8u64 {
+        let mut ephemeral: Vec<FramedClient> = (0..6)
+            .map(|i| FramedClient::connect(&cluster, &front, 10_000 + wave * 10 + i).unwrap())
+            .collect();
+        for client in &mut ephemeral {
+            client
+                .search_with(&format!("wave {wave}"), true, || {
+                    front.step();
+                })
+                .unwrap();
+        }
+        // Half disconnect cleanly, half vanish mid-frame.
+        for (i, client) in ephemeral.iter().enumerate() {
+            if i % 2 == 0 {
+                client.close();
+            }
+        }
+        drop(ephemeral);
+        for _ in 0..8 {
+            front.step();
+        }
+        assert_eq!(front.connections(), 1, "wave {wave} leaked sessions");
+        survivor
+            .search_with(&format!("still alive {wave}"), true, || {
+                front.step();
+            })
+            .unwrap();
+    }
+    assert_eq!(front.state_count(ConnState::Idle), 1);
+    let (sessions, bytes) = front.account_idle();
+    assert_eq!(sessions, 1);
+    assert!(bytes <= xsearch_cluster::IDLE_SESSION_BYTE_BUDGET);
+}

@@ -53,9 +53,7 @@ impl Broker {
         expected: Measurement,
         seed: u64,
     ) -> Result<Broker, XSearchError> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let secret = StaticSecret::random(&mut rng);
-        let client_pub = secret.public_key();
+        let (secret, client_pub) = keypair_for_seed(seed);
 
         let resp = proxy.handshake(client_pub)?;
         ias.verify_expecting(&resp.quote, expected)?;
@@ -176,6 +174,25 @@ impl Broker {
     pub fn client_pub(&self) -> PublicKey {
         self.client_pub
     }
+
+    /// The channel public key [`Broker::attach`] will present for
+    /// `seed` — routing layers use this to compute a session's
+    /// placement *before* any handshake happens, so the client can
+    /// attest exactly the replica its requests will be forwarded to.
+    #[must_use]
+    pub fn client_pub_for_seed(seed: u64) -> PublicKey {
+        keypair_for_seed(seed).1
+    }
+}
+
+/// Deterministic seed → channel keypair derivation shared by
+/// [`Broker::attach`] and [`Broker::client_pub_for_seed`]; keeping it in
+/// one place is what makes pre-attach routing sound.
+fn keypair_for_seed(seed: u64) -> (StaticSecret, PublicKey) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let secret = StaticSecret::random(&mut rng);
+    let client_pub = secret.public_key();
+    (secret, client_pub)
 }
 
 #[cfg(test)]

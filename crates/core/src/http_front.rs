@@ -11,7 +11,8 @@ use crate::broker::Broker;
 use crate::error::XSearchError;
 use crate::proxy::XSearchProxy;
 use crate::wire::WireResult;
-use xsearch_net_sim::http::{Request, Response};
+use xsearch_net_sim::http::{Partial, Request, Response};
+use xsearch_net_sim::stream::{ByteStream, StreamError};
 
 /// Serves one browser HTTP request through the attested tunnel.
 ///
@@ -81,6 +82,138 @@ fn proxy_error(e: &XSearchError) -> Response {
     Response::status(502, "Bad Gateway")
         .with_header("content-type", "text/plain")
         .with_body(format!("tunnel failure: {e}\n").into_bytes())
+}
+
+/// Whether an [`HttpSession`] connection is still alive after a pump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Keep polling: the connection is open (possibly with a partially
+    /// flushed response).
+    Open,
+    /// The connection is done — EOF seen and all responses flushed, or
+    /// the stream died. Drop the session.
+    Closed,
+}
+
+/// An incremental HTTP/1.1 session over a [`ByteStream`].
+///
+/// The blocking [`serve`] assumes a whole request arrives in one frame;
+/// this is its event-driven sibling for reactor-polled byte streams:
+/// requests may arrive a byte at a time (and pipelined), responses
+/// tolerate partial writes under peer backpressure. Call
+/// [`pump`](Self::pump) whenever the stream becomes readable or
+/// writable.
+#[derive(Default)]
+pub struct HttpSession {
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    flushed: usize,
+    eof: bool,
+    /// A malformed request poisons the byte stream (framing is lost):
+    /// answer 400, flush, then close.
+    close_after_flush: bool,
+}
+
+impl HttpSession {
+    /// A fresh session with empty buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the session as far as the stream allows: drains readable
+    /// bytes, serves every complete request through the tunnel, and
+    /// flushes response bytes until the peer pushes back.
+    pub fn pump(
+        &mut self,
+        stream: &ByteStream,
+        broker: &mut Broker,
+        proxy: &XSearchProxy,
+    ) -> SessionStatus {
+        self.fill(stream);
+        self.parse_and_serve(broker, proxy);
+        self.flush(stream);
+        if self.outbuf.len() == self.flushed && (self.eof || self.close_after_flush) {
+            stream.close();
+            SessionStatus::Closed
+        } else {
+            SessionStatus::Open
+        }
+    }
+
+    /// True when unflushed response bytes are waiting on writability.
+    #[must_use]
+    pub fn wants_write(&self) -> bool {
+        self.flushed < self.outbuf.len()
+    }
+
+    /// Accounted heap footprint of the session's buffers.
+    #[must_use]
+    pub fn mem_bytes(&self) -> usize {
+        self.inbuf.capacity() + self.outbuf.capacity()
+    }
+
+    fn fill(&mut self, stream: &ByteStream) {
+        loop {
+            let old = self.inbuf.len();
+            self.inbuf.resize(old + 4096, 0);
+            match stream.read(&mut self.inbuf[old..]) {
+                Ok(0) => {
+                    self.inbuf.truncate(old);
+                    self.eof = true;
+                    return;
+                }
+                Ok(n) => self.inbuf.truncate(old + n),
+                Err(_) => {
+                    self.inbuf.truncate(old);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn parse_and_serve(&mut self, broker: &mut Broker, proxy: &XSearchProxy) {
+        while !self.inbuf.is_empty() && !self.close_after_flush {
+            match Request::decode_partial(&self.inbuf) {
+                Ok(Partial::Complete { value, consumed }) => {
+                    self.inbuf.drain(..consumed);
+                    self.outbuf
+                        .extend_from_slice(&route(broker, proxy, &value).encode());
+                }
+                Ok(Partial::NeedMore(_)) => break,
+                Err(e) => {
+                    self.outbuf.extend_from_slice(
+                        &Response::status(400, "Bad Request")
+                            .with_header("content-type", "text/plain")
+                            .encode_with_body(format!("malformed request: {e}\n").into_bytes()),
+                    );
+                    self.close_after_flush = true;
+                }
+            }
+        }
+        // Bytes that can never complete a request (EOF mid-message) are
+        // dropped on close; EOF handling above tears the session down.
+    }
+
+    fn flush(&mut self, stream: &ByteStream) {
+        while self.flushed < self.outbuf.len() {
+            match stream.write(&self.outbuf[self.flushed..]) {
+                Ok(n) => self.flushed += n,
+                Err(StreamError::WouldBlock) => return,
+                Err(StreamError::Closed) => {
+                    // The peer is gone; pending output is undeliverable.
+                    self.outbuf.clear();
+                    self.flushed = 0;
+                    self.eof = true;
+                    return;
+                }
+            }
+        }
+        if !self.outbuf.is_empty() {
+            self.outbuf.clear();
+            self.flushed = 0;
+        }
+    }
 }
 
 /// Small extension trait keeping `Response` ergonomic here without
@@ -248,6 +381,116 @@ mod tests {
         assert_eq!(resp.status, 502);
         let body = String::from_utf8(resp.body).unwrap();
         assert!(body.contains("tunnel failure"), "body: {body}");
+    }
+
+    #[test]
+    fn streaming_session_serves_byte_at_a_time() {
+        use xsearch_net_sim::stream::stream_pair;
+        let (proxy, mut broker) = setup();
+        let (client, server) = stream_pair(4096);
+        let mut session = HttpSession::new();
+        let target = format!("/search?q={}", percent_encode("flights hotel vacation"));
+        let wire = Request::get(&target).encode();
+        for byte in &wire {
+            client.write(std::slice::from_ref(byte)).unwrap();
+            assert_eq!(
+                session.pump(&server, &mut broker, &proxy),
+                SessionStatus::Open
+            );
+        }
+        // The response can exceed the ring: drain and re-pump until the
+        // session has flushed everything.
+        let mut reply = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Ok(n) = client.read(&mut buf) {
+                reply.extend_from_slice(&buf[..n]);
+            }
+            if !session.wants_write() {
+                break;
+            }
+            session.pump(&server, &mut broker, &proxy);
+        }
+        let resp = Response::decode(&reply).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(!resp.body.is_empty());
+    }
+
+    #[test]
+    fn streaming_session_handles_pipelined_requests() {
+        use xsearch_net_sim::stream::stream_pair;
+        let (proxy, mut broker) = setup();
+        let (client, server) = stream_pair(1 << 16);
+        let mut session = HttpSession::new();
+        let mut wire = Request::get("/health").encode();
+        wire.extend_from_slice(&Request::get("/health").encode());
+        client.write(&wire).unwrap();
+        session.pump(&server, &mut broker, &proxy);
+        let mut reply = vec![0u8; 65536];
+        let n = client.read(&mut reply).unwrap();
+        let text = String::from_utf8_lossy(&reply[..n]);
+        assert_eq!(text.matches("HTTP/1.1 200").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn streaming_session_survives_peer_backpressure() {
+        use xsearch_net_sim::stream::stream_pair;
+        let (proxy, mut broker) = setup();
+        // 8-byte rings: the response flushes across many pump calls.
+        let (client, server) = stream_pair(8);
+        let mut session = HttpSession::new();
+        let wire = Request::get("/health").encode();
+        let mut sent = 0;
+        let mut reply = Vec::new();
+        let mut buf = [0u8; 8];
+        for _ in 0..10_000 {
+            if sent < wire.len() {
+                if let Ok(n) = client.write(&wire[sent..]) {
+                    sent += n;
+                }
+            }
+            session.pump(&server, &mut broker, &proxy);
+            if let Ok(n) = client.read(&mut buf) {
+                reply.extend_from_slice(&buf[..n]);
+            }
+            if !session.wants_write() && sent == wire.len() && !reply.is_empty() {
+                break;
+            }
+        }
+        let resp = Response::decode(&reply).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok\n");
+    }
+
+    #[test]
+    fn streaming_session_closes_on_malformed_request() {
+        use xsearch_net_sim::stream::stream_pair;
+        let (proxy, mut broker) = setup();
+        let (client, server) = stream_pair(4096);
+        let mut session = HttpSession::new();
+        client.write(b"GARBAGE\r\n\r\n").unwrap();
+        // Possibly several pumps: 400 is flushed, then the session closes.
+        let mut status = SessionStatus::Open;
+        for _ in 0..4 {
+            status = session.pump(&server, &mut broker, &proxy);
+        }
+        assert_eq!(status, SessionStatus::Closed);
+        let mut reply = vec![0u8; 4096];
+        let n = client.read(&mut reply).unwrap();
+        assert!(String::from_utf8_lossy(&reply[..n]).starts_with("HTTP/1.1 400"));
+    }
+
+    #[test]
+    fn streaming_session_closes_on_eof() {
+        use xsearch_net_sim::stream::stream_pair;
+        let (proxy, mut broker) = setup();
+        let (client, server) = stream_pair(4096);
+        let mut session = HttpSession::new();
+        drop(client);
+        assert_eq!(
+            session.pump(&server, &mut broker, &proxy),
+            SessionStatus::Closed
+        );
     }
 
     #[test]

@@ -354,6 +354,131 @@ pub fn decode_results(bytes: &[u8]) -> Result<Vec<WireResult>, XSearchError> {
     Ok(results)
 }
 
+/// Echo-mode flag bit of a framed connection request: when set, the
+/// enclave echoes the sealed query back instead of searching — the
+/// calibration mode the overhead benches use.
+const CONN_FLAG_ECHO: u8 = 0b1;
+
+/// Outcome classes of a framed connection reply. Like the batch status
+/// codes, these report *that* and coarsely *why* an entry failed — never
+/// secret-dependent detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnStatus {
+    /// The request was served; the payload is the sealed response.
+    Ok,
+    /// The session is unknown or expired at the proxy; re-attest.
+    UnknownSession,
+    /// The sealed query failed to authenticate.
+    Crypto,
+    /// The request was structurally invalid.
+    Protocol,
+    /// Bounded admission shed the request — backpressure, retry later.
+    Overloaded,
+    /// No verified live replica could take the request (replica down,
+    /// retries exhausted, deadline passed).
+    Unavailable,
+}
+
+impl ConnStatus {
+    fn code(self) -> u8 {
+        match self {
+            ConnStatus::Ok => 0,
+            ConnStatus::UnknownSession => 1,
+            ConnStatus::Crypto => 2,
+            ConnStatus::Protocol => 3,
+            ConnStatus::Overloaded => 4,
+            ConnStatus::Unavailable => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, XSearchError> {
+        Ok(match code {
+            0 => ConnStatus::Ok,
+            1 => ConnStatus::UnknownSession,
+            2 => ConnStatus::Crypto,
+            3 => ConnStatus::Protocol,
+            4 => ConnStatus::Overloaded,
+            5 => ConnStatus::Unavailable,
+            other => {
+                return Err(XSearchError::Protocol(format!(
+                    "unknown conn status {other}"
+                )))
+            }
+        })
+    }
+}
+
+/// One parsed connection-frame request: the client's session key, its
+/// borrowed query ciphertext, and whether echo mode was requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnRequest<'a> {
+    /// The client's ephemeral session public key.
+    pub client_pub: [u8; 32],
+    /// The sealed query, borrowed from the frame payload.
+    pub ciphertext: &'a [u8],
+    /// Echo mode (calibration) instead of a real search.
+    pub echo: bool,
+}
+
+/// Serializes a framed connection request
+/// (`flags ‖ client_pub ‖ ciphertext`) into `out`. The frame layer adds
+/// the length prefix; this payload is what travels inside one frame.
+pub fn encode_conn_request_into(
+    client_pub: &[u8; 32],
+    ciphertext: &[u8],
+    echo: bool,
+    out: &mut Vec<u8>,
+) {
+    out.reserve(1 + 32 + ciphertext.len());
+    out.push(if echo { CONN_FLAG_ECHO } else { 0 });
+    out.extend_from_slice(client_pub);
+    out.extend_from_slice(ciphertext);
+}
+
+/// Parses a framed connection request, borrowing the ciphertext.
+///
+/// # Errors
+///
+/// [`XSearchError::Protocol`] on truncation or unknown flag bits.
+pub fn decode_conn_request(payload: &[u8]) -> Result<ConnRequest<'_>, XSearchError> {
+    if payload.len() < 1 + 32 {
+        return Err(XSearchError::Protocol("truncated conn request".into()));
+    }
+    let flags = payload[0];
+    if flags & !CONN_FLAG_ECHO != 0 {
+        return Err(XSearchError::Protocol(format!(
+            "unknown conn request flags {flags:#04x}"
+        )));
+    }
+    let client_pub: [u8; 32] = payload[1..33].try_into().expect("32");
+    Ok(ConnRequest {
+        client_pub,
+        ciphertext: &payload[33..],
+        echo: flags & CONN_FLAG_ECHO != 0,
+    })
+}
+
+/// Serializes a framed connection reply (`status ‖ payload`) into `out`:
+/// the payload is the sealed response for [`ConnStatus::Ok`] and empty
+/// (or a diagnostic string) otherwise.
+pub fn encode_conn_reply_into(status: ConnStatus, payload: &[u8], out: &mut Vec<u8>) {
+    out.reserve(1 + payload.len());
+    out.push(status.code());
+    out.extend_from_slice(payload);
+}
+
+/// Parses a framed connection reply, borrowing the payload.
+///
+/// # Errors
+///
+/// [`XSearchError::Protocol`] on an empty frame or unknown status code.
+pub fn decode_conn_reply(payload: &[u8]) -> Result<(ConnStatus, &[u8]), XSearchError> {
+    let (&code, rest) = payload
+        .split_first()
+        .ok_or_else(|| XSearchError::Protocol("empty conn reply".into()))?;
+    Ok((ConnStatus::from_code(code)?, rest))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,5 +721,53 @@ mod tests {
             let decoded = decode_query_batch(&encoded).unwrap();
             prop_assert_eq!(decoded, queries);
         }
+
+        #[test]
+        fn conn_request_roundtrips(
+            ciphertext in proptest::collection::vec(any::<u8>(), 0..96),
+            key_byte: u8,
+            echo: bool
+        ) {
+            let client_pub = [key_byte; 32];
+            let mut frame = Vec::new();
+            encode_conn_request_into(&client_pub, &ciphertext, echo, &mut frame);
+            let req = decode_conn_request(&frame).unwrap();
+            prop_assert_eq!(req.client_pub, client_pub);
+            prop_assert_eq!(req.ciphertext, &ciphertext[..]);
+            prop_assert_eq!(req.echo, echo);
+        }
+
+        #[test]
+        fn conn_reply_roundtrips(payload in proptest::collection::vec(any::<u8>(), 0..96)) {
+            for status in [
+                ConnStatus::Ok,
+                ConnStatus::UnknownSession,
+                ConnStatus::Crypto,
+                ConnStatus::Protocol,
+                ConnStatus::Overloaded,
+                ConnStatus::Unavailable,
+            ] {
+                let mut frame = Vec::new();
+                encode_conn_reply_into(status, &payload, &mut frame);
+                let (got_status, got_payload) = decode_conn_reply(&frame).unwrap();
+                prop_assert_eq!(got_status, status);
+                prop_assert_eq!(got_payload, &payload[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn conn_request_rejects_truncation_and_unknown_flags() {
+        assert!(decode_conn_request(&[0u8; 16]).is_err());
+        let mut frame = Vec::new();
+        encode_conn_request_into(&[7u8; 32], b"ct", false, &mut frame);
+        frame[0] = 0x80;
+        assert!(decode_conn_request(&frame).is_err());
+    }
+
+    #[test]
+    fn conn_reply_rejects_empty_and_unknown_status() {
+        assert!(decode_conn_reply(&[]).is_err());
+        assert!(decode_conn_reply(&[200, 1, 2]).is_err());
     }
 }

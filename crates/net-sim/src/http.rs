@@ -39,6 +39,23 @@ impl fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
+/// Outcome of an incremental parse over a growing byte prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Partial<T> {
+    /// A complete message was parsed from `bytes[..consumed]`; bytes
+    /// beyond `consumed` belong to the next pipelined message.
+    Complete {
+        /// The parsed message.
+        value: T,
+        /// How many input bytes the message occupied.
+        consumed: usize,
+    },
+    /// The prefix is valid so far but incomplete: at least this many
+    /// more bytes are needed (a lower bound — `1` while the header
+    /// terminator has not arrived, exact once `Content-Length` is known).
+    NeedMore(usize),
+}
+
 /// An HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -116,13 +133,49 @@ impl Request {
         out
     }
 
-    /// Parses wire bytes.
+    /// Parses wire bytes — a one-shot wrapper over
+    /// [`decode_partial`](Self::decode_partial) that treats the input as
+    /// the whole message (and, absent `Content-Length`, the remainder as
+    /// the body, as one-frame transports delivered it historically).
     ///
     /// # Errors
     ///
     /// Any [`HttpError`] variant, depending on what is malformed.
     pub fn decode(bytes: &[u8]) -> Result<Self, HttpError> {
-        let (head, body) = split_head(bytes)?;
+        match Self::decode_partial(bytes)? {
+            Partial::Complete {
+                mut value,
+                consumed,
+            } => {
+                if !value.headers.contains_key("content-length") {
+                    value.body = bytes[consumed..].to_vec();
+                }
+                Ok(value)
+            }
+            Partial::NeedMore(_) => Err(if find_head_end(bytes).is_some() {
+                HttpError::BadBody
+            } else {
+                HttpError::UnterminatedHeaders
+            }),
+        }
+    }
+
+    /// Incrementally parses a growing byte prefix, as delivered by a
+    /// byte stream: returns [`Partial::NeedMore`] while the message is
+    /// incomplete instead of misreporting truncation as malformation.
+    ///
+    /// Without a `Content-Length` header the body is empty (a stream
+    /// never sees "end of input"); extra bytes past the message are left
+    /// for the next pipelined request via `consumed`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`HttpError`] variant for actually-malformed input.
+    pub fn decode_partial(bytes: &[u8]) -> Result<Partial<Self>, HttpError> {
+        let Some(head_end) = find_head_end(bytes) else {
+            return Ok(Partial::NeedMore(1));
+        };
+        let head = std::str::from_utf8(&bytes[..head_end]).map_err(|_| HttpError::BadEncoding)?;
         let mut lines = head.lines();
         let start = lines.next().ok_or(HttpError::BadStartLine)?;
         let mut parts = start.split(' ');
@@ -133,12 +186,19 @@ impl Request {
             return Err(HttpError::BadStartLine);
         }
         let headers = parse_headers(lines)?;
-        let body = take_body(&headers, body)?;
-        Ok(Request {
-            method,
-            target,
-            headers,
-            body,
+        let body_len = content_length(&headers)?;
+        let consumed = head_end + 4 + body_len;
+        if bytes.len() < consumed {
+            return Ok(Partial::NeedMore(consumed - bytes.len()));
+        }
+        Ok(Partial::Complete {
+            value: Request {
+                method,
+                target,
+                headers,
+                body: bytes[head_end + 4..consumed].to_vec(),
+            },
+            consumed,
         })
     }
 }
@@ -196,13 +256,43 @@ impl Response {
         out
     }
 
-    /// Parses wire bytes.
+    /// Parses wire bytes — a one-shot wrapper over
+    /// [`decode_partial`](Self::decode_partial), with the same
+    /// remainder-as-body fallback as [`Request::decode`].
     ///
     /// # Errors
     ///
     /// Any [`HttpError`] variant, depending on what is malformed.
     pub fn decode(bytes: &[u8]) -> Result<Self, HttpError> {
-        let (head, body) = split_head(bytes)?;
+        match Self::decode_partial(bytes)? {
+            Partial::Complete {
+                mut value,
+                consumed,
+            } => {
+                if !value.headers.contains_key("content-length") {
+                    value.body = bytes[consumed..].to_vec();
+                }
+                Ok(value)
+            }
+            Partial::NeedMore(_) => Err(if find_head_end(bytes).is_some() {
+                HttpError::BadBody
+            } else {
+                HttpError::UnterminatedHeaders
+            }),
+        }
+    }
+
+    /// Incrementally parses a growing byte prefix; see
+    /// [`Request::decode_partial`] for the streaming contract.
+    ///
+    /// # Errors
+    ///
+    /// Any [`HttpError`] variant for actually-malformed input.
+    pub fn decode_partial(bytes: &[u8]) -> Result<Partial<Self>, HttpError> {
+        let Some(head_end) = find_head_end(bytes) else {
+            return Ok(Partial::NeedMore(1));
+        };
+        let head = std::str::from_utf8(&bytes[..head_end]).map_err(|_| HttpError::BadEncoding)?;
         let mut lines = head.lines();
         let start = lines.next().ok_or(HttpError::BadStartLine)?;
         let mut parts = start.splitn(3, ' ');
@@ -217,12 +307,19 @@ impl Response {
             .map_err(|_| HttpError::BadStartLine)?;
         let reason = parts.next().unwrap_or("").to_owned();
         let headers = parse_headers(lines)?;
-        let body = take_body(&headers, body)?;
-        Ok(Response {
-            status,
-            reason,
-            headers,
-            body,
+        let body_len = content_length(&headers)?;
+        let consumed = head_end + 4 + body_len;
+        if bytes.len() < consumed {
+            return Ok(Partial::NeedMore(consumed - bytes.len()));
+        }
+        Ok(Partial::Complete {
+            value: Response {
+                status,
+                reason,
+                headers,
+                body: bytes[head_end + 4..consumed].to_vec(),
+            },
+            consumed,
         })
     }
 }
@@ -236,14 +333,10 @@ fn encode_headers(out: &mut Vec<u8>, headers: &BTreeMap<String, String>, body_le
     out.extend_from_slice(format!("content-length: {body_len}\r\n\r\n").as_bytes());
 }
 
-fn split_head(bytes: &[u8]) -> Result<(&str, &[u8]), HttpError> {
+/// Offset of the `\r\n\r\n` header terminator, if it has arrived.
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
     let sep = b"\r\n\r\n";
-    let pos = bytes
-        .windows(sep.len())
-        .position(|w| w == sep)
-        .ok_or(HttpError::UnterminatedHeaders)?;
-    let head = std::str::from_utf8(&bytes[..pos]).map_err(|_| HttpError::BadEncoding)?;
-    Ok((head, &bytes[pos + sep.len()..]))
+    bytes.windows(sep.len()).position(|w| w == sep)
 }
 
 fn parse_headers<'a, I: Iterator<Item = &'a str>>(
@@ -263,16 +356,12 @@ fn parse_headers<'a, I: Iterator<Item = &'a str>>(
     Ok(headers)
 }
 
-fn take_body(headers: &BTreeMap<String, String>, body: &[u8]) -> Result<Vec<u8>, HttpError> {
+/// Declared body length; zero when no `Content-Length` header is
+/// present (a stream cannot use end-of-input as a delimiter).
+fn content_length(headers: &BTreeMap<String, String>) -> Result<usize, HttpError> {
     match headers.get("content-length") {
-        Some(len) => {
-            let len: usize = len.parse().map_err(|_| HttpError::BadBody)?;
-            if body.len() < len {
-                return Err(HttpError::BadBody);
-            }
-            Ok(body[..len].to_vec())
-        }
-        None => Ok(body.to_vec()),
+        Some(len) => len.parse().map_err(|_| HttpError::BadBody),
+        None => Ok(0),
     }
 }
 
@@ -443,6 +532,60 @@ mod tests {
     }
 
     #[test]
+    fn partial_head_wants_more() {
+        let wire = Request::post("/search", b"payload".to_vec()).encode();
+        for cut in 1..wire.len() {
+            if find_head_end(&wire[..cut]).is_none() {
+                assert_eq!(
+                    Request::decode_partial(&wire[..cut]),
+                    Ok(Partial::NeedMore(1)),
+                    "cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_body_reports_exact_shortfall() {
+        let wire = Request::post("/search", b"0123456789".to_vec()).encode();
+        let cut = wire.len() - 4;
+        assert_eq!(
+            Request::decode_partial(&wire[..cut]),
+            Ok(Partial::NeedMore(4))
+        );
+    }
+
+    #[test]
+    fn complete_reports_consumed_and_leaves_pipeline_bytes() {
+        let mut wire = Request::get("/a").encode();
+        let first_len = wire.len();
+        wire.extend_from_slice(&Request::get("/b").encode());
+        match Request::decode_partial(&wire).unwrap() {
+            Partial::Complete { value, consumed } => {
+                assert_eq!(value.target, "/a");
+                assert_eq!(consumed, first_len);
+                match Request::decode_partial(&wire[consumed..]).unwrap() {
+                    Partial::Complete { value, .. } => assert_eq!(value.target, "/b"),
+                    other => panic!("second request should parse: {other:?}"),
+                }
+            }
+            other => panic!("first request should parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_response_matches_one_shot() {
+        let wire = Response::ok(b"results".to_vec()).encode();
+        match Response::decode_partial(&wire).unwrap() {
+            Partial::Complete { value, consumed } => {
+                assert_eq!(consumed, wire.len());
+                assert_eq!(value, Response::decode(&wire).unwrap());
+            }
+            other => panic!("should be complete: {other:?}"),
+        }
+    }
+
+    #[test]
     fn status_parse() {
         let resp = Response::decode(b"HTTP/1.1 404 Not Found\r\n\r\n").unwrap();
         assert_eq!(resp.status, 404);
@@ -466,6 +609,29 @@ mod tests {
         #[test]
         fn percent_encode_decode_roundtrip(s in "[ -~]{0,50}") {
             prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+        }
+
+        /// Feeding any prefix of a valid message never errors and never
+        /// yields a different message than the one-shot decode.
+        #[test]
+        fn incremental_prefixes_agree_with_one_shot(
+            body: Vec<u8>,
+            target in "/[a-z0-9/]{0,20}",
+            cut in 0usize..200,
+        ) {
+            let req = Request::post(target, body);
+            let wire = req.encode();
+            let cut = cut.min(wire.len());
+            match Request::decode_partial(&wire[..cut]).unwrap() {
+                Partial::Complete { value, consumed } => {
+                    prop_assert_eq!(consumed, wire.len());
+                    prop_assert_eq!(value, Request::decode(&wire).unwrap());
+                }
+                Partial::NeedMore(n) => {
+                    prop_assert!(n >= 1);
+                    prop_assert!(cut + n <= wire.len());
+                }
+            }
         }
     }
 }

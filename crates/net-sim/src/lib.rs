@@ -13,8 +13,16 @@
 //!   microseconds of wall time;
 //! * [`station`] — a worker-pool service station with a bounded queue,
 //!   modelling capacity-limited relays;
-//! * [`transport`] — in-process duplex byte pipes for wiring components;
-//! * [`http`] — a minimal HTTP/1.1 request/response codec;
+//! * [`transport`] — in-process duplex message pipes for wiring
+//!   components;
+//! * [`stream`] — simulated duplex *byte* streams with partial
+//!   reads/writes, bounded buffers and backpressure;
+//! * [`reactor`] — an epoll-style readiness poller over byte streams,
+//!   deterministic under the modeled clock;
+//! * [`frame`] — incremental length-prefixed framing (zero-copy payload
+//!   hand-off, tolerant of arbitrary read boundaries);
+//! * [`http`] — a minimal HTTP/1.1 request/response codec, with an
+//!   incremental `decode_partial` for byte-stream fronts;
 //! * [`fault`] — seeded, deterministic, replayable fault injection at
 //!   the link and ecall boundaries (loss, spikes, stalls, gray
 //!   failures, corruption, partitions, crash schedules).
@@ -23,11 +31,17 @@
 
 pub mod delay;
 pub mod fault;
+pub mod frame;
 pub mod http;
 pub mod link;
+pub mod reactor;
 pub mod station;
+pub mod stream;
 pub mod transport;
 
 pub use delay::DelayModel;
 pub use fault::{EcallFault, FaultInjector, FaultPlan, FaultSpec, LinkFault};
+pub use frame::{encode_frame_into, FrameDecoder, FrameEncoder, FrameError};
 pub use link::Link;
+pub use reactor::{Event, Interest, Reactor, Registration, Token};
+pub use stream::{stream_pair, ByteStream, StreamError};

@@ -1,0 +1,405 @@
+//! Simulated duplex byte streams with readiness semantics.
+//!
+//! [`transport`](crate::transport) pipes carry whole frames; a real front
+//! tier sees *bytes* — partial reads, short writes, and backpressure when
+//! the peer stops draining. [`stream_pair`] models one TCP connection as
+//! two bounded byte rings. Every operation is non-blocking: when it
+//! cannot make progress it returns [`StreamError::WouldBlock`] and the
+//! caller is expected to wait for readiness through a
+//! [`Reactor`](crate::reactor::Reactor).
+//!
+//! Determinism: streams never touch the wall clock or any RNG. Readiness
+//! notifications fire synchronously, in operation order, from the thread
+//! that made the state change — so a single-threaded driver observes a
+//! fully reproducible event sequence.
+
+use crate::reactor::{RegInner, READABLE, WRITABLE};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Errors from non-blocking stream operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The operation cannot make progress right now (nothing buffered to
+    /// read, or no free space to write). Wait for readiness and retry.
+    WouldBlock,
+    /// The connection is closed in this direction; writes can never
+    /// succeed. (Reads drain buffered bytes first, then report EOF as
+    /// `Ok(0)` instead of an error.)
+    Closed,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::WouldBlock => write!(f, "operation would block"),
+            StreamError::Closed => write!(f, "stream closed"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// One direction of the duplex pair: a bounded byte ring plus the
+/// registrations watching each side of it.
+struct DirState {
+    buf: VecDeque<u8>,
+    closed: bool,
+    /// Registration of the end that *reads* from this direction.
+    reader: Option<Arc<RegInner>>,
+    /// Registration of the end that *writes* into this direction.
+    writer: Option<Arc<RegInner>>,
+}
+
+impl DirState {
+    fn new() -> Self {
+        DirState {
+            // Capacity 0 until first use: an idle session must cost
+            // bytes, not kilobytes (the conn_scaling bench gates this).
+            buf: VecDeque::new(),
+            closed: false,
+            reader: None,
+            writer: None,
+        }
+    }
+
+    /// Recomputes and publishes both readiness bits for this direction.
+    fn sync_readiness(&self, capacity: usize) {
+        if let Some(reader) = &self.reader {
+            let readable = !self.buf.is_empty() || self.closed;
+            reader.update_ready(READABLE, readable);
+        }
+        if let Some(writer) = &self.writer {
+            let writable = self.buf.len() < capacity || self.closed;
+            writer.update_ready(WRITABLE, writable);
+        }
+    }
+}
+
+struct StreamCore {
+    capacity: usize,
+    /// Bytes flowing from end A to end B.
+    ab: Mutex<DirState>,
+    /// Bytes flowing from end B to end A.
+    ba: Mutex<DirState>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Side {
+    A,
+    B,
+}
+
+/// One end of a simulated duplex byte stream.
+///
+/// Created in pairs by [`stream_pair`]; dropping an end closes the
+/// connection (the peer drains buffered bytes, then sees EOF).
+pub struct ByteStream {
+    side: Side,
+    core: Arc<StreamCore>,
+}
+
+/// Creates a connected pair of byte streams, each direction buffering at
+/// most `capacity` bytes before writes return
+/// [`StreamError::WouldBlock`].
+///
+/// # Example
+///
+/// ```
+/// use xsearch_net_sim::stream::stream_pair;
+/// let (a, b) = stream_pair(8);
+/// assert_eq!(a.write(b"hello").unwrap(), 5);
+/// let mut buf = [0u8; 8];
+/// assert_eq!(b.read(&mut buf).unwrap(), 5);
+/// assert_eq!(&buf[..5], b"hello");
+/// ```
+#[must_use]
+pub fn stream_pair(capacity: usize) -> (ByteStream, ByteStream) {
+    let core = Arc::new(StreamCore {
+        capacity: capacity.max(1),
+        ab: Mutex::new(DirState::new()),
+        ba: Mutex::new(DirState::new()),
+    });
+    (
+        ByteStream {
+            side: Side::A,
+            core: Arc::clone(&core),
+        },
+        ByteStream {
+            side: Side::B,
+            core,
+        },
+    )
+}
+
+impl ByteStream {
+    /// The direction this end reads from.
+    fn incoming(&self) -> &Mutex<DirState> {
+        match self.side {
+            Side::A => &self.core.ba,
+            Side::B => &self.core.ab,
+        }
+    }
+
+    /// The direction this end writes into.
+    fn outgoing(&self) -> &Mutex<DirState> {
+        match self.side {
+            Side::A => &self.core.ab,
+            Side::B => &self.core.ba,
+        }
+    }
+
+    /// Reads up to `out.len()` buffered bytes.
+    ///
+    /// Returns `Ok(0)` **only** at EOF (peer closed and the buffer is
+    /// drained) or when `out` is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::WouldBlock`] when nothing is buffered and the peer
+    /// is still connected.
+    pub fn read(&self, out: &mut [u8]) -> Result<usize, StreamError> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut dir = self.incoming().lock().expect("stream lock");
+        if dir.buf.is_empty() {
+            return if dir.closed {
+                Ok(0)
+            } else {
+                Err(StreamError::WouldBlock)
+            };
+        }
+        let n = dir.buf.len().min(out.len());
+        for slot in out.iter_mut().take(n) {
+            *slot = dir.buf.pop_front().expect("length checked");
+        }
+        dir.sync_readiness(self.core.capacity);
+        Ok(n)
+    }
+
+    /// Writes up to `data.len()` bytes, bounded by the peer buffer's free
+    /// space. Returns how many bytes were accepted (possibly fewer than
+    /// `data.len()` — the caller must retry the remainder on writability).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::WouldBlock`] when the peer buffer is full;
+    /// [`StreamError::Closed`] when the connection is closed.
+    pub fn write(&self, data: &[u8]) -> Result<usize, StreamError> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut dir = self.outgoing().lock().expect("stream lock");
+        if dir.closed {
+            return Err(StreamError::Closed);
+        }
+        let free = self.core.capacity - dir.buf.len();
+        if free == 0 {
+            return Err(StreamError::WouldBlock);
+        }
+        let n = free.min(data.len());
+        dir.buf.extend(&data[..n]);
+        dir.sync_readiness(self.core.capacity);
+        Ok(n)
+    }
+
+    /// Closes the connection in both directions. Buffered bytes remain
+    /// readable; once drained the peer sees EOF. Idempotent.
+    pub fn close(&self) {
+        for dir in [&self.core.ab, &self.core.ba] {
+            let mut dir = dir.lock().expect("stream lock");
+            if !dir.closed {
+                dir.closed = true;
+                dir.sync_readiness(self.core.capacity);
+            }
+        }
+    }
+
+    /// True once either end has closed (or been dropped).
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.incoming().lock().expect("stream lock").closed
+    }
+
+    /// Bytes currently buffered and readable by this end.
+    #[must_use]
+    pub fn readable_bytes(&self) -> usize {
+        self.incoming().lock().expect("stream lock").buf.len()
+    }
+
+    /// Free space in the outgoing buffer (how much [`write`](Self::write)
+    /// would accept right now).
+    #[must_use]
+    pub fn write_space(&self) -> usize {
+        let dir = self.outgoing().lock().expect("stream lock");
+        if dir.closed {
+            0
+        } else {
+            self.core.capacity - dir.buf.len()
+        }
+    }
+
+    /// Releases ring capacity held by *empty* buffers. Idle sessions call
+    /// this to fall back to their floor cost.
+    pub fn shrink(&self) {
+        for dir in [&self.core.ab, &self.core.ba] {
+            let mut dir = dir.lock().expect("stream lock");
+            if dir.buf.is_empty() {
+                dir.buf = VecDeque::new();
+            }
+        }
+    }
+
+    /// Accounted heap footprint of the whole pair (core struct plus both
+    /// ring allocations). Deterministic — this is the figure the
+    /// conn_scaling bench gates, not an RSS sample.
+    #[must_use]
+    pub fn mem_bytes(&self) -> usize {
+        let ab = self.core.ab.lock().expect("stream lock").buf.capacity();
+        let ba = self.core.ba.lock().expect("stream lock").buf.capacity();
+        std::mem::size_of::<StreamCore>() + ab + ba
+    }
+
+    /// Installs (or clears, with `None`) the readiness registration for
+    /// this end: it reads from the incoming direction and writes to the
+    /// outgoing one. Current readiness is published immediately.
+    pub(crate) fn set_registration(&self, reg: Option<Arc<RegInner>>) {
+        {
+            let mut dir = self.incoming().lock().expect("stream lock");
+            dir.reader = reg.clone();
+            dir.sync_readiness(self.core.capacity);
+        }
+        let mut dir = self.outgoing().lock().expect("stream lock");
+        dir.writer = reg;
+        dir.sync_readiness(self.core.capacity);
+    }
+}
+
+impl Drop for ByteStream {
+    fn drop(&mut self) {
+        self.close();
+        // Detach this end's registration so the peer's state can't keep
+        // publishing readiness to a dead connection slot.
+        self.set_registration(None);
+    }
+}
+
+impl fmt::Debug for ByteStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ByteStream")
+            .field(
+                "side",
+                match self.side {
+                    Side::A => &"A",
+                    Side::B => &"B",
+                },
+            )
+            .field("readable", &self.readable_bytes())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_both_directions() {
+        let (a, b) = stream_pair(64);
+        assert_eq!(a.write(b"ping").unwrap(), 4);
+        let mut buf = [0u8; 16];
+        assert_eq!(b.read(&mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"ping");
+        assert_eq!(b.write(b"pong").unwrap(), 4);
+        assert_eq!(a.read(&mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"pong");
+    }
+
+    #[test]
+    fn empty_read_would_block() {
+        let (a, _b) = stream_pair(64);
+        let mut buf = [0u8; 4];
+        assert_eq!(a.read(&mut buf), Err(StreamError::WouldBlock));
+    }
+
+    #[test]
+    fn write_is_partial_when_nearly_full() {
+        let (a, _b) = stream_pair(4);
+        assert_eq!(a.write(b"abcdef").unwrap(), 4);
+        assert_eq!(a.write(b"gh"), Err(StreamError::WouldBlock));
+    }
+
+    #[test]
+    fn backpressure_releases_as_peer_drains() {
+        let (a, b) = stream_pair(4);
+        assert_eq!(a.write(b"abcd").unwrap(), 4);
+        assert_eq!(a.write(b"e"), Err(StreamError::WouldBlock));
+        let mut buf = [0u8; 2];
+        assert_eq!(b.read(&mut buf).unwrap(), 2);
+        assert_eq!(&buf, b"ab");
+        assert_eq!(a.write(b"ef").unwrap(), 2);
+        let mut rest = [0u8; 8];
+        assert_eq!(b.read(&mut rest).unwrap(), 4);
+        assert_eq!(&rest[..4], b"cdef");
+    }
+
+    #[test]
+    fn close_drains_then_eof() {
+        let (a, b) = stream_pair(64);
+        a.write(b"tail").unwrap();
+        a.close();
+        assert_eq!(a.write(b"x"), Err(StreamError::Closed));
+        let mut buf = [0u8; 16];
+        assert_eq!(b.read(&mut buf).unwrap(), 4);
+        assert_eq!(b.read(&mut buf).unwrap(), 0, "EOF after drain");
+        assert_eq!(b.write(b"y"), Err(StreamError::Closed));
+    }
+
+    #[test]
+    fn drop_closes_the_peer() {
+        let (a, b) = stream_pair(64);
+        a.write(b"zz").unwrap();
+        drop(a);
+        let mut buf = [0u8; 4];
+        assert_eq!(b.read(&mut buf).unwrap(), 2);
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+        assert!(b.is_closed());
+    }
+
+    #[test]
+    fn shrink_releases_idle_buffers() {
+        let (a, b) = stream_pair(4096);
+        a.write(&[0u8; 1024]).unwrap();
+        let mut buf = [0u8; 2048];
+        b.read(&mut buf).unwrap();
+        let before = a.mem_bytes();
+        a.shrink();
+        let after = a.mem_bytes();
+        assert!(
+            after < before,
+            "shrink freed ring memory: {before} -> {after}"
+        );
+        assert_eq!(after, std::mem::size_of::<StreamCore>());
+    }
+
+    #[test]
+    fn partial_reads_reassemble() {
+        let (a, b) = stream_pair(1024);
+        a.write(b"the quick brown fox").unwrap();
+        let mut got = Vec::new();
+        let mut one = [0u8; 1];
+        while let Ok(n) = b.read(&mut one) {
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&one[..n]);
+            if got.len() == 19 {
+                break;
+            }
+        }
+        assert_eq!(got, b"the quick brown fox");
+    }
+}

@@ -1,10 +1,19 @@
-//! In-process duplex byte pipes.
+//! In-process duplex message pipes.
 //!
 //! Components (broker, proxy, relays, engine front-end) talk over message
 //! pipes; a pipe carries whole frames (`Vec<u8>`) like one TCP segment
-//! carrying one length-prefixed message would.
+//! carrying one length-prefixed message would. For byte-level transport
+//! with partial reads and readiness polling, see [`crate::stream`].
+//!
+//! Frames queued before a peer drops remain receivable: `recv`/`try_recv`
+//! drain the queue first and only then report the disconnect. A `send`
+//! to a dropped peer hands the frame back in the error instead of
+//! silently discarding it, so the caller can retry on another path.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError as ChanTryRecvError,
+    TrySendError as ChanTrySendError,
+};
 use std::time::Duration;
 
 /// One end of a duplex pipe.
@@ -34,25 +43,134 @@ impl std::fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
+/// A send failed because the peer endpoint was dropped; the undelivered
+/// frame is handed back so it is never silently lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError(pub Vec<u8>);
+
+impl SendError {
+    /// Recovers the undelivered frame.
+    #[must_use]
+    pub fn into_frame(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "peer disconnected ({} byte frame returned)",
+            self.0.len()
+        )
+    }
+}
+
+impl std::error::Error for SendError {}
+
+impl From<SendError> for TransportError {
+    fn from(_: SendError) -> Self {
+        TransportError::Disconnected
+    }
+}
+
+/// Error from [`Endpoint::try_send`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrySendError {
+    /// The pipe is at capacity (bounded pipes only); the frame is handed
+    /// back for retry on writability.
+    Full(Vec<u8>),
+    /// The peer endpoint was dropped; the frame is handed back.
+    Disconnected(Vec<u8>),
+}
+
+impl TrySendError {
+    /// Recovers the unsent frame.
+    #[must_use]
+    pub fn into_frame(self) -> Vec<u8> {
+        match self {
+            TrySendError::Full(f) | TrySendError::Disconnected(f) => f,
+        }
+    }
+}
+
+impl std::fmt::Display for TrySendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "pipe full"),
+            TrySendError::Disconnected(_) => write!(f, "peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TrySendError {}
+
+/// Error from [`Endpoint::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No frame is queued right now (would-block).
+    Empty,
+    /// The queue is drained **and** the peer endpoint was dropped.
+    Disconnected,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "no frame queued"),
+            TryRecvError::Disconnected => write!(f, "peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
 impl Endpoint {
     /// Sends one frame.
     ///
     /// # Errors
     ///
-    /// Returns [`TransportError::Disconnected`] if the peer is gone.
-    pub fn send(&self, frame: Vec<u8>) -> Result<(), TransportError> {
-        self.tx
-            .send(frame)
-            .map_err(|_| TransportError::Disconnected)
+    /// Returns [`SendError`] carrying the frame back if the peer is gone.
+    pub fn send(&self, frame: Vec<u8>) -> Result<(), SendError> {
+        self.tx.send(frame).map_err(|e| SendError(e.0))
     }
 
-    /// Blocks until a frame arrives.
+    /// Non-blocking send (would-block semantics on bounded pipes).
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when a bounded pipe is at capacity,
+    /// [`TrySendError::Disconnected`] when the peer is gone — both carry
+    /// the frame back.
+    pub fn try_send(&self, frame: Vec<u8>) -> Result<(), TrySendError> {
+        self.tx.try_send(frame).map_err(|e| match e {
+            ChanTrySendError::Full(f) => TrySendError::Full(f),
+            ChanTrySendError::Disconnected(f) => TrySendError::Disconnected(f),
+        })
+    }
+
+    /// Blocks until a frame arrives. Frames queued before a disconnect
+    /// are still delivered, in order, before the error.
     ///
     /// # Errors
     ///
     /// Returns [`TransportError::Disconnected`] if the peer is gone.
     pub fn recv(&self) -> Result<Vec<u8>, TransportError> {
         self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Non-blocking receive: drains queued frames first, then
+    /// distinguishes "nothing yet" from "peer gone".
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued,
+    /// [`TryRecvError::Disconnected`] once drained and the peer is gone.
+    pub fn try_recv(&self) -> Result<Vec<u8>, TryRecvError> {
+        self.rx.try_recv().map_err(|e| match e {
+            ChanTryRecvError::Empty => TryRecvError::Empty,
+            ChanTryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
     }
 
     /// Waits up to `timeout` for a frame.
@@ -69,7 +187,7 @@ impl Endpoint {
     }
 }
 
-/// Creates a connected pair of endpoints.
+/// Creates a connected pair of endpoints with unbounded queues.
 ///
 /// # Example
 ///
@@ -84,6 +202,25 @@ impl Endpoint {
 pub fn duplex() -> (Endpoint, Endpoint) {
     let (tx_ab, rx_ab) = unbounded();
     let (tx_ba, rx_ba) = unbounded();
+    (
+        Endpoint {
+            tx: tx_ab,
+            rx: rx_ba,
+        },
+        Endpoint {
+            tx: tx_ba,
+            rx: rx_ab,
+        },
+    )
+}
+
+/// Creates a connected pair whose queues hold at most `capacity` frames
+/// per direction — [`Endpoint::try_send`] reports
+/// [`TrySendError::Full`] past that, modelling transport backpressure.
+#[must_use]
+pub fn duplex_bounded(capacity: usize) -> (Endpoint, Endpoint) {
+    let (tx_ab, rx_ab) = bounded(capacity);
+    let (tx_ba, rx_ba) = bounded(capacity);
     (
         Endpoint {
             tx: tx_ab,
@@ -124,11 +261,52 @@ mod tests {
     }
 
     #[test]
-    fn dropped_peer_reports_disconnect() {
+    fn dropped_peer_returns_the_frame() {
         let (a, b) = duplex();
         drop(b);
-        assert_eq!(a.send(vec![0]), Err(TransportError::Disconnected));
+        assert_eq!(a.send(vec![7, 8]), Err(SendError(vec![7, 8])));
+        assert_eq!(
+            a.try_send(vec![9]),
+            Err(TrySendError::Disconnected(vec![9]))
+        );
         assert_eq!(a.recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn disconnect_mid_stream_drains_queued_frames() {
+        // The regression this pins: frames already in flight when the
+        // peer drops must still be delivered, in order, before the
+        // disconnect surfaces — a disconnect tears the pipe, not the
+        // bytes that were already on it.
+        let (a, b) = duplex();
+        a.send(b"first".to_vec()).unwrap();
+        a.send(b"second".to_vec()).unwrap();
+        drop(a);
+        assert_eq!(b.recv().unwrap(), b"first");
+        assert_eq!(b.try_recv().unwrap(), b"second");
+        assert_eq!(b.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(b.recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_would_block_on_empty_pipe() {
+        let (a, b) = duplex();
+        assert_eq!(b.try_recv(), Err(TryRecvError::Empty));
+        a.send(vec![1]).unwrap();
+        assert_eq!(b.try_recv().unwrap(), vec![1]);
+        assert_eq!(b.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_pipe_reports_full_with_frame_returned() {
+        let (a, b) = duplex_bounded(2);
+        a.try_send(vec![1]).unwrap();
+        a.try_send(vec![2]).unwrap();
+        assert_eq!(a.try_send(vec![3]), Err(TrySendError::Full(vec![3])));
+        assert_eq!(b.try_recv().unwrap(), vec![1]);
+        a.try_send(vec![3]).unwrap();
+        assert_eq!(b.try_recv().unwrap(), vec![2]);
+        assert_eq!(b.try_recv().unwrap(), vec![3]);
     }
 
     #[test]
