@@ -4,6 +4,7 @@ use crate::registry::ReplicaId;
 use std::error::Error;
 use std::fmt;
 use xsearch_core::error::XSearchError;
+use xsearch_core::wire::ConnStatus;
 use xsearch_sgx_sim::error::SgxError;
 
 /// Errors surfaced by the fleet tier.
@@ -48,6 +49,56 @@ pub enum ClusterError {
     /// tunnel's nonce counters never advanced, so the caller may retry
     /// on the same session without re-attesting.
     LinkLoss(ReplicaId),
+}
+
+impl ClusterError {
+    /// The wire [`ConnStatus`] the framed front answers a client with
+    /// when a request fails with this error — THE one mapping, matched
+    /// exhaustively inside this crate so a new `ClusterError` variant is
+    /// a compile error here rather than a silent degradation to some
+    /// catch-all status.
+    ///
+    /// The client-actionable statuses are specific: [`Overloaded`]
+    /// (back off, re-attest — the shed advanced the client's nonce
+    /// counter past what the enclave saw), [`UnknownSession`]
+    /// (re-handshake), [`Crypto`] (the tunnel is broken),
+    /// [`Protocol`] (the request itself was malformed). Everything
+    /// else — infrastructure state a client can neither see nor fix
+    /// (replica health, enrollment, routing, retry/deadline budgets,
+    /// link loss) — is [`Unavailable`]: try again later, learn nothing
+    /// about the fleet.
+    ///
+    /// [`Overloaded`]: ConnStatus::Overloaded
+    /// [`UnknownSession`]: ConnStatus::UnknownSession
+    /// [`Crypto`]: ConnStatus::Crypto
+    /// [`Protocol`]: ConnStatus::Protocol
+    /// [`Unavailable`]: ConnStatus::Unavailable
+    #[must_use]
+    pub fn conn_status(&self) -> ConnStatus {
+        match self {
+            ClusterError::Overloaded(_) => ConnStatus::Overloaded,
+            // `XSearchError` is #[non_exhaustive] in another crate, so
+            // its nested match needs the defensive arm; an unknown
+            // future proxy failure degrades to the opaque status.
+            ClusterError::Proxy(e) => match e {
+                XSearchError::UnknownSession => ConnStatus::UnknownSession,
+                XSearchError::Crypto(_) => ConnStatus::Crypto,
+                XSearchError::Protocol(_) => ConnStatus::Protocol,
+                XSearchError::Sgx(_) => ConnStatus::Unavailable,
+                _ => ConnStatus::Unavailable,
+            },
+            ClusterError::Sgx(_)
+            | ClusterError::UnknownReplica(_)
+            | ClusterError::ReplicaDown(_)
+            | ClusterError::NotRoutable(_)
+            | ClusterError::NoChallenge(_)
+            | ClusterError::QuoteBindingMismatch
+            | ClusterError::NoReplicasAvailable
+            | ClusterError::RetriesExhausted
+            | ClusterError::DeadlineExceeded
+            | ClusterError::LinkLoss(_) => ConnStatus::Unavailable,
+        }
+    }
 }
 
 impl fmt::Display for ClusterError {
@@ -140,5 +191,49 @@ mod tests {
     fn send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ClusterError>();
+    }
+
+    #[test]
+    fn every_variant_maps_to_its_conn_status() {
+        use xsearch_core::error::XSearchError;
+        use xsearch_crypto::CryptoError;
+        let id = ReplicaId(1);
+        let cases: Vec<(ClusterError, ConnStatus)> = vec![
+            // The four client-actionable statuses.
+            (ClusterError::Overloaded(id), ConnStatus::Overloaded),
+            (
+                ClusterError::Proxy(XSearchError::UnknownSession),
+                ConnStatus::UnknownSession,
+            ),
+            (
+                ClusterError::Proxy(XSearchError::Crypto(CryptoError::AuthenticationFailed)),
+                ConnStatus::Crypto,
+            ),
+            (
+                ClusterError::Proxy(XSearchError::Protocol("bad".into())),
+                ConnStatus::Protocol,
+            ),
+            // Infrastructure state: always the opaque Unavailable.
+            (
+                ClusterError::Proxy(XSearchError::Sgx(SgxError::QuoteRejected)),
+                ConnStatus::Unavailable,
+            ),
+            (
+                ClusterError::Sgx(SgxError::QuoteRejected),
+                ConnStatus::Unavailable,
+            ),
+            (ClusterError::UnknownReplica(id), ConnStatus::Unavailable),
+            (ClusterError::ReplicaDown(id), ConnStatus::Unavailable),
+            (ClusterError::NotRoutable(id), ConnStatus::Unavailable),
+            (ClusterError::NoChallenge(id), ConnStatus::Unavailable),
+            (ClusterError::QuoteBindingMismatch, ConnStatus::Unavailable),
+            (ClusterError::NoReplicasAvailable, ConnStatus::Unavailable),
+            (ClusterError::RetriesExhausted, ConnStatus::Unavailable),
+            (ClusterError::DeadlineExceeded, ConnStatus::Unavailable),
+            (ClusterError::LinkLoss(id), ConnStatus::Unavailable),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.conn_status(), want, "{err}");
+        }
     }
 }

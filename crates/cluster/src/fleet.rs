@@ -531,6 +531,53 @@ impl Cluster {
             .sum()
     }
 
+    /// Closes the enclave session keyed by `client_pub` on the replica
+    /// the key routes to (the replica the client attested, membership
+    /// permitting). Returns whether a session was actually removed.
+    ///
+    /// Best-effort: the front tier calls this when a framed connection
+    /// disconnects so an abandoned session does not linger until the
+    /// TTL reaper. It deliberately bypasses admission — closing must
+    /// work precisely when the fleet is too busy to admit new work.
+    pub fn close_session(&self, client_pub: &[u8; 32]) -> bool {
+        let Ok(id) = self.route(client_pub) else {
+            return false;
+        };
+        let Ok(node) = self.node(id) else {
+            return false;
+        };
+        let guard = node.proxy();
+        guard
+            .as_ref()
+            .is_some_and(|proxy| proxy.close_session(client_pub))
+    }
+
+    /// Live enclave sessions across every running replica. Crashed
+    /// replicas contribute zero (their sessions died with the enclave).
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|node| node.proxy().as_ref().map_or(0, |p| p.session_count()))
+            .sum()
+    }
+
+    /// One reaper sweep across the fleet: advances every running
+    /// replica's session epoch and removes sessions that have been idle
+    /// for more than `ttl` sweeps (`0` clears everything). Returns the
+    /// number of sessions reaped fleet-wide.
+    ///
+    /// This is the backstop for sessions the front cannot attribute to
+    /// a connection: the handshake happens out-of-band (in-process
+    /// attach), so a client that attests and then never sends a framed
+    /// request leaves a session no disconnect will ever name.
+    pub fn reap_sessions(&self, ttl: u64) -> usize {
+        self.nodes
+            .iter()
+            .map(|node| node.proxy().as_ref().map_or(0, |p| p.reap_sessions(ttl)))
+            .sum()
+    }
+
     /// Per-replica admission-queue counters: current depth, high-water
     /// mark, and how many requests the bounded queue has shed. The
     /// operator-facing signal that a fleet is running hot *before* it

@@ -41,6 +41,25 @@
 //! exact figure the `conn_scaling` bench gates against
 //! [`IDLE_SESSION_BYTE_BUDGET`].
 //!
+//! # Survival
+//!
+//! The front is the first thing a hostile client touches, so every
+//! connection lives under a [`SurvivalConfig`] on the shard's logical
+//! tick clock: handshake/read-stall/write-stall/idle deadlines, an
+//! anti-slowloris minimum-progress rate, lifetime frame/byte quotas,
+//! and a protocol-error strike counter that **quarantines the channel
+//! key** (across connections) once it crosses the limit. Above the
+//! per-shard connection high-water mark the shard sheds by class —
+//! misbehaving first, then unattested, then oldest-idle established —
+//! so an attack population pays before well-behaved sessions do. A
+//! shard can also be **drained** gracefully: accepts are held (and
+//! re-adopted on resume), in-flight requests finish, and new requests
+//! are answered [`ConnStatus::Unavailable`]. When a connection dies
+//! for any reason, the front best-effort closes the enclave session
+//! behind its channel key ([`Cluster::close_session`]); sessions the
+//! front never learned a key for fall to the fleet's TTL reaper
+//! ([`Cluster::reap_sessions`]).
+//!
 //! # Trust model
 //!
 //! Unchanged: the front only ever sees the framing header, an opaque
@@ -53,6 +72,7 @@ use crate::fleet::Cluster;
 use crate::registry::ReplicaId;
 use crate::router::RequestSlot;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::mem;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -92,6 +112,80 @@ const READ_BURST: usize = 4;
 /// Token 0 is each shard's notify stream; connections start at 1.
 const NOTIFY_TOKEN: u64 = 0;
 
+/// Live connection slots a shard examines for expired deadlines per
+/// step — the sweep is incremental so a million-connection shard never
+/// stalls its event loop on lifecycle bookkeeping.
+const SWEEP_CHUNK: usize = 1024;
+
+/// Connection-lifecycle defense knobs, all expressed on the front's
+/// **logical tick clock**: one tick per shard step, which makes every
+/// deadline deterministic in manual-stepping mode (the replay gate
+/// runs there) and park-rate-coarse in threaded mode.
+///
+/// `0` disables a knob. The default profile disables everything: the
+/// million-idle-session scaling bench measures the undefended cost,
+/// and existing callers see no behavior change. The `front_chaos`
+/// bench defends with [`SurvivalConfig::hardened`].
+#[derive(Debug, Clone, Default)]
+pub struct SurvivalConfig {
+    /// Ticks a connection may live without ever completing a
+    /// well-formed request (covers accept-and-say-nothing peers and
+    /// half-open victims whose EOF never arrives).
+    pub handshake_deadline: u64,
+    /// Ticks a mid-frame read may go without a single new byte.
+    pub read_deadline: u64,
+    /// Ticks a reply flush may go without draining a single byte
+    /// (a stuck peer that writes but never reads).
+    pub write_deadline: u64,
+    /// Ticks an established connection may sit idle between requests.
+    pub idle_deadline: u64,
+    /// Anti-slowloris minimum progress: a mid-frame connection must
+    /// deliver at least this many bytes every
+    /// [`SurvivalConfig::progress_window`] ticks — a one-byte dribble
+    /// that beats the read-stall deadline still dies here.
+    pub min_progress_bytes: usize,
+    /// The window (ticks) over which minimum progress is measured.
+    pub progress_window: u64,
+    /// Lifetime request-frame quota per connection.
+    pub max_frames: u64,
+    /// Lifetime inbound-byte quota per connection.
+    pub max_bytes: u64,
+    /// Protocol-error strikes — accumulated per **channel key**, across
+    /// connections — before the key is quarantined.
+    pub strike_limit: u32,
+    /// Ticks a quarantined channel key stays banned (requests under it
+    /// are answered [`ConnStatus::Unavailable`] and the connection is
+    /// closed).
+    pub quarantine_ticks: u64,
+    /// Per-shard live-connection high-water mark; above it the shard
+    /// sheds by class: misbehaving, then unattested, then oldest-idle
+    /// established.
+    pub max_conns_per_shard: usize,
+}
+
+impl SurvivalConfig {
+    /// The defended profile the `front_chaos` bench runs under:
+    /// deadlines tight enough to reap a hostile population within a few
+    /// hundred ticks, quotas far above anything a legitimate session
+    /// does, three strikes to quarantine.
+    #[must_use]
+    pub fn hardened() -> Self {
+        SurvivalConfig {
+            handshake_deadline: 400,
+            read_deadline: 200,
+            write_deadline: 400,
+            idle_deadline: 100_000,
+            min_progress_bytes: 8,
+            progress_window: 50,
+            max_frames: 10_000,
+            max_bytes: 16 << 20,
+            strike_limit: 3,
+            quarantine_ticks: 1_000,
+            max_conns_per_shard: 4_096,
+        }
+    }
+}
+
 /// Tuning for the front tier.
 #[derive(Debug, Clone)]
 pub struct FrontConfig {
@@ -105,6 +199,8 @@ pub struct FrontConfig {
     /// Bytes pulled from a connection per `read` call; one readable
     /// event reads at most [`READ_BURST`] times this.
     pub read_budget: usize,
+    /// The connection-lifecycle defenses (all off by default).
+    pub survival: SurvivalConfig,
 }
 
 impl Default for FrontConfig {
@@ -114,6 +210,7 @@ impl Default for FrontConfig {
             stream_capacity: 4096,
             max_frame: 1 << 20,
             read_budget: 4096,
+            survival: SurvivalConfig::default(),
         }
     }
 }
@@ -145,6 +242,66 @@ impl ConnState {
     }
 }
 
+/// How the shed ladder ranks a connection when its shard is over the
+/// high-water mark: misbehaving peers go first, then peers that never
+/// completed a request, and only then the oldest-idle established
+/// sessions — an attack population pays before legitimate users do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnClass {
+    /// No well-formed request submitted yet.
+    Unattested,
+    /// At least one well-formed request accepted onto a lane.
+    Established,
+    /// Struck for a protocol, quota, or minimum-progress violation.
+    Misbehaving,
+}
+
+/// Which lifecycle deadline reaped a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimeoutKind {
+    Handshake,
+    ReadStall,
+    WriteStall,
+    Idle,
+    Slowloris,
+}
+
+/// A point-in-time snapshot of the front tier's defense counters (see
+/// [`FrontTier::survival_stats`]); every field is also exported as an
+/// `xsearch_front_*` telemetry gauge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SurvivalStats {
+    /// Connections reaped by the handshake deadline.
+    pub timeouts_handshake: u64,
+    /// Connections reaped by the mid-frame read-stall deadline.
+    pub timeouts_read: u64,
+    /// Connections reaped by the reply write-stall deadline.
+    pub timeouts_write: u64,
+    /// Established connections reaped by the idle deadline.
+    pub timeouts_idle: u64,
+    /// Connections closed for dribbling below the minimum-progress rate.
+    pub slowloris_closed: u64,
+    /// Connections closed for exceeding a frame or byte quota.
+    pub quota_closed: u64,
+    /// Protocol-error strikes recorded against known channel keys.
+    pub strikes: u64,
+    /// Channel keys moved into quarantine.
+    pub quarantined_keys: u64,
+    /// Requests refused because their channel key was quarantined.
+    pub quarantine_rejects: u64,
+    /// Connections shed over the high-water mark, by class.
+    pub shed_misbehaving: u64,
+    /// Unattested connections shed over the high-water mark.
+    pub shed_unattested: u64,
+    /// Established connections shed over the high-water mark.
+    pub shed_established: u64,
+    /// Enclave sessions closed because their connection went away.
+    pub sessions_closed: u64,
+    /// Requests answered `Unavailable` because the shard was draining.
+    pub drain_rejects: u64,
+}
+
 /// Shared front-tier counters, read by the telemetry poll gauges.
 #[derive(Debug, Default)]
 struct FrontStats {
@@ -159,6 +316,20 @@ struct FrontStats {
     /// Last [`FrontTier::account_idle`] sweep.
     idle_sessions: AtomicUsize,
     idle_bytes: AtomicUsize,
+    timeouts_handshake: AtomicU64,
+    timeouts_read: AtomicU64,
+    timeouts_write: AtomicU64,
+    timeouts_idle: AtomicU64,
+    slowloris_closed: AtomicU64,
+    quota_closed: AtomicU64,
+    strikes: AtomicU64,
+    quarantined_keys: AtomicU64,
+    quarantine_rejects: AtomicU64,
+    shed_misbehaving: AtomicU64,
+    shed_unattested: AtomicU64,
+    shed_established: AtomicU64,
+    sessions_closed: AtomicU64,
+    drain_rejects: AtomicU64,
 }
 
 impl FrontStats {
@@ -176,6 +347,43 @@ impl FrontStats {
 
     fn total(&self) -> usize {
         self.states.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    fn timeout_counter(&self, kind: TimeoutKind) -> &AtomicU64 {
+        match kind {
+            TimeoutKind::Handshake => &self.timeouts_handshake,
+            TimeoutKind::ReadStall => &self.timeouts_read,
+            TimeoutKind::WriteStall => &self.timeouts_write,
+            TimeoutKind::Idle => &self.timeouts_idle,
+            TimeoutKind::Slowloris => &self.slowloris_closed,
+        }
+    }
+
+    fn shed_counter(&self, class: ConnClass) -> &AtomicU64 {
+        match class {
+            ConnClass::Misbehaving => &self.shed_misbehaving,
+            ConnClass::Unattested => &self.shed_unattested,
+            ConnClass::Established => &self.shed_established,
+        }
+    }
+
+    fn survival(&self) -> SurvivalStats {
+        SurvivalStats {
+            timeouts_handshake: self.timeouts_handshake.load(Ordering::Relaxed),
+            timeouts_read: self.timeouts_read.load(Ordering::Relaxed),
+            timeouts_write: self.timeouts_write.load(Ordering::Relaxed),
+            timeouts_idle: self.timeouts_idle.load(Ordering::Relaxed),
+            slowloris_closed: self.slowloris_closed.load(Ordering::Relaxed),
+            quota_closed: self.quota_closed.load(Ordering::Relaxed),
+            strikes: self.strikes.load(Ordering::Relaxed),
+            quarantined_keys: self.quarantined_keys.load(Ordering::Relaxed),
+            quarantine_rejects: self.quarantine_rejects.load(Ordering::Relaxed),
+            shed_misbehaving: self.shed_misbehaving.load(Ordering::Relaxed),
+            shed_unattested: self.shed_unattested.load(Ordering::Relaxed),
+            shed_established: self.shed_established.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            drain_rejects: self.drain_rejects.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -208,10 +416,29 @@ struct Conn {
     close_after_flush: bool,
     /// Already on the shard's awaiting list (dedup guard).
     in_awaiting: bool,
+    /// Shed-ladder class (see [`ConnClass`]).
+    class: ConnClass,
+    /// Channel key of the most recent well-formed request: session
+    /// attribution for close-on-disconnect and quarantine strikes.
+    channel_key: Option<[u8; 32]>,
+    /// Shard tick at adoption (handshake deadline, shed-age ordering).
+    opened_tick: u64,
+    /// Shard tick of the last inbound byte.
+    last_read_tick: u64,
+    /// Shard tick of the last outbound byte the peer drained.
+    last_write_tick: u64,
+    /// Start of the current minimum-progress window.
+    window_start_tick: u64,
+    /// Inbound bytes since the window started.
+    window_bytes: usize,
+    /// Lifetime inbound frames (quota accounting).
+    frames: u64,
+    /// Lifetime inbound bytes (quota accounting).
+    bytes: u64,
 }
 
 impl Conn {
-    fn new(stream: ByteStream, reg: Registration, max_frame: usize) -> Self {
+    fn new(stream: ByteStream, reg: Registration, max_frame: usize, tick: u64) -> Self {
         Conn {
             stream,
             reg,
@@ -223,7 +450,27 @@ impl Conn {
             eof: false,
             close_after_flush: false,
             in_awaiting: false,
+            class: ConnClass::Unattested,
+            channel_key: None,
+            opened_tick: tick,
+            last_read_tick: tick,
+            last_write_tick: tick,
+            window_start_tick: tick,
+            window_bytes: 0,
+            frames: 0,
+            bytes: 0,
         }
+    }
+
+    /// The last tick any byte moved in either direction.
+    fn last_activity(&self) -> u64 {
+        self.last_read_tick.max(self.last_write_tick)
+    }
+
+    /// Whether a lifetime frame/byte quota is exhausted.
+    fn over_quota(&self, s: &SurvivalConfig) -> bool {
+        (s.max_frames != 0 && self.frames > s.max_frames)
+            || (s.max_bytes != 0 && self.bytes > s.max_bytes)
     }
 
     /// Accounted heap footprint of this session (slab slot + stream
@@ -284,10 +531,28 @@ struct Shard {
     accepts: Arc<Mutex<Vec<ByteStream>>>,
     /// Scratch event buffer, reused across steps.
     events: Vec<Event>,
+    /// Logical clock: one tick per [`Shard::step`]. Every survival
+    /// deadline is expressed in these.
+    tick: u64,
+    /// Incremental deadline sweep position (at most [`SWEEP_CHUNK`]
+    /// slots are examined per step).
+    sweep_cursor: usize,
+    /// Protocol-error strikes per channel key, accumulated across
+    /// connections until the key is quarantined or behaves.
+    strikes: HashMap<[u8; 32], u32>,
+    /// Quarantined channel keys → the tick their ban expires.
+    quarantine: HashMap<[u8; 32], u64>,
+    /// Graceful drain: shared with the [`ShardHandle`] so
+    /// [`FrontTier::drain_shard`] can flip it from any thread.
+    draining: Arc<AtomicBool>,
 }
 
 impl Shard {
-    fn new(accepts: Arc<Mutex<Vec<ByteStream>>>, notify_rx: ByteStream) -> Self {
+    fn new(
+        accepts: Arc<Mutex<Vec<ByteStream>>>,
+        notify_rx: ByteStream,
+        draining: Arc<AtomicBool>,
+    ) -> Self {
         let reactor = Reactor::new();
         let notify_reg = reactor.register(&notify_rx, Token(NOTIFY_TOKEN), Interest::READABLE);
         Shard {
@@ -300,6 +565,11 @@ impl Shard {
             _notify_reg: notify_reg,
             accepts,
             events: Vec::new(),
+            tick: 0,
+            sweep_cursor: 0,
+            strikes: HashMap::new(),
+            quarantine: HashMap::new(),
+            draining,
         }
     }
 
@@ -314,10 +584,51 @@ impl Shard {
             let token = Token(idx as u64 + 1);
             let reg = self.reactor.register(&stream, token, Interest::READABLE);
             debug_assert!(self.conns[idx].is_none());
-            self.conns[idx] = Some(Conn::new(stream, reg, cfg.max_frame));
+            self.conns[idx] = Some(Conn::new(stream, reg, cfg.max_frame, self.tick));
             stats.enter(ConnState::Idle);
         }
         adopted
+    }
+
+    /// Tears one connection down: deregisters, closes the stream, and
+    /// best-effort closes the enclave session behind its channel key so
+    /// a disconnect does not leak session state until the TTL reaper.
+    fn retire(&mut self, idx: usize, mut conn: Conn, cluster: &Cluster, stats: &FrontStats) {
+        self.reactor.deregister(&conn.stream, &conn.reg);
+        conn.stream.close();
+        stats.exit(conn.state);
+        if let Some(key) = conn.channel_key.take() {
+            if cluster.close_session(&key) {
+                stats.sessions_closed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.free.push(idx);
+    }
+
+    /// Records a protocol-error strike against `key`; at the configured
+    /// limit the key moves into quarantine.
+    fn strike(&mut self, key: [u8; 32], cfg: &FrontConfig, stats: &FrontStats) {
+        stats.strikes.fetch_add(1, Ordering::Relaxed);
+        let limit = cfg.survival.strike_limit;
+        if limit == 0 {
+            return;
+        }
+        let count = self.strikes.entry(key).or_insert(0);
+        *count += 1;
+        if *count >= limit {
+            self.strikes.remove(&key);
+            self.quarantine
+                .insert(key, self.tick + cfg.survival.quarantine_ticks);
+            stats.quarantined_keys.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks `conn` misbehaving and strikes its channel key if known.
+    fn punish(&mut self, conn: &mut Conn, cfg: &FrontConfig, stats: &FrontStats) {
+        conn.class = ConnClass::Misbehaving;
+        if let Some(key) = conn.channel_key {
+            self.strike(key, cfg, stats);
+        }
     }
 
     /// One iteration of the shard loop: adopt accepts, poll readiness,
@@ -330,7 +641,15 @@ impl Shard {
         cfg: &FrontConfig,
         stats: &FrontStats,
     ) -> usize {
-        let mut progress = self.adopt_accepts(cfg, stats);
+        self.tick += 1;
+        // A draining shard holds accepts in the mailbox instead of
+        // adopting them; they are re-adopted wholesale on resume.
+        let draining = self.draining.load(Ordering::Relaxed);
+        let mut progress = if draining {
+            0
+        } else {
+            self.adopt_accepts(cfg, stats)
+        };
 
         let mut events = mem::take(&mut self.events);
         let timeout = match park {
@@ -346,7 +665,9 @@ impl Shard {
             if ev.token.0 == NOTIFY_TOKEN {
                 let mut junk = [0u8; 64];
                 while matches!(self.notify_rx.read(&mut junk), Ok(n) if n > 0) {}
-                progress += self.adopt_accepts(cfg, stats);
+                if !self.draining.load(Ordering::Relaxed) {
+                    progress += self.adopt_accepts(cfg, stats);
+                }
                 continue;
             }
             progress += 1;
@@ -367,7 +688,141 @@ impl Shard {
             }
             self.pump(idx, cluster, cfg, stats);
         }
+
+        self.enforce_deadlines(cluster, cfg, stats);
+        self.shed_over_watermark(cluster, cfg, stats);
         progress
+    }
+
+    /// Examines up to [`SWEEP_CHUNK`] live slots for expired lifecycle
+    /// deadlines and minimum-progress violations. Connections with a
+    /// request in flight are exempt (the enclave path has its own
+    /// deadline machinery; the admission slot must drain first).
+    fn enforce_deadlines(&mut self, cluster: &Cluster, cfg: &FrontConfig, stats: &FrontStats) {
+        let s = &cfg.survival;
+        let progress_armed = s.min_progress_bytes != 0 && s.progress_window != 0;
+        if s.handshake_deadline == 0
+            && s.read_deadline == 0
+            && s.write_deadline == 0
+            && s.idle_deadline == 0
+            && !progress_armed
+        {
+            return;
+        }
+        let len = self.conns.len();
+        if len == 0 {
+            return;
+        }
+        let now = self.tick;
+        let span = len.min(SWEEP_CHUNK);
+        let start = self.sweep_cursor % len;
+        self.sweep_cursor = (start + span) % len;
+        for off in 0..span {
+            let idx = (start + off) % len;
+            let Some(conn) = self.conns[idx].as_mut() else {
+                continue;
+            };
+            if conn.inflight.is_some() {
+                continue;
+            }
+            let kill = match conn.state {
+                ConnState::Writing => (s.write_deadline != 0
+                    && now.saturating_sub(conn.last_write_tick) > s.write_deadline)
+                    .then_some(TimeoutKind::WriteStall),
+                ConnState::Reading => {
+                    if s.read_deadline != 0
+                        && now.saturating_sub(conn.last_read_tick) > s.read_deadline
+                    {
+                        Some(TimeoutKind::ReadStall)
+                    } else if progress_armed
+                        && now.saturating_sub(conn.window_start_tick) >= s.progress_window
+                    {
+                        if conn.window_bytes < s.min_progress_bytes {
+                            Some(TimeoutKind::Slowloris)
+                        } else {
+                            conn.window_start_tick = now;
+                            conn.window_bytes = 0;
+                            None
+                        }
+                    } else {
+                        None
+                    }
+                }
+                ConnState::Idle => match conn.class {
+                    ConnClass::Established => (s.idle_deadline != 0
+                        && now.saturating_sub(conn.last_activity()) > s.idle_deadline)
+                        .then_some(TimeoutKind::Idle),
+                    ConnClass::Unattested | ConnClass::Misbehaving => (s.handshake_deadline != 0
+                        && now.saturating_sub(conn.opened_tick) > s.handshake_deadline)
+                        .then_some(TimeoutKind::Handshake),
+                },
+                ConnState::AwaitingEnclave => None,
+            };
+            let Some(kind) = kill else {
+                continue;
+            };
+            stats.timeout_counter(kind).fetch_add(1, Ordering::Relaxed);
+            let conn = self.conns[idx].take().expect("slot checked above");
+            // A slowloris dribble is deliberate misbehavior: strike the
+            // key (if any) so repeat offenders reach quarantine. The
+            // other deadlines are treated as benign peer failures.
+            if kind == TimeoutKind::Slowloris {
+                if let Some(key) = conn.channel_key {
+                    self.strike(key, cfg, stats);
+                }
+            }
+            self.retire(idx, conn, cluster, stats);
+        }
+        // Expired quarantines are also purged lazily on access; this
+        // sweep bounds the map when a banned key never comes back.
+        let tick = self.tick;
+        self.quarantine.retain(|_, &mut until| until > tick);
+    }
+
+    /// When the shard holds more live connections than the configured
+    /// high-water mark, sheds the excess down the class ladder:
+    /// misbehaving first, then unattested (oldest first), then the
+    /// oldest-idle established sessions. In-flight connections are
+    /// never shed (their admission slot must drain).
+    fn shed_over_watermark(&mut self, cluster: &Cluster, cfg: &FrontConfig, stats: &FrontStats) {
+        let max = cfg.survival.max_conns_per_shard;
+        if max == 0 {
+            return;
+        }
+        let live = self.conns.len() - self.free.len();
+        if live <= max {
+            return;
+        }
+        let mut excess = live - max;
+        let mut candidates: Vec<(u8, u64, usize)> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| slot.as_ref().map(|c| (idx, c)))
+            .filter(|(_, c)| c.inflight.is_none())
+            .map(|(idx, c)| {
+                let (rank, age) = match c.class {
+                    ConnClass::Misbehaving => (0u8, c.opened_tick),
+                    ConnClass::Unattested => (1, c.opened_tick),
+                    ConnClass::Established => (2, c.last_activity()),
+                };
+                (rank, age, idx)
+            })
+            .collect();
+        candidates.sort_unstable();
+        for (_, _, idx) in candidates {
+            if excess == 0 {
+                break;
+            }
+            let Some(conn) = self.conns[idx].take() else {
+                continue;
+            };
+            stats
+                .shed_counter(conn.class)
+                .fetch_add(1, Ordering::Relaxed);
+            self.retire(idx, conn, cluster, stats);
+            excess -= 1;
+        }
     }
 
     /// Runs `idx`'s state machine until it blocks (on bytes, on ring
@@ -380,10 +835,7 @@ impl Shard {
         if disposition == Disposition::Keep {
             self.conns[idx] = Some(conn);
         } else {
-            self.reactor.deregister(&conn.stream, &conn.reg);
-            conn.stream.close();
-            stats.exit(conn.state);
-            self.free.push(idx);
+            self.retire(idx, conn, cluster, stats);
         }
     }
 
@@ -429,6 +881,9 @@ impl Shard {
                         Ok(done) => {
                             let wrote = before - reply.encoder.remaining();
                             stats.bytes_out.fetch_add(wrote as u64, Ordering::Relaxed);
+                            if wrote > 0 {
+                                conn.last_write_tick = self.tick;
+                            }
                             if !done {
                                 // Ring full: wait for the peer to drain.
                                 conn.reg.set_interest(Interest::WRITABLE);
@@ -491,6 +946,9 @@ impl Shard {
                                 }
                                 Ok(n) => {
                                     stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                                    conn.last_read_tick = self.tick;
+                                    conn.window_bytes += n;
+                                    conn.bytes += n as u64;
                                 }
                                 Err(StreamError::WouldBlock) => break,
                                 Err(StreamError::Closed) => {
@@ -504,6 +962,7 @@ impl Shard {
                         Ok(None) => Parsed::NeedMore,
                         Ok(Some(frame)) => {
                             stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                            conn.frames += 1;
                             match decode_conn_request(frame) {
                                 Ok(req) => Parsed::Request {
                                     client_pub: req.client_pub,
@@ -515,12 +974,50 @@ impl Shard {
                         }
                         Err(_) => Parsed::Unframeable,
                     };
+                    // Lifetime quotas: a peer past its frame or byte
+                    // budget is closed with a typed Protocol answer
+                    // (mid-frame floods close immediately — there is
+                    // nothing well-formed to answer).
+                    if conn.over_quota(&cfg.survival) {
+                        stats.quota_closed.fetch_add(1, Ordering::Relaxed);
+                        if let Parsed::Request { client_pub, .. } = &parsed {
+                            conn.channel_key = Some(*client_pub);
+                        }
+                        self.punish(conn, cfg, stats);
+                        if matches!(parsed, Parsed::NeedMore) {
+                            return Disposition::Close;
+                        }
+                        conn.close_after_flush = true;
+                        Self::queue_reply(conn, stats, ConnStatus::Protocol, &[]);
+                        continue;
+                    }
                     match parsed {
                         Parsed::Request {
                             client_pub,
                             echo,
                             ciphertext,
                         } => {
+                            conn.channel_key = Some(client_pub);
+                            // Quarantined keys are refused before any
+                            // routing or admission work happens.
+                            if let Some(&until) = self.quarantine.get(&client_pub) {
+                                if self.tick < until {
+                                    stats.quarantine_rejects.fetch_add(1, Ordering::Relaxed);
+                                    conn.class = ConnClass::Misbehaving;
+                                    conn.close_after_flush = true;
+                                    Self::queue_reply(conn, stats, ConnStatus::Unavailable, &[]);
+                                    continue;
+                                }
+                                self.quarantine.remove(&client_pub);
+                            }
+                            // A draining shard finishes in-flight work
+                            // but refuses new requests.
+                            if self.draining.load(Ordering::Relaxed) {
+                                stats.drain_rejects.fetch_add(1, Ordering::Relaxed);
+                                conn.close_after_flush = true;
+                                Self::queue_reply(conn, stats, ConnStatus::Unavailable, &[]);
+                                continue;
+                            }
                             let slot = conn.slot.get_or_insert_with(RequestSlot::new);
                             let submitted = cluster.route(&client_pub).and_then(|id| {
                                 cluster
@@ -530,6 +1027,9 @@ impl Shard {
                             match submitted {
                                 Ok(id) => {
                                     conn.inflight = Some(id);
+                                    if conn.class == ConnClass::Unattested {
+                                        conn.class = ConnClass::Established;
+                                    }
                                     // Backpressure: stop reading while
                                     // the request is in flight.
                                     conn.reg.set_interest(Interest::NONE);
@@ -549,6 +1049,7 @@ impl Shard {
                         }
                         Parsed::Malformed | Parsed::Unframeable => {
                             stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            self.punish(conn, cfg, stats);
                             conn.close_after_flush = true;
                             Self::queue_reply(conn, stats, ConnStatus::Protocol, &[]);
                         }
@@ -560,6 +1061,12 @@ impl Shard {
                                 return Disposition::Close;
                             }
                             if conn.decoder.is_mid_frame() {
+                                // Each mid-frame stint gets a fresh
+                                // minimum-progress window.
+                                if conn.state != ConnState::Reading {
+                                    conn.window_start_tick = self.tick;
+                                    conn.window_bytes = 0;
+                                }
                                 Self::set_state(conn, stats, ConnState::Reading);
                             } else {
                                 Self::set_state(conn, stats, ConnState::Idle);
@@ -597,17 +1104,20 @@ struct ShardHandle {
     shard: Mutex<Shard>,
     accepts: Arc<Mutex<Vec<ByteStream>>>,
     notify_tx: ByteStream,
+    draining: Arc<AtomicBool>,
 }
 
 impl ShardHandle {
     fn new() -> Self {
         let (notify_tx, notify_rx) = stream_pair(64);
         let accepts = Arc::new(Mutex::new(Vec::new()));
-        let shard = Shard::new(Arc::clone(&accepts), notify_rx);
+        let draining = Arc::new(AtomicBool::new(false));
+        let shard = Shard::new(Arc::clone(&accepts), notify_rx, Arc::clone(&draining));
         ShardHandle {
             shard: Mutex::new(shard),
             accepts,
             notify_tx,
+            draining,
         }
     }
 
@@ -752,6 +1262,64 @@ impl FrontTier {
         self.inner.stats.torn.load(Ordering::Relaxed)
     }
 
+    /// A snapshot of the survival-layer defense counters: deadline
+    /// reaps, slowloris/quota closes, strikes and quarantines, sheds by
+    /// class, sessions closed on disconnect, drain rejections.
+    #[must_use]
+    pub fn survival_stats(&self) -> SurvivalStats {
+        self.inner.stats.survival()
+    }
+
+    /// Puts shard `shard` into graceful drain: it stops adopting new
+    /// connections (accepts queue in the mailbox), finishes requests
+    /// already in flight, and answers any *new* request with
+    /// [`ConnStatus::Unavailable`] before closing that connection.
+    /// No-op for an out-of-range index.
+    pub fn drain_shard(&self, shard: usize) {
+        if let Some(handle) = self.inner.shards.get(shard) {
+            handle.draining.store(true, Ordering::Release);
+            handle.wake();
+        }
+    }
+
+    /// Ends a graceful drain: connections accepted while draining are
+    /// re-adopted on the shard's next step and served normally.
+    /// No-op for an out-of-range index.
+    pub fn resume_shard(&self, shard: usize) {
+        if let Some(handle) = self.inner.shards.get(shard) {
+            handle.draining.store(false, Ordering::Release);
+            handle.wake();
+        }
+    }
+
+    /// Whether shard `shard` is currently draining.
+    #[must_use]
+    pub fn shard_draining(&self, shard: usize) -> bool {
+        self.inner
+            .shards
+            .get(shard)
+            .is_some_and(|h| h.draining.load(Ordering::Acquire))
+    }
+
+    /// Channel keys currently quarantined across all shards (expired
+    /// entries that have not been purged yet are not counted).
+    #[must_use]
+    pub fn quarantined_keys(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|h| {
+                let shard = h.shard.lock();
+                let tick = shard.tick;
+                shard
+                    .quarantine
+                    .values()
+                    .filter(|&&until| until > tick)
+                    .count()
+            })
+            .sum()
+    }
+
     /// Sweeps every shard and returns `(idle_sessions, accounted
     /// bytes)`; also refreshes the `xsearch_front_idle_session_bytes`
     /// poll gauge. The scaling bench gates `bytes / sessions` against
@@ -847,6 +1415,73 @@ fn register_polls(inner: &Arc<FrontInner>) {
         &[],
         move || stats.torn.load(Ordering::Relaxed) as f64,
     );
+    let timeouts = [
+        ("handshake", TimeoutKind::Handshake),
+        ("read_stall", TimeoutKind::ReadStall),
+        ("write_stall", TimeoutKind::WriteStall),
+        ("idle", TimeoutKind::Idle),
+        ("slowloris", TimeoutKind::Slowloris),
+    ];
+    for (name, kind) in timeouts {
+        let stats = Arc::clone(&inner.stats);
+        telemetry.poll(
+            "xsearch_front_timeouts_total",
+            "Connections reaped by a lifecycle deadline, by kind",
+            &[("kind", LabelValue::Static(name))],
+            move || stats.timeout_counter(kind).load(Ordering::Relaxed) as f64,
+        );
+    }
+    let classes = [
+        ("misbehaving", ConnClass::Misbehaving),
+        ("unattested", ConnClass::Unattested),
+        ("established", ConnClass::Established),
+    ];
+    for (name, class) in classes {
+        let stats = Arc::clone(&inner.stats);
+        telemetry.poll(
+            "xsearch_front_sheds_total",
+            "Connections shed over the high-water mark, by class",
+            &[("class", LabelValue::Static(name))],
+            move || stats.shed_counter(class).load(Ordering::Relaxed) as f64,
+        );
+    }
+    type ScalarReader = fn(&FrontStats) -> u64;
+    let scalars: [(&str, &str, ScalarReader); 6] = [
+        (
+            "xsearch_front_quota_closes",
+            "Connections closed for exceeding a frame or byte quota",
+            |s| s.quota_closed.load(Ordering::Relaxed),
+        ),
+        (
+            "xsearch_front_strikes_total",
+            "Protocol-error strikes recorded against channel keys",
+            |s| s.strikes.load(Ordering::Relaxed),
+        ),
+        (
+            "xsearch_front_quarantined_keys_total",
+            "Channel keys moved into quarantine",
+            |s| s.quarantined_keys.load(Ordering::Relaxed),
+        ),
+        (
+            "xsearch_front_quarantine_rejects",
+            "Requests refused because their channel key was quarantined",
+            |s| s.quarantine_rejects.load(Ordering::Relaxed),
+        ),
+        (
+            "xsearch_front_sessions_closed",
+            "Enclave sessions closed because their connection went away",
+            |s| s.sessions_closed.load(Ordering::Relaxed),
+        ),
+        (
+            "xsearch_front_drain_rejects",
+            "Requests answered Unavailable by a draining shard",
+            |s| s.drain_rejects.load(Ordering::Relaxed),
+        ),
+    ];
+    for (name, help, read) in scalars {
+        let stats = Arc::clone(&inner.stats);
+        telemetry.poll(name, help, &[], move || read(&stats) as f64);
+    }
     let stats = Arc::clone(&inner.stats);
     telemetry.poll(
         "xsearch_front_idle_session_bytes",
@@ -863,15 +1498,12 @@ fn register_polls(inner: &Arc<FrontInner>) {
     );
 }
 
-/// Maps a submission/delivery failure onto the framed status byte.
+/// Maps a submission/delivery failure onto the framed status byte —
+/// delegates to the one exhaustive conversion on the error type itself
+/// ([`ClusterError::conn_status`]), so a new error variant is a compile
+/// error there instead of a silent catch-all here.
 fn status_for(err: &ClusterError) -> ConnStatus {
-    match err {
-        ClusterError::Overloaded(_) => ConnStatus::Overloaded,
-        ClusterError::Proxy(XSearchError::UnknownSession) => ConnStatus::UnknownSession,
-        ClusterError::Proxy(XSearchError::Crypto(_)) => ConnStatus::Crypto,
-        ClusterError::Proxy(XSearchError::Protocol(_)) => ConnStatus::Protocol,
-        _ => ConnStatus::Unavailable,
-    }
+    err.conn_status()
 }
 
 /// Maps a framed error status back to the cluster error a synchronous
@@ -1288,6 +1920,484 @@ mod tests {
             // In-order: opening with the session's receive counter only
             // works if replies came back in request order.
             broker.open_results(payload).unwrap();
+        }
+    }
+
+    /// Attaches a broker session out-of-band (the way [`FramedClient`]
+    /// does) so tests can drive raw framed connections.
+    fn attach(cluster: &Cluster, seed: u64) -> Broker {
+        let client_pub = Broker::client_pub_for_seed(seed);
+        let replica = cluster.route(client_pub.as_bytes()).unwrap();
+        cluster
+            .with_replica(replica, |proxy| {
+                Broker::attach(proxy, cluster.ias(), cluster.expected_measurement(), seed)
+            })
+            .unwrap()
+            .unwrap()
+    }
+
+    fn write_all(front: &FrontTier, stream: &ByteStream, bytes: &[u8]) {
+        let mut written = 0;
+        while written < bytes.len() {
+            match stream.write(&bytes[written..]) {
+                Ok(n) => written += n,
+                Err(StreamError::WouldBlock) => {
+                    front.step();
+                }
+                Err(StreamError::Closed) => panic!("front closed the connection"),
+            }
+        }
+    }
+
+    fn read_reply(front: &FrontTier, stream: &ByteStream) -> (ConnStatus, Vec<u8>) {
+        let mut decoder = FrameDecoder::new();
+        for _ in 0..1000 {
+            front.step();
+            let _ = decoder.read_from(stream, 4096);
+            if let Some(frame) = decoder.next_frame().unwrap() {
+                let (status, payload) = decode_conn_reply(frame).unwrap();
+                return (status, payload.to_vec());
+            }
+        }
+        panic!("no reply within the step budget");
+    }
+
+    fn survival(cfg: SurvivalConfig) -> FrontConfig {
+        FrontConfig {
+            survival: cfg,
+            ..FrontConfig::default()
+        }
+    }
+
+    #[test]
+    fn handshake_deadline_reaps_a_silent_connection() {
+        let cluster = fleet(256);
+        let front = FrontTier::new(
+            &cluster,
+            survival(SurvivalConfig {
+                handshake_deadline: 5,
+                ..Default::default()
+            }),
+        );
+        let stream = front.accept();
+        front.step();
+        assert_eq!(front.connections(), 1);
+        for _ in 0..8 {
+            front.step();
+        }
+        assert_eq!(front.connections(), 0);
+        assert_eq!(front.survival_stats().timeouts_handshake, 1);
+        let mut buf = [0u8; 8];
+        assert!(
+            matches!(stream.read(&mut buf), Ok(0) | Err(StreamError::Closed)),
+            "the reaped peer observes EOF"
+        );
+    }
+
+    #[test]
+    fn read_stall_deadline_reaps_a_mid_frame_peer() {
+        let cluster = fleet(256);
+        let front = FrontTier::new(
+            &cluster,
+            survival(SurvivalConfig {
+                read_deadline: 4,
+                ..Default::default()
+            }),
+        );
+        let stream = front.accept();
+        stream.write(&[0xAB, 0xCD]).unwrap();
+        for _ in 0..10 {
+            front.step();
+        }
+        assert_eq!(front.connections(), 0);
+        assert!(front.survival_stats().timeouts_read >= 1);
+    }
+
+    #[test]
+    fn slowloris_dribble_below_minimum_progress_is_closed() {
+        let cluster = fleet(256);
+        let front = FrontTier::new(
+            &cluster,
+            survival(SurvivalConfig {
+                min_progress_bytes: 4,
+                progress_window: 3,
+                ..Default::default()
+            }),
+        );
+        let stream = front.accept();
+        front.step();
+        // One byte per four ticks: mid-frame forever, always below the
+        // 4-bytes-per-3-ticks floor, but never hitting a read deadline.
+        let mut closed = false;
+        for _ in 0..20 {
+            if stream.write(&[0x01]).is_err() {
+                closed = true;
+                break;
+            }
+            for _ in 0..4 {
+                front.step();
+            }
+            if front.connections() == 0 {
+                closed = true;
+                break;
+            }
+        }
+        assert!(closed, "the dribbler was never reaped");
+        assert!(front.survival_stats().slowloris_closed >= 1);
+    }
+
+    #[test]
+    fn write_stall_deadline_reaps_a_peer_that_never_drains_and_closes_its_session() {
+        let cluster = fleet(256);
+        let front = FrontTier::new(
+            &cluster,
+            FrontConfig {
+                stream_capacity: 16,
+                survival: SurvivalConfig {
+                    write_deadline: 5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let mut broker = attach(&cluster, 41);
+        assert_eq!(cluster.session_count(), 1);
+        let stream = front.accept();
+        write_all(&front, &stream, &raw_request(&mut broker, "stall me", true));
+        // Never read the reply: the 16-byte ring fills and the flush
+        // stalls until the write deadline reaps the connection — which
+        // also closes the enclave session behind the channel key.
+        for _ in 0..200 {
+            front.step();
+        }
+        assert_eq!(front.connections(), 0);
+        assert!(front.survival_stats().timeouts_write >= 1);
+        assert_eq!(front.survival_stats().sessions_closed, 1);
+        assert_eq!(cluster.session_count(), 0);
+    }
+
+    #[test]
+    fn protocol_strikes_quarantine_the_channel_key() {
+        let cluster = fleet(256);
+        let front = FrontTier::new(
+            &cluster,
+            survival(SurvivalConfig {
+                strike_limit: 2,
+                quarantine_ticks: 10_000,
+                ..Default::default()
+            }),
+        );
+        // Two connections, each: one valid request (so the front learns
+        // the channel key), then a junk frame (one strike each). The
+        // teardown closes the enclave session, so the hostile client
+        // re-attests per connection — but the *channel key* (and its
+        // strike count) is the same every time.
+        for round in 0..2 {
+            let mut broker = attach(&cluster, 77);
+            let stream = front.accept();
+            write_all(
+                &front,
+                &stream,
+                &raw_request(&mut broker, &format!("warm {round}"), true),
+            );
+            let (status, _) = read_reply(&front, &stream);
+            assert_eq!(status, ConnStatus::Ok);
+            let mut framed = Vec::new();
+            encode_frame_into(b"junk", &mut framed);
+            stream.write(&framed).unwrap();
+            for _ in 0..6 {
+                front.step();
+            }
+        }
+        let stats = front.survival_stats();
+        assert_eq!(stats.strikes, 2);
+        assert_eq!(stats.quarantined_keys, 1);
+        assert_eq!(front.quarantined_keys(), 1);
+        // The quarantined key's next request is refused before routing —
+        // even with a fresh attestation behind it.
+        let mut broker = attach(&cluster, 77);
+        let stream = front.accept();
+        write_all(&front, &stream, &raw_request(&mut broker, "again", true));
+        let (status, _) = read_reply(&front, &stream);
+        assert_eq!(status, ConnStatus::Unavailable);
+        assert_eq!(front.survival_stats().quarantine_rejects, 1);
+        front.step();
+        assert_eq!(front.connections(), 0, "quarantined conns are closed");
+    }
+
+    #[test]
+    fn frame_quota_closes_a_request_flooder() {
+        let cluster = fleet(256);
+        let front = FrontTier::new(
+            &cluster,
+            survival(SurvivalConfig {
+                max_frames: 2,
+                ..Default::default()
+            }),
+        );
+        let mut broker = attach(&cluster, 88);
+        let stream = front.accept();
+        for i in 0..2 {
+            write_all(&front, &stream, &raw_request(&mut broker, "q", true));
+            let (status, _) = read_reply(&front, &stream);
+            assert_eq!(status, ConnStatus::Ok, "request {i} within quota");
+        }
+        write_all(&front, &stream, &raw_request(&mut broker, "q", true));
+        let (status, _) = read_reply(&front, &stream);
+        assert_eq!(status, ConnStatus::Protocol, "over-quota answer");
+        assert_eq!(front.survival_stats().quota_closed, 1);
+        front.step();
+        assert_eq!(front.connections(), 0);
+    }
+
+    #[test]
+    fn byte_quota_closes_a_mid_frame_flooder() {
+        let cluster = fleet(256);
+        let front = FrontTier::new(
+            &cluster,
+            survival(SurvivalConfig {
+                max_bytes: 512,
+                ..Default::default()
+            }),
+        );
+        let stream = front.accept();
+        // A huge announced frame keeps everything mid-frame; the byte
+        // quota, not the frame parser, must stop the flood.
+        stream.write(&(1u32 << 19).to_le_bytes()).unwrap();
+        let junk = [0xEE; 256];
+        let mut flooded = 0usize;
+        while flooded < 4096 {
+            match stream.write(&junk) {
+                Ok(n) => flooded += n,
+                Err(StreamError::WouldBlock) => {
+                    front.step();
+                }
+                Err(StreamError::Closed) => break,
+            }
+            front.step();
+        }
+        for _ in 0..4 {
+            front.step();
+        }
+        assert_eq!(front.connections(), 0);
+        assert_eq!(front.survival_stats().quota_closed, 1);
+    }
+
+    #[test]
+    fn overwatermark_shedding_follows_the_class_ladder() {
+        let cluster = fleet(256);
+        let front = FrontTier::new(
+            &cluster,
+            survival(SurvivalConfig {
+                max_conns_per_shard: 2,
+                ..Default::default()
+            }),
+        );
+        let mut broker = attach(&cluster, 99);
+        let stream = front.accept();
+        write_all(&front, &stream, &raw_request(&mut broker, "warm", true));
+        let (status, _) = read_reply(&front, &stream);
+        assert_eq!(status, ConnStatus::Ok);
+        // Two silent newcomers push the shard over the watermark; the
+        // unattested ones are shed, the established session survives.
+        let _b = front.accept();
+        let _c = front.accept();
+        for _ in 0..3 {
+            front.step();
+        }
+        assert_eq!(front.connections(), 2);
+        let stats = front.survival_stats();
+        assert_eq!(stats.shed_unattested, 1);
+        assert_eq!(stats.shed_established, 0);
+        write_all(
+            &front,
+            &stream,
+            &raw_request(&mut broker, "still here", true),
+        );
+        let (status, _) = read_reply(&front, &stream);
+        assert_eq!(
+            status,
+            ConnStatus::Ok,
+            "the established session still works"
+        );
+    }
+
+    #[test]
+    fn drain_rejects_new_requests_and_resume_readopts_held_accepts() {
+        let cluster = fleet(256);
+        let front = FrontTier::new(&cluster, FrontConfig::default());
+        let mut broker = attach(&cluster, 111);
+        let stream = front.accept();
+        write_all(&front, &stream, &raw_request(&mut broker, "before", true));
+        let (status, _) = read_reply(&front, &stream);
+        assert_eq!(status, ConnStatus::Ok);
+        front.drain_shard(0);
+        assert!(front.shard_draining(0));
+        // Accepts while draining are held in the mailbox, not adopted.
+        let held = front.accept();
+        for _ in 0..3 {
+            front.step();
+        }
+        assert_eq!(front.connections(), 1);
+        // A new request on a live conn is answered Unavailable.
+        write_all(&front, &stream, &raw_request(&mut broker, "during", true));
+        let (status, _) = read_reply(&front, &stream);
+        assert_eq!(status, ConnStatus::Unavailable);
+        assert_eq!(front.survival_stats().drain_rejects, 1);
+        for _ in 0..2 {
+            front.step();
+        }
+        assert_eq!(front.connections(), 0, "drained conns close after flush");
+        // Resume re-adopts the held accept.
+        front.resume_shard(0);
+        assert!(!front.shard_draining(0));
+        front.step();
+        assert_eq!(front.connections(), 1, "held accept re-adopted");
+        drop(held);
+    }
+
+    #[test]
+    fn disconnects_and_the_reaper_bound_enclave_sessions() {
+        let cluster = fleet(256);
+        let front = FrontTier::new(&cluster, FrontConfig::default());
+        let mut client = FramedClient::connect(&cluster, &front, 301).unwrap();
+        client
+            .search_with("hello", true, step_pump(&front))
+            .unwrap();
+        // A handshake-and-vanish session: attested out-of-band, never
+        // sends a framed request, so no disconnect will ever name it.
+        let _leaker = attach(&cluster, 302);
+        assert_eq!(cluster.session_count(), 2);
+        client.close();
+        for _ in 0..4 {
+            front.step();
+        }
+        assert_eq!(
+            cluster.session_count(),
+            1,
+            "disconnect closed the framed session"
+        );
+        assert_eq!(front.survival_stats().sessions_closed, 1);
+        // The TTL reaper clears the leaker: first sweep ages it within
+        // the TTL, the second puts it past.
+        assert_eq!(cluster.reap_sessions(1), 0);
+        assert_eq!(cluster.reap_sessions(1), 1);
+        assert_eq!(cluster.session_count(), 0);
+    }
+
+    mod adversarial {
+        use super::*;
+        use proptest::prelude::*;
+        use xsearch_net_sim::fault::{FaultPlan, FaultSpec};
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            /// Arbitrary hostile bytes never panic the front; every
+            /// reply it produces is a typed error status, and the
+            /// connection always ends in a clean teardown.
+            #[test]
+            fn hostile_bytes_never_panic_and_end_in_a_typed_close(
+                chunks in proptest::collection::vec(
+                    proptest::collection::vec(any::<u8>(), 1..64usize),
+                    1..10usize,
+                )
+            ) {
+                let cluster = fleet(64);
+                let front = FrontTier::new(
+                    &cluster,
+                    FrontConfig {
+                        survival: SurvivalConfig::hardened(),
+                        ..FrontConfig::default()
+                    },
+                );
+                let stream = front.accept();
+                front.step();
+                for chunk in &chunks {
+                    let _ = stream.write(chunk);
+                    front.step();
+                    front.step();
+                }
+                let mut decoder = FrameDecoder::new();
+                let _ = decoder.read_from(&stream, 1 << 16);
+                while let Ok(Some(frame)) = decoder.next_frame() {
+                    let (status, _) = decode_conn_reply(frame).unwrap();
+                    prop_assert_ne!(status, ConnStatus::Ok);
+                }
+                stream.close();
+                for _ in 0..4 {
+                    front.step();
+                }
+                prop_assert_eq!(front.connections(), 0);
+            }
+
+            /// After a shed (or fault-dropped) request, re-attesting and
+            /// retrying always recovers — even while the fleet runs
+            /// under an active loss + stalled-replica fault plan.
+            #[test]
+            fn reattach_after_shed_recovers_under_loss_and_stall(seed in 0u64..64) {
+                let plan = Arc::new(FaultPlan::new(
+                    FaultSpec {
+                        loss: 0.1,
+                        stalled: vec![1],
+                        stall: Duration::from_millis(1),
+                        ..Default::default()
+                    },
+                    11,
+                    4,
+                ));
+                let engine = Arc::new(SearchEngine::build(&CorpusConfig {
+                    docs_per_topic: 5,
+                    ..Default::default()
+                }));
+                let cluster = Arc::new(Cluster::launch(
+                    engine,
+                    ClusterConfig {
+                        replicas: 4,
+                        queue_limit: 1,
+                        proxy: XSearchConfig {
+                            k: 2,
+                            ..Default::default()
+                        },
+                        faults: Some(plan),
+                        ..Default::default()
+                    },
+                ));
+                let front = FrontTier::new(&cluster, FrontConfig::default());
+                let mut client = FramedClient::connect(&cluster, &front, 7_000 + seed).unwrap();
+                // Occupy the single admission slot: the framed request
+                // is shed (or dropped by injected loss first) — either
+                // way the client sees a typed error.
+                let node = Arc::clone(cluster.node(client.replica()).unwrap());
+                prop_assert!(node.try_enter(1));
+                let err = client
+                    .search_with("shed me", true, step_pump(&front))
+                    .unwrap_err();
+                prop_assert!(
+                    matches!(
+                        err,
+                        ClusterError::Overloaded(_) | ClusterError::NoReplicasAvailable
+                    ),
+                    "got {err:?}"
+                );
+                node.exit();
+                // Recovery must land within a bounded number of
+                // re-attest + retry rounds despite 10% injected loss.
+                let mut recovered = false;
+                for _ in 0..50 {
+                    if client.reattach(&cluster).is_err() {
+                        continue;
+                    }
+                    if client
+                        .search_with("after shed", true, step_pump(&front))
+                        .is_ok()
+                    {
+                        recovered = true;
+                        break;
+                    }
+                }
+                prop_assert!(recovered, "never recovered under the fault plan");
+            }
         }
     }
 

@@ -76,7 +76,10 @@ pub mod snapshot;
 pub use client::{ClientStats, ClusterClient, SearchOutcome};
 pub use error::ClusterError;
 pub use fleet::{Cluster, ClusterConfig, ControlPlaneHold, FailoverReport, QueueStats};
-pub use front::{ConnState, FramedClient, FrontConfig, FrontTier, IDLE_SESSION_BYTE_BUDGET};
+pub use front::{
+    ConnClass, ConnState, FramedClient, FrontConfig, FrontTier, SurvivalConfig, SurvivalStats,
+    IDLE_SESSION_BYTE_BUDGET,
+};
 pub use placement::PlacementPolicy;
 pub use registry::{RegistrySnapshot, ReplicaId, ReplicaRegistry};
 pub use resilience::{BreakerState, CircuitBreaker, ResilienceConfig};
@@ -84,7 +87,7 @@ pub use router::{LaneStats, RequestSlot};
 pub use snapshot::Published;
 // Re-exported so chaos harnesses can build fault plans without a direct
 // net-sim dependency.
-pub use xsearch_net_sim::fault::{CrashEvent, FaultPlan, FaultSpec};
+pub use xsearch_net_sim::fault::{CrashEvent, FaultPlan, FaultSpec, SocketFault, SocketSpec};
 pub use xsearch_telemetry::{FlightEvent, FlightRecorder, Registry as MetricsRegistry};
 
 #[cfg(test)]

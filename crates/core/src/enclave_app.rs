@@ -91,6 +91,12 @@ impl std::hash::Hasher for KeyBytesHasher {
 struct Session {
     channel: SecureChannel,
     query_buf: Vec<u8>,
+    /// Reaper epoch at which this session was opened or last served a
+    /// request. Sessions idle for more than the sweep's TTL (measured in
+    /// epochs, i.e. reap sweeps) are removed — the backstop for clients
+    /// that handshook and then vanished without a disconnect the front
+    /// tier could attribute.
+    last_used: u64,
 }
 
 type SessionMap =
@@ -119,6 +125,12 @@ pub struct EnclaveState {
     /// exactly reproducible from the config seed.
     rng_ticket: AtomicU64,
     sessions: Vec<SessionShard>,
+    /// The reaper's logical clock: advanced once per
+    /// [`EnclaveState::reap_sessions`] sweep; requests stamp their
+    /// session with the current value.
+    session_epoch: AtomicU64,
+    /// Total sessions removed by sweeps (telemetry).
+    sessions_reaped: AtomicU64,
     /// Graceful-degradation level (the `set_degrade` ecall): level `n`
     /// shrinks the fake-query count to `max(1, k - n)` so an overloaded
     /// replica sheds *obfuscation work* before it sheds real queries.
@@ -176,6 +188,8 @@ impl EnclaveState {
             sessions: (0..SESSION_SHARDS)
                 .map(|_| Mutex::new(SessionMap::default()))
                 .collect(),
+            session_epoch: AtomicU64::new(0),
+            sessions_reaped: AtomicU64::new(0),
             degrade: AtomicUsize::new(0),
             degraded_served: AtomicU64::new(0),
             scope,
@@ -253,9 +267,60 @@ impl EnclaveState {
                 Arc::new(Mutex::new(Session {
                     channel,
                     query_buf: Vec::new(),
+                    last_used: self.session_epoch.load(Ordering::Relaxed),
                 })),
             );
         Ok(channel_binding(&self.identity_pub, &client_pub))
+    }
+
+    /// The `close_session` ecall: removes `client_pub`'s session (the
+    /// front tier calls this when the client's connection dies, so a
+    /// torn peer cannot strand its enclave state). Returns whether a
+    /// session existed. The channel keys drop with the entry.
+    pub fn close_session(&self, client_pub: &[u8; 32]) -> bool {
+        self.sessions[session_shard(client_pub)]
+            .lock()
+            .remove(client_pub)
+            .is_some()
+    }
+
+    /// The `session_count` ecall: live sessions across every shard — an
+    /// aggregate (no keys leave the enclave), safe to export.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// The `reap_sessions` ecall: advances the session epoch and removes
+    /// every session idle for more than `ttl` sweeps — the TTL backstop
+    /// for sessions whose client vanished without a front-attributable
+    /// disconnect (handshake-then-silence, half-open peers). Returns how
+    /// many sessions were removed.
+    ///
+    /// With `ttl = n`, a session survives while it served a request
+    /// within the last `n` sweeps; `ttl = 0` clears everything idle
+    /// since the sweep began.
+    pub fn reap_sessions(&self, ttl: u64) -> usize {
+        let now = self.session_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut reaped = 0;
+        for shard in &self.sessions {
+            let mut shard = shard.lock();
+            let before = shard.len();
+            // Sessions lock only briefly here; the request path never
+            // holds a session lock while waiting on a shard lock, so
+            // the order shard → session cannot invert.
+            shard.retain(|_, s| now.saturating_sub(s.lock().last_used) <= ttl);
+            reaped += before - shard.len();
+        }
+        self.sessions_reaped
+            .fetch_add(reaped as u64, Ordering::Relaxed);
+        reaped
+    }
+
+    /// Total sessions removed by reap sweeps since launch.
+    #[must_use]
+    pub fn sessions_reaped(&self) -> u64 {
+        self.sessions_reaped.load(Ordering::Relaxed)
     }
 
     /// Seeds the history directly (warm-up for experiments; in production
@@ -338,7 +403,10 @@ impl EnclaveState {
             .cloned()
             .ok_or(XSearchError::UnknownSession)?;
         let mut session = session.lock();
-        let Session { channel, query_buf } = &mut *session;
+        session.last_used = self.session_epoch.load(Ordering::Relaxed);
+        let Session {
+            channel, query_buf, ..
+        } = &mut *session;
         // The plaintext query decrypts into this session's scratch
         // buffer — no per-request plaintext allocation.
         channel.open_into(b"query", ciphertext, query_buf)?;
@@ -582,6 +650,64 @@ mod tests {
             "64 random keys should spread over shards, hit {}",
             shards_hit.len()
         );
+    }
+
+    #[test]
+    fn close_session_removes_exactly_one_entry() {
+        let state = state(0);
+        let (id_a, mut ch_a) = client_channel(&state, 20);
+        let (id_b, mut ch_b) = client_channel(&state, 21);
+        assert_eq!(state.session_count(), 2);
+        assert!(state.close_session(&id_a));
+        assert!(!state.close_session(&id_a), "second close finds nothing");
+        assert_eq!(state.session_count(), 1);
+        let port = port();
+        let ct = ch_a.seal(b"query", b"gone");
+        assert_eq!(
+            state
+                .request(&id_a, &ct, &port, |_, _| Vec::new())
+                .unwrap_err(),
+            XSearchError::UnknownSession
+        );
+        // The survivor still works.
+        let ct = ch_b.seal(b"query", b"alive");
+        assert!(state.request(&id_b, &ct, &port, |_, _| Vec::new()).is_ok());
+    }
+
+    #[test]
+    fn reaper_removes_idle_sessions_but_spares_active_ones() {
+        let state = state(0);
+        let (active, mut ch) = client_channel(&state, 30);
+        let (_idle_a, _) = client_channel(&state, 31);
+        let (_idle_b, _) = client_channel(&state, 32);
+        assert_eq!(state.session_count(), 3);
+        let port = port();
+        // Two sweeps at ttl=1: the active session keeps stamping itself
+        // into the current epoch, the idle pair ages out.
+        for _ in 0..2 {
+            let ct = ch.seal(b"query", b"keepalive");
+            state
+                .request(&active, &ct, &port, |_, _| Vec::new())
+                .unwrap();
+            state.reap_sessions(1);
+        }
+        assert_eq!(state.session_count(), 1, "idle sessions reaped");
+        assert_eq!(state.sessions_reaped(), 2);
+        let ct = ch.seal(b"query", b"still here");
+        assert!(state
+            .request(&active, &ct, &port, |_, _| Vec::new())
+            .is_ok());
+    }
+
+    #[test]
+    fn reap_ttl_zero_clears_everything() {
+        let state = state(0);
+        for seed in 40..48 {
+            let _ = client_channel(&state, seed);
+        }
+        assert_eq!(state.session_count(), 8);
+        assert_eq!(state.reap_sessions(0), 8);
+        assert_eq!(state.session_count(), 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::broker::Broker;
 use crate::error::XSearchError;
 use crate::proxy::XSearchProxy;
 use crate::wire::WireResult;
-use xsearch_net_sim::http::{Partial, Request, Response};
+use xsearch_net_sim::http::{HttpError, Partial, Request, Response};
 use xsearch_net_sim::stream::{ByteStream, StreamError};
 
 /// Serves one browser HTTP request through the attested tunnel.
@@ -30,13 +30,22 @@ use xsearch_net_sim::stream::{ByteStream, StreamError};
 pub fn serve(broker: &mut Broker, proxy: &XSearchProxy, raw_request: &[u8]) -> Vec<u8> {
     let request = match Request::decode(raw_request) {
         Ok(r) => r,
-        Err(e) => {
-            return Response::status(400, "Bad Request")
-                .with_header("content-type", "text/plain")
-                .encode_with_body(format!("malformed request: {e}\n").into_bytes());
-        }
+        Err(e) => return parse_reject(&e).encode(),
     };
     route(broker, proxy, &request).encode()
+}
+
+/// The response for an unparseable request: 431 when the header section
+/// blew the [`xsearch_net_sim::http::MAX_HEAD_BYTES`] ceiling (the
+/// memory-DoS guard), 400 for every other malformation.
+fn parse_reject(e: &HttpError) -> Response {
+    let (status, reason) = match e {
+        HttpError::HeadersTooLarge => (431, "Request Header Fields Too Large"),
+        _ => (400, "Bad Request"),
+    };
+    Response::status(status, reason)
+        .with_header("content-type", "text/plain")
+        .with_body(format!("malformed request: {e}\n").into_bytes())
 }
 
 fn route(broker: &mut Broker, proxy: &XSearchProxy, request: &Request) -> Response {
@@ -182,11 +191,7 @@ impl HttpSession {
                 }
                 Ok(Partial::NeedMore(_)) => break,
                 Err(e) => {
-                    self.outbuf.extend_from_slice(
-                        &Response::status(400, "Bad Request")
-                            .with_header("content-type", "text/plain")
-                            .encode_with_body(format!("malformed request: {e}\n").into_bytes()),
-                    );
+                    self.outbuf.extend_from_slice(&parse_reject(&e).encode());
                     self.close_after_flush = true;
                 }
             }
@@ -220,17 +225,12 @@ impl HttpSession {
 /// widening the net-sim API.
 trait WithBody {
     fn with_body(self, body: Vec<u8>) -> Self;
-    fn encode_with_body(self, body: Vec<u8>) -> Vec<u8>;
 }
 
 impl WithBody for Response {
     fn with_body(mut self, body: Vec<u8>) -> Self {
         self.body = body;
         self
-    }
-
-    fn encode_with_body(self, body: Vec<u8>) -> Vec<u8> {
-        self.with_body(body).encode()
     }
 }
 
@@ -336,6 +336,53 @@ mod tests {
         let (proxy, mut broker) = setup();
         let resp = Response::decode(&serve(&mut broker, &proxy, b"\xff\xfe garbage")).unwrap();
         assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn oversized_headers_get_431() {
+        use xsearch_net_sim::http::MAX_HEAD_BYTES;
+        let (proxy, mut broker) = setup();
+        let mut raw = b"GET /health HTTP/1.1\r\nx-filler: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES));
+        raw.extend_from_slice(b"\r\n\r\n");
+        let resp = Response::decode(&serve(&mut broker, &proxy, &raw)).unwrap();
+        assert_eq!(resp.status, 431);
+    }
+
+    #[test]
+    fn streaming_session_rejects_header_flood_with_431_and_closes() {
+        use xsearch_net_sim::http::MAX_HEAD_BYTES;
+        use xsearch_net_sim::stream::stream_pair;
+        let (proxy, mut broker) = setup();
+        let (client, server) = stream_pair(4096);
+        let mut session = HttpSession::new();
+        // A slowloris peer: valid start line, then headers forever —
+        // the blank line never comes.
+        client.write(b"GET / HTTP/1.1\r\n").unwrap();
+        let filler = [b'a'; 512];
+        let mut status = SessionStatus::Open;
+        let mut reply = Vec::new();
+        let mut buf = [0u8; 4096];
+        for _ in 0..10 * (MAX_HEAD_BYTES / filler.len()) {
+            let _ = client.write(b"x: ");
+            let _ = client.write(&filler);
+            let _ = client.write(b"\r\n");
+            status = session.pump(&server, &mut broker, &proxy);
+            if let Ok(n) = client.read(&mut buf) {
+                reply.extend_from_slice(&buf[..n]);
+            }
+            if status == SessionStatus::Closed {
+                break;
+            }
+        }
+        assert_eq!(status, SessionStatus::Closed);
+        assert!(
+            String::from_utf8_lossy(&reply).starts_with("HTTP/1.1 431"),
+            "got: {}",
+            String::from_utf8_lossy(&reply[..reply.len().min(64)])
+        );
+        // The buffered head never grew far past the ceiling.
+        assert!(session.mem_bytes() < 4 * MAX_HEAD_BYTES);
     }
 
     #[test]

@@ -517,6 +517,64 @@ impl XSearchProxy {
             });
     }
 
+    /// Closes `client_pub`'s enclave session (the `close_session`
+    /// ecall). The front tier calls this when the client's connection
+    /// dies, so torn churn cannot strand session state; returns whether
+    /// a session existed.
+    pub fn close_session(&self, client_pub: &[u8; 32]) -> bool {
+        let out = self
+            .enclave
+            .ecall_shared("close_session", client_pub, |state, input, _| {
+                let key: [u8; 32] = match input.try_into() {
+                    Ok(k) => k,
+                    Err(_) => return vec![0],
+                };
+                vec![u8::from(state.close_session(&key))]
+            })
+            .expect("ecall cannot fail in this model");
+        out == [1]
+    }
+
+    /// Live enclave sessions (the `session_count` ecall) — an aggregate
+    /// count, no keys cross the boundary.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        let out = self
+            .enclave
+            .ecall_shared("session_count", &[], |state, _, _| {
+                (state.session_count() as u64).to_le_bytes().to_vec()
+            })
+            .expect("ecall cannot fail in this model");
+        u64::from_le_bytes(out.try_into().expect("8 bytes")) as usize
+    }
+
+    /// Runs one TTL reap sweep over the enclave session table (the
+    /// `reap_sessions` ecall): advances the session epoch and removes
+    /// sessions idle for more than `ttl` sweeps. Returns how many were
+    /// removed. See [`crate::enclave_app::EnclaveState::reap_sessions`].
+    pub fn reap_sessions(&self, ttl: u64) -> usize {
+        let out = self
+            .enclave
+            .ecall_shared("reap_sessions", &ttl.to_le_bytes(), |state, input, _| {
+                let ttl = input.try_into().map(u64::from_le_bytes).unwrap_or(0);
+                (state.reap_sessions(ttl) as u64).to_le_bytes().to_vec()
+            })
+            .expect("ecall cannot fail in this model");
+        u64::from_le_bytes(out.try_into().expect("8 bytes")) as usize
+    }
+
+    /// Total sessions removed by reap sweeps since launch.
+    #[must_use]
+    pub fn sessions_reaped(&self) -> u64 {
+        let out = self
+            .enclave
+            .ecall_shared("sessions_reaped", &[], |state, _, _| {
+                state.sessions_reaped().to_le_bytes().to_vec()
+            })
+            .expect("ecall cannot fail in this model");
+        u64::from_le_bytes(out.try_into().expect("8 bytes"))
+    }
+
     /// Current size of the in-enclave history.
     #[must_use]
     pub fn history_len(&self) -> usize {

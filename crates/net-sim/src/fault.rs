@@ -68,6 +68,88 @@ pub struct FaultSpec {
     pub partitions: Vec<(u64, u64)>,
     /// Scheduled crash (and optional restart) events on the op clock.
     pub crashes: Vec<CrashEvent>,
+    /// Socket-layer connection afflictions (resets, torn writes, byte
+    /// corruption, stuck and half-open peers), decided per connection.
+    pub socket: SocketSpec,
+}
+
+/// How often connections misbehave at the socket layer, and how. Each
+/// probability selects one *affliction per connection* — decided once,
+/// deterministically, from the connection id (see
+/// [`FaultPlan::socket_fault`]) — mirroring reality, where a given peer
+/// is broken in one particular way. Probabilities are cumulative; their
+/// sum must stay ≤ 1.
+#[derive(Debug, Clone, Default)]
+pub struct SocketSpec {
+    /// Probability the connection is hard-reset: after a drawn number of
+    /// writes, both directions close abruptly (mid-frame or not).
+    pub reset: f64,
+    /// Probability of a torn write: one drawn write delivers only a
+    /// byte-prefix and then the connection closes — the classic
+    /// mid-frame tear.
+    pub torn: f64,
+    /// Probability of stream corruption: one byte of a drawn write is
+    /// XOR-flipped in flight (framing survives or dies on its own).
+    pub corrupt: f64,
+    /// Probability the peer wedges *stuck*: it keeps writing but never
+    /// reads again, so the reverse ring fills and the victim's writes
+    /// stall forever (write-stall deadline material).
+    pub stuck: f64,
+    /// Probability the peer goes *half-open*: it vanishes without ever
+    /// closing — writes disappear, reads never complete, EOF never
+    /// arrives (idle-deadline material).
+    pub half_open: f64,
+    /// The afflicted write index is drawn uniformly from
+    /// `[0, write_window)`; `0` is treated as `1`.
+    pub write_window: u64,
+}
+
+impl SocketSpec {
+    /// True when no socket affliction can ever fire.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.reset <= 0.0
+            && self.torn <= 0.0
+            && self.corrupt <= 0.0
+            && self.stuck <= 0.0
+            && self.half_open <= 0.0
+    }
+}
+
+/// One connection's socket-layer affliction, decided at accept time.
+/// Installed on a [`crate::stream::ByteStream`] endpoint via
+/// [`crate::stream::ByteStream::sabotage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketFault {
+    /// Close both directions abruptly after `after_writes` successful
+    /// write calls from the afflicted endpoint.
+    Reset {
+        /// Write calls that complete normally before the reset.
+        after_writes: u64,
+    },
+    /// On write call `after_writes`, deliver only `keep` bytes of the
+    /// chunk and then close both directions.
+    Torn {
+        /// Write calls that complete normally before the tear.
+        after_writes: u64,
+        /// Prefix bytes of the final chunk that still arrive.
+        keep: usize,
+    },
+    /// On write call `after_writes`, XOR the first byte of the chunk
+    /// with `xor` (never zero, so the byte genuinely flips).
+    Corrupt {
+        /// Write calls that complete normally before the flip.
+        after_writes: u64,
+        /// The non-zero XOR mask applied to one byte.
+        xor: u8,
+    },
+    /// The endpoint never reads again: buffered bytes stay buffered,
+    /// the reverse ring fills, and the peer's writes stall.
+    Stuck,
+    /// The endpoint vanishes without closing: its writes are silently
+    /// discarded, its reads never complete, and dropping it does *not*
+    /// close the stream — the peer never sees EOF.
+    HalfOpen,
 }
 
 /// A scheduled replica crash, with an optional later restart.
@@ -162,6 +244,9 @@ const SITE_LOSS: u64 = 1;
 const SITE_SPIKE: u64 = 2;
 const SITE_GRAY: u64 = 3;
 const SITE_CORRUPT: u64 = 4;
+const SITE_SOCKET_KIND: u64 = 5;
+const SITE_SOCKET_OP: u64 = 6;
+const SITE_SOCKET_BYTE: u64 = 7;
 
 /// `splitmix64` finalizer: a fast, well-mixed 64-bit permutation.
 fn splitmix64(mut x: u64) -> u64 {
@@ -249,6 +334,55 @@ impl FaultPlan {
             fail: draw(self.seed, SITE_GRAY, r, n) < gray_p,
             corrupt: draw(self.seed, SITE_CORRUPT, r, n) < self.spec.corrupt,
         }
+    }
+
+    /// Decide connection `conn`'s socket-layer affliction, if any.
+    ///
+    /// Unlike the link/ecall sites this consumes **no** sequence
+    /// counter: the decision is a pure function of `(seed, conn)`, so it
+    /// does not depend on accept order or thread timing — a replay that
+    /// reuses connection ids reproduces the same afflictions exactly.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn socket_fault(&self, conn: u64) -> Option<SocketFault> {
+        let s = &self.spec.socket;
+        if s.is_quiet() {
+            return None;
+        }
+        let kind = draw(self.seed, SITE_SOCKET_KIND, conn, 0);
+        let window = s.write_window.max(1);
+        let after_writes = (draw(self.seed, SITE_SOCKET_OP, conn, 0) * window as f64) as u64;
+        let byte_draw = draw(self.seed, SITE_SOCKET_BYTE, conn, 0);
+        let mut acc = s.reset;
+        if kind < acc {
+            return Some(SocketFault::Reset { after_writes });
+        }
+        acc += s.torn;
+        if kind < acc {
+            // Keep 0–2 bytes of the final chunk: enough to tear inside
+            // a frame header, never enough to complete one.
+            return Some(SocketFault::Torn {
+                after_writes,
+                keep: (byte_draw * 3.0) as usize,
+            });
+        }
+        acc += s.corrupt;
+        if kind < acc {
+            // 1..=255: the mask is never zero, so one byte truly flips.
+            return Some(SocketFault::Corrupt {
+                after_writes,
+                xor: ((byte_draw * 255.0) as u8).wrapping_add(1),
+            });
+        }
+        acc += s.stuck;
+        if kind < acc {
+            return Some(SocketFault::Stuck);
+        }
+        acc += s.half_open;
+        if kind < acc {
+            return Some(SocketFault::HalfOpen);
+        }
+        None
     }
 
     /// Is the fleet partitioned at operation index `op`?
@@ -412,6 +546,87 @@ mod tests {
         assert!(plan.events_due(6).is_empty(), "crash must not repeat");
         assert_eq!(plan.events_due(12), vec![FaultEvent::Restart(1)]);
         assert!(plan.events_due(13).is_empty());
+    }
+
+    #[test]
+    fn socket_faults_are_pure_in_the_conn_id() {
+        let spec = FaultSpec {
+            socket: SocketSpec {
+                reset: 0.2,
+                torn: 0.2,
+                corrupt: 0.2,
+                stuck: 0.2,
+                half_open: 0.2,
+                write_window: 8,
+            },
+            ..Default::default()
+        };
+        let a = FaultPlan::new(spec.clone(), 77, 1);
+        let b = FaultPlan::new(spec, 77, 1);
+        for conn in 0..512 {
+            // No sequence counter: re-asking is idempotent, and a fresh
+            // plan with the same seed agrees on every conn id.
+            assert_eq!(a.socket_fault(conn), a.socket_fault(conn));
+            assert_eq!(a.socket_fault(conn), b.socket_fault(conn));
+        }
+    }
+
+    #[test]
+    fn socket_fault_mix_covers_every_shape() {
+        let spec = FaultSpec {
+            socket: SocketSpec {
+                reset: 0.15,
+                torn: 0.15,
+                corrupt: 0.15,
+                stuck: 0.15,
+                half_open: 0.15,
+                write_window: 16,
+            },
+            ..Default::default()
+        };
+        let plan = FaultPlan::new(spec, 5, 1);
+        let (mut reset, mut torn, mut corrupt, mut stuck, mut half, mut clean) = (0, 0, 0, 0, 0, 0);
+        for conn in 0..2000 {
+            match plan.socket_fault(conn) {
+                Some(SocketFault::Reset { after_writes }) => {
+                    assert!(after_writes < 16);
+                    reset += 1;
+                }
+                Some(SocketFault::Torn { keep, .. }) => {
+                    assert!(keep < 3);
+                    torn += 1;
+                }
+                Some(SocketFault::Corrupt { xor, .. }) => {
+                    assert_ne!(xor, 0);
+                    corrupt += 1;
+                }
+                Some(SocketFault::Stuck) => stuck += 1,
+                Some(SocketFault::HalfOpen) => half += 1,
+                None => clean += 1,
+            }
+        }
+        for (name, count) in [
+            ("reset", reset),
+            ("torn", torn),
+            ("corrupt", corrupt),
+            ("stuck", stuck),
+            ("half_open", half),
+        ] {
+            assert!(
+                (150..=450).contains(&count),
+                "{name} drawn {count} times out of 2000 at p=0.15"
+            );
+        }
+        assert!(
+            (350..=650).contains(&clean),
+            "clean drawn {clean} times out of 2000 at p=0.25"
+        );
+    }
+
+    #[test]
+    fn quiet_socket_spec_never_afflicts() {
+        let plan = FaultPlan::new(FaultSpec::default(), 1, 1);
+        assert!((0..100).all(|c| plan.socket_fault(c).is_none()));
     }
 
     #[test]

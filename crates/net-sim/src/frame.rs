@@ -71,12 +71,22 @@ pub fn encode_frame_into(payload: &[u8], out: &mut Vec<u8>) {
 }
 
 /// Incremental frame reassembly with zero-copy payload hand-off.
+///
+/// A decoder that has reported [`FrameError::TooLarge`] is **poisoned**:
+/// the stream position is inside a frame that will never be buffered, so
+/// no later byte can be framed. Every subsequent call keeps failing the
+/// same way ([`next_frame`](Self::next_frame) and
+/// [`finish`](Self::finish) return the original error, reads report EOF)
+/// — the connection must be closed, and the terminal state is
+/// deterministic rather than dependent on what the caller does next.
 #[derive(Debug)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     /// Consumed prefix of `buf`; compacted lazily.
     start: usize,
     max_frame: usize,
+    /// Set on the first `TooLarge`; makes the failure sticky.
+    poisoned: Option<FrameError>,
 }
 
 impl FrameDecoder {
@@ -93,7 +103,15 @@ impl FrameDecoder {
             buf: Vec::new(),
             start: 0,
             max_frame,
+            poisoned: None,
         }
+    }
+
+    /// True once the decoder has reported an oversized frame: the stream
+    /// can never be framed again and the connection should be closed.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
     }
 
     /// Reclaims the consumed prefix. Cheap when fully drained (the
@@ -109,8 +127,13 @@ impl FrameDecoder {
         }
     }
 
-    /// Feeds a chunk of stream bytes into the decoder.
+    /// Feeds a chunk of stream bytes into the decoder. A poisoned
+    /// decoder drops the bytes: they belong to a frame that was already
+    /// rejected as oversized.
     pub fn push(&mut self, chunk: &[u8]) {
+        if self.poisoned.is_some() {
+            return;
+        }
         self.compact();
         self.buf.extend_from_slice(chunk);
     }
@@ -124,6 +147,11 @@ impl FrameDecoder {
     /// Propagates [`StreamError`] from the read (`WouldBlock` when
     /// nothing is buffered).
     pub fn read_from(&mut self, stream: &ByteStream, budget: usize) -> Result<usize, StreamError> {
+        if self.poisoned.is_some() {
+            // The stream is unframeable; report EOF so the caller tears
+            // the connection down instead of buffering attacker bytes.
+            return Ok(0);
+        }
         self.compact();
         let old = self.buf.len();
         self.buf.resize(old + budget, 0);
@@ -145,9 +173,13 @@ impl FrameDecoder {
     /// # Errors
     ///
     /// [`FrameError::TooLarge`] when the announced length exceeds the
-    /// ceiling — the connection should be torn down, the stream can no
-    /// longer be framed.
+    /// ceiling — the decoder is poisoned (every later call fails the
+    /// same way), the connection must be torn down, and the stream can
+    /// no longer be framed.
     pub fn next_frame(&mut self) -> Result<Option<&[u8]>, FrameError> {
+        if let Some(err) = self.poisoned {
+            return Err(err);
+        }
         let avail = self.buf.len() - self.start;
         if avail < HEADER_LEN {
             return Ok(None);
@@ -157,10 +189,15 @@ impl FrameDecoder {
             .expect("header length checked");
         let len = u32::from_le_bytes(header) as usize;
         if len > self.max_frame {
-            return Err(FrameError::TooLarge {
+            let err = FrameError::TooLarge {
                 len,
                 max: self.max_frame,
-            });
+            };
+            self.poisoned = Some(err);
+            // Release what was buffered: none of it will ever be framed.
+            self.buf = Vec::new();
+            self.start = 0;
+            return Err(err);
         }
         if avail - HEADER_LEN < len {
             return Ok(None);
@@ -181,8 +218,12 @@ impl FrameDecoder {
     ///
     /// # Errors
     ///
-    /// [`FrameError::Torn`] if buffered bytes form an unfinished frame.
+    /// [`FrameError::Torn`] if buffered bytes form an unfinished frame;
+    /// the original [`FrameError::TooLarge`] if the decoder is poisoned.
     pub fn finish(&self) -> Result<(), FrameError> {
+        if let Some(err) = self.poisoned {
+            return Err(err);
+        }
         let buffered = self.buf.len() - self.start;
         if buffered == 0 {
             Ok(())
@@ -347,6 +388,35 @@ mod tests {
     }
 
     #[test]
+    fn oversized_frame_poisons_the_decoder() {
+        // Regression: the decoder used to leave the rejected header in
+        // the buffer, so the post-`TooLarge` state depended on what the
+        // caller did next (re-polling could loop on the same error while
+        // new reads kept buffering attacker bytes). The failure must be
+        // terminal and sticky.
+        let mut dec = FrameDecoder::with_max_frame(8);
+        dec.push(&100u32.to_le_bytes());
+        let err = FrameError::TooLarge { len: 100, max: 8 };
+        assert_eq!(dec.next_frame(), Err(err));
+        assert!(dec.is_poisoned());
+        assert_eq!(dec.mem_bytes(), 0, "rejected bytes are released");
+
+        // A perfectly valid frame pushed afterwards changes nothing.
+        let mut wire = Vec::new();
+        encode_frame_into(b"ok", &mut wire);
+        dec.push(&wire);
+        assert_eq!(dec.next_frame(), Err(err));
+        assert_eq!(dec.finish(), Err(err));
+        assert!(!dec.is_mid_frame());
+
+        // Stream reads report EOF so the connection tears down instead
+        // of draining the peer forever.
+        let (a, b) = stream_pair(64);
+        a.write(&wire).unwrap();
+        assert_eq!(dec.read_from(&b, 64), Ok(0));
+    }
+
+    #[test]
     fn torn_mid_payload_is_typed() {
         let mut wire = Vec::new();
         encode_frame_into(b"abcdef", &mut wire);
@@ -451,6 +521,43 @@ mod tests {
             dec.push(torn);
             prop_assert_eq!(dec.next_frame(), Ok(None));
             prop_assert!(matches!(dec.finish(), Err(FrameError::Torn { .. })));
+        }
+
+        /// Arbitrary hostile bytes never panic the decoder, and once any
+        /// chunking of them produces `TooLarge` the decoder stays in that
+        /// terminal state no matter what arrives afterwards.
+        #[test]
+        fn hostile_bytes_never_panic_and_toolarge_is_sticky(
+            chunks in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..32), 0..16),
+            max_frame in 1usize..64,
+        ) {
+            let mut dec = FrameDecoder::with_max_frame(max_frame);
+            let mut poison: Option<FrameError> = None;
+            for chunk in &chunks {
+                dec.push(chunk);
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(frame)) => {
+                            prop_assert!(poison.is_none());
+                            prop_assert!(frame.len() <= max_frame);
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            match poison {
+                                None => poison = Some(e),
+                                // The first error is the error forever.
+                                Some(first) => prop_assert_eq!(e, first),
+                            }
+                            prop_assert!(dec.is_poisoned());
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some(first) = poison {
+                prop_assert_eq!(dec.finish(), Err(first));
+            }
         }
     }
 }

@@ -9,6 +9,15 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Ceiling on the request/status line + header section of a message.
+///
+/// Without a bound, a peer that sends headers forever (never the blank
+/// line) makes every incremental parser buffer its bytes without limit —
+/// a memory DoS on `http_front`. 16 KiB matches common server defaults
+/// (nginx `large_client_header_buffers`, Apache `LimitRequestFieldSize`
+/// aggregate) with room to spare for this codec's tiny routes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
 /// Errors from parsing HTTP messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HttpError {
@@ -18,6 +27,10 @@ pub enum HttpError {
     BadHeader,
     /// The blank line terminating the headers never arrived.
     UnterminatedHeaders,
+    /// The head section exceeds [`MAX_HEAD_BYTES`] — a 431-style
+    /// rejection (Request Header Fields Too Large), not a retryable
+    /// truncation.
+    HeadersTooLarge,
     /// `Content-Length` disagrees with the available body bytes.
     BadBody,
     /// The message is not valid UTF-8 where text is required.
@@ -30,6 +43,7 @@ impl fmt::Display for HttpError {
             HttpError::BadStartLine => "malformed start line",
             HttpError::BadHeader => "malformed header",
             HttpError::UnterminatedHeaders => "headers not terminated",
+            HttpError::HeadersTooLarge => "header section exceeds the size ceiling",
             HttpError::BadBody => "body length mismatch",
             HttpError::BadEncoding => "invalid utf-8 in message head",
         };
@@ -172,7 +186,7 @@ impl Request {
     ///
     /// Any [`HttpError`] variant for actually-malformed input.
     pub fn decode_partial(bytes: &[u8]) -> Result<Partial<Self>, HttpError> {
-        let Some(head_end) = find_head_end(bytes) else {
+        let Some(head_end) = bounded_head_end(bytes)? else {
             return Ok(Partial::NeedMore(1));
         };
         let head = std::str::from_utf8(&bytes[..head_end]).map_err(|_| HttpError::BadEncoding)?;
@@ -289,7 +303,7 @@ impl Response {
     ///
     /// Any [`HttpError`] variant for actually-malformed input.
     pub fn decode_partial(bytes: &[u8]) -> Result<Partial<Self>, HttpError> {
-        let Some(head_end) = find_head_end(bytes) else {
+        let Some(head_end) = bounded_head_end(bytes)? else {
             return Ok(Partial::NeedMore(1));
         };
         let head = std::str::from_utf8(&bytes[..head_end]).map_err(|_| HttpError::BadEncoding)?;
@@ -337,6 +351,22 @@ fn encode_headers(out: &mut Vec<u8>, headers: &BTreeMap<String, String>, body_le
 fn find_head_end(bytes: &[u8]) -> Option<usize> {
     let sep = b"\r\n\r\n";
     bytes.windows(sep.len()).position(|w| w == sep)
+}
+
+/// [`find_head_end`] with the [`MAX_HEAD_BYTES`] ceiling enforced: a
+/// head that ends past the ceiling — or an unterminated prefix already
+/// too long for any acceptable terminator to appear — is rejected
+/// instead of buffered further.
+fn bounded_head_end(bytes: &[u8]) -> Result<Option<usize>, HttpError> {
+    match find_head_end(bytes) {
+        Some(end) if end > MAX_HEAD_BYTES => Err(HttpError::HeadersTooLarge),
+        Some(end) => Ok(Some(end)),
+        // The terminator is 4 bytes and must *start* at or before the
+        // ceiling; once the unterminated prefix is past ceiling + 4 no
+        // future byte can produce an acceptable head.
+        None if bytes.len() >= MAX_HEAD_BYTES + 4 => Err(HttpError::HeadersTooLarge),
+        None => Ok(None),
+    }
 }
 
 fn parse_headers<'a, I: Iterator<Item = &'a str>>(
@@ -494,6 +524,43 @@ mod tests {
     #[test]
     fn hex_case_is_accepted_both_ways() {
         assert_eq!(percent_decode("%2b%2B"), "++");
+    }
+
+    #[test]
+    fn oversized_terminated_head_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\nx-filler: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(Request::decode(&raw), Err(HttpError::HeadersTooLarge));
+        assert_eq!(
+            Request::decode_partial(&raw),
+            Err(HttpError::HeadersTooLarge)
+        );
+    }
+
+    #[test]
+    fn unterminated_head_rejected_once_past_ceiling() {
+        // The slowloris shape: headers dribble in forever, the blank
+        // line never arrives. The parser must stop asking for more
+        // instead of buffering without bound.
+        let mut raw = b"GET / HTTP/1.1\r\nx-filler: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 4));
+        assert_eq!(
+            Request::decode_partial(&raw),
+            Err(HttpError::HeadersTooLarge)
+        );
+        assert_eq!(
+            Response::decode_partial(&raw),
+            Err(HttpError::HeadersTooLarge)
+        );
+    }
+
+    #[test]
+    fn head_just_under_ceiling_still_parses() {
+        let filler = "a".repeat(MAX_HEAD_BYTES - 64);
+        let raw = format!("GET / HTTP/1.1\r\nx-filler: {filler}\r\n\r\n");
+        let req = Request::decode(raw.as_bytes()).unwrap();
+        assert_eq!(req.header("x-filler").map(str::len), Some(filler.len()));
     }
 
     #[test]

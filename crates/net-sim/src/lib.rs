@@ -24,8 +24,10 @@
 //! * [`http`] — a minimal HTTP/1.1 request/response codec, with an
 //!   incremental `decode_partial` for byte-stream fronts;
 //! * [`fault`] — seeded, deterministic, replayable fault injection at
-//!   the link and ecall boundaries (loss, spikes, stalls, gray
-//!   failures, corruption, partitions, crash schedules).
+//!   the link, ecall, and socket boundaries (loss, spikes, stalls, gray
+//!   failures, corruption, partitions, crash schedules, and
+//!   per-connection socket afflictions: resets, torn writes, stream
+//!   corruption, stuck and half-open peers).
 
 #![deny(missing_docs)]
 
@@ -40,7 +42,9 @@ pub mod stream;
 pub mod transport;
 
 pub use delay::DelayModel;
-pub use fault::{EcallFault, FaultInjector, FaultPlan, FaultSpec, LinkFault};
+pub use fault::{
+    EcallFault, FaultInjector, FaultPlan, FaultSpec, LinkFault, SocketFault, SocketSpec,
+};
 pub use frame::{encode_frame_into, FrameDecoder, FrameEncoder, FrameError};
 pub use link::Link;
 pub use reactor::{Event, Interest, Reactor, Registration, Token};

@@ -12,10 +12,23 @@
 //! notifications fire synchronously, in operation order, from the thread
 //! that made the state change — so a single-threaded driver observes a
 //! fully reproducible event sequence.
+//!
+//! # Socket-level fault injection
+//!
+//! A [`SocketFault`](crate::fault::SocketFault) drawn from a
+//! [`FaultPlan`](crate::fault::FaultPlan) can be installed on one
+//! endpoint with [`ByteStream::sabotage`]: seeded resets, torn mid-frame
+//! writes, single-byte corruption, stuck peers (write-never-read) and
+//! half-open vanishing peers then play out *inside* the stream
+//! operations, so the victim end — typically the front tier — observes
+//! them exactly as it would from a real broken TCP peer. The clean path
+//! costs one relaxed atomic load.
 
+use crate::fault::SocketFault;
 use crate::reactor::{RegInner, READABLE, WRITABLE};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Errors from non-blocking stream operations.
@@ -77,18 +90,49 @@ impl DirState {
     }
 }
 
+/// Live state of one endpoint's installed socket affliction.
+#[derive(Default)]
+struct FaultState {
+    fault: Option<SocketFault>,
+    /// Write calls this endpoint has issued since the fault was armed.
+    writes: u64,
+}
+
 struct StreamCore {
     capacity: usize,
     /// Bytes flowing from end A to end B.
     ab: Mutex<DirState>,
     /// Bytes flowing from end B to end A.
     ba: Mutex<DirState>,
+    /// Fast-path guard: true once any endpoint was sabotaged.
+    any_faults: AtomicBool,
+    /// Per-endpoint affliction state, indexed by [`Side::idx`].
+    faults: [Mutex<FaultState>; 2],
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Side {
     A,
     B,
+}
+
+impl Side {
+    fn idx(self) -> usize {
+        match self {
+            Side::A => 0,
+            Side::B => 1,
+        }
+    }
+}
+
+/// What a sabotaged `write` call must do, decided under the fault lock
+/// and executed after it is released (close takes both direction locks).
+enum WriteAction {
+    Normal,
+    CorruptFirstByte(u8),
+    Discard,
+    TearThenClose(usize),
+    ResetNow,
 }
 
 /// One end of a simulated duplex byte stream.
@@ -120,6 +164,11 @@ pub fn stream_pair(capacity: usize) -> (ByteStream, ByteStream) {
         capacity: capacity.max(1),
         ab: Mutex::new(DirState::new()),
         ba: Mutex::new(DirState::new()),
+        any_faults: AtomicBool::new(false),
+        faults: [
+            Mutex::new(FaultState::default()),
+            Mutex::new(FaultState::default()),
+        ],
     });
     (
         ByteStream {
@@ -163,6 +212,19 @@ impl ByteStream {
         if out.is_empty() {
             return Ok(0);
         }
+        if self.core.any_faults.load(Ordering::Relaxed) {
+            let state = self.core.faults[self.side.idx()]
+                .lock()
+                .expect("fault lock");
+            if matches!(
+                state.fault,
+                Some(SocketFault::Stuck | SocketFault::HalfOpen)
+            ) {
+                // This endpoint never drains its ring again: the peer's
+                // writes back up until its write-stall defenses fire.
+                return Err(StreamError::WouldBlock);
+            }
+        }
         let mut dir = self.incoming().lock().expect("stream lock");
         if dir.buf.is_empty() {
             return if dir.closed {
@@ -191,6 +253,44 @@ impl ByteStream {
         if data.is_empty() {
             return Ok(0);
         }
+        let action = if self.core.any_faults.load(Ordering::Relaxed) {
+            self.fault_write_action()
+        } else {
+            WriteAction::Normal
+        };
+        match action {
+            WriteAction::Normal => self.write_clean(data),
+            WriteAction::Discard => {
+                // Half-open peer: the bytes go nowhere, successfully.
+                Ok(data.len())
+            }
+            WriteAction::CorruptFirstByte(xor) => {
+                let mut copy = data.to_vec();
+                copy[0] ^= xor;
+                self.write_clean(&copy)
+            }
+            WriteAction::TearThenClose(keep) => {
+                let kept = if keep > 0 {
+                    self.write_clean(&data[..keep.min(data.len())]).unwrap_or(0)
+                } else {
+                    0
+                };
+                self.close();
+                if kept > 0 {
+                    Ok(kept)
+                } else {
+                    Err(StreamError::Closed)
+                }
+            }
+            WriteAction::ResetNow => {
+                self.close();
+                Err(StreamError::Closed)
+            }
+        }
+    }
+
+    /// The un-sabotaged write path.
+    fn write_clean(&self, data: &[u8]) -> Result<usize, StreamError> {
         let mut dir = self.outgoing().lock().expect("stream lock");
         if dir.closed {
             return Err(StreamError::Closed);
@@ -205,9 +305,61 @@ impl ByteStream {
         Ok(n)
     }
 
+    /// Consults (and advances) this endpoint's affliction for one write
+    /// call. Runs under the fault lock only — the chosen action is
+    /// executed afterwards, since closing takes both direction locks.
+    fn fault_write_action(&self) -> WriteAction {
+        let mut state = self.core.faults[self.side.idx()]
+            .lock()
+            .expect("fault lock");
+        let Some(fault) = state.fault else {
+            return WriteAction::Normal;
+        };
+        let n = state.writes;
+        state.writes += 1;
+        match fault {
+            SocketFault::Reset { after_writes } if n >= after_writes => WriteAction::ResetNow,
+            SocketFault::Torn { after_writes, keep } if n >= after_writes => {
+                WriteAction::TearThenClose(keep)
+            }
+            SocketFault::Corrupt { after_writes, xor } if n == after_writes => {
+                WriteAction::CorruptFirstByte(xor)
+            }
+            SocketFault::HalfOpen => WriteAction::Discard,
+            _ => WriteAction::Normal,
+        }
+    }
+
+    /// Installs a seeded socket affliction on **this** endpoint — see
+    /// [`SocketFault`] for the shapes. The peer end observes the effects
+    /// through the normal stream API, exactly as it would from a real
+    /// broken TCP peer. Installing replaces any previous affliction and
+    /// restarts its write counter.
+    pub fn sabotage(&self, fault: SocketFault) {
+        {
+            let mut state = self.core.faults[self.side.idx()]
+                .lock()
+                .expect("fault lock");
+            state.fault = Some(fault);
+            state.writes = 0;
+        }
+        self.core.any_faults.store(true, Ordering::Relaxed);
+    }
+
     /// Closes the connection in both directions. Buffered bytes remain
     /// readable; once drained the peer sees EOF. Idempotent.
+    ///
+    /// A half-open-sabotaged endpoint cannot close: it vanished without
+    /// a FIN, so the peer never observes EOF — only deadlines save it.
     pub fn close(&self) {
+        if self.core.any_faults.load(Ordering::Relaxed) {
+            let state = self.core.faults[self.side.idx()]
+                .lock()
+                .expect("fault lock");
+            if matches!(state.fault, Some(SocketFault::HalfOpen)) {
+                return;
+            }
+        }
         for dir in [&self.core.ab, &self.core.ba] {
             let mut dir = dir.lock().expect("stream lock");
             if !dir.closed {
@@ -383,6 +535,81 @@ mod tests {
             "shrink freed ring memory: {before} -> {after}"
         );
         assert_eq!(after, std::mem::size_of::<StreamCore>());
+    }
+
+    #[test]
+    fn reset_fault_closes_after_the_drawn_write() {
+        let (a, b) = stream_pair(64);
+        a.sabotage(SocketFault::Reset { after_writes: 2 });
+        assert_eq!(a.write(b"one").unwrap(), 3);
+        assert_eq!(a.write(b"two").unwrap(), 3);
+        assert_eq!(a.write(b"three"), Err(StreamError::Closed));
+        let mut buf = [0u8; 16];
+        assert_eq!(b.read(&mut buf).unwrap(), 6, "pre-reset bytes arrive");
+        assert_eq!(b.read(&mut buf).unwrap(), 0, "then EOF");
+        assert_eq!(b.write(b"x"), Err(StreamError::Closed));
+    }
+
+    #[test]
+    fn torn_fault_delivers_a_prefix_then_closes() {
+        let (a, b) = stream_pair(64);
+        a.sabotage(SocketFault::Torn {
+            after_writes: 0,
+            keep: 2,
+        });
+        assert_eq!(a.write(b"abcdef"), Ok(2), "only the torn prefix lands");
+        let mut buf = [0u8; 16];
+        assert_eq!(b.read(&mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], b"ab");
+        assert_eq!(b.read(&mut buf).unwrap(), 0, "EOF mid-frame");
+    }
+
+    #[test]
+    fn corrupt_fault_flips_exactly_one_byte_once() {
+        let (a, b) = stream_pair(64);
+        a.sabotage(SocketFault::Corrupt {
+            after_writes: 1,
+            xor: 0x40,
+        });
+        a.write(b"clean").unwrap();
+        a.write(b"dirty").unwrap();
+        a.write(b"clean").unwrap();
+        let mut buf = [0u8; 32];
+        let n = b.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"clean\x24irtyclean");
+    }
+
+    #[test]
+    fn stuck_fault_never_drains_so_the_peer_backs_up() {
+        let (a, b) = stream_pair(4);
+        a.sabotage(SocketFault::Stuck);
+        // The stuck peer can still write...
+        assert_eq!(a.write(b"hi").unwrap(), 2);
+        // ...but never reads, so the victim's ring fills and stays full.
+        assert_eq!(b.write(b"abcd").unwrap(), 4);
+        assert_eq!(b.write(b"e"), Err(StreamError::WouldBlock));
+        let mut buf = [0u8; 8];
+        assert_eq!(a.read(&mut buf), Err(StreamError::WouldBlock));
+        assert_eq!(b.write(b"e"), Err(StreamError::WouldBlock));
+    }
+
+    #[test]
+    fn half_open_fault_discards_writes_and_suppresses_eof() {
+        let (a, b) = stream_pair(64);
+        a.sabotage(SocketFault::HalfOpen);
+        assert_eq!(a.write(b"ghost").unwrap(), 5, "writes pretend to land");
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            b.read(&mut buf),
+            Err(StreamError::WouldBlock),
+            "nothing actually arrived"
+        );
+        a.close();
+        drop(a);
+        // The peer never learns: no EOF, no Closed — just silence.
+        assert_eq!(b.read(&mut buf), Err(StreamError::WouldBlock));
+        assert!(!b.is_closed());
+        assert_eq!(b.write(b"hello?").unwrap(), 6);
     }
 
     #[test]
